@@ -1,0 +1,58 @@
+//! Reconstruction-attack cost (Eq. 10): what an adversary pays to invert
+//! an encoding, sweeping dimensionality and feature count. Relevant to
+//! the threat model — the attack is cheap, which is exactly why the
+//! obfuscation of §III-C is needed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use privehd_core::prelude::*;
+use privehd_core::Encoder;
+
+fn bench_decode_dims(c: &mut Criterion) {
+    let features = 617;
+    let x: Vec<f64> = (0..features).map(|i| ((i * 13) % 100) as f64 / 99.0).collect();
+    let mut group = c.benchmark_group("decode_617_features");
+    for dim in [1_000usize, 4_000, 10_000] {
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+        )
+        .expect("valid config");
+        let h = enc.encode(&x).expect("encode");
+        let decoder = Decoder::new(enc.item_memory().clone());
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| decoder.decode(&h).expect("decode"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_features(c: &mut Criterion) {
+    let dim = 4_000;
+    let mut group = c.benchmark_group("decode_4k_dims");
+    for features in [128usize, 617, 784] {
+        let x: Vec<f64> = (0..features).map(|i| ((i * 13) % 100) as f64 / 99.0).collect();
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+        )
+        .expect("valid config");
+        let h = enc.encode(&x).expect("encode");
+        let decoder = Decoder::new(enc.item_memory().clone());
+        group.bench_with_input(BenchmarkId::from_parameter(features), &features, |b, _| {
+            b.iter(|| decoder.decode(&h).expect("decode"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let a: Vec<f64> = (0..784).map(|i| (i % 100) as f64 / 99.0).collect();
+    let b_: Vec<f64> = a.iter().map(|v| (v + 0.05).min(1.0)).collect();
+    c.bench_function("psnr_784", |bch| bch.iter(|| psnr(&a, &b_).expect("psnr")));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_decode_dims, bench_decode_features, bench_metrics
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Encoding throughput: scalar (Eq. 2a) vs level/record (Eq. 2b)
+//! encodings across hypervector dimensionalities, plus the quantization
+//! cost on top — the software-side numbers behind the Table I platform
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use privehd_core::prelude::*;
+use privehd_core::{Encoder, LevelEncoder};
+
+fn input(features: usize) -> Vec<f64> {
+    (0..features).map(|i| ((i * 29) % 100) as f64 / 99.0).collect()
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let features = 617; // ISOLET shape
+    let x = input(features);
+    let mut group = c.benchmark_group("encode");
+    for dim in [1_000usize, 4_000, 10_000] {
+        group.throughput(Throughput::Elements((features * dim) as u64));
+        let scalar = ScalarEncoder::new(
+            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+        )
+        .expect("valid config");
+        group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |b, _| {
+            b.iter(|| scalar.encode(&x).expect("encode"))
+        });
+        let level = LevelEncoder::new(
+            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+        )
+        .expect("valid config");
+        group.bench_with_input(BenchmarkId::new("level", dim), &dim, |b, _| {
+            b.iter(|| level.encode(&x).expect("encode"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let features = 617;
+    let dim = 10_000;
+    let encoder = ScalarEncoder::new(
+        EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+    )
+    .expect("valid config");
+    let h = encoder.encode(&input(features)).expect("encode");
+    let mut group = c.benchmark_group("quantize_10k");
+    for scheme in [
+        QuantScheme::Bipolar,
+        QuantScheme::Ternary,
+        QuantScheme::TernaryBiased,
+        QuantScheme::TwoBit,
+    ] {
+        group.bench_function(scheme.label(), |b| b.iter(|| scheme.quantize_adaptive(&h)));
+    }
+    group.finish();
+}
+
+fn bench_batch_parallelism(c: &mut Criterion) {
+    let features = 617;
+    let dim = 2_000;
+    let encoder = ScalarEncoder::new(
+        EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+    )
+    .expect("valid config");
+    let batch: Vec<Vec<f64>> = (0..64).map(|_| input(features)).collect();
+    let mut group = c.benchmark_group("encode_batch_64");
+    group.bench_function("parallel", |b| {
+        b.iter(|| encoder.encode_batch(&batch).expect("batch"))
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|x| encoder.encode(x).expect("encode"))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoders, bench_quantization, bench_batch_parallelism
+);
+criterion_main!(benches);

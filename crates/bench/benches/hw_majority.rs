@@ -1,0 +1,65 @@
+//! Software cost of the simulated hardware circuits: exact vs
+//! approximate majority (Fig. 7a) and exact vs saturated ternary
+//! summation (Fig. 7b), plus the cascade-depth ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use privehd_hw::{exact_sign, MajorityCircuit, SaturatedAdderTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bits(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn ternary_values(n: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            if u < 0.25 {
+                -1
+            } else if u < 0.75 {
+                0
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
+fn bench_majority(c: &mut Criterion) {
+    let input = bits(617, 1);
+    let mut group = c.benchmark_group("majority_617");
+    group.bench_function("exact", |b| b.iter(|| exact_sign(&input)));
+    for stages in [1usize, 2, 3] {
+        let circuit = MajorityCircuit::with_stages(stages);
+        group.bench_with_input(BenchmarkId::new("approx", stages), &stages, |b, _| {
+            b.iter(|| circuit.sign(&input))
+        });
+    }
+    group.finish();
+}
+
+fn bench_saturated_tree(c: &mut Criterion) {
+    let tree = SaturatedAdderTree::new();
+    let mut group = c.benchmark_group("ternary_sum");
+    for n in [96usize, 384, 768] {
+        let values = ternary_values(n, 2);
+        group.bench_with_input(BenchmarkId::new("saturated", n), &n, |b, _| {
+            b.iter(|| tree.sum(&values))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| values.iter().map(|&v| v as i64).sum::<i64>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_majority, bench_saturated_tree
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Inference throughput: similarity search against the class memory
+//! (Eq. 4), sweeping dimensionality and class count, with full-precision
+//! vs obfuscated queries — the latency the cloud side of §III-C pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use privehd_core::prelude::*;
+use privehd_core::Hypervector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_model(num_classes: usize, dim: usize, seed: u64) -> HdModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = (0..num_classes)
+        .map(|_| Hypervector::from_vec((0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect()))
+        .collect();
+    let mut m = HdModel::from_classes(classes).expect("non-empty classes");
+    m.refresh_norms();
+    m
+}
+
+fn query(dim: usize, seed: u64) -> Hypervector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Hypervector::from_vec((0..dim).map(|_| rng.gen_range(-20.0..20.0)).collect())
+}
+
+fn bench_predict_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_26_classes");
+    for dim in [1_000usize, 4_000, 10_000] {
+        let model = synthetic_model(26, dim, 1);
+        let q = query(dim, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| model.predict(&q).expect("predict"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_10k_dims");
+    for classes in [2usize, 10, 26, 100] {
+        let model = synthetic_model(classes, 10_000, 1);
+        let q = query(10_000, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &classes, |b, _| {
+            b.iter(|| model.predict(&q).expect("predict"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_obfuscated_query(c: &mut Criterion) {
+    // The edge-side cost of §III-C: quantize + mask before offloading.
+    let dim = 10_000;
+    let q = query(dim, 3);
+    let ob = Obfuscator::new(
+        dim,
+        ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(5_000)
+            .with_seed(4),
+    )
+    .expect("valid config");
+    c.bench_function("obfuscate_10k_5kmask", |b| {
+        b.iter(|| ob.obfuscate(&q).expect("obfuscate"))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_predict_dims, bench_predict_classes, bench_obfuscated_query
+);
+criterion_main!(benches);

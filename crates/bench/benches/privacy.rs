@@ -1,0 +1,92 @@
+//! Privacy-machinery cost: noise calibration, noise sampling at model
+//! scale, and the ablation the design calls out — noise added once after
+//! aggregation (Prive-HD, Eq. 8) vs per-record noise during training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use privehd_core::{HdModel, Hypervector};
+use privehd_privacy::{GaussianMechanism, Mechanism, PrivacyBudget, Sensitivity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_sigma_calibration(c: &mut Criterion) {
+    c.bench_function("sigma_calibration", |b| {
+        b.iter(|| {
+            let budget = PrivacyBudget::with_paper_delta(1.0).expect("valid");
+            budget.gaussian_sigma()
+        })
+    });
+}
+
+fn bench_noise_generation(c: &mut Criterion) {
+    let budget = PrivacyBudget::with_paper_delta(1.0).expect("valid");
+    let mut group = c.benchmark_group("noise_26_classes");
+    for dim in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut mech = GaussianMechanism::new(budget, 7);
+            b.iter(|| mech.noise_for_classes(26, dim, 22.3).expect("noise"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    c.bench_function("sensitivity_analytic", |b| {
+        b.iter(|| {
+            let s = Sensitivity::new(617, 10_000);
+            (s.l1_full(), s.l2_full())
+        })
+    });
+}
+
+/// Ablation: Prive-HD adds calibrated noise once after aggregation;
+/// the naive alternative perturbs every record during training. The
+/// bench quantifies the training-cost gap (the paper notes DP-SGD-style
+/// training pays per-epoch; Prive-HD pays once).
+fn bench_aggregation_ablation(c: &mut Criterion) {
+    let dim = 2_000;
+    let n_records = 128;
+    let mut rng = StdRng::seed_from_u64(3);
+    let records: Vec<(Hypervector, usize)> = (0..n_records)
+        .map(|i| {
+            (
+                Hypervector::from_vec((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+                i % 2,
+            )
+        })
+        .collect();
+    let budget = PrivacyBudget::with_paper_delta(1.0).expect("valid");
+
+    let mut group = c.benchmark_group("noise_placement");
+    group.bench_function("after_aggregation", |b| {
+        b.iter(|| {
+            let mut model = HdModel::train(2, dim, &records).expect("train");
+            let mut mech = GaussianMechanism::new(budget, 9);
+            let noise = mech.noise_for_classes(2, dim, 22.3).expect("noise");
+            model.add_class_noise(&noise).expect("noise add");
+            model
+        })
+    });
+    group.bench_function("per_record", |b| {
+        b.iter(|| {
+            let mut mech = GaussianMechanism::new(budget, 9);
+            let noisy: Vec<(Hypervector, usize)> = records
+                .iter()
+                .map(|(h, y)| {
+                    let mut n = mech.noise_hypervector(dim, 22.3).expect("noise");
+                    n.add_scaled(h, 1.0).expect("same dim");
+                    (n, *y)
+                })
+                .collect();
+            HdModel::train(2, dim, &noisy).expect("train")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sigma_calibration, bench_noise_generation, bench_sensitivity, bench_aggregation_ablation
+);
+criterion_main!(benches);

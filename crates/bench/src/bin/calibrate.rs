@@ -1,0 +1,38 @@
+//! Calibration check: baseline full-precision accuracy of the three
+//! dataset surrogates at 10,000 dimensions, next to the paper's bands
+//! (ISOLET ≈ 93%, FACE ≈ 95%+, MNIST ≈ 90%+).
+//!
+//! Run after touching the surrogate difficulty constants in
+//! `privehd-data`.
+
+use privehd_bench::{print_table, Workbench};
+use privehd_data::surrogates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows = vec![vec![
+        "dataset".to_owned(),
+        "baseline acc %".to_owned(),
+        "bipolar-query acc %".to_owned(),
+        "paper band %".to_owned(),
+    ]];
+    let sets = [
+        (surrogates::isolet(40, 40, 0), "~93, drop <1"),
+        (surrogates::face(40, 40, 0), "~95, drop <1"),
+        (surrogates::mnist(40, 40, 0), "~90+, drop <1"),
+    ];
+    for (ds, band) in sets {
+        let name = ds.name().to_owned();
+        let wb = Workbench::new(ds, 10_000, 1)?;
+        let model = wb.model_at(10_000, privehd_core::QuantScheme::Full)?;
+        let acc = wb.accuracy_at(&model, 10_000, privehd_core::QuantScheme::Full)?;
+        let acc_q = wb.accuracy_at(&model, 10_000, privehd_core::QuantScheme::Bipolar)?;
+        rows.push(vec![
+            name,
+            format!("{:.1}", acc * 100.0),
+            format!("{:.1}", acc_q * 100.0),
+            band.to_owned(),
+        ]);
+    }
+    print_table(&rows);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Fig. 2 — original vs retrieved handwritten digits.
+//!
+//! Demonstrates the privacy breach of §III-A: the decoder of Eq. (10)
+//! reconstructs the input pixels from a conventional (full-precision)
+//! encoded hypervector. Prints ASCII renderings of the original and the
+//! reconstruction for a few digits, plus per-digit MSE and PSNR.
+
+use privehd_bench::report::json_flag;
+use privehd_bench::Figure;
+use privehd_core::prelude::*;
+use privehd_data::{digits, surrogates};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dim = 10_000;
+    let ds = surrogates::mnist(2, 1, 0);
+    let encoder = ScalarEncoder::new(
+        EncoderConfig::new(ds.features(), dim)
+            .with_levels(100)
+            .with_seed(1),
+    )?;
+    let decoder = Decoder::new(encoder.item_memory().clone());
+
+    let mut fig = Figure::new(
+        "fig2",
+        "original vs retrieved digits (reconstruction attack, Eq. 10)",
+        "digit",
+        "PSNR dB / MSE",
+    );
+
+    println!("Reconstruction attack on conventional HD encoding (D_hv = {dim})\n");
+    for digit in [3usize, 5, 8] {
+        let sample = ds
+            .test()
+            .iter()
+            .find(|s| s.label == digit)
+            .expect("every digit has a test sample");
+        let h = encoder.encode(&sample.features)?;
+        let rec = decoder.decode(&h)?;
+        let rec_img = rec.features_clamped();
+        let m = mse(&sample.features, &rec_img)?;
+        let p = psnr(&sample.features, &rec_img)?;
+        fig.push("psnr_db", digit as f64, p);
+        fig.push("mse", digit as f64, m);
+
+        println!("--- digit {digit}: reconstruction PSNR {p:.1} dB, MSE {m:.4} ---");
+        let orig_art = digits::to_ascii(&sample.features);
+        let rec_art = digits::to_ascii(&rec_img);
+        for (a, b) in orig_art.lines().zip(rec_art.lines()) {
+            println!("{a}    {b}");
+        }
+        println!();
+    }
+    fig.emit(json_flag());
+    println!(
+        "Paper claim reproduced: pixels are retrieved one-by-one from the\n\
+         encoded hypervector via v_m = (H · B_m) / D_hv; HD has no privacy\n\
+         without Prive-HD's countermeasures."
+    );
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Fig. 8 — differentially private training: the optimal ε, the
+//! dimension trade-off, and the effect of training-set size.
+//!
+//! (a)–(c) For each dataset and each candidate ε (δ = 10⁻⁵), sweep the
+//! kept dimensionality: the model is trained with ternary-quantized
+//! encodings at 10k dims, pruned least-effectual-first to the target
+//! dimension, retrained, and perturbed with Gaussian noise of std
+//! `Δf(kept)·σ(ε, δ)` (Eq. 8, 14). Fewer dimensions mean less noise
+//! (Δf ∝ √D) but also less capacity — the inverted-U the paper reads the
+//! optimum from (e.g. 7,000 dims for FACE at ε = 1).
+//!
+//! (d) Accuracy of the private FACE model vs training-set size: more data
+//! raises class-vector variance, burying the same noise (the paper's
+//! "vital insight").
+//!
+//! ## Sensitivity calibration
+//!
+//! By default this harness uses the **per-dimension** sensitivity
+//! reading (noise std `σ·max|k|` per class dimension), which is the only
+//! calibration under which the paper's reported accuracies are
+//! achievable; pass `--strict-l2` for the formally correct vector-ℓ2
+//! calibration of Eq. (8)+(14), under which the noise overwhelms the
+//! model (see EXPERIMENTS.md for the quantitative argument).
+
+use privehd_bench::report::json_flag;
+use privehd_bench::{Figure, Workbench};
+use privehd_core::prelude::*;
+use privehd_core::{HdError, Hypervector};
+use privehd_data::surrogates;
+use privehd_privacy::{GaussianMechanism, Mechanism, PrivacyBudget, Sensitivity, SensitivityMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let master_dim = 10_000;
+    let json = json_flag();
+    let mode = if std::env::args().any(|a| a == "--strict-l2") {
+        SensitivityMode::VectorL2
+    } else {
+        SensitivityMode::PerDimension
+    };
+    println!("sensitivity calibration: {mode:?}\n");
+
+    // (a)–(c): per-dataset ε sweeps, matching the paper's panels.
+    // Training-set sizes approach the real datasets' (ISOLET has 238
+    // train samples per class); Fig. 8(d)'s insight is that data volume
+    // buries the noise, so the DP panels need realistic sizes.
+    let panels: Vec<(&str, privehd_data::Dataset, Vec<f64>)> = vec![
+        ("fig8a", surrogates::isolet(238, 15, 0), vec![8.0, 9.0]),
+        ("fig8b", surrogates::face(300, 60, 0), vec![0.5, 1.0]),
+        ("fig8c", surrogates::mnist(300, 40, 0), vec![1.0, 2.0]),
+    ];
+    for (id, ds, epsilons) in panels {
+        let name = ds.name().to_owned();
+        let wb = Workbench::new(ds, master_dim, 1)?;
+        let mut fig = Figure::new(
+            id,
+            format!("private accuracy vs dimensions ({name})"),
+            "dimensions",
+            "accuracy %",
+        );
+        for &eps in &epsilons {
+            let budget = PrivacyBudget::with_paper_delta(eps)?;
+            for keep in (1..=10).map(|i| i * 1_000) {
+                let acc = private_accuracy_at(&wb, master_dim, keep, budget, mode, 99)?;
+                fig.push(format!("eps {eps}"), keep as f64, acc * 100.0);
+            }
+        }
+        // Report the per-ε optimum like the paper does.
+        for &eps in &epsilons {
+            let series = format!("eps {eps}");
+            if let Some(best) = fig
+                .points
+                .iter()
+                .filter(|p| p.series == series)
+                .max_by(|a, b| a.y.partial_cmp(&b.y).expect("finite"))
+            {
+                println!(
+                    "{name} ε={eps}: best {:.1}% at {} dims",
+                    best.y, best.x as usize
+                );
+            }
+        }
+        fig.emit(json);
+    }
+
+    // (d): training-set size sweep for the private FACE model.
+    let mut fig_d = Figure::new(
+        "fig8d",
+        "private accuracy vs training-set size (FACE surrogate, eps=1, 7k dims)",
+        "dataset fraction",
+        "accuracy %",
+    );
+    let face_full = surrogates::face(300, 60, 0);
+    let budget = PrivacyBudget::with_paper_delta(1.0)?;
+    for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let ds = face_full.subsample_train(frac, 3);
+        let wb = Workbench::new(ds, master_dim, 1)?;
+        let acc = private_accuracy_at(&wb, master_dim, 7_000, budget, mode, 99)?;
+        fig_d.push("FACE", frac, acc * 100.0);
+    }
+    fig_d.emit(json);
+    Ok(())
+}
+
+/// One Fig. 8 point: ternary encodings, prune 10k→`keep`, retrain, add
+/// `Δf(keep)·σ` Gaussian noise, evaluate with matching queries.
+fn private_accuracy_at(
+    wb: &Workbench,
+    master_dim: usize,
+    keep: usize,
+    budget: PrivacyBudget,
+    mode: SensitivityMode,
+    noise_seed: u64,
+) -> Result<f64, HdError> {
+    let scheme = QuantScheme::Ternary;
+    let train = wb.train_set_at(master_dim, scheme);
+    let mut model = HdModel::train(wb.dataset().num_classes(), master_dim, &train)?;
+
+    let mask = if keep < master_dim {
+        let mask = PruneMask::select(&model, master_dim - keep, PruneStrategy::LeastEffectual)?;
+        model.apply_mask(&mask)?;
+        model.retrain_masked(
+            &train,
+            &mask,
+            &RetrainConfig {
+                epochs: 2,
+                ..RetrainConfig::default()
+            },
+        )?;
+        Some(mask)
+    } else {
+        None
+    };
+
+    // Gaussian mechanism at the pruned sensitivity.
+    let sens = Sensitivity::new(wb.dataset().features(), keep);
+    let delta_f = match mode {
+        SensitivityMode::VectorL2 => sens.l2_quantized(scheme),
+        SensitivityMode::PerDimension => sens.per_dimension(scheme),
+    };
+    let mut mech = GaussianMechanism::new(budget, noise_seed);
+    let mut noise = mech.noise_for_classes(model.num_classes(), master_dim, delta_f)?;
+    if let Some(m) = &mask {
+        for n in &mut noise {
+            m.apply(n)?;
+        }
+    }
+    model.add_class_noise(&noise)?;
+
+    // Queries: same quantization and mask as training.
+    let test: Vec<(Hypervector, usize)> = wb
+        .test_set_at(master_dim, scheme)
+        .into_iter()
+        .map(|(mut h, y)| {
+            if let Some(m) = &mask {
+                m.apply(&mut h).expect("same dimension");
+            }
+            (h, y)
+        })
+        .collect();
+    model.accuracy(&test)
+}

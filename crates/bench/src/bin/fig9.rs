@@ -1,0 +1,113 @@
+//! Fig. 9 — privacy-aware inference across all three datasets.
+//!
+//! (a) accuracy when only the offloaded query is 1-bit quantized (the
+//! model stays full precision), sweeping dimensionality — the paper
+//! reports an average 0.85% drop at 10k dimensions.
+//!
+//! (b) normalized reconstruction MSE as more dimensions are masked on
+//! top of quantization — information loss grows while (for ISOLET and
+//! FACE) accuracy degrades only mildly up to ~6k masked dims; MNIST is
+//! more fragile (the paper prunes at most ~1k there).
+
+use privehd_bench::report::json_flag;
+use privehd_bench::{Figure, Workbench};
+use privehd_core::prelude::*;
+use privehd_data::surrogates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let master_dim = 10_000;
+    let json = json_flag();
+    let sets = vec![
+        ("ISOLET", surrogates::isolet(30, 10, 0)),
+        ("FACE", surrogates::face(60, 25, 0)),
+        ("MNIST", surrogates::mnist(40, 15, 0)),
+    ];
+
+    let mut fig_a = Figure::new(
+        "fig9a",
+        "accuracy with 1-bit quantized queries vs dimensions (full-precision classes)",
+        "dimensions",
+        "accuracy %",
+    );
+    let mut fig_b = Figure::new(
+        "fig9b",
+        "normalized reconstruction MSE vs masked dimensions",
+        "masked dimensions",
+        "MSE (normalized to unquantized decode)",
+    );
+    let mut fig_b_acc = Figure::new(
+        "fig9b-acc",
+        "accuracy vs masked dimensions (quantized queries)",
+        "masked dimensions",
+        "accuracy %",
+    );
+
+    for (name, ds) in sets {
+        let wb = Workbench::new(ds, master_dim, 1)?;
+        let model_full = wb.model_at(master_dim, QuantScheme::Full)?;
+        let baseline = wb.accuracy_at(&model_full, master_dim, QuantScheme::Full)?;
+
+        // (a) dimensionality sweep with bipolar queries.
+        for dim in (2..=10).map(|i| i * 1_000) {
+            let model = wb.model_at(dim, QuantScheme::Full)?;
+            let acc = wb.accuracy_at(&model, dim, QuantScheme::Bipolar)?;
+            fig_a.push(name, dim as f64, acc * 100.0);
+        }
+        let acc_q_10k = wb.accuracy_at(&model_full, master_dim, QuantScheme::Bipolar)?;
+        println!(
+            "{name}: baseline {:.1}%, quantized queries {:.1}% (drop {:.2}%)",
+            baseline * 100.0,
+            acc_q_10k * 100.0,
+            (baseline - acc_q_10k) * 100.0
+        );
+
+        // (b) masking sweep: normalized MSE of the adversary's decode and
+        // the accuracy cost.
+        let decoder = Decoder::new(wb.encoder().item_memory().clone());
+        let probes: Vec<usize> = (0..wb.dataset().test().len()).step_by(3).collect();
+        let mse_reference = mean_decode_mse(&wb, &decoder, &probes, None)?;
+        for masked in (0..=8).map(|i| i * 1_000) {
+            let ob = Obfuscator::new(
+                master_dim,
+                ObfuscateConfig::new(QuantScheme::Bipolar)
+                    .with_masked_dims(masked)
+                    .with_seed(5),
+            )?;
+            let mse_obf = mean_decode_mse(&wb, &decoder, &probes, Some(&ob))?;
+            fig_b.push(name, masked as f64, mse_obf / mse_reference);
+
+            let test: Vec<_> = wb
+                .test_encodings()
+                .iter()
+                .map(|(h, y)| Ok((ob.obfuscate(h)?, *y)))
+                .collect::<Result<Vec<_>, HdError>>()?;
+            let acc = model_full.accuracy(&test)?;
+            fig_b_acc.push(name, masked as f64, acc * 100.0);
+        }
+    }
+    fig_a.emit(json);
+    fig_b.emit(json);
+    fig_b_acc.emit(json);
+    Ok(())
+}
+
+/// Mean reconstruction MSE over the probe test samples, decoding either
+/// the raw encoding (`None`) or its obfuscated form.
+fn mean_decode_mse(
+    wb: &Workbench,
+    decoder: &Decoder,
+    probe_indices: &[usize],
+    obfuscator: Option<&Obfuscator>,
+) -> Result<f64, HdError> {
+    let mut acc = 0.0;
+    for &i in probe_indices {
+        let sample = &wb.dataset().test()[i];
+        let (enc, _) = &wb.test_encodings()[i];
+        let rec = match obfuscator {
+            Some(ob) => decoder.decode_rescaled(&ob.obfuscate(enc)?, enc.l2_norm())?,
+            None => decoder.decode(enc)?,
+        };
+        acc += mse(&sample.features, &rec.features_clamped())?;
+    }
+    Ok(acc / probe_indices.len().max(1) as f64)
+}

@@ -1,0 +1,226 @@
+//! Table/series output shared by the harness binaries.
+//!
+//! Each binary prints (a) a human-readable aligned table mirroring the
+//! paper figure/table it regenerates and (b) one JSON line per data point
+//! (`--json` flag) so downstream tooling can re-plot.
+
+use serde::Serialize;
+
+/// One (x, y…) point of a regenerated figure series.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesPoint {
+    /// Series label (e.g. `"bipolar"`, `"eps 1"`).
+    pub series: String,
+    /// X value (dimension count, epoch, ε, …).
+    pub x: f64,
+    /// Y value (accuracy %, sensitivity, PSNR, …).
+    pub y: f64,
+}
+
+/// A regenerated figure: identity plus the point cloud.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Paper identifier, e.g. `"fig5a"` or `"table1"`.
+    pub id: String,
+    /// Human description of what is being reproduced.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The data.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, series: impl Into<String>, x: f64, y: f64) {
+        self.points.push(SeriesPoint {
+            series: series.into(),
+            x,
+            y,
+        });
+    }
+
+    /// The distinct series labels in first-appearance order.
+    pub fn series_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for p in &self.points {
+            if !labels.contains(&p.series) {
+                labels.push(p.series.clone());
+            }
+        }
+        labels
+    }
+
+    /// The sorted distinct x values.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = Vec::new();
+        for p in &self.points {
+            if !xs.iter().any(|v| (v - p.x).abs() < 1e-12) {
+                xs.push(p.x);
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs
+    }
+
+    /// Renders the figure as an aligned table: one row per x, one column
+    /// per series.
+    pub fn to_table(&self) -> String {
+        let labels = self.series_labels();
+        let mut header = vec![self.x_label.clone()];
+        header.extend(labels.iter().cloned());
+        let mut rows = vec![header];
+        for x in self.x_values() {
+            let mut row = vec![format_num(x)];
+            for label in &labels {
+                let cell = self
+                    .points
+                    .iter()
+                    .find(|p| p.series == *label && (p.x - x).abs() < 1e-12)
+                    .map(|p| format_num(p.y))
+                    .unwrap_or_else(|| "-".to_owned());
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        out.push_str(&render_rows(&rows));
+        out.push_str(&format!("(y: {})\n", self.y_label));
+        out
+    }
+
+    /// Prints the table, and the JSON point records when `json` is set.
+    pub fn emit(&self, json: bool) {
+        println!("{}", self.to_table());
+        if json {
+            for p in &self.points {
+                let rec = serde_json::json!({
+                    "figure": self.id,
+                    "series": p.series,
+                    "x": p.x,
+                    "y": p.y,
+                });
+                println!("{rec}");
+            }
+        }
+    }
+}
+
+/// Renders rows of cells with aligned columns.
+pub fn print_table(rows: &[Vec<String>]) {
+    print!("{}", render_rows(rows));
+}
+
+fn render_rows(rows: &[Vec<String>]) -> String {
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| format!("{cell:>width$}", width = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Compact numeric formatting: integers plain, small values with
+/// precision, big values in scientific notation.
+pub fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if a >= 1e6 || a < 1e-2 {
+        format!("{v:.2e}")
+    } else if (v.round() - v).abs() < 1e-9 && a < 1e6 {
+        format!("{}", v.round() as i64)
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Returns true when `--json` was passed to the harness binary.
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_collects_series_and_xs() {
+        let mut f = Figure::new("figX", "t", "dims", "acc");
+        f.push("a", 1.0, 0.5);
+        f.push("b", 1.0, 0.6);
+        f.push("a", 2.0, 0.7);
+        assert_eq!(f.series_labels(), vec!["a", "b"]);
+        assert_eq!(f.x_values(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_renders_missing_cells_as_dash() {
+        let mut f = Figure::new("figX", "t", "x", "y");
+        f.push("a", 1.0, 0.5);
+        f.push("b", 2.0, 0.6);
+        let t = f.to_table();
+        assert!(t.contains('-'));
+        assert!(t.contains("figX"));
+    }
+
+    #[test]
+    fn format_num_modes() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(42.0), "42");
+        assert_eq!(format_num(3.14159), "3.14");
+        assert_eq!(format_num(2_500_000.0), "2.50e6");
+        assert_eq!(format_num(0.000_002_7), "2.70e-6");
+        assert_eq!(format_num(123.456), "123.5");
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let rows = vec![
+            vec!["h1".to_owned(), "header2".to_owned()],
+            vec!["1".to_owned(), "2".to_owned()],
+        ];
+        let s = render_rows(&rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with('-'));
+    }
+}

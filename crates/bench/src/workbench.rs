@@ -1,0 +1,209 @@
+//! Encode-once / evaluate-many experiment state.
+//!
+//! Almost every paper figure sweeps hypervector dimensionality and/or
+//! quantization scheme over a fixed dataset. Re-encoding per sweep point
+//! would dominate the runtime, so the workbench encodes each split once
+//! at the maximum dimensionality and derives every sweep point from those
+//! encodings:
+//!
+//! * **dimension sweeps** truncate to the first `D` components — valid
+//!   because encoded dimensions are i.i.d. (each comes from independent
+//!   base-hypervector bits);
+//! * **quantization sweeps** re-quantize the stored full-precision
+//!   encodings;
+//! * **training** is then just bundling, which is cheap.
+
+use privehd_core::prelude::*;
+use privehd_core::{HdError, Hypervector};
+use privehd_data::Dataset;
+
+/// Shared experiment state for one dataset at one master dimensionality.
+#[derive(Debug)]
+pub struct Workbench {
+    dataset: Dataset,
+    encoder: ScalarEncoder,
+    train_enc: Vec<(Hypervector, usize)>,
+    test_enc: Vec<(Hypervector, usize)>,
+}
+
+impl Workbench {
+    /// Encodes both splits of `dataset` at dimensionality `dim` (the
+    /// maximum any sweep will request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder construction/encoding errors.
+    pub fn new(dataset: Dataset, dim: usize, seed: u64) -> Result<Self, HdError> {
+        let encoder = ScalarEncoder::new(
+            EncoderConfig::new(dataset.features(), dim)
+                .with_levels(100)
+                .with_seed(seed),
+        )?;
+        let train_inputs: Vec<Vec<f64>> =
+            dataset.train().iter().map(|s| s.features.clone()).collect();
+        let test_inputs: Vec<Vec<f64>> =
+            dataset.test().iter().map(|s| s.features.clone()).collect();
+        let train_hv = encoder.encode_batch(&train_inputs)?;
+        let test_hv = encoder.encode_batch(&test_inputs)?;
+        let train_enc = train_hv
+            .into_iter()
+            .zip(dataset.train())
+            .map(|(h, s)| (h, s.label))
+            .collect();
+        let test_enc = test_hv
+            .into_iter()
+            .zip(dataset.test())
+            .map(|(h, s)| (h, s.label))
+            .collect();
+        Ok(Self {
+            dataset,
+            encoder,
+            train_enc,
+            test_enc,
+        })
+    }
+
+    /// The dataset under test.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The encoder (public basis).
+    pub fn encoder(&self) -> &ScalarEncoder {
+        &self.encoder
+    }
+
+    /// Master dimensionality.
+    pub fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    /// Full-precision training-split encodings at master dimension.
+    pub fn train_encodings(&self) -> &[(Hypervector, usize)] {
+        &self.train_enc
+    }
+
+    /// Full-precision test-split encodings at master dimension.
+    pub fn test_encodings(&self) -> &[(Hypervector, usize)] {
+        &self.test_enc
+    }
+
+    /// Truncates an encoding to its first `dim` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or exceeds the stored dimensionality.
+    pub fn truncate(h: &Hypervector, dim: usize) -> Hypervector {
+        assert!(dim > 0 && dim <= h.dim(), "invalid truncation dimension");
+        Hypervector::from_vec(h.as_slice()[..dim].to_vec())
+    }
+
+    /// Training encodings truncated to `dim` and quantized with `scheme`.
+    pub fn train_set_at(&self, dim: usize, scheme: QuantScheme) -> Vec<(Hypervector, usize)> {
+        self.train_enc
+            .iter()
+            .map(|(h, y)| (scheme.quantize_adaptive(&Self::truncate(h, dim)), *y))
+            .collect()
+    }
+
+    /// Test encodings truncated to `dim` and quantized with `scheme`.
+    pub fn test_set_at(&self, dim: usize, scheme: QuantScheme) -> Vec<(Hypervector, usize)> {
+        self.test_enc
+            .iter()
+            .map(|(h, y)| (scheme.quantize_adaptive(&Self::truncate(h, dim)), *y))
+            .collect()
+    }
+
+    /// Trains a model at `dim` with encoding quantization `scheme`
+    /// (Eq. 13: encodings are quantized, classes accumulate in full
+    /// precision).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn model_at(&self, dim: usize, scheme: QuantScheme) -> Result<HdModel, HdError> {
+        HdModel::train(
+            self.dataset.num_classes(),
+            dim,
+            &self.train_set_at(dim, scheme),
+        )
+    }
+
+    /// Accuracy of `model` when queries are truncated to `dim` and
+    /// quantized with `query_scheme`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn accuracy_at(
+        &self,
+        model: &HdModel,
+        dim: usize,
+        query_scheme: QuantScheme,
+    ) -> Result<f64, HdError> {
+        model.accuracy(&self.test_set_at(dim, query_scheme))
+    }
+
+    /// The non-private full-precision baseline accuracy at `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/prediction errors.
+    pub fn baseline_accuracy(&self, dim: usize) -> Result<f64, HdError> {
+        let model = self.model_at(dim, QuantScheme::Full)?;
+        self.accuracy_at(&model, dim, QuantScheme::Full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privehd_data::surrogates;
+
+    fn bench() -> Workbench {
+        Workbench::new(surrogates::face(20, 10, 1), 2_000, 7).unwrap()
+    }
+
+    #[test]
+    fn encodes_both_splits() {
+        let wb = bench();
+        assert_eq!(wb.train_encodings().len(), 40);
+        assert_eq!(wb.test_encodings().len(), 20);
+        assert_eq!(wb.dim(), 2_000);
+    }
+
+    #[test]
+    fn truncation_is_a_prefix() {
+        let wb = bench();
+        let (h, _) = &wb.train_encodings()[0];
+        let t = Workbench::truncate(h, 100);
+        assert_eq!(t.dim(), 100);
+        assert_eq!(&h.as_slice()[..100], t.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid truncation")]
+    fn truncation_beyond_dim_panics() {
+        let wb = bench();
+        let (h, _) = &wb.train_encodings()[0];
+        let _ = Workbench::truncate(h, 4_000);
+    }
+
+    #[test]
+    fn baseline_beats_chance_and_quantized_is_close() {
+        let wb = bench();
+        let base = wb.baseline_accuracy(2_000).unwrap();
+        assert!(base > 0.7, "baseline = {base}");
+        let model_q = wb.model_at(2_000, QuantScheme::Bipolar).unwrap();
+        let acc_q = wb.accuracy_at(&model_q, 2_000, QuantScheme::Bipolar).unwrap();
+        assert!(base - acc_q < 0.15, "bipolar drop too big: {base} -> {acc_q}");
+    }
+
+    #[test]
+    fn smaller_dim_is_usable() {
+        let wb = bench();
+        let model = wb.model_at(500, QuantScheme::Ternary).unwrap();
+        let acc = wb.accuracy_at(&model, 500, QuantScheme::Ternary).unwrap();
+        assert!(acc > 0.6, "acc = {acc}");
+    }
+}

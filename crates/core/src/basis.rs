@@ -1,0 +1,351 @@
+//! Generation of base (location) and level hypervectors.
+//!
+//! Eq. (2) of the paper requires `D_iv` fixed random bipolar *base*
+//! hypervectors — one per input feature — to retain the spatial/temporal
+//! location of features, and, for the record encoding of Eq. (2b), a chain
+//! of *level* hypervectors `L_0 … L_{ℓ−1}` where `L_0` and `L_{ℓ−1}` are
+//! orthogonal and each `L_{k+1}` flips `D/(2ℓ)` randomly chosen bits of
+//! `L_k`, so that nearby feature values map to similar hypervectors.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::HdError;
+use crate::hypervector::BipolarHv;
+
+/// Deterministic factory for the random hypervectors of an encoder.
+///
+/// All randomness flows from a single `u64` master seed so an encoder (and
+/// therefore a whole experiment) can be reproduced exactly — also the basis
+/// of the *rematerialization* trick used in hardware, where base vectors
+/// are regenerated on the fly rather than stored.
+#[derive(Debug, Clone)]
+pub struct BasisGenerator {
+    seed: u64,
+}
+
+impl BasisGenerator {
+    /// Creates a generator rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the item memory: `count` base hypervectors of dimension
+    /// `dim`, one per input feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] when `dim == 0` and
+    /// [`HdError::InvalidConfig`] when `count == 0`.
+    pub fn item_memory(&self, count: usize, dim: usize) -> Result<ItemMemory, HdError> {
+        if dim == 0 {
+            return Err(HdError::EmptyDimension);
+        }
+        if count == 0 {
+            return Err(HdError::InvalidConfig(
+                "item memory needs at least one base hypervector".to_owned(),
+            ));
+        }
+        // Each base vector gets its own deterministic stream, derived from
+        // the master seed with a SplitMix64-style mix so neighbouring
+        // features are decorrelated.
+        let bases = (0..count)
+            .map(|k| BipolarHv::random(dim, mix(self.seed, k as u64)))
+            .collect();
+        Ok(ItemMemory { bases, dim })
+    }
+
+    /// Generates the level memory: `levels` hypervectors of dimension `dim`
+    /// forming the flip chain described in §II-A.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] when `dim == 0` and
+    /// [`HdError::InvalidConfig`] when `levels < 2`.
+    pub fn level_memory(&self, levels: usize, dim: usize) -> Result<LevelMemory, HdError> {
+        if dim == 0 {
+            return Err(HdError::EmptyDimension);
+        }
+        if levels < 2 {
+            return Err(HdError::InvalidConfig(
+                "level memory needs at least two levels".to_owned(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0xC0FF_EE00));
+        let first = BipolarHv::random_with(dim, &mut rng);
+        // Flipping D/(2ℓ) bits per step makes L_0 and L_{ℓ−1} differ in
+        // about D/2 positions, i.e. orthogonal.
+        let flips_per_step = (dim / (2 * levels)).max(1);
+        let mut indices: Vec<usize> = (0..dim).collect();
+        indices.shuffle(&mut rng);
+        let mut vectors = Vec::with_capacity(levels);
+        vectors.push(first);
+        for step in 1..levels {
+            let mut next = vectors[step - 1].clone();
+            for &j in indices
+                .iter()
+                .cycle()
+                .skip((step - 1) * flips_per_step)
+                .take(flips_per_step)
+            {
+                next.flip(j);
+            }
+            vectors.push(next);
+        }
+        Ok(LevelMemory {
+            vectors,
+            dim,
+            flips_per_step,
+        })
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates per-feature seeds derived from the
+/// master seed.
+fn mix(seed: u64, k: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fixed base/location hypervectors `B_0 … B_{D_iv−1}` of Eq. (2).
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::BasisGenerator;
+///
+/// # fn main() -> Result<(), privehd_core::HdError> {
+/// let im = BasisGenerator::new(7).item_memory(617, 10_000)?;
+/// assert_eq!(im.len(), 617);
+/// // Distinct base hypervectors are quasi-orthogonal.
+/// let sim = im.base(0).cosine(im.base(1))?;
+/// assert!(sim.abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    bases: Vec<BipolarHv>,
+    dim: usize,
+}
+
+impl ItemMemory {
+    /// The base hypervector `B_k` for feature `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn base(&self, k: usize) -> &BipolarHv {
+        &self.bases[k]
+    }
+
+    /// Number of base hypervectors (`D_iv`, the feature count).
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the item memory is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The hypervector dimensionality `D_hv`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Iterates over the base hypervectors in feature order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BipolarHv> {
+        self.bases.iter()
+    }
+
+    /// Mean absolute pairwise cosine similarity over `samples` random pairs
+    /// — a cheap orthogonality diagnostic (§II-A requires `δ(B_i, B_j) ≈ 0`).
+    pub fn orthogonality(&self, samples: usize, seed: u64) -> f64 {
+        use rand::Rng;
+        if self.bases.len() < 2 || samples == 0 {
+            return 0.0;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = 0.0;
+        for _ in 0..samples {
+            let i = rng.gen_range(0..self.bases.len());
+            let mut j = rng.gen_range(0..self.bases.len());
+            while j == i {
+                j = rng.gen_range(0..self.bases.len());
+            }
+            acc += self.bases[i]
+                .cosine(&self.bases[j])
+                .expect("same dimension by construction")
+                .abs();
+        }
+        acc / samples as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a ItemMemory {
+    type Item = &'a BipolarHv;
+    type IntoIter = std::slice::Iter<'a, BipolarHv>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bases.iter()
+    }
+}
+
+/// The level hypervectors `L_0 … L_{ℓ−1}` of the record encoding (Eq. 2b).
+///
+/// Adjacent levels are similar, distant levels orthogonal — preserving
+/// closeness of the original feature values.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::BasisGenerator;
+///
+/// # fn main() -> Result<(), privehd_core::HdError> {
+/// let lm = BasisGenerator::new(7).level_memory(100, 10_000)?;
+/// let near = lm.level(0).cosine(lm.level(1))?;
+/// let far = lm.level(0).cosine(lm.level(99))?;
+/// assert!(near > 0.9);
+/// assert!(far.abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevelMemory {
+    vectors: Vec<BipolarHv>,
+    dim: usize,
+    flips_per_step: usize,
+}
+
+impl LevelMemory {
+    /// The level hypervector `L_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.levels()`.
+    pub fn level(&self, k: usize) -> &BipolarHv {
+        &self.vectors[k]
+    }
+
+    /// Number of quantization levels `ℓ_iv`.
+    pub fn levels(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The hypervector dimensionality `D_hv`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// How many bits each level flips relative to the previous one
+    /// (`D/(2ℓ)`, clamped to at least 1).
+    pub fn flips_per_step(&self) -> usize {
+        self.flips_per_step
+    }
+
+    /// Maps a normalized feature value in `[0, 1]` to its level index.
+    ///
+    /// Values outside the range are clamped, mirroring the feature
+    /// quantization of Eq. (1).
+    pub fn level_index(&self, value: f64) -> usize {
+        let clamped = value.clamp(0.0, 1.0);
+        let idx = (clamped * self.levels() as f64).floor() as usize;
+        idx.min(self.levels() - 1)
+    }
+
+    /// The level hypervector for a normalized feature value in `[0, 1]`.
+    pub fn level_for(&self, value: f64) -> &BipolarHv {
+        self.level(self.level_index(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_memory_validates_arguments() {
+        let g = BasisGenerator::new(0);
+        assert!(matches!(g.item_memory(0, 128), Err(HdError::InvalidConfig(_))));
+        assert!(matches!(g.item_memory(4, 0), Err(HdError::EmptyDimension)));
+    }
+
+    #[test]
+    fn item_memory_is_reproducible() {
+        let a = BasisGenerator::new(5).item_memory(10, 256).unwrap();
+        let b = BasisGenerator::new(5).item_memory(10, 256).unwrap();
+        for k in 0..10 {
+            assert_eq!(a.base(k), b.base(k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_bases() {
+        let a = BasisGenerator::new(5).item_memory(1, 256).unwrap();
+        let b = BasisGenerator::new(6).item_memory(1, 256).unwrap();
+        assert_ne!(a.base(0), b.base(0));
+    }
+
+    #[test]
+    fn bases_are_quasi_orthogonal() {
+        let im = BasisGenerator::new(1).item_memory(50, 10_000).unwrap();
+        assert!(im.orthogonality(100, 9) < 0.03);
+    }
+
+    #[test]
+    fn level_memory_needs_two_levels() {
+        let g = BasisGenerator::new(0);
+        assert!(matches!(g.level_memory(1, 128), Err(HdError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn level_chain_similarity_decays_monotonically_on_average() {
+        let lm = BasisGenerator::new(3).level_memory(20, 8_192).unwrap();
+        let sims: Vec<f64> = (0..20)
+            .map(|k| lm.level(0).cosine(lm.level(k)).unwrap())
+            .collect();
+        assert!(sims[0] > 0.999);
+        assert!(sims[19].abs() < 0.1, "ends orthogonal: {}", sims[19]);
+        // Loosely monotone: each step decreases similarity.
+        for w in sims.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "monotone decay violated: {sims:?}");
+        }
+    }
+
+    #[test]
+    fn level_index_clamps_and_buckets() {
+        let lm = BasisGenerator::new(3).level_memory(10, 512).unwrap();
+        assert_eq!(lm.level_index(-0.5), 0);
+        assert_eq!(lm.level_index(0.0), 0);
+        assert_eq!(lm.level_index(0.95), 9);
+        assert_eq!(lm.level_index(1.0), 9);
+        assert_eq!(lm.level_index(2.0), 9);
+        assert_eq!(lm.level_index(0.45), 4);
+    }
+
+    #[test]
+    fn adjacent_levels_differ_by_flips_per_step() {
+        let lm = BasisGenerator::new(11).level_memory(8, 4_096).unwrap();
+        for k in 1..8 {
+            let h = lm.level(k - 1).hamming(lm.level(k)).unwrap();
+            assert_eq!(h, lm.flips_per_step(), "level {k}");
+        }
+    }
+
+    #[test]
+    fn iterating_item_memory_yields_all_bases() {
+        let im = BasisGenerator::new(2).item_memory(7, 64).unwrap();
+        assert_eq!(im.iter().count(), 7);
+        assert_eq!((&im).into_iter().count(), 7);
+    }
+}

@@ -1,0 +1,311 @@
+//! The reconstruction attack of §III-A (Eq. 9–10) and its quality metrics.
+//!
+//! HD encoding is almost linear and the base hypervectors are
+//! quasi-orthogonal, so an adversary holding the item memory can invert
+//! Eq. (2a): multiplying the encoding by base `B_m` and summing dimensions
+//! gives `Σ_j H_j·B_{m,j} = D_hv·v_m + cross-terms ≈ D_hv·v_m`, i.e.
+//!
+//! ```text
+//! v_m ≈ (H · B_m) / D_hv                          (Eq. 10)
+//! ```
+//!
+//! [`Decoder`] implements exactly this, and [`mse`] / [`psnr`] quantify
+//! reconstruction quality (Fig. 2, Fig. 6, Fig. 9b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::basis::ItemMemory;
+use crate::error::HdError;
+use crate::hypervector::Hypervector;
+
+/// The adversary's decoder: inverts an encoded hypervector back to the
+/// feature vector, given the item memory (base hypervectors).
+///
+/// This is intentionally a *separate* object from the encoder: the threat
+/// model of §III-A is an adversary who has obtained (or regenerated) the
+/// public base hypervectors and inspects offloaded queries or model
+/// differences.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{Decoder, Encoder, EncoderConfig, ScalarEncoder, mse};
+///
+/// # fn main() -> Result<(), privehd_core::HdError> {
+/// let enc = ScalarEncoder::new(EncoderConfig::new(16, 10_000).with_seed(1))?;
+/// let input: Vec<f64> = (0..16).map(|i| i as f64 / 15.0).collect();
+/// let h = enc.encode(&input)?;
+/// let decoder = Decoder::new(enc.item_memory().clone());
+/// let rec = decoder.decode(&h)?;
+/// // Quasi-orthogonality makes the reconstruction nearly exact.
+/// assert!(mse(&input, rec.features())? < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    item_memory: ItemMemory,
+}
+
+/// A reconstructed feature vector plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reconstruction {
+    features: Vec<f64>,
+    /// Dimensionality of the hypervector the reconstruction came from.
+    pub encoded_dim: usize,
+}
+
+impl Reconstruction {
+    /// The reconstructed (estimated) feature values.
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// The reconstructed features clamped to `[0, 1]`, the normalized
+    /// feature range — what an attacker would render as an image.
+    pub fn features_clamped(&self) -> Vec<f64> {
+        self.features.iter().map(|v| v.clamp(0.0, 1.0)).collect()
+    }
+
+    /// Consumes the reconstruction, returning the raw feature estimates.
+    pub fn into_features(self) -> Vec<f64> {
+        self.features
+    }
+}
+
+impl Decoder {
+    /// Builds a decoder from the (public/leaked) item memory.
+    pub fn new(item_memory: ItemMemory) -> Self {
+        Self { item_memory }
+    }
+
+    /// The item memory the decoder uses.
+    pub fn item_memory(&self) -> &ItemMemory {
+        &self.item_memory
+    }
+
+    /// Reconstructs every feature via Eq. (10):
+    /// `v_m = (H · B_m) / D_hv`.
+    ///
+    /// Works on raw, quantized and/or masked encodings alike — the whole
+    /// point of Fig. 6 / Fig. 9(b) is measuring how much those transforms
+    /// degrade this attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if the encoding dimension
+    /// differs from the item memory's.
+    pub fn decode(&self, encoded: &Hypervector) -> Result<Reconstruction, HdError> {
+        if encoded.dim() != self.item_memory.dim() {
+            return Err(HdError::DimensionMismatch {
+                expected: self.item_memory.dim(),
+                actual: encoded.dim(),
+            });
+        }
+        let d = encoded.dim() as f64;
+        let features = self
+            .item_memory
+            .iter()
+            .map(|base| base.dot_dense(encoded).map(|dot| dot / d))
+            .collect::<Result<Vec<f64>, HdError>>()?;
+        Ok(Reconstruction {
+            features,
+            encoded_dim: encoded.dim(),
+        })
+    }
+
+    /// Decodes a *quantized* encoding, rescaling by the quantization gain.
+    ///
+    /// A bipolar-quantized encoding `sign(H)` correlates with `H` but has
+    /// unit magnitude; dividing by `D_hv` (Eq. 10) then under-estimates
+    /// feature scale by roughly `E|H_j|`. This variant rescales by the
+    /// ratio of norms so PSNR comparisons against the original features
+    /// are fair — this is the adversary doing their best.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] on a dimension mismatch.
+    pub fn decode_rescaled(
+        &self,
+        obfuscated: &Hypervector,
+        reference_norm: f64,
+    ) -> Result<Reconstruction, HdError> {
+        let mut rec = self.decode(obfuscated)?;
+        let own = obfuscated.l2_norm();
+        if own > 0.0 && reference_norm > 0.0 {
+            let gain = reference_norm / own;
+            for f in &mut rec.features {
+                *f *= gain;
+            }
+        }
+        Ok(rec)
+    }
+}
+
+/// Mean squared error between two equal-length feature vectors.
+///
+/// # Errors
+///
+/// Returns [`HdError::DimensionMismatch`] on a length mismatch and
+/// [`HdError::EmptyInput`] for empty slices.
+pub fn mse(original: &[f64], reconstructed: &[f64]) -> Result<f64, HdError> {
+    if original.is_empty() {
+        return Err(HdError::EmptyInput("mse operands"));
+    }
+    if original.len() != reconstructed.len() {
+        return Err(HdError::DimensionMismatch {
+            expected: original.len(),
+            actual: reconstructed.len(),
+        });
+    }
+    Ok(original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
+        / original.len() as f64)
+}
+
+/// Peak signal-to-noise ratio in dB:
+/// `PSNR = 10·log10(MAX² / MSE)` with `MAX = 1.0` (normalized features).
+///
+/// Returns `f64::INFINITY` for a perfect reconstruction.
+///
+/// # Errors
+///
+/// Propagates the errors of [`mse`].
+pub fn psnr(original: &[f64], reconstructed: &[f64]) -> Result<f64, HdError> {
+    let e = mse(original, reconstructed)?;
+    if e == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (1.0 / e).log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig, ScalarEncoder};
+    use crate::obfuscate::{ObfuscateConfig, Obfuscator};
+    use crate::quantize::QuantScheme;
+
+    fn setup(features: usize, dim: usize) -> (ScalarEncoder, Decoder, Vec<f64>) {
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(features, dim).with_seed(13).with_levels(256),
+        )
+        .unwrap();
+        let dec = Decoder::new(enc.item_memory().clone());
+        let input: Vec<f64> = (0..features)
+            .map(|i| ((i * 31 + 7) % 100) as f64 / 99.0)
+            .collect();
+        (enc, dec, input)
+    }
+
+    #[test]
+    fn decode_recovers_features_accurately() {
+        let (enc, dec, input) = setup(32, 10_000);
+        let h = enc.encode(&input).unwrap();
+        let rec = dec.decode(&h).unwrap();
+        let err = mse(&input, rec.features()).unwrap();
+        assert!(err < 5e-3, "mse = {err}");
+    }
+
+    #[test]
+    fn decode_error_shrinks_with_dimension() {
+        // Cross-terms scale like sqrt(D_iv/D_hv): more dimensions, better
+        // attack. This is the quantitative heart of Eq. (10).
+        let (enc_s, dec_s, input) = setup(32, 1_000);
+        let (enc_l, dec_l, _) = setup(32, 20_000);
+        let small = dec_s
+            .decode(&enc_s.encode(&input).unwrap())
+            .unwrap();
+        let large = dec_l
+            .decode(&enc_l.encode(&input).unwrap())
+            .unwrap();
+        let mse_small = mse(&input, small.features()).unwrap();
+        let mse_large = mse(&input, large.features()).unwrap();
+        assert!(
+            mse_large < mse_small,
+            "mse {mse_large} at 20k should beat {mse_small} at 1k"
+        );
+    }
+
+    #[test]
+    fn quantization_and_masking_degrade_reconstruction() {
+        // The Fig. 6 effect, in miniature.
+        let (enc, dec, input) = setup(64, 8_192);
+        let h = enc.encode(&input).unwrap();
+        let clean = dec.decode(&h).unwrap();
+        let psnr_clean = psnr(&input, &clean.features_clamped()).unwrap();
+
+        let ob = Obfuscator::new(
+            8_192,
+            ObfuscateConfig::new(QuantScheme::Bipolar)
+                .with_masked_dims(4_096)
+                .with_seed(5),
+        )
+        .unwrap();
+        let sent = ob.obfuscate(&h).unwrap();
+        let attacked = dec.decode_rescaled(&sent, h.l2_norm()).unwrap();
+        let psnr_attacked = psnr(&input, &attacked.features_clamped()).unwrap();
+
+        assert!(
+            psnr_clean - psnr_attacked > 3.0,
+            "clean {psnr_clean} dB vs attacked {psnr_attacked} dB"
+        );
+    }
+
+    #[test]
+    fn mse_validates_inputs() {
+        assert!(mse(&[], &[]).is_err());
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[1.0, 1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn psnr_of_perfect_reconstruction_is_infinite() {
+        assert_eq!(psnr(&[0.5; 4], &[0.5; 4]).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 0.01 → PSNR = 20 dB.
+        let orig = vec![0.5; 100];
+        let rec: Vec<f64> = orig.iter().map(|v| v + 0.1).collect();
+        let p = psnr(&orig, &rec).unwrap();
+        assert!((p - 20.0).abs() < 1e-9, "psnr = {p}");
+    }
+
+    #[test]
+    fn decode_checks_dimensions() {
+        let (_, dec, _) = setup(8, 1_024);
+        let wrong = Hypervector::zeros(512).unwrap();
+        assert!(dec.decode(&wrong).is_err());
+    }
+
+    #[test]
+    fn clamped_features_stay_in_unit_range() {
+        let (enc, dec, input) = setup(16, 2_048);
+        let h = enc.encode(&input).unwrap();
+        let rec = dec.decode(&h).unwrap();
+        for v in rec.features_clamped() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rescaled_decode_improves_quantized_attack() {
+        let (enc, dec, input) = setup(32, 8_192);
+        let h = enc.encode(&input).unwrap();
+        let q = QuantScheme::Bipolar.quantize(&h, QuantScheme::empirical_sigma(&h));
+        let raw = dec.decode(&q).unwrap();
+        let rescaled = dec.decode_rescaled(&q, h.l2_norm()).unwrap();
+        let mse_raw = mse(&input, raw.features()).unwrap();
+        let mse_rescaled = mse(&input, rescaled.features()).unwrap();
+        assert!(
+            mse_rescaled < mse_raw,
+            "rescaling must help the adversary: {mse_rescaled} vs {mse_raw}"
+        );
+    }
+}

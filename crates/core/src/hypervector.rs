@@ -1,0 +1,679 @@
+//! Dense real hypervectors and bit-packed bipolar hypervectors.
+//!
+//! HD computing manipulates two kinds of vectors:
+//!
+//! * [`BipolarHv`] — the random base/location/level hypervectors
+//!   `B ∈ {−1,+1}^D` of Eq. (2). They are stored bit-packed (one bit per
+//!   dimension, `1 ↔ +1`) so that binding (element-wise product, which for
+//!   bipolar values is XNOR) and dot products (popcount) run at
+//!   64 dimensions per word.
+//! * [`Hypervector`] — dense `f64` vectors: encoded queries, class
+//!   hypervectors, and anything that accumulates or carries noise.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, Mul, Neg, Sub, SubAssign};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::HdError;
+
+const WORD_BITS: usize = 64;
+
+/// A dense real-valued hypervector of fixed dimensionality.
+///
+/// This is the working type for encoded hypervectors `H` (Eq. 2), class
+/// hypervectors `C_l` (Eq. 3) and noisy private models (Eq. 8).
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::Hypervector;
+///
+/// let a = Hypervector::from_vec(vec![1.0, -1.0, 1.0, 1.0]);
+/// let b = Hypervector::from_vec(vec![1.0, 1.0, -1.0, 1.0]);
+/// let sum = a.clone() + b.clone();
+/// assert_eq!(sum.as_slice(), &[2.0, 0.0, 0.0, 2.0]);
+/// assert!(a.cosine(&b).unwrap() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypervector {
+    values: Vec<f64>,
+}
+
+impl Hypervector {
+    /// Creates an all-zero hypervector of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] if `dim == 0`.
+    pub fn zeros(dim: usize) -> Result<Self, HdError> {
+        if dim == 0 {
+            return Err(HdError::EmptyDimension);
+        }
+        Ok(Self {
+            values: vec![0.0; dim],
+        })
+    }
+
+    /// Wraps an existing vector of components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty; use [`Hypervector::zeros`] plus
+    /// assignment when the dimension is dynamic.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "hypervector must have at least one dimension");
+        Self { values }
+    }
+
+    /// The dimensionality `D` of the hypervector.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// A read-only view of the components.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// A mutable view of the components.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the hypervector and returns the underlying component vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Dot product `⟨self, other⟩ = Σ_k h_k · g_k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn dot(&self, other: &Self) -> Result<f64, HdError> {
+        self.check_dim(other.dim())?;
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Euclidean (ℓ2) norm `‖H‖₂`.
+    pub fn l2_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// ℓ1 norm `‖H‖₁ = Σ |h_k|` — the sensitivity measure of Eq. (7)/(11).
+    pub fn l1_norm(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Cosine similarity `δ(self, other)` of Eq. (4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ and
+    /// [`HdError::ZeroNorm`] if either vector has zero norm.
+    pub fn cosine(&self, other: &Self) -> Result<f64, HdError> {
+        let dot = self.dot(other)?;
+        let denom = self.l2_norm() * other.l2_norm();
+        if denom == 0.0 {
+            return Err(HdError::ZeroNorm);
+        }
+        Ok(dot / denom)
+    }
+
+    /// Adds `other` scaled by `weight` into `self` (fused bundle step).
+    ///
+    /// This is the inner loop of training (Eq. 3) and retraining (Eq. 5),
+    /// where `weight` is `+1` or `−1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn add_scaled(&mut self, other: &Self, weight: f64) -> Result<(), HdError> {
+        self.check_dim(other.dim())?;
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += weight * b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise (Hadamard) product, the real-valued binding operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn hadamard(&self, other: &Self) -> Result<Self, HdError> {
+        self.check_dim(other.dim())?;
+        Ok(Self {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a * b)
+                .collect(),
+        })
+    }
+
+    /// Returns the number of exactly-zero components (used by masking and
+    /// pruning diagnostics).
+    pub fn count_zeros(&self) -> usize {
+        self.values.iter().filter(|v| **v == 0.0).count()
+    }
+
+    /// Mean of the components.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population variance of the components.
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / self.values.len() as f64
+    }
+
+    fn check_dim(&self, other: usize) -> Result<(), HdError> {
+        if self.dim() != other {
+            Err(HdError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Index<usize> for Hypervector {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.values[index]
+    }
+}
+
+impl Add for Hypervector {
+    type Output = Hypervector;
+
+    /// Bundling: element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ; use [`Hypervector::add_scaled`] for
+    /// a fallible variant.
+    fn add(mut self, rhs: Hypervector) -> Hypervector {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Hypervector {
+    fn add_assign(&mut self, rhs: Hypervector) {
+        assert_eq!(self.dim(), rhs.dim(), "bundle of mismatched dimensions");
+        for (a, b) in self.values.iter_mut().zip(rhs.values) {
+            *a += b;
+        }
+    }
+}
+
+impl Sub for Hypervector {
+    type Output = Hypervector;
+
+    /// Element-wise subtraction (used by retraining, Eq. 5, and by the
+    /// model-subtraction attack of §III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    fn sub(mut self, rhs: Hypervector) -> Hypervector {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for Hypervector {
+    fn sub_assign(&mut self, rhs: Hypervector) {
+        assert_eq!(self.dim(), rhs.dim(), "subtraction of mismatched dimensions");
+        for (a, b) in self.values.iter_mut().zip(rhs.values) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for Hypervector {
+    type Output = Hypervector;
+
+    fn mul(mut self, rhs: f64) -> Hypervector {
+        for v in &mut self.values {
+            *v *= rhs;
+        }
+        self
+    }
+}
+
+impl Neg for Hypervector {
+    type Output = Hypervector;
+
+    fn neg(self) -> Hypervector {
+        self * -1.0
+    }
+}
+
+impl fmt::Display for Hypervector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<String> = self
+            .values
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.2}"))
+            .collect();
+        write!(
+            f,
+            "Hv[dim={}: {}{}]",
+            self.dim(),
+            preview.join(", "),
+            if self.dim() > 8 { ", …" } else { "" }
+        )
+    }
+}
+
+/// A bit-packed bipolar hypervector `B ∈ {−1,+1}^D`.
+///
+/// Bit value `1` represents `+1`, bit value `0` represents `−1`. Binding of
+/// two bipolar hypervectors (element-wise product) is XNOR on the packed
+/// words, and the dot product is `D − 2·hamming`, both of which run at 64
+/// dimensions per machine word.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::BipolarHv;
+///
+/// let a = BipolarHv::random(1024, 1);
+/// let b = BipolarHv::random(1024, 2);
+/// // Binding is self-inverse: (a ⊛ b) ⊛ b == a.
+/// assert_eq!(a.bind(&b).unwrap().bind(&b).unwrap(), a);
+/// // Independently drawn hypervectors are quasi-orthogonal.
+/// assert!(a.cosine(&b).unwrap().abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipolarHv {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl BipolarHv {
+    /// Draws a uniformly random bipolar hypervector from a seed.
+    ///
+    /// Two calls with the same `(dim, seed)` return the same hypervector,
+    /// which is how base hypervectors are *rematerialized* instead of
+    /// stored in the FPGA implementation (§III-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn random(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::random_with(dim, &mut rng)
+    }
+
+    /// Draws a uniformly random bipolar hypervector from an existing RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn random_with<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        let n_words = dim.div_ceil(WORD_BITS);
+        let mut words: Vec<u64> = (0..n_words).map(|_| rng.gen()).collect();
+        Self::mask_tail(dim, &mut words);
+        Self { dim, words }
+    }
+
+    /// Builds a bipolar hypervector from explicit `±1` signs.
+    ///
+    /// Any strictly positive value maps to `+1`; zero or negative values
+    /// map to `−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signs` is empty.
+    pub fn from_signs(signs: &[f64]) -> Self {
+        assert!(!signs.is_empty(), "hypervector must have at least one dimension");
+        let dim = signs.len();
+        let mut words = vec![0u64; dim.div_ceil(WORD_BITS)];
+        for (i, &s) in signs.iter().enumerate() {
+            if s > 0.0 {
+                words[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+            }
+        }
+        Self { dim, words }
+    }
+
+    /// The dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed 64-bit words (`1 ↔ +1`). The unused tail bits of the last
+    /// word are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The sign of dimension `j` as `+1.0` or `−1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.dim()`.
+    pub fn sign(&self, j: usize) -> f64 {
+        assert!(j < self.dim, "dimension index out of range");
+        if self.words[j / WORD_BITS] >> (j % WORD_BITS) & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Flips (negates) dimension `j` in place.
+    ///
+    /// This is the primitive used to build level hypervector chains, where
+    /// each level flips `D/(2·ℓ)` random positions of the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.dim()`.
+    pub fn flip(&mut self, j: usize) {
+        assert!(j < self.dim, "dimension index out of range");
+        self.words[j / WORD_BITS] ^= 1 << (j % WORD_BITS);
+    }
+
+    /// Binding: the element-wise product of two bipolar hypervectors,
+    /// computed as XNOR of the packed words.
+    ///
+    /// Binding is commutative, associative and self-inverse
+    /// (`a.bind(b).bind(b) == a`), the algebraic property that makes the
+    /// decoding attack of Eq. (9) possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn bind(&self, other: &Self) -> Result<Self, HdError> {
+        if self.dim != other.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        let mut words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| !(a ^ b))
+            .collect();
+        Self::mask_tail(self.dim, &mut words);
+        Ok(Self {
+            dim: self.dim,
+            words,
+        })
+    }
+
+    /// Hamming distance: the number of dimensions where the signs differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn hamming(&self, other: &Self) -> Result<usize, HdError> {
+        if self.dim != other.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: other.dim,
+            });
+        }
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Dot product of two bipolar hypervectors: `D − 2·hamming`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn dot(&self, other: &Self) -> Result<i64, HdError> {
+        let h = self.hamming(other)? as i64;
+        Ok(self.dim as i64 - 2 * h)
+    }
+
+    /// Cosine similarity of two bipolar hypervectors (`dot / D`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn cosine(&self, other: &Self) -> Result<f64, HdError> {
+        Ok(self.dot(other)? as f64 / self.dim as f64)
+    }
+
+    /// Dot product against a dense real hypervector:
+    /// `Σ_j sign_j · h_j` — the inner loop of both decoding (Eq. 9) and
+    /// similarity checking of quantized queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
+    pub fn dot_dense(&self, dense: &Hypervector) -> Result<f64, HdError> {
+        if self.dim != dense.dim() {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: dense.dim(),
+            });
+        }
+        let values = dense.as_slice();
+        let mut acc = 0.0;
+        for (w, chunk) in self.words.iter().zip(values.chunks(WORD_BITS)) {
+            let mut word = *w;
+            // Positive dimensions add, negative subtract: acc += Σ ±v.
+            // Iterate set bits for the adds and compute the total once.
+            let total: f64 = chunk.iter().sum();
+            let mut pos = 0.0;
+            while word != 0 {
+                let j = word.trailing_zeros() as usize;
+                if j >= chunk.len() {
+                    break;
+                }
+                pos += chunk[j];
+                word &= word - 1;
+            }
+            acc += 2.0 * pos - total;
+        }
+        Ok(acc)
+    }
+
+    /// Expands into a dense `±1.0` hypervector.
+    pub fn to_dense(&self) -> Hypervector {
+        let values = (0..self.dim).map(|j| self.sign(j)).collect();
+        Hypervector::from_vec(values)
+    }
+
+    /// Number of `+1` dimensions.
+    pub fn count_positive(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn mask_tail(dim: usize, words: &mut [u64]) {
+        let tail = dim % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for BipolarHv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: String = (0..self.dim.min(16))
+            .map(|j| if self.sign(j) > 0.0 { '+' } else { '-' })
+            .collect();
+        write!(
+            f,
+            "BipolarHv[dim={}: {}{}]",
+            self.dim,
+            preview,
+            if self.dim > 16 { "…" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_rejects_zero_dim() {
+        assert_eq!(Hypervector::zeros(0), Err(HdError::EmptyDimension));
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Hypervector::from_vec(vec![3.0, -4.0]);
+        assert_eq!(a.l2_norm(), 5.0);
+        assert_eq!(a.l1_norm(), 7.0);
+        let b = Hypervector::from_vec(vec![1.0, 1.0]);
+        assert_eq!(a.dot(&b).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn cosine_of_self_is_one() {
+        let a = Hypervector::from_vec(vec![0.5, 2.0, -1.0, 7.5]);
+        assert!((a.cosine(&a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_norm_errors() {
+        let z = Hypervector::zeros(4).unwrap();
+        let a = Hypervector::from_vec(vec![1.0; 4]);
+        assert_eq!(a.cosine(&z), Err(HdError::ZeroNorm));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Hypervector::zeros(4).unwrap();
+        let b = Hypervector::zeros(8).unwrap();
+        assert_eq!(
+            a.dot(&b),
+            Err(HdError::DimensionMismatch {
+                expected: 4,
+                actual: 8
+            })
+        );
+    }
+
+    #[test]
+    fn add_scaled_matches_operator_add() {
+        let mut a = Hypervector::from_vec(vec![1.0, 2.0]);
+        let b = Hypervector::from_vec(vec![10.0, 20.0]);
+        a.add_scaled(&b, 1.0).unwrap();
+        assert_eq!(a.as_slice(), &[11.0, 22.0]);
+        a.add_scaled(&b, -1.0).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn random_bipolar_is_deterministic_per_seed() {
+        let a = BipolarHv::random(100, 42);
+        let b = BipolarHv::random(100, 42);
+        let c = BipolarHv::random(100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_bipolar_is_roughly_balanced() {
+        let a = BipolarHv::random(10_000, 7);
+        let pos = a.count_positive();
+        assert!((4_500..=5_500).contains(&pos), "pos = {pos}");
+    }
+
+    #[test]
+    fn bind_is_self_inverse() {
+        let a = BipolarHv::random(257, 1);
+        let b = BipolarHv::random(257, 2);
+        assert_eq!(a.bind(&b).unwrap().bind(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn bind_with_self_is_identity_vector() {
+        let a = BipolarHv::random(130, 3);
+        let id = a.bind(&a).unwrap();
+        assert_eq!(id.count_positive(), 130);
+    }
+
+    #[test]
+    fn random_hypervectors_are_quasi_orthogonal() {
+        let a = BipolarHv::random(10_000, 10);
+        let b = BipolarHv::random(10_000, 11);
+        assert!(a.cosine(&b).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn dot_dense_agrees_with_naive() {
+        let b = BipolarHv::random(300, 5);
+        let h = Hypervector::from_vec((0..300).map(|i| (i as f64).sin()).collect());
+        let naive: f64 = (0..300).map(|j| b.sign(j) * h[j]).sum();
+        let fast = b.dot_dense(&h).unwrap();
+        assert!((naive - fast).abs() < 1e-9, "naive={naive} fast={fast}");
+    }
+
+    #[test]
+    fn to_dense_round_trips_through_from_signs() {
+        let b = BipolarHv::random(77, 9);
+        let dense = b.to_dense();
+        assert_eq!(BipolarHv::from_signs(dense.as_slice()), b);
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_dimension() {
+        let mut b = BipolarHv::random(65, 4);
+        let before = b.clone();
+        b.flip(64);
+        assert_eq!(before.hamming(&b).unwrap(), 1);
+        b.flip(64);
+        assert_eq!(before, b);
+    }
+
+    #[test]
+    fn tail_bits_stay_masked() {
+        let a = BipolarHv::random(65, 123);
+        let b = BipolarHv::random(65, 321);
+        let bound = a.bind(&b).unwrap();
+        // XNOR would set the 63 unused tail bits without masking.
+        assert_eq!(bound.words().last().unwrap() >> 1, 0);
+        assert!(bound.count_positive() <= 65);
+    }
+
+    #[test]
+    fn hamming_of_self_is_zero() {
+        let a = BipolarHv::random(1000, 77);
+        assert_eq!(a.hamming(&a).unwrap(), 0);
+        assert_eq!(a.dot(&a).unwrap(), 1000);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        let h = Hypervector::from_vec(vec![1.0; 20]);
+        let b = BipolarHv::random(20, 0);
+        assert!(format!("{h}").contains("dim=20"));
+        assert!(format!("{b}").contains("dim=20"));
+    }
+}

@@ -1,0 +1,101 @@
+//! # privehd-core
+//!
+//! Hyperdimensional (HD) computing substrate and the Prive-HD algorithms
+//! from *"Prive-HD: Privacy-Preserved Hyperdimensional Computing"*
+//! (Khaleghi, Imani, Rosing — DAC 2020).
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`hypervector`] — dense real hypervectors ([`Hypervector`]) and
+//!   bit-packed bipolar hypervectors ([`BipolarHv`]) with the binding,
+//!   bundling and similarity operations of HD computing.
+//! * [`basis`] — seeded generation of the random base (location)
+//!   hypervectors of Eq. (2) and the flip-chain level hypervectors used by
+//!   the record encoding of Eq. (2b).
+//! * [`encoder`] — the two paper encodings: the scalar-weight encoding of
+//!   Eq. (2a) ([`ScalarEncoder`]) and the level-binding record encoding of
+//!   Eq. (2b) ([`LevelEncoder`]).
+//! * [`model`] — HD training (Eq. 3), retraining (Eq. 5) and inference
+//!   (Eq. 4) with cached class norms.
+//! * [`quantize`] — the Prive-HD encoding quantizations of Eq. (13):
+//!   bipolar, ternary, biased ternary and 2-bit, plus the empirical value
+//!   distribution used by the sensitivity formula of Eq. (14).
+//! * [`prune`] — model pruning of close-to-zero class dimensions (Fig. 3)
+//!   and the information-retrieval curves of Fig. 3.
+//! * [`obfuscate`] — inference-privacy transformations applied to a query
+//!   hypervector before offloading: quantization and dimension masking
+//!   (Fig. 6).
+//! * [`decode`] — the reconstruction attack of Eq. (9)–(10) together with
+//!   MSE and PSNR metrics (Fig. 2).
+//! * [`binary_model`] — the prior-work baseline () that quantizes
+//!   class hypervectors too, which Fig. 5(a) compares against.
+//! * [`online`] — similarity-weighted (OnlineHD-style) training, an
+//!   adaptive refinement of the Eq. (5) retraining rule.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use privehd_core::prelude::*;
+//!
+//! # fn main() -> Result<(), HdError> {
+//! // Three 4-feature inputs in two classes.
+//! let inputs = vec![
+//!     (vec![0.9, 0.8, 0.1, 0.0], 0usize),
+//!     (vec![0.8, 0.9, 0.0, 0.1], 0),
+//!     (vec![0.1, 0.0, 0.9, 0.8], 1),
+//! ];
+//! let encoder = ScalarEncoder::new(EncoderConfig::new(4, 256).with_seed(7))?;
+//! let mut model = HdModel::new(2, 256)?;
+//! for (x, y) in &inputs {
+//!     model.bundle(*y, &encoder.encode(x)?)?;
+//! }
+//! let query = encoder.encode(&[0.85, 0.85, 0.05, 0.05])?;
+//! assert_eq!(model.predict(&query)?.class, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod basis;
+pub mod binary_model;
+pub mod decode;
+pub mod encoder;
+pub mod error;
+pub mod hypervector;
+pub mod model;
+pub mod obfuscate;
+pub mod online;
+pub mod prune;
+pub mod quantize;
+
+pub use basis::{BasisGenerator, ItemMemory, LevelMemory};
+pub use binary_model::{BinaryHdModel, QuantizedClassModel};
+pub use decode::{mse, psnr, Decoder, Reconstruction};
+pub use encoder::{Encoder, EncoderConfig, LevelEncoder, ScalarEncoder};
+pub use error::HdError;
+pub use hypervector::{BipolarHv, Hypervector};
+pub use model::{HdModel, Prediction, RetrainConfig, RetrainReport};
+pub use obfuscate::{ObfuscateConfig, Obfuscator};
+pub use online::{online_step, train_online, OnlineConfig, OnlineReport};
+pub use prune::{information_curve, InformationPoint, PruneMask, PruneStrategy};
+pub use quantize::{QuantScheme, ValueHistogram};
+
+/// Commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use crate::basis::{BasisGenerator, ItemMemory, LevelMemory};
+    pub use crate::binary_model::{BinaryHdModel, QuantizedClassModel};
+    pub use crate::decode::{mse, psnr, Decoder, Reconstruction};
+    pub use crate::encoder::{Encoder, EncoderConfig, LevelEncoder, ScalarEncoder};
+    pub use crate::error::HdError;
+    pub use crate::hypervector::{BipolarHv, Hypervector};
+    pub use crate::model::{HdModel, Prediction, RetrainConfig, RetrainReport};
+    pub use crate::obfuscate::{ObfuscateConfig, Obfuscator};
+    pub use crate::online::{online_step, train_online, OnlineConfig, OnlineReport};
+    pub use crate::prune::{information_curve, PruneMask, PruneStrategy};
+    pub use crate::quantize::{QuantScheme, ValueHistogram};
+}
+
+/// The hypervector dimensionality the paper uses throughout (~10,000).
+pub const DEFAULT_DIMENSION: usize = 10_000;

@@ -1,0 +1,621 @@
+//! HD training (Eq. 3), retraining (Eq. 5) and inference (Eq. 4).
+//!
+//! A trained model is one hypervector per class: `C_l = Σ_j H_{l,j}`.
+//! Inference computes the cosine similarity of a query with every class;
+//! as noted under Eq. (4), the query's own norm is a shared factor across
+//! classes and is discarded, while the class norms are computed once and
+//! cached.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HdError;
+use crate::hypervector::Hypervector;
+use crate::prune::PruneMask;
+use crate::quantize::QuantScheme;
+
+/// A trained (or in-training) HD classification model.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{HdModel, Hypervector};
+///
+/// # fn main() -> Result<(), privehd_core::HdError> {
+/// let mut model = HdModel::new(2, 4)?;
+/// model.bundle(0, &Hypervector::from_vec(vec![1.0, 1.0, -1.0, -1.0]))?;
+/// model.bundle(1, &Hypervector::from_vec(vec![-1.0, -1.0, 1.0, 1.0]))?;
+/// let p = model.predict(&Hypervector::from_vec(vec![2.0, 1.0, -1.0, 0.0]))?;
+/// assert_eq!(p.class, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HdModel {
+    classes: Vec<Hypervector>,
+    dim: usize,
+    /// Cached ℓ2 norms of the class hypervectors; `None` after mutation.
+    #[serde(skip)]
+    norms: Option<Vec<f64>>,
+}
+
+/// The result of classifying one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The winning class label.
+    pub class: usize,
+    /// The winning (normalized) similarity score.
+    pub score: f64,
+    /// Per-class similarity scores, index = class label.
+    pub scores: Vec<f64>,
+}
+
+impl Prediction {
+    /// Margin between the best and second-best class scores — a confidence
+    /// proxy used by the information-loss analysis of Fig. 3(b).
+    pub fn margin(&self) -> f64 {
+        if self.scores.len() < 2 {
+            return self.score;
+        }
+        let mut sorted = self.scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+        sorted[0] - sorted[1]
+    }
+}
+
+/// Configuration of the retraining loop (Eq. 5 / Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrainConfig {
+    /// Maximum number of passes over the training set.
+    pub epochs: usize,
+    /// Stop early when an epoch ends with training accuracy at least this
+    /// value (1.0 disables early stopping on accuracy).
+    pub target_accuracy: f64,
+    /// Stop early when an epoch makes no model update.
+    pub stop_when_converged: bool,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> Self {
+        // Fig. 4: 1-2 iterations suffice; we default to a small cap.
+        Self {
+            epochs: 5,
+            target_accuracy: 1.0,
+            stop_when_converged: true,
+        }
+    }
+}
+
+/// Per-epoch record returned by [`HdModel::retrain`], enough to re-plot
+/// Fig. 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainReport {
+    /// Training accuracy measured at the end of each epoch.
+    pub epoch_accuracy: Vec<f64>,
+    /// Number of class updates (mispredictions) per epoch.
+    pub epoch_updates: Vec<usize>,
+}
+
+impl RetrainReport {
+    /// Accuracy after the final epoch (0.0 when no epoch ran).
+    pub fn final_accuracy(&self) -> f64 {
+        self.epoch_accuracy.last().copied().unwrap_or(0.0)
+    }
+
+    /// Number of epochs actually executed.
+    pub fn epochs_run(&self) -> usize {
+        self.epoch_accuracy.len()
+    }
+}
+
+impl HdModel {
+    /// Creates an untrained model with `num_classes` all-zero class
+    /// hypervectors of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] if `dim == 0` and
+    /// [`HdError::InvalidConfig`] if `num_classes == 0`.
+    pub fn new(num_classes: usize, dim: usize) -> Result<Self, HdError> {
+        if num_classes == 0 {
+            return Err(HdError::InvalidConfig(
+                "model needs at least one class".to_owned(),
+            ));
+        }
+        let classes = (0..num_classes)
+            .map(|_| Hypervector::zeros(dim))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            classes,
+            dim,
+            norms: None,
+        })
+    }
+
+    /// Builds a model directly from class hypervectors (e.g. after adding
+    /// privacy noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyInput`] for an empty vector and
+    /// [`HdError::DimensionMismatch`] if classes disagree on dimension.
+    pub fn from_classes(classes: Vec<Hypervector>) -> Result<Self, HdError> {
+        let first_dim = classes
+            .first()
+            .ok_or(HdError::EmptyInput("class hypervectors"))?
+            .dim();
+        for c in &classes {
+            if c.dim() != first_dim {
+                return Err(HdError::DimensionMismatch {
+                    expected: first_dim,
+                    actual: c.dim(),
+                });
+            }
+        }
+        Ok(Self {
+            classes,
+            dim: first_dim,
+            norms: None,
+        })
+    }
+
+    /// Number of classes `|C|`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Hypervector dimensionality `D_hv`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The class hypervector for `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::ClassOutOfRange`] for an invalid label.
+    pub fn class(&self, label: usize) -> Result<&Hypervector, HdError> {
+        self.classes
+            .get(label)
+            .ok_or(HdError::ClassOutOfRange {
+                class: label,
+                num_classes: self.classes.len(),
+            })
+    }
+
+    /// Iterates over the class hypervectors in label order.
+    pub fn classes(&self) -> std::slice::Iter<'_, Hypervector> {
+        self.classes.iter()
+    }
+
+    /// Training step of Eq. (3): adds an encoded hypervector into its
+    /// class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::ClassOutOfRange`] or
+    /// [`HdError::DimensionMismatch`].
+    pub fn bundle(&mut self, label: usize, encoded: &Hypervector) -> Result<(), HdError> {
+        let n = self.classes.len();
+        let class = self
+            .classes
+            .get_mut(label)
+            .ok_or(HdError::ClassOutOfRange {
+                class: label,
+                num_classes: n,
+            })?;
+        class.add_scaled(encoded, 1.0)?;
+        self.norms = None;
+        Ok(())
+    }
+
+    /// Trains a fresh model from encoded hypervectors (Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates label/dimension errors; returns
+    /// [`HdError::EmptyInput`] for an empty training set.
+    pub fn train(
+        num_classes: usize,
+        dim: usize,
+        samples: &[(Hypervector, usize)],
+    ) -> Result<Self, HdError> {
+        if samples.is_empty() {
+            return Err(HdError::EmptyInput("training set"));
+        }
+        let mut model = Self::new(num_classes, dim)?;
+        for (h, y) in samples {
+            model.bundle(*y, h)?;
+        }
+        Ok(model)
+    }
+
+    /// Classifies a query using the normalized dot product of Eq. (4).
+    ///
+    /// Only the class norms enter the normalization; the query norm is a
+    /// constant factor across classes and is skipped, exactly as the paper
+    /// notes under Eq. (4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] for a wrong query dimension
+    /// and [`HdError::ZeroNorm`] if every class hypervector is zero.
+    pub fn predict(&self, query: &Hypervector) -> Result<Prediction, HdError> {
+        if query.dim() != self.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        let norms = self.norms_cached();
+        if norms.iter().all(|n| *n == 0.0) {
+            return Err(HdError::ZeroNorm);
+        }
+        let mut scores = Vec::with_capacity(self.classes.len());
+        for (class, &norm) in self.classes.iter().zip(norms.iter()) {
+            let dot = query.dot(class)?;
+            scores.push(if norm == 0.0 { f64::MIN } else { dot / norm });
+        }
+        let (class, &score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .expect("at least one class");
+        Ok(Prediction {
+            class,
+            score,
+            scores,
+        })
+    }
+
+    /// Classification accuracy over a labelled set of encoded queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors; returns [`HdError::EmptyInput`] for an
+    /// empty test set.
+    pub fn accuracy(&self, samples: &[(Hypervector, usize)]) -> Result<f64, HdError> {
+        if samples.is_empty() {
+            return Err(HdError::EmptyInput("evaluation set"));
+        }
+        let mut correct = 0usize;
+        for (h, y) in samples {
+            if self.predict(h)?.class == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+
+    /// Retraining of Eq. (5): iterates over the training set, and for every
+    /// misprediction moves the query out of the wrong class and into the
+    /// right one. Returns the per-epoch accuracy trace of Fig. 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label/dimension errors; returns
+    /// [`HdError::EmptyInput`] for an empty training set.
+    pub fn retrain(
+        &mut self,
+        samples: &[(Hypervector, usize)],
+        config: &RetrainConfig,
+    ) -> Result<RetrainReport, HdError> {
+        if samples.is_empty() {
+            return Err(HdError::EmptyInput("retraining set"));
+        }
+        let mut report = RetrainReport {
+            epoch_accuracy: Vec::new(),
+            epoch_updates: Vec::new(),
+        };
+        for _ in 0..config.epochs {
+            let mut updates = 0usize;
+            for (h, y) in samples {
+                let pred = self.predict(h)?;
+                if pred.class != *y {
+                    // Eq. (5): C_l += H ; C_l' −= H.
+                    self.classes[*y].add_scaled(h, 1.0)?;
+                    self.classes[pred.class].add_scaled(h, -1.0)?;
+                    self.norms = None;
+                    updates += 1;
+                }
+            }
+            let acc = self.accuracy(samples)?;
+            report.epoch_accuracy.push(acc);
+            report.epoch_updates.push(updates);
+            if acc >= config.target_accuracy || (config.stop_when_converged && updates == 0) {
+                break;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Retraining restricted to a prune mask (§III-B1): mispredicted
+    /// queries are masked before the Eq. (5) update so pruned dimensions
+    /// stay *perpetually* zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label/dimension errors.
+    pub fn retrain_masked(
+        &mut self,
+        samples: &[(Hypervector, usize)],
+        mask: &PruneMask,
+        config: &RetrainConfig,
+    ) -> Result<RetrainReport, HdError> {
+        let masked: Vec<(Hypervector, usize)> = samples
+            .iter()
+            .map(|(h, y)| {
+                let mut m = h.clone();
+                mask.apply(&mut m)?;
+                Ok((m, *y))
+            })
+            .collect::<Result<_, HdError>>()?;
+        self.retrain(&masked, config)
+    }
+
+    /// Applies a prune mask to every class hypervector, zeroing the pruned
+    /// dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if the mask dimension
+    /// differs.
+    pub fn apply_mask(&mut self, mask: &PruneMask) -> Result<(), HdError> {
+        for c in &mut self.classes {
+            mask.apply(c)?;
+        }
+        self.norms = None;
+        Ok(())
+    }
+
+    /// Quantizes every class hypervector with `scheme` (used for the
+    /// model-compression comparison against prior work \[17\], *not* by
+    /// Prive-HD itself, which keeps classes full precision).
+    pub fn quantize_classes(&mut self, scheme: QuantScheme) {
+        for c in &mut self.classes {
+            let sigma = QuantScheme::empirical_sigma(c).max(f64::MIN_POSITIVE);
+            *c = scheme.quantize(c, sigma);
+        }
+        self.norms = None;
+    }
+
+    /// Adds `noise[l]` to class `l` — the Gaussian mechanism application
+    /// point of Eq. (8). The caller (in `privehd-privacy`) owns noise
+    /// generation and calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::InvalidConfig`] if `noise.len()` differs from
+    /// the class count, or a dimension error from the addition.
+    pub fn add_class_noise(&mut self, noise: &[Hypervector]) -> Result<(), HdError> {
+        if noise.len() != self.classes.len() {
+            return Err(HdError::InvalidConfig(format!(
+                "noise for {} classes supplied to a model with {}",
+                noise.len(),
+                self.classes.len()
+            )));
+        }
+        for (c, n) in self.classes.iter_mut().zip(noise) {
+            c.add_scaled(n, 1.0)?;
+        }
+        self.norms = None;
+        Ok(())
+    }
+
+    /// Subtracts model `other` class-wise — the adversary's
+    /// model-subtraction step from §III-A used to expose the encoding of a
+    /// missing training input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::InvalidConfig`] on class-count mismatch or a
+    /// dimension error.
+    pub fn difference(&self, other: &Self) -> Result<Vec<Hypervector>, HdError> {
+        if self.classes.len() != other.classes.len() {
+            return Err(HdError::InvalidConfig(
+                "models have different class counts".to_owned(),
+            ));
+        }
+        self.classes
+            .iter()
+            .zip(&other.classes)
+            .map(|(a, b)| {
+                let mut d = a.clone();
+                d.add_scaled(b, -1.0)?;
+                Ok(d)
+            })
+            .collect()
+    }
+
+    fn norms_cached(&self) -> Vec<f64> {
+        if let Some(n) = &self.norms {
+            return n.clone();
+        }
+        self.classes.iter().map(|c| c.l2_norm()).collect()
+    }
+
+    /// Recomputes and caches the class norms. Call after a batch of
+    /// mutations when many predictions follow; [`HdModel::predict`] works
+    /// correctly either way.
+    pub fn refresh_norms(&mut self) {
+        self.norms = Some(self.classes.iter().map(|c| c.l2_norm()).collect());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig, ScalarEncoder};
+
+    fn two_cluster_data(
+        enc: &ScalarEncoder,
+        n_per_class: usize,
+    ) -> Vec<(Hypervector, usize)> {
+        let mut out = Vec::new();
+        for i in 0..n_per_class {
+            let t = (i % 5) as f64 / 50.0;
+            let a = vec![0.1 + t, 0.2 + t, 0.1, 0.9 - t, 0.8, 0.9];
+            let b = vec![0.9 - t, 0.8, 0.9, 0.1 + t, 0.2, 0.1 + t];
+            out.push((enc.encode(&a).unwrap(), 0));
+            out.push((enc.encode(&b).unwrap(), 1));
+        }
+        out
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(HdModel::new(0, 8).is_err());
+        assert!(HdModel::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn from_classes_checks_dims() {
+        let a = Hypervector::zeros(4).unwrap();
+        let b = Hypervector::zeros(8).unwrap();
+        assert!(HdModel::from_classes(vec![a.clone(), b]).is_err());
+        assert!(HdModel::from_classes(vec![]).is_err());
+        assert!(HdModel::from_classes(vec![a]).is_ok());
+    }
+
+    #[test]
+    fn bundle_rejects_bad_label() {
+        let mut m = HdModel::new(2, 4).unwrap();
+        let h = Hypervector::zeros(4).unwrap();
+        assert_eq!(
+            m.bundle(2, &h),
+            Err(HdError::ClassOutOfRange {
+                class: 2,
+                num_classes: 2
+            })
+        );
+    }
+
+    #[test]
+    fn predict_on_untrained_model_errors() {
+        let m = HdModel::new(2, 4).unwrap();
+        let h = Hypervector::from_vec(vec![1.0; 4]);
+        assert_eq!(m.predict(&h), Err(HdError::ZeroNorm));
+    }
+
+    #[test]
+    fn train_and_classify_separable_clusters() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 2_048).with_seed(21)).unwrap();
+        let train = two_cluster_data(&enc, 10);
+        let model = HdModel::train(2, 2_048, &train).unwrap();
+        assert_eq!(model.accuracy(&train).unwrap(), 1.0);
+        let qa = enc.encode(&[0.15, 0.25, 0.1, 0.85, 0.8, 0.9]).unwrap();
+        let qb = enc.encode(&[0.85, 0.8, 0.95, 0.1, 0.25, 0.1]).unwrap();
+        assert_eq!(model.predict(&qa).unwrap().class, 0);
+        assert_eq!(model.predict(&qb).unwrap().class, 1);
+    }
+
+    #[test]
+    fn prediction_scores_are_cosine_like() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 1_024).with_seed(2)).unwrap();
+        let train = two_cluster_data(&enc, 5);
+        let model = HdModel::train(2, 1_024, &train).unwrap();
+        let q = enc.encode(&[0.1, 0.2, 0.1, 0.9, 0.8, 0.9]).unwrap();
+        let p = model.predict(&q).unwrap();
+        assert_eq!(p.scores.len(), 2);
+        assert!(p.margin() > 0.0);
+        // score == dot/||C|| (query norm skipped), so dividing by ||q||
+        // recovers a true cosine in [−1, 1].
+        let cos = p.score / q.l2_norm();
+        assert!((-1.0..=1.0).contains(&cos));
+    }
+
+    #[test]
+    fn retrain_fixes_a_corrupted_model() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 2_048).with_seed(5)).unwrap();
+        let train = two_cluster_data(&enc, 10);
+        let mut model = HdModel::train(2, 2_048, &train).unwrap();
+        // Corrupt: swap the two classes partially by bundling cross-class.
+        let (h0, _) = &train[0];
+        for _ in 0..30 {
+            model.bundle(1, h0).unwrap();
+        }
+        let before = model.accuracy(&train).unwrap();
+        let report = model
+            .retrain(&train, &RetrainConfig::default())
+            .unwrap();
+        let after = model.accuracy(&train).unwrap();
+        assert!(after >= before, "retraining must not hurt: {before} -> {after}");
+        assert!(after > 0.95, "after = {after}");
+        assert!(report.epochs_run() >= 1);
+    }
+
+    #[test]
+    fn retrain_report_tracks_updates() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 1_024).with_seed(6)).unwrap();
+        let train = two_cluster_data(&enc, 8);
+        let mut model = HdModel::train(2, 1_024, &train).unwrap();
+        let report = model.retrain(&train, &RetrainConfig::default()).unwrap();
+        // Perfectly separable: converges with zero updates quickly.
+        assert_eq!(*report.epoch_updates.last().unwrap(), 0);
+        assert_eq!(report.final_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn retrain_masked_keeps_pruned_dims_zero() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 512).with_seed(7)).unwrap();
+        let train = two_cluster_data(&enc, 6);
+        let mut model = HdModel::train(2, 512, &train).unwrap();
+        let mask = PruneMask::select(&model, 256, crate::prune::PruneStrategy::LeastEffectual)
+            .unwrap();
+        model.apply_mask(&mask).unwrap();
+        model
+            .retrain_masked(&train, &mask, &RetrainConfig::default())
+            .unwrap();
+        for c in model.classes() {
+            for j in mask.pruned_indices() {
+                assert_eq!(c[j], 0.0, "pruned dim {j} must stay zero");
+            }
+        }
+    }
+
+    #[test]
+    fn difference_recovers_the_missing_input_encoding() {
+        // §III-A membership attack: model(D2) − model(D1) = encoding of the
+        // extra input.
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 1_024).with_seed(8)).unwrap();
+        let train = two_cluster_data(&enc, 5);
+        let extra = enc.encode(&[0.3, 0.4, 0.5, 0.6, 0.7, 0.8]).unwrap();
+        let m1 = HdModel::train(2, 1_024, &train).unwrap();
+        let mut with_extra = train.clone();
+        with_extra.push((extra.clone(), 0));
+        let m2 = HdModel::train(2, 1_024, &with_extra).unwrap();
+        let diff = m2.difference(&m1).unwrap();
+        // Floating-point summation order differs, so compare approximately.
+        let err: f64 = diff[0]
+            .as_slice()
+            .iter()
+            .zip(extra.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "max abs err = {err}");
+        assert!(diff[1].l2_norm() < 1e-9);
+    }
+
+    #[test]
+    fn add_class_noise_validates_count() {
+        let mut m = HdModel::new(2, 8).unwrap();
+        let noise = vec![Hypervector::zeros(8).unwrap()];
+        assert!(m.add_class_noise(&noise).is_err());
+    }
+
+    #[test]
+    fn refresh_norms_matches_lazy_path() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 256).with_seed(9)).unwrap();
+        let train = two_cluster_data(&enc, 4);
+        let mut a = HdModel::train(2, 256, &train).unwrap();
+        let b = a.clone();
+        a.refresh_norms();
+        let q = &train[0].0;
+        assert_eq!(a.predict(q).unwrap(), b.predict(q).unwrap());
+    }
+
+    #[test]
+    fn accuracy_requires_samples() {
+        let m = HdModel::new(2, 4).unwrap();
+        assert_eq!(m.accuracy(&[]), Err(HdError::EmptyInput("evaluation set")));
+    }
+}

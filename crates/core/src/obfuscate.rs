@@ -1,0 +1,244 @@
+//! Inference privacy (§III-C): obfuscating the offloaded query.
+//!
+//! Instead of sending raw data (or a reversible full-precision encoding)
+//! to a cloud host, the edge device encodes locally, then
+//!
+//! 1. **quantizes** the query hypervector down to 1-bit bipolar
+//!    ("inference quantization" — the model stays full precision and needs
+//!    no access or retraining), and
+//! 2. **masks** a chosen number of dimensions to zero,
+//!
+//! which degrades the reconstruction attack's PSNR from ~24 dB to ~13 dB
+//! while costing well under 1% accuracy (Fig. 6, Fig. 9).
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::HdError;
+use crate::hypervector::Hypervector;
+use crate::quantize::QuantScheme;
+
+/// Configuration of the edge-side obfuscation pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{ObfuscateConfig, Obfuscator, QuantScheme, Hypervector};
+///
+/// # fn main() -> Result<(), privehd_core::HdError> {
+/// let cfg = ObfuscateConfig::new(QuantScheme::Bipolar)
+///     .with_masked_dims(5_000)
+///     .with_seed(7);
+/// let ob = Obfuscator::new(10_000, cfg)?;
+/// let query = Hypervector::from_vec(vec![3.0; 10_000]);
+/// let sent = ob.obfuscate(&query)?;
+/// assert_eq!(sent.count_zeros(), 5_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObfuscateConfig {
+    /// Quantization applied to the query before offloading
+    /// (the paper uses [`QuantScheme::Bipolar`] for inference).
+    pub scheme: QuantScheme,
+    /// Number of dimensions masked (nullified) on top of quantization.
+    pub masked_dims: usize,
+    /// Seed selecting *which* dimensions are masked. The mask must be the
+    /// same for every query of a session (the host needs consistent
+    /// dimensions), hence a seed rather than fresh randomness.
+    pub seed: u64,
+}
+
+impl ObfuscateConfig {
+    /// Quantize-only configuration (no masking).
+    pub fn new(scheme: QuantScheme) -> Self {
+        Self {
+            scheme,
+            masked_dims: 0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of masked dimensions.
+    #[must_use]
+    pub fn with_masked_dims(mut self, masked_dims: usize) -> Self {
+        self.masked_dims = masked_dims;
+        self
+    }
+
+    /// Sets the mask-selection seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Edge-side query obfuscator: quantize then mask.
+///
+/// Construction fixes the masked dimension set; [`Obfuscator::obfuscate`]
+/// is then a pure function of the query, exactly what an IoT device would
+/// run per inference.
+#[derive(Debug, Clone)]
+pub struct Obfuscator {
+    config: ObfuscateConfig,
+    dim: usize,
+    masked: Vec<usize>,
+}
+
+impl Obfuscator {
+    /// Builds an obfuscator for queries of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] if `dim == 0` and
+    /// [`HdError::InvalidConfig`] if `masked_dims >= dim` (at least one
+    /// dimension must survive).
+    pub fn new(dim: usize, config: ObfuscateConfig) -> Result<Self, HdError> {
+        if dim == 0 {
+            return Err(HdError::EmptyDimension);
+        }
+        if config.masked_dims >= dim {
+            return Err(HdError::InvalidConfig(format!(
+                "cannot mask {} of {} dimensions",
+                config.masked_dims, dim
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut indices: Vec<usize> = (0..dim).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(config.masked_dims);
+        indices.sort_unstable();
+        Ok(Self {
+            config,
+            dim,
+            masked: indices,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ObfuscateConfig {
+        &self.config
+    }
+
+    /// The masked dimension indices (sorted).
+    pub fn masked_indices(&self) -> &[usize] {
+        &self.masked
+    }
+
+    /// Applies quantization then masking to a query hypervector, producing
+    /// the vector that would be sent to the untrusted host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if `query.dim()` differs
+    /// from the constructed dimension.
+    pub fn obfuscate(&self, query: &Hypervector) -> Result<Hypervector, HdError> {
+        if query.dim() != self.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        let sigma = QuantScheme::empirical_sigma(query).max(f64::MIN_POSITIVE);
+        let mut out = self.config.scheme.quantize(query, sigma);
+        for &j in &self.masked {
+            out.as_mut_slice()[j] = 0.0;
+        }
+        Ok(out)
+    }
+
+    /// Number of dimensions that actually reach the host (unmasked).
+    pub fn unmasked_dims(&self) -> usize {
+        self.dim - self.masked.len()
+    }
+
+    /// Bits on the wire per query: unmasked dimensions × bits per
+    /// dimension (the multifaceted transfer saving of §III-C; a
+    /// full-precision query would cost `dim × 64`).
+    pub fn payload_bits(&self) -> usize {
+        self.unmasked_dims() * self.config.scheme.bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(dim: usize) -> Hypervector {
+        Hypervector::from_vec((0..dim).map(|i| ((i * 37 % 101) as f64) - 50.0).collect())
+    }
+
+    #[test]
+    fn rejects_full_masking() {
+        let cfg = ObfuscateConfig::new(QuantScheme::Bipolar).with_masked_dims(8);
+        assert!(Obfuscator::new(8, cfg).is_err());
+    }
+
+    #[test]
+    fn masking_zeroes_exactly_the_selected_dims() {
+        let cfg = ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(100)
+            .with_seed(3);
+        let ob = Obfuscator::new(1_000, cfg).unwrap();
+        let out = ob.obfuscate(&query(1_000)).unwrap();
+        assert_eq!(ob.masked_indices().len(), 100);
+        for &j in ob.masked_indices() {
+            assert_eq!(out[j], 0.0);
+        }
+        // Bipolar elsewhere.
+        for j in 0..1_000 {
+            if !ob.masked_indices().contains(&j) {
+                assert!(out[j] == 1.0 || out[j] == -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_is_stable_across_queries_and_rebuilds() {
+        let cfg = ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(64)
+            .with_seed(11);
+        let a = Obfuscator::new(512, cfg).unwrap();
+        let b = Obfuscator::new(512, cfg).unwrap();
+        assert_eq!(a.masked_indices(), b.masked_indices());
+    }
+
+    #[test]
+    fn different_seed_different_mask() {
+        let base = ObfuscateConfig::new(QuantScheme::Bipolar).with_masked_dims(64);
+        let a = Obfuscator::new(512, base.with_seed(1)).unwrap();
+        let b = Obfuscator::new(512, base.with_seed(2)).unwrap();
+        assert_ne!(a.masked_indices(), b.masked_indices());
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let cfg = ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(4_000)
+            .with_seed(0);
+        let ob = Obfuscator::new(10_000, cfg).unwrap();
+        assert_eq!(ob.unmasked_dims(), 6_000);
+        assert_eq!(ob.payload_bits(), 6_000);
+        let full = ObfuscateConfig::new(QuantScheme::Full);
+        let ob_full = Obfuscator::new(10_000, full).unwrap();
+        assert_eq!(ob_full.payload_bits(), 640_000);
+    }
+
+    #[test]
+    fn quantize_only_when_no_masking() {
+        let cfg = ObfuscateConfig::new(QuantScheme::Bipolar);
+        let ob = Obfuscator::new(256, cfg).unwrap();
+        let out = ob.obfuscate(&query(256)).unwrap();
+        assert_eq!(out.count_zeros(), 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let ob = Obfuscator::new(128, ObfuscateConfig::new(QuantScheme::Bipolar)).unwrap();
+        assert!(ob.obfuscate(&query(64)).is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! Model pruning (§III-B1): discarding close-to-zero class dimensions.
+//!
+//! Not all dimensions of a class hypervector contribute equally to the
+//! normalized dot-product of Eq. (4). Because information is uniformly
+//! distributed over the dimensions of the *query*, dropping the class
+//! dimensions whose magnitudes are closest to zero loses little prediction
+//! information (Fig. 3) while reducing the model's sensitivity
+//! (`Δf ∝ √D_hv`, Eq. 12/14). Pruned dimensions are *perpetually* zero:
+//! queries never compute them, which also removes their contribution from
+//! the query's sensitivity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HdError;
+use crate::hypervector::Hypervector;
+use crate::model::HdModel;
+
+/// How the dimensions to prune are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PruneStrategy {
+    /// Prune the dimensions whose aggregate class magnitude
+    /// `Σ_l |c_{l,j}|` is smallest — the paper's "close-to-zero" rule.
+    LeastEffectual,
+    /// Prune uniformly random dimensions (ablation baseline; the seed makes
+    /// it reproducible).
+    Random {
+        /// RNG seed for the random selection.
+        seed: u64,
+    },
+}
+
+/// A set of pruned (perpetually zero) hypervector dimensions.
+///
+/// The mask is shared between the model and every query encoder: a
+/// dimension pruned from the model is simply never encoded.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{Hypervector, PruneMask};
+///
+/// # fn main() -> Result<(), privehd_core::HdError> {
+/// let mask = PruneMask::from_pruned_indices(8, &[1, 3])?;
+/// let mut h = Hypervector::from_vec(vec![1.0; 8]);
+/// mask.apply(&mut h)?;
+/// assert_eq!(h.as_slice(), &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+/// assert_eq!(mask.kept(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneMask {
+    /// `true` = dimension is kept, `false` = pruned.
+    keep: Vec<bool>,
+}
+
+impl PruneMask {
+    /// A mask that keeps every dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] if `dim == 0`.
+    pub fn keep_all(dim: usize) -> Result<Self, HdError> {
+        if dim == 0 {
+            return Err(HdError::EmptyDimension);
+        }
+        Ok(Self {
+            keep: vec![true; dim],
+        })
+    }
+
+    /// Builds a mask from the explicit list of pruned dimension indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] if `dim == 0` and
+    /// [`HdError::InvalidConfig`] if any index is out of range.
+    pub fn from_pruned_indices(dim: usize, pruned: &[usize]) -> Result<Self, HdError> {
+        let mut mask = Self::keep_all(dim)?;
+        for &j in pruned {
+            if j >= dim {
+                return Err(HdError::InvalidConfig(format!(
+                    "pruned index {j} out of range for dimension {dim}"
+                )));
+            }
+            mask.keep[j] = false;
+        }
+        Ok(mask)
+    }
+
+    /// Selects the `count` least-effectual dimensions of `model` (or
+    /// random ones, per `strategy`) and returns the corresponding mask.
+    ///
+    /// The effectuality score of dimension `j` is `Σ_l |c_{l,j}|` over all
+    /// class hypervectors, i.e. a dimension is prunable when it is
+    /// close to zero in *every* class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::InvalidConfig`] if `count >= model.dim()`.
+    pub fn select(model: &HdModel, count: usize, strategy: PruneStrategy) -> Result<Self, HdError> {
+        let dim = model.dim();
+        if count >= dim {
+            return Err(HdError::InvalidConfig(format!(
+                "cannot prune {count} of {dim} dimensions"
+            )));
+        }
+        let pruned: Vec<usize> = match strategy {
+            PruneStrategy::LeastEffectual => {
+                let mut order = rank_dimensions(model);
+                order.truncate(count);
+                order
+            }
+            PruneStrategy::Random { seed } => {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut idx: Vec<usize> = (0..dim).collect();
+                idx.shuffle(&mut rng);
+                idx.truncate(count);
+                idx
+            }
+        };
+        Self::from_pruned_indices(dim, &pruned)
+    }
+
+    /// Total dimensionality covered by the mask.
+    pub fn dim(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Number of kept (unpruned) dimensions.
+    pub fn kept(&self) -> usize {
+        self.keep.iter().filter(|k| **k).count()
+    }
+
+    /// Number of pruned dimensions.
+    pub fn pruned(&self) -> usize {
+        self.dim() - self.kept()
+    }
+
+    /// Whether dimension `j` survives pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.dim()`.
+    pub fn is_kept(&self, j: usize) -> bool {
+        self.keep[j]
+    }
+
+    /// Zeroes the pruned dimensions of `h` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if `h.dim() != self.dim()`.
+    pub fn apply(&self, h: &mut Hypervector) -> Result<(), HdError> {
+        if h.dim() != self.dim() {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim(),
+                actual: h.dim(),
+            });
+        }
+        for (v, &k) in h.as_mut_slice().iter_mut().zip(&self.keep) {
+            if !k {
+                *v = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over the pruned dimension indices.
+    pub fn pruned_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.keep
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &k)| (!k).then_some(j))
+    }
+
+    /// Merges another mask into this one (a dimension pruned by either is
+    /// pruned by the result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] if the dimensions differ.
+    pub fn union(&self, other: &Self) -> Result<Self, HdError> {
+        if self.dim() != other.dim() {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(Self {
+            keep: self
+                .keep
+                .iter()
+                .zip(&other.keep)
+                .map(|(&a, &b)| a && b)
+                .collect(),
+        })
+    }
+}
+
+/// Ranks dimensions from least to most effectual: ascending
+/// `Σ_l |c_{l,j}|`.
+pub(crate) fn rank_dimensions(model: &HdModel) -> Vec<usize> {
+    let dim = model.dim();
+    let mut scores = vec![0.0f64; dim];
+    for class in model.classes() {
+        for (j, &v) in class.as_slice().iter().enumerate() {
+            scores[j] += v.abs();
+        }
+    }
+    let mut order: Vec<usize> = (0..dim).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores are finite")
+    });
+    order
+}
+
+/// One point of the information-retrieval curve of Fig. 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InformationPoint {
+    /// Number of dimensions restored (Fig. 3a) or pruned (Fig. 3b).
+    pub dimensions: usize,
+    /// Fraction of the original (full-dimension) dot product retained,
+    /// per class: `⟨H, C⟩_restricted / ⟨H, C⟩_full`.
+    pub information: Vec<f64>,
+}
+
+/// Reproduces the Fig. 3 experiment: how much of the full dot-product
+/// "information" between `query` and each class hypervector of `model` is
+/// retained when only a subset of dimensions participates.
+///
+/// Dimensions are ordered least-effectual-first (the paper restores the
+/// close-to-zero dimensions first in Fig. 3a). For each step count `s` in
+/// `steps`, the returned point reports, per class,
+/// `Σ_{j ∈ first s dims} h_j·c_j / Σ_j h_j·c_j` when `restore` is true
+/// (Fig. 3a), or the complementary "keep the most effectual `D−s`"
+/// fraction when `restore` is false (Fig. 3b: x-axis is *dimensions
+/// removed*).
+///
+/// # Errors
+///
+/// Returns [`HdError::DimensionMismatch`] if `query.dim() != model.dim()`
+/// and [`HdError::ZeroNorm`] if a full dot product is zero.
+pub fn information_curve(
+    model: &HdModel,
+    query: &Hypervector,
+    steps: &[usize],
+    restore: bool,
+) -> Result<Vec<InformationPoint>, HdError> {
+    if query.dim() != model.dim() {
+        return Err(HdError::DimensionMismatch {
+            expected: model.dim(),
+            actual: query.dim(),
+        });
+    }
+    let order = rank_dimensions(model); // least effectual first
+    let classes: Vec<&Hypervector> = model.classes().collect();
+    let full: Vec<f64> = classes
+        .iter()
+        .map(|c| query.dot(c).expect("dims checked"))
+        .collect();
+    if full.iter().any(|f| *f == 0.0) {
+        return Err(HdError::ZeroNorm);
+    }
+    // Prefix sums over the least-effectual ordering, per class.
+    let dim = model.dim();
+    let mut points = Vec::with_capacity(steps.len());
+    for &s in steps {
+        let s = s.min(dim);
+        let info: Vec<f64> = classes
+            .iter()
+            .zip(&full)
+            .map(|(c, &f)| {
+                let partial: f64 = if restore {
+                    order[..s]
+                        .iter()
+                        .map(|&j| query[j] * c.as_slice()[j])
+                        .sum()
+                } else {
+                    // Prune the s least effectual: keep the rest.
+                    order[s..]
+                        .iter()
+                        .map(|&j| query[j] * c.as_slice()[j])
+                        .sum()
+                };
+                partial / f
+            })
+            .collect();
+        points.push(InformationPoint {
+            dimensions: s,
+            information: info,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig, ScalarEncoder};
+    use crate::model::HdModel;
+
+    fn toy_model() -> (HdModel, Hypervector) {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 128).with_seed(3)).unwrap();
+        let mut model = HdModel::new(2, 128).unwrap();
+        for i in 0..10 {
+            let a: Vec<f64> = (0..6).map(|k| ((i + k) % 4) as f64 / 3.0 * 0.3).collect();
+            let b: Vec<f64> = (0..6).map(|k| 0.7 + ((i + k) % 4) as f64 / 30.0).collect();
+            model.bundle(0, &enc.encode(&a).unwrap()).unwrap();
+            model.bundle(1, &enc.encode(&b).unwrap()).unwrap();
+        }
+        let q = enc.encode(&[0.1, 0.2, 0.0, 0.3, 0.1, 0.2]).unwrap();
+        (model, q)
+    }
+
+    #[test]
+    fn keep_all_keeps_everything() {
+        let m = PruneMask::keep_all(16).unwrap();
+        assert_eq!(m.kept(), 16);
+        assert_eq!(m.pruned(), 0);
+    }
+
+    #[test]
+    fn from_indices_validates_range() {
+        assert!(PruneMask::from_pruned_indices(4, &[4]).is_err());
+        assert!(PruneMask::from_pruned_indices(0, &[]).is_err());
+    }
+
+    #[test]
+    fn apply_zeroes_only_pruned() {
+        let mask = PruneMask::from_pruned_indices(5, &[0, 4]).unwrap();
+        let mut h = Hypervector::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        mask.apply(&mut h).unwrap();
+        assert_eq!(h.as_slice(), &[0.0, 2.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_dim() {
+        let mask = PruneMask::keep_all(5).unwrap();
+        let mut h = Hypervector::zeros(6).unwrap();
+        assert!(mask.apply(&mut h).is_err());
+    }
+
+    #[test]
+    fn select_least_effectual_prunes_small_dims() {
+        let (model, _) = toy_model();
+        let mask = PruneMask::select(&model, 64, PruneStrategy::LeastEffectual).unwrap();
+        assert_eq!(mask.pruned(), 64);
+        // Every pruned dim must score <= every kept dim.
+        let order = rank_dimensions(&model);
+        let cutoff: std::collections::HashSet<usize> = order[..64].iter().copied().collect();
+        for j in mask.pruned_indices() {
+            assert!(cutoff.contains(&j));
+        }
+    }
+
+    #[test]
+    fn select_random_is_reproducible() {
+        let (model, _) = toy_model();
+        let a = PruneMask::select(&model, 32, PruneStrategy::Random { seed: 1 }).unwrap();
+        let b = PruneMask::select(&model, 32, PruneStrategy::Random { seed: 1 }).unwrap();
+        let c = PruneMask::select(&model, 32, PruneStrategy::Random { seed: 2 }).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.pruned(), 32);
+    }
+
+    #[test]
+    fn select_rejects_pruning_everything() {
+        let (model, _) = toy_model();
+        assert!(PruneMask::select(&model, 128, PruneStrategy::LeastEffectual).is_err());
+    }
+
+    #[test]
+    fn union_prunes_either() {
+        let a = PruneMask::from_pruned_indices(4, &[0]).unwrap();
+        let b = PruneMask::from_pruned_indices(4, &[3]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.pruned(), 2);
+        assert!(!u.is_kept(0));
+        assert!(!u.is_kept(3));
+    }
+
+    #[test]
+    fn information_curve_restore_reaches_one() {
+        let (model, q) = toy_model();
+        let pts = information_curve(&model, &q, &[0, 64, 128], true).unwrap();
+        assert_eq!(pts[0].dimensions, 0);
+        for i in pts[0].information.iter() {
+            assert!((i - 0.0).abs() < 1e-12);
+        }
+        for i in pts[2].information.iter() {
+            assert!((i - 1.0).abs() < 1e-9, "full restore retrieves everything");
+        }
+    }
+
+    #[test]
+    fn information_curve_least_effectual_first_is_slow_to_rise() {
+        // Restoring the least effectual half should retrieve well under
+        // half of the information (Fig. 3a: first 60% retrieves ~20%).
+        let (model, q) = toy_model();
+        let pts = information_curve(&model, &q, &[64], true).unwrap();
+        // Use the winning class (largest |full| dot product).
+        let frac = pts[0].information[0].abs().min(pts[0].information[1].abs());
+        assert!(frac < 0.6, "least-effectual half retrieved {frac}");
+    }
+
+    #[test]
+    fn information_curve_prune_complements_restore() {
+        let (model, q) = toy_model();
+        let restore = information_curve(&model, &q, &[48], true).unwrap();
+        let prune = information_curve(&model, &q, &[48], false).unwrap();
+        for (r, p) in restore[0].information.iter().zip(&prune[0].information) {
+            assert!((r + p - 1.0).abs() < 1e-9);
+        }
+    }
+}

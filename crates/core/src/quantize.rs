@@ -1,0 +1,445 @@
+//! Encoding quantization (§III-B2, Eq. 13–14).
+//!
+//! Prive-HD quantizes only the *encoded* hypervectors; the scalar-vector
+//! products and the accumulation run in full precision and only the final
+//! hypervector is quantized (Eq. 13). Class hypervectors, being sums of
+//! quantized encodings, stay non-binary. Quantizing bounds each dimension
+//! of the encoding to a small alphabet, which caps the ℓ2 sensitivity at
+//! `Δf = (Σ_k p_k · D_hv · k²)^{1/2}` (Eq. 14) independently of the
+//! feature count `D_iv`.
+//!
+//! Four schemes are provided, matching Fig. 5:
+//!
+//! | scheme | alphabet | thresholds |
+//! |---|---|---|
+//! | [`QuantScheme::Bipolar`] | `{−1,+1}` | sign |
+//! | [`QuantScheme::Ternary`] | `{−1,0,+1}` | symmetric, `p₋₁=p₀=p₊₁=1/3` |
+//! | [`QuantScheme::TernaryBiased`] | `{−1,0,+1}` | `p₀=1/2`, `p₋₁=p₊₁=1/4` |
+//! | [`QuantScheme::TwoBit`] | `{−2,−1,0,+1}` | quartiles of the Gaussian |
+//!
+//! Thresholds are expressed in units of the standard deviation of the
+//! encoded components, which by the central-limit argument of §III-B is
+//! `σ = √D_iv`. For a standard normal, `P(|X| ≤ zσ) = 1/3 ⇔ z ≈ 0.4307`
+//! (uniform ternary) and `= 1/2 ⇔ z ≈ 0.6745` (biased ternary).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HdError;
+use crate::hypervector::Hypervector;
+
+/// z-score such that `P(|N(0,1)| < z) = 1/3` → uniform ternary.
+const Z_TERNARY_UNIFORM: f64 = 0.430_727_299_295_457_4;
+/// z-score such that `P(|N(0,1)| < z) = 1/2` → biased ternary (`p₀ = 1/2`).
+const Z_TERNARY_BIASED: f64 = 0.674_489_750_196_081_7;
+/// z-scores of the 25/50/75% quantiles used by the 2-bit scheme.
+const Z_TWO_BIT: f64 = 0.674_489_750_196_081_7;
+
+/// An encoding quantization scheme (Eq. 13).
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{Hypervector, QuantScheme};
+///
+/// let h = Hypervector::from_vec(vec![3.5, -0.2, -7.0, 0.0]);
+/// // σ is the expected std of components (√D_iv); use 1.0 for raw values.
+/// let q = QuantScheme::Bipolar.quantize(&h, 1.0);
+/// assert_eq!(q.as_slice(), &[1.0, -1.0, -1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// No quantization (full-precision baseline).
+    Full,
+    /// 1-bit sign quantization to `{−1,+1}` (Eq. 13).
+    Bipolar,
+    /// Uniform ternary `{−1,0,+1}` with equal occupation probabilities.
+    Ternary,
+    /// Biased ternary with `p₀ = 1/2`, reducing sensitivity by ≈0.87×
+    /// (§III-B2).
+    TernaryBiased,
+    /// 2-bit quantization to `{−2,−1,0,+1}` (the paper's `{−2,±1,0}`).
+    TwoBit,
+}
+
+impl QuantScheme {
+    /// All schemes in the order Fig. 5 plots them.
+    pub const ALL: [QuantScheme; 5] = [
+        QuantScheme::Full,
+        QuantScheme::Bipolar,
+        QuantScheme::Ternary,
+        QuantScheme::TernaryBiased,
+        QuantScheme::TwoBit,
+    ];
+
+    /// Short label used in reports and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuantScheme::Full => "full",
+            QuantScheme::Bipolar => "bipolar",
+            QuantScheme::Ternary => "ternary",
+            QuantScheme::TernaryBiased => "ternary(biased)",
+            QuantScheme::TwoBit => "2-bit",
+        }
+    }
+
+    /// Quantizes a single component whose population standard deviation is
+    /// `sigma`.
+    pub fn quantize_value(&self, v: f64, sigma: f64) -> f64 {
+        debug_assert!(sigma > 0.0, "sigma must be positive");
+        match self {
+            QuantScheme::Full => v,
+            QuantScheme::Bipolar => {
+                if v >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            QuantScheme::Ternary => {
+                let t = Z_TERNARY_UNIFORM * sigma;
+                if v > t {
+                    1.0
+                } else if v < -t {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            QuantScheme::TernaryBiased => {
+                let t = Z_TERNARY_BIASED * sigma;
+                if v > t {
+                    1.0
+                } else if v < -t {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            QuantScheme::TwoBit => {
+                let t = Z_TWO_BIT * sigma;
+                if v > t {
+                    1.0
+                } else if v >= 0.0 {
+                    0.0
+                } else if v >= -t {
+                    -1.0
+                } else {
+                    -2.0
+                }
+            }
+        }
+    }
+
+    /// Quantizes an encoded hypervector (Eq. 13). `sigma` is the expected
+    /// standard deviation of the components — `√D_iv` by the central-limit
+    /// argument; pass [`QuantScheme::empirical_sigma`] of the vector for a
+    /// data-driven threshold.
+    pub fn quantize(&self, h: &Hypervector, sigma: f64) -> Hypervector {
+        if matches!(self, QuantScheme::Full) {
+            return h.clone();
+        }
+        Hypervector::from_vec(
+            h.as_slice()
+                .iter()
+                .map(|&v| self.quantize_value(v, sigma))
+                .collect(),
+        )
+    }
+
+    /// The alphabet of the scheme, excluding the unbounded
+    /// [`QuantScheme::Full`] (which returns an empty slice).
+    pub fn alphabet(&self) -> &'static [f64] {
+        match self {
+            QuantScheme::Full => &[],
+            QuantScheme::Bipolar => &[-1.0, 1.0],
+            QuantScheme::Ternary | QuantScheme::TernaryBiased => &[-1.0, 0.0, 1.0],
+            QuantScheme::TwoBit => &[-2.0, -1.0, 0.0, 1.0],
+        }
+    }
+
+    /// The *theoretical* occupation probability `p_k` of each alphabet
+    /// value under the Gaussian component assumption (same order as
+    /// [`QuantScheme::alphabet`]).
+    pub fn theoretical_probabilities(&self) -> &'static [f64] {
+        match self {
+            QuantScheme::Full => &[],
+            QuantScheme::Bipolar => &[0.5, 0.5],
+            QuantScheme::Ternary => &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+            QuantScheme::TernaryBiased => &[0.25, 0.5, 0.25],
+            QuantScheme::TwoBit => &[0.25, 0.25, 0.25, 0.25],
+        }
+    }
+
+    /// Bits needed to represent one quantized dimension in hardware.
+    pub fn bits(&self) -> usize {
+        match self {
+            QuantScheme::Full => 64,
+            QuantScheme::Bipolar => 1,
+            QuantScheme::Ternary | QuantScheme::TernaryBiased | QuantScheme::TwoBit => 2,
+        }
+    }
+
+    /// The empirical standard deviation of a hypervector's components,
+    /// used as the data-driven `sigma` threshold input.
+    pub fn empirical_sigma(h: &Hypervector) -> f64 {
+        h.variance().sqrt()
+    }
+
+    /// Quantizes with a per-vector empirical threshold (σ estimated from
+    /// the vector itself), which keeps the occupation probabilities close
+    /// to the scheme's design point for any encoder and input
+    /// distribution.
+    pub fn quantize_adaptive(&self, h: &Hypervector) -> Hypervector {
+        if matches!(self, QuantScheme::Full) {
+            return h.clone();
+        }
+        let sigma = Self::empirical_sigma(h).max(f64::MIN_POSITIVE);
+        self.quantize(h, sigma)
+    }
+}
+
+impl std::fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Empirical distribution of quantized component values — the `p_k` of
+/// Eq. (14), measured rather than assumed.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{Hypervector, QuantScheme, ValueHistogram};
+///
+/// # fn main() -> Result<(), privehd_core::HdError> {
+/// let q = Hypervector::from_vec(vec![1.0, -1.0, 1.0, 1.0]);
+/// let hist = ValueHistogram::from_quantized(&q)?;
+/// assert_eq!(hist.probability(1.0), 0.75);
+/// // ℓ2 norm via Eq. (14): sqrt(Σ p_k · D · k²) = sqrt(4) = 2.
+/// assert_eq!(hist.l2_norm(), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueHistogram {
+    dim: usize,
+    /// Sorted (value, count) pairs.
+    entries: Vec<(f64, usize)>,
+}
+
+impl ValueHistogram {
+    /// Tallies the distinct component values of a quantized hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::InvalidConfig`] if the vector contains more than
+    /// 16 distinct values — a sign it was not actually quantized.
+    pub fn from_quantized(h: &Hypervector) -> Result<Self, HdError> {
+        let mut entries: Vec<(f64, usize)> = Vec::new();
+        for &v in h.as_slice() {
+            match entries.iter_mut().find(|(val, _)| *val == v) {
+                Some((_, c)) => *c += 1,
+                None => {
+                    if entries.len() >= 16 {
+                        return Err(HdError::InvalidConfig(
+                            "histogram input has more than 16 distinct values; quantize first"
+                                .to_owned(),
+                        ));
+                    }
+                    entries.push((v, 1));
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        Ok(Self {
+            dim: h.dim(),
+            entries,
+        })
+    }
+
+    /// The dimensionality the histogram was tallied over.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Occupation probability `p_k` of value `k` (0.0 if absent).
+    pub fn probability(&self, value: f64) -> f64 {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == value)
+            .map(|(_, c)| *c as f64 / self.dim as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Sorted `(value, probability)` pairs.
+    pub fn probabilities(&self) -> Vec<(f64, f64)> {
+        self.entries
+            .iter()
+            .map(|&(v, c)| (v, c as f64 / self.dim as f64))
+            .collect()
+    }
+
+    /// The ℓ2 norm implied by Eq. (14):
+    /// `(Σ_k p_k · D · k²)^{1/2}` — exactly the vector's ℓ2 norm, but
+    /// computed from the histogram the way the paper formulates it.
+    pub fn l2_norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(v, c)| c as f64 * v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The ℓ1 norm implied by the histogram: `Σ_k p_k · D · |k|`.
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.iter().map(|&(v, c)| c as f64 * v.abs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A pseudo-Gaussian hypervector via sum of uniforms (CLT), std ≈ sigma.
+    fn gaussian_hv(dim: usize, sigma: f64, seed: u64) -> Hypervector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Hypervector::from_vec(
+            (0..dim)
+                .map(|_| {
+                    let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+                    s * sigma
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn full_scheme_is_identity() {
+        let h = gaussian_hv(100, 3.0, 1);
+        assert_eq!(QuantScheme::Full.quantize(&h, 3.0), h);
+    }
+
+    #[test]
+    fn bipolar_is_sign() {
+        let h = Hypervector::from_vec(vec![0.0, -0.1, 5.0, -3.0]);
+        let q = QuantScheme::Bipolar.quantize(&h, 1.0);
+        assert_eq!(q.as_slice(), &[1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let h = gaussian_hv(500, 2.0, 2);
+        for scheme in [
+            QuantScheme::Bipolar,
+            QuantScheme::Ternary,
+            QuantScheme::TernaryBiased,
+        ] {
+            let q1 = scheme.quantize(&h, 2.0);
+            // Re-quantizing an already quantized vector (σ now ~1) keeps
+            // nonzero values fixed for symmetric schemes.
+            let q2 = scheme.quantize(&q1, 1.0);
+            for (a, b) in q1.as_slice().iter().zip(q2.as_slice()) {
+                if *a != 0.0 {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alphabet_covers_all_outputs() {
+        let h = gaussian_hv(2_000, 5.0, 3);
+        for scheme in QuantScheme::ALL.iter().skip(1) {
+            let q = scheme.quantize(&h, 5.0);
+            let alphabet = scheme.alphabet();
+            for &v in q.as_slice() {
+                assert!(alphabet.contains(&v), "{scheme}: {v} not in alphabet");
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_uniform_occupation_is_balanced() {
+        let h = gaussian_hv(60_000, 4.0, 4);
+        let q = QuantScheme::Ternary.quantize(&h, 4.0);
+        let hist = ValueHistogram::from_quantized(&q).unwrap();
+        for v in [-1.0, 0.0, 1.0] {
+            let p = hist.probability(v);
+            assert!((p - 1.0 / 3.0).abs() < 0.02, "p({v}) = {p}");
+        }
+    }
+
+    #[test]
+    fn ternary_biased_puts_half_mass_on_zero() {
+        let h = gaussian_hv(60_000, 4.0, 5);
+        let q = QuantScheme::TernaryBiased.quantize(&h, 4.0);
+        let hist = ValueHistogram::from_quantized(&q).unwrap();
+        assert!((hist.probability(0.0) - 0.5).abs() < 0.02);
+        assert!((hist.probability(1.0) - 0.25).abs() < 0.02);
+        assert!((hist.probability(-1.0) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn two_bit_uses_four_levels() {
+        let h = gaussian_hv(60_000, 4.0, 6);
+        let q = QuantScheme::TwoBit.quantize(&h, 4.0);
+        let hist = ValueHistogram::from_quantized(&q).unwrap();
+        for v in [-2.0, -1.0, 0.0, 1.0] {
+            let p = hist.probability(v);
+            assert!((p - 0.25).abs() < 0.02, "p({v}) = {p}");
+        }
+    }
+
+    #[test]
+    fn biased_ternary_reduces_l2_norm_by_0_87() {
+        // §III-B2: sqrt(D/4 + D/4) / sqrt(D/3 + D/3) = sqrt(3)/2 ≈ 0.866.
+        let h = gaussian_hv(100_000, 4.0, 7);
+        let uniform = QuantScheme::Ternary.quantize(&h, 4.0).l2_norm();
+        let biased = QuantScheme::TernaryBiased.quantize(&h, 4.0).l2_norm();
+        let ratio = biased / uniform;
+        assert!((ratio - 0.866).abs() < 0.02, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn histogram_norms_match_vector_norms() {
+        let h = gaussian_hv(5_000, 2.0, 8);
+        let q = QuantScheme::TwoBit.quantize(&h, 2.0);
+        let hist = ValueHistogram::from_quantized(&q).unwrap();
+        assert!((hist.l2_norm() - q.l2_norm()).abs() < 1e-9);
+        assert!((hist.l1_norm() - q.l1_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_rejects_unquantized_input() {
+        let h = gaussian_hv(100, 1.0, 9);
+        assert!(ValueHistogram::from_quantized(&h).is_err());
+    }
+
+    #[test]
+    fn empirical_sigma_estimates_population_sigma() {
+        let h = gaussian_hv(50_000, 3.0, 10);
+        let s = QuantScheme::empirical_sigma(&h);
+        assert!((s - 3.0).abs() < 0.1, "sigma = {s}");
+    }
+
+    #[test]
+    fn bipolar_preserves_cosine_direction() {
+        // Quantization degrades but must not invert similarity: a vector
+        // stays closer to its own quantization than to an unrelated one.
+        let a = gaussian_hv(10_000, 2.0, 11);
+        let b = gaussian_hv(10_000, 2.0, 12);
+        let qa = QuantScheme::Bipolar.quantize(&a, 2.0);
+        assert!(a.cosine(&qa).unwrap() > 0.7);
+        assert!(b.cosine(&qa).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            QuantScheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), QuantScheme::ALL.len());
+    }
+}

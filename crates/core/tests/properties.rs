@@ -1,0 +1,178 @@
+//! Property-based tests for the HD substrate: algebraic invariants of
+//! hypervector operations, quantization, pruning and decoding.
+
+use proptest::prelude::*;
+
+use privehd_core::prelude::*;
+use privehd_core::{Encoder, Hypervector};
+
+fn dense_hv(dim: usize) -> impl Strategy<Value = Hypervector> {
+    prop::collection::vec(-100.0f64..100.0, dim).prop_map(Hypervector::from_vec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Hypervector algebra ------------------------------------------
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in dense_hv(64), b in dense_hv(64)) {
+        prop_assume!(a.l2_norm() > 1e-9 && b.l2_norm() > 1e-9);
+        let ab = a.cosine(&b).unwrap();
+        let ba = b.cosine(&a).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in dense_hv(32), b in dense_hv(32), c in dense_hv(32), k in -5.0f64..5.0) {
+        // <a + k·b, c> = <a,c> + k·<b,c>
+        let mut akb = a.clone();
+        akb.add_scaled(&b, k).unwrap();
+        let lhs = akb.dot(&c).unwrap();
+        let rhs = a.dot(&c).unwrap() + k * b.dot(&c).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn l2_norm_triangle_inequality(a in dense_hv(48), b in dense_hv(48)) {
+        let sum = a.clone() + b.clone();
+        prop_assert!(sum.l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-9);
+    }
+
+    #[test]
+    fn l1_dominates_l2(a in dense_hv(48)) {
+        prop_assert!(a.l1_norm() + 1e-9 >= a.l2_norm());
+    }
+
+    // --- Bipolar hypervectors -----------------------------------------
+
+    #[test]
+    fn bind_is_commutative_and_self_inverse(seed1 in 0u64..1_000, seed2 in 0u64..1_000, dim in 1usize..300) {
+        let a = BipolarHv::random(dim, seed1);
+        let b = BipolarHv::random(dim, seed2);
+        prop_assert_eq!(a.bind(&b).unwrap(), b.bind(&a).unwrap());
+        prop_assert_eq!(&a.bind(&b).unwrap().bind(&b).unwrap(), &a);
+    }
+
+    #[test]
+    fn hamming_dot_identity(seed1 in 0u64..1_000, seed2 in 0u64..1_000, dim in 1usize..300) {
+        let a = BipolarHv::random(dim, seed1);
+        let b = BipolarHv::random(dim, seed2);
+        let h = a.hamming(&b).unwrap();
+        prop_assert_eq!(a.dot(&b).unwrap(), dim as i64 - 2 * h as i64);
+        prop_assert!(h <= dim);
+    }
+
+    #[test]
+    fn dot_dense_matches_naive(seed in 0u64..1_000, values in prop::collection::vec(-10.0f64..10.0, 1..200)) {
+        let dim = values.len();
+        let b = BipolarHv::random(dim, seed);
+        let h = Hypervector::from_vec(values);
+        let naive: f64 = (0..dim).map(|j| b.sign(j) * h[j]).sum();
+        prop_assert!((b.dot_dense(&h).unwrap() - naive).abs() < 1e-9);
+    }
+
+    // --- Quantization ---------------------------------------------------
+
+    #[test]
+    fn quantized_values_stay_in_alphabet(a in dense_hv(128), sigma in 0.1f64..50.0) {
+        for scheme in [QuantScheme::Bipolar, QuantScheme::Ternary, QuantScheme::TernaryBiased, QuantScheme::TwoBit] {
+            let q = scheme.quantize(&a, sigma);
+            for &v in q.as_slice() {
+                prop_assert!(scheme.alphabet().contains(&v), "{scheme}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_is_odd_for_symmetric_schemes(a in dense_hv(64), sigma in 0.1f64..50.0) {
+        // q(-x) == -q(x) for ternary schemes (bipolar breaks at exactly 0).
+        for scheme in [QuantScheme::Ternary, QuantScheme::TernaryBiased] {
+            let q_pos = scheme.quantize(&a, sigma);
+            let q_neg = scheme.quantize(&(-a.clone()), sigma);
+            for (p, n) in q_pos.as_slice().iter().zip(q_neg.as_slice()) {
+                prop_assert!((p + n).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_preserves_strong_signs(a in dense_hv(64)) {
+        // Any component beyond every threshold keeps its sign under all
+        // schemes (with sigma = 1, the largest threshold is < 0.7).
+        let q = QuantScheme::Ternary.quantize(&a, 1.0);
+        for (orig, quant) in a.as_slice().iter().zip(q.as_slice()) {
+            if orig.abs() > 1.0 {
+                prop_assert_eq!(orig.signum(), quant.signum());
+            }
+        }
+    }
+
+    // --- Pruning ---------------------------------------------------------
+
+    #[test]
+    fn prune_mask_kept_plus_pruned_is_dim(dim in 1usize..200, frac in 0.0f64..0.99) {
+        let pruned: Vec<usize> = (0..((dim as f64 * frac) as usize)).collect();
+        let mask = PruneMask::from_pruned_indices(dim, &pruned).unwrap();
+        prop_assert_eq!(mask.kept() + mask.pruned(), dim);
+    }
+
+    #[test]
+    fn masking_is_idempotent(a in dense_hv(64), frac in 0.0f64..0.9) {
+        let pruned: Vec<usize> = (0..((64.0 * frac) as usize)).collect();
+        let mask = PruneMask::from_pruned_indices(64, &pruned).unwrap();
+        let mut once = a.clone();
+        mask.apply(&mut once).unwrap();
+        let mut twice = once.clone();
+        mask.apply(&mut twice).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn masking_never_increases_norms(a in dense_hv(64), frac in 0.0f64..0.9) {
+        let pruned: Vec<usize> = (0..((64.0 * frac) as usize)).collect();
+        let mask = PruneMask::from_pruned_indices(64, &pruned).unwrap();
+        let mut m = a.clone();
+        mask.apply(&mut m).unwrap();
+        prop_assert!(m.l2_norm() <= a.l2_norm() + 1e-12);
+        prop_assert!(m.l1_norm() <= a.l1_norm() + 1e-12);
+    }
+
+    // --- Encoding / decoding ---------------------------------------------
+
+    #[test]
+    fn encoding_is_deterministic(values in prop::collection::vec(0.0f64..1.0, 4..24), seed in 0u64..100) {
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(values.len(), 256).with_seed(seed),
+        ).unwrap();
+        prop_assert_eq!(enc.encode(&values).unwrap(), enc.encode(&values).unwrap());
+    }
+
+    #[test]
+    fn encoding_is_linear_in_bundling(x in prop::collection::vec(0.0f64..1.0, 8), y in prop::collection::vec(0.0f64..1.0, 8)) {
+        // encode(x) + encode(y) equals bundling the two encodings —
+        // the linearity that makes Eq. (3) training well-defined.
+        let enc = ScalarEncoder::new(EncoderConfig::new(8, 128).with_seed(3)).unwrap();
+        let hx = enc.encode(&x).unwrap();
+        let hy = enc.encode(&y).unwrap();
+        let bundle = hx.clone() + hy.clone();
+        for j in 0..128 {
+            prop_assert!((bundle[j] - (hx[j] + hy[j])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_with_bounded_error(values in prop::collection::vec(0.0f64..1.0, 4..16)) {
+        // Eq. 10: reconstruction error shrinks as D_hv grows; at 8192
+        // dims and few features it is small for every input.
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(values.len(), 8_192).with_levels(256).with_seed(11),
+        ).unwrap();
+        let snapped: Vec<f64> = values.iter().map(|&v| enc.snap_to_level(v)).collect();
+        let h = enc.encode(&values).unwrap();
+        let rec = Decoder::new(enc.item_memory().clone()).decode(&h).unwrap();
+        let err = mse(&snapped, rec.features()).unwrap();
+        prop_assert!(err < 0.05, "mse = {err}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Labelled datasets with normalized features and train/test splits.
+
+use serde::{Deserialize, Serialize};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One labelled input: normalized features in `[0, 1]` plus a class label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature values, each in `[0, 1]`.
+    pub features: Vec<f64>,
+    /// Class label in `0..num_classes`.
+    pub label: usize,
+}
+
+/// A named dataset with a fixed train/test split.
+///
+/// Invariants enforced at construction: every sample has the same feature
+/// count, every label is `< num_classes`, and every feature value lies in
+/// `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_data::{Dataset, Sample};
+///
+/// let train = vec![Sample { features: vec![0.0, 1.0], label: 0 }];
+/// let test = vec![Sample { features: vec![1.0, 0.0], label: 1 }];
+/// let ds = Dataset::new("toy", 2, 2, train, test).unwrap();
+/// assert_eq!(ds.features(), 2);
+/// assert_eq!(ds.test().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    features: usize,
+    num_classes: usize,
+    train: Vec<Sample>,
+    test: Vec<Sample>,
+}
+
+/// Construction error for [`Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// A sample's feature count disagreed with the declared one.
+    FeatureCount {
+        /// Declared feature count.
+        expected: usize,
+        /// Offending sample's feature count.
+        actual: usize,
+    },
+    /// A label was out of range.
+    Label {
+        /// Offending label.
+        label: usize,
+        /// Declared class count.
+        num_classes: usize,
+    },
+    /// A feature value fell outside `[0, 1]` (or was not finite).
+    Range {
+        /// The offending value.
+        value: f64,
+    },
+    /// The training split was empty.
+    EmptyTrain,
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::FeatureCount { expected, actual } => {
+                write!(f, "sample has {actual} features, dataset declares {expected}")
+            }
+            DatasetError::Label { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            DatasetError::Range { value } => {
+                write!(f, "feature value {value} outside the normalized range [0, 1]")
+            }
+            DatasetError::EmptyTrain => write!(f, "training split is empty"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Validates and assembles a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DatasetError`] describing the first violated invariant.
+    pub fn new(
+        name: impl Into<String>,
+        features: usize,
+        num_classes: usize,
+        train: Vec<Sample>,
+        test: Vec<Sample>,
+    ) -> Result<Self, DatasetError> {
+        if train.is_empty() {
+            return Err(DatasetError::EmptyTrain);
+        }
+        for s in train.iter().chain(&test) {
+            if s.features.len() != features {
+                return Err(DatasetError::FeatureCount {
+                    expected: features,
+                    actual: s.features.len(),
+                });
+            }
+            if s.label >= num_classes {
+                return Err(DatasetError::Label {
+                    label: s.label,
+                    num_classes,
+                });
+            }
+            for &v in &s.features {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(DatasetError::Range { value: v });
+                }
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            features,
+            num_classes,
+            train,
+            test,
+        })
+    }
+
+    /// Dataset name (e.g. `"isolet-surrogate"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feature count `D_iv`.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Training split.
+    pub fn train(&self) -> &[Sample] {
+        &self.train
+    }
+
+    /// Test split.
+    pub fn test(&self) -> &[Sample] {
+        &self.test
+    }
+
+    /// A copy with the training split subsampled to `fraction`
+    /// (stratified per class, deterministic in `seed`) — the Fig. 8(d)
+    /// data-size sweep.
+    ///
+    /// `fraction` is clamped to `(0, 1]`; at least one sample per
+    /// populated class is retained.
+    pub fn subsample_train(&self, fraction: f64, seed: u64) -> Self {
+        let fraction = fraction.clamp(1e-9, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut per_class: Vec<Vec<&Sample>> = vec![Vec::new(); self.num_classes];
+        for s in &self.train {
+            per_class[s.label].push(s);
+        }
+        let mut train = Vec::new();
+        for mut class_samples in per_class {
+            if class_samples.is_empty() {
+                continue;
+            }
+            class_samples.shuffle(&mut rng);
+            let keep = ((class_samples.len() as f64 * fraction).round() as usize).max(1);
+            train.extend(class_samples.into_iter().take(keep).cloned());
+        }
+        Self {
+            name: format!("{}@{:.0}%", self.name, fraction * 100.0),
+            features: self.features,
+            num_classes: self.num_classes,
+            train,
+            test: self.test.clone(),
+        }
+    }
+
+    /// Per-class training sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for s in &self.train {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// Borrowing views `(features, label)` over the training split — the
+    /// shape the encoders consume.
+    pub fn train_pairs(&self) -> impl Iterator<Item = (&[f64], usize)> {
+        self.train.iter().map(|s| (s.features.as_slice(), s.label))
+    }
+
+    /// Borrowing views `(features, label)` over the test split.
+    pub fn test_pairs(&self) -> impl Iterator<Item = (&[f64], usize)> {
+        self.test.iter().map(|s| (s.features.as_slice(), s.label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: usize, v: f64) -> Sample {
+        Sample {
+            features: vec![v, v],
+            label,
+        }
+    }
+
+    #[test]
+    fn validates_feature_count() {
+        let bad = vec![Sample {
+            features: vec![0.5],
+            label: 0,
+        }];
+        assert_eq!(
+            Dataset::new("x", 2, 1, bad, vec![]),
+            Err(DatasetError::FeatureCount {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validates_label_range() {
+        let bad = vec![sample(3, 0.5)];
+        assert!(matches!(
+            Dataset::new("x", 2, 2, bad, vec![]),
+            Err(DatasetError::Label { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_value_range() {
+        let bad = vec![sample(0, 1.5)];
+        assert!(matches!(
+            Dataset::new("x", 2, 1, bad, vec![]),
+            Err(DatasetError::Range { .. })
+        ));
+        let nan = vec![sample(0, f64::NAN)];
+        assert!(matches!(
+            Dataset::new("x", 2, 1, nan, vec![]),
+            Err(DatasetError::Range { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_train() {
+        assert_eq!(
+            Dataset::new("x", 2, 1, vec![], vec![]),
+            Err(DatasetError::EmptyTrain)
+        );
+    }
+
+    #[test]
+    fn subsample_is_stratified_and_deterministic() {
+        let train: Vec<Sample> = (0..100)
+            .map(|i| sample(i % 2, (i % 10) as f64 / 10.0))
+            .collect();
+        let ds = Dataset::new("x", 2, 2, train, vec![]).unwrap();
+        let half = ds.subsample_train(0.5, 3);
+        assert_eq!(half.train().len(), 50);
+        let hist = half.class_histogram();
+        assert_eq!(hist, vec![25, 25]);
+        let again = ds.subsample_train(0.5, 3);
+        assert_eq!(half.train(), again.train());
+    }
+
+    #[test]
+    fn subsample_keeps_at_least_one_per_class() {
+        let train = vec![sample(0, 0.1), sample(1, 0.9)];
+        let ds = Dataset::new("x", 2, 2, train, vec![]).unwrap();
+        let tiny = ds.subsample_train(0.001, 1);
+        assert_eq!(tiny.train().len(), 2);
+    }
+
+    #[test]
+    fn pairs_views_match_splits() {
+        let ds = Dataset::new("x", 2, 1, vec![sample(0, 0.2)], vec![sample(0, 0.4)]).unwrap();
+        assert_eq!(ds.train_pairs().count(), 1);
+        assert_eq!(ds.test_pairs().count(), 1);
+        let (f, y) = ds.train_pairs().next().unwrap();
+        assert_eq!(f, &[0.2, 0.2]);
+        assert_eq!(y, 0);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = DatasetError::Range { value: 2.0 };
+        assert!(e.to_string().contains("2"));
+    }
+}

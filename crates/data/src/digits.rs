@@ -1,0 +1,273 @@
+//! Stroke-rendered digit images for the MNIST surrogate.
+//!
+//! Each digit 0–9 has a 5×7 bitmap glyph (a classic font grid) that is
+//! upscaled to 28×28, jittered (sub-pixel shift, stroke-thickness change,
+//! pixel noise, intensity scaling) and lightly smoothed. The result is a
+//! pixel grid on which the reconstruction attack of Fig. 2 / Fig. 6
+//! produces visually meaningful output — unlike an abstract feature
+//! cluster — while keeping the dataset fully synthetic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, Sample};
+use crate::sampling::NormalSampler;
+
+/// Image side length (28 → 784 features, matching MNIST).
+pub const IMAGE_SIDE: usize = 28;
+
+/// 5×7 glyph bitmaps for digits 0–9; rows top-to-bottom, bits
+/// left-to-right in the low 5 bits.
+const GLYPHS: [[u8; 7]; 10] = [
+    // 0
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+    // 1
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+    // 2
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+    // 3
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+    // 4
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+    // 5
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+    // 6
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+    // 7
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+    // 8
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+    // 9
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+];
+
+/// Renders the clean 28×28 prototype image of a digit (values 0.0/1.0
+/// before smoothing).
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn prototype(digit: usize) -> Vec<f64> {
+    assert!(digit <= 9, "digit must be 0..=9");
+    let glyph = &GLYPHS[digit];
+    let mut img = vec![0.0f64; IMAGE_SIDE * IMAGE_SIDE];
+    // Upscale 5×7 to 20×28-ish: each glyph cell becomes a 4×4 block,
+    // centred with a 4-pixel left/right margin.
+    for (gy, row) in glyph.iter().enumerate() {
+        for gx in 0..5 {
+            if row >> (4 - gx) & 1 == 1 {
+                for dy in 0..4 {
+                    for dx in 0..4 {
+                        let y = gy * 4 + dy;
+                        let x = gx * 4 + dx + 4;
+                        img[y * IMAGE_SIDE + x] = 1.0;
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// Renders a jittered sample of a digit: integer shift, pixel noise,
+/// intensity scale, then a 3×3 box blur for soft strokes.
+pub fn render_sample<R: Rng + ?Sized>(
+    digit: usize,
+    rng: &mut R,
+    normal: &mut NormalSampler,
+    noise: f64,
+) -> Vec<f64> {
+    let proto = prototype(digit);
+    let shift_x: i32 = rng.gen_range(-2..=2);
+    let shift_y: i32 = rng.gen_range(-2..=2);
+    let intensity = 0.75 + 0.25 * rng.gen::<f64>();
+    let side = IMAGE_SIDE as i32;
+    let mut shifted = vec![0.0f64; proto.len()];
+    for y in 0..side {
+        for x in 0..side {
+            let sx = x - shift_x;
+            let sy = y - shift_y;
+            if (0..side).contains(&sx) && (0..side).contains(&sy) {
+                shifted[(y * side + x) as usize] = proto[(sy * side + sx) as usize] * intensity;
+            }
+        }
+    }
+    let blurred = box_blur(&shifted);
+    blurred
+        .into_iter()
+        .map(|v| (v + normal.sample(rng, 0.0, noise)).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// 3×3 box blur with edge clamping.
+fn box_blur(img: &[f64]) -> Vec<f64> {
+    let side = IMAGE_SIDE as i32;
+    let mut out = vec![0.0f64; img.len()];
+    for y in 0..side {
+        for x in 0..side {
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let sx = x + dx;
+                    let sy = y + dy;
+                    if (0..side).contains(&sx) && (0..side).contains(&sy) {
+                        acc += img[(sy * side + sx) as usize];
+                        n += 1.0;
+                    }
+                }
+            }
+            out[(y * side + x) as usize] = acc / n;
+        }
+    }
+    out
+}
+
+/// Generates the MNIST-surrogate dataset: `train_per_class` +
+/// `test_per_class` jittered renderings of each digit.
+pub fn digits_dataset(train_per_class: usize, test_per_class: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut normal = NormalSampler::new();
+    let noise = 0.15;
+    let mut train = Vec::with_capacity(10 * train_per_class);
+    let mut test = Vec::with_capacity(10 * test_per_class);
+    for digit in 0..10 {
+        for _ in 0..train_per_class {
+            train.push(Sample {
+                features: render_sample(digit, &mut rng, &mut normal, noise),
+                label: digit,
+            });
+        }
+        for _ in 0..test_per_class {
+            test.push(Sample {
+                features: render_sample(digit, &mut rng, &mut normal, noise),
+                label: digit,
+            });
+        }
+    }
+    Dataset::new(
+        "mnist-surrogate",
+        IMAGE_SIDE * IMAGE_SIDE,
+        10,
+        train,
+        test,
+    )
+    .expect("rendered digits satisfy dataset invariants")
+}
+
+/// Renders a 28×28 image as ASCII art (darkest = `@`), for the Fig. 2 /
+/// Fig. 6 visual comparisons in terminal output.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != 784`.
+pub fn to_ascii(pixels: &[f64]) -> String {
+    assert_eq!(pixels.len(), IMAGE_SIDE * IMAGE_SIDE, "expect a 28x28 image");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((IMAGE_SIDE + 1) * IMAGE_SIDE);
+    for y in 0..IMAGE_SIDE {
+        for x in 0..IMAGE_SIDE {
+            let v = pixels[y * IMAGE_SIDE + x].clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototypes_are_binary_and_nonempty() {
+        for d in 0..10 {
+            let p = prototype(d);
+            assert_eq!(p.len(), 784);
+            let ink: f64 = p.iter().sum();
+            assert!(ink > 30.0, "digit {d} has ink {ink}");
+            assert!(p.iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn prototypes_are_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let pa = prototype(a);
+                let pb = prototype(b);
+                let diff: f64 = pa.iter().zip(&pb).map(|(x, y)| (x - y).abs()).sum();
+                assert!(diff > 10.0, "digits {a} and {b} too similar: {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn samples_stay_normalized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ns = NormalSampler::new();
+        for d in 0..10 {
+            let img = render_sample(d, &mut rng, &mut ns, 0.2);
+            assert!(img.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn samples_correlate_with_their_prototype() {
+        // Jitter (shift ±2) can make a single sample resemble another
+        // glyph, so compare correlations averaged over several samples.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ns = NormalSampler::new();
+        for d in 0..10 {
+            let other = (d + 5) % 10;
+            let (mut own, mut cross) = (0.0, 0.0);
+            for _ in 0..10 {
+                let img = render_sample(d, &mut rng, &mut ns, 0.05);
+                own += correlation(&img, &prototype(d));
+                cross += correlation(&img, &prototype(other));
+            }
+            assert!(
+                own > cross,
+                "digit {d}: own avg {own} vs {other} avg {cross}"
+            );
+        }
+    }
+
+    fn correlation(a: &[f64], b: &[f64]) -> f64 {
+        let ma = a.iter().sum::<f64>() / a.len() as f64;
+        let mb = b.iter().sum::<f64>() / b.len() as f64;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn dataset_has_mnist_shape() {
+        let ds = digits_dataset(5, 2, 3);
+        assert_eq!(ds.features(), 784);
+        assert_eq!(ds.num_classes(), 10);
+        assert_eq!(ds.train().len(), 50);
+        assert_eq!(ds.test().len(), 20);
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        assert_eq!(digits_dataset(3, 1, 9), digits_dataset(3, 1, 9));
+        assert_ne!(digits_dataset(3, 1, 9), digits_dataset(3, 1, 10));
+    }
+
+    #[test]
+    fn ascii_rendering_has_28_lines() {
+        let art = to_ascii(&prototype(8));
+        assert_eq!(art.lines().count(), 28);
+        assert!(art.contains('@'));
+    }
+
+    #[test]
+    #[should_panic(expected = "28x28")]
+    fn ascii_rejects_wrong_size() {
+        let _ = to_ascii(&[0.0; 100]);
+    }
+}

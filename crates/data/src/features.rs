@@ -1,0 +1,256 @@
+//! Feature preprocessing for real corpora.
+//!
+//! The encoders expect features normalized to `[0, 1]` and quantized to
+//! the `ℓ_iv`-level grid of Eq. (1). Real datasets arrive in arbitrary
+//! scales, so this module provides fitted normalizers (min–max and
+//! robust quantile) plus level-occupancy diagnostics that tell a user
+//! whether their `ℓ_iv` choice wastes levels.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-column normalizer fitted on training data and applied to any
+/// split (fitting on test data would leak).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Normalizer {
+    /// Affine map of the observed `[min, max]` onto `[0, 1]`.
+    MinMax {
+        /// Per-column observed minimum.
+        min: Vec<f64>,
+        /// Per-column observed maximum.
+        max: Vec<f64>,
+    },
+    /// Affine map of the observed `[q_low, q_high]` quantiles onto
+    /// `[0, 1]` with clamping — robust to outliers.
+    Quantile {
+        /// Per-column low quantile value.
+        low: Vec<f64>,
+        /// Per-column high quantile value.
+        high: Vec<f64>,
+    },
+}
+
+impl Normalizer {
+    /// Fits a min–max normalizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit_min_max(rows: &[Vec<f64>]) -> Self {
+        let (min, max) = column_extents(rows);
+        Normalizer::MinMax { min, max }
+    }
+
+    /// Fits a quantile normalizer at `(low_q, high_q)`, e.g.
+    /// `(0.01, 0.99)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty/ragged or the quantiles are not
+    /// `0 ≤ low_q < high_q ≤ 1`.
+    pub fn fit_quantile(rows: &[Vec<f64>], low_q: f64, high_q: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&low_q) && low_q < high_q && high_q <= 1.0,
+            "quantiles must satisfy 0 <= low < high <= 1"
+        );
+        assert!(!rows.is_empty(), "cannot fit on an empty set");
+        let features = rows[0].len();
+        let mut low = Vec::with_capacity(features);
+        let mut high = Vec::with_capacity(features);
+        for col in 0..features {
+            let mut values: Vec<f64> = rows.iter().map(|r| r[col]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            low.push(quantile(&values, low_q));
+            high.push(quantile(&values, high_q));
+        }
+        Normalizer::Quantile { low, high }
+    }
+
+    /// Number of feature columns this normalizer was fitted on.
+    pub fn features(&self) -> usize {
+        match self {
+            Normalizer::MinMax { min, .. } => min.len(),
+            Normalizer::Quantile { low, .. } => low.len(),
+        }
+    }
+
+    /// Normalizes one row into `[0, 1]` per column (clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the fitted feature count.
+    pub fn apply(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.features(), "feature count mismatch");
+        let (lo, hi): (&[f64], &[f64]) = match self {
+            Normalizer::MinMax { min, max } => (min, max),
+            Normalizer::Quantile { low, high } => (low, high),
+        };
+        row.iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(&v, (&l, &h))| {
+                let span = h - l;
+                if span > 0.0 {
+                    ((v - l) / span).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                }
+            })
+            .collect()
+    }
+
+    /// Normalizes a batch of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a feature-count mismatch in any row.
+    pub fn apply_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.apply(r)).collect()
+    }
+}
+
+/// Per-level occupancy of normalized features on the Eq. (1) grid:
+/// `histogram[k]` counts values whose level index is `k`.
+///
+/// A heavily skewed histogram means the chosen `ℓ_iv` wastes levels
+/// (the Fig. 4 legend's L50-vs-L100 effect).
+pub fn level_occupancy(rows: &[Vec<f64>], levels: usize) -> Vec<usize> {
+    assert!(levels >= 2, "need at least two levels");
+    let mut hist = vec![0usize; levels];
+    for row in rows {
+        for &v in row {
+            let idx = ((v.clamp(0.0, 1.0)) * levels as f64).floor() as usize;
+            hist[idx.min(levels - 1)] += 1;
+        }
+    }
+    hist
+}
+
+/// Fraction of levels that receive at least one value — the utilization
+/// diagnostic.
+pub fn level_utilization(rows: &[Vec<f64>], levels: usize) -> f64 {
+    let hist = level_occupancy(rows, levels);
+    hist.iter().filter(|c| **c > 0).count() as f64 / levels as f64
+}
+
+fn column_extents(rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    assert!(!rows.is_empty(), "cannot fit on an empty set");
+    let features = rows[0].len();
+    let mut min = vec![f64::INFINITY; features];
+    let mut max = vec![f64::NEG_INFINITY; features];
+    for row in rows {
+        assert_eq!(row.len(), features, "ragged feature rows");
+        for (col, &v) in row.iter().enumerate() {
+            min[col] = min[col].min(v);
+            max[col] = max[col].max(v);
+        }
+    }
+    (min, max)
+}
+
+/// Linear-interpolation quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < sorted.len() {
+        sorted[i] * (1.0 - frac) + sorted[i + 1] * frac
+    } else {
+        sorted[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 100.0],
+            vec![5.0, 200.0],
+            vec![10.0, 300.0],
+        ]
+    }
+
+    #[test]
+    fn min_max_maps_extents_to_unit_interval() {
+        let n = Normalizer::fit_min_max(&rows());
+        assert_eq!(n.apply(&[0.0, 100.0]), vec![0.0, 0.0]);
+        assert_eq!(n.apply(&[10.0, 300.0]), vec![1.0, 1.0]);
+        assert_eq!(n.apply(&[5.0, 200.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn min_max_clamps_unseen_values() {
+        let n = Normalizer::fit_min_max(&rows());
+        let out = n.apply(&[-5.0, 500.0]);
+        assert_eq!(out, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_columns_map_to_half() {
+        let n = Normalizer::fit_min_max(&[vec![7.0], vec![7.0]]);
+        assert_eq!(n.apply(&[7.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn quantile_normalizer_resists_outliers() {
+        let mut data: Vec<Vec<f64>> = (0..99).map(|i| vec![i as f64]).collect();
+        data.push(vec![1e9]); // outlier
+        let minmax = Normalizer::fit_min_max(&data);
+        // 0.95 rather than 0.99: with 100 points the 99% quantile
+        // already interpolates into the outlier.
+        let robust = Normalizer::fit_quantile(&data, 0.05, 0.95);
+        // Under min-max the bulk collapses near zero; robust keeps it
+        // spread out.
+        let mid_minmax = minmax.apply(&[50.0])[0];
+        let mid_robust = robust.apply(&[50.0])[0];
+        assert!(mid_minmax < 1e-4, "{mid_minmax}");
+        assert!((0.3..0.7).contains(&mid_robust), "{mid_robust}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantiles must satisfy")]
+    fn bad_quantiles_rejected() {
+        let _ = Normalizer::fit_quantile(&rows(), 0.9, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn apply_checks_arity() {
+        let n = Normalizer::fit_min_max(&rows());
+        let _ = n.apply(&[1.0]);
+    }
+
+    #[test]
+    fn batch_matches_single_application() {
+        let n = Normalizer::fit_min_max(&rows());
+        let batch = n.apply_batch(&rows());
+        for (r, b) in rows().iter().zip(&batch) {
+            assert_eq!(&n.apply(r), b);
+        }
+    }
+
+    #[test]
+    fn occupancy_counts_every_value() {
+        let data = vec![vec![0.0, 0.5, 1.0]];
+        let hist = level_occupancy(&data, 4);
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+        assert_eq!(hist[0], 1); // 0.0
+        assert_eq!(hist[2], 1); // 0.5
+        assert_eq!(hist[3], 1); // 1.0 clamps to the last level
+    }
+
+    #[test]
+    fn utilization_detects_wasted_levels() {
+        // Binary features use only two of many levels.
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![if i % 2 == 0 { 0.0 } else { 1.0 }])
+            .collect();
+        assert!(level_utilization(&data, 100) < 0.05);
+        // Uniform features fill most levels.
+        let dense: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64 / 999.0]).collect();
+        assert!(level_utilization(&dense, 50) > 0.95);
+    }
+}

@@ -1,0 +1,300 @@
+//! Dataset import/export: CSV interchange with real corpora.
+//!
+//! The surrogates exist because this environment has no network; a
+//! downstream user *does* have the real UCI ISOLET / MNIST files. This
+//! module reads and writes the common `f,f,…,f,label` CSV layout (the
+//! UCI ISOLET distribution format) so every experiment in the workspace
+//! can run on real data unchanged. Features are min–max normalized to
+//! `[0, 1]` per column on import, as the Eq. (1) feature-level grid
+//! expects.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::dataset::{Dataset, DatasetError, Sample};
+
+/// Errors arising while parsing a CSV dataset.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number (line, column).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+    },
+    /// A row had a different arity than the first row.
+    Ragged {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A label was negative or non-integral.
+    Label {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// No data rows were found.
+    Empty,
+    /// The assembled dataset violated an invariant.
+    Dataset(DatasetError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, column } => {
+                write!(f, "unparseable number at line {line}, column {column}")
+            }
+            CsvError::Ragged { line } => write!(f, "inconsistent column count at line {line}"),
+            CsvError::Label { line } => write!(f, "invalid class label at line {line}"),
+            CsvError::Empty => write!(f, "no data rows found"),
+            CsvError::Dataset(e) => write!(f, "invalid dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses `feature,…,feature,label` rows into raw (unnormalized)
+/// samples. Lines that are empty or start with `#` are skipped.
+fn parse_rows<R: Read>(reader: R) -> Result<Vec<(Vec<f64>, usize)>, CsvError> {
+    let buf = BufReader::new(reader);
+    let mut rows: Vec<(Vec<f64>, usize)> = Vec::new();
+    let mut arity: Option<usize> = None;
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        match arity {
+            None => arity = Some(cells.len()),
+            Some(a) if a != cells.len() => return Err(CsvError::Ragged { line: line_no }),
+            _ => {}
+        }
+        if cells.len() < 2 {
+            return Err(CsvError::Ragged { line: line_no });
+        }
+        let mut features = Vec::with_capacity(cells.len() - 1);
+        for (col, cell) in cells[..cells.len() - 1].iter().enumerate() {
+            let v: f64 = cell.parse().map_err(|_| CsvError::Parse {
+                line: line_no,
+                column: col,
+            })?;
+            features.push(v);
+        }
+        let label_cell = cells[cells.len() - 1];
+        // Accept both "3" and "3.0" labels (UCI ISOLET uses floats).
+        let label_f: f64 = label_cell.parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            column: cells.len() - 1,
+        })?;
+        if label_f < 0.0 || label_f.fract() != 0.0 {
+            return Err(CsvError::Label { line: line_no });
+        }
+        rows.push((features, label_f as usize));
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Min–max normalizes each column to `[0, 1]` in place (constant columns
+/// map to 0.5).
+fn normalize_columns(rows: &mut [(Vec<f64>, usize)]) {
+    let features = rows[0].0.len();
+    for col in 0..features {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, _) in rows.iter() {
+            lo = lo.min(x[col]);
+            hi = hi.max(x[col]);
+        }
+        let span = hi - lo;
+        for (x, _) in rows.iter_mut() {
+            x[col] = if span > 0.0 {
+                ((x[col] - lo) / span).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+        }
+    }
+}
+
+/// Reads a labelled CSV (train rows) and a second CSV (test rows) into a
+/// normalized [`Dataset`]. Labels may be any non-negative integers; they
+/// are remapped densely to `0..num_classes` preserving order of first
+/// appearance in the training split.
+///
+/// Pass `&mut reader` when you need the readers back afterwards.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] describing the first problem found.
+pub fn dataset_from_csv<R1: Read, R2: Read>(
+    name: &str,
+    train: R1,
+    test: R2,
+) -> Result<Dataset, CsvError> {
+    let mut train_rows = parse_rows(train)?;
+    let mut test_rows = parse_rows(test)?;
+    normalize_columns(&mut train_rows);
+    normalize_columns(&mut test_rows);
+
+    // Dense label remap from the training split.
+    let mut label_map: Vec<usize> = Vec::new();
+    let remap = |raw: usize, map: &mut Vec<usize>| -> usize {
+        match map.iter().position(|&l| l == raw) {
+            Some(i) => i,
+            None => {
+                map.push(raw);
+                map.len() - 1
+            }
+        }
+    };
+    let features = train_rows[0].0.len();
+    let to_samples = |rows: Vec<(Vec<f64>, usize)>, map: &mut Vec<usize>| -> Vec<Sample> {
+        rows.into_iter()
+            .map(|(features, raw)| Sample {
+                features,
+                label: remap(raw, map),
+            })
+            .collect()
+    };
+    let train_samples = to_samples(train_rows, &mut label_map);
+    let test_samples = to_samples(test_rows, &mut label_map);
+    let num_classes = label_map.len();
+    Dataset::new(name, features, num_classes, train_samples, test_samples)
+        .map_err(CsvError::Dataset)
+}
+
+/// Writes a dataset split back out as `feature,…,feature,label` CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn split_to_csv<W: Write>(samples: &[Sample], mut writer: W) -> std::io::Result<()> {
+    for s in samples {
+        let mut row = s
+            .features
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        row.push(',');
+        row.push_str(&s.label.to_string());
+        writeln!(writer, "{row}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAIN: &str = "0.0,10.0,1\n1.0,20.0,2\n0.5,15.0,1\n";
+    const TEST: &str = "0.2,12.0,2\n";
+
+    #[test]
+    fn round_trip_parses_and_normalizes() {
+        let ds = dataset_from_csv("t", TRAIN.as_bytes(), TEST.as_bytes()).unwrap();
+        assert_eq!(ds.features(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.train().len(), 3);
+        assert_eq!(ds.test().len(), 1);
+        // Column 0 spans [0,1] after min-max normalization.
+        assert_eq!(ds.train()[0].features[0], 0.0);
+        assert_eq!(ds.train()[1].features[0], 1.0);
+        assert_eq!(ds.train()[2].features[0], 0.5);
+        // Labels remapped densely: 1 -> 0, 2 -> 1.
+        assert_eq!(ds.train()[0].label, 0);
+        assert_eq!(ds.train()[1].label, 1);
+        assert_eq!(ds.test()[0].label, 1);
+    }
+
+    #[test]
+    fn float_labels_are_accepted() {
+        let ds = dataset_from_csv("t", "0,1,3.0\n1,0,4.0\n".as_bytes(), "0,0,3.0\n".as_bytes())
+            .unwrap();
+        assert_eq!(ds.num_classes(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let csv = "# header comment\n\n0,1,0\n1,0,1\n";
+        let ds = dataset_from_csv("t", csv.as_bytes(), "0,1,0\n".as_bytes()).unwrap();
+        assert_eq!(ds.train().len(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let err = dataset_from_csv("t", "0,1,0\n0,1,2,0\n".as_bytes(), TEST.as_bytes());
+        assert!(matches!(err, Err(CsvError::Ragged { line: 2 })));
+    }
+
+    #[test]
+    fn bad_numbers_report_position() {
+        let err = dataset_from_csv("t", "0,x,0\n".as_bytes(), TEST.as_bytes());
+        match err {
+            Err(CsvError::Parse { line, column }) => {
+                assert_eq!((line, column), (1, 1));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_labels_are_rejected() {
+        let err = dataset_from_csv("t", "0,1,1.5\n".as_bytes(), TEST.as_bytes());
+        assert!(matches!(err, Err(CsvError::Label { line: 1 })));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let err = dataset_from_csv("t", "".as_bytes(), TEST.as_bytes());
+        assert!(matches!(err, Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn constant_columns_map_to_half() {
+        let ds = dataset_from_csv("t", "5,0,0\n5,1,1\n".as_bytes(), "5,0,0\n".as_bytes()).unwrap();
+        assert_eq!(ds.train()[0].features[0], 0.5);
+        assert_eq!(ds.train()[1].features[0], 0.5);
+    }
+
+    #[test]
+    fn export_then_import_preserves_shape() {
+        let ds = dataset_from_csv("t", TRAIN.as_bytes(), TEST.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        split_to_csv(ds.train(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let reparsed = dataset_from_csv("t2", text.as_bytes(), text.as_bytes()).unwrap();
+        assert_eq!(reparsed.features(), ds.features());
+        assert_eq!(reparsed.num_classes(), ds.num_classes());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::Ragged { line: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,126 @@
+//! Seeded Gaussian sampling (Box–Muller).
+//!
+//! `rand` 0.8 ships only uniform distributions; the Gaussian mechanism of
+//! differential privacy and the cluster generator both need normal
+//! deviates, so this module provides a small, allocation-free Box–Muller
+//! transformer with a cached spare value.
+
+use rand::Rng;
+
+/// A Gaussian sampler wrapping any [`Rng`].
+///
+/// # Examples
+///
+/// ```
+/// use privehd_data::NormalSampler;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut normal = NormalSampler::new();
+/// let x = normal.sample(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with an empty spare cache.
+    pub fn new() -> Self {
+        Self { spare: None }
+    }
+
+    /// Draws one `N(mean, std²)` deviate.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `std` is negative.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        debug_assert!(std >= 0.0, "standard deviation must be non-negative");
+        mean + std * self.standard(rng)
+    }
+
+    /// Draws one standard-normal deviate via Box–Muller.
+    pub fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fills `out` with i.i.d. `N(mean, std²)` deviates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64], mean: f64, std: f64) {
+        for v in out {
+            *v = self.sample(rng, mean, std);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut normal = NormalSampler::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ns = NormalSampler::new();
+            (0..8).map(|_| ns.standard(&mut rng)).collect::<Vec<f64>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn spare_value_is_consumed_alternately() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ns = NormalSampler::new();
+        let _ = ns.standard(&mut rng);
+        assert!(ns.spare.is_some());
+        let _ = ns.standard(&mut rng);
+        assert!(ns.spare.is_none());
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ns = NormalSampler::new();
+        let mut buf = [f64::NAN; 33];
+        ns.fill(&mut rng, &mut buf, 0.0, 1.0);
+        assert!(buf.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tail_probability_is_plausible() {
+        // ~4.55% of standard normals fall beyond |2σ|.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ns = NormalSampler::new();
+        let n = 100_000;
+        let beyond = (0..n)
+            .filter(|_| ns.standard(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        assert!((beyond - 0.0455).abs() < 0.005, "tail = {beyond}");
+    }
+}

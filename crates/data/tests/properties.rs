@@ -1,0 +1,89 @@
+//! Property-based tests for the dataset substrate.
+
+use proptest::prelude::*;
+
+use privehd_data::{digits, ClusterSpec, Dataset, NormalSampler, Sample, SyntheticGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generator_shapes_follow_spec(
+        features in 1usize..64,
+        classes in 1usize..8,
+        train in 1usize..12,
+        test in 0usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let ds = SyntheticGenerator::new(
+            ClusterSpec::new("p", features, classes)
+                .with_samples(train, test)
+                .with_seed(seed),
+        )
+        .generate();
+        prop_assert_eq!(ds.features(), features);
+        prop_assert_eq!(ds.num_classes(), classes);
+        prop_assert_eq!(ds.train().len(), classes * train);
+        prop_assert_eq!(ds.test().len(), classes * test);
+        for s in ds.train().iter().chain(ds.test()) {
+            prop_assert!(s.label < classes);
+            for &v in &s.features {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_fraction_respected(frac in 0.05f64..1.0, seed in 0u64..100) {
+        let train: Vec<Sample> = (0..200)
+            .map(|i| Sample { features: vec![(i % 10) as f64 / 10.0], label: i % 4 })
+            .collect();
+        let ds = Dataset::new("p", 1, 4, train, vec![]).unwrap();
+        let sub = ds.subsample_train(frac, seed);
+        let expected = (50.0 * frac).round() as usize * 4;
+        // Per-class rounding may shift the total by at most `classes`.
+        prop_assert!((sub.train().len() as i64 - expected as i64).abs() <= 4);
+        // Stratification: class counts differ by at most 1 from each other.
+        let hist = sub.class_histogram();
+        let min = hist.iter().min().unwrap();
+        let max = hist.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn normal_sampler_is_deterministic_and_finite(seed in 0u64..10_000, mean in -10.0f64..10.0, std in 0.0f64..10.0) {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ns = NormalSampler::new();
+            (0..16).map(|_| ns.sample(&mut rng, mean, std)).collect::<Vec<_>>()
+        };
+        let a = draw();
+        let b = draw();
+        prop_assert_eq!(&a, &b);
+        for v in a {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn rendered_digits_are_valid_images(digit in 0usize..10, seed in 0u64..1_000, noise in 0.0f64..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ns = NormalSampler::new();
+        let img = digits::render_sample(digit, &mut rng, &mut ns, noise);
+        prop_assert_eq!(img.len(), 784);
+        for v in img {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ascii_render_never_panics_on_valid_images(seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ns = NormalSampler::new();
+        let img = digits::render_sample((seed % 10) as usize, &mut rng, &mut ns, 0.2);
+        let art = digits::to_ascii(&img);
+        prop_assert_eq!(art.lines().count(), 28);
+    }
+}

@@ -1,0 +1,187 @@
+//! Device-level FPGA design model: from LUT budget to throughput.
+//!
+//! [`crate::perf`] models platforms by effective op rates; this module
+//! derives the FPGA's rate *structurally*: given a device LUT budget and
+//! clock, the resource model (Eq. 15) determines how many dimension
+//! pipelines fit, and the pipelined architecture of §III-D ("except the
+//! proposed approximate adders, the rest follows \[18\]") produces one
+//! batch of dimensions per cycle once the pipeline is full.
+//!
+//! ```text
+//! parallel_dims = device_luts · utilization / luts_per_dim(d_iv, scheme)
+//! cycles/input  = ceil(D_hv / parallel_dims)
+//! throughput    = clock / cycles_per_input
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use privehd_core::QuantScheme;
+
+use crate::perf::Workload;
+use crate::resources::ResourceModel;
+
+/// A concrete FPGA device + architecture instantiation.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_hw::design::FpgaDesign;
+/// use privehd_hw::perf::Workload;
+/// use privehd_core::QuantScheme;
+///
+/// let kintex = FpgaDesign::kintex7_325t();
+/// let isolet = Workload::new("ISOLET", 617, 10_000);
+/// let exact = kintex.throughput(&isolet, QuantScheme::Bipolar, false);
+/// let approx = kintex.throughput(&isolet, QuantScheme::Bipolar, true);
+/// // The 70.8% LUT saving converts into proportionally more parallel
+/// // dimension pipelines, hence higher throughput.
+/// assert!(approx > 3.0 * exact);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDesign {
+    /// Total LUT-6 on the device.
+    pub device_luts: usize,
+    /// Fraction of LUTs usable by the datapath (routing/control
+    /// overhead excluded).
+    pub utilization: f64,
+    /// Datapath clock in Hz.
+    pub clock_hz: f64,
+    /// Device power in watts (for energy-per-input).
+    pub power_w: f64,
+}
+
+impl FpgaDesign {
+    /// The paper's device: Xilinx Kintex-7 XC7K325T (KC705 kit) —
+    /// 203,800 LUT-6, 200 MHz datapath clock, ~7 W (XPE estimate).
+    pub fn kintex7_325t() -> Self {
+        Self {
+            device_luts: 203_800,
+            utilization: 0.75,
+            clock_hz: 200e6,
+            power_w: 7.0,
+        }
+    }
+
+    /// LUT-6 consumed by one output-dimension pipeline for the given
+    /// feature count and quantization scheme.
+    pub fn luts_per_dim(&self, d_iv: usize, scheme: QuantScheme, approximate: bool) -> f64 {
+        let m = ResourceModel::new(d_iv);
+        match scheme {
+            QuantScheme::Ternary | QuantScheme::TernaryBiased | QuantScheme::TwoBit => {
+                if approximate {
+                    m.ternary_saturated()
+                } else {
+                    m.ternary_exact()
+                }
+            }
+            // Bipolar (and the full-precision reference, which the FPGA
+            // would not implement — treat as exact bipolar datapath).
+            _ => {
+                if approximate {
+                    m.bipolar_approx()
+                } else {
+                    m.bipolar_exact()
+                }
+            }
+        }
+    }
+
+    /// How many dimension pipelines fit the device.
+    pub fn parallel_dims(&self, d_iv: usize, scheme: QuantScheme, approximate: bool) -> usize {
+        let per_dim = self.luts_per_dim(d_iv, scheme, approximate);
+        ((self.device_luts as f64 * self.utilization) / per_dim).floor() as usize
+    }
+
+    /// Pipeline cycles per input: `ceil(D_hv / parallel_dims)`, at least
+    /// one.
+    pub fn cycles_per_input(
+        &self,
+        workload: &Workload,
+        scheme: QuantScheme,
+        approximate: bool,
+    ) -> usize {
+        let p = self.parallel_dims(workload.features, scheme, approximate).max(1);
+        workload.dim.div_ceil(p).max(1)
+    }
+
+    /// Inference throughput (inputs/s) of the pipelined design.
+    pub fn throughput(&self, workload: &Workload, scheme: QuantScheme, approximate: bool) -> f64 {
+        self.clock_hz / self.cycles_per_input(workload, scheme, approximate) as f64
+    }
+
+    /// Energy per input in Joules.
+    pub fn energy_per_input(
+        &self,
+        workload: &Workload,
+        scheme: QuantScheme,
+        approximate: bool,
+    ) -> f64 {
+        self.power_w / self.throughput(workload, scheme, approximate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn isolet() -> Workload {
+        Workload::new("ISOLET", 617, 10_000)
+    }
+
+    #[test]
+    fn approximation_multiplies_parallelism_by_the_saving() {
+        let d = FpgaDesign::kintex7_325t();
+        let exact = d.parallel_dims(617, QuantScheme::Bipolar, false);
+        let approx = d.parallel_dims(617, QuantScheme::Bipolar, true);
+        // 4/3 / (7/18) = 24/7 ≈ 3.43x more pipelines.
+        let ratio = approx as f64 / exact as f64;
+        assert!((ratio - 24.0 / 7.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn throughput_lands_in_the_papers_magnitude() {
+        // Paper Table I: 2.5M inputs/s on ISOLET.
+        let d = FpgaDesign::kintex7_325t();
+        let tput = d.throughput(&isolet(), QuantScheme::Bipolar, true);
+        assert!(
+            (1e6..2e8).contains(&tput),
+            "structural throughput {tput} inputs/s"
+        );
+    }
+
+    #[test]
+    fn ternary_costs_more_than_bipolar() {
+        let d = FpgaDesign::kintex7_325t();
+        let w = isolet();
+        assert!(
+            d.throughput(&w, QuantScheme::Ternary, true)
+                < d.throughput(&w, QuantScheme::Bipolar, true)
+        );
+    }
+
+    #[test]
+    fn energy_is_power_over_throughput() {
+        let d = FpgaDesign::kintex7_325t();
+        let w = isolet();
+        let e = d.energy_per_input(&w, QuantScheme::Bipolar, true);
+        assert!(
+            (e - d.power_w / d.throughput(&w, QuantScheme::Bipolar, true)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn more_features_means_fewer_pipelines() {
+        let d = FpgaDesign::kintex7_325t();
+        assert!(
+            d.parallel_dims(784, QuantScheme::Bipolar, true)
+                < d.parallel_dims(128, QuantScheme::Bipolar, true)
+        );
+    }
+
+    #[test]
+    fn cycles_per_input_is_at_least_one() {
+        let d = FpgaDesign::kintex7_325t();
+        let tiny = Workload::new("tiny", 6, 8);
+        assert_eq!(d.cycles_per_input(&tiny, QuantScheme::Bipolar, true), 1);
+    }
+}

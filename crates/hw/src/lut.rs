@@ -1,0 +1,129 @@
+//! A 6-input look-up table — the primitive cell of Xilinx 7-series
+//! fabric, and the unit every resource count in §III-D is expressed in.
+
+use serde::{Deserialize, Serialize};
+
+/// A 6-input, 1-output LUT holding a 64-entry truth table.
+///
+/// Input bit `i` of the address corresponds to input pin `i`; entry `a`
+/// of the table is the output for address `a`.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_hw::Lut6;
+///
+/// let and6 = Lut6::from_fn(|bits| bits.iter().all(|&b| b));
+/// assert!(and6.eval([true; 6]));
+/// assert!(!and6.eval([true, true, true, true, true, false]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lut6 {
+    table: u64,
+}
+
+impl Lut6 {
+    /// Builds a LUT from an explicit 64-bit truth table.
+    pub fn from_table(table: u64) -> Self {
+        Self { table }
+    }
+
+    /// Builds a LUT by evaluating `f` on all 64 input combinations.
+    pub fn from_fn<F: Fn([bool; 6]) -> bool>(f: F) -> Self {
+        let mut table = 0u64;
+        for addr in 0..64u64 {
+            let bits = Self::address_to_bits(addr);
+            if f(bits) {
+                table |= 1 << addr;
+            }
+        }
+        Self { table }
+    }
+
+    /// The majority-of-six LUT of Fig. 7(a). A 3–3 tie resolves to
+    /// `tie_break` (the paper: "it breaks the tie randomly
+    /// (predetermined)" — fixed at synthesis time, so a parameter here).
+    pub fn majority(tie_break: bool) -> Self {
+        Self::from_fn(|bits| {
+            let ones = bits.iter().filter(|&&b| b).count();
+            match ones.cmp(&3) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => tie_break,
+            }
+        })
+    }
+
+    /// Evaluates the LUT on six input bits.
+    pub fn eval(&self, bits: [bool; 6]) -> bool {
+        self.table >> Self::bits_to_address(bits) & 1 == 1
+    }
+
+    /// The raw truth table.
+    pub fn table(&self) -> u64 {
+        self.table
+    }
+
+    fn bits_to_address(bits: [bool; 6]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn address_to_bits(addr: u64) -> [bool; 6] {
+        let mut bits = [false; 6];
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = addr >> i & 1 == 1;
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_round_trips_through_eval() {
+        let parity = Lut6::from_fn(|b| b.iter().filter(|&&x| x).count() % 2 == 1);
+        for addr in 0..64u64 {
+            let bits = Lut6::address_to_bits(addr);
+            let expected = bits.iter().filter(|&&x| x).count() % 2 == 1;
+            assert_eq!(parity.eval(bits), expected, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn majority_is_correct_off_tie() {
+        let maj = Lut6::majority(false);
+        assert!(maj.eval([true, true, true, true, false, false]));
+        assert!(!maj.eval([true, true, false, false, false, false]));
+        assert!(maj.eval([true; 6]));
+        assert!(!maj.eval([false; 6]));
+    }
+
+    #[test]
+    fn majority_tie_break_is_respected() {
+        let tie = [true, true, true, false, false, false];
+        assert!(Lut6::majority(true).eval(tie));
+        assert!(!Lut6::majority(false).eval(tie));
+    }
+
+    #[test]
+    fn majority_is_symmetric_in_inputs() {
+        // Majority only depends on the popcount, not the permutation.
+        let maj = Lut6::majority(true);
+        for addr in 0..64u64 {
+            let bits = Lut6::address_to_bits(addr);
+            let mut rotated = bits;
+            rotated.rotate_left(2);
+            assert_eq!(maj.eval(bits), maj.eval(rotated));
+        }
+    }
+
+    #[test]
+    fn table_accessor_matches_from_table() {
+        let l = Lut6::from_table(0xDEAD_BEEF_0123_4567);
+        assert_eq!(Lut6::from_table(l.table()), l);
+    }
+}

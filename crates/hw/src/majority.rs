@@ -1,0 +1,250 @@
+//! The approximate majority circuit for bipolar quantization (Fig. 7a).
+//!
+//! Each output dimension of the Eq. (2b) encoding is the sum of `d_iv`
+//! bits (representing `{−1,+1}`); bipolar quantization only needs its
+//! *sign*, i.e. a majority vote. The exact circuit is a full adder tree
+//! (`≈ 4/3·d_iv` LUT-6). The approximate circuit replaces the first stage
+//! with LUT-6 *partial majorities* — every six bits become one majority
+//! bit — and feeds the survivors to an exact adder tree plus threshold,
+//! for `≈ 7/18·d_iv` LUT-6 (Eq. 15). Cascading more majority stages
+//! saves more LUTs but degrades accuracy, which is why the paper stops
+//! after one stage; [`MajorityCircuit::with_stages`] exposes the depth
+//! for the ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lut::Lut6;
+
+/// Exact sign of a `{−1,+1}` bit sum: `true` (+1) when the number of set
+/// bits is at least half — matching the software convention
+/// `sign(0) = +1` of `QuantScheme::Bipolar`.
+pub fn exact_sign(bits: &[bool]) -> bool {
+    let ones = bits.iter().filter(|&&b| b).count();
+    2 * ones >= bits.len()
+}
+
+/// One-stage approximate sign (the paper's configuration): partial
+/// majorities of six, then an exact threshold over the majority bits.
+pub fn approx_sign(bits: &[bool]) -> bool {
+    MajorityCircuit::new().sign(bits)
+}
+
+/// The configurable majority circuit.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_hw::MajorityCircuit;
+///
+/// let circuit = MajorityCircuit::new();
+/// let bits = vec![true; 36]; // unanimous +1
+/// assert!(circuit.sign(&bits));
+/// assert!(!circuit.sign(&vec![false; 36]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MajorityCircuit {
+    /// Number of LUT-majority stages before the exact adder tree.
+    /// 0 = fully exact; 1 = the paper's design; more = the degraded
+    /// cascade the paper warns about.
+    stages: usize,
+}
+
+impl Default for MajorityCircuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MajorityCircuit {
+    /// The paper's design: one majority stage.
+    pub fn new() -> Self {
+        Self { stages: 1 }
+    }
+
+    /// The exact reference circuit (adder tree only).
+    pub fn exact() -> Self {
+        Self { stages: 0 }
+    }
+
+    /// A cascade of `stages` majority stages (ablation; the paper notes
+    /// repeating "till log d_iv stages ... would degrade accuracy").
+    pub fn with_stages(stages: usize) -> Self {
+        Self { stages }
+    }
+
+    /// Number of majority stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Computes the (approximate) sign of the `{−1,+1}` sum of `bits`.
+    ///
+    /// Ties inside a LUT group break alternately (+, −, +, …) by group
+    /// index — a predetermined pattern, per the paper — so tie errors do
+    /// not bias the result systematically. Groups shorter than six (the
+    /// tail when `d_iv % 6 != 0`) use a majority over the actual length.
+    pub fn sign(&self, bits: &[bool]) -> bool {
+        if bits.is_empty() {
+            return true;
+        }
+        let mut current: Vec<bool> = bits.to_vec();
+        for _stage in 0..self.stages {
+            if current.len() < 6 {
+                break;
+            }
+            current = Self::majority_stage(&current);
+        }
+        exact_sign(&current)
+    }
+
+    /// One LUT-6 majority stage: every group of six bits collapses to its
+    /// majority bit.
+    fn majority_stage(bits: &[bool]) -> Vec<bool> {
+        let maj_pos = Lut6::majority(true);
+        let maj_neg = Lut6::majority(false);
+        bits.chunks(6)
+            .enumerate()
+            .map(|(g, chunk)| {
+                let tie_break = g % 2 == 0;
+                if chunk.len() == 6 {
+                    let lut = if tie_break { maj_pos } else { maj_neg };
+                    let mut arr = [false; 6];
+                    arr.copy_from_slice(chunk);
+                    lut.eval(arr)
+                } else {
+                    // Tail group: majority over the actual length.
+                    let ones = chunk.iter().filter(|&&b| b).count();
+                    match (2 * ones).cmp(&chunk.len()) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Equal => tie_break,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of random inputs on which this circuit agrees with the
+    /// exact sign, over `trials` vectors of `d_iv` i.i.d. fair bits.
+    /// The paper reports <1% loss for one stage.
+    pub fn agreement_rate(&self, d_iv: usize, trials: usize, seed: u64) -> f64 {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agree = 0usize;
+        for _ in 0..trials {
+            let bits: Vec<bool> = (0..d_iv).map(|_| rng.gen()).collect();
+            if self.sign(&bits) == exact_sign(&bits) {
+                agree += 1;
+            }
+        }
+        agree as f64 / trials.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sign_ties_are_positive() {
+        assert!(exact_sign(&[true, false]));
+        assert!(exact_sign(&[]));
+        assert!(exact_sign(&[true, true, false]));
+        assert!(!exact_sign(&[true, false, false]));
+    }
+
+    #[test]
+    fn zero_stage_circuit_is_exact() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let circuit = MajorityCircuit::exact();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let bits: Vec<bool> = (0..37).map(|_| rng.gen()).collect();
+            assert_eq!(circuit.sign(&bits), exact_sign(&bits));
+        }
+    }
+
+    #[test]
+    fn unanimous_inputs_are_always_correct() {
+        for stages in 0..4 {
+            let c = MajorityCircuit::with_stages(stages);
+            assert!(c.sign(&vec![true; 100]));
+            assert!(!c.sign(&vec![false; 100]));
+        }
+    }
+
+    #[test]
+    fn strong_majorities_survive_approximation() {
+        // 70/30 splits: the approximate circuit must get these right.
+        let mut bits = vec![true; 70];
+        bits.extend(vec![false; 30]);
+        assert!(approx_sign(&bits));
+        let mut bits = vec![false; 70];
+        bits.extend(vec![true; 30]);
+        assert!(!approx_sign(&bits));
+    }
+
+    #[test]
+    fn one_stage_agreement_is_high() {
+        // Fair-coin inputs are the worst case: the sum hovers near zero,
+        // where the approximation flips most easily. One stage measures
+        // ≈0.79 there; end-to-end HD accuracy loss is still <1% (paper,
+        // and the integration tests) because the flipped dimensions are
+        // precisely the near-tie ones that contribute least to the
+        // dot-product.
+        let rate = MajorityCircuit::new().agreement_rate(617, 2_000, 42);
+        assert!(rate > 0.75, "agreement = {rate}");
+    }
+
+    #[test]
+    fn agreement_is_near_perfect_on_biased_inputs() {
+        // Dimensions with a clear majority — the ones that matter for the
+        // similarity — are almost never flipped.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let circuit = MajorityCircuit::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut agree = 0usize;
+        let trials = 1_000;
+        for _ in 0..trials {
+            // 60/40 bias, alternating direction.
+            let p = if rng.gen::<bool>() { 0.6 } else { 0.4 };
+            let bits: Vec<bool> = (0..617).map(|_| rng.gen::<f64>() < p).collect();
+            if circuit.sign(&bits) == exact_sign(&bits) {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / trials as f64;
+        assert!(rate > 0.97, "biased agreement = {rate}");
+    }
+
+    #[test]
+    fn cascading_degrades_agreement() {
+        let one = MajorityCircuit::with_stages(1).agreement_rate(612, 2_000, 7);
+        let four = MajorityCircuit::with_stages(4).agreement_rate(612, 2_000, 7);
+        assert!(
+            four < one,
+            "deeper cascade should be worse: 1-stage {one}, 4-stage {four}"
+        );
+    }
+
+    #[test]
+    fn short_inputs_skip_majority_stage() {
+        let c = MajorityCircuit::new();
+        assert!(c.sign(&[true, true, false]));
+        assert!(!c.sign(&[false, false, true]));
+    }
+
+    #[test]
+    fn tail_groups_are_handled() {
+        // 8 bits: one full group + a 2-bit tail.
+        let c = MajorityCircuit::new();
+        let mut bits = vec![true; 6];
+        bits.extend([false, false]);
+        // Majority bit of group 0 = true; tail group majority of [F,F] = F;
+        // final threshold over [T, F] is a tie → exact_sign tie = true.
+        assert!(c.sign(&bits));
+    }
+}

@@ -1,0 +1,153 @@
+//! LUT-6 resource counts (Eq. 15 and §III-D).
+//!
+//! Per output dimension, for `d_iv` input bits:
+//!
+//! * exact bipolar (adder tree): `≈ 4/3·d_iv` LUT-6,
+//! * approximate bipolar (majority first stage, Eq. 15):
+//!   `d_iv/6 + (1/6)·Σ_{i=1}^{log d_iv} (d_iv/3)·(i/2^{i−1}) ≈ 7/18·d_iv`
+//!   — a 70.8% saving,
+//! * exact ternary: `≈ 3·d_iv` LUT-6,
+//! * saturated ternary (Fig. 7b): `≈ 2·d_iv` LUT-6 — a 33.3% saving.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource model for one output dimension of the encoder.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_hw::ResourceModel;
+///
+/// let m = ResourceModel::new(617);
+/// let saving = 1.0 - m.bipolar_approx() / m.bipolar_exact();
+/// assert!((saving - 0.708).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    d_iv: usize,
+}
+
+impl ResourceModel {
+    /// Model for `d_iv` input bits per dimension.
+    pub fn new(d_iv: usize) -> Self {
+        Self { d_iv }
+    }
+
+    /// The input bit count `d_iv`.
+    pub fn d_iv(&self) -> usize {
+        self.d_iv
+    }
+
+    /// LUT-6 for the exact bipolar adder tree: `4/3·d_iv`.
+    pub fn bipolar_exact(&self) -> f64 {
+        4.0 / 3.0 * self.d_iv as f64
+    }
+
+    /// LUT-6 for the approximate bipolar circuit, closed form of Eq. 15:
+    /// `7/18·d_iv`.
+    pub fn bipolar_approx(&self) -> f64 {
+        7.0 / 18.0 * self.d_iv as f64
+    }
+
+    /// LUT-6 for the approximate bipolar circuit via the explicit series
+    /// of Eq. 15 (converges to [`ResourceModel::bipolar_approx`] for large
+    /// `d_iv`):
+    /// `d_iv/6 + (1/6)·Σ_{i=1}^{⌈log₂ d_iv⌉} (d_iv/3)·(i/2^{i−1})`.
+    pub fn bipolar_approx_series(&self) -> f64 {
+        let d = self.d_iv as f64;
+        let log_d = (d.log2().ceil() as usize).max(1);
+        let series: f64 = (1..=log_d)
+            .map(|i| (d / 3.0) * (i as f64) / 2f64.powi(i as i32 - 1))
+            .sum();
+        d / 6.0 + series / 6.0
+    }
+
+    /// LUT-6 for the exact ternary adder tree: `3·d_iv`.
+    pub fn ternary_exact(&self) -> f64 {
+        3.0 * self.d_iv as f64
+    }
+
+    /// LUT-6 for the saturated ternary tree: `2·d_iv`.
+    pub fn ternary_saturated(&self) -> f64 {
+        2.0 * self.d_iv as f64
+    }
+
+    /// Fractional saving of the approximate bipolar circuit (paper:
+    /// 70.8%).
+    pub fn bipolar_saving(&self) -> f64 {
+        1.0 - self.bipolar_approx() / self.bipolar_exact()
+    }
+
+    /// Fractional saving of the saturated ternary circuit (paper: 33.3%).
+    pub fn ternary_saving(&self) -> f64 {
+        1.0 - self.ternary_saturated() / self.ternary_exact()
+    }
+
+    /// Total LUT-6 to instantiate `parallel_dims` dimension pipelines.
+    pub fn total_luts(&self, parallel_dims: usize, approximate: bool) -> f64 {
+        let per_dim = if approximate {
+            self.bipolar_approx()
+        } else {
+            self.bipolar_exact()
+        };
+        per_dim * parallel_dims as f64
+    }
+
+    /// How many dimension pipelines fit a device with `device_luts`
+    /// LUT-6 (e.g. ≈203,800 for the paper's Kintex-7 XC7K325T).
+    pub fn parallel_dims_on(&self, device_luts: usize, approximate: bool) -> usize {
+        let per_dim = if approximate {
+            self.bipolar_approx()
+        } else {
+            self.bipolar_exact()
+        };
+        (device_luts as f64 / per_dim).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_savings() {
+        let m = ResourceModel::new(617);
+        assert!((m.bipolar_saving() - 0.708).abs() < 0.005, "{}", m.bipolar_saving());
+        assert!((m.ternary_saving() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_approaches_closed_form() {
+        // 7/18 = 1/6 + (1/6)·(1/3)·Σ i/2^{i−1} with Σ→4: 1/6+4/18−… the
+        // paper's own approximation; tolerate a few percent at finite d.
+        for d in [512usize, 1024, 4096, 16384] {
+            let m = ResourceModel::new(d);
+            let ratio = m.bipolar_approx_series() / m.bipolar_approx();
+            assert!(
+                (0.9..1.2).contains(&ratio),
+                "d={d}: series {} vs closed {}",
+                m.bipolar_approx_series(),
+                m.bipolar_approx()
+            );
+        }
+    }
+
+    #[test]
+    fn approx_always_cheaper() {
+        for d in [6usize, 60, 617, 784, 10_000] {
+            let m = ResourceModel::new(d);
+            assert!(m.bipolar_approx() < m.bipolar_exact());
+            assert!(m.ternary_saturated() < m.ternary_exact());
+        }
+    }
+
+    #[test]
+    fn device_capacity_scales_with_approximation() {
+        let m = ResourceModel::new(617);
+        let device = 203_800; // Kintex-7 XC7K325T LUT count
+        let exact = m.parallel_dims_on(device, false);
+        let approx = m.parallel_dims_on(device, true);
+        assert!(approx > 3 * exact, "approx {approx} vs exact {exact}");
+        assert_eq!(m.total_luts(1, true), m.bipolar_approx());
+    }
+}

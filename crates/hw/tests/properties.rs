@@ -1,0 +1,85 @@
+//! Property-based tests for the hardware functional models.
+
+use proptest::prelude::*;
+
+use privehd_hw::{exact_sign, Lut6, MajorityCircuit, ResourceModel, SaturatedAdderTree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lut_from_fn_matches_function(table in any::<u64>()) {
+        let lut = Lut6::from_table(table);
+        let rebuilt = Lut6::from_fn(|bits| lut.eval(bits));
+        prop_assert_eq!(lut, rebuilt);
+    }
+
+    #[test]
+    fn majority_lut_matches_popcount(bits in prop::collection::vec(any::<bool>(), 6)) {
+        let mut arr = [false; 6];
+        arr.copy_from_slice(&bits);
+        let ones = bits.iter().filter(|&&b| b).count();
+        for tie in [false, true] {
+            let expected = match ones.cmp(&3) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => tie,
+            };
+            prop_assert_eq!(Lut6::majority(tie).eval(arr), expected);
+        }
+    }
+
+    #[test]
+    fn exact_circuit_always_matches_exact_sign(bits in prop::collection::vec(any::<bool>(), 1..500)) {
+        prop_assert_eq!(MajorityCircuit::exact().sign(&bits), exact_sign(&bits));
+    }
+
+    #[test]
+    fn approx_circuit_is_exact_on_unanimous_inputs(n in 1usize..500, value in any::<bool>()) {
+        for stages in 0..3 {
+            let c = MajorityCircuit::with_stages(stages);
+            prop_assert_eq!(c.sign(&vec![value; n]), value);
+        }
+    }
+
+    #[test]
+    fn negating_input_negates_approx_sign_off_ties(bits in prop::collection::vec(any::<bool>(), 12..400)) {
+        // When neither polarity hits a tie anywhere, the circuit is
+        // antisymmetric: flipping every bit flips the output.
+        let ones = bits.iter().filter(|&&b| b).count();
+        prop_assume!(2 * ones != bits.len());
+        let inverted: Vec<bool> = bits.iter().map(|b| !b).collect();
+        let c = MajorityCircuit::exact();
+        prop_assert_eq!(c.sign(&bits), !c.sign(&inverted));
+    }
+
+    #[test]
+    fn first_stage_sums_exactly(a in -1i32..=1, b in -1i32..=1, c in -1i32..=1) {
+        let tree = SaturatedAdderTree::new();
+        prop_assert_eq!(tree.first_stage([a, b, c]), a + b + c);
+    }
+
+    #[test]
+    fn saturated_sum_is_bounded(values in prop::collection::vec(-1i32..=1, 0..300)) {
+        let tree = SaturatedAdderTree::new();
+        let estimate = tree.sum(&values);
+        let n = values.len() as i64;
+        // |estimate| can never exceed the saturation envelope.
+        prop_assert!(estimate.abs() <= (n.max(3) + 3) * 4);
+    }
+
+    #[test]
+    fn saturated_sum_of_zeros_is_zero(n in 0usize..300) {
+        let tree = SaturatedAdderTree::new();
+        prop_assert_eq!(tree.sum(&vec![0i32; n]), 0);
+    }
+
+    #[test]
+    fn resource_savings_hold_for_all_d(d in 1usize..100_000) {
+        let m = ResourceModel::new(d);
+        prop_assert!(m.bipolar_approx() < m.bipolar_exact());
+        prop_assert!(m.ternary_saturated() < m.ternary_exact());
+        prop_assert!((m.bipolar_saving() - 0.7083).abs() < 1e-3);
+        prop_assert!((m.ternary_saving() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

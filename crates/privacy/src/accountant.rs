@@ -1,0 +1,194 @@
+//! Privacy-budget accounting across multiple releases.
+//!
+//! The paper releases one noisy model, but any practical deployment
+//! retrains and re-releases (new data, new dimensions, new ε sweeps —
+//! exactly what Fig. 8 does experimentally). Each release consumes
+//! budget; the accountant tracks the cumulative (ε, δ) guarantee under
+//! the two classical composition theorems:
+//!
+//! * **basic (sequential) composition** — ε and δ add up;
+//! * **advanced composition** (Dwork–Rothblum–Vadhan) — for `k`
+//!   releases of an (ε, δ)-mechanism and slack δ′:
+//!   `ε_total = ε·√(2k·ln(1/δ′)) + k·ε·(e^ε − 1)`,
+//!   `δ_total = k·δ + δ′`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::budget::PrivacyBudget;
+
+/// A ledger of privacy expenditures.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_privacy::accountant::PrivacyAccountant;
+/// use privehd_privacy::PrivacyBudget;
+///
+/// let mut ledger = PrivacyAccountant::new();
+/// let per_release = PrivacyBudget::with_paper_delta(1.0).unwrap();
+/// for _ in 0..4 {
+///     ledger.spend(per_release);
+/// }
+/// let (eps, delta) = ledger.basic_composition();
+/// assert_eq!(eps, 4.0);
+/// assert!((delta - 4e-5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyAccountant {
+    spends: Vec<PrivacyBudget>,
+}
+
+impl PrivacyAccountant {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one release at `budget`.
+    pub fn spend(&mut self, budget: PrivacyBudget) {
+        self.spends.push(budget);
+    }
+
+    /// Number of releases recorded.
+    pub fn releases(&self) -> usize {
+        self.spends.len()
+    }
+
+    /// The individual expenditures, in order.
+    pub fn spends(&self) -> &[PrivacyBudget] {
+        &self.spends
+    }
+
+    /// Cumulative (ε, δ) under basic sequential composition.
+    pub fn basic_composition(&self) -> (f64, f64) {
+        (
+            self.spends.iter().map(|b| b.epsilon()).sum(),
+            self.spends.iter().map(|b| b.delta()).sum(),
+        )
+    }
+
+    /// Cumulative (ε, δ) under advanced composition with slack
+    /// `delta_prime`, assuming homogeneous releases (uses the maximum
+    /// per-release ε/δ as the bound when they differ).
+    ///
+    /// Returns `None` for an empty ledger or a non-positive slack.
+    pub fn advanced_composition(&self, delta_prime: f64) -> Option<(f64, f64)> {
+        if self.spends.is_empty() || delta_prime <= 0.0 {
+            return None;
+        }
+        let k = self.spends.len() as f64;
+        let eps = self
+            .spends
+            .iter()
+            .map(|b| b.epsilon())
+            .fold(0.0f64, f64::max);
+        let delta = self
+            .spends
+            .iter()
+            .map(|b| b.delta())
+            .fold(0.0f64, f64::max);
+        let eps_total =
+            eps * (2.0 * k * (1.0 / delta_prime).ln()).sqrt() + k * eps * (eps.exp() - 1.0);
+        Some((eps_total, k * delta + delta_prime))
+    }
+
+    /// The tighter of basic and advanced composition at the given slack.
+    ///
+    /// Advanced composition only wins for many releases of small-ε
+    /// mechanisms; this picks whichever bound is smaller in ε.
+    pub fn best_bound(&self, delta_prime: f64) -> (f64, f64) {
+        let basic = self.basic_composition();
+        match self.advanced_composition(delta_prime) {
+            Some(adv) if adv.0 < basic.0 => adv,
+            _ => basic,
+        }
+    }
+
+    /// Whether the cumulative spend (basic composition) stays within a
+    /// target budget.
+    pub fn within(&self, target: &PrivacyBudget) -> bool {
+        let (eps, delta) = self.basic_composition();
+        eps <= target.epsilon() && delta <= target.delta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(eps: f64) -> PrivacyBudget {
+        PrivacyBudget::with_paper_delta(eps).unwrap()
+    }
+
+    #[test]
+    fn empty_ledger_spends_nothing() {
+        let a = PrivacyAccountant::new();
+        assert_eq!(a.basic_composition(), (0.0, 0.0));
+        assert_eq!(a.releases(), 0);
+        assert!(a.advanced_composition(1e-6).is_none());
+    }
+
+    #[test]
+    fn basic_composition_adds_up() {
+        let mut a = PrivacyAccountant::new();
+        a.spend(budget(1.0));
+        a.spend(budget(2.0));
+        a.spend(budget(0.5));
+        let (eps, delta) = a.basic_composition();
+        assert!((eps - 3.5).abs() < 1e-12);
+        assert!((delta - 3e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_releases() {
+        let mut a = PrivacyAccountant::new();
+        for _ in 0..100 {
+            a.spend(budget(0.1));
+        }
+        let (basic_eps, _) = a.basic_composition();
+        let (adv_eps, adv_delta) = a.advanced_composition(1e-6).unwrap();
+        assert!(adv_eps < basic_eps, "advanced {adv_eps} vs basic {basic_eps}");
+        assert!(adv_delta > 100.0 * PrivacyBudget::PAPER_DELTA);
+    }
+
+    #[test]
+    fn advanced_loses_for_few_large_releases() {
+        let mut a = PrivacyAccountant::new();
+        a.spend(budget(8.0));
+        let (basic_eps, _) = a.basic_composition();
+        let (adv_eps, _) = a.advanced_composition(1e-6).unwrap();
+        assert!(adv_eps > basic_eps);
+        // best_bound picks basic in that case.
+        assert_eq!(a.best_bound(1e-6).0, basic_eps);
+    }
+
+    #[test]
+    fn within_checks_both_parameters() {
+        let mut a = PrivacyAccountant::new();
+        a.spend(budget(1.0));
+        a.spend(budget(1.0));
+        assert!(a.within(&PrivacyBudget::new(2.5, 1e-4).unwrap()));
+        assert!(!a.within(&PrivacyBudget::new(1.5, 1e-4).unwrap()));
+        assert!(!a.within(&PrivacyBudget::new(2.5, 1e-5).unwrap()));
+    }
+
+    #[test]
+    fn invalid_slack_is_rejected() {
+        let mut a = PrivacyAccountant::new();
+        a.spend(budget(1.0));
+        assert!(a.advanced_composition(0.0).is_none());
+        assert!(a.advanced_composition(-1.0).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_releases_use_the_max_bound() {
+        let mut a = PrivacyAccountant::new();
+        a.spend(budget(0.1));
+        a.spend(budget(0.5));
+        let (adv_eps, _) = a.advanced_composition(1e-6).unwrap();
+        // Bound computed at eps = 0.5, k = 2.
+        let expected = 0.5 * (2.0f64 * 2.0 * (1e6f64).ln()).sqrt()
+            + 2.0 * 0.5 * (0.5f64.exp() - 1.0);
+        assert!((adv_eps - expected).abs() < 1e-9);
+    }
+}

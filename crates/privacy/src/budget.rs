@@ -1,0 +1,179 @@
+//! (ε, δ) privacy budgets and Gaussian-mechanism calibration.
+//!
+//! The paper adopts the (ε, δ)-differential-privacy relaxation (§II-B,
+//! Eq. 8) and calibrates the Gaussian noise multiplier σ from
+//!
+//! ```text
+//! δ ≥ (4/5) · exp(−(σε)²/2)        [Abadi et al., ref. 1]
+//! ```
+//!
+//! i.e. `σ = √(2·ln(4/(5δ))) / ε`. For the paper's setting δ = 10⁻⁵ and
+//! ε = 1 this gives σ ≈ 4.75, the value quoted in §IV-A.
+
+use serde::{Deserialize, Serialize};
+
+/// An (ε, δ) differential-privacy budget.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_privacy::PrivacyBudget;
+///
+/// let b = PrivacyBudget::new(2.0, 1e-5).unwrap();
+/// assert!(b.gaussian_sigma() < PrivacyBudget::new(1.0, 1e-5).unwrap().gaussian_sigma());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+    delta: f64,
+}
+
+/// Error constructing a [`PrivacyBudget`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetError {
+    /// ε must be strictly positive and finite.
+    InvalidEpsilon,
+    /// δ must lie in (0, 1).
+    InvalidDelta,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::InvalidEpsilon => write!(f, "epsilon must be positive and finite"),
+            BudgetError::InvalidDelta => write!(f, "delta must lie strictly between 0 and 1"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+impl PrivacyBudget {
+    /// The δ = 10⁻⁵ the paper fixes for all experiments (§IV-A).
+    pub const PAPER_DELTA: f64 = 1e-5;
+
+    /// Creates a budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError::InvalidEpsilon`] unless `epsilon > 0` and
+    /// finite, and [`BudgetError::InvalidDelta`] unless `0 < delta < 1`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, BudgetError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(BudgetError::InvalidEpsilon);
+        }
+        if !(delta.is_finite() && delta > 0.0 && delta < 1.0) {
+            return Err(BudgetError::InvalidDelta);
+        }
+        Ok(Self { epsilon, delta })
+    }
+
+    /// Budget with the paper's δ = 10⁻⁵.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError::InvalidEpsilon`] for a non-positive ε.
+    pub fn with_paper_delta(epsilon: f64) -> Result<Self, BudgetError> {
+        Self::new(epsilon, Self::PAPER_DELTA)
+    }
+
+    /// The ε parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The δ parameter.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The Gaussian noise multiplier σ satisfying
+    /// `δ = (4/5)·exp(−(σε)²/2)`: `σ = √(2 ln(4/(5δ)))/ε`.
+    ///
+    /// The mechanism's noise standard deviation is `Δf·σ` (Eq. 8), where
+    /// `Δf` is the ℓ2 sensitivity.
+    pub fn gaussian_sigma(&self) -> f64 {
+        (2.0 * (4.0 / (5.0 * self.delta)).ln()).sqrt() / self.epsilon
+    }
+
+    /// Inverse of [`PrivacyBudget::gaussian_sigma`]: the ε actually
+    /// granted at this δ by a mechanism with noise multiplier `sigma`.
+    ///
+    /// Useful for reporting the achieved privacy of a given noise level
+    /// (the "obtained ε" sweep of Fig. 8).
+    pub fn epsilon_for_sigma(sigma: f64, delta: f64) -> f64 {
+        (2.0 * (4.0 / (5.0 * delta)).ln()).sqrt() / sigma
+    }
+
+    /// Whether the δ-relaxed guarantee formally holds for this (σ, ε)
+    /// pair: `δ ≥ (4/5)e^{−(σε)²/2}`.
+    pub fn is_satisfied_by(&self, sigma: f64) -> bool {
+        self.delta >= 0.8 * (-(sigma * self.epsilon).powi(2) / 2.0).exp()
+    }
+}
+
+impl std::fmt::Display for PrivacyBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(ε={}, δ={})", self.epsilon, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sigma_value() {
+        // §IV-A: σ ≈ 4.75 for ε = 1, δ = 1e-5.
+        let b = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        assert!((b.gaussian_sigma() - 4.75).abs() < 0.05, "{}", b.gaussian_sigma());
+    }
+
+    #[test]
+    fn sigma_scales_inversely_with_epsilon() {
+        let b1 = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let b2 = PrivacyBudget::with_paper_delta(2.0).unwrap();
+        assert!((b1.gaussian_sigma() / b2.gaussian_sigma() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_delta_needs_more_noise() {
+        let loose = PrivacyBudget::new(1.0, 1e-3).unwrap();
+        let tight = PrivacyBudget::new(1.0, 1e-7).unwrap();
+        assert!(tight.gaussian_sigma() > loose.gaussian_sigma());
+    }
+
+    #[test]
+    fn epsilon_for_sigma_inverts_gaussian_sigma() {
+        let b = PrivacyBudget::new(3.0, 1e-5).unwrap();
+        let eps = PrivacyBudget::epsilon_for_sigma(b.gaussian_sigma(), 1e-5);
+        assert!((eps - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn satisfied_exactly_at_calibrated_sigma() {
+        let b = PrivacyBudget::new(0.5, 1e-5).unwrap();
+        let sigma = b.gaussian_sigma();
+        assert!(b.is_satisfied_by(sigma * 1.0001));
+        assert!(!b.is_satisfied_by(sigma * 0.9));
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(PrivacyBudget::new(0.0, 0.5), Err(BudgetError::InvalidEpsilon));
+        assert_eq!(PrivacyBudget::new(-1.0, 0.5), Err(BudgetError::InvalidEpsilon));
+        assert_eq!(
+            PrivacyBudget::new(f64::INFINITY, 0.5),
+            Err(BudgetError::InvalidEpsilon)
+        );
+        assert_eq!(PrivacyBudget::new(1.0, 0.0), Err(BudgetError::InvalidDelta));
+        assert_eq!(PrivacyBudget::new(1.0, 1.0), Err(BudgetError::InvalidDelta));
+    }
+
+    #[test]
+    fn display_contains_both_parameters() {
+        let b = PrivacyBudget::new(1.5, 1e-5).unwrap();
+        let s = b.to_string();
+        assert!(s.contains("1.5") && s.contains("0.00001"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # privehd-privacy
+//!
+//! Differential privacy for HD computing — the training-side half of
+//! Prive-HD (§II-B, §III-B of the paper).
+//!
+//! * [`budget`] — (ε, δ) privacy budgets and the Gaussian-mechanism
+//!   calibration `δ ≥ (4/5)·exp(−(σε)²/2)` used by the paper (after
+//!   Abadi et al.).
+//! * [`accountant`] — cumulative budget tracking across releases under
+//!   basic and advanced composition.
+//! * [`renyi`] — Rényi-DP accounting of the Gaussian mechanism, the
+//!   tight modern alternative for the same ledgers.
+//! * [`mechanism`] — the Gaussian mechanism of Eq. (8) and a Laplace
+//!   mechanism (Eq. after 7) for comparison, producing noise
+//!   hypervectors.
+//! * [`sensitivity`] — analytic ℓ1/ℓ2 sensitivities of the HD encoding
+//!   (Eq. 11, 12, 14) plus empirical measurement.
+//! * [`pipeline`] — the full Prive-HD private training pipeline:
+//!   encode-with-quantization → train → prune → retrain → noise, plus the
+//!   model-subtraction membership attack it defends against.
+//!
+//! ## Example
+//!
+//! ```
+//! use privehd_privacy::budget::PrivacyBudget;
+//!
+//! // The paper's setting: δ = 1e-5, ε = 1 → σ ≈ 4.75.
+//! let budget = PrivacyBudget::new(1.0, 1e-5).unwrap();
+//! let sigma = budget.gaussian_sigma();
+//! assert!((sigma - 4.75).abs() < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod accountant;
+pub mod budget;
+pub mod mechanism;
+pub mod pipeline;
+pub mod renyi;
+pub mod sensitivity;
+
+pub use accountant::PrivacyAccountant;
+pub use renyi::RdpAccountant;
+pub use budget::PrivacyBudget;
+pub use mechanism::{GaussianMechanism, LaplaceMechanism, Mechanism};
+pub use pipeline::{MembershipAttack, PrivateModel, PrivateTrainer, PrivateTrainingConfig, PrivateTrainingReport, SensitivityMode};
+pub use sensitivity::Sensitivity;

@@ -1,0 +1,230 @@
+//! Additive-noise mechanisms (Eq. 8 and the Laplace mechanism of §II-B).
+//!
+//! A mechanism turns a sensitivity `Δf` and a privacy budget into noise
+//! hypervectors that are added to the trained class hypervectors —
+//! `M(D) = f(D) + noise` — *after* aggregation, which is why Prive-HD
+//! needs no extra training epochs (§IV-A).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use privehd_core::{HdError, Hypervector};
+use privehd_data::NormalSampler;
+
+use crate::budget::PrivacyBudget;
+
+/// A randomized additive-noise mechanism.
+pub trait Mechanism {
+    /// The noise standard deviation (Gaussian) or scale (Laplace) this
+    /// mechanism injects per dimension for sensitivity `delta_f`.
+    fn noise_scale(&self, delta_f: f64) -> f64;
+
+    /// Draws one noise hypervector of dimension `dim` for sensitivity
+    /// `delta_f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] if `dim == 0`.
+    fn noise_hypervector(&mut self, dim: usize, delta_f: f64) -> Result<Hypervector, HdError>;
+
+    /// Draws one noise hypervector per class — the full Eq. (8) output
+    /// perturbation (`f` and the noise are `D_hv·|C|`-dimensional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::EmptyDimension`] if `dim == 0`.
+    fn noise_for_classes(
+        &mut self,
+        num_classes: usize,
+        dim: usize,
+        delta_f: f64,
+    ) -> Result<Vec<Hypervector>, HdError> {
+        (0..num_classes)
+            .map(|_| self.noise_hypervector(dim, delta_f))
+            .collect()
+    }
+}
+
+/// The Gaussian mechanism of Eq. (8): noise `G(0, (Δf·σ)²)` per
+/// dimension, with σ calibrated from the (ε, δ) budget.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_privacy::{GaussianMechanism, Mechanism, PrivacyBudget};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let budget = PrivacyBudget::with_paper_delta(1.0)?;
+/// let mut mech = GaussianMechanism::new(budget, 42);
+/// let noise = mech.noise_hypervector(10_000, 22.3)?;
+/// assert_eq!(noise.dim(), 10_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianMechanism {
+    budget: PrivacyBudget,
+    rng: StdRng,
+    normal: NormalSampler,
+}
+
+impl GaussianMechanism {
+    /// Creates the mechanism with a deterministic RNG seed.
+    ///
+    /// (Determinism is for experiment reproducibility; a production
+    /// deployment would seed from an OS entropy source.)
+    pub fn new(budget: PrivacyBudget, seed: u64) -> Self {
+        Self {
+            budget,
+            rng: StdRng::seed_from_u64(seed),
+            normal: NormalSampler::new(),
+        }
+    }
+
+    /// The budget this mechanism enforces.
+    pub fn budget(&self) -> &PrivacyBudget {
+        &self.budget
+    }
+}
+
+impl Mechanism for GaussianMechanism {
+    fn noise_scale(&self, delta_f: f64) -> f64 {
+        delta_f * self.budget.gaussian_sigma()
+    }
+
+    fn noise_hypervector(&mut self, dim: usize, delta_f: f64) -> Result<Hypervector, HdError> {
+        let mut h = Hypervector::zeros(dim)?;
+        let std = self.noise_scale(delta_f);
+        self.normal
+            .fill(&mut self.rng, h.as_mut_slice(), 0.0, std);
+        Ok(h)
+    }
+}
+
+/// The Laplace mechanism of Dwork et al. (§II-B): noise `Lap(Δf/ε)` per
+/// dimension, using the ℓ1 sensitivity.
+///
+/// Included for the comparison the paper makes in §III-B: for HD the ℓ1
+/// sensitivity (Eq. 11) is so large that the Laplace route is hopeless,
+/// which is why Prive-HD targets the Gaussian (ε, δ) mechanism instead.
+#[derive(Debug, Clone)]
+pub struct LaplaceMechanism {
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl LaplaceMechanism {
+    /// Creates the mechanism for a pure-ε budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not strictly positive.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            epsilon,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The ε parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn sample_laplace(&mut self, scale: f64) -> f64 {
+        // Inverse-CDF sampling: u ∈ (−1/2, 1/2),
+        // x = −b·sgn(u)·ln(1 − 2|u|).
+        let u: f64 = self.rng.gen::<f64>() - 0.5;
+        -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+impl Mechanism for LaplaceMechanism {
+    fn noise_scale(&self, delta_f: f64) -> f64 {
+        delta_f / self.epsilon
+    }
+
+    fn noise_hypervector(&mut self, dim: usize, delta_f: f64) -> Result<Hypervector, HdError> {
+        let mut h = Hypervector::zeros(dim)?;
+        let b = self.noise_scale(delta_f);
+        for v in h.as_mut_slice() {
+            *v = self.sample_laplace(b);
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_noise_has_calibrated_std() {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let mut mech = GaussianMechanism::new(budget, 7);
+        let delta_f = 10.0;
+        let expected_std = mech.noise_scale(delta_f);
+        let h = mech.noise_hypervector(200_000, delta_f).unwrap();
+        let measured = h.variance().sqrt();
+        assert!(
+            (measured / expected_std - 1.0).abs() < 0.02,
+            "measured {measured}, expected {expected_std}"
+        );
+        assert!(h.mean().abs() < expected_std * 0.05);
+    }
+
+    #[test]
+    fn gaussian_scale_is_delta_f_times_sigma() {
+        let budget = PrivacyBudget::with_paper_delta(2.0).unwrap();
+        let mech = GaussianMechanism::new(budget, 0);
+        assert!((mech.noise_scale(5.0) - 5.0 * budget.gaussian_sigma()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_is_reproducible_per_seed() {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let mut a = GaussianMechanism::new(budget, 3);
+        let mut b = GaussianMechanism::new(budget, 3);
+        assert_eq!(
+            a.noise_hypervector(64, 1.0).unwrap(),
+            b.noise_hypervector(64, 1.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn laplace_noise_has_correct_scale() {
+        // Lap(b) has variance 2b².
+        let mut mech = LaplaceMechanism::new(0.5, 11);
+        let delta_f = 3.0;
+        let b = mech.noise_scale(delta_f); // 6.0
+        assert_eq!(b, 6.0);
+        let h = mech.noise_hypervector(200_000, delta_f).unwrap();
+        let var = h.variance();
+        assert!(
+            (var / (2.0 * b * b) - 1.0).abs() < 0.05,
+            "var {var} vs expected {}",
+            2.0 * b * b
+        );
+    }
+
+    #[test]
+    fn per_class_noise_is_independent() {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let mut mech = GaussianMechanism::new(budget, 5);
+        let noises = mech.noise_for_classes(3, 1_024, 1.0).unwrap();
+        assert_eq!(noises.len(), 3);
+        assert_ne!(noises[0], noises[1]);
+        assert_ne!(noises[1], noises[2]);
+    }
+
+    #[test]
+    fn zero_dim_is_rejected() {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let mut mech = GaussianMechanism::new(budget, 5);
+        assert_eq!(
+            mech.noise_hypervector(0, 1.0),
+            Err(HdError::EmptyDimension)
+        );
+    }
+}

@@ -1,0 +1,620 @@
+//! The Prive-HD private training pipeline (§III-B) and the
+//! model-subtraction membership attack it defends against (§III-A).
+//!
+//! Pipeline stages, in paper order:
+//!
+//! 1. **Encode** the training set with the scalar encoding of Eq. (2a)
+//!    and **quantize** each encoded hypervector (Eq. 13) — classes will be
+//!    sums of quantized encodings and stay full precision.
+//! 2. **Train** by bundling (Eq. 3).
+//! 3. **Prune** the close-to-zero class dimensions and **retrain** 1–2
+//!    epochs with masked queries so the pruned dimensions stay
+//!    perpetually zero (§III-B1, Fig. 4).
+//! 4. **Compute the sensitivity** `Δf` of the (quantized, pruned)
+//!    encoding via Eq. (14).
+//! 5. **Add Gaussian noise** `G(0, (Δf·σ)²)` per class dimension with σ
+//!    calibrated from the (ε, δ) budget (Eq. 8). The noisy model is
+//!    *not* retrained — that would violate differential privacy (§IV-A).
+
+use serde::{Deserialize, Serialize};
+
+use privehd_core::prelude::*;
+use privehd_core::{HdError, Hypervector};
+use privehd_data::Dataset;
+
+use crate::budget::PrivacyBudget;
+use crate::mechanism::{GaussianMechanism, Mechanism};
+use crate::sensitivity::Sensitivity;
+
+/// How the sensitivity fed to the Gaussian mechanism is computed.
+///
+/// [`SensitivityMode::VectorL2`] is the formally correct calibration for
+/// the vector-valued Gaussian mechanism of Eq. (8) (Δf = Eq. 14).
+/// [`SensitivityMode::PerDimension`] treats every class dimension as an
+/// independent scalar query with sensitivity `max|k|`; the paper's
+/// reported Fig. 8 accuracies are only achievable under this reading —
+/// see EXPERIMENTS.md for the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensitivityMode {
+    /// Δf = ‖H‖₂ per Eq. (14) — the formally correct vector calibration.
+    VectorL2,
+    /// Δf = max|k| per dimension — the paper-consistent calibration.
+    PerDimension,
+}
+
+/// Configuration of the private training pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivateTrainingConfig {
+    /// Hypervector dimensionality before pruning.
+    pub dim: usize,
+    /// Dimensions *kept* after pruning (`None` disables pruning).
+    pub keep_dims: Option<usize>,
+    /// Encoding quantization scheme (the paper's best DP results use
+    /// ternary).
+    pub scheme: QuantScheme,
+    /// The (ε, δ) privacy budget.
+    pub budget: PrivacyBudget,
+    /// Feature quantization levels `ℓ_iv` of the encoder.
+    pub levels: usize,
+    /// Retraining epochs after pruning (Fig. 4: 1–2 suffice).
+    pub retrain_epochs: usize,
+    /// Sensitivity calibration mode (see [`SensitivityMode`]).
+    pub sensitivity_mode: SensitivityMode,
+    /// Master seed (encoder basis, pruning ties, noise).
+    pub seed: u64,
+}
+
+impl PrivateTrainingConfig {
+    /// A paper-typical configuration: 10k dims pruned to `keep_dims`,
+    /// ternary quantization, 2 retraining epochs.
+    pub fn new(budget: PrivacyBudget) -> Self {
+        Self {
+            dim: 10_000,
+            keep_dims: None,
+            scheme: QuantScheme::Ternary,
+            budget,
+            levels: 100,
+            retrain_epochs: 2,
+            sensitivity_mode: SensitivityMode::VectorL2,
+            seed: 0,
+        }
+    }
+
+    /// Sets the pre-pruning dimensionality.
+    #[must_use]
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Enables pruning down to `keep_dims` kept dimensions.
+    #[must_use]
+    pub fn with_keep_dims(mut self, keep_dims: usize) -> Self {
+        self.keep_dims = Some(keep_dims);
+        self
+    }
+
+    /// Sets the quantization scheme.
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: QuantScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the retraining epoch budget.
+    #[must_use]
+    pub fn with_retrain_epochs(mut self, epochs: usize) -> Self {
+        self.retrain_epochs = epochs;
+        self
+    }
+
+    /// Sets the sensitivity calibration mode.
+    #[must_use]
+    pub fn with_sensitivity_mode(mut self, mode: SensitivityMode) -> Self {
+        self.sensitivity_mode = mode;
+        self
+    }
+
+    /// The number of dimensions that survive pruning.
+    pub fn effective_dims(&self) -> usize {
+        self.keep_dims.map_or(self.dim, |k| k.min(self.dim))
+    }
+}
+
+/// Metrics recorded while running the pipeline — everything needed to
+/// reproduce a Fig. 8 point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivateTrainingReport {
+    /// Test accuracy of the non-noisy (but quantized/pruned) model.
+    pub clean_accuracy: f64,
+    /// Test accuracy after noise injection — the private model.
+    pub private_accuracy: f64,
+    /// Analytic ℓ2 sensitivity (Eq. 14 over kept dimensions).
+    pub delta_f_analytic: f64,
+    /// Empirical ℓ2 sensitivity (max encoding norm over the train set).
+    pub delta_f_empirical: f64,
+    /// The calibrated Gaussian multiplier σ.
+    pub sigma: f64,
+    /// Per-dimension noise standard deviation actually injected
+    /// (`Δf·σ`).
+    pub noise_std: f64,
+    /// Retraining epochs executed.
+    pub retrain_epochs_run: usize,
+    /// Dimensions kept after pruning.
+    pub kept_dims: usize,
+}
+
+/// The pipeline runner.
+///
+/// # Examples
+///
+/// ```no_run
+/// use privehd_privacy::{PrivacyBudget, PrivateTrainer, PrivateTrainingConfig};
+/// use privehd_data::surrogates;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let budget = PrivacyBudget::with_paper_delta(1.0)?;
+/// let config = PrivateTrainingConfig::new(budget)
+///     .with_dim(4_000)
+///     .with_keep_dims(2_000);
+/// let dataset = surrogates::face(60, 20, 0);
+/// let (model, report) = PrivateTrainer::new(config).run(&dataset)?;
+/// println!("private accuracy: {:.1}%", report.private_accuracy * 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrivateTrainer {
+    config: PrivateTrainingConfig,
+}
+
+/// A differentially private HD model plus everything needed to use it for
+/// inference (encoder configuration, prune mask, quantization scheme).
+#[derive(Debug, Clone)]
+pub struct PrivateModel {
+    model: HdModel,
+    encoder: ScalarEncoder,
+    mask: Option<PruneMask>,
+    scheme: QuantScheme,
+}
+
+impl PrivateModel {
+    /// The noisy class hypervectors.
+    pub fn model(&self) -> &HdModel {
+        &self.model
+    }
+
+    /// The encoder (public basis) used for queries.
+    pub fn encoder(&self) -> &ScalarEncoder {
+        &self.encoder
+    }
+
+    /// The prune mask, when pruning was enabled.
+    pub fn mask(&self) -> Option<&PruneMask> {
+        self.mask.as_ref()
+    }
+
+    /// The query quantization scheme in force.
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Encodes a raw feature vector the way this model expects:
+    /// encode → quantize → mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and masking errors.
+    pub fn encode_query(&self, features: &[f64]) -> Result<Hypervector, HdError> {
+        let h = self.encoder.encode(features)?;
+        let mut q = quantize_adaptive(&h, self.scheme);
+        if let Some(mask) = &self.mask {
+            mask.apply(&mut q)?;
+        }
+        Ok(q)
+    }
+
+    /// Classifies a raw feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and prediction errors.
+    pub fn predict(&self, features: &[f64]) -> Result<Prediction, HdError> {
+        self.model.predict(&self.encode_query(features)?)
+    }
+
+    /// Accuracy over raw `(features, label)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and prediction errors; errors on an empty set.
+    pub fn accuracy<'a, I>(&self, pairs: I) -> Result<f64, HdError>
+    where
+        I: IntoIterator<Item = (&'a [f64], usize)>,
+    {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for (x, y) in pairs {
+            total += 1;
+            if self.predict(x)?.class == y {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            return Err(HdError::EmptyInput("evaluation pairs"));
+        }
+        Ok(correct as f64 / total as f64)
+    }
+}
+
+/// Quantizes with a per-vector empirical threshold; see
+/// [`QuantScheme::quantize_adaptive`].
+pub(crate) fn quantize_adaptive(h: &Hypervector, scheme: QuantScheme) -> Hypervector {
+    scheme.quantize_adaptive(h)
+}
+
+impl PrivateTrainer {
+    /// Creates a trainer for the given configuration.
+    pub fn new(config: PrivateTrainingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PrivateTrainingConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding, training and masking errors; an empty dataset
+    /// yields [`HdError::EmptyInput`].
+    pub fn run(&self, dataset: &Dataset) -> Result<(PrivateModel, PrivateTrainingReport), HdError> {
+        let cfg = &self.config;
+        let encoder = ScalarEncoder::new(
+            EncoderConfig::new(dataset.features(), cfg.dim)
+                .with_levels(cfg.levels)
+                .with_seed(cfg.seed),
+        )?;
+
+        // Stage 1+2: encode, quantize, bundle.
+        let inputs: Vec<Vec<f64>> = dataset.train().iter().map(|s| s.features.clone()).collect();
+        let encoded = encoder.encode_batch(&inputs)?;
+        let train_q: Vec<(Hypervector, usize)> = encoded
+            .iter()
+            .zip(dataset.train())
+            .map(|(h, s)| (quantize_adaptive(h, cfg.scheme), s.label))
+            .collect();
+        let mut model = HdModel::train(dataset.num_classes(), cfg.dim, &train_q)?;
+
+        // Stage 3: prune + retrain.
+        let (mask, retrain_epochs_run) = if let Some(keep) = cfg.keep_dims {
+            let keep = keep.min(cfg.dim);
+            let prune_count = cfg.dim - keep;
+            let mask = if prune_count > 0 {
+                Some(PruneMask::select(
+                    &model,
+                    prune_count,
+                    PruneStrategy::LeastEffectual,
+                )?)
+            } else {
+                None
+            };
+            let mut epochs = 0;
+            if let Some(m) = &mask {
+                model.apply_mask(m)?;
+                if cfg.retrain_epochs > 0 {
+                    let report = model.retrain_masked(
+                        &train_q,
+                        m,
+                        &RetrainConfig {
+                            epochs: cfg.retrain_epochs,
+                            ..RetrainConfig::default()
+                        },
+                    )?;
+                    epochs = report.epochs_run();
+                }
+            }
+            (mask, epochs)
+        } else {
+            (None, 0)
+        };
+
+        // Stage 4: sensitivity over *kept* dimensions.
+        let kept_dims = mask.as_ref().map_or(cfg.dim, |m| m.kept());
+        let sens = Sensitivity::new(dataset.features(), kept_dims);
+        let delta_f_analytic = match cfg.sensitivity_mode {
+            SensitivityMode::VectorL2 => sens.l2_quantized(cfg.scheme),
+            SensitivityMode::PerDimension => sens.per_dimension(cfg.scheme),
+        };
+        let delta_f_empirical = {
+            let mut worst = 0.0f64;
+            for (h, _) in &train_q {
+                let mut q = h.clone();
+                if let Some(m) = &mask {
+                    m.apply(&mut q)?;
+                }
+                worst = worst.max(q.l2_norm());
+            }
+            worst
+        };
+
+        // Clean accuracy before noise.
+        let clean_model = PrivateModel {
+            model: model.clone(),
+            encoder: encoder.clone(),
+            mask: mask.clone(),
+            scheme: cfg.scheme,
+        };
+        let clean_accuracy = clean_model.accuracy(dataset.test_pairs())?;
+
+        // Stage 5: noise. Noise is added to every dimension of the kept
+        // space; pruned dimensions stay publicly zero (they carry no
+        // data-dependent information).
+        let mut mech = GaussianMechanism::new(cfg.budget, cfg.seed.wrapping_add(0x5EED));
+        let mut noise = mech.noise_for_classes(model.num_classes(), cfg.dim, delta_f_analytic)?;
+        if let Some(m) = &mask {
+            for n in &mut noise {
+                m.apply(n)?;
+            }
+        }
+        model.add_class_noise(&noise)?;
+
+        let private = PrivateModel {
+            model,
+            encoder,
+            mask,
+            scheme: cfg.scheme,
+        };
+        let private_accuracy = private.accuracy(dataset.test_pairs())?;
+
+        let report = PrivateTrainingReport {
+            clean_accuracy,
+            private_accuracy,
+            delta_f_analytic,
+            delta_f_empirical,
+            sigma: cfg.budget.gaussian_sigma(),
+            noise_std: delta_f_analytic * cfg.budget.gaussian_sigma(),
+            retrain_epochs_run,
+            kept_dims,
+        };
+        Ok((private, report))
+    }
+}
+
+/// The model-subtraction membership attack of §III-A.
+///
+/// The adversary holds two models trained on adjacent datasets (the
+/// victim's input present in one, absent from the other), subtracts the
+/// class hypervectors and decodes the difference with Eq. (10). Without
+/// noise the difference *is* the victim's encoding and the reconstruction
+/// correlates almost perfectly with the victim's features; with DP noise
+/// the correlation collapses.
+#[derive(Debug, Clone)]
+pub struct MembershipAttack {
+    decoder: Decoder,
+}
+
+impl MembershipAttack {
+    /// Builds the attack from the (public) encoder basis.
+    pub fn new(encoder: &ScalarEncoder) -> Self {
+        Self {
+            decoder: Decoder::new(encoder.item_memory().clone()),
+        }
+    }
+
+    /// Runs the attack: subtract `with_victim − without_victim`, decode
+    /// the victim's class difference, and return the Pearson correlation
+    /// between the reconstruction and `victim_features` (1.0 = total
+    /// privacy loss, ≈0 = attack defeated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and decoding errors.
+    pub fn run(
+        &self,
+        with_victim: &HdModel,
+        without_victim: &HdModel,
+        victim_class: usize,
+        victim_features: &[f64],
+    ) -> Result<f64, HdError> {
+        let diff = with_victim.difference(without_victim)?;
+        let leaked = diff
+            .get(victim_class)
+            .ok_or(HdError::ClassOutOfRange {
+                class: victim_class,
+                num_classes: diff.len(),
+            })?;
+        let rec = self.decoder.decode(leaked)?;
+        Ok(pearson(victim_features, rec.features()))
+    }
+}
+
+/// Pearson correlation of two equal-length slices (0.0 when degenerate).
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len()) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privehd_data::surrogates;
+
+    fn small_face() -> Dataset {
+        surrogates::face(40, 15, 3)
+    }
+
+    #[test]
+    fn pipeline_runs_and_reports() {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let cfg = PrivateTrainingConfig::new(budget)
+            .with_dim(2_000)
+            .with_keep_dims(1_000)
+            .with_seed(1);
+        let (model, report) = PrivateTrainer::new(cfg).run(&small_face()).unwrap();
+        assert_eq!(report.kept_dims, 1_000);
+        assert!(report.delta_f_analytic > 0.0);
+        assert!(report.sigma > 4.0);
+        assert!(report.clean_accuracy > 0.6, "clean {}", report.clean_accuracy);
+        assert_eq!(model.mask().unwrap().kept(), 1_000);
+    }
+
+    #[test]
+    fn pruned_dims_are_zero_in_private_model() {
+        let budget = PrivacyBudget::with_paper_delta(2.0).unwrap();
+        let cfg = PrivateTrainingConfig::new(budget)
+            .with_dim(1_000)
+            .with_keep_dims(600)
+            .with_seed(2);
+        let (model, _) = PrivateTrainer::new(cfg).run(&small_face()).unwrap();
+        let mask = model.mask().unwrap();
+        for c in model.model().classes() {
+            for j in mask.pruned_indices() {
+                assert_eq!(c[j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tighter_budget_means_more_noise_and_not_more_accuracy() {
+        let ds = small_face();
+        let run = |eps: f64| {
+            let cfg = PrivateTrainingConfig::new(PrivacyBudget::with_paper_delta(eps).unwrap())
+                .with_dim(2_000)
+                .with_keep_dims(1_000)
+                .with_seed(3);
+            PrivateTrainer::new(cfg).run(&ds).unwrap().1
+        };
+        let loose = run(8.0);
+        let tight = run(0.05);
+        assert!(tight.noise_std > loose.noise_std);
+        assert!(
+            tight.private_accuracy <= loose.private_accuracy + 0.1,
+            "tight {} vs loose {}",
+            tight.private_accuracy,
+            loose.private_accuracy
+        );
+    }
+
+    #[test]
+    fn quantization_shrinks_empirical_sensitivity() {
+        let ds = small_face();
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let run = |scheme| {
+            let cfg = PrivateTrainingConfig::new(budget)
+                .with_dim(1_500)
+                .with_scheme(scheme)
+                .with_seed(4);
+            PrivateTrainer::new(cfg).run(&ds).unwrap().1
+        };
+        let full = run(QuantScheme::Full);
+        let ternary = run(QuantScheme::Ternary);
+        assert!(
+            ternary.delta_f_empirical < full.delta_f_empirical / 3.0,
+            "ternary {} vs full {}",
+            ternary.delta_f_empirical,
+            full.delta_f_empirical
+        );
+    }
+
+    #[test]
+    fn analytic_and_empirical_sensitivity_agree_for_ternary() {
+        let ds = small_face();
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let cfg = PrivateTrainingConfig::new(budget)
+            .with_dim(2_000)
+            .with_scheme(QuantScheme::Ternary)
+            .with_seed(5);
+        let (_, report) = PrivateTrainer::new(cfg).run(&ds).unwrap();
+        let ratio = report.delta_f_empirical / report.delta_f_analytic;
+        assert!((0.8..1.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn membership_attack_succeeds_without_noise_and_fails_with() {
+        let ds = small_face();
+        let dim = 8_000;
+        let encoder = ScalarEncoder::new(
+            EncoderConfig::new(ds.features(), dim).with_levels(100).with_seed(6),
+        )
+        .unwrap();
+        let victim = ds.train()[0].clone();
+        let rest: Vec<(Hypervector, usize)> = ds.train()[1..]
+            .iter()
+            .map(|s| (encoder.encode(&s.features).unwrap(), s.label))
+            .collect();
+        let m_without = HdModel::train(2, dim, &rest).unwrap();
+        let mut with_samples = rest.clone();
+        with_samples.push((encoder.encode(&victim.features).unwrap(), victim.label));
+        let m_with = HdModel::train(2, dim, &with_samples).unwrap();
+
+        let attack = MembershipAttack::new(&encoder);
+        // Cross-term noise in the decode is ~√(D_iv/D_hv) per feature, so
+        // the clean attack is strong but not perfect at finite dimension.
+        let corr_clean = attack
+            .run(&m_with, &m_without, victim.label, &victim.features)
+            .unwrap();
+        assert!(corr_clean > 0.7, "clean attack correlation {corr_clean}");
+
+        // Same attack against noised models.
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let sens = Sensitivity::new(ds.features(), dim).l2_full();
+        let mut mech = GaussianMechanism::new(budget, 9);
+        let mut m_with_noisy = m_with.clone();
+        let mut m_without_noisy = m_without.clone();
+        m_with_noisy
+            .add_class_noise(&mech.noise_for_classes(2, dim, sens).unwrap())
+            .unwrap();
+        m_without_noisy
+            .add_class_noise(&mech.noise_for_classes(2, dim, sens).unwrap())
+            .unwrap();
+        let corr_noisy = attack
+            .run(&m_with_noisy, &m_without_noisy, victim.label, &victim.features)
+            .unwrap();
+        assert!(
+            corr_noisy.abs() < 0.3,
+            "noisy attack correlation {corr_noisy}"
+        );
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn effective_dims_accounting() {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let cfg = PrivateTrainingConfig::new(budget).with_dim(5_000);
+        assert_eq!(cfg.effective_dims(), 5_000);
+        assert_eq!(cfg.with_keep_dims(2_000).effective_dims(), 2_000);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the privacy machinery: budget calibration,
+//! sensitivity monotonicity, mechanism scaling.
+
+use proptest::prelude::*;
+
+use privehd_core::QuantScheme;
+use privehd_privacy::{
+    GaussianMechanism, LaplaceMechanism, Mechanism, PrivacyBudget, Sensitivity,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sigma_decreases_in_epsilon(eps1 in 0.01f64..10.0, eps2 in 0.01f64..10.0) {
+        prop_assume!(eps1 < eps2);
+        let b1 = PrivacyBudget::with_paper_delta(eps1).unwrap();
+        let b2 = PrivacyBudget::with_paper_delta(eps2).unwrap();
+        prop_assert!(b1.gaussian_sigma() > b2.gaussian_sigma());
+    }
+
+    #[test]
+    fn sigma_decreases_in_delta(eps in 0.1f64..5.0, d1 in 1e-9f64..1e-2, d2 in 1e-9f64..1e-2) {
+        prop_assume!(d1 < d2);
+        let b1 = PrivacyBudget::new(eps, d1).unwrap();
+        let b2 = PrivacyBudget::new(eps, d2).unwrap();
+        prop_assert!(b1.gaussian_sigma() >= b2.gaussian_sigma());
+    }
+
+    #[test]
+    fn calibrated_sigma_satisfies_its_own_budget(eps in 0.01f64..10.0) {
+        let b = PrivacyBudget::with_paper_delta(eps).unwrap();
+        prop_assert!(b.is_satisfied_by(b.gaussian_sigma() * (1.0 + 1e-9)));
+    }
+
+    #[test]
+    fn epsilon_sigma_round_trip(eps in 0.01f64..10.0, delta in 1e-9f64..1e-2) {
+        let b = PrivacyBudget::new(eps, delta).unwrap();
+        let eps_back = PrivacyBudget::epsilon_for_sigma(b.gaussian_sigma(), delta);
+        prop_assert!((eps_back / eps - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_sensitivity_is_monotone_in_dim(features in 1usize..2_000, d1 in 1usize..20_000, d2 in 1usize..20_000) {
+        prop_assume!(d1 < d2);
+        let s1 = Sensitivity::new(features, d1);
+        let s2 = Sensitivity::new(features, d2);
+        prop_assert!(s1.l2_full() <= s2.l2_full());
+        for scheme in [QuantScheme::Bipolar, QuantScheme::Ternary, QuantScheme::TernaryBiased, QuantScheme::TwoBit] {
+            prop_assert!(s1.l2_quantized(scheme) <= s2.l2_quantized(scheme));
+        }
+    }
+
+    #[test]
+    fn quantized_sensitivity_below_full_for_typical_shapes(features in 100usize..2_000, dim in 100usize..20_000) {
+        // For D_iv ≥ 5 every quantized alphabet has smaller ℓ2 mass than
+        // the CLT-scale full-precision encoding.
+        let s = Sensitivity::new(features, dim);
+        for scheme in [QuantScheme::Bipolar, QuantScheme::Ternary, QuantScheme::TernaryBiased, QuantScheme::TwoBit] {
+            prop_assert!(s.l2_quantized(scheme) < s.l2_full());
+        }
+    }
+
+    #[test]
+    fn sensitivity_ordering_is_stable(features in 1usize..2_000, dim in 1usize..20_000) {
+        // Fig. 5(b) ordering holds at every dimension.
+        let s = Sensitivity::new(features, dim);
+        prop_assert!(s.l2_quantized(QuantScheme::TernaryBiased) <= s.l2_quantized(QuantScheme::Ternary));
+        prop_assert!(s.l2_quantized(QuantScheme::Ternary) <= s.l2_quantized(QuantScheme::Bipolar));
+        prop_assert!(s.l2_quantized(QuantScheme::Bipolar) <= s.l2_quantized(QuantScheme::TwoBit));
+    }
+
+    #[test]
+    fn gaussian_noise_scale_is_linear_in_sensitivity(df in 0.0f64..1_000.0, k in 0.1f64..10.0) {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let mech = GaussianMechanism::new(budget, 0);
+        let a = mech.noise_scale(df);
+        let b = mech.noise_scale(df * k);
+        prop_assert!((b - a * k).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn laplace_scale_is_delta_f_over_eps(df in 0.1f64..1_000.0, eps in 0.01f64..10.0) {
+        let mech = LaplaceMechanism::new(eps, 0);
+        prop_assert!((mech.noise_scale(df) - df / eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_hypervector_has_requested_dim(dim in 1usize..4_096) {
+        let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
+        let mut mech = GaussianMechanism::new(budget, 1);
+        prop_assert_eq!(mech.noise_hypervector(dim, 1.0).unwrap().dim(), dim);
+    }
+}

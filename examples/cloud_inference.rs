@@ -1,0 +1,75 @@
+//! Cloud-hosted inference with Prive-HD's inference privacy (§III-C).
+//!
+//! The edge device encodes locally, 1-bit-quantizes and masks the query
+//! hypervector, and offloads only that obfuscated vector. The cloud
+//! model is full precision and needs no retraining or even access — yet
+//! the adversary's reconstruction of the input collapses while accuracy
+//! barely moves. Also shows the bandwidth saving.
+//!
+//! Run with: `cargo run --release --example cloud_inference`
+
+use prive_hd::core::prelude::*;
+use prive_hd::data::surrogates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dim = 8_000;
+    let dataset = surrogates::mnist(25, 10, 0);
+    let encoder = ScalarEncoder::new(
+        EncoderConfig::new(dataset.features(), dim)
+            .with_levels(100)
+            .with_seed(1),
+    )?;
+
+    // The cloud trains (or already owns) a full-precision model.
+    let mut cloud_model = HdModel::new(dataset.num_classes(), dim)?;
+    for (x, y) in dataset.train_pairs() {
+        cloud_model.bundle(y, &encoder.encode(x)?)?;
+    }
+
+    // The edge device: encode + quantize + mask before offloading.
+    let obfuscator = Obfuscator::new(
+        dim,
+        ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(dim / 2)
+            .with_seed(7),
+    )?;
+    println!(
+        "payload per query: {} bits obfuscated vs {} bits raw encoding \
+         ({}x smaller)",
+        obfuscator.payload_bits(),
+        dim * 64,
+        dim * 64 / obfuscator.payload_bits()
+    );
+
+    // Accuracy: plain vs obfuscated queries against the same model.
+    let mut plain = Vec::new();
+    let mut obfuscated = Vec::new();
+    for (x, y) in dataset.test_pairs() {
+        let h = encoder.encode(x)?;
+        obfuscated.push((obfuscator.obfuscate(&h)?, y));
+        plain.push((h, y));
+    }
+    let acc_plain = cloud_model.accuracy(&plain)?;
+    let acc_obf = cloud_model.accuracy(&obfuscated)?;
+    println!(
+        "accuracy: {:.1}% plain vs {:.1}% obfuscated (drop {:.2}%)",
+        acc_plain * 100.0,
+        acc_obf * 100.0,
+        (acc_plain - acc_obf) * 100.0
+    );
+
+    // The honest-but-curious host tries to reconstruct the input.
+    let decoder = Decoder::new(encoder.item_memory().clone());
+    let victim = &dataset.test()[0];
+    let (raw_enc, _) = &plain[0];
+    let (sent, _) = &obfuscated[0];
+    let from_raw = decoder.decode(raw_enc)?;
+    let from_sent = decoder.decode_rescaled(sent, raw_enc.l2_norm())?;
+    println!(
+        "adversary PSNR: {:.1} dB from the raw encoding, {:.1} dB from the \
+         obfuscated query (paper: 23.6 -> 13.1 dB)",
+        psnr(&victim.features, &from_raw.features_clamped())?,
+        psnr(&victim.features, &from_sent.features_clamped())?
+    );
+    Ok(())
+}

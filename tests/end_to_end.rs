@@ -1,0 +1,185 @@
+//! End-to-end integration tests: the full Prive-HD story on each dataset
+//! surrogate, spanning `privehd-core`, `privehd-data` and
+//! `privehd-privacy` through the `prive-hd` facade.
+
+use prive_hd::core::prelude::*;
+use prive_hd::core::Hypervector;
+use prive_hd::data::{surrogates, Dataset};
+use prive_hd::privacy::{
+    PrivacyBudget, PrivateTrainer, PrivateTrainingConfig, SensitivityMode,
+};
+
+/// Encodes both splits and returns (train, test) encoded pairs.
+fn encode_dataset(
+    ds: &Dataset,
+    dim: usize,
+    seed: u64,
+) -> (
+    ScalarEncoder,
+    Vec<(Hypervector, usize)>,
+    Vec<(Hypervector, usize)>,
+) {
+    let enc = ScalarEncoder::new(
+        EncoderConfig::new(ds.features(), dim)
+            .with_levels(100)
+            .with_seed(seed),
+    )
+    .expect("valid encoder config");
+    let encode = |samples: &[prive_hd::data::Sample]| {
+        samples
+            .iter()
+            .map(|s| (enc.encode(&s.features).expect("encode"), s.label))
+            .collect::<Vec<_>>()
+    };
+    let train = encode(ds.train());
+    let test = encode(ds.test());
+    (enc, train, test)
+}
+
+#[test]
+fn baseline_accuracy_bands_hold_on_all_surrogates() {
+    // Bands are looser than the calibration targets because integration
+    // tests run at 4k dims with smaller splits for speed.
+    let cases = [
+        (surrogates::isolet(25, 10, 1), 0.80),
+        (surrogates::face(40, 20, 1), 0.85),
+        (surrogates::mnist(25, 10, 1), 0.88),
+    ];
+    for (ds, band) in cases {
+        let (_, train, test) = encode_dataset(&ds, 4_000, 7);
+        let model = HdModel::train(ds.num_classes(), 4_000, &train).expect("train");
+        let acc = model.accuracy(&test).expect("accuracy");
+        assert!(acc >= band, "{}: accuracy {acc} below band {band}", ds.name());
+    }
+}
+
+#[test]
+fn inference_quantization_costs_little_accuracy() {
+    // §III-C / Fig. 9(a): 1-bit queries against full-precision classes.
+    // The <1% claim holds at 10k dimensions; at the 8k these tests run
+    // for speed, the drop is still a few percent at most.
+    for ds in [surrogates::isolet(25, 10, 2), surrogates::face(40, 20, 2)] {
+        let (_, train, test) = encode_dataset(&ds, 8_000, 8);
+        let model = HdModel::train(ds.num_classes(), 8_000, &train).expect("train");
+        let base = model.accuracy(&test).expect("accuracy");
+        let quantized: Vec<_> = test
+            .iter()
+            .map(|(h, y)| (QuantScheme::Bipolar.quantize_adaptive(h), *y))
+            .collect();
+        let acc_q = model.accuracy(&quantized).expect("accuracy");
+        assert!(
+            base - acc_q < 0.06,
+            "{}: quantization drop too large: {base} -> {acc_q}",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn masking_degrades_reconstruction_much_faster_than_accuracy() {
+    // The Fig. 6 trade: half the dimensions masked, accuracy nearly
+    // intact, reconstruction MSE way up.
+    let ds = surrogates::mnist(20, 8, 3);
+    let dim = 6_000;
+    let (enc, train, test) = encode_dataset(&ds, dim, 9);
+    let model = HdModel::train(ds.num_classes(), dim, &train).expect("train");
+    let base = model.accuracy(&test).expect("accuracy");
+
+    let ob = Obfuscator::new(
+        dim,
+        ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(dim / 2)
+            .with_seed(4),
+    )
+    .expect("valid obfuscator");
+    let obf: Vec<_> = test
+        .iter()
+        .map(|(h, y)| (ob.obfuscate(h).expect("obfuscate"), *y))
+        .collect();
+    let acc_obf = model.accuracy(&obf).expect("accuracy");
+    assert!(base - acc_obf < 0.08, "accuracy drop {base} -> {acc_obf}");
+
+    let decoder = Decoder::new(enc.item_memory().clone());
+    let victim = &ds.test()[0];
+    let (h, _) = &test[0];
+    let clean = decoder.decode(h).expect("decode");
+    let attacked = decoder
+        .decode_rescaled(&ob.obfuscate(h).expect("obfuscate"), h.l2_norm())
+        .expect("decode");
+    let mse_clean = mse(&victim.features, &clean.features_clamped()).expect("mse");
+    let mse_attacked = mse(&victim.features, &attacked.features_clamped()).expect("mse");
+    assert!(
+        mse_attacked > 2.0 * mse_clean,
+        "masking should at least double the reconstruction error: \
+         {mse_clean} -> {mse_attacked}"
+    );
+}
+
+#[test]
+fn private_pipeline_trains_on_every_surrogate() {
+    for (ds, floor) in [
+        (surrogates::face(60, 25, 4), 0.75),
+        (surrogates::mnist(25, 10, 4), 0.70),
+    ] {
+        let budget = PrivacyBudget::with_paper_delta(1.0).expect("valid budget");
+        let cfg = PrivateTrainingConfig::new(budget)
+            .with_dim(3_000)
+            .with_keep_dims(2_000)
+            .with_sensitivity_mode(SensitivityMode::PerDimension)
+            .with_seed(5);
+        let (model, report) = PrivateTrainer::new(cfg).run(&ds).expect("pipeline");
+        assert!(
+            report.private_accuracy >= floor,
+            "{}: private accuracy {} below {floor}",
+            ds.name(),
+            report.private_accuracy
+        );
+        assert_eq!(model.model().num_classes(), ds.num_classes());
+        assert!(report.noise_std > 0.0);
+        assert!(report.delta_f_analytic <= report.delta_f_empirical * 10.0);
+    }
+}
+
+#[test]
+fn strict_l2_mode_injects_far_more_noise() {
+    let ds = surrogates::face(40, 20, 5);
+    let budget = PrivacyBudget::with_paper_delta(1.0).expect("valid budget");
+    let base = PrivateTrainingConfig::new(budget)
+        .with_dim(2_000)
+        .with_seed(6);
+    let (_, strict) = PrivateTrainer::new(base.with_sensitivity_mode(SensitivityMode::VectorL2))
+        .run(&ds)
+        .expect("pipeline");
+    let (_, relaxed) = PrivateTrainer::new(
+        base.with_sensitivity_mode(SensitivityMode::PerDimension),
+    )
+    .run(&ds)
+    .expect("pipeline");
+    assert!(
+        strict.noise_std > 10.0 * relaxed.noise_std,
+        "vector-l2 noise {} should dwarf per-dimension noise {}",
+        strict.noise_std,
+        relaxed.noise_std
+    );
+    assert!(relaxed.private_accuracy >= strict.private_accuracy);
+}
+
+#[test]
+fn data_volume_buries_the_noise() {
+    // Fig. 8(d): same noise, more data, better private accuracy.
+    let big = surrogates::face(200, 40, 6);
+    let small = big.subsample_train(0.1, 1);
+    let budget = PrivacyBudget::with_paper_delta(0.5).expect("valid budget");
+    let cfg = PrivateTrainingConfig::new(budget)
+        .with_dim(3_000)
+        .with_sensitivity_mode(SensitivityMode::PerDimension)
+        .with_seed(7);
+    let (_, rep_small) = PrivateTrainer::new(cfg).run(&small).expect("pipeline");
+    let (_, rep_big) = PrivateTrainer::new(cfg).run(&big).expect("pipeline");
+    assert!(
+        rep_big.private_accuracy >= rep_small.private_accuracy - 0.02,
+        "more data should not hurt: {} vs {}",
+        rep_big.private_accuracy,
+        rep_small.private_accuracy
+    );
+}

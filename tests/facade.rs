@@ -1,0 +1,54 @@
+//! Smoke tests of the `prive-hd` facade: every re-exported crate is
+//! reachable and the README quickstart compiles against the public API.
+
+use prive_hd::core::prelude::*;
+use prive_hd::core::DEFAULT_DIMENSION;
+
+#[test]
+fn facade_reexports_all_crates() {
+    // core
+    let _ = prive_hd::core::QuantScheme::Bipolar;
+    // data
+    let ds = prive_hd::data::surrogates::face(2, 1, 0);
+    assert_eq!(ds.num_classes(), 2);
+    // privacy
+    let b = prive_hd::privacy::PrivacyBudget::with_paper_delta(1.0).expect("budget");
+    assert!(b.gaussian_sigma() > 0.0);
+    // hw
+    let m = prive_hd::hw::ResourceModel::new(617);
+    assert!(m.bipolar_saving() > 0.7);
+}
+
+#[test]
+fn default_dimension_is_papers_ten_thousand() {
+    assert_eq!(DEFAULT_DIMENSION, 10_000);
+}
+
+#[test]
+fn readme_quickstart_flow() {
+    let ds = prive_hd::data::surrogates::isolet(5, 2, 0);
+    let encoder = ScalarEncoder::new(
+        EncoderConfig::new(ds.features(), 1_024).with_seed(1),
+    )
+    .expect("valid config");
+    let mut model = HdModel::new(ds.num_classes(), 1_024).expect("valid model");
+    for (x, y) in ds.train_pairs() {
+        model
+            .bundle(y, &encoder.encode(x).expect("encode"))
+            .expect("bundle");
+    }
+    let (x0, _) = ds.test_pairs().next().expect("test sample");
+    let pred = model
+        .predict(&encoder.encode(x0).expect("encode"))
+        .expect("predict");
+    assert!(pred.class < ds.num_classes());
+}
+
+#[test]
+fn error_type_is_usable_with_question_mark() {
+    fn inner() -> Result<usize, HdError> {
+        let h = Hypervector::zeros(8)?;
+        Ok(h.dim())
+    }
+    assert_eq!(inner().expect("ok"), 8);
+}

@@ -1,0 +1,95 @@
+//! Integration tests of the hardware functional model against the
+//! software pipeline: the paper's <1%-accuracy-loss claim for the
+//! approximate majority encoder, and the Table I platform ordering.
+
+use prive_hd::core::{EncoderConfig, HdModel, Hypervector, LevelEncoder};
+use prive_hd::data::{ClusterSpec, SyntheticGenerator};
+use prive_hd::hw::perf::{Platform, PlatformKind, Workload};
+use prive_hd::hw::{HardwareEncoder, MajorityCircuit};
+
+fn level_friendly_task() -> prive_hd::data::Dataset {
+    SyntheticGenerator::new(
+        ClusterSpec::new("hw-it", 128, 8)
+            .with_samples(12, 6)
+            .with_difficulty(0.35, 0.25)
+            .with_nuisance(0.2)
+            .with_seed(11),
+    )
+    .generate()
+}
+
+fn accuracy_with(circuit: MajorityCircuit) -> f64 {
+    let ds = level_friendly_task();
+    let dim = 1_024;
+    let enc = LevelEncoder::new(
+        EncoderConfig::new(ds.features(), dim)
+            .with_levels(16)
+            .with_seed(3),
+    )
+    .expect("valid config");
+    let hw = HardwareEncoder::with_circuit(enc, circuit);
+    let encode = |samples: &[prive_hd::data::Sample]| -> Vec<(Hypervector, usize)> {
+        samples
+            .iter()
+            .map(|s| (hw.encode_dense(&s.features).expect("encode"), s.label))
+            .collect()
+    };
+    let model = HdModel::train(ds.num_classes(), dim, &encode(ds.train())).expect("train");
+    model.accuracy(&encode(ds.test())).expect("accuracy")
+}
+
+#[test]
+fn one_stage_majority_costs_under_three_percent_accuracy() {
+    let exact = accuracy_with(MajorityCircuit::exact());
+    let approx = accuracy_with(MajorityCircuit::new());
+    assert!(exact > 0.85, "reference pipeline should work: {exact}");
+    assert!(
+        exact - approx <= 0.03,
+        "one-stage loss too big: {exact} -> {approx}"
+    );
+}
+
+#[test]
+fn deep_cascades_lose_more_than_one_stage() {
+    let one = accuracy_with(MajorityCircuit::with_stages(1));
+    let four = accuracy_with(MajorityCircuit::with_stages(4));
+    assert!(
+        four <= one + 0.02,
+        "4-stage cascade should not beat 1-stage: {four} vs {one}"
+    );
+}
+
+#[test]
+fn hardware_and_software_encoders_agree_bit_exactly_when_exact() {
+    let ds = level_friendly_task();
+    let enc = LevelEncoder::new(
+        EncoderConfig::new(ds.features(), 512)
+            .with_levels(16)
+            .with_seed(5),
+    )
+    .expect("valid config");
+    let hw = HardwareEncoder::with_circuit(enc, MajorityCircuit::exact());
+    for s in ds.test().iter().take(10) {
+        assert_eq!(hw.agreement(&s.features).expect("agreement"), 1.0);
+    }
+}
+
+#[test]
+fn table1_ordering_holds_for_all_paper_workloads() {
+    for w in Workload::paper_benchmarks() {
+        let pi = Platform::paper(PlatformKind::RaspberryPi);
+        let gpu = Platform::paper(PlatformKind::Gpu);
+        let fpga = Platform::paper(PlatformKind::PriveHdFpga);
+        assert!(fpga.throughput(&w) > gpu.throughput(&w));
+        assert!(gpu.throughput(&w) > pi.throughput(&w));
+        assert!(fpga.energy_per_input(&w) < gpu.energy_per_input(&w));
+        assert!(gpu.energy_per_input(&w) < pi.energy_per_input(&w));
+        // Order-of-magnitude check against the paper's averages.
+        let speedup_pi = fpga.throughput(&w) / pi.throughput(&w);
+        assert!(
+            (1e4..1e6).contains(&speedup_pi),
+            "{}: speedup vs Pi {speedup_pi}",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration tests of the two attacks the paper defends against:
+//! query reconstruction (§III-A, Eq. 9–10) and model-subtraction
+//! membership inference.
+
+use prive_hd::core::prelude::*;
+use prive_hd::core::Hypervector;
+use prive_hd::data::surrogates;
+use prive_hd::privacy::{
+    GaussianMechanism, Mechanism, MembershipAttack, PrivacyBudget, Sensitivity,
+};
+
+#[test]
+fn reconstruction_attack_succeeds_on_raw_encodings() {
+    let ds = surrogates::mnist(5, 3, 0);
+    let enc = ScalarEncoder::new(
+        EncoderConfig::new(ds.features(), 10_000)
+            .with_levels(100)
+            .with_seed(1),
+    )
+    .expect("valid config");
+    let decoder = Decoder::new(enc.item_memory().clone());
+    for s in ds.test().iter().take(5) {
+        let h = enc.encode(&s.features).expect("encode");
+        let rec = decoder.decode(&h).expect("decode");
+        let p = psnr(&s.features, &rec.features_clamped()).expect("psnr");
+        assert!(p > 15.0, "attack should succeed: PSNR {p} dB");
+    }
+}
+
+#[test]
+fn obfuscation_collapses_reconstruction_psnr() {
+    let ds = surrogates::mnist(5, 3, 1);
+    let dim = 10_000;
+    let enc = ScalarEncoder::new(
+        EncoderConfig::new(ds.features(), dim)
+            .with_levels(100)
+            .with_seed(2),
+    )
+    .expect("valid config");
+    let decoder = Decoder::new(enc.item_memory().clone());
+    let ob = Obfuscator::new(
+        dim,
+        ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(9_000)
+            .with_seed(3),
+    )
+    .expect("valid obfuscator");
+    let mut drops = Vec::new();
+    for s in ds.test().iter().take(5) {
+        let h = enc.encode(&s.features).expect("encode");
+        let clean = decoder.decode(&h).expect("decode");
+        let attacked = decoder
+            .decode_rescaled(&ob.obfuscate(&h).expect("obfuscate"), h.l2_norm())
+            .expect("decode");
+        let p_clean = psnr(&s.features, &clean.features_clamped()).expect("psnr");
+        let p_attacked = psnr(&s.features, &attacked.features_clamped()).expect("psnr");
+        drops.push(p_clean - p_attacked);
+    }
+    let mean_drop = drops.iter().sum::<f64>() / drops.len() as f64;
+    // Paper: 23.6 dB -> 13.1 dB, a ~10 dB drop at 9k masked.
+    assert!(mean_drop > 5.0, "mean PSNR drop {mean_drop} dB too small");
+}
+
+#[test]
+fn membership_attack_blocked_by_calibrated_noise() {
+    let ds = surrogates::face(50, 10, 2);
+    let dim = 6_000;
+    let enc = ScalarEncoder::new(
+        EncoderConfig::new(ds.features(), dim)
+            .with_levels(100)
+            .with_seed(4),
+    )
+    .expect("valid config");
+
+    let victim = ds.train()[0].clone();
+    let rest: Vec<(Hypervector, usize)> = ds.train()[1..]
+        .iter()
+        .map(|s| (enc.encode(&s.features).expect("encode"), s.label))
+        .collect();
+    let without = HdModel::train(2, dim, &rest).expect("train");
+    let mut with_samples = rest.clone();
+    with_samples.push((enc.encode(&victim.features).expect("encode"), victim.label));
+    let with = HdModel::train(2, dim, &with_samples).expect("train");
+
+    let attack = MembershipAttack::new(&enc);
+    let clean = attack
+        .run(&with, &without, victim.label, &victim.features)
+        .expect("attack");
+    assert!(clean > 0.6, "clean attack should correlate: {clean}");
+
+    let budget = PrivacyBudget::with_paper_delta(1.0).expect("valid budget");
+    let delta_f = Sensitivity::new(ds.features(), dim).l2_full();
+    let mut mech = GaussianMechanism::new(budget, 5);
+    let mut with_noisy = with.clone();
+    let mut without_noisy = without.clone();
+    with_noisy
+        .add_class_noise(&mech.noise_for_classes(2, dim, delta_f).expect("noise"))
+        .expect("add noise");
+    without_noisy
+        .add_class_noise(&mech.noise_for_classes(2, dim, delta_f).expect("noise"))
+        .expect("add noise");
+    let noisy = attack
+        .run(&with_noisy, &without_noisy, victim.label, &victim.features)
+        .expect("attack");
+    assert!(
+        noisy.abs() < 0.2,
+        "noise should break the attack: correlation {noisy}"
+    );
+}
+
+#[test]
+fn query_norm_is_shared_so_prediction_ranks_survive_scaling() {
+    // The Eq. (4) simplification: dropping the query norm never changes
+    // the argmax, so an obfuscated (rescaled) query ranks identically.
+    let ds = surrogates::isolet(10, 5, 3);
+    let dim = 2_000;
+    let enc = ScalarEncoder::new(
+        EncoderConfig::new(ds.features(), dim)
+            .with_levels(100)
+            .with_seed(5),
+    )
+    .expect("valid config");
+    let train: Vec<(Hypervector, usize)> = ds
+        .train_pairs()
+        .map(|(x, y)| (enc.encode(x).expect("encode"), y))
+        .collect();
+    let model = HdModel::train(ds.num_classes(), dim, &train).expect("train");
+    for (x, _) in ds.test_pairs().take(10) {
+        let h = enc.encode(x).expect("encode");
+        let scaled = h.clone() * 0.125;
+        assert_eq!(
+            model.predict(&h).expect("predict").class,
+            model.predict(&scaled).expect("predict").class
+        );
+    }
+}

@@ -10,11 +10,15 @@ use privehd_core::Encoder;
 
 fn bench_decode_dims(c: &mut Criterion) {
     let features = 617;
-    let x: Vec<f64> = (0..features).map(|i| ((i * 13) % 100) as f64 / 99.0).collect();
+    let x: Vec<f64> = (0..features)
+        .map(|i| ((i * 13) % 100) as f64 / 99.0)
+        .collect();
     let mut group = c.benchmark_group("decode_617_features");
     for dim in [1_000usize, 4_000, 10_000] {
         let enc = ScalarEncoder::new(
-            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+            EncoderConfig::new(features, dim)
+                .with_levels(100)
+                .with_seed(1),
         )
         .expect("valid config");
         let h = enc.encode(&x).expect("encode");
@@ -30,9 +34,13 @@ fn bench_decode_features(c: &mut Criterion) {
     let dim = 4_000;
     let mut group = c.benchmark_group("decode_4k_dims");
     for features in [128usize, 617, 784] {
-        let x: Vec<f64> = (0..features).map(|i| ((i * 13) % 100) as f64 / 99.0).collect();
+        let x: Vec<f64> = (0..features)
+            .map(|i| ((i * 13) % 100) as f64 / 99.0)
+            .collect();
         let enc = ScalarEncoder::new(
-            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+            EncoderConfig::new(features, dim)
+                .with_levels(100)
+                .with_seed(1),
         )
         .expect("valid config");
         let h = enc.encode(&x).expect("encode");

@@ -9,7 +9,9 @@ use privehd_core::prelude::*;
 use privehd_core::{Encoder, LevelEncoder};
 
 fn input(features: usize) -> Vec<f64> {
-    (0..features).map(|i| ((i * 29) % 100) as f64 / 99.0).collect()
+    (0..features)
+        .map(|i| ((i * 29) % 100) as f64 / 99.0)
+        .collect()
 }
 
 fn bench_encoders(c: &mut Criterion) {
@@ -19,14 +21,18 @@ fn bench_encoders(c: &mut Criterion) {
     for dim in [1_000usize, 4_000, 10_000] {
         group.throughput(Throughput::Elements((features * dim) as u64));
         let scalar = ScalarEncoder::new(
-            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+            EncoderConfig::new(features, dim)
+                .with_levels(100)
+                .with_seed(1),
         )
         .expect("valid config");
         group.bench_with_input(BenchmarkId::new("scalar", dim), &dim, |b, _| {
             b.iter(|| scalar.encode(&x).expect("encode"))
         });
         let level = LevelEncoder::new(
-            EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+            EncoderConfig::new(features, dim)
+                .with_levels(100)
+                .with_seed(1),
         )
         .expect("valid config");
         group.bench_with_input(BenchmarkId::new("level", dim), &dim, |b, _| {
@@ -40,7 +46,9 @@ fn bench_quantization(c: &mut Criterion) {
     let features = 617;
     let dim = 10_000;
     let encoder = ScalarEncoder::new(
-        EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+        EncoderConfig::new(features, dim)
+            .with_levels(100)
+            .with_seed(1),
     )
     .expect("valid config");
     let h = encoder.encode(&input(features)).expect("encode");
@@ -60,7 +68,9 @@ fn bench_batch_parallelism(c: &mut Criterion) {
     let features = 617;
     let dim = 2_000;
     let encoder = ScalarEncoder::new(
-        EncoderConfig::new(features, dim).with_levels(100).with_seed(1),
+        EncoderConfig::new(features, dim)
+            .with_levels(100)
+            .with_seed(1),
     )
     .expect("valid config");
     let batch: Vec<Vec<f64>> = (0..64).map(|_| input(features)).collect();

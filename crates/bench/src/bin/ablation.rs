@@ -18,9 +18,7 @@ use privehd_core::binary_model::{BinaryHdModel, QuantizedClassModel};
 use privehd_core::online::{train_online, OnlineConfig};
 use privehd_core::prelude::*;
 use privehd_data::surrogates;
-use privehd_privacy::{
-    GaussianMechanism, LaplaceMechanism, Mechanism, PrivacyBudget, Sensitivity,
-};
+use privehd_privacy::{GaussianMechanism, LaplaceMechanism, Mechanism, PrivacyBudget, Sensitivity};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = json_flag();
@@ -34,11 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Ablation 1: where the quantization is applied.
-fn class_quantization_ablation(
-    wb: &Workbench,
-    dim: usize,
-    json: bool,
-) -> Result<(), HdError> {
+fn class_quantization_ablation(wb: &Workbench, dim: usize, json: bool) -> Result<(), HdError> {
     let mut fig = Figure::new(
         "ablation-classes",
         "quantize encodings only (Prive-HD) vs classes too ([17]) vs fully binary",
@@ -65,7 +59,11 @@ fn class_quantization_ablation(
 
     println!("-- where the quantization is applied (bipolar queries) --");
     print_table(&[
-        vec!["variant".into(), "accuracy %".into(), "class bits/dim".into()],
+        vec![
+            "variant".into(),
+            "accuracy %".into(),
+            "class bits/dim".into(),
+        ],
         vec![
             "encodings only (Prive-HD)".into(),
             format!("{:.1}", acc_prive * 100.0),
@@ -110,9 +108,18 @@ fn training_rule_ablation(wb: &Workbench, dim: usize) -> Result<(), HdError> {
     println!("-- training rule (full precision) --");
     print_table(&[
         vec!["rule".into(), "test accuracy %".into()],
-        vec!["bundling (Eq. 3)".into(), format!("{:.1}", acc_bundled * 100.0)],
-        vec!["+ retraining (Eq. 5)".into(), format!("{:.1}", acc_retrained * 100.0)],
-        vec!["online (similarity-weighted)".into(), format!("{:.1}", acc_online * 100.0)],
+        vec![
+            "bundling (Eq. 3)".into(),
+            format!("{:.1}", acc_bundled * 100.0),
+        ],
+        vec![
+            "+ retraining (Eq. 5)".into(),
+            format!("{:.1}", acc_retrained * 100.0),
+        ],
+        vec![
+            "online (similarity-weighted)".into(),
+            format!("{:.1}", acc_online * 100.0),
+        ],
     ]);
     println!();
     Ok(())

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let victim_enc = wb.encoder().encode(&victim.features)?;
     let full_norm = victim_enc.l2_norm();
 
-    println!("baseline (full-precision queries): {:.1}%\n", baseline * 100.0);
+    println!(
+        "baseline (full-precision queries): {:.1}%\n",
+        baseline * 100.0
+    );
     let mask_counts: Vec<usize> = (0..=9).map(|i| i * 1_000).collect();
     for &masked in &mask_counts {
         let unmasked = dim - masked;
@@ -60,14 +63,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fig.emit(json_flag());
 
     // The visual comparison of Fig. 6.
-    println!("adversary's reconstructions (victim digit = {}):", victim.label);
+    println!(
+        "adversary's reconstructions (victim digit = {}):",
+        victim.label
+    );
     let clean_rec = decoder.decode(&victim_enc)?;
     let stages: Vec<(&str, Vec<f64>)> = vec![
         ("original", victim.features.clone()),
         ("decoded (no defence)", clean_rec.features_clamped()),
-        ("quantized", reconstruct(&decoder, &victim_enc, 0, full_norm)?),
-        ("quantized + 5k mask", reconstruct(&decoder, &victim_enc, 5_000, full_norm)?),
-        ("quantized + 9k mask", reconstruct(&decoder, &victim_enc, 9_000, full_norm)?),
+        (
+            "quantized",
+            reconstruct(&decoder, &victim_enc, 0, full_norm)?,
+        ),
+        (
+            "quantized + 5k mask",
+            reconstruct(&decoder, &victim_enc, 5_000, full_norm)?,
+        ),
+        (
+            "quantized + 9k mask",
+            reconstruct(&decoder, &victim_enc, 9_000, full_norm)?,
+        ),
     ];
     for (name, img) in &stages {
         let p = psnr(&victim.features, img)?;
@@ -91,5 +106,7 @@ fn reconstruct(
             .with_seed(5),
     )?;
     let sent = ob.obfuscate(victim_enc)?;
-    Ok(decoder.decode_rescaled(&sent, full_norm)?.features_clamped())
+    Ok(decoder
+        .decode_rescaled(&sent, full_norm)?
+        .features_clamped())
 }

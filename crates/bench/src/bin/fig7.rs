@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if std::env::args().any(|a| a == "--verilog") {
         // Emit the synthesizable RTL of one approximate pipeline at the
         // ISOLET feature count, as the paper hand-crafted (§IV-C).
-        print!("{}", privehd_hw::verilog::encoder_top("prive_hd_encoder", 617, 4, true));
+        print!(
+            "{}",
+            privehd_hw::verilog::encoder_top("prive_hd_encoder", 617, 4, true)
+        );
         return Ok(());
     }
     resource_table();
@@ -113,12 +116,13 @@ fn hardware_accuracy(ds: &Dataset, dim: usize, stages: usize) -> Result<(f64, f6
     )?;
     let hw = HardwareEncoder::with_circuit(encoder, MajorityCircuit::with_stages(stages));
 
-    let encode_split = |samples: &[privehd_data::Sample]| -> Result<Vec<(Hypervector, usize)>, HdError> {
-        samples
-            .iter()
-            .map(|s| Ok((hw.encode_dense(&s.features)?, s.label)))
-            .collect()
-    };
+    let encode_split =
+        |samples: &[privehd_data::Sample]| -> Result<Vec<(Hypervector, usize)>, HdError> {
+            samples
+                .iter()
+                .map(|s| Ok((hw.encode_dense(&s.features)?, s.label)))
+                .collect()
+        };
     let train = encode_split(ds.train())?;
     let test = encode_split(ds.test())?;
     let model = HdModel::train(ds.num_classes(), dim, &train)?;

@@ -162,7 +162,7 @@ pub fn format_num(v: f64) -> String {
         return "0".to_owned();
     }
     let a = v.abs();
-    if a >= 1e6 || a < 1e-2 {
+    if !(1e-2..1e6).contains(&a) {
         format!("{v:.2e}")
     } else if (v.round() - v).abs() < 1e-9 && a < 1e6 {
         format!("{}", v.round() as i64)
@@ -206,7 +206,7 @@ mod tests {
     fn format_num_modes() {
         assert_eq!(format_num(0.0), "0");
         assert_eq!(format_num(42.0), "42");
-        assert_eq!(format_num(3.14159), "3.14");
+        assert_eq!(format_num(2.46913), "2.47");
         assert_eq!(format_num(2_500_000.0), "2.50e6");
         assert_eq!(format_num(0.000_002_7), "2.70e-6");
         assert_eq!(format_num(123.456), "123.5");

@@ -161,7 +161,7 @@ mod tests {
     use privehd_data::surrogates;
 
     fn bench() -> Workbench {
-        Workbench::new(surrogates::face(20, 10, 1), 2_000, 7).unwrap()
+        Workbench::new(surrogates::face(20, 10, 1), 2_000, 8).unwrap()
     }
 
     #[test]
@@ -195,8 +195,13 @@ mod tests {
         let base = wb.baseline_accuracy(2_000).unwrap();
         assert!(base > 0.7, "baseline = {base}");
         let model_q = wb.model_at(2_000, QuantScheme::Bipolar).unwrap();
-        let acc_q = wb.accuracy_at(&model_q, 2_000, QuantScheme::Bipolar).unwrap();
-        assert!(base - acc_q < 0.15, "bipolar drop too big: {base} -> {acc_q}");
+        let acc_q = wb
+            .accuracy_at(&model_q, 2_000, QuantScheme::Bipolar)
+            .unwrap();
+        assert!(
+            base - acc_q < 0.15,
+            "bipolar drop too big: {base} -> {acc_q}"
+        );
     }
 
     #[test]

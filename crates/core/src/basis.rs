@@ -109,8 +109,7 @@ impl BasisGenerator {
 /// SplitMix64 finalizer: decorrelates per-feature seeds derived from the
 /// master seed.
 fn mix(seed: u64, k: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -276,7 +275,10 @@ mod tests {
     #[test]
     fn item_memory_validates_arguments() {
         let g = BasisGenerator::new(0);
-        assert!(matches!(g.item_memory(0, 128), Err(HdError::InvalidConfig(_))));
+        assert!(matches!(
+            g.item_memory(0, 128),
+            Err(HdError::InvalidConfig(_))
+        ));
         assert!(matches!(g.item_memory(4, 0), Err(HdError::EmptyDimension)));
     }
 
@@ -305,7 +307,10 @@ mod tests {
     #[test]
     fn level_memory_needs_two_levels() {
         let g = BasisGenerator::new(0);
-        assert!(matches!(g.level_memory(1, 128), Err(HdError::InvalidConfig(_))));
+        assert!(matches!(
+            g.level_memory(1, 128),
+            Err(HdError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -248,7 +248,11 @@ mod tests {
     #[test]
     fn quantized_class_model_still_classifies() {
         let (model, test) = trained();
-        for scheme in [QuantScheme::Bipolar, QuantScheme::Ternary, QuantScheme::TwoBit] {
+        for scheme in [
+            QuantScheme::Bipolar,
+            QuantScheme::Ternary,
+            QuantScheme::TwoBit,
+        ] {
             let q = QuantizedClassModel::from_model(&model, scheme);
             assert_eq!(q.accuracy(&test).unwrap(), 1.0, "{scheme}");
             assert_eq!(q.scheme(), scheme);

@@ -191,7 +191,9 @@ mod tests {
 
     fn setup(features: usize, dim: usize) -> (ScalarEncoder, Decoder, Vec<f64>) {
         let enc = ScalarEncoder::new(
-            EncoderConfig::new(features, dim).with_seed(13).with_levels(256),
+            EncoderConfig::new(features, dim)
+                .with_seed(13)
+                .with_levels(256),
         )
         .unwrap();
         let dec = Decoder::new(enc.item_memory().clone());
@@ -216,12 +218,8 @@ mod tests {
         // attack. This is the quantitative heart of Eq. (10).
         let (enc_s, dec_s, input) = setup(32, 1_000);
         let (enc_l, dec_l, _) = setup(32, 20_000);
-        let small = dec_s
-            .decode(&enc_s.encode(&input).unwrap())
-            .unwrap();
-        let large = dec_l
-            .decode(&enc_l.encode(&input).unwrap())
-            .unwrap();
+        let small = dec_s.decode(&enc_s.encode(&input).unwrap()).unwrap();
+        let large = dec_l.decode(&enc_l.encode(&input).unwrap()).unwrap();
         let mse_small = mse(&input, small.features()).unwrap();
         let mse_large = mse(&input, large.features()).unwrap();
         assert!(

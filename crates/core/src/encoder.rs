@@ -124,7 +124,7 @@ pub trait Encoder: Send + Sync {
 
     /// Encodes a batch of inputs in parallel.
     ///
-    /// The default implementation fans work out over `crossbeam` scoped
+    /// The default implementation fans work out over [`std::thread::scope`]
     /// threads; encoders are immutable after construction so sharing is
     /// free.
     ///
@@ -152,17 +152,16 @@ fn encode_batch_parallel<E: Encoder + ?Sized>(
         return inputs.iter().map(|x| encoder.encode(x)).collect();
     }
     let chunk = inputs.len().div_ceil(threads);
-    let mut results: Vec<Result<Vec<Hypervector>, HdError>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Vec<Hypervector>, HdError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .chunks(chunk)
-            .map(|slice| scope.spawn(move |_| slice.iter().map(|x| encoder.encode(x)).collect()))
+            .map(|slice| scope.spawn(move || slice.iter().map(|x| encoder.encode(x)).collect()))
             .collect();
-        for h in handles {
-            results.push(h.join().expect("encoder thread panicked"));
-        }
-    })
-    .expect("crossbeam scope panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("encoder thread panicked"))
+            .collect()
+    });
     let mut out = Vec::with_capacity(inputs.len());
     for r in results {
         out.extend(r?);
@@ -427,7 +426,9 @@ mod tests {
     use crate::hypervector::BipolarHv;
 
     fn cfg(features: usize, dim: usize) -> EncoderConfig {
-        EncoderConfig::new(features, dim).with_seed(99).with_levels(10)
+        EncoderConfig::new(features, dim)
+            .with_seed(99)
+            .with_levels(10)
     }
 
     #[test]
@@ -494,8 +495,8 @@ mod tests {
 
     #[test]
     fn similar_inputs_encode_similarly_level_encoder() {
-        let enc = LevelEncoder::new(EncoderConfig::new(20, 4_096).with_levels(32).with_seed(5))
-            .unwrap();
+        let enc =
+            LevelEncoder::new(EncoderConfig::new(20, 4_096).with_levels(32).with_seed(5)).unwrap();
         let a: Vec<f64> = (0..20).map(|i| i as f64 / 19.0).collect();
         let mut b = a.clone();
         b[0] += 0.02; // tiny perturbation, same or adjacent level
@@ -538,7 +539,9 @@ mod tests {
         // Central limit argument of §III-B: H_j ~ N(0, D_iv).
         let features = 200;
         let enc = LevelEncoder::new(
-            EncoderConfig::new(features, 10_000).with_levels(20).with_seed(8),
+            EncoderConfig::new(features, 10_000)
+                .with_levels(20)
+                .with_seed(8),
         )
         .unwrap();
         let input: Vec<f64> = (0..features).map(|i| (i % 20) as f64 / 19.0).collect();

@@ -64,7 +64,10 @@ impl Hypervector {
     /// Panics if `values` is empty; use [`Hypervector::zeros`] plus
     /// assignment when the dimension is dynamic.
     pub fn from_vec(values: Vec<f64>) -> Self {
-        assert!(!values.is_empty(), "hypervector must have at least one dimension");
+        assert!(
+            !values.is_empty(),
+            "hypervector must have at least one dimension"
+        );
         Self { values }
     }
 
@@ -239,7 +242,11 @@ impl Sub for Hypervector {
 
 impl SubAssign for Hypervector {
     fn sub_assign(&mut self, rhs: Hypervector) {
-        assert_eq!(self.dim(), rhs.dim(), "subtraction of mismatched dimensions");
+        assert_eq!(
+            self.dim(),
+            rhs.dim(),
+            "subtraction of mismatched dimensions"
+        );
         for (a, b) in self.values.iter_mut().zip(rhs.values) {
             *a -= b;
         }
@@ -346,7 +353,10 @@ impl BipolarHv {
     ///
     /// Panics if `signs` is empty.
     pub fn from_signs(signs: &[f64]) -> Self {
-        assert!(!signs.is_empty(), "hypervector must have at least one dimension");
+        assert!(
+            !signs.is_empty(),
+            "hypervector must have at least one dimension"
+        );
         let dim = signs.len();
         let mut words = vec![0u64; dim.div_ceil(WORD_BITS)];
         for (i, &s) in signs.iter().enumerate() {

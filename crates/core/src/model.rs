@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::HdError;
-use crate::hypervector::Hypervector;
+use crate::hypervector::{BipolarHv, Hypervector};
 use crate::prune::PruneMask;
 use crate::quantize::QuantScheme;
 
@@ -174,12 +174,10 @@ impl HdModel {
     ///
     /// Returns [`HdError::ClassOutOfRange`] for an invalid label.
     pub fn class(&self, label: usize) -> Result<&Hypervector, HdError> {
-        self.classes
-            .get(label)
-            .ok_or(HdError::ClassOutOfRange {
-                class: label,
-                num_classes: self.classes.len(),
-            })
+        self.classes.get(label).ok_or(HdError::ClassOutOfRange {
+            class: label,
+            num_classes: self.classes.len(),
+        })
     }
 
     /// Iterates over the class hypervectors in label order.
@@ -253,6 +251,104 @@ impl HdModel {
         let mut scores = Vec::with_capacity(self.classes.len());
         for (class, &norm) in self.classes.iter().zip(norms.iter()) {
             let dot = query.dot(class)?;
+            scores.push(if norm == 0.0 { f64::MIN } else { dot / norm });
+        }
+        let (class, &score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .expect("at least one class");
+        Ok(Prediction {
+            class,
+            score,
+            scores,
+        })
+    }
+
+    /// Classifies a batch of queries, fanning the work out over
+    /// [`std::thread::scope`] threads.
+    ///
+    /// Each query goes through exactly the same arithmetic as
+    /// [`HdModel::predict`], so the results are bit-identical to calling
+    /// `predict` sequentially. (The `privehd-serve` engine answers the
+    /// requests of a batch one `predict` call at a time for per-request
+    /// error isolation; this API is the bulk path for callers that hold
+    /// a whole batch and want one `Result`.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first prediction error encountered (dimension
+    /// mismatch, [`HdError::ZeroNorm`] on an untrained model).
+    pub fn predict_batch(&self, queries: &[Hypervector]) -> Result<Vec<Prediction>, HdError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        self.predict_batch_with(queries, threads)
+    }
+
+    /// [`HdModel::predict_batch`] with an explicit thread cap, for
+    /// callers that already provide their own parallelism and pass 1 to
+    /// keep the batch single-threaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first prediction error encountered.
+    pub fn predict_batch_with(
+        &self,
+        queries: &[Hypervector],
+        threads: usize,
+    ) -> Result<Vec<Prediction>, HdError> {
+        let threads = threads.max(1).min(queries.len().max(1));
+        // Small batches are not worth the spawn cost.
+        if threads <= 1 || queries.len() < 8 {
+            return queries.iter().map(|q| self.predict(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let results: Vec<Result<Vec<Prediction>, HdError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || slice.iter().map(|q| self.predict(q)).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prediction thread panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// Classifies a bit-packed bipolar query — the fast path for
+    /// obfuscated queries, whose components are all `±1` after the
+    /// [`crate::obfuscate::Obfuscator`] quantization step.
+    ///
+    /// The per-class dot product runs over packed words
+    /// ([`BipolarHv::dot_dense`]) instead of a dense multiply. The score
+    /// is mathematically identical to [`HdModel::predict`] on
+    /// [`BipolarHv::to_dense`], but floating-point summation order
+    /// differs, so last-ulp ties may resolve differently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdError::DimensionMismatch`] for a wrong query dimension
+    /// and [`HdError::ZeroNorm`] if every class hypervector is zero.
+    pub fn predict_packed(&self, query: &BipolarHv) -> Result<Prediction, HdError> {
+        if query.dim() != self.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        let norms = self.norms_cached();
+        if norms.iter().all(|n| *n == 0.0) {
+            return Err(HdError::ZeroNorm);
+        }
+        let mut scores = Vec::with_capacity(self.classes.len());
+        for (class, &norm) in self.classes.iter().zip(norms.iter()) {
+            let dot = query.dot_dense(class)?;
             scores.push(if norm == 0.0 { f64::MIN } else { dot / norm });
         }
         let (class, &score) = scores
@@ -446,10 +542,7 @@ mod tests {
     use super::*;
     use crate::encoder::{Encoder, EncoderConfig, ScalarEncoder};
 
-    fn two_cluster_data(
-        enc: &ScalarEncoder,
-        n_per_class: usize,
-    ) -> Vec<(Hypervector, usize)> {
+    fn two_cluster_data(enc: &ScalarEncoder, n_per_class: usize) -> Vec<(Hypervector, usize)> {
         let mut out = Vec::new();
         for i in 0..n_per_class {
             let t = (i % 5) as f64 / 50.0;
@@ -534,11 +627,12 @@ mod tests {
             model.bundle(1, h0).unwrap();
         }
         let before = model.accuracy(&train).unwrap();
-        let report = model
-            .retrain(&train, &RetrainConfig::default())
-            .unwrap();
+        let report = model.retrain(&train, &RetrainConfig::default()).unwrap();
         let after = model.accuracy(&train).unwrap();
-        assert!(after >= before, "retraining must not hurt: {before} -> {after}");
+        assert!(
+            after >= before,
+            "retraining must not hurt: {before} -> {after}"
+        );
         assert!(after > 0.95, "after = {after}");
         assert!(report.epochs_run() >= 1);
     }
@@ -559,8 +653,8 @@ mod tests {
         let enc = ScalarEncoder::new(EncoderConfig::new(6, 512).with_seed(7)).unwrap();
         let train = two_cluster_data(&enc, 6);
         let mut model = HdModel::train(2, 512, &train).unwrap();
-        let mask = PruneMask::select(&model, 256, crate::prune::PruneStrategy::LeastEffectual)
-            .unwrap();
+        let mask =
+            PruneMask::select(&model, 256, crate::prune::PruneStrategy::LeastEffectual).unwrap();
         model.apply_mask(&mask).unwrap();
         model
             .retrain_masked(&train, &mask, &RetrainConfig::default())
@@ -611,6 +705,66 @@ mod tests {
         a.refresh_norms();
         let q = &train[0].0;
         assert_eq!(a.predict(q).unwrap(), b.predict(q).unwrap());
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_sequential() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 1_024).with_seed(31)).unwrap();
+        let train = two_cluster_data(&enc, 8);
+        let model = HdModel::train(2, 1_024, &train).unwrap();
+        let queries: Vec<Hypervector> = train.iter().map(|(h, _)| h.clone()).collect();
+        let batched = model.predict_batch(&queries).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(&model.predict(q).unwrap(), b);
+        }
+        // Explicit thread counts (including the sequential fallback) agree.
+        assert_eq!(model.predict_batch_with(&queries, 1).unwrap(), batched);
+        assert_eq!(model.predict_batch_with(&queries, 3).unwrap(), batched);
+    }
+
+    #[test]
+    fn predict_batch_propagates_errors() {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 256).with_seed(32)).unwrap();
+        let train = two_cluster_data(&enc, 4);
+        let model = HdModel::train(2, 256, &train).unwrap();
+        let mut queries: Vec<Hypervector> = train.iter().map(|(h, _)| h.clone()).collect();
+        queries.push(Hypervector::zeros(128).unwrap());
+        assert!(model.predict_batch(&queries).is_err());
+    }
+
+    #[test]
+    fn predict_packed_matches_dense_on_bipolar_queries() {
+        use crate::hypervector::BipolarHv;
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 512).with_seed(33)).unwrap();
+        let train = two_cluster_data(&enc, 6);
+        let model = HdModel::train(2, 512, &train).unwrap();
+        for seed in 0..10 {
+            let packed = BipolarHv::random(512, seed);
+            let fast = model.predict_packed(&packed).unwrap();
+            let slow = model.predict(&packed.to_dense()).unwrap();
+            assert_eq!(fast.class, slow.class, "seed {seed}");
+            for (a, b) in fast.scores.iter().zip(&slow.scores) {
+                assert!((a - b).abs() < 1e-9, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_packed_validates_dim_and_norms() {
+        use crate::hypervector::BipolarHv;
+        let m = HdModel::new(2, 64).unwrap();
+        assert_eq!(
+            m.predict_packed(&BipolarHv::random(32, 0)),
+            Err(HdError::DimensionMismatch {
+                expected: 64,
+                actual: 32
+            })
+        );
+        assert_eq!(
+            m.predict_packed(&BipolarHv::random(64, 0)),
+            Err(HdError::ZeroNorm)
+        );
     }
 
     #[test]

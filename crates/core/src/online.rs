@@ -170,7 +170,9 @@ mod tests {
     use crate::encoder::{Encoder, EncoderConfig, ScalarEncoder};
     use crate::model::HdModel;
 
-    fn overlapping_data(seed: u64) -> (Vec<(Hypervector, usize)>, Vec<(Hypervector, usize)>) {
+    type Split = Vec<(Hypervector, usize)>;
+
+    fn overlapping_data(seed: u64) -> (Split, Split) {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let enc = ScalarEncoder::new(EncoderConfig::new(16, 2_048).with_seed(seed)).unwrap();

@@ -263,7 +263,7 @@ pub fn information_curve(
         .iter()
         .map(|c| query.dot(c).expect("dims checked"))
         .collect();
-    if full.iter().any(|f| *f == 0.0) {
+    if full.contains(&0.0) {
         return Err(HdError::ZeroNorm);
     }
     // Prefix sums over the least-effectual ordering, per class.
@@ -276,16 +276,10 @@ pub fn information_curve(
             .zip(&full)
             .map(|(c, &f)| {
                 let partial: f64 = if restore {
-                    order[..s]
-                        .iter()
-                        .map(|&j| query[j] * c.as_slice()[j])
-                        .sum()
+                    order[..s].iter().map(|&j| query[j] * c.as_slice()[j]).sum()
                 } else {
                     // Prune the s least effectual: keep the rest.
-                    order[s..]
-                        .iter()
-                        .map(|&j| query[j] * c.as_slice()[j])
-                        .sum()
+                    order[s..].iter().map(|&j| query[j] * c.as_slice()[j]).sum()
                 };
                 partial / f
             })

@@ -71,13 +71,19 @@ impl std::fmt::Display for DatasetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DatasetError::FeatureCount { expected, actual } => {
-                write!(f, "sample has {actual} features, dataset declares {expected}")
+                write!(
+                    f,
+                    "sample has {actual} features, dataset declares {expected}"
+                )
             }
             DatasetError::Label { label, num_classes } => {
                 write!(f, "label {label} out of range for {num_classes} classes")
             }
             DatasetError::Range { value } => {
-                write!(f, "feature value {value} outside the normalized range [0, 1]")
+                write!(
+                    f,
+                    "feature value {value} outside the normalized range [0, 1]"
+                )
             }
             DatasetError::EmptyTrain => write!(f, "training split is empty"),
         }

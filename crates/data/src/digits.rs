@@ -20,25 +20,45 @@ pub const IMAGE_SIDE: usize = 28;
 /// left-to-right in the low 5 bits.
 const GLYPHS: [[u8; 7]; 10] = [
     // 0
-    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+    [
+        0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110,
+    ],
     // 1
-    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+    [
+        0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110,
+    ],
     // 2
-    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+    [
+        0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111,
+    ],
     // 3
-    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+    [
+        0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110,
+    ],
     // 4
-    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+    [
+        0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010,
+    ],
     // 5
-    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+    [
+        0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110,
+    ],
     // 6
-    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+    [
+        0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110,
+    ],
     // 7
-    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+    [
+        0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000,
+    ],
     // 8
-    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+    [
+        0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110,
+    ],
     // 9
-    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+    [
+        0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100,
+    ],
 ];
 
 /// Renders the clean 28×28 prototype image of a digit (values 0.0/1.0
@@ -145,14 +165,8 @@ pub fn digits_dataset(train_per_class: usize, test_per_class: usize, seed: u64) 
             });
         }
     }
-    Dataset::new(
-        "mnist-surrogate",
-        IMAGE_SIDE * IMAGE_SIDE,
-        10,
-        train,
-        test,
-    )
-    .expect("rendered digits satisfy dataset invariants")
+    Dataset::new("mnist-surrogate", IMAGE_SIDE * IMAGE_SIDE, 10, train, test)
+        .expect("rendered digits satisfy dataset invariants")
 }
 
 /// Renders a 28×28 image as ASCII art (darkest = `@`), for the Fig. 2 /
@@ -162,7 +176,11 @@ pub fn digits_dataset(train_per_class: usize, test_per_class: usize, seed: u64) 
 ///
 /// Panics if `pixels.len() != 784`.
 pub fn to_ascii(pixels: &[f64]) -> String {
-    assert_eq!(pixels.len(), IMAGE_SIDE * IMAGE_SIDE, "expect a 28x28 image");
+    assert_eq!(
+        pixels.len(),
+        IMAGE_SIDE * IMAGE_SIDE,
+        "expect a 28x28 image"
+    );
     const RAMP: &[u8] = b" .:-=+*#%@";
     let mut out = String::with_capacity((IMAGE_SIDE + 1) * IMAGE_SIDE);
     for y in 0..IMAGE_SIDE {

@@ -166,11 +166,7 @@ mod tests {
     use super::*;
 
     fn rows() -> Vec<Vec<f64>> {
-        vec![
-            vec![0.0, 100.0],
-            vec![5.0, 200.0],
-            vec![10.0, 300.0],
-        ]
+        vec![vec![0.0, 100.0], vec![5.0, 200.0], vec![10.0, 300.0]]
     }
 
     #[test]

@@ -232,8 +232,8 @@ mod tests {
 
     #[test]
     fn float_labels_are_accepted() {
-        let ds = dataset_from_csv("t", "0,1,3.0\n1,0,4.0\n".as_bytes(), "0,0,3.0\n".as_bytes())
-            .unwrap();
+        let ds =
+            dataset_from_csv("t", "0,1,3.0\n1,0,4.0\n".as_bytes(), "0,0,3.0\n".as_bytes()).unwrap();
         assert_eq!(ds.num_classes(), 2);
     }
 

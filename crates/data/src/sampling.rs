@@ -117,10 +117,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut ns = NormalSampler::new();
         let n = 100_000;
-        let beyond = (0..n)
-            .filter(|_| ns.standard(&mut rng).abs() > 2.0)
-            .count() as f64
-            / n as f64;
+        let beyond = (0..n).filter(|_| ns.standard(&mut rng).abs() > 2.0).count() as f64 / n as f64;
         assert!((beyond - 0.0455).abs() < 0.005, "tail = {beyond}");
     }
 }

@@ -254,7 +254,11 @@ mod tests {
         let dist = |g: &SyntheticGenerator| -> f64 {
             let a = &g.prototypes()[0];
             let b = &g.prototypes()[1];
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(dist(&far) > dist(&near));
     }

@@ -100,7 +100,9 @@ impl FpgaDesign {
         scheme: QuantScheme,
         approximate: bool,
     ) -> usize {
-        let p = self.parallel_dims(workload.features, scheme, approximate).max(1);
+        let p = self
+            .parallel_dims(workload.features, scheme, approximate)
+            .max(1);
         workload.dim.div_ceil(p).max(1)
     }
 
@@ -164,9 +166,7 @@ mod tests {
         let d = FpgaDesign::kintex7_325t();
         let w = isolet();
         let e = d.energy_per_input(&w, QuantScheme::Bipolar, true);
-        assert!(
-            (e - d.power_w / d.throughput(&w, QuantScheme::Bipolar, true)).abs() < 1e-15
-        );
+        assert!((e - d.power_w / d.throughput(&w, QuantScheme::Bipolar, true)).abs() < 1e-15);
     }
 
     #[test]

@@ -170,8 +170,8 @@ mod tests {
     fn unanimous_inputs_are_always_correct() {
         for stages in 0..4 {
             let c = MajorityCircuit::with_stages(stages);
-            assert!(c.sign(&vec![true; 100]));
-            assert!(!c.sign(&vec![false; 100]));
+            assert!(c.sign(&[true; 100]));
+            assert!(!c.sign(&[false; 100]));
         }
     }
 

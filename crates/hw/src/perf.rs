@@ -219,7 +219,10 @@ mod tests {
         assert!((5.0..60.0).contains(&tp_vs_gpu), "vs GPU: {tp_vs_gpu}");
         assert!((3e4..5e5).contains(&tp_vs_pi), "vs Pi: {tp_vs_pi}");
         let e_vs_gpu = gpu.energy_per_input(&w) / fpga.energy_per_input(&w);
-        assert!((50.0..2_000.0).contains(&e_vs_gpu), "energy vs GPU: {e_vs_gpu}");
+        assert!(
+            (50.0..2_000.0).contains(&e_vs_gpu),
+            "energy vs GPU: {e_vs_gpu}"
+        );
     }
 
     #[test]

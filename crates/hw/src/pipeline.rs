@@ -75,7 +75,11 @@ impl HardwareEncoder {
             for (k, row) in rows.iter().enumerate() {
                 column[k] = row.sign(j) > 0.0;
             }
-            *s = if self.circuit.sign(&column) { 1.0 } else { -1.0 };
+            *s = if self.circuit.sign(&column) {
+                1.0
+            } else {
+                -1.0
+            };
         }
         Ok(BipolarHv::from_signs(&signs))
     }
@@ -135,7 +139,9 @@ mod tests {
     }
 
     fn input(features: usize) -> Vec<f64> {
-        (0..features).map(|i| ((i * 13) % 16) as f64 / 15.0).collect()
+        (0..features)
+            .map(|i| ((i * 13) % 16) as f64 / 15.0)
+            .collect()
     }
 
     #[test]

@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn paper_savings() {
         let m = ResourceModel::new(617);
-        assert!((m.bipolar_saving() - 0.708).abs() < 0.005, "{}", m.bipolar_saving());
+        assert!(
+            (m.bipolar_saving() - 0.708).abs() < 0.005,
+            "{}",
+            m.bipolar_saving()
+        );
         assert!((m.ternary_saving() - 1.0 / 3.0).abs() < 1e-9);
     }
 

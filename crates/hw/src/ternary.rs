@@ -295,7 +295,7 @@ mod tests {
     fn zero_input_sums_to_zero() {
         let tree = SaturatedAdderTree::new();
         assert_eq!(tree.sum(&[]), 0);
-        assert_eq!(tree.sum(&vec![0i32; 33]), 0);
+        assert_eq!(tree.sum(&[0i32; 33]), 0);
     }
 
     #[test]

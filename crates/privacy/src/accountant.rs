@@ -82,11 +82,7 @@ impl PrivacyAccountant {
             .iter()
             .map(|b| b.epsilon())
             .fold(0.0f64, f64::max);
-        let delta = self
-            .spends
-            .iter()
-            .map(|b| b.delta())
-            .fold(0.0f64, f64::max);
+        let delta = self.spends.iter().map(|b| b.delta()).fold(0.0f64, f64::max);
         let eps_total =
             eps * (2.0 * k * (1.0 / delta_prime).ln()).sqrt() + k * eps * (eps.exp() - 1.0);
         Some((eps_total, k * delta + delta_prime))
@@ -147,7 +143,10 @@ mod tests {
         }
         let (basic_eps, _) = a.basic_composition();
         let (adv_eps, adv_delta) = a.advanced_composition(1e-6).unwrap();
-        assert!(adv_eps < basic_eps, "advanced {adv_eps} vs basic {basic_eps}");
+        assert!(
+            adv_eps < basic_eps,
+            "advanced {adv_eps} vs basic {basic_eps}"
+        );
         assert!(adv_delta > 100.0 * PrivacyBudget::PAPER_DELTA);
     }
 
@@ -187,8 +186,8 @@ mod tests {
         a.spend(budget(0.5));
         let (adv_eps, _) = a.advanced_composition(1e-6).unwrap();
         // Bound computed at eps = 0.5, k = 2.
-        let expected = 0.5 * (2.0f64 * 2.0 * (1e6f64).ln()).sqrt()
-            + 2.0 * 0.5 * (0.5f64.exp() - 1.0);
+        let expected =
+            0.5 * (2.0f64 * 2.0 * (1e6f64).ln()).sqrt() + 2.0 * 0.5 * (0.5f64.exp() - 1.0);
         assert!((adv_eps - expected).abs() < 1e-9);
     }
 }

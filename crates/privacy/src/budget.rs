@@ -126,7 +126,11 @@ mod tests {
     fn paper_sigma_value() {
         // §IV-A: σ ≈ 4.75 for ε = 1, δ = 1e-5.
         let b = PrivacyBudget::with_paper_delta(1.0).unwrap();
-        assert!((b.gaussian_sigma() - 4.75).abs() < 0.05, "{}", b.gaussian_sigma());
+        assert!(
+            (b.gaussian_sigma() - 4.75).abs() < 0.05,
+            "{}",
+            b.gaussian_sigma()
+        );
     }
 
     #[test]
@@ -160,8 +164,14 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert_eq!(PrivacyBudget::new(0.0, 0.5), Err(BudgetError::InvalidEpsilon));
-        assert_eq!(PrivacyBudget::new(-1.0, 0.5), Err(BudgetError::InvalidEpsilon));
+        assert_eq!(
+            PrivacyBudget::new(0.0, 0.5),
+            Err(BudgetError::InvalidEpsilon)
+        );
+        assert_eq!(
+            PrivacyBudget::new(-1.0, 0.5),
+            Err(BudgetError::InvalidEpsilon)
+        );
         assert_eq!(
             PrivacyBudget::new(f64::INFINITY, 0.5),
             Err(BudgetError::InvalidEpsilon)

@@ -41,8 +41,11 @@ pub mod renyi;
 pub mod sensitivity;
 
 pub use accountant::PrivacyAccountant;
-pub use renyi::RdpAccountant;
 pub use budget::PrivacyBudget;
 pub use mechanism::{GaussianMechanism, LaplaceMechanism, Mechanism};
-pub use pipeline::{MembershipAttack, PrivateModel, PrivateTrainer, PrivateTrainingConfig, PrivateTrainingReport, SensitivityMode};
+pub use pipeline::{
+    MembershipAttack, PrivateModel, PrivateTrainer, PrivateTrainingConfig, PrivateTrainingReport,
+    SensitivityMode,
+};
+pub use renyi::RdpAccountant;
 pub use sensitivity::Sensitivity;

@@ -95,8 +95,7 @@ impl Mechanism for GaussianMechanism {
     fn noise_hypervector(&mut self, dim: usize, delta_f: f64) -> Result<Hypervector, HdError> {
         let mut h = Hypervector::zeros(dim)?;
         let std = self.noise_scale(delta_f);
-        self.normal
-            .fill(&mut self.rng, h.as_mut_slice(), 0.0, std);
+        self.normal.fill(&mut self.rng, h.as_mut_slice(), 0.0, std);
         Ok(h)
     }
 }
@@ -222,9 +221,6 @@ mod tests {
     fn zero_dim_is_rejected() {
         let budget = PrivacyBudget::with_paper_delta(1.0).unwrap();
         let mut mech = GaussianMechanism::new(budget, 5);
-        assert_eq!(
-            mech.noise_hypervector(0, 1.0),
-            Err(HdError::EmptyDimension)
-        );
+        assert_eq!(mech.noise_hypervector(0, 1.0), Err(HdError::EmptyDimension));
     }
 }

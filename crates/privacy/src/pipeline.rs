@@ -427,12 +427,10 @@ impl MembershipAttack {
         victim_features: &[f64],
     ) -> Result<f64, HdError> {
         let diff = with_victim.difference(without_victim)?;
-        let leaked = diff
-            .get(victim_class)
-            .ok_or(HdError::ClassOutOfRange {
-                class: victim_class,
-                num_classes: diff.len(),
-            })?;
+        let leaked = diff.get(victim_class).ok_or(HdError::ClassOutOfRange {
+            class: victim_class,
+            num_classes: diff.len(),
+        })?;
         let rec = self.decoder.decode(leaked)?;
         Ok(pearson(victim_features, rec.features()))
     }
@@ -480,7 +478,11 @@ mod tests {
         assert_eq!(report.kept_dims, 1_000);
         assert!(report.delta_f_analytic > 0.0);
         assert!(report.sigma > 4.0);
-        assert!(report.clean_accuracy > 0.6, "clean {}", report.clean_accuracy);
+        assert!(
+            report.clean_accuracy > 0.6,
+            "clean {}",
+            report.clean_accuracy
+        );
         assert_eq!(model.mask().unwrap().kept(), 1_000);
     }
 
@@ -560,7 +562,9 @@ mod tests {
         let ds = small_face();
         let dim = 8_000;
         let encoder = ScalarEncoder::new(
-            EncoderConfig::new(ds.features(), dim).with_levels(100).with_seed(6),
+            EncoderConfig::new(ds.features(), dim)
+                .with_levels(100)
+                .with_seed(6),
         )
         .unwrap();
         let victim = ds.train()[0].clone();
@@ -594,7 +598,12 @@ mod tests {
             .add_class_noise(&mech.noise_for_classes(2, dim, sens).unwrap())
             .unwrap();
         let corr_noisy = attack
-            .run(&m_with_noisy, &m_without_noisy, victim.label, &victim.features)
+            .run(
+                &m_with_noisy,
+                &m_without_noisy,
+                victim.label,
+                &victim.features,
+            )
             .unwrap();
         assert!(
             corr_noisy.abs() < 0.3,

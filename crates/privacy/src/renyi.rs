@@ -109,7 +109,11 @@ impl RdpAccountant {
 
     /// The accumulated RDP ε at each `(order, ρ)` pair.
     pub fn rdp_curve(&self) -> Vec<(f64, f64)> {
-        self.orders.iter().copied().zip(self.rdp.iter().copied()).collect()
+        self.orders
+            .iter()
+            .copied()
+            .zip(self.rdp.iter().copied())
+            .collect()
     }
 
     /// Converts the ledger to an (ε, δ)-DP guarantee, optimizing the

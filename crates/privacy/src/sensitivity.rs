@@ -86,10 +86,7 @@ impl Sensitivity {
     pub fn per_dimension(&self, scheme: QuantScheme) -> f64 {
         match scheme {
             QuantScheme::Full => 3.0 * (self.features as f64).sqrt(),
-            _ => scheme
-                .alphabet()
-                .iter()
-                .fold(0.0f64, |m, k| m.max(k.abs())),
+            _ => scheme.alphabet().iter().fold(0.0f64, |m, k| m.max(k.abs())),
         }
     }
 
@@ -169,7 +166,11 @@ mod tests {
     fn quantized_sensitivity_is_independent_of_features() {
         let a = Sensitivity::new(100, 10_000);
         let b = Sensitivity::new(5_000, 10_000);
-        for scheme in [QuantScheme::Bipolar, QuantScheme::Ternary, QuantScheme::TwoBit] {
+        for scheme in [
+            QuantScheme::Bipolar,
+            QuantScheme::Ternary,
+            QuantScheme::TwoBit,
+        ] {
             assert_eq!(a.l2_quantized(scheme), b.l2_quantized(scheme));
         }
     }
@@ -183,7 +184,8 @@ mod tests {
     #[test]
     fn biased_ternary_is_0_87_of_uniform() {
         let s = Sensitivity::new(617, 9_000);
-        let ratio = s.l2_quantized(QuantScheme::TernaryBiased) / s.l2_quantized(QuantScheme::Ternary);
+        let ratio =
+            s.l2_quantized(QuantScheme::TernaryBiased) / s.l2_quantized(QuantScheme::Ternary);
         // √( (1/4+1/4) / (1/3+1/3) ) = √3/2 ≈ 0.866 — the paper's 0.87×.
         assert!((ratio - 0.866).abs() < 0.001, "ratio = {ratio}");
     }
@@ -220,18 +222,19 @@ mod tests {
         // Full precision: 3σ clip of the CLT component distribution.
         assert!((s.per_dimension(QuantScheme::Full) - 3.0 * 617f64.sqrt()).abs() < 1e-9);
         // Orders of magnitude below the vector ℓ2 sensitivity.
-        assert!(s.per_dimension(QuantScheme::Ternary) < s.l2_quantized(QuantScheme::Ternary) / 10.0);
+        assert!(
+            s.per_dimension(QuantScheme::Ternary) < s.l2_quantized(QuantScheme::Ternary) / 10.0
+        );
     }
 
     #[test]
     fn empirical_matches_analytic_for_bipolar() {
-        let enc = LevelEncoder::new(EncoderConfig::new(64, 4_096).with_levels(16).with_seed(2))
-            .unwrap();
+        let enc =
+            LevelEncoder::new(EncoderConfig::new(64, 4_096).with_levels(16).with_seed(2)).unwrap();
         let probes: Vec<Vec<f64>> = (0..10)
             .map(|i| (0..64).map(|k| ((i + k) % 16) as f64 / 15.0).collect())
             .collect();
-        let emp =
-            Sensitivity::l2_empirical(&enc, &probes, QuantScheme::Bipolar, None).unwrap();
+        let emp = Sensitivity::l2_empirical(&enc, &probes, QuantScheme::Bipolar, None).unwrap();
         let analytic = Sensitivity::new(64, 4_096).l2_quantized(QuantScheme::Bipolar);
         // Bipolar has *exactly* √D norm regardless of data.
         assert!((emp - analytic).abs() < 1e-9, "emp {emp} vs {analytic}");
@@ -239,8 +242,8 @@ mod tests {
 
     #[test]
     fn empirical_full_precision_tracks_clt_prediction() {
-        let enc = LevelEncoder::new(EncoderConfig::new(200, 8_192).with_levels(20).with_seed(3))
-            .unwrap();
+        let enc =
+            LevelEncoder::new(EncoderConfig::new(200, 8_192).with_levels(20).with_seed(3)).unwrap();
         let probes: Vec<Vec<f64>> = (0..5)
             .map(|i| (0..200).map(|k| ((i * 7 + k) % 20) as f64 / 19.0).collect())
             .collect();
@@ -254,8 +257,8 @@ mod tests {
 
     #[test]
     fn masking_reduces_empirical_sensitivity() {
-        let enc = LevelEncoder::new(EncoderConfig::new(32, 1_024).with_levels(8).with_seed(4))
-            .unwrap();
+        let enc =
+            LevelEncoder::new(EncoderConfig::new(32, 1_024).with_levels(8).with_seed(4)).unwrap();
         let probes: Vec<Vec<f64>> = (0..4)
             .map(|i| (0..32).map(|k| ((i + k) % 8) as f64 / 7.0).collect())
             .collect();

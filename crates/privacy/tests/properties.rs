@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use privehd_core::QuantScheme;
-use privehd_privacy::{
-    GaussianMechanism, LaplaceMechanism, Mechanism, PrivacyBudget, Sensitivity,
-};
+use privehd_privacy::{GaussianMechanism, LaplaceMechanism, Mechanism, PrivacyBudget, Sensitivity};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

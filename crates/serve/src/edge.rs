@@ -1,0 +1,165 @@
+//! The client-side (edge) pipeline: encode locally, obfuscate, offload.
+//!
+//! Prive-HD's threat model (§III-C of the paper) keeps raw features and
+//! full-precision encodings on the device; the untrusted host only ever
+//! receives a quantized, dimension-masked hypervector. [`ClientEdge`]
+//! packages that contract: it owns a [`ScalarEncoder`] and an
+//! [`Obfuscator`] built for the same dimensionality, and its
+//! [`ClientEdge::prepare`] is the *only* way it exposes a query.
+
+use privehd_core::{
+    Encoder, EncoderConfig, Hypervector, ObfuscateConfig, Obfuscator, ScalarEncoder,
+};
+
+use crate::error::ServeError;
+
+/// Edge-device query preparation: `ScalarEncoder` ∘ `Obfuscator`.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{EncoderConfig, ObfuscateConfig, QuantScheme};
+/// use privehd_serve::ClientEdge;
+///
+/// # fn main() -> Result<(), privehd_serve::ServeError> {
+/// let edge = ClientEdge::new(
+///     EncoderConfig::new(8, 1_024).with_seed(5),
+///     ObfuscateConfig::new(QuantScheme::Bipolar).with_masked_dims(256),
+/// )?;
+/// let sent = edge.prepare(&[0.1, 0.9, 0.4, 0.2, 0.8, 0.3, 0.6, 0.5])?;
+/// // Only ±1 and masked-out zeros ever leave the device.
+/// assert!(sent.as_slice().iter().all(|v| v.abs() <= 1.0));
+/// assert_eq!(sent.count_zeros(), 256);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientEdge {
+    encoder: ScalarEncoder,
+    obfuscator: Obfuscator,
+}
+
+impl ClientEdge {
+    /// Builds the edge pipeline; the obfuscator is sized to the
+    /// encoder's output dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder/obfuscator construction errors as
+    /// [`ServeError::Model`].
+    pub fn new(
+        encoder_config: EncoderConfig,
+        obfuscate_config: ObfuscateConfig,
+    ) -> Result<Self, ServeError> {
+        let encoder = ScalarEncoder::new(encoder_config)?;
+        let obfuscator = Obfuscator::new(encoder.dim(), obfuscate_config)?;
+        Ok(Self {
+            encoder,
+            obfuscator,
+        })
+    }
+
+    /// Encodes raw features and obfuscates the encoding — the exact
+    /// hypervector an edge device would put on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-count/dimension errors as [`ServeError::Model`].
+    pub fn prepare(&self, features: &[f64]) -> Result<Hypervector, ServeError> {
+        let encoded = self.encoder.encode(features)?;
+        Ok(self.obfuscator.obfuscate(&encoded)?)
+    }
+
+    /// Prepares a batch of feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first preparation error.
+    pub fn prepare_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Hypervector>, ServeError> {
+        inputs.iter().map(|x| self.prepare(x)).collect()
+    }
+
+    /// Number of input features the edge expects.
+    pub fn features(&self) -> usize {
+        self.encoder.features()
+    }
+
+    /// Hypervector dimensionality of prepared queries.
+    pub fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    /// Bits on the wire per prepared query (the §III-C transfer saving).
+    pub fn payload_bits(&self) -> usize {
+        self.obfuscator.payload_bits()
+    }
+
+    /// The underlying encoder (the server needs the same basis to train
+    /// the model the obfuscated queries are matched against).
+    pub fn encoder(&self) -> &ScalarEncoder {
+        &self.encoder
+    }
+
+    /// The underlying obfuscator.
+    pub fn obfuscator(&self) -> &Obfuscator {
+        &self.obfuscator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privehd_core::QuantScheme;
+
+    fn edge(masked: usize) -> ClientEdge {
+        ClientEdge::new(
+            EncoderConfig::new(6, 512).with_seed(9),
+            ObfuscateConfig::new(QuantScheme::Bipolar)
+                .with_masked_dims(masked)
+                .with_seed(3),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prepare_matches_manual_composition() {
+        let e = edge(128);
+        let x = [0.1, 0.4, 0.9, 0.2, 0.7, 0.5];
+        let manual = e
+            .obfuscator()
+            .obfuscate(&e.encoder().encode(&x).unwrap())
+            .unwrap();
+        assert_eq!(e.prepare(&x).unwrap(), manual);
+    }
+
+    #[test]
+    fn prepared_queries_are_obfuscated() {
+        let e = edge(100);
+        let sent = e.prepare(&[0.3, 0.9, 0.1, 0.6, 0.2, 0.8]).unwrap();
+        assert_eq!(sent.dim(), 512);
+        assert_eq!(sent.count_zeros(), 100);
+        for &v in sent.as_slice() {
+            assert!(v == 0.0 || v == 1.0 || v == -1.0, "leaked value {v}");
+        }
+        assert_eq!(e.payload_bits(), 412);
+    }
+
+    #[test]
+    fn feature_count_is_enforced() {
+        let e = edge(0);
+        assert!(e.prepare(&[0.5; 4]).is_err());
+        assert_eq!(e.features(), 6);
+    }
+
+    #[test]
+    fn batch_preparation_agrees_with_single() {
+        let e = edge(32);
+        let inputs: Vec<Vec<f64>> = (0..10)
+            .map(|i| (0..6).map(|k| ((i + k) % 7) as f64 / 6.0).collect())
+            .collect();
+        let batch = e.prepare_batch(&inputs).unwrap();
+        for (x, b) in inputs.iter().zip(&batch) {
+            assert_eq!(&e.prepare(x).unwrap(), b);
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! The serving engine: bounded submission queue, adaptive micro-batcher,
+//! worker pool.
+//!
+//! ```text
+//!  clients ──try_send──▶ [bounded MPSC queue]
+//!                              │  batcher thread: flush on max_batch
+//!                              ▼                  or max_delay
+//!                         [batch channel]
+//!                          │    │    │   worker pool (shared receiver)
+//!                          ▼    ▼    ▼
+//!                        predict over the registry's live snapshot
+//!                          │
+//!                          ▼  per-request oneshot channel
+//!                        ServedPrediction / ServeError
+//! ```
+//!
+//! Batching is *adaptive*: the batcher first drains whatever is already
+//! queued (so a saturated queue forms full batches with zero added
+//! latency), and only waits — up to [`ServeConfig::max_delay`], anchored
+//! at the batch's first request — when the queue runs dry. Under light
+//! load batches stay small and latency stays near the single-query
+//! cost; under heavy load batches grow to [`ServeConfig::max_batch`]
+//! and throughput dominates.
+//!
+//! Every batch executes against one registry snapshot taken at dispatch
+//! time, so a hot swap ([`ModelRegistry::publish`]) never drops or
+//! corrupts in-flight requests — they complete on the version that was
+//! live when their batch started.
+
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use privehd_core::{BipolarHv, Hypervector, Prediction};
+
+use crate::error::ServeError;
+use crate::metrics::{ServeMetrics, ServeReport};
+use crate::registry::ModelRegistry;
+
+/// Tuning knobs of the serving engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest batch dispatched to a worker; reaching it flushes
+    /// immediately.
+    pub max_batch: usize,
+    /// Longest a queued request waits for co-batched company before the
+    /// batcher flushes anyway (anchored at the batch's first request).
+    pub max_delay: Duration,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Capacity of the bounded submission queue; a full queue sheds
+    /// load with [`ServeError::QueueFull`] instead of buffering
+    /// unboundedly.
+    pub queue_depth: usize,
+    /// When set, queries whose components are all exactly `±1` (i.e.
+    /// bipolar-obfuscated queries) are bit-packed and classified through
+    /// [`privehd_core::HdModel::predict_packed`] — the popcount fast
+    /// path. Scores then differ from the dense path only in
+    /// floating-point summation order. Leave unset when bit-identical
+    /// results to [`privehd_core::HdModel::predict`] are required.
+    pub packed_fastpath: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_micros(500),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_depth: 1_024,
+            packed_fastpath: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be ≥ 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be ≥ 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig("queue_depth must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A completed prediction plus its serving context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedPrediction {
+    /// The classification result.
+    pub prediction: Prediction,
+    /// Registry version of the model that served this request.
+    pub model_version: u64,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// End-to-end latency: submission to response.
+    pub latency: Duration,
+}
+
+/// One queued request: the query plus its response channel.
+struct Request {
+    query: Hypervector,
+    submitted_at: Instant,
+    reply: SyncSender<Result<ServedPrediction, ServeError>>,
+}
+
+/// A submitted request's future result.
+///
+/// Obtained from [`ServeEngine::submit`] / [`SubmitHandle::submit`];
+/// resolve it with [`PendingPrediction::wait`].
+#[derive(Debug)]
+pub struct PendingPrediction {
+    rx: Receiver<Result<ServedPrediction, ServeError>>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the prediction is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serving-side error for this request, or
+    /// [`ServeError::Closed`] if the engine shut down before answering.
+    pub fn wait(self) -> Result<ServedPrediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+/// A cloneable, `Send` submission handle for multi-threaded clients.
+///
+/// The engine's batcher runs as long as any handle (or the engine
+/// itself) is alive; drop all handles before expecting
+/// [`ServeEngine::shutdown`] to complete.
+#[derive(Debug, Clone)]
+pub struct SubmitHandle {
+    tx: SyncSender<Request>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl SubmitHandle {
+    /// Submits a query; see [`ServeEngine::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity,
+    /// [`ServeError::Closed`] when the engine has shut down.
+    pub fn submit(&self, query: Hypervector) -> Result<PendingPrediction, ServeError> {
+        submit_via(&self.tx, &self.metrics, query)
+    }
+}
+
+fn submit_via(
+    tx: &SyncSender<Request>,
+    metrics: &ServeMetrics,
+    query: Hypervector,
+) -> Result<PendingPrediction, ServeError> {
+    let (reply, rx) = mpsc::sync_channel(1);
+    let request = Request {
+        query,
+        submitted_at: Instant::now(),
+        reply,
+    };
+    match tx.try_send(request) {
+        Ok(()) => {
+            metrics.on_submit();
+            Ok(PendingPrediction { rx })
+        }
+        Err(TrySendError::Full(_)) => {
+            metrics.on_reject();
+            Err(ServeError::QueueFull)
+        }
+        Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+    }
+}
+
+/// The running serving engine. See the [module docs](self) for the
+/// pipeline layout.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use privehd_core::{HdModel, Hypervector};
+/// use privehd_serve::{ModelRegistry, ServeConfig, ServeEngine};
+///
+/// # fn main() -> Result<(), privehd_serve::ServeError> {
+/// let mut model = HdModel::new(2, 64)?;
+/// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
+/// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
+/// let registry = Arc::new(ModelRegistry::with_model(model, "demo")?);
+///
+/// let engine = ServeEngine::start(registry, ServeConfig::default())?;
+/// let served = engine.submit(Hypervector::from_vec(vec![1.0; 64]))?.wait()?;
+/// assert_eq!(served.prediction.class, 0);
+/// assert_eq!(served.model_version, 1);
+/// let report = engine.shutdown();
+/// assert_eq!(report.completed, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ServeEngine {
+    tx: Option<SyncSender<Request>>,
+    registry: Arc<ModelRegistry>,
+    metrics: Arc<ServeMetrics>,
+    started_at: Instant,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Spawns the batcher and worker threads and starts accepting
+    /// submissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero-valued knobs.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let (tx, submit_rx) = mpsc::sync_channel::<Request>(config.queue_depth);
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Request>>(config.workers * 2);
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let batcher_cfg = config.clone();
+        let batcher = std::thread::Builder::new()
+            .name("privehd-batcher".into())
+            .spawn(move || run_batcher(&submit_rx, &batch_tx, &batcher_cfg))
+            .expect("failed to spawn batcher thread");
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = Arc::clone(&batch_rx);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let packed = config.packed_fastpath;
+                std::thread::Builder::new()
+                    .name(format!("privehd-worker-{i}"))
+                    .spawn(move || run_worker(&rx, &registry, &metrics, packed))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        Ok(Self {
+            tx: Some(tx),
+            registry,
+            metrics,
+            started_at: Instant::now(),
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+
+    /// Submits one query for batched classification.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
+    /// (shed load, retry with backoff), [`ServeError::Closed`] after
+    /// shutdown.
+    pub fn submit(&self, query: Hypervector) -> Result<PendingPrediction, ServeError> {
+        let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
+        submit_via(tx, &self.metrics, query)
+    }
+
+    /// Convenience: submit and block for the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeEngine::submit`] and
+    /// [`PendingPrediction::wait`] errors.
+    pub fn predict(&self, query: Hypervector) -> Result<ServedPrediction, ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// A cloneable submission handle for client threads.
+    pub fn handle(&self) -> SubmitHandle {
+        SubmitHandle {
+            tx: self
+                .tx
+                .clone()
+                .expect("engine not shut down while handles are being created"),
+            metrics: Arc::clone(&self.metrics),
+        }
+    }
+
+    /// The model registry this engine serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Live serving counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Metrics snapshot over the engine's lifetime so far.
+    pub fn report(&self) -> ServeReport {
+        self.metrics.report(self.started_at.elapsed())
+    }
+
+    /// Stops accepting submissions, drains every queued request, joins
+    /// all threads and returns the final report.
+    ///
+    /// Outstanding [`SubmitHandle`]s keep the batcher alive until they
+    /// are dropped; this call blocks until then.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.join_threads();
+        self.metrics.report(self.started_at.elapsed())
+    }
+
+    fn join_threads(&mut self) {
+        drop(self.tx.take());
+        if let Some(b) = self.batcher.take() {
+            b.join().expect("batcher thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+/// Batcher loop: accumulate up to `max_batch` requests, flushing early
+/// once `max_delay` has passed since the batch's first request.
+fn run_batcher(
+    submit_rx: &Receiver<Request>,
+    batch_tx: &SyncSender<Vec<Request>>,
+    config: &ServeConfig,
+) {
+    loop {
+        // Block for the request that opens the next batch.
+        let first = match submit_rx.recv() {
+            Ok(r) => r,
+            Err(_) => return, // every submitter is gone
+        };
+        let deadline = Instant::now() + config.max_delay;
+        let mut batch = Vec::with_capacity(config.max_batch);
+        batch.push(first);
+        let mut disconnected = false;
+
+        // Adaptive fill: drain what is already queued for free, then
+        // wait out the remaining delay budget only if there is room.
+        while batch.len() < config.max_batch {
+            match submit_rx.try_recv() {
+                Ok(r) => batch.push(r),
+                Err(mpsc::TryRecvError::Empty) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match submit_rx.recv_timeout(deadline - now) {
+                        Ok(r) => batch.push(r),
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        if batch_tx.send(batch).is_err() {
+            return; // workers are gone; nothing more to do
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Worker loop: pull one batch at a time off the shared channel and
+/// execute it against the current registry snapshot.
+fn run_worker(
+    batch_rx: &Arc<Mutex<Receiver<Vec<Request>>>>,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    packed_fastpath: bool,
+) {
+    loop {
+        // Hold the lock only while waiting for the next batch; release
+        // it before executing so other workers receive concurrently.
+        let batch = {
+            let rx = batch_rx.lock().expect("batch receiver lock poisoned");
+            match rx.recv() {
+                Ok(b) => b,
+                Err(_) => return,
+            }
+        };
+        execute_batch(batch, registry, metrics, packed_fastpath);
+    }
+}
+
+fn execute_batch(
+    batch: Vec<Request>,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    packed_fastpath: bool,
+) {
+    let size = batch.len();
+    metrics.on_batch(size);
+    // One snapshot per batch: a concurrent publish affects later
+    // batches, never this one.
+    let snapshot = registry.current();
+    for request in batch {
+        let outcome: Result<Prediction, ServeError> = match &snapshot {
+            None => Err(ServeError::NoModel),
+            Some(served) => {
+                let model = served.model();
+                if packed_fastpath && is_strictly_bipolar(&request.query) {
+                    model
+                        .predict_packed(&BipolarHv::from_signs(request.query.as_slice()))
+                        .map_err(ServeError::Model)
+                } else {
+                    model.predict(&request.query).map_err(ServeError::Model)
+                }
+            }
+        };
+        let latency = request.submitted_at.elapsed();
+        metrics.on_done(outcome.is_ok(), latency);
+        let reply = outcome.map(|prediction| ServedPrediction {
+            prediction,
+            model_version: snapshot.as_ref().map_or(0, |s| s.version),
+            batch_size: size,
+            latency,
+        });
+        // A submitter that dropped its PendingPrediction is not an
+        // engine error; ignore the closed reply channel.
+        let _ = request.reply.send(reply);
+    }
+}
+
+/// True when every component is exactly `+1` or `−1`, i.e. the query can
+/// be bit-packed losslessly.
+fn is_strictly_bipolar(query: &Hypervector) -> bool {
+    query.as_slice().iter().all(|&v| v == 1.0 || v == -1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privehd_core::HdModel;
+
+    fn registry(dim: usize) -> Arc<ModelRegistry> {
+        let mut model = HdModel::new(2, dim).unwrap();
+        let up: Vec<f64> = (0..dim)
+            .map(|j| if j % 2 == 0 { 2.0 } else { 1.0 })
+            .collect();
+        let down: Vec<f64> = up.iter().map(|v| -v).collect();
+        model.bundle(0, &Hypervector::from_vec(up)).unwrap();
+        model.bundle(1, &Hypervector::from_vec(down)).unwrap();
+        Arc::new(ModelRegistry::with_model(model, "test").unwrap())
+    }
+
+    fn query(dim: usize, sign: f64) -> Hypervector {
+        Hypervector::from_vec(vec![sign; dim])
+    }
+
+    #[test]
+    fn config_validation_rejects_zeros() {
+        let reg = registry(32);
+        for bad in [
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                ServeEngine::start(Arc::clone(&reg), bad),
+                Err(ServeError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn serves_simple_queries() {
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        let a = engine.predict(query(64, 1.0)).unwrap();
+        let b = engine.predict(query(64, -1.0)).unwrap();
+        assert_eq!(a.prediction.class, 0);
+        assert_eq!(b.prediction.class, 1);
+        assert_eq!(a.model_version, 1);
+        assert!(a.batch_size >= 1);
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn empty_registry_yields_no_model() {
+        let reg = Arc::new(ModelRegistry::new());
+        let engine = ServeEngine::start(reg, ServeConfig::default()).unwrap();
+        assert_eq!(
+            engine.predict(query(16, 1.0)).unwrap_err(),
+            ServeError::NoModel
+        );
+        let report = engine.shutdown();
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    fn wrong_dimension_is_reported_per_request() {
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        let err = engine.predict(query(32, 1.0)).unwrap_err();
+        assert!(matches!(err, ServeError::Model(_)), "{err}");
+        // The engine keeps serving afterwards.
+        assert_eq!(engine.predict(query(64, 1.0)).unwrap().prediction.class, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_sheds_load() {
+        // One worker, tiny queue, and a batcher window long enough that
+        // floods back up into the queue.
+        let config = ServeConfig {
+            max_batch: 2,
+            max_delay: Duration::from_millis(50),
+            workers: 1,
+            queue_depth: 2,
+            packed_fastpath: false,
+        };
+        let engine = ServeEngine::start(registry(64), config).unwrap();
+        let mut pending = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..200 {
+            match engine.submit(query(64, 1.0)) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_full, "queue never filled");
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+        let report = engine.shutdown();
+        assert!(report.rejected >= 1);
+    }
+
+    #[test]
+    fn batches_fill_under_load() {
+        let config = ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(20),
+            workers: 2,
+            queue_depth: 256,
+            packed_fastpath: false,
+        };
+        let engine = ServeEngine::start(registry(256), config).unwrap();
+        let pending: Vec<_> = (0..64)
+            .map(|i| {
+                engine
+                    .submit(query(256, if i % 2 == 0 { 1.0 } else { -1.0 }))
+                    .unwrap()
+            })
+            .collect();
+        let mut max_batch_seen = 0;
+        for (i, p) in pending.into_iter().enumerate() {
+            let served = p.wait().unwrap();
+            assert_eq!(served.prediction.class, i % 2);
+            max_batch_seen = max_batch_seen.max(served.batch_size);
+        }
+        assert!(
+            max_batch_seen > 1,
+            "64 concurrent queries never co-batched (max batch {max_batch_seen})"
+        );
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 64);
+        assert!(report.mean_batch_size > 1.0, "{report}");
+    }
+
+    #[test]
+    fn packed_fastpath_agrees_with_dense_path() {
+        let config = ServeConfig {
+            packed_fastpath: true,
+            ..ServeConfig::default()
+        };
+        let reg = registry(128);
+        let engine = ServeEngine::start(Arc::clone(&reg), config).unwrap();
+        let model = reg.current().unwrap();
+        for seed in 0..20u64 {
+            let packed = BipolarHv::random(128, seed);
+            let q = packed.to_dense();
+            let served = engine.predict(q.clone()).unwrap();
+            let direct = model.model().predict(&q).unwrap();
+            assert_eq!(served.prediction.class, direct.class, "seed {seed}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn handles_submit_from_other_threads() {
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = engine.handle();
+            joins.push(std::thread::spawn(move || {
+                (0..25)
+                    .map(|i| {
+                        let sign = if (t + i) % 2 == 0 { 1.0 } else { -1.0 };
+                        let served = h.submit(query(64, sign)).unwrap().wait().unwrap();
+                        (served.prediction.class, (t + i) % 2)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for j in joins {
+            for (got, want) in j.join().unwrap() {
+                assert_eq!(got, want);
+            }
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 100);
+    }
+}

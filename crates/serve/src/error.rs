@@ -1,0 +1,73 @@
+//! Error type of the serving subsystem.
+
+use std::fmt;
+
+use privehd_core::HdError;
+
+/// Everything that can go wrong between submitting a query and reading
+/// its prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is shutting down (or has shut down); the request was
+    /// not accepted.
+    Closed,
+    /// The bounded submission queue is full; the caller should back off
+    /// and retry (the serving layer sheds load instead of buffering
+    /// unboundedly).
+    QueueFull,
+    /// No model has been published to the registry yet.
+    NoModel,
+    /// The underlying HD computation failed (dimension mismatch, zero
+    /// norms, …).
+    Model(HdError),
+    /// An invalid serving configuration was supplied.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::QueueFull => write!(f, "submission queue is full"),
+            ServeError::NoModel => write!(f, "no model published in the registry"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdError> for ServeError {
+    fn from(e: HdError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::Closed.to_string().contains("shut down"));
+        assert!(ServeError::QueueFull.to_string().contains("queue"));
+        assert!(ServeError::NoModel.to_string().contains("registry"));
+        assert!(ServeError::Model(HdError::ZeroNorm)
+            .to_string()
+            .contains("model error"));
+    }
+
+    #[test]
+    fn hd_errors_convert() {
+        let e: ServeError = HdError::EmptyDimension.into();
+        assert_eq!(e, ServeError::Model(HdError::EmptyDimension));
+    }
+}

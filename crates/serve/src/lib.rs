@@ -1,0 +1,88 @@
+//! # privehd-serve
+//!
+//! Concurrent, batched inference serving for the Prive-HD reproduction —
+//! the cloud half of the paper's threat model turned into a
+//! service-shaped engine.
+//!
+//! Prive-HD (*Khaleghi, Imani, Rosing — DAC 2020*) assumes an edge
+//! device that encodes and obfuscates queries locally, and an untrusted
+//! host that runs the associative search over the class hypervectors.
+//! `privehd-core` supplies every algorithmic piece; this crate supplies
+//! the serving machinery around them:
+//!
+//! * [`ModelRegistry`] — versioned models behind an atomic hot-swap
+//!   (`Arc`-swap pattern), so retraining publishes a new version without
+//!   pausing inference and in-flight batches finish on the snapshot they
+//!   started with.
+//! * [`ServeEngine`] — a bounded MPSC submission queue, an adaptive
+//!   micro-batcher (flushes on [`ServeConfig::max_batch`] or
+//!   [`ServeConfig::max_delay`]) and a worker pool executing batches,
+//!   optionally through the bit-packed
+//!   [`privehd_core::HdModel::predict_packed`] fast path for
+//!   bipolar-obfuscated queries.
+//! * [`ClientEdge`] — the device-side `ScalarEncoder` ∘ `Obfuscator`
+//!   composition, guaranteeing the server only ever sees obfuscated
+//!   queries.
+//! * [`ServeMetrics`] / [`ServeReport`] — throughput, p50/p95/p99
+//!   latency from a fixed-bucket histogram, and the batch-size
+//!   distribution.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use privehd_core::prelude::*;
+//! use privehd_serve::{ClientEdge, ModelRegistry, ServeConfig, ServeEngine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Edge side: encode + obfuscate with a shared basis (seed 7).
+//! let edge = ClientEdge::new(
+//!     EncoderConfig::new(6, 1_024).with_seed(7),
+//!     ObfuscateConfig::new(QuantScheme::Bipolar).with_masked_dims(128),
+//! )?;
+//!
+//! // Host side: train on the same basis, publish, serve.
+//! let mut model = HdModel::new(2, 1_024)?;
+//! for (x, y) in [
+//!     (vec![0.9, 0.8, 0.9, 0.1, 0.2, 0.1], 0usize),
+//!     (vec![0.1, 0.2, 0.1, 0.9, 0.8, 0.9], 1),
+//! ] {
+//!     model.bundle(y, &edge.encoder().encode(&x)?)?;
+//! }
+//! let registry = Arc::new(ModelRegistry::with_model(model, "demo-v1")?);
+//! let engine = ServeEngine::start(registry, ServeConfig::default())?;
+//!
+//! let served = engine.submit(edge.prepare(&[0.85, 0.75, 0.9, 0.1, 0.15, 0.2])?)?.wait()?;
+//! assert_eq!(served.prediction.class, 0);
+//!
+//! let report = engine.shutdown();
+//! assert_eq!(report.completed, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod edge;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod registry;
+
+pub use edge::ClientEdge;
+pub use engine::{PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle};
+pub use error::ServeError;
+pub use metrics::{LatencyHistogram, ServeMetrics, ServeReport};
+pub use registry::{ModelRegistry, ServedModel};
+
+/// Commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use crate::edge::ClientEdge;
+    pub use crate::engine::{
+        PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle,
+    };
+    pub use crate::error::ServeError;
+    pub use crate::metrics::{LatencyHistogram, ServeMetrics, ServeReport};
+    pub use crate::registry::{ModelRegistry, ServedModel};
+}

@@ -1,0 +1,327 @@
+//! Serving metrics: throughput, latency quantiles, batch-size
+//! distribution.
+//!
+//! Recording happens on worker threads, so every counter is atomic and
+//! the latency histogram uses fixed buckets of atomic counters — no
+//! locks on the hot path. Quantiles are read back as the lower edge of
+//! the bucket containing the requested rank, which is exact enough for
+//! p50/p95/p99 reporting at the ~20% bucket granularity used here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of latency buckets; the last bucket is the overflow
+/// catch-all. 96 buckets at 1.2× growth from 1 µs span up to ~33 s, so
+/// even deeply backed-up queues report honest tail quantiles.
+const LATENCY_BUCKETS: usize = 96;
+/// Lower edge of bucket 0 in nanoseconds (1 µs).
+const LATENCY_BASE_NS: f64 = 1_000.0;
+/// Geometric growth factor between bucket edges (~20%).
+const LATENCY_GROWTH: f64 = 1.2;
+
+/// Batch-size buckets: exact counts up to the bucket count, overflow in
+/// the last (sizes are small integers, linear buckets fit them exactly).
+const BATCH_BUCKETS: usize = 512;
+
+/// Fixed-bucket latency histogram with atomic counters.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_for(ns: u64) -> usize {
+        if (ns as f64) < LATENCY_BASE_NS {
+            return 0;
+        }
+        let idx = ((ns as f64 / LATENCY_BASE_NS).ln() / LATENCY_GROWTH.ln()).floor() as usize;
+        idx.min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Lower edge of bucket `idx`, in nanoseconds.
+    fn bucket_edge_ns(idx: usize) -> f64 {
+        LATENCY_BASE_NS * LATENCY_GROWTH.powi(idx as i32)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_for(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the lower edge of the bucket
+    /// holding that rank; zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_nanos(Self::bucket_edge_ns(idx) as u64);
+            }
+        }
+        Duration::from_nanos(Self::bucket_edge_ns(LATENCY_BUCKETS - 1) as u64)
+    }
+}
+
+/// Live serving counters, shared between engine threads and callers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    batch_sizes: BatchSizeHistogram,
+    latency: LatencyHistogram,
+}
+
+/// Linear histogram of dispatched batch sizes.
+#[derive(Debug)]
+pub struct BatchSizeHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for BatchSizeHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..BATCH_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl BatchSizeHistogram {
+    fn record(&self, size: usize) {
+        self.buckets[size.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(size, count)` pairs for every non-empty bucket.
+    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(size, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((size, n))
+            })
+            .collect()
+    }
+}
+
+impl ServeMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_sizes.record(size);
+    }
+
+    pub(crate) fn on_done(&self, ok: bool, latency: Duration) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// The latency histogram (queue + execution time per request).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// The batch-size distribution.
+    pub fn batch_sizes(&self) -> &BatchSizeHistogram {
+        &self.batch_sizes
+    }
+
+    /// Snapshot of every counter plus derived rates, over `elapsed` of
+    /// wall-clock serving time.
+    pub fn report(&self, elapsed: Duration) -> ServeReport {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_queries.load(Ordering::Relaxed);
+        ServeReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            throughput_qps: if elapsed.is_zero() {
+                0.0
+            } else {
+                completed as f64 / elapsed.as_secs_f64()
+            },
+            mean_latency: self.latency.mean(),
+            p50_latency: self.latency.quantile(0.50),
+            p95_latency: self.latency.quantile(0.95),
+            p99_latency: self.latency.quantile(0.99),
+            batch_size_histogram: self.batch_sizes.nonzero(),
+        }
+    }
+}
+
+/// Point-in-time summary of serving behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests shed because the queue was full.
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Mean dispatched batch size.
+    pub mean_batch_size: f64,
+    /// Completed queries per second of wall-clock time.
+    pub throughput_qps: f64,
+    /// Mean end-to-end request latency.
+    pub mean_latency: Duration,
+    /// Median end-to-end request latency.
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end request latency.
+    pub p95_latency: Duration,
+    /// 99th-percentile end-to-end request latency.
+    pub p99_latency: Duration,
+    /// `(batch size, batches dispatched)` for every observed size.
+    pub batch_size_histogram: Vec<(usize, u64)>,
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {}/{} requests ({} rejected, {} failed) in {} batches (mean size {:.1})",
+            self.completed,
+            self.submitted,
+            self.rejected,
+            self.failed,
+            self.batches,
+            self.mean_batch_size
+        )?;
+        writeln!(f, "throughput: {:.0} queries/s", self.throughput_qps)?;
+        write!(
+            f,
+            "latency: mean {:?}  p50 {:?}  p95 {:?}  p99 {:?}",
+            self.mean_latency, self.p50_latency, self.p95_latency, self.p99_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        // Bucket edges are within one growth factor below the true value.
+        assert!(p50 >= Duration::from_micros(350) && p50 <= Duration::from_micros(520));
+        assert!(p99 >= Duration::from_micros(700));
+        assert!(h.mean() >= Duration::from_micros(400));
+    }
+
+    #[test]
+    fn overflow_observations_land_in_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(3_600));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) > Duration::from_millis(1));
+    }
+
+    #[test]
+    fn report_derives_rates() {
+        let m = ServeMetrics::new();
+        for _ in 0..10 {
+            m.on_submit();
+        }
+        m.on_reject();
+        m.on_batch(4);
+        m.on_batch(6);
+        for _ in 0..10 {
+            m.on_done(true, Duration::from_micros(100));
+        }
+        let r = m.report(Duration::from_secs(2));
+        assert_eq!(r.submitted, 10);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.completed, 10);
+        assert_eq!(r.batches, 2);
+        assert!((r.mean_batch_size - 5.0).abs() < 1e-12);
+        assert!((r.throughput_qps - 5.0).abs() < 1e-12);
+        assert_eq!(r.batch_size_histogram, vec![(4, 1), (6, 1)]);
+        let text = r.to_string();
+        assert!(text.contains("throughput"), "{text}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Versioned model registry with atomic hot swap.
+//!
+//! Retraining (or privacy recalibration) produces a new [`HdModel`];
+//! publishing it must not pause inference. The registry keeps the live
+//! model behind an `RwLock<Arc<…>>` — the Arc-swap pattern: readers
+//! take the lock only long enough to clone an [`Arc`] (no contention
+//! with inference itself, which runs entirely on the clone), and
+//! [`ModelRegistry::publish`] swaps the pointer in one assignment.
+//! Batches that grabbed the previous snapshot keep serving it to
+//! completion, so a swap never drops or corrupts in-flight requests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use privehd_core::{HdError, HdModel};
+
+use crate::error::ServeError;
+
+/// One published model: the weights plus the registry metadata the
+/// serving layer reports back with every prediction.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// Monotonically increasing version, 1 for the first publish.
+    pub version: u64,
+    /// Human label supplied at publish time (e.g. `"isolet-retrain-3"`).
+    pub label: String,
+    model: HdModel,
+}
+
+impl ServedModel {
+    /// The model weights.
+    pub fn model(&self) -> &HdModel {
+        &self.model
+    }
+}
+
+/// Registry holding the live model and its version history metadata.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{HdModel, Hypervector};
+/// use privehd_serve::ModelRegistry;
+///
+/// # fn main() -> Result<(), privehd_serve::ServeError> {
+/// let registry = ModelRegistry::new();
+/// assert!(registry.current().is_none());
+///
+/// let mut model = HdModel::new(2, 64)?;
+/// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
+/// let v1 = registry.publish(model.clone(), "v1")?;
+/// let v2 = registry.publish(model, "v2")?;
+/// assert_eq!((v1, v2), (1, 2));
+/// assert_eq!(registry.current().unwrap().version, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    live: RwLock<Option<Arc<ServedModel>>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry (no model published).
+    pub fn new() -> Self {
+        Self {
+            live: RwLock::new(None),
+            next_version: AtomicU64::new(1),
+        }
+    }
+
+    /// Creates a registry with `model` already published as version 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelRegistry::publish`] validation errors.
+    pub fn with_model(model: HdModel, label: &str) -> Result<Self, ServeError> {
+        let registry = Self::new();
+        registry.publish(model, label)?;
+        Ok(registry)
+    }
+
+    /// Publishes `model` as the new live version and returns its version
+    /// number. Norms are refreshed once here so every worker thread
+    /// reads the cached values instead of recomputing per prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] wrapping [`HdError::ZeroNorm`] if
+    /// the model is untrained (all-zero classes) — publishing it would
+    /// make every subsequent prediction fail.
+    pub fn publish(&self, mut model: HdModel, label: &str) -> Result<u64, ServeError> {
+        model.refresh_norms();
+        // Reject models that cannot serve a single query.
+        let probe = privehd_core::Hypervector::zeros(model.dim()).map_err(ServeError::Model)?;
+        if let Err(HdError::ZeroNorm) = model.predict(&probe) {
+            return Err(ServeError::Model(HdError::ZeroNorm));
+        }
+        // Allocate the version while holding the write lock: with the
+        // counter bumped outside it, two racing publishes could install
+        // the older version last and break monotonicity.
+        let mut live = self.live.write().expect("registry lock poisoned");
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        *live = Some(Arc::new(ServedModel {
+            version,
+            label: label.to_owned(),
+            model,
+        }));
+        Ok(version)
+    }
+
+    /// The live model snapshot, or `None` before the first publish.
+    ///
+    /// The returned [`Arc`] stays valid across later publishes, which is
+    /// what makes hot swapping safe for in-flight batches.
+    pub fn current(&self) -> Option<Arc<ServedModel>> {
+        self.live.read().expect("registry lock poisoned").clone()
+    }
+
+    /// The live version number, or 0 before the first publish.
+    pub fn version(&self) -> u64 {
+        self.current().map_or(0, |m| m.version)
+    }
+
+    /// Withdraws the live model (e.g. after discovering a bad publish).
+    /// Returns the snapshot that was live, if any. In-flight batches
+    /// holding that snapshot still complete.
+    pub fn withdraw(&self) -> Option<Arc<ServedModel>> {
+        self.live.write().expect("registry lock poisoned").take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privehd_core::Hypervector;
+
+    fn trained(dim: usize, fill: f64) -> HdModel {
+        let mut m = HdModel::new(2, dim).unwrap();
+        m.bundle(0, &Hypervector::from_vec(vec![fill; dim]))
+            .unwrap();
+        m.bundle(1, &Hypervector::from_vec(vec![-fill; dim]))
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn versions_are_monotonic() {
+        let r = ModelRegistry::new();
+        assert_eq!(r.version(), 0);
+        assert_eq!(r.publish(trained(32, 1.0), "a").unwrap(), 1);
+        assert_eq!(r.publish(trained(32, 2.0), "b").unwrap(), 2);
+        assert_eq!(r.version(), 2);
+        assert_eq!(r.current().unwrap().label, "b");
+    }
+
+    #[test]
+    fn untrained_models_are_rejected() {
+        let r = ModelRegistry::new();
+        let err = r.publish(HdModel::new(2, 32).unwrap(), "zero").unwrap_err();
+        assert_eq!(err, ServeError::Model(HdError::ZeroNorm));
+        assert!(r.current().is_none());
+    }
+
+    #[test]
+    fn old_snapshots_survive_a_swap() {
+        let r = ModelRegistry::with_model(trained(16, 1.0), "v1").unwrap();
+        let old = r.current().unwrap();
+        r.publish(trained(16, 3.0), "v2").unwrap();
+        // The old Arc is still fully usable.
+        assert_eq!(old.version, 1);
+        let q = Hypervector::from_vec(vec![1.0; 16]);
+        assert_eq!(old.model().predict(&q).unwrap().class, 0);
+        assert_eq!(r.current().unwrap().version, 2);
+    }
+
+    #[test]
+    fn withdraw_empties_the_registry() {
+        let r = ModelRegistry::with_model(trained(16, 1.0), "v1").unwrap();
+        let taken = r.withdraw().unwrap();
+        assert_eq!(taken.version, 1);
+        assert!(r.current().is_none());
+        // A later publish still advances the version counter.
+        assert_eq!(r.publish(trained(16, 1.0), "v2").unwrap(), 2);
+    }
+}

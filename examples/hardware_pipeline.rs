@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          so end-to-end accuracy loss stays <2%)",
         agreement * 100.0
     );
-    let exact = HardwareEncoder::with_circuit(
-        hw.encoder().clone(),
-        MajorityCircuit::exact(),
-    );
+    let exact = HardwareEncoder::with_circuit(hw.encoder().clone(), MajorityCircuit::exact());
     println!(
         "exact adder-tree circuit agreement: {:.1}%",
         exact.agreement(&input)? * 100.0

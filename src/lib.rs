@@ -5,7 +5,7 @@
 //! Rosing — DAC 2020): privacy-preserving training and inference for
 //! hyperdimensional (HD) computing.
 //!
-//! This crate re-exports the four workspace crates:
+//! This crate re-exports the five workspace crates:
 //!
 //! * [`privehd_core`] — HD substrate (hypervectors, encoders,
 //!   models) and the Prive-HD algorithms (quantization, pruning, the
@@ -17,6 +17,11 @@
 //! * [`privehd_hw`] — bit-exact simulation of the FPGA encoder
 //!   (LUT-6 majority, saturated adder trees) and platform performance
 //!   models.
+//! * [`privehd_serve`] — concurrent batched inference serving: a
+//!   versioned hot-swappable model registry, an adaptive micro-batching
+//!   queue with a worker pool, the edge-side encode-and-obfuscate
+//!   client pipeline, and serving metrics (throughput, latency
+//!   quantiles, batch-size distribution).
 //!
 //! ## Quickstart
 //!
@@ -48,3 +53,4 @@ pub use privehd_core as core;
 pub use privehd_data as data;
 pub use privehd_hw as hw;
 pub use privehd_privacy as privacy;
+pub use privehd_serve as serve;

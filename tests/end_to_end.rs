@@ -5,20 +5,16 @@
 use prive_hd::core::prelude::*;
 use prive_hd::core::Hypervector;
 use prive_hd::data::{surrogates, Dataset};
-use prive_hd::privacy::{
-    PrivacyBudget, PrivateTrainer, PrivateTrainingConfig, SensitivityMode,
-};
+use prive_hd::privacy::{PrivacyBudget, PrivateTrainer, PrivateTrainingConfig, SensitivityMode};
+
+type EncodedSplit = Vec<(Hypervector, usize)>;
 
 /// Encodes both splits and returns (train, test) encoded pairs.
 fn encode_dataset(
     ds: &Dataset,
     dim: usize,
     seed: u64,
-) -> (
-    ScalarEncoder,
-    Vec<(Hypervector, usize)>,
-    Vec<(Hypervector, usize)>,
-) {
+) -> (ScalarEncoder, EncodedSplit, EncodedSplit) {
     let enc = ScalarEncoder::new(
         EncoderConfig::new(ds.features(), dim)
             .with_levels(100)
@@ -49,7 +45,11 @@ fn baseline_accuracy_bands_hold_on_all_surrogates() {
         let (_, train, test) = encode_dataset(&ds, 4_000, 7);
         let model = HdModel::train(ds.num_classes(), 4_000, &train).expect("train");
         let acc = model.accuracy(&test).expect("accuracy");
-        assert!(acc >= band, "{}: accuracy {acc} below band {band}", ds.name());
+        assert!(
+            acc >= band,
+            "{}: accuracy {acc} below band {band}",
+            ds.name()
+        );
     }
 }
 
@@ -150,11 +150,10 @@ fn strict_l2_mode_injects_far_more_noise() {
     let (_, strict) = PrivateTrainer::new(base.with_sensitivity_mode(SensitivityMode::VectorL2))
         .run(&ds)
         .expect("pipeline");
-    let (_, relaxed) = PrivateTrainer::new(
-        base.with_sensitivity_mode(SensitivityMode::PerDimension),
-    )
-    .run(&ds)
-    .expect("pipeline");
+    let (_, relaxed) =
+        PrivateTrainer::new(base.with_sensitivity_mode(SensitivityMode::PerDimension))
+            .run(&ds)
+            .expect("pipeline");
     assert!(
         strict.noise_std > 10.0 * relaxed.noise_std,
         "vector-l2 noise {} should dwarf per-dimension noise {}",

@@ -10,13 +10,9 @@ use prive_hd::hw::perf::Workload;
 use prive_hd::hw::verilog;
 use prive_hd::privacy::{PrivacyAccountant, PrivacyBudget};
 
-fn encoded_task(
-    dim: usize,
-) -> (
-    Vec<(Hypervector, usize)>,
-    Vec<(Hypervector, usize)>,
-    usize,
-) {
+type EncodedSplit = Vec<(Hypervector, usize)>;
+
+fn encoded_task(dim: usize) -> (EncodedSplit, EncodedSplit, usize) {
     let ds = surrogates::face(40, 20, 9);
     let enc = ScalarEncoder::new(
         EncoderConfig::new(ds.features(), dim)
@@ -105,19 +101,13 @@ fn csv_round_trip_feeds_the_training_pipeline() {
     let mut test_buf = Vec::new();
     io::split_to_csv(ds.train(), &mut train_buf).expect("export train");
     io::split_to_csv(ds.test(), &mut test_buf).expect("export test");
-    let reloaded = io::dataset_from_csv(
-        "face-from-csv",
-        train_buf.as_slice(),
-        test_buf.as_slice(),
-    )
-    .expect("import");
+    let reloaded = io::dataset_from_csv("face-from-csv", train_buf.as_slice(), test_buf.as_slice())
+        .expect("import");
     assert_eq!(reloaded.features(), ds.features());
     assert_eq!(reloaded.num_classes(), ds.num_classes());
 
-    let enc = ScalarEncoder::new(
-        EncoderConfig::new(reloaded.features(), 1_024).with_seed(5),
-    )
-    .expect("valid config");
+    let enc = ScalarEncoder::new(EncoderConfig::new(reloaded.features(), 1_024).with_seed(5))
+        .expect("valid config");
     let train: Vec<_> = reloaded
         .train_pairs()
         .map(|(x, y)| (enc.encode(x).expect("encode"), y))

@@ -27,10 +27,8 @@ fn default_dimension_is_papers_ten_thousand() {
 #[test]
 fn readme_quickstart_flow() {
     let ds = prive_hd::data::surrogates::isolet(5, 2, 0);
-    let encoder = ScalarEncoder::new(
-        EncoderConfig::new(ds.features(), 1_024).with_seed(1),
-    )
-    .expect("valid config");
+    let encoder = ScalarEncoder::new(EncoderConfig::new(ds.features(), 1_024).with_seed(1))
+        .expect("valid config");
     let mut model = HdModel::new(ds.num_classes(), 1_024).expect("valid model");
     for (x, y) in ds.train_pairs() {
         model

@@ -1,0 +1,245 @@
+//! Integration tests for the serving subsystem, exercised through the
+//! facade: (a) batched results are bit-identical to sequential
+//! `predict`, (b) a mid-stream hot swap never drops or corrupts
+//! in-flight requests, (c) obfuscated-query serving matches the direct
+//! `Obfuscator` path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use prive_hd::core::prelude::*;
+use prive_hd::core::Hypervector;
+use prive_hd::data::surrogates;
+use prive_hd::serve::{ClientEdge, ModelRegistry, ServeConfig, ServeEngine, ServeError};
+
+const DIM: usize = 2_048;
+const SEED: u64 = 17;
+
+/// Trains a model on an ISOLET-like surrogate and returns it with the
+/// encoder (shared basis) and the raw test split.
+fn trained_setup() -> (HdModel, ScalarEncoder, Vec<(Vec<f64>, usize)>) {
+    let ds = surrogates::isolet(12, 6, 4);
+    let encoder =
+        ScalarEncoder::new(EncoderConfig::new(ds.features(), DIM).with_seed(SEED)).unwrap();
+    let mut model = HdModel::new(ds.num_classes(), DIM).unwrap();
+    for (x, y) in ds.train_pairs() {
+        model.bundle(y, &encoder.encode(x).unwrap()).unwrap();
+    }
+    let test: Vec<(Vec<f64>, usize)> = ds.test_pairs().map(|(x, y)| (x.to_vec(), y)).collect();
+    (model, encoder, test)
+}
+
+#[test]
+fn batched_predictions_are_bit_identical_to_sequential() {
+    let (model, encoder, test) = trained_setup();
+    let queries: Vec<Hypervector> = test
+        .iter()
+        .map(|(x, _)| encoder.encode(x).unwrap())
+        .collect();
+
+    // Ground truth: plain sequential predict on the same weights.
+    let sequential: Vec<Prediction> = queries.iter().map(|q| model.predict(q).unwrap()).collect();
+
+    // The core batch API is bit-identical by construction.
+    let batched = model.predict_batch(&queries).unwrap();
+    assert_eq!(batched, sequential);
+
+    // And so is the full engine path (default config: dense arithmetic),
+    // even with many queries in flight at once.
+    let registry = Arc::new(ModelRegistry::with_model(model, "bitident").unwrap());
+    let config = ServeConfig {
+        max_batch: 16,
+        max_delay: Duration::from_millis(5),
+        workers: 4,
+        queue_depth: 1_024,
+        packed_fastpath: false,
+    };
+    let engine = ServeEngine::start(registry, config).unwrap();
+    let pending: Vec<_> = queries
+        .iter()
+        .map(|q| engine.submit(q.clone()).unwrap())
+        .collect();
+    for (p, want) in pending.into_iter().zip(&sequential) {
+        let served = p.wait().unwrap();
+        assert_eq!(
+            &served.prediction, want,
+            "served result drifted from predict"
+        );
+        assert_eq!(served.model_version, 1);
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.completed as usize, queries.len());
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn hot_swap_mid_stream_drops_and_corrupts_nothing() {
+    let (model_a, encoder, test) = trained_setup();
+    // A second, deliberately different model: classes swapped by
+    // retraining on permuted labels would be slow; negating the classes
+    // is enough to make versions distinguishable.
+    let model_b = {
+        let classes: Vec<Hypervector> = model_a.classes().map(|c| -c.clone()).collect();
+        HdModel::from_classes(classes).unwrap()
+    };
+
+    let queries: Vec<Hypervector> = test
+        .iter()
+        .cycle()
+        .take(300)
+        .map(|(x, _)| encoder.encode(x).unwrap())
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::with_model(model_a.clone(), "v1").unwrap());
+    let config = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        workers: 4,
+        queue_depth: 2_048,
+        packed_fastpath: false,
+    };
+    let engine = ServeEngine::start(Arc::clone(&registry), config).unwrap();
+
+    // Client threads submit while the main thread keeps republishing.
+    let mut clients = Vec::new();
+    for t in 0..3 {
+        let handle = engine.handle();
+        let queries = queries.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut results = Vec::new();
+            for q in queries.iter().skip(t).step_by(3) {
+                loop {
+                    match handle.submit(q.clone()) {
+                        Ok(p) => {
+                            results.push((q.clone(), p.wait().expect("request dropped")));
+                            break;
+                        }
+                        Err(ServeError::QueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("submit failed: {e}"),
+                    }
+                }
+            }
+            results
+        }));
+    }
+
+    let mut published = vec![1u64];
+    for i in 0..20 {
+        std::thread::sleep(Duration::from_millis(1));
+        let (m, label) = if i % 2 == 0 {
+            (model_b.clone(), "swap-to-b")
+        } else {
+            (model_a.clone(), "swap-to-a")
+        };
+        published.push(registry.publish(m, label).unwrap());
+    }
+
+    let mut total = 0usize;
+    for c in clients {
+        for (query, served) in c.join().unwrap() {
+            total += 1;
+            // The reported version must be one that was actually
+            // published…
+            assert!(
+                published.contains(&served.model_version),
+                "unknown version {}",
+                served.model_version
+            );
+            // …and the prediction must be exactly what that version's
+            // weights produce: versions alternate A (odd) / B (even),
+            // and B is A negated.
+            let reference = if served.model_version % 2 == 1 {
+                model_a.predict(&query).unwrap()
+            } else {
+                model_b.predict(&query).unwrap()
+            };
+            assert_eq!(
+                served.prediction, reference,
+                "version {} served a corrupted result",
+                served.model_version
+            );
+        }
+    }
+    assert_eq!(total, 300, "requests were dropped");
+    let report = engine.shutdown();
+    assert_eq!(report.completed, 300);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn obfuscated_serving_matches_direct_obfuscator_path() {
+    let (model, _encoder, test) = trained_setup();
+    // Edge pipeline on the same basis seed: quantize to bipolar and
+    // mask 25% of dimensions, as in the paper's Fig. 6 configuration.
+    let features = test[0].0.len();
+    let edge = ClientEdge::new(
+        EncoderConfig::new(features, DIM).with_seed(SEED),
+        ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(DIM / 4)
+            .with_seed(11),
+    )
+    .unwrap();
+
+    // Direct path: obfuscate locally, classify with plain predict.
+    let direct: Vec<usize> = test
+        .iter()
+        .map(|(x, _)| model.predict(&edge.prepare(x).unwrap()).unwrap().class)
+        .collect();
+    let labels: Vec<usize> = test.iter().map(|(_, y)| *y).collect();
+    let direct_accuracy =
+        direct.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
+    assert!(
+        direct_accuracy > 0.5,
+        "obfuscated baseline unusable: {direct_accuracy}"
+    );
+
+    // Served path, packed fast path enabled. Masked queries contain
+    // zeros (not strictly bipolar) and take the dense route; unmasked
+    // bipolar queries would take the popcount route — either way the
+    // served classes must match the direct path.
+    let registry = Arc::new(ModelRegistry::with_model(model, "obf").unwrap());
+    let config = ServeConfig {
+        packed_fastpath: true,
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(registry, config).unwrap();
+    let pending: Vec<_> = test
+        .iter()
+        .map(|(x, _)| engine.submit(edge.prepare(x).unwrap()).unwrap())
+        .collect();
+    let served: Vec<usize> = pending
+        .into_iter()
+        .map(|p| p.wait().unwrap().prediction.class)
+        .collect();
+    engine.shutdown();
+
+    assert_eq!(
+        served, direct,
+        "served obfuscated classes diverged from the direct Obfuscator path"
+    );
+
+    // Also pin the packed fast path itself against unmasked bipolar
+    // queries: mathematically the same classifier.
+    let edge_unmasked = ClientEdge::new(
+        EncoderConfig::new(features, DIM).with_seed(SEED),
+        ObfuscateConfig::new(QuantScheme::Bipolar),
+    )
+    .unwrap();
+    let (model2, _, _) = trained_setup();
+    let registry2 = Arc::new(ModelRegistry::with_model(model2.clone(), "obf2").unwrap());
+    let engine2 = ServeEngine::start(
+        registry2,
+        ServeConfig {
+            packed_fastpath: true,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    for (x, _) in test.iter().take(20) {
+        let q = edge_unmasked.prepare(x).unwrap();
+        let served = engine2.predict(q.clone()).unwrap();
+        let direct = model2.predict(&q).unwrap();
+        assert_eq!(served.prediction.class, direct.class);
+    }
+    engine2.shutdown();
+}

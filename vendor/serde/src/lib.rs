@@ -1,0 +1,19 @@
+//! Offline vendor stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* — marker traits plus
+//! the no-op derive macros from the sibling `serde_derive` stub — so the
+//! workspace compiles without registry access. Nothing in-tree performs
+//! real (de)serialization; the derives document intent and keep the
+//! public API source-compatible with the real `serde` so the stub can be
+//! swapped out later.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}

@@ -1,0 +1,23 @@
+//! Offline vendor stub of `serde_derive`.
+//!
+//! This workspace builds in an environment with no access to crates.io,
+//! so the real `serde` stack cannot be fetched. The codebase only uses
+//! `#[derive(Serialize, Deserialize)]` as an API affordance (no
+//! serialization happens in-tree), so these derives accept the same
+//! syntax — including `#[serde(...)]` helper attributes — and expand to
+//! nothing. Swap in the real `serde`/`serde_derive` by replacing the
+//! `vendor/` path dependencies when the registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

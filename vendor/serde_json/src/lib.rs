@@ -1,0 +1,201 @@
+//! Offline vendor stub of the `serde_json` subset this workspace uses:
+//! the [`json!`] macro building a [`Value`] whose `Display` renders
+//! compact JSON. The bench binaries use it to emit one machine-readable
+//! record per data point; no parsing or trait-driven serialization is
+//! needed in-tree.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] by reference (the stub's stand-in for
+/// `Serialize`; `json!` applies it to every interpolated expression).
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(out, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(out, "\\\"")?,
+            '\\' => write!(out, "\\\\")?,
+            '\n' => write!(out, "\\n")?,
+            '\r' => write!(out, "\\r")?,
+            '\t' => write!(out, "\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    write!(out, "\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Value::Float(_) => write!(f, "null"),
+            Value::String(s) => escape_into(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    escape_into(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Supports the object,
+/// array, `null` and bare-expression forms used in this workspace.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::ToJson::to_json(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+
+    #[test]
+    fn object_renders_in_insertion_order() {
+        let series = String::from("bipolar");
+        let v = json!({
+            "figure": "fig5a",
+            "series": series,
+            "x": 1_000usize,
+            "y": 93.5,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"figure":"fig5a","series":"bipolar","x":1000,"y":93.5}"#
+        );
+        // `json!` borrows: `series` is still usable.
+        assert_eq!(series, "bipolar");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "k": "a\"b\\c\nd" });
+        assert_eq!(v.to_string(), r#"{"k":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn arrays_and_null() {
+        let v = json!([1, 2.5, null]);
+        assert_eq!(v.to_string(), "[1,2.5,null]");
+    }
+}

@@ -1,0 +1,105 @@
+//! Micro-benchmarks for the `privehd_core::kernels` layer: tuned paths
+//! vs the retained naive references, at a reduced dimensionality so the
+//! whole suite stays fast (the full ISOLET-sized comparison lives in the
+//! `perfsuite` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use privehd_core::{Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ScalarEncoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FEATURES: usize = 128;
+const DIM: usize = 4_096;
+const LEVELS: usize = 64;
+const CLASSES: usize = 10;
+
+fn input(rng: &mut StdRng) -> Vec<f64> {
+    (0..FEATURES).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = input(&mut rng);
+    let scalar = ScalarEncoder::new(
+        EncoderConfig::new(FEATURES, DIM)
+            .with_levels(LEVELS)
+            .with_seed(5),
+    )
+    .unwrap();
+    let level = LevelEncoder::new(
+        EncoderConfig::new(FEATURES, DIM)
+            .with_levels(LEVELS)
+            .with_seed(5),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("encode_kernels");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.bench_function("scalar/kernel", |b| b.iter(|| scalar.encode(&x).unwrap()));
+    group.bench_function("scalar/reference", |b| {
+        b.iter(|| scalar.encode_reference(&x).unwrap())
+    });
+    group.bench_function("level/kernel", |b| b.iter(|| level.encode(&x).unwrap()));
+    group.bench_function("level/reference", |b| {
+        b.iter(|| level.encode_reference(&x).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let queries: Vec<Hypervector> = (0..64)
+        .map(|_| Hypervector::from_vec((0..DIM).map(|_| rng.gen_range(-30.0..30.0)).collect()))
+        .collect();
+    let mut model = HdModel::new(CLASSES, DIM).unwrap();
+    for (i, q) in queries.iter().enumerate() {
+        model.bundle(i % CLASSES, q).unwrap();
+    }
+    model.refresh_norms();
+
+    let mut group = c.benchmark_group("predict_kernels");
+    for &batch in &[8usize, 64] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", batch), &batch, |b, &n| {
+            b.iter(|| model.predict_batch_with(&queries[..n], 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference", batch), &batch, |b, &n| {
+            b.iter(|| {
+                queries[..n]
+                    .iter()
+                    .map(|q| model.predict_reference(q).unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_packed(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut model = HdModel::new(CLASSES, DIM).unwrap();
+    for i in 0..CLASSES {
+        model
+            .bundle(
+                i,
+                &Hypervector::from_vec((0..DIM).map(|_| rng.gen_range(-30.0..30.0)).collect()),
+            )
+            .unwrap();
+    }
+    model.refresh_norms();
+    let q = privehd_core::BipolarHv::random(DIM, 9);
+    let dense = q.to_dense();
+
+    let mut group = c.benchmark_group("packed_predict");
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.bench_function("branchless", |b| {
+        b.iter(|| model.predict_packed(&q).unwrap())
+    });
+    group.bench_function("dense_reference", |b| {
+        b.iter(|| model.predict_reference(&dense).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_predict, bench_packed);
+criterion_main!(benches);

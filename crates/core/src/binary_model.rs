@@ -121,9 +121,12 @@ impl BinaryHdModel {
     /// Returns [`HdError::EmptyInput`] for a model with no classes (not
     /// constructible through the public API, but checked for safety).
     pub fn from_model(model: &HdModel) -> Result<Self, HdError> {
-        let classes: Vec<BipolarHv> = model
-            .classes()
-            .map(|c| BipolarHv::from_signs(&sign_vector(c)))
+        // The model's scoring snapshot already packs each class's sign
+        // bits with the same `value ≥ 0 ↔ +1` convention; adopt its rows
+        // instead of re-walking the dense values.
+        let matrix = model.class_matrix();
+        let classes: Vec<BipolarHv> = (0..matrix.num_classes())
+            .map(|l| BipolarHv::from_words(matrix.dim(), matrix.sign_row(l).to_vec()))
             .collect();
         if classes.is_empty() {
             return Err(HdError::EmptyInput("class hypervectors"));

@@ -20,6 +20,8 @@ use serde::{Deserialize, Serialize};
 use crate::basis::{BasisGenerator, ItemMemory, LevelMemory};
 use crate::error::HdError;
 use crate::hypervector::Hypervector;
+use crate::kernels::{level_encode_majority, scalar_encode_level_sliced, TransposedItemMemory};
+use crate::pool;
 use crate::prune::PruneMask;
 
 /// Configuration shared by both encoders.
@@ -122,11 +124,25 @@ pub trait Encoder: Send + Sync {
     /// Hypervector dimensionality `D_hv`.
     fn dim(&self) -> usize;
 
+    /// Encodes one feature vector through the retained naive path — the
+    /// arithmetic reference the kernel parity tests compare against.
+    ///
+    /// The default implementation is the tuned [`Encoder::encode`];
+    /// encoders with a separate fast path override this with their
+    /// straightforward per-feature accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Encoder::encode`].
+    fn encode_reference(&self, input: &[f64]) -> Result<Hypervector, HdError> {
+        self.encode(input)
+    }
+
     /// Encodes a batch of inputs in parallel.
     ///
-    /// The default implementation fans work out over [`std::thread::scope`]
-    /// threads; encoders are immutable after construction so sharing is
-    /// free.
+    /// The default implementation fans work out over the persistent
+    /// [`crate::pool`] workers; encoders are immutable after
+    /// construction so sharing is free.
     ///
     /// # Errors
     ///
@@ -139,27 +155,23 @@ pub trait Encoder: Send + Sync {
     }
 }
 
-/// Parallel batch encoding helper shared by both encoders.
+/// Parallel batch encoding helper shared by both encoders: chunks the
+/// batch over the persistent worker pool (no per-call thread spawns).
 fn encode_batch_parallel<E: Encoder + ?Sized>(
     encoder: &E,
     inputs: &[Vec<f64>],
 ) -> Result<Vec<Hypervector>, HdError> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(inputs.len().max(1));
-    if threads <= 1 || inputs.len() < 32 {
+    let pool = pool::global();
+    let lanes = (pool.threads() + 1).min(inputs.len().max(1));
+    if lanes <= 1 || inputs.len() < 32 {
         return inputs.iter().map(|x| encoder.encode(x)).collect();
     }
-    let chunk = inputs.len().div_ceil(threads);
-    let results: Vec<Result<Vec<Hypervector>, HdError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .chunks(chunk)
-            .map(|slice| scope.spawn(move || slice.iter().map(|x| encoder.encode(x)).collect()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("encoder thread panicked"))
+    let chunk = inputs.len().div_ceil(lanes);
+    let tasks = inputs.len().div_ceil(chunk);
+    let results: Vec<Result<Vec<Hypervector>, HdError>> = pool.map(tasks, |t| {
+        inputs[t * chunk..((t + 1) * chunk).min(inputs.len())]
+            .iter()
+            .map(|x| encoder.encode(x))
             .collect()
     });
     let mut out = Vec::with_capacity(inputs.len());
@@ -191,10 +203,14 @@ fn encode_batch_parallel<E: Encoder + ?Sized>(
 pub struct ScalarEncoder {
     config: EncoderConfig,
     item_memory: ItemMemory,
+    /// Dim-major bit-sliced transpose of the item memory, consumed by the
+    /// level-sliced encode kernel.
+    item_memory_t: TransposedItemMemory,
 }
 
 impl ScalarEncoder {
-    /// Builds the encoder, generating its item memory from the seed.
+    /// Builds the encoder, generating its item memory (and the
+    /// bit-sliced transpose the encode kernel runs on) from the seed.
     ///
     /// # Errors
     ///
@@ -204,10 +220,17 @@ impl ScalarEncoder {
         config.validate()?;
         let item_memory =
             BasisGenerator::new(config.seed).item_memory(config.features, config.dim)?;
+        let item_memory_t = TransposedItemMemory::from_item_memory(&item_memory);
         Ok(Self {
             config,
             item_memory,
+            item_memory_t,
         })
+    }
+
+    /// The bit-sliced, dim-major transpose of the item memory.
+    pub fn item_memory_transposed(&self) -> &TransposedItemMemory {
+        &self.item_memory_t
     }
 
     /// The configuration this encoder was built with.
@@ -237,6 +260,20 @@ fn snap(value: f64, levels: usize) -> f64 {
 
 impl Encoder for ScalarEncoder {
     fn encode(&self, input: &[f64]) -> Result<Hypervector, HdError> {
+        if input.len() != self.config.features {
+            return Err(HdError::FeatureCountMismatch {
+                expected: self.config.features,
+                actual: input.len(),
+            });
+        }
+        Ok(Hypervector::from_vec(scalar_encode_level_sliced(
+            &self.item_memory_t,
+            input,
+            self.config.levels,
+        )))
+    }
+
+    fn encode_reference(&self, input: &[f64]) -> Result<Hypervector, HdError> {
         if input.len() != self.config.features {
             return Err(HdError::FeatureCountMismatch {
                 expected: self.config.features,
@@ -362,6 +399,20 @@ impl LevelEncoder {
 
 impl Encoder for LevelEncoder {
     fn encode(&self, input: &[f64]) -> Result<Hypervector, HdError> {
+        if input.len() != self.config.features {
+            return Err(HdError::FeatureCountMismatch {
+                expected: self.config.features,
+                actual: input.len(),
+            });
+        }
+        Ok(Hypervector::from_vec(level_encode_majority(
+            &self.item_memory,
+            &self.level_memory,
+            input,
+        )))
+    }
+
+    fn encode_reference(&self, input: &[f64]) -> Result<Hypervector, HdError> {
         if input.len() != self.config.features {
             return Err(HdError::FeatureCountMismatch {
                 expected: self.config.features,

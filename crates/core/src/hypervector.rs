@@ -367,6 +367,16 @@ impl BipolarHv {
         Self { dim, words }
     }
 
+    /// Builds a bipolar hypervector from pre-packed sign words
+    /// (`1 ↔ +1`); tail bits beyond `dim` are masked off. Used to adopt
+    /// packed rows produced by the kernels layer without a dense detour.
+    pub(crate) fn from_words(dim: usize, mut words: Vec<u64>) -> Self {
+        assert!(dim > 0, "hypervector dimension must be positive");
+        assert_eq!(words.len(), dim.div_ceil(WORD_BITS), "word count mismatch");
+        Self::mask_tail(dim, &mut words);
+        Self { dim, words }
+    }
+
     /// The dimensionality `D`.
     pub fn dim(&self) -> usize {
         self.dim
@@ -478,6 +488,11 @@ impl BipolarHv {
     /// `Σ_j sign_j · h_j` — the inner loop of both decoding (Eq. 9) and
     /// similarity checking of quantized queries.
     ///
+    /// Runs branchlessly through [`crate::kernels::dot_sign_dense`] (the
+    /// packed bit selects the sign via the `f64` sign bit; no
+    /// `trailing_zeros` walk), so only floating-point summation order
+    /// differs from the naive `Σ sign(j)·h[j]` loop.
+    ///
     /// # Errors
     ///
     /// Returns [`HdError::DimensionMismatch`] if dimensions differ.
@@ -488,25 +503,10 @@ impl BipolarHv {
                 actual: dense.dim(),
             });
         }
-        let values = dense.as_slice();
-        let mut acc = 0.0;
-        for (w, chunk) in self.words.iter().zip(values.chunks(WORD_BITS)) {
-            let mut word = *w;
-            // Positive dimensions add, negative subtract: acc += Σ ±v.
-            // Iterate set bits for the adds and compute the total once.
-            let total: f64 = chunk.iter().sum();
-            let mut pos = 0.0;
-            while word != 0 {
-                let j = word.trailing_zeros() as usize;
-                if j >= chunk.len() {
-                    break;
-                }
-                pos += chunk[j];
-                word &= word - 1;
-            }
-            acc += 2.0 * pos - total;
-        }
-        Ok(acc)
+        Ok(crate::kernels::dot_sign_dense(
+            &self.words,
+            dense.as_slice(),
+        ))
     }
 
     /// Expands into a dense `±1.0` hypervector.

@@ -1,0 +1,656 @@
+//! Throughput-oriented encode and predict kernels.
+//!
+//! The straightforward implementations of Eq. (2) and Eq. (4) walk one
+//! `±v` update per feature per dimension and one dense `f64` dot per
+//! class per query. This module replaces those hot paths with kernels
+//! that exploit the bit-packed structure of the item/level memories:
+//!
+//! * [`TransposedItemMemory`] + [`scalar_encode_level_sliced`] — the
+//!   scalar encoding of Eq. (2a). `snap` maps every feature onto one of
+//!   `ℓ_iv` grid values `g_k/(ℓ−1)`, so the per-dimension sum
+//!   `Σ_k v_k·sign_{k,j}` factors over the *binary digits* of the grid
+//!   indices: `acc_j = (2·Σ_b 2^b·popcount(T_j ∧ m_b) − Σ_k g_k)/(ℓ−1)`,
+//!   where `T_j` is the dim-major bit row of the item memory (one bit
+//!   per feature) and `m_b` masks the features whose grid index has bit
+//!   `b` set. One query builds `⌈log₂ ℓ⌉` masks and then runs pure
+//!   AND+POPCNT per dimension — no per-feature sign walks. The integer
+//!   sum is exact; a single final multiply scales it back to the grid.
+//! * [`level_encode_majority`] — the record encoding of Eq. (2b) as a
+//!   word-parallel majority accumulation: the bound rows `L_{v_k} ⊛ B_k`
+//!   are streamed through a carry-save-adder (CSA) bit-slice counter, so
+//!   64 dimensions advance per machine-word operation instead of one
+//!   `f64` update per dimension. Counts are exact small integers, so the
+//!   result bit-matches the naive accumulation.
+//! * [`ClassMatrix`] + [`dot_unrolled`] / [`dot_sign_dense`] — inference
+//!   (Eq. 4) against a contiguous row-major copy of the class
+//!   hypervectors with cached norms and packed sign rows. Dots run with
+//!   four independent accumulators (breaking the serial `fadd` dependency
+//!   chain of a naive fold) and the packed-query variant selects the sign
+//!   branchlessly via the `f64` sign bit — no `trailing_zeros` loops.
+//!
+//! The naive paths stay available as `*_reference` methods on the
+//! encoders/model; the property tests in `tests/properties.rs` hold the
+//! kernels to them (bit-exact where the arithmetic is integer, ≤1e-9
+//! absolute where only the floating-point summation order differs).
+//!
+//! Per-query scratch (grid indices, digit masks, CSA planes) lives in a
+//! thread-local buffer so steady-state encoding performs no allocations
+//! beyond the returned hypervector.
+
+use std::cell::RefCell;
+
+use crate::basis::{ItemMemory, LevelMemory};
+use crate::hypervector::Hypervector;
+
+const WORD_BITS: usize = 64;
+
+/// Columns per scoring tile: 2048 × 8 B = 16 KB per class-row slice, so
+/// a full tile (every class's slice + a block of query slices) stays
+/// L2-resident even for a few dozen classes.
+const DIM_TILE: usize = 2_048;
+
+thread_local! {
+    static SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::default());
+}
+
+/// Reusable per-thread buffers for the encode kernels.
+#[derive(Debug, Default)]
+struct KernelScratch {
+    /// Grid indices `g_k`, one per feature (scalar encode).
+    grid: Vec<u64>,
+    /// Digit masks `m_b`, `bits × f_words` words (scalar encode).
+    masks: Vec<u64>,
+    /// CSA bit-planes, word-major `hv_words × planes` (level encode).
+    planes: Vec<u64>,
+}
+
+/// Dim-major, bit-sliced copy of an [`ItemMemory`].
+///
+/// Row `j` packs the signs of base hypervectors `B_0 … B_{D_iv−1}` *at
+/// dimension `j`* into `⌈D_iv/64⌉` words (bit `k` set ⇔ `B_k[j] = +1`).
+/// This is the transpose of the feature-major layout [`ItemMemory`]
+/// stores, and it is what lets [`scalar_encode_level_sliced`] answer
+/// "how many features of this subset are positive at dimension `j`"
+/// with a handful of `AND` + `POPCNT` instructions.
+#[derive(Debug, Clone)]
+pub struct TransposedItemMemory {
+    features: usize,
+    dim: usize,
+    f_words: usize,
+    words: Vec<u64>,
+}
+
+impl TransposedItemMemory {
+    /// Builds the transpose of `item` (done once per encoder).
+    pub fn from_item_memory(item: &ItemMemory) -> Self {
+        let features = item.len();
+        let dim = item.dim();
+        let f_words = features.div_ceil(WORD_BITS);
+        let mut words = vec![0u64; dim * f_words];
+        for (k, base) in item.iter().enumerate() {
+            let (fw, fb) = (k / WORD_BITS, k % WORD_BITS);
+            for (w, &bw) in base.words().iter().enumerate() {
+                let mut word = bw;
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    let j = w * WORD_BITS + b;
+                    if j >= dim {
+                        break;
+                    }
+                    words[j * f_words + fw] |= 1 << fb;
+                    word &= word - 1;
+                }
+            }
+        }
+        Self {
+            features,
+            dim,
+            f_words,
+            words,
+        }
+    }
+
+    /// Number of features `D_iv` (bits per row).
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Hypervector dimensionality `D_hv` (number of rows).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed bit row for dimension `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.dim()`.
+    pub fn row(&self, j: usize) -> &[u64] {
+        &self.words[j * self.f_words..(j + 1) * self.f_words]
+    }
+}
+
+/// Level-sliced scalar encode (Eq. 2a): see the [module docs](self) for
+/// the factorization. `input` must hold exactly `im_t.features()` values;
+/// they are clamped to `[0, 1]` and snapped to the `levels`-point grid
+/// exactly like the reference path.
+///
+/// # Panics
+///
+/// Panics if `input.len() != im_t.features()` or `levels < 2` (the
+/// encoder validates both before calling).
+pub fn scalar_encode_level_sliced(
+    im_t: &TransposedItemMemory,
+    input: &[f64],
+    levels: usize,
+) -> Vec<f64> {
+    assert_eq!(input.len(), im_t.features, "feature count mismatch");
+    assert!(levels >= 2, "need at least two levels");
+    // The integer pipeline would silently snap NaN to grid index 0;
+    // poison the whole encoding instead, as the reference path does.
+    if input.iter().any(|v| v.is_nan()) {
+        return vec![f64::NAN; im_t.dim];
+    }
+    let steps = (levels - 1) as f64;
+    let max_index = (levels - 1) as u64;
+    let bits = (u64::BITS - max_index.leading_zeros()) as usize;
+    let f_words = im_t.f_words;
+
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+
+        // 1. Quantize each feature to its grid index g_k = round(v·(ℓ−1)).
+        scratch.grid.clear();
+        scratch
+            .grid
+            .extend(input.iter().map(|&raw| quantize_index(raw, steps)));
+
+        // 2. Slice the indices into per-digit feature masks m_b and the
+        //    per-query constant Σ_k g_k.
+        scratch.masks.clear();
+        scratch.masks.resize(bits * f_words, 0);
+        let mut index_total: u64 = 0;
+        for (k, &g) in scratch.grid.iter().enumerate() {
+            index_total += g;
+            let (fw, fb) = (k / WORD_BITS, k % WORD_BITS);
+            let mut digits = g;
+            while digits != 0 {
+                let b = digits.trailing_zeros() as usize;
+                scratch.masks[b * f_words + fw] |= 1 << fb;
+                digits &= digits - 1;
+            }
+        }
+
+        // 3. Pure popcount accumulation per dimension.
+        let inv_steps = 1.0 / steps;
+        let total = index_total as i64;
+        let mut acc = Vec::with_capacity(im_t.dim);
+        for row in im_t.words.chunks_exact(f_words) {
+            let mut weighted: u64 = 0;
+            for (b, mask) in scratch.masks.chunks_exact(f_words).enumerate() {
+                let mut count: u32 = 0;
+                for (rw, mw) in row.iter().zip(mask) {
+                    count += (rw & mw).count_ones();
+                }
+                weighted += u64::from(count) << b;
+            }
+            // acc_j = (2·Σ_b 2^b·pos_count_{b,j} − Σ_k g_k) / (ℓ−1):
+            // exact in integers, one rounding at the final scale.
+            acc.push((2 * weighted as i64 - total) as f64 * inv_steps);
+        }
+        acc
+    })
+}
+
+/// `round(clamp(v)·steps)` as the grid index, mirroring the reference
+/// `snap` exactly (including `round`'s away-from-zero ties).
+fn quantize_index(raw: f64, steps: f64) -> u64 {
+    (raw.clamp(0.0, 1.0) * steps).round() as u64
+}
+
+/// Record/level encode (Eq. 2b) by word-parallel majority accumulation:
+/// every bound row `L_{v_k} ⊛ B_k` is XNOR-ed on the fly and inserted
+/// into a carry-save bit-slice counter; the per-dimension counts are
+/// extracted once at the end as `acc_j = 2·count_j − D_iv`.
+///
+/// Bit-matches the naive per-feature accumulation (all arithmetic is
+/// exact small integers).
+///
+/// # Panics
+///
+/// Panics if `input.len() != item.len()` or the level/item memories
+/// disagree on dimensionality (the encoder validates both).
+pub fn level_encode_majority(item: &ItemMemory, lm: &LevelMemory, input: &[f64]) -> Vec<f64> {
+    assert_eq!(input.len(), item.len(), "feature count mismatch");
+    assert_eq!(item.dim(), lm.dim(), "item/level dimension mismatch");
+    let dim = item.dim();
+    let hv_words = dim.div_ceil(WORD_BITS);
+    let features = input.len();
+    // Counts reach `features`, so ⌈log₂(features+1)⌉ planes suffice.
+    let planes = (u64::BITS - (features as u64).leading_zeros()) as usize;
+
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        scratch.planes.clear();
+        scratch.planes.resize(hv_words * planes, 0);
+
+        for (k, &raw) in input.iter().enumerate() {
+            let level = lm.level_for(raw).words();
+            let base = item.base(k).words();
+            for (w, (lw, bw)) in level.iter().zip(base).enumerate() {
+                // Bound row word: bipolar bind is XNOR. Tail bits beyond
+                // `dim` are garbage but never extracted below.
+                let mut carry = !(lw ^ bw);
+                let slots = &mut scratch.planes[w * planes..(w + 1) * planes];
+                for slot in slots {
+                    if carry == 0 {
+                        break;
+                    }
+                    let next = *slot & carry;
+                    *slot ^= carry;
+                    carry = next;
+                }
+            }
+        }
+
+        let n = features as i64;
+        let mut acc = Vec::with_capacity(dim);
+        for (w, slots) in scratch.planes.chunks_exact(planes).enumerate() {
+            let lanes = (dim - w * WORD_BITS).min(WORD_BITS);
+            for b in 0..lanes {
+                let mut count: i64 = 0;
+                for (p, plane) in slots.iter().enumerate() {
+                    count += (((plane >> b) & 1) << p) as i64;
+                }
+                acc.push((2 * count - n) as f64);
+            }
+        }
+        acc
+    })
+}
+
+/// Dense `f64` dot product with four independent accumulators.
+///
+/// Mathematically identical to a sequential fold; the four-lane
+/// accumulation breaks the serial `fadd` dependency chain, which is what
+/// buys the throughput. The summation order differs from a naive fold,
+/// so compare against it with a tolerance, not bit-equality. Trailing
+/// elements of the longer slice are ignored (callers pass equal
+/// lengths).
+pub fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let quads = n - n % 4;
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in a[..quads].chunks_exact(4).zip(b[..quads].chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in a[quads..n].iter().zip(&b[quads..n]) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Dot product of a bit-packed bipolar vector (`1 ↔ +1`) against dense
+/// `f64` values, fully branchless: the query bit selects the sign by
+/// XOR-ing the `f64` sign bit, with no `trailing_zeros` walk and no
+/// data-dependent branches.
+///
+/// `values` beyond `64·words.len()` are ignored; unused tail bits of the
+/// last word must be zero (both invariants hold for
+/// [`crate::BipolarHv`]).
+pub fn dot_sign_dense(words: &[u64], values: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    for (w, chunk) in words.iter().zip(values.chunks(WORD_BITS)) {
+        // Bit set → +v; bit clear → −v via the IEEE-754 sign bit. The
+        // inverted word shifts right four bits per quad so each lane's
+        // select is a constant-offset bit test.
+        let mut nw = !w;
+        let quads = chunk.chunks_exact(4);
+        let tail = quads.remainder();
+        for quad in quads {
+            acc[0] += f64::from_bits(quad[0].to_bits() ^ ((nw & 1) << 63));
+            acc[1] += f64::from_bits(quad[1].to_bits() ^ ((nw >> 1 & 1) << 63));
+            acc[2] += f64::from_bits(quad[2].to_bits() ^ ((nw >> 2 & 1) << 63));
+            acc[3] += f64::from_bits(quad[3].to_bits() ^ ((nw >> 3 & 1) << 63));
+            nw >>= 4;
+        }
+        for (b, &v) in tail.iter().enumerate() {
+            acc[b & 3] += f64::from_bits(v.to_bits() ^ ((nw >> b & 1) << 63));
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// A contiguous, inference-ready snapshot of a model's class
+/// hypervectors.
+///
+/// Holds the dense values row-major (`classes × dim`, so one class is
+/// one cache-friendly streak), the packed sign bit of every value
+/// (`value ≥ 0 ↔ 1`, the binarization convention of
+/// [`crate::BinaryHdModel`]) and the cached ℓ2 norms. Built lazily by
+/// [`crate::HdModel`] and rebuilt only after mutation.
+#[derive(Debug, Clone)]
+pub struct ClassMatrix {
+    num_classes: usize,
+    dim: usize,
+    hv_words: usize,
+    dense: Vec<f64>,
+    sign_rows: Vec<u64>,
+    norms: Vec<f64>,
+}
+
+impl ClassMatrix {
+    /// Snapshots `classes` (all of the same dimensionality) into the
+    /// contiguous layout. An empty slice yields an empty matrix whose
+    /// [`ClassMatrix::all_zero`] is true, so degenerate models degrade
+    /// to [`crate::HdError::ZeroNorm`] instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if class dimensionalities disagree (the model guarantees
+    /// they do not).
+    pub fn from_classes(classes: &[Hypervector]) -> Self {
+        let dim = classes.first().map_or(0, Hypervector::dim);
+        let hv_words = dim.div_ceil(WORD_BITS);
+        let num_classes = classes.len();
+        let mut dense = Vec::with_capacity(num_classes * dim);
+        let mut sign_rows = vec![0u64; num_classes * hv_words];
+        let mut norms = Vec::with_capacity(num_classes);
+        for (l, class) in classes.iter().enumerate() {
+            assert_eq!(class.dim(), dim, "class dimension mismatch");
+            dense.extend_from_slice(class.as_slice());
+            for (j, &v) in class.as_slice().iter().enumerate() {
+                if v >= 0.0 {
+                    sign_rows[l * hv_words + j / WORD_BITS] |= 1 << (j % WORD_BITS);
+                }
+            }
+            norms.push(class.l2_norm());
+        }
+        Self {
+            num_classes,
+            dim,
+            hv_words,
+            dense,
+            sign_rows,
+            norms,
+        }
+    }
+
+    /// Number of classes (rows).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Hypervector dimensionality (columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The dense values of class `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.num_classes()`.
+    pub fn class_row(&self, l: usize) -> &[f64] {
+        &self.dense[l * self.dim..(l + 1) * self.dim]
+    }
+
+    /// The packed sign bits of class `l` (`value ≥ 0 ↔ 1`; tail bits
+    /// zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.num_classes()`.
+    pub fn sign_row(&self, l: usize) -> &[u64] {
+        &self.sign_rows[l * self.hv_words..(l + 1) * self.hv_words]
+    }
+
+    /// Cached ℓ2 norms, index = class label.
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
+    }
+
+    /// True when every class hypervector is all-zero (untrained model)
+    /// — vacuously true for an empty matrix.
+    pub fn all_zero(&self) -> bool {
+        self.norms.iter().all(|&n| n == 0.0)
+    }
+
+    /// Re-snapshots a single class row in place (dense values, sign
+    /// bits, norm) after a targeted mutation such as a retraining
+    /// update, avoiding a full matrix rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range or `class` has the wrong
+    /// dimensionality (the model guarantees both).
+    pub fn update_class(&mut self, l: usize, class: &Hypervector) {
+        assert_eq!(class.dim(), self.dim, "class dimension mismatch");
+        let values = class.as_slice();
+        self.dense[l * self.dim..(l + 1) * self.dim].copy_from_slice(values);
+        let signs = &mut self.sign_rows[l * self.hv_words..(l + 1) * self.hv_words];
+        signs.fill(0);
+        for (j, &v) in values.iter().enumerate() {
+            if v >= 0.0 {
+                signs[j / WORD_BITS] |= 1 << (j % WORD_BITS);
+            }
+        }
+        self.norms[l] = class.l2_norm();
+    }
+
+    /// Normalized scores of one dense query against every class, written
+    /// into `scores` (cleared first). Zero-norm classes score
+    /// [`f64::NEG_INFINITY`]. Routed through the same tiled accumulation
+    /// as [`ClassMatrix::scores_block_into`] (with a block of one), so
+    /// single-query and blocked results are bit-identical.
+    pub fn scores_into(&self, query: &[f64], scores: &mut Vec<f64>) {
+        scores.clear();
+        scores.resize(self.num_classes, 0.0);
+        self.scores_tiled([query].as_slice(), std::slice::from_mut(scores));
+    }
+
+    /// [`ClassMatrix::scores_into`] for a block of queries at once — the
+    /// cache-friendly tile of batched inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` and `out` lengths differ.
+    pub fn scores_block_into(&self, queries: &[&[f64]], out: &mut [Vec<f64>]) {
+        assert_eq!(queries.len(), out.len(), "one score row per query");
+        for scores in out.iter_mut() {
+            scores.clear();
+            scores.resize(self.num_classes, 0.0);
+        }
+        self.scores_tiled(queries, out);
+    }
+
+    /// Shared tiled scoring core. The dimension axis is cut into
+    /// [`DIM_TILE`]-column tiles and every `(query, class)` pair
+    /// accumulates one partial [`dot_unrolled`] per tile: each matrix
+    /// element is read once per *block* instead of once per query, so a
+    /// block of `B` queries cuts class-matrix memory traffic by `B×`.
+    /// Tile boundaries are a function of the dimension alone, so the
+    /// per-pair summation order is independent of the block size —
+    /// blocked, single-query and batched paths all bit-match.
+    fn scores_tiled(&self, queries: &[&[f64]], out: &mut [Vec<f64>]) {
+        for tile_start in (0..self.dim).step_by(DIM_TILE) {
+            let tile_end = (tile_start + DIM_TILE).min(self.dim);
+            for l in 0..self.num_classes {
+                let row = &self.dense[l * self.dim + tile_start..l * self.dim + tile_end];
+                for (q, scores) in queries.iter().zip(out.iter_mut()) {
+                    scores[l] += dot_unrolled(&q[tile_start..tile_end], row);
+                }
+            }
+        }
+        for scores in out.iter_mut() {
+            for (s, &norm) in scores.iter_mut().zip(&self.norms) {
+                *s = if norm == 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    *s / norm
+                };
+            }
+        }
+    }
+
+    /// Normalized scores of a bit-packed bipolar query against every
+    /// class via [`dot_sign_dense`]. Zero-norm classes score
+    /// [`f64::NEG_INFINITY`].
+    pub fn scores_packed_into(&self, query_words: &[u64], scores: &mut Vec<f64>) {
+        scores.clear();
+        scores.reserve(self.num_classes);
+        for l in 0..self.num_classes {
+            let norm = self.norms[l];
+            scores.push(if norm == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                dot_sign_dense(query_words, self.class_row(l)) / norm
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisGenerator;
+    use crate::hypervector::BipolarHv;
+
+    #[test]
+    fn transposed_item_memory_matches_signs() {
+        let im = BasisGenerator::new(3).item_memory(70, 130).unwrap();
+        let t = TransposedItemMemory::from_item_memory(&im);
+        assert_eq!(t.features(), 70);
+        assert_eq!(t.dim(), 130);
+        for j in 0..130 {
+            let row = t.row(j);
+            for k in 0..70 {
+                let bit = (row[k / 64] >> (k % 64)) & 1;
+                let expected = u64::from(im.base(k).sign(j) > 0.0);
+                assert_eq!(bit, expected, "dim {j} feature {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_matches_direct_sum() {
+        let im = BasisGenerator::new(9).item_memory(13, 190).unwrap();
+        let t = TransposedItemMemory::from_item_memory(&im);
+        let levels = 10;
+        let input: Vec<f64> = (0..13).map(|i| i as f64 / 12.0).collect();
+        let acc = scalar_encode_level_sliced(&t, &input, levels);
+        let steps = (levels - 1) as f64;
+        for (j, &a) in acc.iter().enumerate() {
+            let expected: f64 = (0..13)
+                .map(|k| {
+                    let g = (input[k].clamp(0.0, 1.0) * steps).round();
+                    g / steps * im.base(k).sign(j)
+                })
+                .sum();
+            assert!((a - expected).abs() < 1e-9, "dim {j}: {a} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn level_kernel_matches_bound_row_sum() {
+        let gen = BasisGenerator::new(4);
+        let im = gen.item_memory(9, 200).unwrap();
+        let lm = gen.level_memory(12, 200).unwrap();
+        let input: Vec<f64> = (0..9).map(|i| i as f64 / 8.0).collect();
+        let acc = level_encode_majority(&im, &lm, &input);
+        for (j, &a) in acc.iter().enumerate() {
+            let expected: f64 = (0..9)
+                .map(|k| lm.level_for(input[k]).sign(j) * im.base(k).sign(j))
+                .sum();
+            assert_eq!(a, expected, "dim {j}");
+        }
+    }
+
+    #[test]
+    fn dot_kernels_match_naive() {
+        let values: Vec<f64> = (0..133).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let other: Vec<f64> = (0..133).map(|i| (i as f64 * 0.11).cos() * 3.0).collect();
+        let naive: f64 = values.iter().zip(&other).map(|(a, b)| a * b).sum();
+        assert!((dot_unrolled(&values, &other) - naive).abs() < 1e-9);
+
+        let packed = BipolarHv::random(133, 5);
+        let naive_signed: f64 = (0..133).map(|j| packed.sign(j) * values[j]).sum();
+        let fast = dot_sign_dense(packed.words(), &values);
+        assert!(
+            (fast - naive_signed).abs() < 1e-9,
+            "{fast} vs {naive_signed}"
+        );
+    }
+
+    #[test]
+    fn class_matrix_snapshots_classes() {
+        let classes = vec![
+            Hypervector::from_vec(vec![1.0, -2.0, 0.0, 3.0, -1.0]),
+            Hypervector::from_vec(vec![0.0; 5]),
+        ];
+        let m = ClassMatrix::from_classes(&classes);
+        assert_eq!(m.num_classes(), 2);
+        assert_eq!(m.dim(), 5);
+        assert_eq!(m.class_row(0), classes[0].as_slice());
+        assert_eq!(m.norms()[1], 0.0);
+        assert!(!m.all_zero());
+        // Sign row: 1, -2, 0, 3, -1 → bits 1,0,1,1,0 (≥ 0 convention).
+        assert_eq!(m.sign_row(0)[0], 0b01101);
+
+        let mut scores = Vec::new();
+        m.scores_into(&[1.0, 1.0, 1.0, 1.0, 1.0], &mut scores);
+        assert_eq!(scores[1], f64::NEG_INFINITY);
+        let expected = (1.0 - 2.0 + 0.0 + 3.0 - 1.0) / classes[0].l2_norm();
+        assert!((scores[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_matrix_degrades_gracefully() {
+        let m = ClassMatrix::from_classes(&[]);
+        assert_eq!(m.num_classes(), 0);
+        assert!(m.all_zero());
+        let mut scores = vec![1.0];
+        m.scores_into(&[], &mut scores);
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn update_class_matches_fresh_snapshot() {
+        let mut classes = vec![
+            Hypervector::from_vec((0..70).map(|j| (j as f64 * 0.3).sin()).collect()),
+            Hypervector::from_vec((0..70).map(|j| (j as f64 * 0.7).cos()).collect()),
+        ];
+        let mut incremental = ClassMatrix::from_classes(&classes);
+        classes[1] = Hypervector::from_vec((0..70).map(|j| (j as f64 * 1.3).sin()).collect());
+        incremental.update_class(1, &classes[1]);
+        let fresh = ClassMatrix::from_classes(&classes);
+        assert_eq!(incremental.class_row(1), fresh.class_row(1));
+        assert_eq!(incremental.sign_row(1), fresh.sign_row(1));
+        assert_eq!(incremental.norms(), fresh.norms());
+    }
+
+    #[test]
+    fn blocked_scores_bit_match_single_query_scores() {
+        let classes: Vec<Hypervector> = (0..3)
+            .map(|c| {
+                Hypervector::from_vec((0..97).map(|j| ((c * 97 + j) as f64 * 0.7).sin()).collect())
+            })
+            .collect();
+        let m = ClassMatrix::from_classes(&classes);
+        let queries: Vec<Vec<f64>> = (0..5)
+            .map(|q| (0..97).map(|j| ((q * 31 + j) as f64 * 0.3).cos()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = queries.iter().map(|q| q.as_slice()).collect();
+        let mut blocked: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+        m.scores_block_into(&refs, &mut blocked);
+        for (q, b) in queries.iter().zip(&blocked) {
+            let mut single = Vec::new();
+            m.scores_into(q, &mut single);
+            assert_eq!(&single, b, "blocked path must be bit-identical");
+        }
+    }
+}

@@ -16,7 +16,16 @@
 //!   Eq. (2a) ([`ScalarEncoder`]) and the level-binding record encoding of
 //!   Eq. (2b) ([`LevelEncoder`]).
 //! * [`model`] — HD training (Eq. 3), retraining (Eq. 5) and inference
-//!   (Eq. 4) with cached class norms.
+//!   (Eq. 4) with a cached contiguous scoring snapshot
+//!   ([`kernels::ClassMatrix`]).
+//! * [`kernels`] — the throughput layer: level-sliced popcount encode
+//!   over a bit-sliced transposed item memory, word-parallel (CSA)
+//!   majority accumulation for the record encoding, and blocked,
+//!   branchless query×class scoring. The naive paths are retained as
+//!   `*_reference` methods for parity testing.
+//! * [`pool`] — a persistent worker pool fed over a channel; batch
+//!   encode/predict fan out here instead of spawning scoped threads per
+//!   call.
 //! * [`quantize`] — the Prive-HD encoding quantizations of Eq. (13):
 //!   bipolar, ternary, biased ternary and 2-bit, plus the empirical value
 //!   distribution used by the sensitivity formula of Eq. (14).
@@ -64,9 +73,11 @@ pub mod decode;
 pub mod encoder;
 pub mod error;
 pub mod hypervector;
+pub mod kernels;
 pub mod model;
 pub mod obfuscate;
 pub mod online;
+pub mod pool;
 pub mod prune;
 pub mod quantize;
 
@@ -76,9 +87,11 @@ pub use decode::{mse, psnr, Decoder, Reconstruction};
 pub use encoder::{Encoder, EncoderConfig, LevelEncoder, ScalarEncoder};
 pub use error::HdError;
 pub use hypervector::{BipolarHv, Hypervector};
+pub use kernels::{ClassMatrix, TransposedItemMemory};
 pub use model::{HdModel, Prediction, RetrainConfig, RetrainReport};
 pub use obfuscate::{ObfuscateConfig, Obfuscator};
 pub use online::{online_step, train_online, OnlineConfig, OnlineReport};
+pub use pool::ThreadPool;
 pub use prune::{information_curve, InformationPoint, PruneMask, PruneStrategy};
 pub use quantize::{QuantScheme, ValueHistogram};
 

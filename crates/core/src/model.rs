@@ -5,13 +5,28 @@
 //! as noted under Eq. (4), the query's own norm is a shared factor across
 //! classes and is discarded, while the class norms are computed once and
 //! cached.
+//!
+//! Scoring runs against a lazily built [`ClassMatrix`] snapshot — a
+//! contiguous row-major copy of the class hypervectors with cached norms
+//! and packed sign rows — invalidated on every mutation. The naive
+//! per-query path is retained as [`HdModel::predict_reference`], the
+//! arithmetic baseline the kernel parity tests (and the `perfsuite`
+//! speedup measurements) compare against.
+
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::HdError;
 use crate::hypervector::{BipolarHv, Hypervector};
+use crate::kernels::ClassMatrix;
+use crate::pool;
 use crate::prune::PruneMask;
 use crate::quantize::QuantScheme;
+
+/// Queries scored together per cache tile of the batched predict path:
+/// one class row is streamed against this many queries while hot.
+const PREDICT_BLOCK: usize = 8;
 
 /// A trained (or in-training) HD classification model.
 ///
@@ -29,13 +44,22 @@ use crate::quantize::QuantScheme;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HdModel {
     classes: Vec<Hypervector>,
     dim: usize,
-    /// Cached ℓ2 norms of the class hypervectors; `None` after mutation.
+    /// Lazily built scoring snapshot (contiguous rows + packed signs +
+    /// norms); replaced with an empty cell on every mutation.
     #[serde(skip)]
-    norms: Option<Vec<f64>>,
+    cache: OnceLock<Arc<ClassMatrix>>,
+}
+
+impl PartialEq for HdModel {
+    /// Models compare by class hypervectors alone; the scoring cache is
+    /// derived state.
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.classes == other.classes
+    }
 }
 
 /// The result of classifying one query.
@@ -46,6 +70,11 @@ pub struct Prediction {
     /// The winning (normalized) similarity score.
     pub score: f64,
     /// Per-class similarity scores, index = class label.
+    ///
+    /// A class whose hypervector has zero norm (never trained) scores
+    /// [`f64::NEG_INFINITY`], so it orders below every real similarity
+    /// and survives arithmetic like [`Prediction::margin`] without the
+    /// wrap-around hazards of the former `f64::MIN` sentinel.
     pub scores: Vec<f64>,
 }
 
@@ -127,7 +156,7 @@ impl HdModel {
         Ok(Self {
             classes,
             dim,
-            norms: None,
+            cache: OnceLock::new(),
         })
     }
 
@@ -154,7 +183,7 @@ impl HdModel {
         Ok(Self {
             classes,
             dim: first_dim,
-            norms: None,
+            cache: OnceLock::new(),
         })
     }
 
@@ -202,7 +231,7 @@ impl HdModel {
                 num_classes: n,
             })?;
         class.add_scaled(encoded, 1.0)?;
-        self.norms = None;
+        self.refresh_class(label);
         Ok(())
     }
 
@@ -231,7 +260,9 @@ impl HdModel {
     ///
     /// Only the class norms enter the normalization; the query norm is a
     /// constant factor across classes and is skipped, exactly as the paper
-    /// notes under Eq. (4).
+    /// notes under Eq. (4). Scoring runs against the cached
+    /// [`ClassMatrix`] with the unrolled dot kernel; zero-norm classes
+    /// score [`f64::NEG_INFINITY`] (see [`Prediction::scores`]).
     ///
     /// # Errors
     ///
@@ -244,49 +275,70 @@ impl HdModel {
                 actual: query.dim(),
             });
         }
-        let norms = self.norms_cached();
-        if norms.iter().all(|n| *n == 0.0) {
+        let matrix = self.matrix();
+        if matrix.all_zero() {
             return Err(HdError::ZeroNorm);
         }
+        let mut scores = Vec::new();
+        matrix.scores_into(query.as_slice(), &mut scores);
+        Ok(prediction_from_scores(scores))
+    }
+
+    /// The retained naive inference path: one iterator-order dense dot
+    /// per class — exactly the pre-kernel scoring arithmetic. Norms come
+    /// from the cached snapshot (as the pre-kernel path used its norm
+    /// cache), so perfsuite's baseline pays only the dots, not a
+    /// per-query norm recomputation. Parity tests and the `perfsuite`
+    /// speedup baseline compare [`HdModel::predict`] against this.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HdModel::predict`].
+    pub fn predict_reference(&self, query: &Hypervector) -> Result<Prediction, HdError> {
+        if query.dim() != self.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        let matrix = self.matrix();
+        if matrix.all_zero() {
+            return Err(HdError::ZeroNorm);
+        }
+        let norms = matrix.norms();
         let mut scores = Vec::with_capacity(self.classes.len());
         for (class, &norm) in self.classes.iter().zip(norms.iter()) {
             let dot = query.dot(class)?;
-            scores.push(if norm == 0.0 { f64::MIN } else { dot / norm });
+            scores.push(if norm == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                dot / norm
+            });
         }
-        let (class, &score) = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-            .expect("at least one class");
-        Ok(Prediction {
-            class,
-            score,
-            scores,
-        })
+        Ok(prediction_from_scores(scores))
     }
 
-    /// Classifies a batch of queries, fanning the work out over
-    /// [`std::thread::scope`] threads.
+    /// Classifies a batch of queries with the blocked kernel, fanning
+    /// tiles out over the persistent [`crate::pool`] workers.
     ///
     /// Each query goes through exactly the same arithmetic as
-    /// [`HdModel::predict`], so the results are bit-identical to calling
-    /// `predict` sequentially. (The `privehd-serve` engine answers the
-    /// requests of a batch one `predict` call at a time for per-request
-    /// error isolation; this API is the bulk path for callers that hold
-    /// a whole batch and want one `Result`.)
+    /// [`HdModel::predict`] (one class row is simply scored against a
+    /// whole tile of queries while cache-hot), so the results are
+    /// bit-identical to calling `predict` sequentially. (The
+    /// `privehd-serve` engine answers the requests of a batch one
+    /// `predict` call at a time for per-request error isolation; this
+    /// API is the bulk path for callers that hold a whole batch and want
+    /// one `Result`.)
     ///
     /// # Errors
     ///
     /// Propagates the first prediction error encountered (dimension
     /// mismatch, [`HdError::ZeroNorm`] on an untrained model).
     pub fn predict_batch(&self, queries: &[Hypervector]) -> Result<Vec<Prediction>, HdError> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        self.predict_batch_with(queries, threads)
+        self.predict_batch_with(queries, pool::global().threads() + 1)
     }
 
-    /// [`HdModel::predict_batch`] with an explicit thread cap, for
+    /// [`HdModel::predict_batch`] with an explicit concurrency cap, for
     /// callers that already provide their own parallelism and pass 1 to
     /// keep the batch single-threaded.
     ///
@@ -298,38 +350,48 @@ impl HdModel {
         queries: &[Hypervector],
         threads: usize,
     ) -> Result<Vec<Prediction>, HdError> {
-        let threads = threads.max(1).min(queries.len().max(1));
-        // Small batches are not worth the spawn cost.
-        if threads <= 1 || queries.len() < 8 {
-            return queries.iter().map(|q| self.predict(q)).collect();
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate everything up front so the parallel section is
+        // infallible; the first offending query wins, as before.
+        for q in queries {
+            if q.dim() != self.dim {
+                return Err(HdError::DimensionMismatch {
+                    expected: self.dim,
+                    actual: q.dim(),
+                });
+            }
+        }
+        let matrix = self.matrix();
+        if matrix.all_zero() {
+            return Err(HdError::ZeroNorm);
+        }
+        let threads = threads.max(1).min(queries.len());
+        if threads <= 1 || queries.len() < 2 * PREDICT_BLOCK {
+            return Ok(predict_blocks(matrix, queries));
         }
         let chunk = queries.len().div_ceil(threads);
-        let results: Vec<Result<Vec<Prediction>, HdError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|slice| scope.spawn(move || slice.iter().map(|q| self.predict(q)).collect()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("prediction thread panicked"))
-                .collect()
+        let tasks = queries.len().div_ceil(chunk);
+        let results: Vec<Vec<Prediction>> = pool::global().map(tasks, |t| {
+            predict_blocks(
+                matrix,
+                &queries[t * chunk..((t + 1) * chunk).min(queries.len())],
+            )
         });
-        let mut out = Vec::with_capacity(queries.len());
-        for r in results {
-            out.extend(r?);
-        }
-        Ok(out)
+        Ok(results.into_iter().flatten().collect())
     }
 
     /// Classifies a bit-packed bipolar query — the fast path for
     /// obfuscated queries, whose components are all `±1` after the
     /// [`crate::obfuscate::Obfuscator`] quantization step.
     ///
-    /// The per-class dot product runs over packed words
-    /// ([`BipolarHv::dot_dense`]) instead of a dense multiply. The score
-    /// is mathematically identical to [`HdModel::predict`] on
-    /// [`BipolarHv::to_dense`], but floating-point summation order
-    /// differs, so last-ulp ties may resolve differently.
+    /// The per-class dot product selects signs branchlessly from the
+    /// packed words ([`crate::kernels::dot_sign_dense`]) against the
+    /// cached [`ClassMatrix`] rows. The score is mathematically identical
+    /// to [`HdModel::predict`] on [`BipolarHv::to_dense`], but
+    /// floating-point summation order differs, so last-ulp ties may
+    /// resolve differently.
     ///
     /// # Errors
     ///
@@ -342,25 +404,13 @@ impl HdModel {
                 actual: query.dim(),
             });
         }
-        let norms = self.norms_cached();
-        if norms.iter().all(|n| *n == 0.0) {
+        let matrix = self.matrix();
+        if matrix.all_zero() {
             return Err(HdError::ZeroNorm);
         }
-        let mut scores = Vec::with_capacity(self.classes.len());
-        for (class, &norm) in self.classes.iter().zip(norms.iter()) {
-            let dot = query.dot_dense(class)?;
-            scores.push(if norm == 0.0 { f64::MIN } else { dot / norm });
-        }
-        let (class, &score) = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-            .expect("at least one class");
-        Ok(Prediction {
-            class,
-            score,
-            scores,
-        })
+        let mut scores = Vec::new();
+        matrix.scores_packed_into(query.words(), &mut scores);
+        Ok(prediction_from_scores(scores))
     }
 
     /// Classification accuracy over a labelled set of encoded queries.
@@ -410,7 +460,8 @@ impl HdModel {
                     // Eq. (5): C_l += H ; C_l' −= H.
                     self.classes[*y].add_scaled(h, 1.0)?;
                     self.classes[pred.class].add_scaled(h, -1.0)?;
-                    self.norms = None;
+                    self.refresh_class(*y);
+                    self.refresh_class(pred.class);
                     updates += 1;
                 }
             }
@@ -459,7 +510,7 @@ impl HdModel {
         for c in &mut self.classes {
             mask.apply(c)?;
         }
-        self.norms = None;
+        self.invalidate();
         Ok(())
     }
 
@@ -471,7 +522,7 @@ impl HdModel {
             let sigma = QuantScheme::empirical_sigma(c).max(f64::MIN_POSITIVE);
             *c = scheme.quantize(c, sigma);
         }
-        self.norms = None;
+        self.invalidate();
     }
 
     /// Adds `noise[l]` to class `l` — the Gaussian mechanism application
@@ -493,7 +544,7 @@ impl HdModel {
         for (c, n) in self.classes.iter_mut().zip(noise) {
             c.add_scaled(n, 1.0)?;
         }
-        self.norms = None;
+        self.invalidate();
         Ok(())
     }
 
@@ -522,19 +573,79 @@ impl HdModel {
             .collect()
     }
 
-    fn norms_cached(&self) -> Vec<f64> {
-        if let Some(n) = &self.norms {
-            return n.clone();
-        }
-        self.classes.iter().map(|c| c.l2_norm()).collect()
+    /// The cached scoring snapshot, built on first use after a mutation.
+    fn matrix(&self) -> &Arc<ClassMatrix> {
+        self.cache
+            .get_or_init(|| Arc::new(ClassMatrix::from_classes(&self.classes)))
     }
 
-    /// Recomputes and caches the class norms. Call after a batch of
-    /// mutations when many predictions follow; [`HdModel::predict`] works
-    /// correctly either way.
-    pub fn refresh_norms(&mut self) {
-        self.norms = Some(self.classes.iter().map(|c| c.l2_norm()).collect());
+    /// Drops the scoring snapshot; called by mutations that touch many
+    /// classes at once.
+    fn invalidate(&mut self) {
+        self.cache = OnceLock::new();
     }
+
+    /// Refreshes a single class row of the scoring snapshot in place
+    /// when the snapshot exists and is not shared (the common retraining
+    /// case), falling back to a full invalidation otherwise. Keeps the
+    /// per-update cost at one row copy instead of a whole-matrix
+    /// rebuild.
+    fn refresh_class(&mut self, label: usize) {
+        let class = &self.classes[label];
+        if let Some(arc) = self.cache.get_mut() {
+            if let Some(matrix) = Arc::get_mut(arc) {
+                matrix.update_class(label, class);
+                return;
+            }
+        }
+        self.cache = OnceLock::new();
+    }
+
+    /// The contiguous scoring snapshot (rows, packed signs, norms) the
+    /// predict kernels run against, building it if necessary.
+    pub fn class_matrix(&self) -> &ClassMatrix {
+        self.matrix()
+    }
+
+    /// Rebuilds the scoring snapshot (norms included) eagerly. Call after
+    /// a batch of mutations when many predictions follow;
+    /// [`HdModel::predict`] works correctly either way.
+    pub fn refresh_norms(&mut self) {
+        self.invalidate();
+        let _ = self.matrix();
+    }
+}
+
+/// Shared argmax: winner = the last maximal score, matching the
+/// pre-kernel `Iterator::max_by` behavior on ties.
+fn prediction_from_scores(scores: Vec<f64>) -> Prediction {
+    let (class, &score) = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN scores"))
+        .expect("at least one class");
+    Prediction {
+        class,
+        score,
+        scores,
+    }
+}
+
+/// Scores a slice of (pre-validated) queries tile by tile against the
+/// matrix snapshot.
+fn predict_blocks(matrix: &ClassMatrix, queries: &[Hypervector]) -> Vec<Prediction> {
+    let mut out = Vec::with_capacity(queries.len());
+    let mut refs: Vec<&[f64]> = Vec::with_capacity(PREDICT_BLOCK);
+    for block in queries.chunks(PREDICT_BLOCK) {
+        refs.clear();
+        refs.extend(block.iter().map(Hypervector::as_slice));
+        // The score rows are moved into the returned `Prediction`s, so
+        // they are the one allocation per query that must happen anyway.
+        let mut scores: Vec<Vec<f64>> = vec![Vec::new(); block.len()];
+        matrix.scores_block_into(&refs, &mut scores);
+        out.extend(scores.into_iter().map(prediction_from_scores));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -705,6 +816,24 @@ mod tests {
         a.refresh_norms();
         let q = &train[0].0;
         assert_eq!(a.predict(q).unwrap(), b.predict(q).unwrap());
+    }
+
+    #[test]
+    fn in_place_cache_refresh_matches_full_rebuild() {
+        // bundle/retrain refresh one matrix row in place when the cache
+        // is hot and unshared; the result must equal a cold rebuild.
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 256).with_seed(12)).unwrap();
+        let train = two_cluster_data(&enc, 4);
+        let mut model = HdModel::train(2, 256, &train).unwrap();
+        let q = &train[0].0;
+        let _ = model.predict(q).unwrap(); // build the cache
+        model.bundle(1, &train[1].0).unwrap(); // in-place row refresh
+        let warm = model.predict(q).unwrap();
+        let cold = HdModel::from_classes(model.classes().cloned().collect::<Vec<_>>())
+            .unwrap()
+            .predict(q)
+            .unwrap();
+        assert_eq!(warm, cold);
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! A small persistent worker pool for data-parallel kernels.
+//!
+//! The batch entry points of this crate ([`crate::Encoder::encode_batch`],
+//! [`crate::HdModel::predict_batch`]) used to fan work out with
+//! [`std::thread::scope`], paying a thread spawn + join per call. Under a
+//! serving workload that cost recurs on every batch, so this module keeps
+//! one lazily-created, process-wide pool ([`global`]) whose workers park
+//! on a channel between calls.
+//!
+//! The design favours predictability over sophistication:
+//!
+//! * Workers pull indexed tasks off a shared atomic counter, so chunks
+//!   self-balance without a work-stealing deque.
+//! * The *calling* thread always participates as a lane, and a `run`
+//!   issued from inside a pool task executes fully inline. A `run` call
+//!   can therefore never deadlock — the caller alone guarantees
+//!   progress, and nesting never ties workers up waiting on each other.
+//! * `run` only returns once every lane has finished, which is what makes
+//!   lending non-`'static` borrows to the workers sound (see the single
+//!   `unsafe` block below).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A boxed unit of work handed to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// True on pool worker threads. A nested `run` issued from inside a
+    /// pool task executes inline instead of queueing: every queued lane
+    /// job is awaited to completion by its `WaitGuard`, so nesting
+    /// through the queue would let all workers block on jobs no free
+    /// worker remains to execute.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent pool of worker threads executing indexed task batches.
+///
+/// Most callers want the shared [`global`] pool; constructing a private
+/// pool is mainly useful in tests and benchmarks that need an exact
+/// thread count.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use privehd_core::pool::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(100, |_i| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+#[derive(Debug)]
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Waits for the run to be *drained* (all task indices claimed, no lane
+/// still executing the closure) even when the caller's own lane panics,
+/// so the borrow lent to the workers stays alive until no lane can
+/// touch it again. Queued lane jobs that have not started yet do NOT
+/// hold the run back: when they are eventually dequeued they observe an
+/// exhausted counter and exit without ever dereferencing the closure.
+struct WaitGuard<'a>(&'a RunCtx);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait_drained();
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` worker threads (zero is allowed; every
+    /// [`ThreadPool::run`] then executes inline on the caller).
+    pub fn new(threads: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("privehd-pool-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Number of worker threads (the caller adds one more lane to every
+    /// `run`).
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Executes `f(0) … f(tasks − 1)`, fanning the indices out over the
+    /// worker threads plus the calling thread, and returns once all of
+    /// them have completed.
+    ///
+    /// Task indices are claimed from a shared counter, so tasks should be
+    /// coarse enough (a chunk of items, not one item) to amortize the
+    /// atomic increment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked, after all lanes have stopped.
+    pub fn run<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if tasks == 0 {
+            return;
+        }
+        // The caller is always a lane; extra lanes are only worth queueing
+        // when there is more than one task to share. Nested calls from
+        // inside a pool task run inline (see `IN_POOL_WORKER`).
+        let lanes = if IN_POOL_WORKER.with(std::cell::Cell::get) {
+            0
+        } else {
+            self.workers.len().min(tasks - 1)
+        };
+        if lanes == 0 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+
+        // SAFETY: lifetime erasure only — the wide pointer is
+        // dereferenced exclusively by lanes that claimed a task index,
+        // which `wait_drained` keeps within this stack frame's lifetime
+        // (see `RunCtx::work_lane`); stale queued jobs hold the pointer
+        // without ever dereferencing it.
+        let f_ptr: *const (dyn Fn(usize) + Send + Sync) =
+            unsafe { std::mem::transmute(&f as &(dyn Fn(usize) + Send + Sync)) };
+        let ctx = Arc::new(RunCtx {
+            f: f_ptr,
+            next: AtomicUsize::new(0),
+            tasks,
+            active: Mutex::new(0),
+            drained: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+
+        {
+            let tx = self.tx.as_ref().expect("pool sender alive until drop");
+            for _ in 0..lanes {
+                let ctx = Arc::clone(&ctx);
+                tx.send(Box::new(move || ctx.work_lane()))
+                    .expect("pool workers alive until drop");
+            }
+
+            let guard = WaitGuard(&ctx);
+            // The caller's lane: drain indices alongside the workers.
+            loop {
+                let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                f(i);
+            }
+            // Blocks until every index is claimed and no lane still runs
+            // `f`; queued stragglers later no-op against the exhausted
+            // counter without delaying us.
+            drop(guard);
+        }
+
+        if ctx.panicked.load(Ordering::SeqCst) {
+            panic!("a pool task panicked");
+        }
+    }
+
+    /// Like [`ThreadPool::run`] but collects one `R` per task, in task
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked.
+    pub fn map<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Send + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        self.run(tasks, |i| {
+            *slots[i].lock().expect("slot poisoned") = Some(f(i));
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot poisoned")
+                    .expect("every task index ran")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // closing the channel stops the workers
+        for w in self.workers.drain(..) {
+            w.join().expect("pool worker panicked outside a task");
+        }
+    }
+}
+
+/// Shared state of one `run` call. Queued lane jobs hold it via `Arc`,
+/// possibly long after the originating `run` returned; only the raw
+/// closure pointer must never be touched then, which the exhausted task
+/// counter guarantees.
+struct RunCtx {
+    /// The caller's closure. Valid exactly while some lane can still
+    /// claim a task index (the caller blocks in [`RunCtx::wait_drained`]
+    /// until that window is over); a raw pointer rather than a
+    /// transmuted `'static` reference so stale queued jobs never *hold*
+    /// a dangling reference.
+    f: *const (dyn Fn(usize) + Send + Sync),
+    next: AtomicUsize,
+    tasks: usize,
+    /// Lanes currently inside `work_lane`'s claim-and-execute window.
+    active: Mutex<usize>,
+    drained: Condvar,
+    panicked: AtomicBool,
+}
+
+// SAFETY: the pointee is `Sync` (`F: Send + Sync` in `run`), the atomics
+// and lock guard all other fields, and pointer validity is enforced by
+// the wait-drained protocol documented on the fields.
+unsafe impl Send for RunCtx {}
+// SAFETY: as above.
+unsafe impl Sync for RunCtx {}
+
+impl RunCtx {
+    fn work_lane(&self) {
+        {
+            let mut active = self.active.lock().expect("pool lock poisoned");
+            *active += 1;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.tasks {
+                break;
+            }
+            // SAFETY: this lane registered in `active` *before* claiming
+            // the index, and indices below `tasks` can only be claimed
+            // while the caller of `run` is still blocked in
+            // `wait_drained` (it exhausts the counter itself before
+            // checking), so `f` is alive for the whole call.
+            let f = unsafe { &*self.f };
+            f(i);
+        }));
+        if outcome.is_err() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut active = self.active.lock().expect("pool lock poisoned");
+        *active -= 1;
+        if *active == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until every task index has been claimed and no lane is
+    /// still executing the closure — the point after which `f` can be
+    /// invalidated. Lane jobs still sitting in the queue are not waited
+    /// for: once they run they observe the exhausted counter and exit
+    /// without touching `f`.
+    fn wait_drained(&self) {
+        let mut active = self.active.lock().expect("pool lock poisoned");
+        while *active > 0 || self.next.load(Ordering::SeqCst) < self.tasks {
+            active = self.drained.wait(active).expect("pool lock poisoned");
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    IN_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        // Hold the lock only while waiting for the next job.
+        let job = {
+            let rx = rx.lock().expect("pool receiver poisoned");
+            match rx.recv() {
+                Ok(j) => j,
+                Err(_) => return, // pool dropped
+            }
+        };
+        job();
+    }
+}
+
+/// The shared process-wide pool, created on first use.
+///
+/// Its size defaults to `available_parallelism() − 1` workers (the caller
+/// of [`ThreadPool::run`] is the remaining lane) and can be pinned with
+/// the `PRIVEHD_POOL_THREADS` environment variable (total lane count;
+/// `1` forces fully inline execution).
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let lanes = std::env::var("PRIVEHD_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            });
+        ThreadPool::new(lanes.saturating_sub(1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = ThreadPool::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run(10, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_task_order() {
+        let pool = ThreadPool::new(2);
+        let out = pool.map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = ThreadPool::new(2);
+        for round in 1..=5u64 {
+            let sum = AtomicU64::new(0);
+            pool.run(64, |i| {
+                sum.fetch_add(round * i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), round * (63 * 64 / 2));
+        }
+    }
+
+    #[test]
+    fn panicking_task_propagates_after_all_lanes_finish() {
+        let pool = ThreadPool::new(2);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&completed);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(32, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                seen.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a panicked run.
+        let sum = AtomicU64::new(0);
+        pool.run(8, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn finished_run_is_not_blocked_by_another_runs_stragglers() {
+        use std::time::{Duration, Instant};
+        // One worker, occupied by a slow run from another thread: a fast
+        // run whose caller drains its own counter must return without
+        // waiting for its queued lane job to surface behind the slow one.
+        let pool = Arc::new(ThreadPool::new(1));
+        let slow_pool = Arc::clone(&pool);
+        let slow = std::thread::spawn(move || {
+            slow_pool.run(2, |_| std::thread::sleep(Duration::from_millis(300)));
+        });
+        std::thread::sleep(Duration::from_millis(50)); // worker grabs the slow lane
+        let start = Instant::now();
+        pool.run(4, |_| {});
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "fast run stalled behind the slow run's queued lane job"
+        );
+        slow.join().unwrap();
+    }
+
+    #[test]
+    fn nested_run_executes_inline_without_deadlock() {
+        let pool = ThreadPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.run(8, |_outer| {
+            // A nested run from inside a pool task must not queue jobs
+            // (all workers could be blocked in WaitGuards) — it runs
+            // inline on whichever lane issued it.
+            pool.run(4, |_inner| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+    }
+}

@@ -175,4 +175,162 @@ proptest! {
         let err = mse(&snapped, rec.features()).unwrap();
         prop_assert!(err < 0.05, "mse = {err}");
     }
+
+    // --- Kernel ↔ reference parity ---------------------------------------
+    //
+    // The tuned paths of `privehd_core::kernels` must agree with the
+    // retained naive implementations: bit-exactly where the arithmetic
+    // is integer (level encode), and within 1e-9 absolute where only
+    // floating-point summation order differs (scalar encode, dots).
+    // Dimensions are drawn around word boundaries on purpose so the
+    // tail-word masking is always exercised.
+
+    #[test]
+    fn scalar_encode_kernel_matches_reference(
+        values in prop::collection::vec(0.0f64..1.0, 1..40),
+        dim in 1usize..200,
+        levels in 2usize..300,
+        seed in 0u64..50,
+    ) {
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(values.len(), dim).with_levels(levels).with_seed(seed),
+        ).unwrap();
+        let fast = enc.encode(&values).unwrap();
+        let naive = enc.encode_reference(&values).unwrap();
+        prop_assert_eq!(fast.dim(), naive.dim());
+        for j in 0..dim {
+            prop_assert!((fast[j] - naive[j]).abs() < 1e-9, "dim {}: {} vs {}", j, fast[j], naive[j]);
+        }
+    }
+
+    #[test]
+    fn scalar_encode_kernel_handles_all_zero_input(
+        features in 1usize..30,
+        dim in 1usize..200,
+        seed in 0u64..50,
+    ) {
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(features, dim).with_seed(seed),
+        ).unwrap();
+        let zeros = vec![0.0; features];
+        let h = enc.encode(&zeros).unwrap();
+        prop_assert_eq!(h, Hypervector::zeros(dim).unwrap());
+    }
+
+    #[test]
+    fn level_encode_kernel_bit_matches_reference(
+        values in prop::collection::vec(0.0f64..1.0, 1..40),
+        dim in 1usize..200,
+        levels in 2usize..64,
+        seed in 0u64..50,
+    ) {
+        let enc = LevelEncoder::new(
+            EncoderConfig::new(values.len(), dim).with_levels(levels).with_seed(seed),
+        ).unwrap();
+        let fast = enc.encode(&values).unwrap();
+        let naive = enc.encode_reference(&values).unwrap();
+        // All-integer arithmetic on both paths → exact equality.
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn predict_kernel_matches_reference(
+        dim in 1usize..200,
+        num_classes in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        // Deterministic pseudo-random model + query from the seed.
+        let classes: Vec<Hypervector> = (0..num_classes)
+            .map(|c| Hypervector::from_vec(
+                (0..dim).map(|j| (((seed as usize + c * 131 + j) as f64) * 0.7).sin()).collect(),
+            ))
+            .collect();
+        let model = HdModel::from_classes(classes).unwrap();
+        let query = Hypervector::from_vec(
+            (0..dim).map(|j| (((seed as usize + j) as f64) * 0.3).cos()).collect(),
+        );
+        let fast = model.predict(&query).unwrap();
+        let naive = model.predict_reference(&query).unwrap();
+        prop_assert_eq!(fast.scores.len(), naive.scores.len());
+        for (a, b) in fast.scores.iter().zip(&naive.scores) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+        // Scores agree to 1e-9, so the argmax can only differ on a
+        // genuine near-tie; accept either label but require the winning
+        // scores to coincide.
+        prop_assert!((fast.score - naive.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_kernel_single_class_model(dim in 1usize..200, seed in 0u64..50) {
+        let class = Hypervector::from_vec(
+            (0..dim).map(|j| (((seed as usize + j) as f64) * 0.9).sin() + 0.01).collect(),
+        );
+        let model = HdModel::from_classes(vec![class]).unwrap();
+        let query = Hypervector::from_vec(vec![1.0; dim]);
+        let fast = model.predict(&query).unwrap();
+        let naive = model.predict_reference(&query).unwrap();
+        prop_assert_eq!(fast.class, 0);
+        prop_assert_eq!(naive.class, 0);
+        prop_assert!((fast.score - naive.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_batch_kernel_bit_matches_predict(
+        dim in 1usize..150,
+        n_queries in 1usize..40,
+        seed in 0u64..20,
+    ) {
+        let classes: Vec<Hypervector> = (0..3)
+            .map(|c| Hypervector::from_vec(
+                (0..dim).map(|j| (((seed as usize + c * 17 + j) as f64) * 0.5).sin()).collect(),
+            ))
+            .collect();
+        let model = HdModel::from_classes(classes).unwrap();
+        let queries: Vec<Hypervector> = (0..n_queries)
+            .map(|q| Hypervector::from_vec(
+                (0..dim).map(|j| (((q * 37 + j) as f64) * 0.2).cos()).collect(),
+            ))
+            .collect();
+        let batched = model.predict_batch(&queries).unwrap();
+        for (q, b) in queries.iter().zip(&batched) {
+            // The blocked tile path must be *bit-identical* to predict.
+            prop_assert_eq!(&model.predict(q).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn packed_predict_kernel_matches_dense_scores(
+        dim in 1usize..200,
+        seed in 0u64..50,
+    ) {
+        let classes: Vec<Hypervector> = (0..3)
+            .map(|c| Hypervector::from_vec(
+                (0..dim).map(|j| (((seed as usize + c * 31 + j) as f64) * 1.1).sin()).collect(),
+            ))
+            .collect();
+        let model = HdModel::from_classes(classes).unwrap();
+        let packed = BipolarHv::random(dim, seed);
+        let fast = model.predict_packed(&packed).unwrap();
+        let dense = model.predict(&packed.to_dense()).unwrap();
+        for (a, b) in fast.scores.iter().zip(&dense.scores) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn zero_norm_classes_score_neg_infinity(dim in 1usize..100, seed in 0u64..50) {
+        // One trained class, one never-trained (all-zero) class: the
+        // documented NEG_INFINITY sentinel, never the old f64::MIN.
+        let trained = Hypervector::from_vec(
+            (0..dim).map(|j| (((seed as usize + j) as f64) * 0.63).sin() + 0.01).collect(),
+        );
+        let zero = Hypervector::zeros(dim).unwrap();
+        let model = HdModel::from_classes(vec![trained, zero]).unwrap();
+        let query = Hypervector::from_vec(vec![1.0; dim]);
+        for p in [model.predict(&query).unwrap(), model.predict_reference(&query).unwrap()] {
+            prop_assert_eq!(p.scores[1], f64::NEG_INFINITY);
+            prop_assert_eq!(p.class, 0);
+        }
+    }
 }

@@ -70,13 +70,23 @@ impl ClientEdge {
         Ok(self.obfuscator.obfuscate(&encoded)?)
     }
 
-    /// Prepares a batch of feature vectors.
+    /// Prepares a batch of feature vectors: the whole batch is encoded
+    /// through [`Encoder::encode_batch`] (which fans out over the
+    /// persistent `privehd_core` worker pool), then obfuscated.
     ///
     /// # Errors
     ///
-    /// Propagates the first preparation error.
+    /// Propagates the first *encoding* error (in input order), then the
+    /// first *obfuscation* error — the two phases run batch-wide, not
+    /// interleaved per input. (For a constructed `ClientEdge` the
+    /// obfuscator is sized to the encoder, so in practice only encoding
+    /// errors occur.)
     pub fn prepare_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Hypervector>, ServeError> {
-        inputs.iter().map(|x| self.prepare(x)).collect()
+        let encoded = self.encoder.encode_batch(inputs)?;
+        encoded
+            .iter()
+            .map(|h| Ok(self.obfuscator.obfuscate(h)?))
+            .collect()
     }
 
     /// Number of input features the edge expects.

@@ -407,6 +407,10 @@ fn run_worker(
     }
 }
 
+/// Batches at least this large additionally fan their per-request
+/// classification out over the persistent `privehd_core` worker pool.
+const POOL_FANOUT_MIN: usize = 16;
+
 fn execute_batch(
     batch: Vec<Request>,
     registry: &ModelRegistry,
@@ -418,7 +422,12 @@ fn execute_batch(
     // One snapshot per batch: a concurrent publish affects later
     // batches, never this one.
     let snapshot = registry.current();
-    for request in batch {
+
+    // Classification stays per-request (so one bad query fails only its
+    // own reply), and each reply is sent — and its latency measured —
+    // the moment its own classification finishes, whether that happens
+    // on this worker or on a pool lane.
+    let serve_one = |request: &Request| {
         let outcome: Result<Prediction, ServeError> = match &snapshot {
             None => Err(ServeError::NoModel),
             Some(served) => {
@@ -443,6 +452,15 @@ fn execute_batch(
         // A submitter that dropped its PendingPrediction is not an
         // engine error; ignore the closed reply channel.
         let _ = request.reply.send(reply);
+    };
+
+    let pool = privehd_core::pool::global();
+    if size >= POOL_FANOUT_MIN && pool.threads() > 0 {
+        pool.run(size, |i| serve_one(&batch[i]));
+    } else {
+        for request in &batch {
+            serve_one(request);
+        }
     }
 }
 

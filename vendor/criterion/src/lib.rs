@@ -2,10 +2,12 @@
 //! benches use. It is a real (if simple) measurement harness: each
 //! benchmark is warmed up, then timed over `sample_size` samples of
 //! adaptively-chosen iteration counts, and the median time per
-//! iteration is printed — with derived element throughput when
-//! [`Throughput::Elements`] is set. Statistical machinery (outlier
-//! analysis, HTML reports, regression detection) is intentionally
-//! absent; swap in the real `criterion` when registry access exists.
+//! iteration is printed together with the sample mean ± standard
+//! deviation (so noisy runs are visible at a glance) — with derived
+//! element throughput when [`Throughput::Elements`] is set. Heavier
+//! statistical machinery (outlier analysis, HTML reports, regression
+//! detection) is intentionally absent; swap in the real `criterion`
+//! when registry access exists.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -174,12 +176,21 @@ where
     let median = per_iter_ns[per_iter_ns.len() / 2];
     let lo = per_iter_ns[0];
     let hi = per_iter_ns[per_iter_ns.len() - 1];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let stddev = (per_iter_ns
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / per_iter_ns.len() as f64)
+        .sqrt();
 
     let mut line = format!(
-        "{id:<48} time: [{} {} {}]",
+        "{id:<48} time: [{} {} {}]  mean: {} ± {}",
         fmt_ns(lo),
         fmt_ns(median),
-        fmt_ns(hi)
+        fmt_ns(hi),
+        fmt_ns(mean),
+        fmt_ns(stddev)
     );
     if let Some(tp) = throughput {
         let (count, unit) = match tp {

@@ -16,7 +16,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use privehd_core::prelude::*;
 use privehd_core::Hypervector;
-use privehd_serve::{ModelRegistry, ServeConfig, ServeEngine};
+use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine, ShardedRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,30 +45,7 @@ fn queries(seed: u64, n: usize) -> Vec<Hypervector> {
 /// Pumps `queries` through `engine` with a bounded in-flight window and
 /// waits for every response.
 fn pump(engine: &ServeEngine, queries: &[Hypervector]) {
-    let mut pending = std::collections::VecDeque::with_capacity(IN_FLIGHT);
-    for q in queries {
-        if pending.len() == IN_FLIGHT {
-            let p: privehd_serve::PendingPrediction = pending.pop_front().expect("non-empty");
-            p.wait().expect("prediction");
-        }
-        loop {
-            match engine.submit(q.clone()) {
-                Ok(p) => {
-                    pending.push_back(p);
-                    break;
-                }
-                Err(privehd_serve::ServeError::QueueFull) => {
-                    if let Some(p) = pending.pop_front() {
-                        p.wait().expect("prediction");
-                    }
-                }
-                Err(e) => panic!("submit failed: {e}"),
-            }
-        }
-    }
-    for p in pending {
-        p.wait().expect("prediction");
-    }
+    pump_tenants(engine, queries, std::slice::from_ref(&ModelId::default()));
 }
 
 fn bench_serving_batch_sizes(c: &mut Criterion) {
@@ -91,6 +68,69 @@ fn bench_serving_batch_sizes(c: &mut Criterion) {
             &max_batch,
             |b, _| b.iter(|| pump(&engine, &qs)),
         );
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+/// Like [`pump`] but spreads the queries round-robin over `tenants` via
+/// the per-model submission path.
+fn pump_tenants(engine: &ServeEngine, queries: &[Hypervector], tenants: &[ModelId]) {
+    let mut pending = std::collections::VecDeque::with_capacity(IN_FLIGHT);
+    for (i, q) in queries.iter().enumerate() {
+        let id = &tenants[i % tenants.len()];
+        if pending.len() == IN_FLIGHT {
+            let p: privehd_serve::PendingPrediction = pending.pop_front().expect("non-empty");
+            p.wait().expect("prediction");
+        }
+        loop {
+            match engine.submit_to(id, q.clone()) {
+                Ok(p) => {
+                    pending.push_back(p);
+                    break;
+                }
+                Err(privehd_serve::ServeError::QueueFull) => {
+                    if let Some(p) = pending.pop_front() {
+                        p.wait().expect("prediction");
+                    }
+                }
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+    }
+    for p in pending {
+        p.wait().expect("prediction");
+    }
+}
+
+fn bench_multi_tenant_serving(c: &mut Criterion) {
+    // Per-model batching cost as the same total traffic spreads over
+    // more tenants: with T tenants each batch holds ~1/T of the window,
+    // so this measures the routing + smaller-batch overhead.
+    let model = synthetic_model(7);
+    let qs = queries(8, QUERIES_PER_ITER);
+    let mut group = c.benchmark_group("serve_tenants");
+    group.throughput(Throughput::Elements(QUERIES_PER_ITER as u64));
+    for tenants in [1usize, 4, 16] {
+        let registry = Arc::new(ShardedRegistry::new());
+        let ids: Vec<ModelId> = (0..tenants)
+            .map(|t| ModelId::new(format!("tenant-{t}")))
+            .collect();
+        for id in &ids {
+            registry
+                .publish(id, model.clone(), "bench")
+                .expect("publishable");
+        }
+        let config = ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            queue_depth: 4_096,
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::start_sharded(registry, config).expect("engine");
+        group.bench_with_input(BenchmarkId::from_parameter(tenants), &tenants, |b, _| {
+            b.iter(|| pump_tenants(&engine, &qs, &ids))
+        });
         engine.shutdown();
     }
     group.finish();
@@ -136,6 +176,7 @@ fn bench_packed_fastpath(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serving_batch_sizes, bench_predict_batch_api, bench_packed_fastpath
+    targets = bench_serving_batch_sizes, bench_multi_tenant_serving, bench_predict_batch_api,
+        bench_packed_fastpath
 );
 criterion_main!(benches);

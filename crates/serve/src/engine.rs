@@ -1,33 +1,48 @@
-//! The serving engine: bounded submission queue, adaptive micro-batcher,
-//! worker pool.
+//! The serving engine: bounded submission queue, adaptive per-model
+//! micro-batcher, worker pool.
 //!
 //! ```text
 //!  clients ──try_send──▶ [bounded MPSC queue]
-//!                              │  batcher thread: flush on max_batch
-//!                              ▼                  or max_delay
-//!                         [batch channel]
+//!            (ModelId,        │  batcher thread: per-model batches,
+//!             query)          │  flush on max_batch or max_delay per key
+//!                             ▼
+//!                        [batch channel]   (one ModelId per batch)
 //!                          │    │    │   worker pool (shared receiver)
 //!                          ▼    ▼    ▼
-//!                        predict over the registry's live snapshot
+//!                        predict over the batch's model snapshot
 //!                          │
 //!                          ▼  per-request oneshot channel
 //!                        ServedPrediction / ServeError
 //! ```
 //!
-//! Batching is *adaptive*: the batcher first drains whatever is already
-//! queued (so a saturated queue forms full batches with zero added
-//! latency), and only waits — up to [`ServeConfig::max_delay`], anchored
-//! at the batch's first request — when the queue runs dry. Under light
-//! load batches stay small and latency stays near the single-query
-//! cost; under heavy load batches grow to [`ServeConfig::max_batch`]
-//! and throughput dominates.
+//! Batching is *adaptive*: requests already queued accumulate into
+//! batches with zero added latency (so a saturated queue forms full
+//! batches), and a partially filled batch waits at most
+//! [`ServeConfig::max_delay`], anchored at its first request. With many
+//! models behind one engine ([`ServeEngine::start_sharded`]),
+//! accumulation is keyed per [`ModelId`]: each model gets its own
+//! delay window and its own `max_batch` cutoff, and every dispatched
+//! batch holds requests for exactly one model, resolved against one
+//! registry snapshot at dispatch time. A hot swap
+//! ([`ModelRegistry::publish`] / [`ShardedRegistry::publish`]) never
+//! drops or corrupts in-flight requests — they complete on the version
+//! that was live when their batch started.
 //!
-//! Every batch executes against one registry snapshot taken at dispatch
-//! time, so a hot swap ([`ModelRegistry::publish`]) never drops or
-//! corrupts in-flight requests — they complete on the version that was
-//! live when their batch started.
+//! ## Shutdown contract
+//!
+//! [`ServeEngine::shutdown`] (and `Drop`) first marks the engine
+//! closed — subsequent [`SubmitHandle::submit`] calls return
+//! [`ServeError::Closed`] — then sends the batcher an explicit stop
+//! signal. The batcher drains whatever was accepted before the stop,
+//! flushes every open batch, and exits; workers finish the remaining
+//! batches and exit. Shutdown therefore completes even while clones of
+//! [`SubmitHandle`] are still alive on other threads (they used to keep
+//! the batcher blocked on its channel forever). A request that loses
+//! the race with shutdown is answered with [`ServeError::Closed`]
+//! through its [`PendingPrediction`].
 
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -36,16 +51,18 @@ use privehd_core::{BipolarHv, Hypervector, Prediction};
 
 use crate::error::ServeError;
 use crate::metrics::{ServeMetrics, ServeReport};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+use crate::router::BatchRouter;
 
 /// Tuning knobs of the serving engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Largest batch dispatched to a worker; reaching it flushes
-    /// immediately.
+    /// Largest batch dispatched to a worker; reaching it flushes that
+    /// model's batch immediately.
     pub max_batch: usize,
-    /// Longest a queued request waits for co-batched company before the
-    /// batcher flushes anyway (anchored at the batch's first request).
+    /// Longest a queued request waits for co-batched company (of its
+    /// own model) before the batcher flushes anyway, anchored at the
+    /// batch's first request.
     pub max_delay: Duration,
     /// Worker threads executing batches.
     pub workers: usize,
@@ -96,6 +113,8 @@ impl ServeConfig {
 pub struct ServedPrediction {
     /// The classification result.
     pub prediction: Prediction,
+    /// The model this request was routed to.
+    pub model: ModelId,
     /// Registry version of the model that served this request.
     pub model_version: u64,
     /// Size of the batch this request rode in.
@@ -104,11 +123,48 @@ pub struct ServedPrediction {
     pub latency: Duration,
 }
 
-/// One queued request: the query plus its response channel.
+/// One queued request: the target model, the query, and its response
+/// channel.
 struct Request {
+    model: ModelId,
     query: Hypervector,
     submitted_at: Instant,
     reply: SyncSender<Result<ServedPrediction, ServeError>>,
+}
+
+/// What flows through the submission queue: requests, or the engine's
+/// shutdown signal (which lets the batcher exit even while cloned
+/// [`SubmitHandle`]s keep their channel ends alive).
+enum Msg {
+    Request(Request),
+    Stop,
+}
+
+/// One dispatched batch: requests for exactly one model.
+struct ModelBatch {
+    model: ModelId,
+    requests: Vec<Request>,
+}
+
+/// Where workers resolve a batch's model snapshot.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// The legacy single-model registry; only [`ModelId::default`]
+    /// resolves.
+    Single(Arc<ModelRegistry>),
+    /// The multi-tenant sharded registry; any published id resolves.
+    Sharded(Arc<ShardedRegistry>),
+}
+
+impl Backend {
+    fn resolve(&self, model: &ModelId) -> Option<Arc<ServedModel>> {
+        match self {
+            Backend::Single(r) => (model.as_str() == ModelId::DEFAULT_NAME)
+                .then(|| r.current())
+                .flatten(),
+            Backend::Sharded(s) => s.get(model),
+        }
+    }
 }
 
 /// A submitted request's future result.
@@ -134,41 +190,62 @@ impl PendingPrediction {
 
 /// A cloneable, `Send` submission handle for multi-threaded clients.
 ///
-/// The engine's batcher runs as long as any handle (or the engine
-/// itself) is alive; drop all handles before expecting
-/// [`ServeEngine::shutdown`] to complete.
+/// Handles stay valid across [`ServeEngine::shutdown`]: submissions
+/// after shutdown simply return [`ServeError::Closed`] (they no longer
+/// block shutdown itself).
 #[derive(Debug, Clone)]
 pub struct SubmitHandle {
-    tx: SyncSender<Request>,
+    tx: SyncSender<Msg>,
     metrics: Arc<ServeMetrics>,
+    closed: Arc<AtomicBool>,
 }
 
 impl SubmitHandle {
-    /// Submits a query; see [`ServeEngine::submit`].
+    /// Submits a query to the default model; see [`ServeEngine::submit`].
     ///
     /// # Errors
     ///
     /// [`ServeError::QueueFull`] when the bounded queue is at capacity,
     /// [`ServeError::Closed`] when the engine has shut down.
     pub fn submit(&self, query: Hypervector) -> Result<PendingPrediction, ServeError> {
-        submit_via(&self.tx, &self.metrics, query)
+        self.submit_to(&ModelId::default(), query)
+    }
+
+    /// Submits a query routed to `model`; see
+    /// [`ServeEngine::submit_to`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SubmitHandle::submit`].
+    pub fn submit_to(
+        &self,
+        model: &ModelId,
+        query: Hypervector,
+    ) -> Result<PendingPrediction, ServeError> {
+        submit_via(&self.tx, &self.metrics, &self.closed, model, query)
     }
 }
 
 fn submit_via(
-    tx: &SyncSender<Request>,
+    tx: &SyncSender<Msg>,
     metrics: &ServeMetrics,
+    closed: &AtomicBool,
+    model: &ModelId,
     query: Hypervector,
 ) -> Result<PendingPrediction, ServeError> {
+    if closed.load(Ordering::Acquire) {
+        return Err(ServeError::Closed);
+    }
     let (reply, rx) = mpsc::sync_channel(1);
     let request = Request {
+        model: model.clone(),
         query,
         submitted_at: Instant::now(),
         reply,
     };
-    match tx.try_send(request) {
+    match tx.try_send(Msg::Request(request)) {
         Ok(()) => {
-            metrics.on_submit();
+            metrics.on_submit(model);
             Ok(PendingPrediction { rx })
         }
         Err(TrySendError::Full(_)) => {
@@ -180,9 +257,11 @@ fn submit_via(
 }
 
 /// The running serving engine. See the [module docs](self) for the
-/// pipeline layout.
+/// pipeline layout and the shutdown contract.
 ///
 /// # Examples
+///
+/// Single model (the legacy API — routes to [`ModelId::default`]):
 ///
 /// ```
 /// use std::sync::Arc;
@@ -204,10 +283,39 @@ fn submit_via(
 /// # Ok(())
 /// # }
 /// ```
+///
+/// Many models behind one engine, routed per submission:
+///
+/// ```
+/// use std::sync::Arc;
+/// use privehd_core::{HdModel, Hypervector};
+/// use privehd_serve::{ModelId, ServeConfig, ServeEngine, ShardedRegistry};
+///
+/// # fn main() -> Result<(), privehd_serve::ServeError> {
+/// let mut model = HdModel::new(2, 64)?;
+/// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
+/// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
+///
+/// let registry = Arc::new(ShardedRegistry::new());
+/// let tenant = ModelId::new("tenant-a");
+/// registry.publish(&tenant, model, "a-v1")?;
+///
+/// let engine = ServeEngine::start_sharded(registry, ServeConfig::default())?;
+/// let served = engine
+///     .submit_to(&tenant, Hypervector::from_vec(vec![-1.0; 64]))?
+///     .wait()?;
+/// assert_eq!(served.prediction.class, 1);
+/// assert_eq!(served.model, tenant);
+/// let report = engine.shutdown();
+/// assert_eq!(report.per_model.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct ServeEngine {
-    tx: Option<SyncSender<Request>>,
-    registry: Arc<ModelRegistry>,
+    tx: Option<SyncSender<Msg>>,
+    closed: Arc<AtomicBool>,
+    backend: Backend,
     metrics: Arc<ServeMetrics>,
     started_at: Instant,
     batcher: Option<JoinHandle<()>>,
@@ -215,17 +323,36 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Spawns the batcher and worker threads and starts accepting
-    /// submissions.
+    /// Spawns the batcher and worker threads serving the single-model
+    /// `registry`; submissions route to [`ModelId::default`].
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for zero-valued knobs.
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Self, ServeError> {
+        Self::start_backend(Backend::Single(registry), config)
+    }
+
+    /// Spawns the batcher and worker threads serving every model of a
+    /// multi-tenant [`ShardedRegistry`]; route submissions with
+    /// [`ServeEngine::submit_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero-valued knobs.
+    pub fn start_sharded(
+        registry: Arc<ShardedRegistry>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        Self::start_backend(Backend::Sharded(registry), config)
+    }
+
+    fn start_backend(backend: Backend, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let metrics = Arc::new(ServeMetrics::new());
-        let (tx, submit_rx) = mpsc::sync_channel::<Request>(config.queue_depth);
-        let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<Request>>(config.workers * 2);
+        let closed = Arc::new(AtomicBool::new(false));
+        let (tx, submit_rx) = mpsc::sync_channel::<Msg>(config.queue_depth);
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<ModelBatch>(config.workers * 2);
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
         let batcher_cfg = config.clone();
@@ -237,19 +364,20 @@ impl ServeEngine {
         let workers = (0..config.workers)
             .map(|i| {
                 let rx = Arc::clone(&batch_rx);
-                let registry = Arc::clone(&registry);
+                let backend = backend.clone();
                 let metrics = Arc::clone(&metrics);
                 let packed = config.packed_fastpath;
                 std::thread::Builder::new()
                     .name(format!("privehd-worker-{i}"))
-                    .spawn(move || run_worker(&rx, &registry, &metrics, packed))
+                    .spawn(move || run_worker(&rx, &backend, &metrics, packed))
                     .expect("failed to spawn worker thread")
             })
             .collect();
 
         Ok(Self {
             tx: Some(tx),
-            registry,
+            closed,
+            backend,
             metrics,
             started_at: Instant::now(),
             batcher: Some(batcher),
@@ -257,7 +385,8 @@ impl ServeEngine {
         })
     }
 
-    /// Submits one query for batched classification.
+    /// Submits one query for batched classification by the default
+    /// model.
     ///
     /// # Errors
     ///
@@ -265,11 +394,32 @@ impl ServeEngine {
     /// (shed load, retry with backoff), [`ServeError::Closed`] after
     /// shutdown.
     pub fn submit(&self, query: Hypervector) -> Result<PendingPrediction, ServeError> {
-        let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
-        submit_via(tx, &self.metrics, query)
+        self.submit_to(&ModelId::default(), query)
     }
 
-    /// Convenience: submit and block for the result.
+    /// Submits one query routed to `model`. Requests for different
+    /// models accumulate in separate batches; a model nobody published
+    /// answers with [`ServeError::NoModel`] through the
+    /// [`PendingPrediction`].
+    ///
+    /// On an engine started with [`ServeEngine::start`] only
+    /// [`ModelId::default`] resolves; every other id reports
+    /// [`ServeError::NoModel`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServeEngine::submit`].
+    pub fn submit_to(
+        &self,
+        model: &ModelId,
+        query: Hypervector,
+    ) -> Result<PendingPrediction, ServeError> {
+        let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
+        submit_via(tx, &self.metrics, &self.closed, model, query)
+    }
+
+    /// Convenience: submit to the default model and block for the
+    /// result.
     ///
     /// # Errors
     ///
@@ -277,6 +427,20 @@ impl ServeEngine {
     /// [`PendingPrediction::wait`] errors.
     pub fn predict(&self, query: Hypervector) -> Result<ServedPrediction, ServeError> {
         self.submit(query)?.wait()
+    }
+
+    /// Convenience: submit to `model` and block for the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeEngine::submit_to`] and
+    /// [`PendingPrediction::wait`] errors.
+    pub fn predict_for(
+        &self,
+        model: &ModelId,
+        query: Hypervector,
+    ) -> Result<ServedPrediction, ServeError> {
+        self.submit_to(model, query)?.wait()
     }
 
     /// A cloneable submission handle for client threads.
@@ -287,12 +451,26 @@ impl ServeEngine {
                 .clone()
                 .expect("engine not shut down while handles are being created"),
             metrics: Arc::clone(&self.metrics),
+            closed: Arc::clone(&self.closed),
         }
     }
 
-    /// The model registry this engine serves from.
-    pub fn registry(&self) -> &Arc<ModelRegistry> {
-        &self.registry
+    /// The single-model registry this engine serves from, or `None`
+    /// when it was started with [`ServeEngine::start_sharded`].
+    pub fn registry(&self) -> Option<&Arc<ModelRegistry>> {
+        match &self.backend {
+            Backend::Single(r) => Some(r),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded registry this engine serves from, or `None` when it
+    /// was started with [`ServeEngine::start`].
+    pub fn sharded_registry(&self) -> Option<&Arc<ShardedRegistry>> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(s) => Some(s),
+        }
     }
 
     /// Live serving counters.
@@ -305,18 +483,30 @@ impl ServeEngine {
         self.metrics.report(self.started_at.elapsed())
     }
 
-    /// Stops accepting submissions, drains every queued request, joins
+    /// Stops accepting submissions, drains the queued requests, joins
     /// all threads and returns the final report.
     ///
-    /// Outstanding [`SubmitHandle`]s keep the batcher alive until they
-    /// are dropped; this call blocks until then.
+    /// Completes even while cloned [`SubmitHandle`]s are still alive;
+    /// their later submissions return [`ServeError::Closed`]. A submit
+    /// racing this call may be accepted yet land after the drain; such
+    /// a request is answered [`ServeError::Closed`] through its
+    /// [`PendingPrediction`] and counts as submitted but neither
+    /// completed nor failed in the report.
     pub fn shutdown(mut self) -> ServeReport {
         self.join_threads();
         self.metrics.report(self.started_at.elapsed())
     }
 
     fn join_threads(&mut self) {
-        drop(self.tx.take());
+        self.closed.store(true, Ordering::Release);
+        if let Some(tx) = self.tx.take() {
+            // Explicit stop signal: the batcher exits on it even while
+            // cloned SubmitHandles keep the channel's sender side open.
+            // `send` (not `try_send`) so a full queue delays the signal
+            // instead of dropping it; the batcher is draining on the
+            // other end. An Err means the batcher is already gone.
+            let _ = tx.send(Msg::Stop);
+        }
         if let Some(b) = self.batcher.take() {
             b.join().expect("batcher thread panicked");
         }
@@ -332,64 +522,87 @@ impl Drop for ServeEngine {
     }
 }
 
-/// Batcher loop: accumulate up to `max_batch` requests, flushing early
-/// once `max_delay` has passed since the batch's first request.
-fn run_batcher(
-    submit_rx: &Receiver<Request>,
-    batch_tx: &SyncSender<Vec<Request>>,
-    config: &ServeConfig,
-) {
-    loop {
-        // Block for the request that opens the next batch.
-        let first = match submit_rx.recv() {
-            Ok(r) => r,
-            Err(_) => return, // every submitter is gone
-        };
-        let deadline = Instant::now() + config.max_delay;
-        let mut batch = Vec::with_capacity(config.max_batch);
-        batch.push(first);
-        let mut disconnected = false;
+/// Batcher loop: accumulate per-model batches, flushing a model's batch
+/// once it holds `max_batch` requests or `max_delay` has passed since
+/// its first request. Exits on [`Msg::Stop`] (after draining what was
+/// already queued) or when every sender is gone.
+fn run_batcher(submit_rx: &Receiver<Msg>, batch_tx: &SyncSender<ModelBatch>, config: &ServeConfig) {
+    let mut router: BatchRouter<Request> = BatchRouter::new(config.max_batch, config.max_delay);
 
-        // Adaptive fill: drain what is already queued for free, then
-        // wait out the remaining delay budget only if there is room.
-        while batch.len() < config.max_batch {
-            match submit_rx.try_recv() {
-                Ok(r) => batch.push(r),
-                Err(mpsc::TryRecvError::Empty) => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
+    let route = |router: &mut BatchRouter<Request>, request: Request| -> Option<ModelBatch> {
+        let model = request.model.clone();
+        router
+            .push(model, request, Instant::now())
+            .map(|(model, requests)| ModelBatch { model, requests })
+    };
+
+    loop {
+        // Idle: block indefinitely. Batches open: block until the
+        // earliest per-model deadline.
+        let msg = match router.next_deadline() {
+            None => match submit_rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break, // engine and every handle dropped
+            },
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    None
+                } else {
                     match submit_rx.recv_timeout(deadline - now) {
-                        Ok(r) => batch.push(r),
-                        Err(mpsc::RecvTimeoutError::Timeout) => break,
-                        Err(mpsc::RecvTimeoutError::Disconnected) => {
-                            disconnected = true;
-                            break;
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }
+        };
+        match msg {
+            Some(Msg::Request(request)) => {
+                if let Some(batch) = route(&mut router, request) {
+                    if batch_tx.send(batch).is_err() {
+                        return; // workers are gone; nothing more to do
+                    }
+                }
+            }
+            Some(Msg::Stop) => {
+                // Shutdown: drain requests accepted before the stop,
+                // then exit. Anything submitted after the batcher is
+                // gone is answered Closed (its reply channel drops with
+                // the queue).
+                while let Ok(m) = submit_rx.try_recv() {
+                    if let Msg::Request(request) = m {
+                        if let Some(batch) = route(&mut router, request) {
+                            if batch_tx.send(batch).is_err() {
+                                return;
+                            }
                         }
                     }
                 }
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    disconnected = true;
-                    break;
+                break;
+            }
+            None => {
+                for (model, requests) in router.take_expired(Instant::now()) {
+                    if batch_tx.send(ModelBatch { model, requests }).is_err() {
+                        return;
+                    }
                 }
             }
         }
-
-        if batch_tx.send(batch).is_err() {
-            return; // workers are gone; nothing more to do
-        }
-        if disconnected {
+    }
+    // Flush every still-open batch before exiting.
+    for (model, requests) in router.drain() {
+        if batch_tx.send(ModelBatch { model, requests }).is_err() {
             return;
         }
     }
 }
 
 /// Worker loop: pull one batch at a time off the shared channel and
-/// execute it against the current registry snapshot.
+/// execute it against its model's current snapshot.
 fn run_worker(
-    batch_rx: &Arc<Mutex<Receiver<Vec<Request>>>>,
-    registry: &ModelRegistry,
+    batch_rx: &Arc<Mutex<Receiver<ModelBatch>>>,
+    backend: &Backend,
     metrics: &ServeMetrics,
     packed_fastpath: bool,
 ) {
@@ -403,7 +616,7 @@ fn run_worker(
                 Err(_) => return,
             }
         };
-        execute_batch(batch, registry, metrics, packed_fastpath);
+        execute_batch(batch, backend, metrics, packed_fastpath);
     }
 }
 
@@ -412,16 +625,20 @@ fn run_worker(
 const POOL_FANOUT_MIN: usize = 16;
 
 fn execute_batch(
-    batch: Vec<Request>,
-    registry: &ModelRegistry,
+    batch: ModelBatch,
+    backend: &Backend,
     metrics: &ServeMetrics,
     packed_fastpath: bool,
 ) {
-    let size = batch.len();
+    let ModelBatch { model, requests } = batch;
+    let size = requests.len();
     metrics.on_batch(size);
-    // One snapshot per batch: a concurrent publish affects later
-    // batches, never this one.
-    let snapshot = registry.current();
+    // One snapshot per batch: a concurrent publish (or withdraw) of
+    // this model affects later batches, never this one, and other
+    // models' batches resolve their own snapshots independently. The
+    // per-model metrics row is likewise fetched once per batch.
+    let snapshot = backend.resolve(&model);
+    let model_counters = metrics.model_counters(&model);
 
     // Classification stays per-request (so one bad query fails only its
     // own reply), and each reply is sent — and its latency measured —
@@ -431,20 +648,20 @@ fn execute_batch(
         let outcome: Result<Prediction, ServeError> = match &snapshot {
             None => Err(ServeError::NoModel),
             Some(served) => {
-                let model = served.model();
+                let m = served.model();
                 if packed_fastpath && is_strictly_bipolar(&request.query) {
-                    model
-                        .predict_packed(&BipolarHv::from_signs(request.query.as_slice()))
+                    m.predict_packed(&BipolarHv::from_signs(request.query.as_slice()))
                         .map_err(ServeError::Model)
                 } else {
-                    model.predict(&request.query).map_err(ServeError::Model)
+                    m.predict(&request.query).map_err(ServeError::Model)
                 }
             }
         };
         let latency = request.submitted_at.elapsed();
-        metrics.on_done(outcome.is_ok(), latency);
+        metrics.on_done(&model_counters, outcome.is_ok(), latency);
         let reply = outcome.map(|prediction| ServedPrediction {
             prediction,
+            model: model.clone(),
             model_version: snapshot.as_ref().map_or(0, |s| s.version),
             batch_size: size,
             latency,
@@ -456,9 +673,9 @@ fn execute_batch(
 
     let pool = privehd_core::pool::global();
     if size >= POOL_FANOUT_MIN && pool.threads() > 0 {
-        pool.run(size, |i| serve_one(&batch[i]));
+        pool.run(size, |i| serve_one(&requests[i]));
     } else {
-        for request in &batch {
+        for request in &requests {
             serve_one(request);
         }
     }
@@ -475,7 +692,7 @@ mod tests {
     use super::*;
     use privehd_core::HdModel;
 
-    fn registry(dim: usize) -> Arc<ModelRegistry> {
+    fn trained_model(dim: usize) -> HdModel {
         let mut model = HdModel::new(2, dim).unwrap();
         let up: Vec<f64> = (0..dim)
             .map(|j| if j % 2 == 0 { 2.0 } else { 1.0 })
@@ -483,7 +700,25 @@ mod tests {
         let down: Vec<f64> = up.iter().map(|v| -v).collect();
         model.bundle(0, &Hypervector::from_vec(up)).unwrap();
         model.bundle(1, &Hypervector::from_vec(down)).unwrap();
-        Arc::new(ModelRegistry::with_model(model, "test").unwrap())
+        model
+    }
+
+    fn registry(dim: usize) -> Arc<ModelRegistry> {
+        Arc::new(ModelRegistry::with_model(trained_model(dim), "test").unwrap())
+    }
+
+    /// A 2-class model: an all-positive query resolves to class
+    /// `positive_class`, so tenants with different layouts are
+    /// distinguishable by their answers.
+    fn oriented_model(dim: usize, positive_class: usize) -> HdModel {
+        let mut model = HdModel::new(2, dim).unwrap();
+        model
+            .bundle(positive_class, &Hypervector::from_vec(vec![1.0; dim]))
+            .unwrap();
+        model
+            .bundle(1 - positive_class, &Hypervector::from_vec(vec![-1.0; dim]))
+            .unwrap();
+        model
     }
 
     fn query(dim: usize, sign: f64) -> Hypervector {
@@ -522,6 +757,7 @@ mod tests {
         assert_eq!(a.prediction.class, 0);
         assert_eq!(b.prediction.class, 1);
         assert_eq!(a.model_version, 1);
+        assert_eq!(a.model, ModelId::default());
         assert!(a.batch_size >= 1);
         let report = engine.shutdown();
         assert_eq!(report.completed, 2);
@@ -656,5 +892,150 @@ mod tests {
         }
         let report = engine.shutdown();
         assert_eq!(report.completed, 100);
+    }
+
+    #[test]
+    fn shutdown_completes_with_a_live_handle() {
+        // Regression: shutdown used to join the batcher, which only
+        // exited when every cloned SubmitHandle was dropped — a live
+        // handle on another thread blocked shutdown forever.
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        let leaked = engine.handle();
+        assert_eq!(engine.predict(query(64, 1.0)).unwrap().prediction.class, 0);
+
+        let (done_tx, done_rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let report = engine.shutdown();
+            done_tx.send(report).unwrap();
+        });
+        let report = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("shutdown deadlocked while a SubmitHandle was alive");
+        assert_eq!(report.completed, 1);
+
+        // The leaked handle observes the closure instead of hanging.
+        assert_eq!(
+            leaked.submit(query(64, 1.0)).unwrap_err(),
+            ServeError::Closed
+        );
+    }
+
+    #[test]
+    fn requests_accepted_before_shutdown_are_answered() {
+        // Stop drains the queue: everything accepted before shutdown
+        // resolves (successfully — not with Closed).
+        let config = ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(100),
+            workers: 1,
+            queue_depth: 64,
+            packed_fastpath: false,
+        };
+        let engine = ServeEngine::start(registry(64), config).unwrap();
+        let _live_handle = engine.handle();
+        let pending: Vec<_> = (0..16)
+            .map(|_| engine.submit(query(64, 1.0)).unwrap())
+            .collect();
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 16);
+        for p in pending {
+            assert_eq!(p.wait().unwrap().prediction.class, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_engine_routes_per_model() {
+        let reg = Arc::new(ShardedRegistry::new());
+        let (a, b) = (ModelId::new("tenant-a"), ModelId::new("tenant-b"));
+        reg.publish(&a, oriented_model(64, 0), "a1").unwrap();
+        reg.publish(&b, oriented_model(64, 1), "b1").unwrap();
+        let engine = ServeEngine::start_sharded(Arc::clone(&reg), ServeConfig::default()).unwrap();
+
+        // The tenants' class layouts are opposite, so each answer proves
+        // which tenant's weights served it.
+        let served_a = engine.predict_for(&a, query(64, 1.0)).unwrap();
+        let served_b = engine.predict_for(&b, query(64, 1.0)).unwrap();
+        assert_eq!(served_a.model, a);
+        assert_eq!(served_b.model, b);
+        assert_eq!(served_a.prediction.class, 0);
+        assert_eq!(served_b.prediction.class, 1);
+
+        // An unpublished id fails only its own request.
+        assert_eq!(
+            engine
+                .predict_for(&ModelId::new("ghost"), query(64, 1.0))
+                .unwrap_err(),
+            ServeError::NoModel
+        );
+
+        let report = engine.shutdown();
+        assert_eq!(report.per_model.len(), 3);
+        let ids: Vec<&str> = report.per_model.iter().map(|m| m.model.as_str()).collect();
+        assert_eq!(ids, vec!["ghost", "tenant-a", "tenant-b"]);
+        assert_eq!(report.per_model[1].completed, 1);
+        assert_eq!(report.per_model[0].failed, 1);
+    }
+
+    #[test]
+    fn sharded_engine_batches_per_model() {
+        // One flush window, two models: requests must split into
+        // single-model batches even though they interleave in the queue.
+        let reg = Arc::new(ShardedRegistry::new());
+        let (a, b) = (ModelId::new("a"), ModelId::new("b"));
+        reg.publish(&a, oriented_model(64, 0), "a1").unwrap();
+        reg.publish(&b, oriented_model(64, 1), "b1").unwrap();
+        let config = ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(20),
+            workers: 2,
+            queue_depth: 256,
+            packed_fastpath: false,
+        };
+        let engine = ServeEngine::start_sharded(reg, config).unwrap();
+        let pending: Vec<_> = (0..32)
+            .map(|i| {
+                let id = if i % 2 == 0 { &a } else { &b };
+                (i, engine.submit_to(id, query(64, 1.0)).unwrap())
+            })
+            .collect();
+        for (i, p) in pending {
+            let served = p.wait().unwrap();
+            let want = if i % 2 == 0 { &a } else { &b };
+            assert_eq!(&served.model, want, "request {i} answered by wrong model");
+            // The opposite class layouts prove the right weights ran.
+            assert_eq!(served.prediction.class, i % 2, "request {i} cross-served");
+            // A batch never mixes models, so no batch exceeds one
+            // model's share of the traffic.
+            assert!(served.batch_size <= 16, "batch mixed models");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn single_model_engine_rejects_foreign_ids() {
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        assert_eq!(
+            engine
+                .predict_for(&ModelId::new("other"), query(64, 1.0))
+                .unwrap_err(),
+            ServeError::NoModel
+        );
+        assert_eq!(engine.predict(query(64, 1.0)).unwrap().prediction.class, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn registry_accessors_match_backend() {
+        let single = ServeEngine::start(registry(32), ServeConfig::default()).unwrap();
+        assert!(single.registry().is_some());
+        assert!(single.sharded_registry().is_none());
+        single.shutdown();
+
+        let sharded =
+            ServeEngine::start_sharded(Arc::new(ShardedRegistry::new()), ServeConfig::default())
+                .unwrap();
+        assert!(sharded.registry().is_none());
+        assert!(sharded.sharded_registry().is_some());
+        sharded.shutdown();
     }
 }

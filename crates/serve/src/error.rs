@@ -20,6 +20,13 @@ pub enum ServeError {
     /// The underlying HD computation failed (dimension mismatch, zero
     /// norms, …).
     Model(HdError),
+    /// A publish was refused because the model is only partially
+    /// trained: the listed class indices have zero-norm (never-bundled)
+    /// weights and could never be predicted. Use
+    /// [`crate::ModelRegistry::publish_partial`] /
+    /// [`crate::ShardedRegistry::publish_partial`] to serve such a
+    /// model deliberately.
+    UntrainedClasses(Vec<usize>),
     /// An invalid serving configuration was supplied.
     InvalidConfig(String),
 }
@@ -31,6 +38,11 @@ impl fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "submission queue is full"),
             ServeError::NoModel => write!(f, "no model published in the registry"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::UntrainedClasses(classes) => write!(
+                f,
+                "model is partially trained: classes {classes:?} have zero-norm weights \
+                 (publish_partial serves them anyway)"
+            ),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
         }
     }

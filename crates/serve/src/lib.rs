@@ -14,9 +14,14 @@
 //!   (`Arc`-swap pattern), so retraining publishes a new version without
 //!   pausing inference and in-flight batches finish on the snapshot they
 //!   started with.
+//! * [`ShardedRegistry`] / [`ModelId`] — the multi-tenant registry: many
+//!   independently versioned models (per tenant, encoder basis, or
+//!   privacy budget) spread over per-shard locks, each hot-swappable and
+//!   withdrawable on its own.
 //! * [`ServeEngine`] — a bounded MPSC submission queue, an adaptive
 //!   micro-batcher (flushes on [`ServeConfig::max_batch`] or
-//!   [`ServeConfig::max_delay`]) and a worker pool executing batches,
+//!   [`ServeConfig::max_delay`], accumulated *per model* on a sharded
+//!   engine) and a worker pool executing single-model batches,
 //!   optionally through the bit-packed
 //!   [`privehd_core::HdModel::predict_packed`] fast path for
 //!   bipolar-obfuscated queries.
@@ -24,8 +29,11 @@
 //!   composition, guaranteeing the server only ever sees obfuscated
 //!   queries.
 //! * [`ServeMetrics`] / [`ServeReport`] — throughput, p50/p95/p99
-//!   latency from a fixed-bucket histogram, and the batch-size
-//!   distribution.
+//!   latency from a fixed-bucket histogram, the batch-size
+//!   distribution, and per-model counters ([`ModelReport`]).
+//!
+//! See `docs/SERVE.md` in the repository for the multi-tenant API
+//! walkthrough, batch-routing semantics, and the shutdown contract.
 //!
 //! ## Quickstart
 //!
@@ -69,12 +77,13 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod registry;
+mod router;
 
 pub use edge::ClientEdge;
 pub use engine::{PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle};
 pub use error::ServeError;
-pub use metrics::{LatencyHistogram, ServeMetrics, ServeReport};
-pub use registry::{ModelRegistry, ServedModel};
+pub use metrics::{BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport};
+pub use registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
 
 /// Commonly used items, importable with a single `use`.
 pub mod prelude {
@@ -83,6 +92,8 @@ pub mod prelude {
         PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle,
     };
     pub use crate::error::ServeError;
-    pub use crate::metrics::{LatencyHistogram, ServeMetrics, ServeReport};
-    pub use crate::registry::{ModelRegistry, ServedModel};
+    pub use crate::metrics::{
+        BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport,
+    };
+    pub use crate::registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
 }

@@ -1,14 +1,20 @@
 //! Serving metrics: throughput, latency quantiles, batch-size
-//! distribution.
+//! distribution — global and per model.
 //!
 //! Recording happens on worker threads, so every counter is atomic and
 //! the latency histogram uses fixed buckets of atomic counters — no
-//! locks on the hot path. Quantiles are read back as the lower edge of
-//! the bucket containing the requested rank, which is exact enough for
+//! locks on the hot path (the per-model table takes a brief read lock
+//! to find a model's counters, and a write lock only the first time a
+//! model is seen). Quantiles are read back as the lower edge of the
+//! bucket containing the requested rank, which is exact enough for
 //! p50/p95/p99 reporting at the ~20% bucket granularity used here.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Duration;
+
+use crate::registry::ModelId;
 
 /// Number of latency buckets; the last bucket is the overflow
 /// catch-all. 96 buckets at 1.2× growth from 1 µs span up to ~33 s, so
@@ -19,9 +25,31 @@ const LATENCY_BASE_NS: f64 = 1_000.0;
 /// Geometric growth factor between bucket edges (~20%).
 const LATENCY_GROWTH: f64 = 1.2;
 
-/// Batch-size buckets: exact counts up to the bucket count, overflow in
-/// the last (sizes are small integers, linear buckets fit them exactly).
+/// Batch-size buckets: exact counts below the last bucket, which is the
+/// `≥ BATCH_BUCKETS − 1` overflow (sizes are small integers, linear
+/// buckets fit them exactly).
 const BATCH_BUCKETS: usize = 512;
+
+/// The shared integer bucket-edge table: `edges[i]` is the lower edge
+/// of bucket `i` in nanoseconds. Both the write path
+/// ([`LatencyHistogram::record`]) and the read path
+/// ([`LatencyHistogram::quantile`]) index into this one table, so an
+/// edge-exact sample always lands in the bucket whose reported lower
+/// edge equals the sample — the former `ln()`-index / `powi()`-edge
+/// pair could disagree by one bucket at edge values due to float
+/// roundoff.
+fn latency_edges() -> &'static [u64; LATENCY_BUCKETS] {
+    static EDGES: OnceLock<[u64; LATENCY_BUCKETS]> = OnceLock::new();
+    EDGES.get_or_init(|| {
+        let mut edges = [0u64; LATENCY_BUCKETS];
+        let mut edge = LATENCY_BASE_NS;
+        for e in &mut edges {
+            *e = edge.round() as u64;
+            edge *= LATENCY_GROWTH;
+        }
+        edges
+    })
+}
 
 /// Fixed-bucket latency histogram with atomic counters.
 #[derive(Debug)]
@@ -47,17 +75,19 @@ impl LatencyHistogram {
         }
     }
 
+    /// Bucket `i` covers `[edges[i], edges[i+1])`; samples below
+    /// `edges[0]` share bucket 0, samples at or above the last edge
+    /// share the overflow bucket.
     fn bucket_for(ns: u64) -> usize {
-        if (ns as f64) < LATENCY_BASE_NS {
-            return 0;
-        }
-        let idx = ((ns as f64 / LATENCY_BASE_NS).ln() / LATENCY_GROWTH.ln()).floor() as usize;
-        idx.min(LATENCY_BUCKETS - 1)
+        latency_edges()
+            .partition_point(|&edge| edge <= ns)
+            .saturating_sub(1)
     }
 
-    /// Lower edge of bucket `idx`, in nanoseconds.
-    fn bucket_edge_ns(idx: usize) -> f64 {
-        LATENCY_BASE_NS * LATENCY_GROWTH.powi(idx as i32)
+    /// Lower edge of bucket `idx`, in nanoseconds — same table as
+    /// [`LatencyHistogram::bucket_for`].
+    fn bucket_edge_ns(idx: usize) -> u64 {
+        latency_edges()[idx]
     }
 
     /// Records one observation.
@@ -94,24 +124,48 @@ impl LatencyHistogram {
         for (idx, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return Duration::from_nanos(Self::bucket_edge_ns(idx) as u64);
+                return Duration::from_nanos(Self::bucket_edge_ns(idx));
             }
         }
-        Duration::from_nanos(Self::bucket_edge_ns(LATENCY_BUCKETS - 1) as u64)
+        Duration::from_nanos(Self::bucket_edge_ns(LATENCY_BUCKETS - 1))
     }
 }
 
-/// Live serving counters, shared between engine threads and callers.
-#[derive(Debug, Default)]
-pub struct ServeMetrics {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    batched_queries: AtomicU64,
-    batch_sizes: BatchSizeHistogram,
-    latency: LatencyHistogram,
+/// One entry of the batch-size distribution.
+///
+/// Sizes up to the histogram's resolution are reported exactly; larger
+/// batches share one overflow bucket reported as [`BatchSizeBucket::AtLeast`]
+/// — formerly they were indistinguishable from a literal size-511
+/// batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BatchSizeBucket {
+    /// Batches of exactly this size.
+    Exact(usize),
+    /// The overflow bucket: batches of this size *or larger*.
+    AtLeast(usize),
+}
+
+impl BatchSizeBucket {
+    /// The bucket's size (exact, or the overflow threshold).
+    pub fn size(&self) -> usize {
+        match *self {
+            BatchSizeBucket::Exact(n) | BatchSizeBucket::AtLeast(n) => n,
+        }
+    }
+
+    /// True for the saturating overflow bucket.
+    pub fn is_saturated(&self) -> bool {
+        matches!(self, BatchSizeBucket::AtLeast(_))
+    }
+}
+
+impl std::fmt::Display for BatchSizeBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BatchSizeBucket::Exact(n) => write!(f, "{n}"),
+            BatchSizeBucket::AtLeast(n) => write!(f, "≥{n}"),
+        }
+    }
 }
 
 /// Linear histogram of dispatched batch sizes.
@@ -133,17 +187,72 @@ impl BatchSizeHistogram {
         self.buckets[size.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// `(size, count)` pairs for every non-empty bucket.
-    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+    /// `(bucket, count)` pairs for every non-empty bucket; the last
+    /// bucket is [`BatchSizeBucket::AtLeast`] because it also absorbs
+    /// every size past the end of the table.
+    pub fn nonzero(&self) -> Vec<(BatchSizeBucket, u64)> {
         self.buckets
             .iter()
             .enumerate()
             .filter_map(|(size, c)| {
                 let n = c.load(Ordering::Relaxed);
-                (n > 0).then_some((size, n))
+                let bucket = if size == BATCH_BUCKETS - 1 {
+                    BatchSizeBucket::AtLeast(size)
+                } else {
+                    BatchSizeBucket::Exact(size)
+                };
+                (n > 0).then_some((bucket, n))
             })
             .collect()
     }
+}
+
+/// Cap on distinct per-model rows. Client-supplied [`ModelId`]s enter
+/// the table on first submission — before any registry lookup — so a
+/// client spraying unique (typoed, hostile) ids would otherwise grow
+/// the table and every report without bound. Ids past the cap share
+/// the [`MODEL_OVERFLOW_NAME`] row.
+const MAX_MODEL_ROWS: usize = 1_024;
+
+/// Reserved row name aggregating every id beyond [`MAX_MODEL_ROWS`]
+/// (`~` sorts after ASCII letters, so the row lists last). The name is
+/// reserved outright: a client-supplied id spelled `"~other"` records
+/// into this shared row too, so it can never mint — or alias — a
+/// regular table row.
+const MODEL_OVERFLOW_NAME: &str = "~other";
+
+/// Per-model counters: one row of the multi-tenant metrics table.
+#[derive(Debug, Default)]
+pub(crate) struct ModelCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// Live serving counters, shared between engine threads and callers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    batch_sizes: BatchSizeHistogram,
+    latency: LatencyHistogram,
+    per_model: RwLock<HashMap<ModelId, Arc<ModelCounters>>>,
+    /// The `~other` row, kept out of `per_model` (the name is reserved:
+    /// a client id spelled `"~other"` also lands here rather than
+    /// minting a table row), so past-cap ids resolve lock-free instead
+    /// of hitting the write lock per submission.
+    overflow_row: OnceLock<Arc<ModelCounters>>,
+    /// The [`ModelId::DEFAULT_NAME`] row, kept out of `per_model` like
+    /// the overflow row: the legacy single-model path records per
+    /// request and never pays the `per_model` lock for the id it always
+    /// uses — and the row cannot be displaced into `~other` by an id
+    /// spray that fills the table before default traffic arrives.
+    default_row: OnceLock<Arc<ModelCounters>>,
 }
 
 impl ServeMetrics {
@@ -152,8 +261,42 @@ impl ServeMetrics {
         Self::default()
     }
 
-    pub(crate) fn on_submit(&self) {
+    /// The counters row for `model`, created on first sight — or the
+    /// shared overflow row once [`MAX_MODEL_ROWS`] distinct ids exist
+    /// (and for the reserved `"~other"` id itself). The default id has
+    /// its own reserved lock-free row, exempt from the cap. Callers
+    /// serving a whole batch fetch the row once and record through it,
+    /// instead of paying the table lookup per request.
+    pub(crate) fn model_counters(&self, model: &ModelId) -> Arc<ModelCounters> {
+        if model.as_str() == ModelId::DEFAULT_NAME {
+            return Arc::clone(self.default_row.get_or_init(Default::default));
+        }
+        if model.as_str() == MODEL_OVERFLOW_NAME {
+            return Arc::clone(self.overflow_row.get_or_init(Default::default));
+        }
+        {
+            let table = self.per_model.read().expect("metrics lock poisoned");
+            if let Some(c) = table.get(model) {
+                return Arc::clone(c);
+            }
+            // At the cap, unseen ids share the overflow row without
+            // ever taking the write lock again.
+            if table.len() >= MAX_MODEL_ROWS {
+                return Arc::clone(self.overflow_row.get_or_init(Default::default));
+            }
+        }
+        let mut table = self.per_model.write().expect("metrics lock poisoned");
+        if table.len() >= MAX_MODEL_ROWS && !table.contains_key(model) {
+            return Arc::clone(self.overflow_row.get_or_init(Default::default));
+        }
+        Arc::clone(table.entry(model.clone()).or_default())
+    }
+
+    pub(crate) fn on_submit(&self, model: &ModelId) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.model_counters(model)
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_reject(&self) {
@@ -167,16 +310,22 @@ impl ServeMetrics {
         self.batch_sizes.record(size);
     }
 
-    pub(crate) fn on_done(&self, ok: bool, latency: Duration) {
+    /// Records one finished request against a pre-fetched per-model row
+    /// (see [`ServeMetrics::model_counters`]).
+    pub(crate) fn on_done(&self, counters: &ModelCounters, ok: bool, latency: Duration) {
         if ok {
             self.completed.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
         } else {
             self.failed.fetch_add(1, Ordering::Relaxed);
+            counters.failed.fetch_add(1, Ordering::Relaxed);
         }
         self.latency.record(latency);
+        counters.latency.record(latency);
     }
 
-    /// The latency histogram (queue + execution time per request).
+    /// The latency histogram (queue + execution time per request),
+    /// across all models.
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
     }
@@ -192,6 +341,29 @@ impl ServeMetrics {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_queries.load(Ordering::Relaxed);
+        let model_row = |model: ModelId, c: &ModelCounters| ModelReport {
+            model,
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            p50_latency: c.latency.quantile(0.50),
+            p95_latency: c.latency.quantile(0.95),
+            p99_latency: c.latency.quantile(0.99),
+        };
+        let mut per_model: Vec<ModelReport> = self
+            .per_model
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(model, c)| model_row(model.clone(), c))
+            .collect();
+        if let Some(c) = self.default_row.get() {
+            per_model.push(model_row(ModelId::default(), c));
+        }
+        if let Some(c) = self.overflow_row.get() {
+            per_model.push(model_row(ModelId::new(MODEL_OVERFLOW_NAME), c));
+        }
+        per_model.sort_by(|a, b| a.model.cmp(&b.model));
         ServeReport {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -213,8 +385,28 @@ impl ServeMetrics {
             p95_latency: self.latency.quantile(0.95),
             p99_latency: self.latency.quantile(0.99),
             batch_size_histogram: self.batch_sizes.nonzero(),
+            per_model,
         }
     }
+}
+
+/// Per-model slice of a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelReport {
+    /// The model these counters belong to.
+    pub model: ModelId,
+    /// Requests accepted into the queue for this model.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Median end-to-end latency for this model's requests.
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
 }
 
 /// Point-in-time summary of serving behaviour.
@@ -242,8 +434,15 @@ pub struct ServeReport {
     pub p95_latency: Duration,
     /// 99th-percentile end-to-end request latency.
     pub p99_latency: Duration,
-    /// `(batch size, batches dispatched)` for every observed size.
-    pub batch_size_histogram: Vec<(usize, u64)>,
+    /// `(batch size, batches dispatched)` for every observed size; the
+    /// last bucket saturates and is reported as `≥size`.
+    pub batch_size_histogram: Vec<(BatchSizeBucket, u64)>,
+    /// Per-model counters and latency quantiles, sorted by [`ModelId`].
+    /// One entry per model that received at least one submission, up to
+    /// an internal cap on distinct ids — traffic for ids beyond the cap
+    /// aggregates into one `"~other"` row, so hostile or typoed ids
+    /// cannot grow the table (or this report) without bound.
+    pub per_model: Vec<ModelReport>,
 }
 
 impl std::fmt::Display for ServeReport {
@@ -263,7 +462,21 @@ impl std::fmt::Display for ServeReport {
             f,
             "latency: mean {:?}  p50 {:?}  p95 {:?}  p99 {:?}",
             self.mean_latency, self.p50_latency, self.p95_latency, self.p99_latency
-        )
+        )?;
+        for m in &self.per_model {
+            write!(
+                f,
+                "\nmodel {}: {}/{} ok, {} failed  p50 {:?}  p95 {:?}  p99 {:?}",
+                m.model,
+                m.completed,
+                m.submitted,
+                m.failed,
+                m.p50_latency,
+                m.p95_latency,
+                m.p99_latency
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -294,6 +507,36 @@ mod tests {
     }
 
     #[test]
+    fn edge_exact_samples_bucket_consistently() {
+        // Regression: `bucket_for` used an `ln()`-derived index while
+        // `bucket_edge_ns` recomputed edges with `powi()`; float
+        // roundoff could place a sample recorded exactly at a bucket
+        // edge one bucket off, so the reported quantile edge exceeded
+        // the true sample value. With the shared integer table, a
+        // histogram holding a single edge-exact sample must report a
+        // quantile equal to that sample for every edge.
+        for (idx, &edge_ns) in latency_edges().iter().enumerate() {
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(edge_ns));
+            let got = h.quantile(1.0);
+            assert_eq!(
+                got,
+                Duration::from_nanos(edge_ns),
+                "edge {idx} ({edge_ns} ns): quantile reported {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn edges_are_strictly_increasing() {
+        let edges = latency_edges();
+        assert_eq!(edges[0], LATENCY_BASE_NS as u64);
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "{w:?}");
+        }
+    }
+
+    #[test]
     fn overflow_observations_land_in_last_bucket() {
         let h = LatencyHistogram::new();
         h.record(Duration::from_secs(3_600));
@@ -302,16 +545,41 @@ mod tests {
     }
 
     #[test]
+    fn oversized_batches_report_as_saturated() {
+        // Regression: sizes ≥ BATCH_BUCKETS were clamped into the last
+        // bucket and then reported as a literal size-511 batch.
+        let h = BatchSizeHistogram::default();
+        h.record(4);
+        h.record(BATCH_BUCKETS - 1);
+        h.record(BATCH_BUCKETS + 100);
+        h.record(10 * BATCH_BUCKETS);
+        let entries = h.nonzero();
+        assert_eq!(
+            entries,
+            vec![
+                (BatchSizeBucket::Exact(4), 1),
+                (BatchSizeBucket::AtLeast(BATCH_BUCKETS - 1), 3),
+            ]
+        );
+        assert!(!entries[0].0.is_saturated());
+        assert!(entries[1].0.is_saturated());
+        assert_eq!(entries[1].0.to_string(), format!("≥{}", BATCH_BUCKETS - 1));
+        assert_eq!(entries[0].0.to_string(), "4");
+    }
+
+    #[test]
     fn report_derives_rates() {
         let m = ServeMetrics::new();
+        let id = ModelId::default();
         for _ in 0..10 {
-            m.on_submit();
+            m.on_submit(&id);
         }
         m.on_reject();
         m.on_batch(4);
         m.on_batch(6);
+        let row = m.model_counters(&id);
         for _ in 0..10 {
-            m.on_done(true, Duration::from_micros(100));
+            m.on_done(&row, true, Duration::from_micros(100));
         }
         let r = m.report(Duration::from_secs(2));
         assert_eq!(r.submitted, 10);
@@ -320,8 +588,75 @@ mod tests {
         assert_eq!(r.batches, 2);
         assert!((r.mean_batch_size - 5.0).abs() < 1e-12);
         assert!((r.throughput_qps - 5.0).abs() < 1e-12);
-        assert_eq!(r.batch_size_histogram, vec![(4, 1), (6, 1)]);
+        assert_eq!(
+            r.batch_size_histogram,
+            vec![
+                (BatchSizeBucket::Exact(4), 1),
+                (BatchSizeBucket::Exact(6), 1)
+            ]
+        );
         let text = r.to_string();
         assert!(text.contains("throughput"), "{text}");
+        assert!(text.contains("model default"), "{text}");
+    }
+
+    #[test]
+    fn per_model_counters_are_isolated() {
+        let m = ServeMetrics::new();
+        let (a, b) = (ModelId::new("a"), ModelId::new("b"));
+        m.on_submit(&a);
+        m.on_submit(&a);
+        m.on_submit(&b);
+        let (row_a, row_b) = (m.model_counters(&a), m.model_counters(&b));
+        m.on_done(&row_a, true, Duration::from_micros(50));
+        m.on_done(&row_a, false, Duration::from_micros(60));
+        m.on_done(&row_b, true, Duration::from_micros(70));
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.per_model.len(), 2);
+        let (ra, rb) = (&r.per_model[0], &r.per_model[1]);
+        assert_eq!(
+            (ra.model.as_str(), ra.submitted, ra.completed, ra.failed),
+            ("a", 2, 1, 1)
+        );
+        assert_eq!(
+            (rb.model.as_str(), rb.submitted, rb.completed, rb.failed),
+            ("b", 1, 1, 0)
+        );
+        // Global counters aggregate across models.
+        assert_eq!((r.submitted, r.completed, r.failed), (3, 2, 1));
+    }
+
+    #[test]
+    fn model_rows_are_capped_and_overflow_aggregates() {
+        let m = ServeMetrics::new();
+        // Far more distinct ids than the cap allows…
+        for i in 0..MAX_MODEL_ROWS + 50 {
+            m.on_submit(&ModelId::new(format!("id-{i}")));
+        }
+        let r = m.report(Duration::from_secs(1));
+        // …but the table stops at the cap plus the shared overflow row,
+        assert_eq!(r.per_model.len(), MAX_MODEL_ROWS + 1);
+        assert_eq!(r.submitted as usize, MAX_MODEL_ROWS + 50);
+        // which sorts last and carries everything past the cap.
+        let overflow = r.per_model.last().unwrap();
+        assert_eq!(overflow.model.as_str(), MODEL_OVERFLOW_NAME);
+        assert_eq!(overflow.submitted, 50);
+        // The overflow name is reserved: a client submitting under it
+        // shares the overflow row instead of minting a table row.
+        m.on_submit(&ModelId::new(MODEL_OVERFLOW_NAME));
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.per_model.len(), MAX_MODEL_ROWS + 1);
+        assert_eq!(r.per_model.last().unwrap().submitted, 51);
+        // The default id keeps its own (cap-exempt) row even when the
+        // spray filled the table first.
+        m.on_submit(&ModelId::default());
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.per_model.len(), MAX_MODEL_ROWS + 2);
+        let default_row = r
+            .per_model
+            .iter()
+            .find(|row| row.model == ModelId::default())
+            .expect("default row present");
+        assert_eq!(default_row.submitted, 1);
     }
 }

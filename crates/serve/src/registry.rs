@@ -1,20 +1,119 @@
-//! Versioned model registry with atomic hot swap.
+//! Versioned model registries with atomic hot swap: the single-model
+//! [`ModelRegistry`] and the multi-tenant [`ShardedRegistry`].
 //!
 //! Retraining (or privacy recalibration) produces a new [`HdModel`];
-//! publishing it must not pause inference. The registry keeps the live
-//! model behind an `RwLock<Arc<…>>` — the Arc-swap pattern: readers
+//! publishing it must not pause inference. Both registries keep live
+//! models behind an `RwLock<…Arc<…>>` — the Arc-swap pattern: readers
 //! take the lock only long enough to clone an [`Arc`] (no contention
 //! with inference itself, which runs entirely on the clone), and
-//! [`ModelRegistry::publish`] swaps the pointer in one assignment.
-//! Batches that grabbed the previous snapshot keep serving it to
-//! completion, so a swap never drops or corrupts in-flight requests.
+//! `publish` swaps the pointer in one assignment. Batches that grabbed
+//! the previous snapshot keep serving it to completion, so a swap never
+//! drops or corrupts in-flight requests.
+//!
+//! [`ShardedRegistry`] extends the pattern to many models — one per
+//! tenant, encoder basis, or privacy budget. Models are spread over N
+//! shards by [`ModelId`] hash, each shard guarding its own
+//! `HashMap<ModelId, …>` behind its own lock, so publishes and lookups
+//! for different tenants contend only when their ids land on the same
+//! shard.
+//!
+//! ## Publish validation policy
+//!
+//! Since the kernel layer (PR 2), a zero-norm (never-trained) class
+//! scores [`f64::NEG_INFINITY`] instead of failing the whole
+//! prediction, which means a *partially* trained model serves quietly —
+//! its untrained classes simply can never win. Publishing validates the
+//! cached class norms directly (no probe prediction):
+//!
+//! * a model whose classes are **all** zero-norm is always rejected
+//!   with [`HdError::ZeroNorm`] — it cannot answer a single query;
+//! * `publish` also rejects a **partially** trained model (some
+//!   zero-norm classes) with [`ServeError::UntrainedClasses`], because
+//!   silently unreachable classes are almost always a training bug;
+//! * `publish_partial` opts in to serving a partially trained model —
+//!   for incremental deployments that grow the label set online — and
+//!   returns the indices of the classes that cannot yet be predicted.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use privehd_core::{HdError, HdModel};
 
 use crate::error::ServeError;
+
+/// Identifies one served model (one tenant) within a
+/// [`ShardedRegistry`] and routes its submissions through the engine.
+///
+/// Cheap to clone (`Arc<str>` underneath) — every request carries one.
+/// The [`Default`] id (`"default"`) is what the single-model
+/// [`crate::ServeEngine::submit`] API routes to.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_serve::ModelId;
+///
+/// let tenant = ModelId::new("tenant-a");
+/// assert_eq!(tenant.as_str(), "tenant-a");
+/// assert_eq!(ModelId::default().as_str(), "default");
+/// assert_eq!(ModelId::from("tenant-a"), tenant);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(Arc<str>);
+
+impl ModelId {
+    /// Name of the [`Default`] id the single-model API routes to.
+    pub const DEFAULT_NAME: &'static str = "default";
+
+    /// Creates an id from any string-like name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self(Arc::from(name.as_ref()))
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The shard index this id maps to among `shards` shards.
+    pub(crate) fn shard_index(&self, shards: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.0.hash(&mut h);
+        (h.finish() % shards as u64) as usize
+    }
+}
+
+impl Default for ModelId {
+    /// Clones a process-wide cached id: the single-model submission
+    /// path calls this per request, so it must not allocate.
+    fn default() -> Self {
+        static DEFAULT: std::sync::OnceLock<ModelId> = std::sync::OnceLock::new();
+        DEFAULT
+            .get_or_init(|| ModelId::new(ModelId::DEFAULT_NAME))
+            .clone()
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ModelId {
+    fn from(name: &str) -> Self {
+        Self::new(name)
+    }
+}
+
+impl From<String> for ModelId {
+    fn from(name: String) -> Self {
+        Self::new(name)
+    }
+}
 
 /// One published model: the weights plus the registry metadata the
 /// serving layer reports back with every prediction.
@@ -34,7 +133,32 @@ impl ServedModel {
     }
 }
 
-/// Registry holding the live model and its version history metadata.
+/// Validates `model` for publishing against the cached class norms (no
+/// probe prediction): all-zero models are always rejected; partially
+/// trained models are rejected unless `allow_partial`. Returns the
+/// zero-norm class indices (empty for a fully trained model).
+fn validate_norms(model: &HdModel, allow_partial: bool) -> Result<Vec<usize>, ServeError> {
+    let norms = model.class_matrix().norms();
+    let untrained: Vec<usize> = norms
+        .iter()
+        .enumerate()
+        .filter_map(|(class, &n)| (n == 0.0).then_some(class))
+        .collect();
+    if untrained.len() == norms.len() {
+        // Not a single class can win: the model cannot serve any query.
+        return Err(ServeError::Model(HdError::ZeroNorm));
+    }
+    if !untrained.is_empty() && !allow_partial {
+        return Err(ServeError::UntrainedClasses(untrained));
+    }
+    Ok(untrained)
+}
+
+/// Registry holding one live model and its version history metadata.
+///
+/// This is the single-tenant registry behind
+/// [`crate::ServeEngine::start`]; for many models in one process see
+/// [`ShardedRegistry`].
 ///
 /// # Examples
 ///
@@ -48,6 +172,7 @@ impl ServedModel {
 ///
 /// let mut model = HdModel::new(2, 64)?;
 /// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
+/// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
 /// let v1 = registry.publish(model.clone(), "v1")?;
 /// let v2 = registry.publish(model, "v2")?;
 /// assert_eq!((v1, v2), (1, 2));
@@ -87,16 +212,39 @@ impl ModelRegistry {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Model`] wrapping [`HdError::ZeroNorm`] if
-    /// the model is untrained (all-zero classes) — publishing it would
-    /// make every subsequent prediction fail.
-    pub fn publish(&self, mut model: HdModel, label: &str) -> Result<u64, ServeError> {
+    /// Per the [module-level policy](self): [`ServeError::Model`]
+    /// wrapping [`HdError::ZeroNorm`] for a fully untrained model,
+    /// [`ServeError::UntrainedClasses`] for a partially trained one
+    /// (use [`ModelRegistry::publish_partial`] to allow those).
+    pub fn publish(&self, model: HdModel, label: &str) -> Result<u64, ServeError> {
+        self.publish_inner(model, label, false).map(|(v, _)| v)
+    }
+
+    /// Like [`ModelRegistry::publish`], but allows a partially trained
+    /// model; returns `(version, zero-norm class indices)`. The listed
+    /// classes score [`f64::NEG_INFINITY`] and can never be predicted
+    /// until a retrain publishes real weights for them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] wrapping [`HdError::ZeroNorm`] when *every*
+    /// class is untrained.
+    pub fn publish_partial(
+        &self,
+        model: HdModel,
+        label: &str,
+    ) -> Result<(u64, Vec<usize>), ServeError> {
+        self.publish_inner(model, label, true)
+    }
+
+    fn publish_inner(
+        &self,
+        mut model: HdModel,
+        label: &str,
+        allow_partial: bool,
+    ) -> Result<(u64, Vec<usize>), ServeError> {
         model.refresh_norms();
-        // Reject models that cannot serve a single query.
-        let probe = privehd_core::Hypervector::zeros(model.dim()).map_err(ServeError::Model)?;
-        if let Err(HdError::ZeroNorm) = model.predict(&probe) {
-            return Err(ServeError::Model(HdError::ZeroNorm));
-        }
+        let untrained = validate_norms(&model, allow_partial)?;
         // Allocate the version while holding the write lock: with the
         // counter bumped outside it, two racing publishes could install
         // the older version last and break monotonicity.
@@ -107,7 +255,7 @@ impl ModelRegistry {
             label: label.to_owned(),
             model,
         }));
-        Ok(version)
+        Ok((version, untrained))
     }
 
     /// The live model snapshot, or `None` before the first publish.
@@ -131,6 +279,205 @@ impl ModelRegistry {
     }
 }
 
+/// How many shards [`ShardedRegistry::new`] creates.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One tenant's slot inside a shard: the live snapshot plus its private
+/// version counter (which survives a withdraw, so a re-publish keeps
+/// the tenant's version history monotonic).
+#[derive(Debug, Default)]
+struct TenantSlot {
+    live: Option<Arc<ServedModel>>,
+    next_version: u64,
+}
+
+/// Multi-tenant registry: many independently versioned models behind
+/// per-shard locks, each model addressed by [`ModelId`].
+///
+/// Lock granularity is the shard, not the registry: a publish for one
+/// tenant only blocks lookups whose ids hash to the same shard. Each
+/// tenant has its own monotonic version sequence starting at 1,
+/// exactly like a private [`ModelRegistry`].
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::{HdModel, Hypervector};
+/// use privehd_serve::{ModelId, ShardedRegistry};
+///
+/// # fn main() -> Result<(), privehd_serve::ServeError> {
+/// let registry = ShardedRegistry::new();
+/// let mut model = HdModel::new(2, 64)?;
+/// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
+/// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
+///
+/// let a = ModelId::new("tenant-a");
+/// let b = ModelId::new("tenant-b");
+/// registry.publish(&a, model.clone(), "a-v1")?;
+/// registry.publish(&b, model.clone(), "b-v1")?;
+/// assert_eq!(registry.publish(&b, model, "b-v2")?, 2);
+/// assert_eq!(registry.version(&a), 1);
+/// assert_eq!(registry.len(), 2);
+///
+/// registry.withdraw(&a);
+/// assert!(registry.get(&a).is_none());
+/// assert!(registry.get(&b).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Vec<RwLock<HashMap<ModelId, TenantSlot>>>,
+}
+
+impl Default for ShardedRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedRegistry {
+    /// Creates an empty registry with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS).expect("default shard count is non-zero")
+    }
+
+    /// Creates an empty registry with an explicit shard count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when `shards` is zero.
+    pub fn with_shards(shards: usize) -> Result<Self, ServeError> {
+        if shards == 0 {
+            return Err(ServeError::InvalidConfig("shards must be ≥ 1".into()));
+        }
+        Ok(Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        })
+    }
+
+    /// Number of shards the id space is spread over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: &ModelId) -> &RwLock<HashMap<ModelId, TenantSlot>> {
+        &self.shards[id.shard_index(self.shards.len())]
+    }
+
+    /// Publishes `model` as `id`'s new live version and returns the
+    /// tenant-local version number (1 for the tenant's first publish).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ModelRegistry::publish`] (see the
+    /// [module-level policy](self)).
+    pub fn publish(&self, id: &ModelId, model: HdModel, label: &str) -> Result<u64, ServeError> {
+        self.publish_inner(id, model, label, false).map(|(v, _)| v)
+    }
+
+    /// Like [`ShardedRegistry::publish`] but allows a partially trained
+    /// model; returns `(version, zero-norm class indices)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] wrapping [`HdError::ZeroNorm`] when *every*
+    /// class is untrained.
+    pub fn publish_partial(
+        &self,
+        id: &ModelId,
+        model: HdModel,
+        label: &str,
+    ) -> Result<(u64, Vec<usize>), ServeError> {
+        self.publish_inner(id, model, label, true)
+    }
+
+    fn publish_inner(
+        &self,
+        id: &ModelId,
+        mut model: HdModel,
+        label: &str,
+        allow_partial: bool,
+    ) -> Result<(u64, Vec<usize>), ServeError> {
+        model.refresh_norms();
+        let untrained = validate_norms(&model, allow_partial)?;
+        let mut shard = self.shard(id).write().expect("shard lock poisoned");
+        let slot = shard.entry(id.clone()).or_default();
+        slot.next_version += 1;
+        let version = slot.next_version;
+        slot.live = Some(Arc::new(ServedModel {
+            version,
+            label: label.to_owned(),
+            model,
+        }));
+        Ok((version, untrained))
+    }
+
+    /// The live snapshot for `id`, or `None` when that tenant has never
+    /// published (or has withdrawn). The [`Arc`] stays valid across
+    /// later publishes.
+    pub fn get(&self, id: &ModelId) -> Option<Arc<ServedModel>> {
+        self.shard(id)
+            .read()
+            .expect("shard lock poisoned")
+            .get(id)
+            .and_then(|slot| slot.live.clone())
+    }
+
+    /// `id`'s live version number, or 0 when nothing is live.
+    pub fn version(&self, id: &ModelId) -> u64 {
+        self.get(id).map_or(0, |m| m.version)
+    }
+
+    /// Withdraws `id`'s live model, returning the snapshot that was
+    /// live, if any. Other tenants are untouched; `id`'s version counter
+    /// survives, so a later publish continues the sequence.
+    pub fn withdraw(&self, id: &ModelId) -> Option<Arc<ServedModel>> {
+        self.shard(id)
+            .write()
+            .expect("shard lock poisoned")
+            .get_mut(id)
+            .and_then(|slot| slot.live.take())
+    }
+
+    /// Number of tenants with a live model.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .values()
+                    .filter(|slot| slot.live.is_some())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// True when no tenant has a live model.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of every tenant with a live model, sorted for determinism.
+    pub fn model_ids(&self) -> Vec<ModelId> {
+        let mut ids: Vec<ModelId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .iter()
+                    .filter(|(_, slot)| slot.live.is_some())
+                    .map(|(id, _)| id.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +489,13 @@ mod tests {
             .unwrap();
         m.bundle(1, &Hypervector::from_vec(vec![-fill; dim]))
             .unwrap();
+        m
+    }
+
+    /// 3 classes, only class 0 trained.
+    fn partially_trained(dim: usize) -> HdModel {
+        let mut m = HdModel::new(3, dim).unwrap();
+        m.bundle(0, &Hypervector::from_vec(vec![1.0; dim])).unwrap();
         m
     }
 
@@ -164,6 +518,33 @@ mod tests {
     }
 
     #[test]
+    fn partially_trained_models_are_rejected_by_default() {
+        // Regression (PR 2 validation gap): some-zero-norm models used to
+        // pass the probe-predict check and then serve NEG_INFINITY rows.
+        let r = ModelRegistry::new();
+        let err = r.publish(partially_trained(32), "partial").unwrap_err();
+        assert_eq!(err, ServeError::UntrainedClasses(vec![1, 2]));
+        assert!(r.current().is_none());
+    }
+
+    #[test]
+    fn publish_partial_allows_and_reports_untrained_classes() {
+        let r = ModelRegistry::new();
+        let (version, untrained) = r.publish_partial(partially_trained(32), "partial").unwrap();
+        assert_eq!((version, untrained), (1, vec![1, 2]));
+        // The published model serves; untrained classes can never win.
+        let q = Hypervector::from_vec(vec![1.0; 32]);
+        let p = r.current().unwrap().model().predict(&q).unwrap();
+        assert_eq!(p.class, 0);
+        assert_eq!(p.scores[1], f64::NEG_INFINITY);
+        // All-zero still refuses even via the partial path.
+        let err = r
+            .publish_partial(HdModel::new(2, 32).unwrap(), "zero")
+            .unwrap_err();
+        assert_eq!(err, ServeError::Model(HdError::ZeroNorm));
+    }
+
+    #[test]
     fn old_snapshots_survive_a_swap() {
         let r = ModelRegistry::with_model(trained(16, 1.0), "v1").unwrap();
         let old = r.current().unwrap();
@@ -183,5 +564,87 @@ mod tests {
         assert!(r.current().is_none());
         // A later publish still advances the version counter.
         assert_eq!(r.publish(trained(16, 1.0), "v2").unwrap(), 2);
+    }
+
+    #[test]
+    fn sharded_tenants_version_independently() {
+        let r = ShardedRegistry::with_shards(4).unwrap();
+        let (a, b) = (ModelId::new("a"), ModelId::new("b"));
+        assert!(r.is_empty());
+        assert_eq!(r.publish(&a, trained(16, 1.0), "a1").unwrap(), 1);
+        assert_eq!(r.publish(&a, trained(16, 2.0), "a2").unwrap(), 2);
+        assert_eq!(r.publish(&b, trained(16, 1.0), "b1").unwrap(), 1);
+        assert_eq!(r.version(&a), 2);
+        assert_eq!(r.version(&b), 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.model_ids(), vec![a.clone(), b.clone()]);
+        assert!(r.get(&ModelId::new("missing")).is_none());
+        assert_eq!(r.get(&a).unwrap().label, "a2");
+    }
+
+    #[test]
+    fn sharded_withdraw_is_per_tenant_and_versions_survive() {
+        let r = ShardedRegistry::new();
+        let (a, b) = (ModelId::new("a"), ModelId::new("b"));
+        r.publish(&a, trained(16, 1.0), "a1").unwrap();
+        r.publish(&b, trained(16, 1.0), "b1").unwrap();
+        let taken = r.withdraw(&a).unwrap();
+        assert_eq!(taken.version, 1);
+        assert!(r.get(&a).is_none());
+        assert!(r.get(&b).is_some());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.model_ids(), vec![b]);
+        // Withdrawing again is a no-op; the version counter continues.
+        assert!(r.withdraw(&a).is_none());
+        assert_eq!(r.publish(&a, trained(16, 1.0), "a2").unwrap(), 2);
+    }
+
+    #[test]
+    fn sharded_validation_matches_single_registry() {
+        let r = ShardedRegistry::new();
+        let id = ModelId::new("t");
+        assert_eq!(
+            r.publish(&id, HdModel::new(2, 8).unwrap(), "zero")
+                .unwrap_err(),
+            ServeError::Model(HdError::ZeroNorm)
+        );
+        assert_eq!(
+            r.publish(&id, partially_trained(8), "partial").unwrap_err(),
+            ServeError::UntrainedClasses(vec![1, 2])
+        );
+        let (v, untrained) = r
+            .publish_partial(&id, partially_trained(8), "partial")
+            .unwrap();
+        assert_eq!((v, untrained), (1, vec![1, 2]));
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(matches!(
+            ShardedRegistry::with_shards(0),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn every_id_maps_to_a_valid_shard() {
+        for shards in [1usize, 2, 7, 16] {
+            for name in ["a", "tenant-b", "Δ-tenant", "x/y/z", ""] {
+                assert!(ModelId::new(name).shard_index(shards) < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn old_sharded_snapshots_survive_a_swap() {
+        let r = ShardedRegistry::new();
+        let id = ModelId::new("t");
+        r.publish(&id, trained(16, 1.0), "v1").unwrap();
+        let old = r.get(&id).unwrap();
+        r.publish(&id, trained(16, 3.0), "v2").unwrap();
+        assert_eq!(old.version, 1);
+        let q = Hypervector::from_vec(vec![1.0; 16]);
+        assert_eq!(old.model().predict(&q).unwrap().class, 0);
+        assert_eq!(r.get(&id).unwrap().version, 2);
     }
 }

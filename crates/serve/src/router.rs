@@ -1,0 +1,212 @@
+//! Per-model batch routing: keyed accumulation for the micro-batcher.
+//!
+//! The engine's batcher thread used to keep a single open batch; with
+//! many tenants behind one submission queue the accumulation is keyed
+//! by [`ModelId`] instead. [`BatchRouter`] owns the open batches — one
+//! per model with traffic in flight, each with its own `max_delay`
+//! window anchored at the batch's first request — and tells the batcher
+//! when a batch is ready: immediately when a key reaches `max_batch`,
+//! or at the earliest open deadline otherwise. A batch only ever holds
+//! requests for one model, so a worker resolves exactly one registry
+//! snapshot per batch.
+//!
+//! The router is intentionally free of channels and clocks (the caller
+//! passes `Instant`s in), which keeps it deterministic under test.
+//!
+//! Deadlines live in a min-heap beside the key map, so the batcher's
+//! per-message `next_deadline` is O(log n) in open batches rather than
+//! a full map scan — n can reach the queue depth when hostile traffic
+//! opens one batch per unique id. Heap entries for batches that already
+//! flushed (on `max_batch`) are discarded lazily when they surface.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+use crate::registry::ModelId;
+
+/// One model's open (not yet flushed) batch.
+struct OpenBatch<T> {
+    items: Vec<T>,
+    /// Flush-by time, anchored at the first item's arrival.
+    deadline: Instant,
+}
+
+/// Keyed micro-batch accumulator. `T` is the request payload (the
+/// engine uses its `Request` struct; tests use plain values).
+pub(crate) struct BatchRouter<T> {
+    max_batch: usize,
+    max_delay: Duration,
+    open: HashMap<ModelId, OpenBatch<T>>,
+    /// Min-heap of `(deadline, key)` for every batch ever opened; an
+    /// entry is stale — and dropped when it reaches the top — once its
+    /// key's open batch is gone or carries a different deadline.
+    deadlines: BinaryHeap<Reverse<(Instant, ModelId)>>,
+}
+
+impl<T> BatchRouter<T> {
+    pub(crate) fn new(max_batch: usize, max_delay: Duration) -> Self {
+        Self {
+            max_batch,
+            max_delay,
+            open: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+        }
+    }
+
+    /// Adds one item under `model`. Returns the completed batch when
+    /// this push fills it to `max_batch`; otherwise the item waits for
+    /// its key's deadline.
+    pub(crate) fn push(
+        &mut self,
+        model: ModelId,
+        item: T,
+        now: Instant,
+    ) -> Option<(ModelId, Vec<T>)> {
+        // No up-front `max_batch` reservation: with many models open at
+        // once that would cost open-keys × max_batch slots even when
+        // every batch holds one request; amortized growth is fine.
+        let deadlines = &mut self.deadlines;
+        let entry = self.open.entry(model.clone()).or_insert_with(|| {
+            let deadline = now + self.max_delay;
+            deadlines.push(Reverse((deadline, model.clone())));
+            OpenBatch {
+                items: Vec::new(),
+                deadline,
+            }
+        });
+        entry.items.push(item);
+        if entry.items.len() >= self.max_batch {
+            let batch = self.open.remove(&model).expect("key present").items;
+            return Some((model, batch));
+        }
+        None
+    }
+
+    /// The earliest deadline among open batches, or `None` when idle.
+    /// Prunes stale heap entries as a side effect.
+    pub(crate) fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(Reverse(top)) = self.deadlines.peek() {
+            if self.open.get(&top.1).is_some_and(|b| b.deadline == top.0) {
+                return Some(top.0);
+            }
+            self.deadlines.pop();
+        }
+        None
+    }
+
+    /// Removes and returns every batch whose deadline has passed.
+    pub(crate) fn take_expired(&mut self, now: Instant) -> Vec<(ModelId, Vec<T>)> {
+        let mut expired = Vec::new();
+        while let Some(Reverse((deadline, _))) = self.deadlines.peek() {
+            if *deadline > now {
+                break;
+            }
+            let Reverse((deadline, key)) = self.deadlines.pop().expect("peeked entry");
+            let live = self.open.get(&key).is_some_and(|b| b.deadline == deadline);
+            if live {
+                let batch = self.open.remove(&key).expect("key present").items;
+                expired.push((key, batch));
+            }
+        }
+        expired
+    }
+
+    /// Removes and returns every open batch (shutdown drain).
+    pub(crate) fn drain(&mut self) -> Vec<(ModelId, Vec<T>)> {
+        self.deadlines.clear();
+        self.open.drain().map(|(k, b)| (k, b.items)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(max_batch: usize, delay_ms: u64) -> BatchRouter<u32> {
+        BatchRouter::new(max_batch, Duration::from_millis(delay_ms))
+    }
+
+    #[test]
+    fn flushes_on_max_batch_per_key() {
+        let mut r = router(3, 1_000);
+        let (a, b) = (ModelId::new("a"), ModelId::new("b"));
+        let t = Instant::now();
+        assert!(r.push(a.clone(), 1, t).is_none());
+        assert!(r.push(b.clone(), 10, t).is_none());
+        assert!(r.push(a.clone(), 2, t).is_none());
+        // Third push for `a` completes `a`'s batch only.
+        let (key, batch) = r.push(a.clone(), 3, t).expect("full batch");
+        assert_eq!(key, a);
+        assert_eq!(batch, vec![1, 2, 3]);
+        // `b`'s single item still waits on its own window.
+        assert_eq!(r.next_deadline(), Some(t + Duration::from_millis(1_000)));
+        assert!(r.take_expired(t).is_empty());
+        let expired = r.take_expired(t + Duration::from_millis(1_000));
+        assert_eq!(expired, vec![(b, vec![10])]);
+        assert_eq!(r.next_deadline(), None);
+    }
+
+    #[test]
+    fn each_key_gets_its_own_delay_window() {
+        let mut r = router(100, 10);
+        let (a, b) = (ModelId::new("a"), ModelId::new("b"));
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_millis(4);
+        r.push(a.clone(), 1, t0);
+        r.push(b.clone(), 2, t1);
+        // A later push to `a` does NOT extend `a`'s window.
+        r.push(a.clone(), 3, t1);
+        assert_eq!(r.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        let expired = r.take_expired(t0 + Duration::from_millis(10));
+        assert_eq!(expired, vec![(a, vec![1, 3])]);
+        // `b` expires on its own anchor.
+        assert_eq!(r.next_deadline(), Some(t1 + Duration::from_millis(10)));
+        let expired = r.take_expired(t1 + Duration::from_millis(10));
+        assert_eq!(expired, vec![(b, vec![2])]);
+    }
+
+    #[test]
+    fn drain_returns_everything_open() {
+        let mut r = router(8, 50);
+        let t = Instant::now();
+        r.push(ModelId::new("a"), 1, t);
+        r.push(ModelId::new("b"), 2, t);
+        let mut drained = r.drain();
+        drained.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(
+            drained,
+            vec![(ModelId::new("a"), vec![1]), (ModelId::new("b"), vec![2]),]
+        );
+        assert!(r.drain().is_empty());
+        assert_eq!(r.next_deadline(), None);
+    }
+
+    #[test]
+    fn max_batch_one_flushes_every_push() {
+        let mut r = router(1, 50);
+        let t = Instant::now();
+        let id = ModelId::default();
+        assert!(r.push(id.clone(), 7, t).is_some());
+        assert_eq!(r.next_deadline(), None);
+    }
+
+    #[test]
+    fn reopened_key_ignores_its_stale_heap_entry() {
+        // Fill and flush `a`, then reopen it later: the flushed batch's
+        // heap entry must not surface as a deadline, and the reopened
+        // batch expires on its own (later) anchor.
+        let mut r = router(2, 10);
+        let a = ModelId::new("a");
+        let t0 = Instant::now();
+        r.push(a.clone(), 1, t0);
+        assert!(r.push(a.clone(), 2, t0).is_some()); // flushed at max_batch
+        let t1 = t0 + Duration::from_millis(5);
+        r.push(a.clone(), 3, t1);
+        assert_eq!(r.next_deadline(), Some(t1 + Duration::from_millis(10)));
+        // The stale t0 deadline expires nothing.
+        assert!(r.take_expired(t0 + Duration::from_millis(10)).is_empty());
+        let expired = r.take_expired(t1 + Duration::from_millis(10));
+        assert_eq!(expired, vec![(a, vec![3])]);
+    }
+}

@@ -18,10 +18,12 @@
 //!   (LUT-6 majority, saturated adder trees) and platform performance
 //!   models.
 //! * [`privehd_serve`] — concurrent batched inference serving: a
-//!   versioned hot-swappable model registry, an adaptive micro-batching
-//!   queue with a worker pool, the edge-side encode-and-obfuscate
-//!   client pipeline, and serving metrics (throughput, latency
-//!   quantiles, batch-size distribution).
+//!   versioned hot-swappable model registry (single-model, or sharded
+//!   multi-tenant with per-model batch routing), an adaptive
+//!   micro-batching queue with a worker pool, the edge-side
+//!   encode-and-obfuscate client pipeline, and serving metrics
+//!   (throughput, latency quantiles, batch-size distribution, global
+//!   and per model).
 //!
 //! ## Quickstart
 //!

@@ -2,7 +2,9 @@
 //! facade: (a) batched results are bit-identical to sequential
 //! `predict`, (b) a mid-stream hot swap never drops or corrupts
 //! in-flight requests, (c) obfuscated-query serving matches the direct
-//! `Obfuscator` path.
+//! `Obfuscator` path, (d) one engine serves many tenants from a
+//! `ShardedRegistry` — concurrent per-tenant hot swaps, cross-tenant
+//! isolation, and per-tenant withdraw.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -10,7 +12,9 @@ use std::time::Duration;
 use prive_hd::core::prelude::*;
 use prive_hd::core::Hypervector;
 use prive_hd::data::surrogates;
-use prive_hd::serve::{ClientEdge, ModelRegistry, ServeConfig, ServeEngine, ServeError};
+use prive_hd::serve::{
+    ClientEdge, ModelId, ModelRegistry, ServeConfig, ServeEngine, ServeError, ShardedRegistry,
+};
 
 const DIM: usize = 2_048;
 const SEED: u64 = 17;
@@ -242,4 +246,283 @@ fn obfuscated_serving_matches_direct_obfuscator_path() {
         assert_eq!(served.prediction.class, direct.class);
     }
     engine2.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant serving: one engine, many models, per-model batching.
+// ---------------------------------------------------------------------
+
+/// A 2-class model of dimension `dim` whose all-positive query resolves
+/// to `positive_class` — opposite layouts make tenants distinguishable
+/// by their answers alone.
+fn oriented(dim: usize, positive_class: usize) -> HdModel {
+    let mut model = HdModel::new(2, dim).unwrap();
+    model
+        .bundle(positive_class, &Hypervector::from_vec(vec![1.0; dim]))
+        .unwrap();
+    model
+        .bundle(1 - positive_class, &Hypervector::from_vec(vec![-1.0; dim]))
+        .unwrap();
+    model
+}
+
+fn ones(dim: usize) -> Hypervector {
+    Hypervector::from_vec(vec![1.0; dim])
+}
+
+#[test]
+fn three_tenants_share_one_engine_with_per_model_metrics() {
+    // Three tenants with different dimensionalities AND different class
+    // layouts behind a single engine: every answer must come from the
+    // submitting tenant's own weights, and the report must break the
+    // counters down per model.
+    let registry = Arc::new(ShardedRegistry::new());
+    let tenants = [
+        (ModelId::new("tenant-a"), 128usize, 0usize),
+        (ModelId::new("tenant-b"), 256, 1),
+        (ModelId::new("tenant-c"), 512, 0),
+    ];
+    for (id, dim, positive_class) in &tenants {
+        registry
+            .publish(id, oriented(*dim, *positive_class), id.as_str())
+            .unwrap();
+    }
+    let config = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        workers: 2,
+        queue_depth: 1_024,
+        packed_fastpath: false,
+    };
+    let engine = ServeEngine::start_sharded(registry, config).unwrap();
+
+    const PER_TENANT: usize = 30;
+    let pending: Vec<_> = (0..PER_TENANT * tenants.len())
+        .map(|i| {
+            let (id, dim, _) = &tenants[i % tenants.len()];
+            (i, engine.submit_to(id, ones(*dim)).unwrap())
+        })
+        .collect();
+    for (i, p) in pending {
+        let (id, _, positive_class) = &tenants[i % tenants.len()];
+        let served = p.wait().unwrap();
+        assert_eq!(&served.model, id, "request {i} answered by wrong tenant");
+        assert_eq!(
+            served.prediction.class, *positive_class,
+            "request {i} served by wrong tenant weights"
+        );
+        assert_eq!(served.model_version, 1);
+    }
+
+    let report = engine.shutdown();
+    assert_eq!(report.completed as usize, PER_TENANT * tenants.len());
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.per_model.len(), tenants.len());
+    for per in &report.per_model {
+        assert_eq!(per.submitted as usize, PER_TENANT, "{}", per.model);
+        assert_eq!(per.completed as usize, PER_TENANT, "{}", per.model);
+        assert_eq!(per.failed, 0);
+        assert!(per.p50_latency <= per.p99_latency);
+    }
+}
+
+#[test]
+fn concurrent_per_tenant_hot_swaps_complete_on_dispatch_version() {
+    // Each tenant is republished mid-traffic (alternating between its
+    // class layout and the negated layout). Every in-flight request must
+    // complete on a version that was actually published for ITS tenant,
+    // with exactly that version's weights.
+    const DIM: usize = 256;
+    let registry = Arc::new(ShardedRegistry::new());
+    let ids: Vec<ModelId> = (0..3)
+        .map(|t| ModelId::new(format!("tenant-{t}")))
+        .collect();
+    for id in &ids {
+        // v1 = layout 0: all-positive query → class 0 (odd versions).
+        registry.publish(id, oriented(DIM, 0), "v1").unwrap();
+    }
+    let config = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        workers: 4,
+        queue_depth: 2_048,
+        packed_fastpath: false,
+    };
+    let engine = ServeEngine::start_sharded(Arc::clone(&registry), config).unwrap();
+
+    const PER_TENANT: usize = 100;
+    let mut clients = Vec::new();
+    for id in &ids {
+        let handle = engine.handle();
+        let id = id.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut results = Vec::new();
+            for _ in 0..PER_TENANT {
+                loop {
+                    match handle.submit_to(&id, ones(DIM)) {
+                        Ok(p) => {
+                            results.push(p.wait().expect("request dropped"));
+                            break;
+                        }
+                        Err(ServeError::QueueFull) => std::thread::yield_now(),
+                        Err(e) => panic!("submit failed: {e}"),
+                    }
+                }
+            }
+            results
+        }));
+    }
+
+    // Concurrent publishers: each tenant swaps its own model 10 times
+    // while the traffic runs. Odd versions → layout 0, even → layout 1.
+    let mut publishers = Vec::new();
+    for id in &ids {
+        let registry = Arc::clone(&registry);
+        let id = id.clone();
+        publishers.push(std::thread::spawn(move || {
+            let mut published = vec![1u64];
+            for i in 0..10u64 {
+                std::thread::sleep(Duration::from_millis(1));
+                let layout = usize::from(i % 2 == 0); // v2 even → layout 1
+                let v = registry
+                    .publish(&id, oriented(DIM, layout), "swap")
+                    .unwrap();
+                published.push(v);
+            }
+            (id, published)
+        }));
+    }
+    let published: Vec<(ModelId, Vec<u64>)> =
+        publishers.into_iter().map(|p| p.join().unwrap()).collect();
+
+    for (client, id) in clients.into_iter().zip(&ids) {
+        let versions = &published.iter().find(|(pid, _)| pid == id).unwrap().1;
+        for served in client.join().unwrap() {
+            assert_eq!(&served.model, id);
+            assert!(
+                versions.contains(&served.model_version),
+                "tenant {id} served unknown version {}",
+                served.model_version
+            );
+            // Odd versions carry layout 0, even versions layout 1; the
+            // answer must match the version the batch dispatched on.
+            let want = usize::from(served.model_version % 2 == 0);
+            assert_eq!(
+                served.prediction.class, want,
+                "tenant {id} version {} served the other version's weights",
+                served.model_version
+            );
+        }
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.completed as usize, PER_TENANT * ids.len());
+    assert_eq!(report.failed, 0);
+    // Every tenant ends on version 11 after 10 swaps.
+    for id in &ids {
+        assert_eq!(registry.version(id), 11);
+    }
+}
+
+#[test]
+fn cross_tenant_isolation_bad_queries_fail_only_their_tenant() {
+    const DIM: usize = 128;
+    let registry = Arc::new(ShardedRegistry::new());
+    let good = ModelId::new("good");
+    let victim = ModelId::new("victim");
+    registry
+        .publish(&good, oriented(DIM, 0), "good-v1")
+        .unwrap();
+    registry
+        .publish(&victim, oriented(DIM, 0), "victim-v1")
+        .unwrap();
+    let config = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        workers: 2,
+        queue_depth: 1_024,
+        packed_fastpath: false,
+    };
+    let engine = ServeEngine::start_sharded(registry, config).unwrap();
+
+    // Interleave: the victim tenant's clients send wrong-dimension
+    // queries; the good tenant's clients stay well-formed.
+    const N: usize = 40;
+    let pending: Vec<_> = (0..2 * N)
+        .map(|i| {
+            if i % 2 == 0 {
+                (true, engine.submit_to(&good, ones(DIM)).unwrap())
+            } else {
+                (false, engine.submit_to(&victim, ones(DIM / 2)).unwrap())
+            }
+        })
+        .collect();
+    for (is_good, p) in pending {
+        if is_good {
+            let served = p.wait().unwrap();
+            assert_eq!(served.model, good);
+            assert_eq!(served.prediction.class, 0);
+        } else {
+            assert!(matches!(p.wait().unwrap_err(), ServeError::Model(_)));
+        }
+    }
+
+    let report = engine.shutdown();
+    assert_eq!(report.completed as usize, N);
+    assert_eq!(report.failed as usize, N);
+    let good_row = report
+        .per_model
+        .iter()
+        .find(|m| m.model == good)
+        .expect("good tenant in report");
+    let victim_row = report
+        .per_model
+        .iter()
+        .find(|m| m.model == victim)
+        .expect("victim tenant in report");
+    assert_eq!((good_row.completed as usize, good_row.failed), (N, 0));
+    assert_eq!((victim_row.completed, victim_row.failed as usize), (0, N));
+}
+
+#[test]
+fn withdraw_of_one_tenant_leaves_others_serving() {
+    const DIM: usize = 128;
+    let registry = Arc::new(ShardedRegistry::new());
+    let keep_a = ModelId::new("keep-a");
+    let keep_b = ModelId::new("keep-b");
+    let gone = ModelId::new("gone");
+    for id in [&keep_a, &keep_b, &gone] {
+        registry.publish(id, oriented(DIM, 0), id.as_str()).unwrap();
+    }
+    let engine = ServeEngine::start_sharded(Arc::clone(&registry), ServeConfig::default()).unwrap();
+
+    // All three serve initially.
+    for id in [&keep_a, &keep_b, &gone] {
+        assert_eq!(
+            engine.predict_for(id, ones(DIM)).unwrap().prediction.class,
+            0
+        );
+    }
+
+    let taken = registry.withdraw(&gone).expect("was live");
+    assert_eq!(taken.version, 1);
+    assert_eq!(registry.len(), 2);
+
+    // The withdrawn tenant now reports NoModel; the others still serve.
+    assert_eq!(
+        engine.predict_for(&gone, ones(DIM)).unwrap_err(),
+        ServeError::NoModel
+    );
+    for id in [&keep_a, &keep_b] {
+        assert_eq!(
+            engine.predict_for(id, ones(DIM)).unwrap().prediction.class,
+            0
+        );
+    }
+
+    // Republishing resumes service on the next version.
+    assert_eq!(registry.publish(&gone, oriented(DIM, 1), "v2").unwrap(), 2);
+    let served = engine.predict_for(&gone, ones(DIM)).unwrap();
+    assert_eq!(served.model_version, 2);
+    assert_eq!(served.prediction.class, 1);
+    engine.shutdown();
 }

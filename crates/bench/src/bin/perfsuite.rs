@@ -1,27 +1,42 @@
-//! `perfsuite` — kernel-vs-reference speedup measurements.
+//! `perfsuite` — kernel-vs-reference speedup measurements, plus a wire
+//! round-trip suite.
 //!
-//! Times the tuned `privehd_core::kernels` paths against the retained
-//! naive reference implementations at the paper's operating point
-//! (ISOLET: `D_iv = 617`, `D_hv = 10 000`, `ℓ_iv = 100`, 26 classes),
-//! single-threaded, and writes the results to `BENCH_kernels.json`.
+//! Default mode times the tuned `privehd_core::kernels` paths against
+//! the retained naive reference implementations at the paper's
+//! operating point (ISOLET: `D_iv = 617`, `D_hv = 10 000`,
+//! `ℓ_iv = 100`, 26 classes), single-threaded, and writes the results
+//! to `BENCH_kernels.json`.
+//!
+//! `--serve` mode instead measures the wire front-end over a real
+//! loopback TCP socket — synchronous round-trip p50/p99 latency and
+//! pipelined frames/sec — and writes `BENCH_serve.json`. The serve
+//! suite is report-only (no floor gate yet: no trajectory exists to
+//! gate against), so `--check`/`--floor-scale` apply to the kernel
+//! suite only.
 //!
 //! Usage:
 //!
 //! ```text
-//! perfsuite [--quick] [--out PATH] [--check] [--floor-scale F]
+//! perfsuite [--quick] [--out PATH] [--check] [--floor-scale F] [--serve]
 //! ```
 //!
 //! `--quick` shrinks sample counts and the batch size for CI smoke runs;
-//! `--out` overrides the output path (default `BENCH_kernels.json` in
-//! the working directory); `--check` exits non-zero when a speedup floor
-//! is missed; `--floor-scale` multiplies the floors before checking
-//! (CI uses `0.5` so shared-runner noise cannot flake the gate while
-//! catastrophic regressions still fail).
+//! `--out` overrides the output path (default `BENCH_kernels.json`, or
+//! `BENCH_serve.json` under `--serve`, in the working directory);
+//! `--check` exits non-zero when a kernel speedup floor is missed;
+//! `--floor-scale` multiplies the floors before checking (CI uses `0.5`
+//! so shared-runner noise cannot flake the gate while catastrophic
+//! regressions still fail).
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use privehd_bench::print_table;
-use privehd_core::{Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ScalarEncoder};
+use privehd_core::{
+    BipolarHv, Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ScalarEncoder,
+};
+use privehd_serve::wire::{WireClient, WireConfig, WireServer};
+use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
 
 /// ISOLET-shaped operating point from the paper.
 const FEATURES: usize = 617;
@@ -101,14 +116,155 @@ fn feature_vectors(count: usize, features: usize, salt: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// Wire round-trip measurements over a loopback socket: sync RTT
+/// quantiles and pipelined throughput. Report-only — there is no floor
+/// gate until a trajectory of runs exists to set one honestly.
+fn run_serve_suite(quick: bool, out_path: &str) {
+    const SERVE_DIM: usize = 4_096;
+    const SERVE_CLASSES: usize = 26;
+    let (rtt_samples, pipelined_frames, window) = if quick {
+        (300usize, 1_000usize, 32usize)
+    } else {
+        (2_000, 10_000, 32)
+    };
+    let profile = if quick { "quick" } else { "full" };
+    eprintln!(
+        "perfsuite [serve/{profile}]: D_hv={SERVE_DIM} classes={SERVE_CLASSES} \
+         rtt_samples={rtt_samples} pipelined={pipelined_frames} window={window} (loopback TCP)"
+    );
+
+    let mut model = HdModel::new(SERVE_CLASSES, SERVE_DIM).expect("valid model");
+    for i in 0..(SERVE_CLASSES * 4) {
+        let hv = BipolarHv::random(SERVE_DIM, i as u64).to_dense();
+        model.bundle(i % SERVE_CLASSES, &hv).expect("bundle");
+    }
+    let registry = Arc::new(ModelRegistry::with_model(model, "perfsuite").expect("publish"));
+    let engine = ServeEngine::start(
+        registry,
+        ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            packed_fastpath: true,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("engine start");
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            max_in_flight: window.max(64),
+            ..WireConfig::default()
+        },
+    )
+    .expect("wire server start");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let model_id = ModelId::default();
+    let queries: Vec<BipolarHv> = (0..64)
+        .map(|i| BipolarHv::random(SERVE_DIM, 1_000 + i as u64))
+        .collect();
+
+    // Warmup, then synchronous round trips: one frame in flight at a
+    // time, so each sample is a full client→server→engine→client trip.
+    for q in queries.iter().take(16) {
+        client.call_packed(&model_id, q).expect("warmup call");
+    }
+    let mut rtt_ns: Vec<f64> = (0..rtt_samples)
+        .map(|i| {
+            let start = Instant::now();
+            client
+                .call_packed(&model_id, &queries[i % queries.len()])
+                .expect("rtt call");
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    rtt_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let quantile = |q: f64| rtt_ns[((q * (rtt_ns.len() - 1) as f64).round()) as usize];
+    let (p50, p99) = (quantile(0.50), quantile(0.99));
+    let mean = rtt_ns.iter().sum::<f64>() / rtt_ns.len() as f64;
+
+    // Pipelined throughput: keep `window` frames in flight.
+    let start = Instant::now();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while sent < window.min(pipelined_frames) {
+        client
+            .send_packed(&model_id, &queries[sent % queries.len()])
+            .expect("pipelined send");
+        sent += 1;
+    }
+    while received < pipelined_frames {
+        let resp = client.recv().expect("pipelined recv");
+        assert!(resp.outcome.is_ok(), "pipelined frame failed");
+        received += 1;
+        if sent < pipelined_frames {
+            client
+                .send_packed(&model_id, &queries[sent % queries.len()])
+                .expect("pipelined send");
+            sent += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    let frames_per_sec = pipelined_frames as f64 / elapsed.as_secs_f64();
+
+    drop(client);
+    let wire_report = server.shutdown();
+    engine.shutdown();
+
+    print_table(&[
+        vec!["metric".to_owned(), "value".to_owned()],
+        vec!["rtt_p50".to_owned(), format!("{:.1} µs", p50 / 1e3)],
+        vec!["rtt_p99".to_owned(), format!("{:.1} µs", p99 / 1e3)],
+        vec!["rtt_mean".to_owned(), format!("{:.1} µs", mean / 1e3)],
+        vec![
+            "pipelined".to_owned(),
+            format!("{frames_per_sec:.0} frames/s (window {window})"),
+        ],
+    ]);
+
+    let doc = serde_json::json!({
+        "suite": "serve",
+        "profile": profile,
+        "report_only": true,
+        "config": serde_json::json!({
+            "dim": SERVE_DIM,
+            "classes": SERVE_CLASSES,
+            "rtt_samples": rtt_samples,
+            "pipelined_frames": pipelined_frames,
+            "window": window,
+        }),
+        "results": serde_json::json!({
+            "rtt_p50_us": p50 / 1e3,
+            "rtt_p99_us": p99 / 1e3,
+            "rtt_mean_us": mean / 1e3,
+            "frames_per_sec": frames_per_sec,
+            "busy_rejections": wire_report.busy_rejections,
+        }),
+    });
+    std::fs::write(out_path, format!("{doc}\n")).expect("write serve benchmark report");
+    eprintln!("wrote {out_path} (report-only)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let serve = args.iter().any(|a| a == "--serve");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_kernels.json", |s| s.as_str());
+        .map_or(
+            if serve {
+                "BENCH_serve.json"
+            } else {
+                "BENCH_kernels.json"
+            },
+            |s| s.as_str(),
+        );
+    if serve {
+        run_serve_suite(quick, out_path);
+        return;
+    }
     let floor_scale = args
         .iter()
         .position(|a| a == "--floor-scale")

@@ -369,8 +369,14 @@ impl BipolarHv {
 
     /// Builds a bipolar hypervector from pre-packed sign words
     /// (`1 ↔ +1`); tail bits beyond `dim` are masked off. Used to adopt
-    /// packed rows produced by the kernels layer without a dense detour.
-    pub(crate) fn from_words(dim: usize, mut words: Vec<u64>) -> Self {
+    /// packed rows produced by the kernels layer — and packed wire
+    /// payloads — without a dense detour (and without a dense-sized
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `words.len() != dim.div_ceil(64)`.
+    pub fn from_words(dim: usize, mut words: Vec<u64>) -> Self {
         assert!(dim > 0, "hypervector dimension must be positive");
         assert_eq!(words.len(), dim.div_ceil(WORD_BITS), "word count mismatch");
         Self::mask_tail(dim, &mut words);

@@ -42,7 +42,7 @@
 //! through its [`PendingPrediction`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -185,6 +185,19 @@ impl PendingPrediction {
     /// [`ServeError::Closed`] if the engine shut down before answering.
     pub fn wait(self) -> Result<ServedPrediction, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Non-blocking poll: `None` while the prediction is still in
+    /// flight, `Some(outcome)` once it resolved (or once the engine
+    /// dropped the request's reply channel, which reads as
+    /// [`ServeError::Closed`]). The wire front-end's poll loop uses
+    /// this to multiplex many pending requests on one thread.
+    pub fn try_wait(&self) -> Option<Result<ServedPrediction, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
     }
 }
 

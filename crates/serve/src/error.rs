@@ -29,6 +29,9 @@ pub enum ServeError {
     UntrainedClasses(Vec<usize>),
     /// An invalid serving configuration was supplied.
     InvalidConfig(String),
+    /// A transport-level (socket) operation of the wire front-end
+    /// failed; the message carries the underlying I/O error text.
+    Transport(String),
 }
 
 impl fmt::Display for ServeError {
@@ -44,6 +47,7 @@ impl fmt::Display for ServeError {
                  (publish_partial serves them anyway)"
             ),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Transport(msg) => write!(f, "wire transport error: {msg}"),
         }
     }
 }

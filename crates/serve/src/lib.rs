@@ -78,12 +78,14 @@ pub mod error;
 pub mod metrics;
 pub mod registry;
 mod router;
+pub mod wire;
 
 pub use edge::ClientEdge;
 pub use engine::{PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle};
 pub use error::ServeError;
 pub use metrics::{BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport};
 pub use registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+pub use wire::{WireClient, WireConfig, WireServer, WireStatus};
 
 /// Commonly used items, importable with a single `use`.
 pub mod prelude {
@@ -96,4 +98,8 @@ pub mod prelude {
         BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport,
     };
     pub use crate::registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+    pub use crate::wire::{
+        WireClient, WireClientError, WireConfig, WireFault, WirePrediction, WireReport, WireServer,
+        WireStatus,
+    };
 }

@@ -1,0 +1,248 @@
+//! The blocking wire client: the edge-device half of the transport.
+//!
+//! [`WireClient`] is a thin synchronous client over one [`TcpStream`]:
+//! it frames requests, assigns request ids, and decodes response
+//! frames. Use [`WireClient::call_packed`] / [`WireClient::call_raw`]
+//! for one-request-at-a-time RPC, or the split
+//! [`WireClient::send_packed`] / [`WireClient::recv`] pair to pipeline
+//! several requests on one connection (responses may arrive out of
+//! request order — correlate by request id).
+//!
+//! One client drives one connection and is not `Sync`; concurrent
+//! client threads each open their own connection, as the integration
+//! tests do.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use privehd_core::BipolarHv;
+
+use crate::registry::ModelId;
+use crate::wire::frame::{
+    encode_request_into, Frame, FrameError, PayloadRef, ResponseFrame, WireFault, WirePrediction,
+    DEFAULT_MAX_BODY,
+};
+
+/// Everything that can go wrong on the client side of the wire.
+#[derive(Debug)]
+pub enum WireClientError {
+    /// A socket operation failed (includes read timeouts).
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a frame.
+    Frame(FrameError),
+    /// The server answered with a typed error frame.
+    Fault(WireFault),
+    /// A call's response carried a different request id than the call
+    /// sent (only possible when mixing `call_*` with pipelined sends).
+    Mismatched {
+        /// The id the call sent.
+        expected: u64,
+        /// The id the response carried.
+        got: u64,
+    },
+    /// The server closed the connection mid-response.
+    ServerClosed,
+    /// The server sent a request frame (protocol violation).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for WireClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireClientError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireClientError::Frame(e) => write!(f, "wire frame error: {e}"),
+            WireClientError::Fault(fault) => write!(f, "server fault: {fault}"),
+            WireClientError::Mismatched { expected, got } => {
+                write!(f, "response id {got} does not match request id {expected}")
+            }
+            WireClientError::ServerClosed => write!(f, "server closed the connection"),
+            WireClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireClientError::Io(e) => Some(e),
+            WireClientError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireClientError {
+    fn from(e: std::io::Error) -> Self {
+        WireClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for WireClientError {
+    fn from(e: FrameError) -> Self {
+        WireClientError::Frame(e)
+    }
+}
+
+/// A blocking client over one wire connection.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    next_id: u64,
+    max_body: usize,
+}
+
+impl WireClient {
+    /// Connects to a [`crate::wire::WireServer`] and applies a default
+    /// 30 s read timeout (so a hung server surfaces as an
+    /// [`WireClientError::Io`] timeout instead of blocking forever;
+    /// adjust with [`WireClient::set_read_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure I/O errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self {
+            stream,
+            read_buf: Vec::new(),
+            next_id: 1,
+            max_body: DEFAULT_MAX_BODY,
+        })
+    }
+
+    /// The local socket address of this connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// Sets (or clears) the read timeout used by [`WireClient::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket configuration error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends a bit-packed (obfuscated bipolar) query for `model`;
+    /// returns the request id to correlate the pipelined response.
+    ///
+    /// # Errors
+    ///
+    /// Encoding or socket errors; the request is not in flight on error.
+    pub fn send_packed(
+        &mut self,
+        model: &ModelId,
+        query: &BipolarHv,
+    ) -> Result<u64, WireClientError> {
+        self.send_payload(model, PayloadRef::Packed(query))
+    }
+
+    /// Sends raw features for server-side encode ∘ obfuscate; returns
+    /// the request id.
+    ///
+    /// # Errors
+    ///
+    /// Encoding or socket errors; the request is not in flight on error.
+    pub fn send_raw(&mut self, model: &ModelId, features: &[f64]) -> Result<u64, WireClientError> {
+        self.send_payload(model, PayloadRef::Raw(features))
+    }
+
+    fn send_payload(
+        &mut self,
+        model: &ModelId,
+        payload: PayloadRef<'_>,
+    ) -> Result<u64, WireClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        // Frame straight from the borrowed query — the hot path never
+        // clones the payload just to encode-and-drop it.
+        let mut bytes = Vec::new();
+        encode_request_into(request_id, model, payload, &mut bytes)?;
+        self.stream.write_all(&bytes)?;
+        Ok(request_id)
+    }
+
+    /// Blocks until one response frame arrives (in server-completion
+    /// order, which under batching may differ from request order).
+    ///
+    /// # Errors
+    ///
+    /// [`WireClientError::ServerClosed`] on EOF, I/O errors (including
+    /// the read timeout), or a frame decode error. A fault frame is
+    /// *not* an error here — it is returned as the
+    /// [`ResponseFrame::outcome`] so pipelined callers can correlate
+    /// faults by id.
+    pub fn recv(&mut self) -> Result<ResponseFrame, WireClientError> {
+        loop {
+            if let Some((frame, used)) = Frame::decode(&self.read_buf, self.max_body)? {
+                self.read_buf.drain(..used);
+                return match frame {
+                    Frame::Response(resp) => Ok(resp),
+                    Frame::Request(_) => {
+                        Err(WireClientError::Protocol("request frame from server"))
+                    }
+                };
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(WireClientError::ServerClosed),
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// One synchronous round trip with a packed query: send, then block
+    /// for the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Send/receive errors, [`WireClientError::Fault`] when the server
+    /// answered with an error status, or
+    /// [`WireClientError::Mismatched`] if an unrelated pipelined
+    /// response arrived instead.
+    pub fn call_packed(
+        &mut self,
+        model: &ModelId,
+        query: &BipolarHv,
+    ) -> Result<WirePrediction, WireClientError> {
+        let id = self.send_packed(model, query)?;
+        self.finish_call(id)
+    }
+
+    /// One synchronous round trip with raw features; see
+    /// [`WireClient::call_packed`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WireClient::call_packed`].
+    pub fn call_raw(
+        &mut self,
+        model: &ModelId,
+        features: &[f64],
+    ) -> Result<WirePrediction, WireClientError> {
+        let id = self.send_raw(model, features)?;
+        self.finish_call(id)
+    }
+
+    fn finish_call(&mut self, id: u64) -> Result<WirePrediction, WireClientError> {
+        let resp = self.recv()?;
+        if resp.request_id != id {
+            return Err(WireClientError::Mismatched {
+                expected: id,
+                got: resp.request_id,
+            });
+        }
+        resp.outcome.map_err(WireClientError::Fault)
+    }
+}

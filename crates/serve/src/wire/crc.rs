@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3, reflected) for frame integrity checking.
+//!
+//! Implemented in-repo because the offline build has no `crc` crate;
+//! the table is built at compile time, and the polynomial/reflection
+//! match the ubiquitous zlib/Ethernet CRC-32 so captures can be checked
+//! against standard tooling.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, one byte of input per step.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `!0`, final complement — the
+/// standard zlib convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = crc32(data);
+        let mut corrupted = data.to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at {byte}:{bit} undetected");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,791 @@
+//! The versioned, length-prefixed, CRC-checked binary frame codec.
+//!
+//! Every message on a Prive-HD serving connection — in either
+//! direction — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"PVHD"
+//! 4       1     protocol version (currently 1)
+//! 5       1     frame kind
+//! 6       8     request id (u64 LE, client-chosen, echoed in responses)
+//! 14      4     body length (u32 LE, bytes of body only)
+//! 18      n     body (layout depends on kind)
+//! 18+n    4     CRC-32 (IEEE) over bytes [0, 18+n)
+//! ```
+//!
+//! The 18-byte header layout (through the body-length field) is frozen
+//! across protocol versions, so a server can always salvage the request
+//! id and answer a version it does not speak with a typed error frame.
+//!
+//! Request bodies carry a [`ModelId`] plus one of two payload kinds
+//! ([`QueryPayload`]): a bit-packed bipolar query — the paper's
+//! obfuscated hypervector, 1 bit per dimension on the wire — or raw
+//! feature scalars for deployments that delegate encode ∘ obfuscate to
+//! a server-side [`crate::ClientEdge`]. Response bodies are either a
+//! [`WirePrediction`] or a [`WireFault`] with a typed [`WireStatus`].
+//!
+//! [`Frame::decode`] is incremental: fed the front of a receive buffer
+//! it returns `Ok(None)` while a frame is still truncated, the decoded
+//! frame plus its consumed length once whole, or a typed [`FrameError`]
+//! for malformed input. Length and structure are validated *before*
+//! any payload-sized allocation, so a hostile length field cannot blow
+//! up memory.
+
+use std::time::Duration;
+
+use privehd_core::BipolarHv;
+
+use crate::registry::ModelId;
+use crate::wire::crc::crc32;
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"PVHD";
+/// Protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Fixed header length (magic + version + kind + request id + body
+/// length).
+pub const HEADER_LEN: usize = 18;
+/// Trailer length (the CRC-32).
+pub const TRAILER_LEN: usize = 4;
+/// Default cap on the body length a peer will accept (1 MiB — a
+/// 64k-dimension packed query is 8 KiB, so this is generous).
+pub const DEFAULT_MAX_BODY: usize = 1 << 20;
+
+const KIND_REQ_PACKED: u8 = 0x01;
+const KIND_REQ_RAW: u8 = 0x02;
+const KIND_RESP_OK: u8 = 0x81;
+const KIND_RESP_ERR: u8 = 0x82;
+
+/// Typed decode/encode failures. Any decode error is grounds for
+/// closing the connection: after malformed bytes the stream cannot be
+/// re-synchronized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic,
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// The frame kind byte is not one this build knows.
+    UnknownKind(u8),
+    /// The declared body length exceeds the configured cap.
+    Oversized {
+        /// Declared body length in bytes.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The CRC-32 trailer did not match the frame bytes.
+    BadCrc {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC carried in the trailer.
+        received: u32,
+    },
+    /// The body did not parse under its declared kind (truncated
+    /// fields, trailing bytes, field/length mismatch, non-UTF-8 model
+    /// id, …).
+    BadBody(&'static str),
+    /// An error-response frame carried an unknown status code.
+    BadStatus(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "declared body length {len} exceeds cap {max}")
+            }
+            FrameError::BadCrc { computed, received } => {
+                write!(
+                    f,
+                    "CRC mismatch (computed {computed:#010x}, received {received:#010x})"
+                )
+            }
+            FrameError::BadBody(why) => write!(f, "malformed frame body: {why}"),
+            FrameError::BadStatus(code) => write!(f, "unknown wire status code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Typed status of an error-response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStatus {
+    /// Backpressure: the engine queue is full or the connection is at
+    /// its in-flight cap. Retry with backoff.
+    Busy,
+    /// The engine is shut down (or shutting down); no retry will help
+    /// on this server.
+    Closed,
+    /// No model is published under the requested id.
+    NoModel,
+    /// The HD computation rejected the query (dimension mismatch, …).
+    ModelError,
+    /// A raw-features request arrived for a model with no server-side
+    /// edge registered.
+    UnsupportedPayload,
+    /// The peer sent bytes that did not parse as a frame; the
+    /// connection is closed after this response.
+    BadFrame,
+    /// The peer declared a body length over the server's cap; the
+    /// connection is closed after this response.
+    TooLarge,
+    /// The peer speaks a protocol version this server does not; the
+    /// connection is closed after this response.
+    UnsupportedVersion,
+}
+
+impl WireStatus {
+    /// The on-wire status code.
+    pub fn code(self) -> u8 {
+        match self {
+            WireStatus::Busy => 1,
+            WireStatus::Closed => 2,
+            WireStatus::NoModel => 3,
+            WireStatus::ModelError => 4,
+            WireStatus::UnsupportedPayload => 5,
+            WireStatus::BadFrame => 6,
+            WireStatus::TooLarge => 7,
+            WireStatus::UnsupportedVersion => 8,
+        }
+    }
+
+    /// Decodes an on-wire status code.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadStatus`] for a code this build does not know.
+    pub fn from_code(code: u8) -> Result<Self, FrameError> {
+        Ok(match code {
+            1 => WireStatus::Busy,
+            2 => WireStatus::Closed,
+            3 => WireStatus::NoModel,
+            4 => WireStatus::ModelError,
+            5 => WireStatus::UnsupportedPayload,
+            6 => WireStatus::BadFrame,
+            7 => WireStatus::TooLarge,
+            8 => WireStatus::UnsupportedVersion,
+            other => return Err(FrameError::BadStatus(other)),
+        })
+    }
+
+    /// True for statuses a client may retry after backing off
+    /// (transient backpressure, as opposed to protocol or model
+    /// errors).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, WireStatus::Busy)
+    }
+}
+
+impl std::fmt::Display for WireStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            WireStatus::Busy => "busy",
+            WireStatus::Closed => "closed",
+            WireStatus::NoModel => "no-model",
+            WireStatus::ModelError => "model-error",
+            WireStatus::UnsupportedPayload => "unsupported-payload",
+            WireStatus::BadFrame => "bad-frame",
+            WireStatus::TooLarge => "too-large",
+            WireStatus::UnsupportedVersion => "unsupported-version",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The error half of a response frame: a typed status plus a
+/// human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// Typed status the client can branch on.
+    pub status: WireStatus,
+    /// Free-form detail (e.g. the model error text). May be empty.
+    pub detail: String,
+}
+
+impl WireFault {
+    /// Builds a fault with a detail message.
+    pub fn new(status: WireStatus, detail: impl Into<String>) -> Self {
+        Self {
+            status,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.detail.is_empty() {
+            write!(f, "{}", self.status)
+        } else {
+            write!(f, "{}: {}", self.status, self.detail)
+        }
+    }
+}
+
+/// A request's query payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryPayload {
+    /// A bit-packed bipolar (obfuscated) hypervector — 1 bit per
+    /// dimension on the wire, the paper's §III-C transfer saving.
+    Packed(BipolarHv),
+    /// Raw feature scalars; the server runs encode ∘ obfuscate through
+    /// a registered [`crate::ClientEdge`]. For trusted-path or legacy
+    /// clients that cannot encode locally.
+    Raw(Vec<f64>),
+}
+
+/// One client→server request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// The model (tenant) this query routes to.
+    pub model: ModelId,
+    /// The query itself.
+    pub payload: QueryPayload,
+}
+
+/// The success half of a response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePrediction {
+    /// The model that served the request.
+    pub model: ModelId,
+    /// Winning class label.
+    pub class: u32,
+    /// Winning (normalized) similarity score.
+    pub score: f64,
+    /// Registry version of the model snapshot that answered.
+    pub model_version: u64,
+    /// Size of the batch the request rode in.
+    pub batch_size: u32,
+    /// Server-side end-to-end latency (submission to prediction).
+    pub latency: Duration,
+}
+
+/// One server→client response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// Echo of the request's id (0 when the request id could not be
+    /// recovered from a malformed frame).
+    pub request_id: u64,
+    /// The served prediction, or a typed fault.
+    pub outcome: Result<WirePrediction, WireFault>,
+}
+
+/// Any frame of the protocol, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client→server.
+    Request(RequestFrame),
+    /// Server→client.
+    Response(ResponseFrame),
+}
+
+/// Sequential reader over a frame body with typed truncation errors.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FrameError::BadBody("field runs past body end"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::BadBody("trailing bytes after body fields"))
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_model_id(buf: &mut Vec<u8>, model: &ModelId) -> Result<(), FrameError> {
+    let bytes = model.as_str().as_bytes();
+    let len =
+        u16::try_from(bytes.len()).map_err(|_| FrameError::BadBody("model id over 64 KiB"))?;
+    put_u16(buf, len);
+    buf.extend_from_slice(bytes);
+    Ok(())
+}
+
+fn read_model_id(r: &mut Reader<'_>) -> Result<ModelId, FrameError> {
+    let len = r.u16()? as usize;
+    let bytes = r.take(len)?;
+    let name =
+        std::str::from_utf8(bytes).map_err(|_| FrameError::BadBody("model id is not UTF-8"))?;
+    Ok(ModelId::new(name))
+}
+
+/// Borrowed view of a request payload, so senders can frame a query
+/// without cloning it first (the client hot path).
+pub(crate) enum PayloadRef<'a> {
+    /// A borrowed bit-packed bipolar query.
+    Packed(&'a BipolarHv),
+    /// Borrowed raw feature scalars.
+    Raw(&'a [f64]),
+}
+
+impl<'a> From<&'a QueryPayload> for PayloadRef<'a> {
+    fn from(payload: &'a QueryPayload) -> Self {
+        match payload {
+            QueryPayload::Packed(hv) => PayloadRef::Packed(hv),
+            QueryPayload::Raw(features) => PayloadRef::Raw(features),
+        }
+    }
+}
+
+/// Appends the fixed header (with a zero body-length placeholder);
+/// returns `(start, len_at)` for [`finish_frame`].
+fn begin_frame(out: &mut Vec<u8>, kind: u8, request_id: u64) -> (usize, usize) {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    put_u64(out, request_id);
+    let len_at = out.len();
+    put_u32(out, 0); // patched by finish_frame
+    (start, len_at)
+}
+
+/// Patches the body length and appends the CRC trailer.
+fn finish_frame(out: &mut Vec<u8>, start: usize, len_at: usize) -> Result<(), FrameError> {
+    let body_len = u32::try_from(out.len() - (len_at + 4))
+        .map_err(|_| FrameError::BadBody("body over u32 bytes"))?;
+    out[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
+    let crc = crc32(&out[start..]);
+    put_u32(out, crc);
+    Ok(())
+}
+
+/// Encodes a request frame from borrowed parts — no payload clone.
+///
+/// # Errors
+///
+/// [`FrameError::BadBody`] when a field exceeds its on-wire width.
+pub(crate) fn encode_request_into(
+    request_id: u64,
+    model: &ModelId,
+    payload: PayloadRef<'_>,
+    out: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    let kind = match payload {
+        PayloadRef::Packed(_) => KIND_REQ_PACKED,
+        PayloadRef::Raw(_) => KIND_REQ_RAW,
+    };
+    let (start, len_at) = begin_frame(out, kind, request_id);
+    put_model_id(out, model)?;
+    match payload {
+        PayloadRef::Packed(hv) => {
+            let dim =
+                u32::try_from(hv.dim()).map_err(|_| FrameError::BadBody("dimension over u32"))?;
+            put_u32(out, dim);
+            for &w in hv.words() {
+                put_u64(out, w);
+            }
+        }
+        PayloadRef::Raw(features) => {
+            let count = u32::try_from(features.len())
+                .map_err(|_| FrameError::BadBody("feature count over u32"))?;
+            put_u32(out, count);
+            for &x in features {
+                put_u64(out, x.to_bits());
+            }
+        }
+    }
+    finish_frame(out, start, len_at)
+}
+
+impl Frame {
+    /// Encodes the frame, appending magic/header/body/CRC to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::BadBody`] when a field exceeds its on-wire width
+    /// (a model id over 64 KiB, a payload over `u32` elements).
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), FrameError> {
+        let resp = match self {
+            Frame::Request(req) => {
+                return encode_request_into(req.request_id, &req.model, (&req.payload).into(), out)
+            }
+            Frame::Response(resp) => resp,
+        };
+        let kind = match resp.outcome {
+            Ok(_) => KIND_RESP_OK,
+            Err(_) => KIND_RESP_ERR,
+        };
+        let (start, len_at) = begin_frame(out, kind, resp.request_id);
+        match &resp.outcome {
+            Ok(p) => {
+                put_model_id(out, &p.model)?;
+                put_u32(out, p.class);
+                put_u64(out, p.score.to_bits());
+                put_u64(out, p.model_version);
+                put_u32(out, p.batch_size);
+                let ns = u64::try_from(p.latency.as_nanos()).unwrap_or(u64::MAX);
+                put_u64(out, ns);
+            }
+            Err(fault) => {
+                out.push(fault.status.code());
+                // Detail is advisory; truncate rather than fail.
+                let detail = fault.detail.as_bytes();
+                let take = floor_char_boundary(&fault.detail, detail.len().min(1024));
+                put_u16(out, take as u16);
+                out.extend_from_slice(&detail[..take]);
+            }
+        }
+        finish_frame(out, start, len_at)
+    }
+
+    /// Encodes the frame into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Frame::encode_into`].
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Tries to decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` while the frame is incomplete (read more
+    /// bytes and retry), or `Ok(Some((frame, consumed)))` — the caller
+    /// must discard `consumed` bytes. Structural validation (magic,
+    /// version, kind, the `max_body` length cap) happens on the header
+    /// alone, *before* waiting for — or allocating — any body bytes.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FrameError`]; the stream cannot be re-synchronized
+    /// afterwards and the connection should be closed.
+    pub fn decode(buf: &[u8], max_body: usize) -> Result<Option<(Frame, usize)>, FrameError> {
+        if buf.len() < HEADER_LEN {
+            // Reject garbage as early as its first bytes disagree.
+            if !MAGIC.starts_with(&buf[..buf.len().min(4)]) {
+                return Err(FrameError::BadMagic);
+            }
+            return Ok(None);
+        }
+        if buf[..4] != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let version = buf[4];
+        if version != WIRE_VERSION {
+            return Err(FrameError::UnsupportedVersion(version));
+        }
+        let kind = buf[5];
+        if !matches!(
+            kind,
+            KIND_REQ_PACKED | KIND_REQ_RAW | KIND_RESP_OK | KIND_RESP_ERR
+        ) {
+            return Err(FrameError::UnknownKind(kind));
+        }
+        let request_id = u64::from_le_bytes(buf[6..14].try_into().expect("len 8"));
+        let body_len = u32::from_le_bytes(buf[14..18].try_into().expect("len 4")) as usize;
+        if body_len > max_body {
+            return Err(FrameError::Oversized {
+                len: body_len,
+                max: max_body,
+            });
+        }
+        let total = HEADER_LEN + body_len + TRAILER_LEN;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let crc_at = HEADER_LEN + body_len;
+        let computed = crc32(&buf[..crc_at]);
+        let received = u32::from_le_bytes(buf[crc_at..total].try_into().expect("len 4"));
+        if computed != received {
+            return Err(FrameError::BadCrc { computed, received });
+        }
+        let mut r = Reader::new(&buf[HEADER_LEN..crc_at]);
+        let frame = match kind {
+            KIND_REQ_PACKED => {
+                let model = read_model_id(&mut r)?;
+                let dim = r.u32()? as usize;
+                if dim == 0 {
+                    return Err(FrameError::BadBody("zero-dimension query"));
+                }
+                let word_count = dim.div_ceil(64);
+                // Validate the declared length against the actual body
+                // before allocating: the words vector below is exactly
+                // the size of the received bytes — no dense (8×)
+                // expansion happens at decode time, so a hostile `dim`
+                // cannot amplify memory here. (Tail bits beyond `dim`
+                // are masked by `from_words`, so a frame that sets them
+                // decodes to the normalized hypervector.)
+                if word_count.checked_mul(8) != Some(r.remaining()) {
+                    return Err(FrameError::BadBody("packed words disagree with dimension"));
+                }
+                let mut words = Vec::with_capacity(word_count);
+                for _ in 0..word_count {
+                    words.push(r.u64()?);
+                }
+                Frame::Request(RequestFrame {
+                    request_id,
+                    model,
+                    payload: QueryPayload::Packed(BipolarHv::from_words(dim, words)),
+                })
+            }
+            KIND_REQ_RAW => {
+                let model = read_model_id(&mut r)?;
+                let count = r.u32()? as usize;
+                // checked_mul: on 32-bit targets a hostile count could
+                // wrap `count * 8` around to match the body size and
+                // drive a huge allocation below.
+                if count.checked_mul(8) != Some(r.remaining()) {
+                    return Err(FrameError::BadBody("feature bytes disagree with count"));
+                }
+                let mut features = Vec::with_capacity(count);
+                for _ in 0..count {
+                    features.push(r.f64()?);
+                }
+                Frame::Request(RequestFrame {
+                    request_id,
+                    model,
+                    payload: QueryPayload::Raw(features),
+                })
+            }
+            KIND_RESP_OK => {
+                let model = read_model_id(&mut r)?;
+                let class = r.u32()?;
+                let score = r.f64()?;
+                let model_version = r.u64()?;
+                let batch_size = r.u32()?;
+                let latency = Duration::from_nanos(r.u64()?);
+                Frame::Response(ResponseFrame {
+                    request_id,
+                    outcome: Ok(WirePrediction {
+                        model,
+                        class,
+                        score,
+                        model_version,
+                        batch_size,
+                        latency,
+                    }),
+                })
+            }
+            _ => {
+                let status = WireStatus::from_code(r.u8()?)?;
+                let len = r.u16()? as usize;
+                let bytes = r.take(len)?;
+                let detail = std::str::from_utf8(bytes)
+                    .map_err(|_| FrameError::BadBody("fault detail is not UTF-8"))?
+                    .to_owned();
+                Frame::Response(ResponseFrame {
+                    request_id,
+                    outcome: Err(WireFault { status, detail }),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(Some((frame, total)))
+    }
+}
+
+/// Best-effort recovery of the request id from the front of a buffer
+/// whose frame failed (or will fail) to decode, so the error response
+/// can still be correlated. Requires intact magic and the id field;
+/// the header layout is frozen across versions, so this also works for
+/// versions this build does not speak.
+pub fn salvage_request_id(buf: &[u8]) -> Option<u64> {
+    if buf.len() >= 14 && buf[..4] == MAGIC {
+        Some(u64::from_le_bytes(buf[6..14].try_into().expect("len 8")))
+    } else {
+        None
+    }
+}
+
+/// Largest `n' <= n` that is a char boundary of `s`.
+fn floor_char_boundary(s: &str, n: usize) -> usize {
+    let mut n = n.min(s.len());
+    while n > 0 && !s.is_char_boundary(n) {
+        n -= 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packed_request(dim: usize, seed: u64) -> Frame {
+        Frame::Request(RequestFrame {
+            request_id: 42,
+            model: ModelId::new("tenant-a"),
+            payload: QueryPayload::Packed(BipolarHv::random(dim, seed)),
+        })
+    }
+
+    #[test]
+    fn packed_request_roundtrips() {
+        for dim in [1usize, 63, 64, 65, 1000, 4096] {
+            let frame = packed_request(dim, dim as u64);
+            let bytes = frame.encode().unwrap();
+            let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn raw_request_roundtrips() {
+        let frame = Frame::Request(RequestFrame {
+            request_id: u64::MAX,
+            model: ModelId::new("Δ-tenant"),
+            payload: QueryPayload::Raw(vec![0.25, -1.5, 0.0, f64::MAX, -0.0]),
+        });
+        let bytes = frame.encode().unwrap();
+        let (decoded, _) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let ok = Frame::Response(ResponseFrame {
+            request_id: 7,
+            outcome: Ok(WirePrediction {
+                model: ModelId::new("m"),
+                class: 3,
+                score: 0.875,
+                model_version: 12,
+                batch_size: 64,
+                latency: Duration::from_micros(1234),
+            }),
+        });
+        let err = Frame::Response(ResponseFrame {
+            request_id: 8,
+            outcome: Err(WireFault::new(WireStatus::Busy, "queue full")),
+        });
+        for frame in [ok, err] {
+            let bytes = frame.encode().unwrap();
+            let (decoded, _) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn two_frames_decode_back_to_back() {
+        let a = packed_request(64, 1);
+        let b = Frame::Response(ResponseFrame {
+            request_id: 9,
+            outcome: Err(WireFault::new(WireStatus::NoModel, "")),
+        });
+        let mut bytes = a.encode().unwrap();
+        let split = bytes.len();
+        b.encode_into(&mut bytes).unwrap();
+        let (first, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+        assert_eq!((first, consumed), (a, split));
+        let (second, rest) = Frame::decode(&bytes[split..], DEFAULT_MAX_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!((second, rest), (b, bytes.len() - split));
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for status in [
+            WireStatus::Busy,
+            WireStatus::Closed,
+            WireStatus::NoModel,
+            WireStatus::ModelError,
+            WireStatus::UnsupportedPayload,
+            WireStatus::BadFrame,
+            WireStatus::TooLarge,
+            WireStatus::UnsupportedVersion,
+        ] {
+            assert_eq!(WireStatus::from_code(status.code()).unwrap(), status);
+        }
+        assert_eq!(WireStatus::from_code(0), Err(FrameError::BadStatus(0)));
+        assert!(WireStatus::Busy.is_retryable());
+        assert!(!WireStatus::Closed.is_retryable());
+    }
+
+    #[test]
+    fn salvages_request_id_from_partial_frames() {
+        let bytes = packed_request(64, 3).encode().unwrap();
+        assert_eq!(salvage_request_id(&bytes[..14]), Some(42));
+        assert_eq!(salvage_request_id(&bytes[..13]), None);
+        assert_eq!(salvage_request_id(b"JUNKJUNKJUNKJUNK"), None);
+        // Works even for a future version this build rejects.
+        let mut future = bytes;
+        future[4] = 9;
+        assert_eq!(salvage_request_id(&future), Some(42));
+    }
+
+    #[test]
+    fn detail_truncation_respects_char_boundaries() {
+        let long = "é".repeat(2_000); // 2 bytes per char, 4000 bytes total
+        let frame = Frame::Response(ResponseFrame {
+            request_id: 1,
+            outcome: Err(WireFault::new(WireStatus::ModelError, long)),
+        });
+        let bytes = frame.encode().unwrap();
+        let (decoded, _) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+        let Frame::Response(ResponseFrame {
+            outcome: Err(fault),
+            ..
+        }) = decoded
+        else {
+            panic!("expected error response");
+        };
+        assert_eq!(fault.detail.len(), 1024);
+        assert!(fault.detail.chars().all(|c| c == 'é'));
+    }
+}

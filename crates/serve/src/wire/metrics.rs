@@ -1,0 +1,152 @@
+//! Connection-level counters for the wire front-end.
+//!
+//! These extend [`crate::ServeMetrics`] (which counts *requests* inside
+//! the engine) with what only the transport can see: connections,
+//! frames, decode failures, and wire-level backpressure. All counters
+//! are atomic — the poll loop and readers never contend on a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live transport counters, shared between the server's poll loop and
+/// callers holding the [`crate::wire::WireServer`].
+#[derive(Debug, Default)]
+pub struct WireMetrics {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    open: AtomicU64,
+    frames_in: AtomicU64,
+    responses_out: AtomicU64,
+    decode_errors: AtomicU64,
+    busy_rejections: AtomicU64,
+    idle_closed: AtomicU64,
+}
+
+impl WireMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_refuse(&self) {
+        self.refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_open(&self, open: usize) {
+        self.open.store(open as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_frame_in(&self) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_response_out(&self) {
+        self.responses_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_idle_close(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot of every counter.
+    pub fn report(&self) -> WireReport {
+        WireReport {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            open: self.open.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            responses_out: self.responses_out.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of the transport counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReport {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections refused because the server was at its connection cap.
+    pub refused: u64,
+    /// Connections open at snapshot time.
+    pub open: u64,
+    /// Request frames successfully decoded.
+    pub frames_in: u64,
+    /// Response frames written back (predictions and faults).
+    pub responses_out: u64,
+    /// Malformed/oversized/unsupported-version frames (each also closes
+    /// its connection).
+    pub decode_errors: u64,
+    /// Requests answered `Busy` at the wire: per-connection in-flight
+    /// cap or engine queue backpressure.
+    pub busy_rejections: u64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: u64,
+}
+
+impl std::fmt::Display for WireReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire: {} conns accepted ({} refused, {} open, {} idle-closed), \
+             {} frames in, {} responses out, {} decode errors, {} busy rejections",
+            self.accepted,
+            self.refused,
+            self.open,
+            self.idle_closed,
+            self.frames_in,
+            self.responses_out,
+            self.decode_errors,
+            self.busy_rejections
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_snapshots_counters() {
+        let m = WireMetrics::new();
+        m.on_accept();
+        m.on_accept();
+        m.on_refuse();
+        m.set_open(2);
+        m.on_frame_in();
+        m.on_response_out();
+        m.on_decode_error();
+        m.on_busy();
+        m.on_idle_close();
+        let r = m.report();
+        assert_eq!(
+            r,
+            WireReport {
+                accepted: 2,
+                refused: 1,
+                open: 2,
+                frames_in: 1,
+                responses_out: 1,
+                decode_errors: 1,
+                busy_rejections: 1,
+                idle_closed: 1,
+            }
+        );
+        let text = r.to_string();
+        assert!(text.contains("2 conns accepted"), "{text}");
+        assert!(text.contains("1 busy rejections"), "{text}");
+    }
+}

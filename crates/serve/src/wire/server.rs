@@ -1,0 +1,718 @@
+//! The TCP front-end: a poll-style connection loop feeding the engine.
+//!
+//! [`WireServer`] listens on a TCP socket, decodes request frames into
+//! [`SubmitHandle::submit_to`], and streams response frames back as
+//! each request's [`crate::PendingPrediction`] resolves. There is no
+//! async runtime in this workspace (the offline `vendor/` set carries
+//! none), so the server runs one dedicated thread with every socket in
+//! nonblocking mode — a classic readiness loop. The heavy work
+//! (batching, classification) happens on the engine's worker pool; for
+//! *packed* frames the wire thread only shovels and frames bytes, so
+//! one poll thread keeps up with many connections. Raw-features
+//! frames are the exception: their server-side encode ∘ obfuscate
+//! ([`WireConfig::edges`]) currently runs on the poll thread, so heavy
+//! raw traffic adds latency for every connection — treat the raw path
+//! as a convenience for trusted/legacy clients and packed frames as
+//! the performance path (offloading the edge onto the worker pool is a
+//! roadmap item).
+//!
+//! ## Backpressure and hygiene
+//!
+//! * Engine queue pressure ([`ServeError::QueueFull`]) and the
+//!   per-connection in-flight cap ([`WireConfig::max_in_flight`]) are
+//!   answered with an explicit [`WireStatus::Busy`] error frame — the
+//!   socket never stalls as a side channel of queue state.
+//! * Per-connection read and write buffers are bounded (one maximal
+//!   frame inbound; a fixed multiple outbound — a peer that stops
+//!   reading its responses is disconnected rather than buffered
+//!   without bound).
+//! * Malformed, oversized, or wrong-version frames get a typed error
+//!   frame (with the request id salvaged from the broken frame when
+//!   possible), then the connection closes: a byte stream cannot be
+//!   re-synchronized after framing is lost.
+//! * Idle connections (no traffic, nothing in flight) close after
+//!   [`WireConfig::idle_timeout`].
+//! * [`WireServer::shutdown`] drains gracefully: it stops accepting
+//!   and reading, finishes every in-flight request, flushes response
+//!   buffers, then closes. If the engine shuts down first, in-flight
+//!   requests resolve to [`WireStatus::Closed`] faults and the drain
+//!   still completes.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::edge::ClientEdge;
+use crate::engine::{PendingPrediction, ServedPrediction, SubmitHandle};
+use crate::error::ServeError;
+use crate::registry::ModelId;
+use crate::wire::frame::{
+    salvage_request_id, Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame, WireFault,
+    WirePrediction, WireStatus, DEFAULT_MAX_BODY, HEADER_LEN, TRAILER_LEN,
+};
+use crate::wire::metrics::{WireMetrics, WireReport};
+
+/// Tuning knobs of the wire front-end.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Most simultaneous connections; further accepts are refused
+    /// (closed immediately).
+    pub max_connections: usize,
+    /// Cap on a frame's declared body length; larger frames answer
+    /// [`WireStatus::TooLarge`] and close the connection.
+    pub max_body_bytes: usize,
+    /// Per-connection admission cap: requests in flight beyond this
+    /// answer [`WireStatus::Busy`] instead of entering the engine — a
+    /// flooding connection is throttled at its own edge before it can
+    /// monopolize the shared submission queue.
+    pub max_in_flight: usize,
+    /// Cap on a query's dimensionality (packed) or feature count
+    /// (raw). Decoding never allocates more than the frame's own size,
+    /// but *submission* expands a packed query 64× into dense `f64`s —
+    /// this cap bounds that expansion, since frames within
+    /// [`WireConfig::max_body_bytes`] could otherwise declare millions
+    /// of dimensions and hold the dense queries in the engine queue.
+    /// Over-cap queries answer a [`WireStatus::ModelError`] fault. Set
+    /// it near your largest served model's dimensionality.
+    pub max_query_dim: usize,
+    /// A connection with no traffic and nothing in flight closes after
+    /// this long.
+    pub idle_timeout: Duration,
+    /// How long [`WireServer::shutdown`] waits for in-flight requests
+    /// to finish before closing connections anyway.
+    pub drain_timeout: Duration,
+    /// Sleep between poll iterations when nothing made progress.
+    pub poll_interval: Duration,
+    /// Server-side edge pipelines for [`QueryPayload::Raw`] frames,
+    /// keyed by model id: raw features for `id` run encode ∘ obfuscate
+    /// through `edges[id]` before submission. Models without an entry
+    /// answer [`WireStatus::UnsupportedPayload`] to raw frames.
+    pub edges: HashMap<ModelId, ClientEdge>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            max_body_bytes: DEFAULT_MAX_BODY,
+            max_in_flight: 32,
+            max_query_dim: 65_536,
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+            poll_interval: Duration::from_micros(500),
+            edges: HashMap::new(),
+        }
+    }
+}
+
+impl WireConfig {
+    /// Registers a server-side edge for `model`'s raw-features frames
+    /// (builder style).
+    #[must_use]
+    pub fn with_edge(mut self, model: ModelId, edge: ClientEdge) -> Self {
+        self.edges.insert(model, edge);
+        self
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.max_connections == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_connections must be ≥ 1".into(),
+            ));
+        }
+        if self.max_body_bytes < 64 {
+            return Err(ServeError::InvalidConfig(
+                "max_body_bytes must be ≥ 64".into(),
+            ));
+        }
+        if self.max_in_flight == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_in_flight must be ≥ 1".into(),
+            ));
+        }
+        if self.max_query_dim == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_query_dim must be ≥ 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The running TCP front-end; dropping (or [`WireServer::shutdown`])
+/// stops it.
+#[derive(Debug)]
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<WireMetrics>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and spawns
+    /// the poll thread serving requests into `handle`'s engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for zero-valued knobs,
+    /// [`ServeError::Transport`] when the bind fails.
+    ///
+    /// # Examples
+    ///
+    /// A full loopback round trip:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use privehd_core::{BipolarHv, HdModel, Hypervector};
+    /// use privehd_serve::wire::{WireClient, WireConfig, WireServer};
+    /// use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut model = HdModel::new(2, 64)?;
+    /// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
+    /// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
+    /// let registry = Arc::new(ModelRegistry::with_model(model, "demo")?);
+    /// let engine = ServeEngine::start(registry, ServeConfig::default())?;
+    ///
+    /// let server = WireServer::start("127.0.0.1:0", engine.handle(), WireConfig::default())?;
+    /// let mut client = WireClient::connect(server.local_addr())?;
+    /// let query = BipolarHv::from_signs(&vec![1.0; 64]);
+    /// let served = client.call_packed(&ModelId::default(), &query)?;
+    /// assert_eq!(served.class, 0);
+    ///
+    /// let report = server.shutdown();
+    /// assert_eq!(report.responses_out, 1);
+    /// engine.shutdown();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        handle: SubmitHandle,
+        config: WireConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Transport(format!("bind failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Transport(format!("set_nonblocking failed: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::Transport(format!("local_addr failed: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(WireMetrics::new());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("privehd-wire".into())
+                .spawn(move || run_loop(&listener, &handle, &config, &metrics, &stop))
+                .map_err(|e| ServeError::Transport(format!("spawn failed: {e}")))?
+        };
+        Ok(Self {
+            addr: local,
+            stop,
+            metrics,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live transport counters.
+    pub fn metrics(&self) -> &WireMetrics {
+        &self.metrics
+    }
+
+    /// Snapshot of the transport counters.
+    pub fn report(&self) -> WireReport {
+        self.metrics.report()
+    }
+
+    /// Stops accepting, drains in-flight requests (bounded by
+    /// [`WireConfig::drain_timeout`]), closes every connection, joins
+    /// the poll thread, and returns the final transport report.
+    pub fn shutdown(mut self) -> WireReport {
+        self.join();
+        self.metrics.report()
+    }
+
+    fn join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("wire poll thread panicked");
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// One live connection's state inside the poll loop.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    in_flight: Vec<(u64, PendingPrediction)>,
+    last_activity: Instant,
+    /// Peer half-closed its send side; serve what's in flight, then go.
+    eof: bool,
+    /// Framing was lost (or the peer must go): close once the write
+    /// buffer flushes.
+    close_after_flush: bool,
+    /// Set once the fault frame is flushed and the write side is shut
+    /// down: keep *reading and discarding* the peer's in-flight bytes
+    /// until EOF or this deadline, so closing with unread data in the
+    /// kernel buffer does not RST away the fault frame we just sent.
+    linger_until: Option<Instant>,
+    dead: bool,
+}
+
+/// Read chunk size per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// How long a poisoned connection lingers discarding the peer's
+/// in-flight bytes after its fault frame is flushed.
+const CLOSE_LINGER: Duration = Duration::from_secs(1);
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            in_flight: Vec::new(),
+            last_activity: Instant::now(),
+            eof: false,
+            close_after_flush: false,
+            linger_until: None,
+            dead: false,
+        }
+    }
+
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.written
+    }
+
+    /// One service round: read, parse/submit, poll in-flight, write,
+    /// lifecycle. Returns true when any progress was made. `draining`
+    /// suppresses reading/parsing so shutdown only finishes what was
+    /// already accepted.
+    fn pump(
+        &mut self,
+        handle: &SubmitHandle,
+        config: &WireConfig,
+        metrics: &WireMetrics,
+        draining: bool,
+    ) -> bool {
+        if let Some(deadline) = self.linger_until {
+            return self.linger_discard(deadline);
+        }
+        let mut progress = false;
+        if !draining && !self.close_after_flush {
+            progress |= self.fill_read_buf(config);
+            progress |= self.parse_and_submit(handle, config, metrics);
+        }
+        progress |= self.poll_in_flight(metrics);
+        progress |= self.flush(config);
+        self.update_lifecycle(config, metrics);
+        progress
+    }
+
+    /// Post-fault lingering: the write side is already shut down (FIN
+    /// sent, fault frame flushed); read and discard whatever the peer
+    /// had in flight so the close never turns into an RST that
+    /// destroys the fault frame on the peer's side.
+    fn linger_discard(&mut self, deadline: Instant) -> bool {
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut progress = false;
+        loop {
+            if Instant::now() >= deadline {
+                self.dead = true;
+                return true;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    return true;
+                }
+                Ok(_) => progress = true,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Reads whatever the socket has, up to the bounded buffer size
+    /// (header + one maximal body + trailer): a peer streaming faster
+    /// than we parse backs up into TCP flow control, not into memory.
+    fn fill_read_buf(&mut self, config: &WireConfig) -> bool {
+        let cap = HEADER_LEN + config.max_body_bytes + TRAILER_LEN;
+        let mut progress = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        while self.read_buf.len() < cap && !self.eof && !self.dead {
+            let want = READ_CHUNK.min(cap - self.read_buf.len());
+            match self.stream.read(&mut chunk[..want]) {
+                Ok(0) => self.eof = true,
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+        progress
+    }
+
+    /// Decodes every complete frame in the read buffer, answering or
+    /// submitting each. A decode error answers a typed fault (request
+    /// id salvaged when possible) and poisons the connection.
+    fn parse_and_submit(
+        &mut self,
+        handle: &SubmitHandle,
+        config: &WireConfig,
+        metrics: &WireMetrics,
+    ) -> bool {
+        let mut consumed = 0usize;
+        let mut progress = false;
+        loop {
+            match Frame::decode(&self.read_buf[consumed..], config.max_body_bytes) {
+                Ok(None) => break,
+                Ok(Some((frame, used))) => {
+                    consumed += used;
+                    progress = true;
+                    self.last_activity = Instant::now();
+                    match frame {
+                        Frame::Request(req) => {
+                            metrics.on_frame_in();
+                            self.handle_request(req, handle, config, metrics);
+                        }
+                        Frame::Response(resp) => {
+                            // Clients must not send response frames.
+                            metrics.on_decode_error();
+                            self.queue_fault(
+                                resp.request_id,
+                                WireFault::new(
+                                    WireStatus::BadFrame,
+                                    "response frame on the request direction",
+                                ),
+                                metrics,
+                            );
+                            self.close_after_flush = true;
+                            break;
+                        }
+                    }
+                }
+                Err(err) => {
+                    metrics.on_decode_error();
+                    let id = salvage_request_id(&self.read_buf[consumed..]).unwrap_or(0);
+                    let status = match err {
+                        FrameError::Oversized { .. } => WireStatus::TooLarge,
+                        FrameError::UnsupportedVersion(_) => WireStatus::UnsupportedVersion,
+                        _ => WireStatus::BadFrame,
+                    };
+                    self.queue_fault(id, WireFault::new(status, err.to_string()), metrics);
+                    self.close_after_flush = true;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        if self.close_after_flush {
+            // Framing is lost (or the peer is leaving): drop the rest.
+            self.read_buf.clear();
+        } else if consumed > 0 {
+            self.read_buf.drain(..consumed);
+        }
+        progress
+    }
+
+    /// Admission, payload preparation, and submission for one request.
+    fn handle_request(
+        &mut self,
+        req: RequestFrame,
+        handle: &SubmitHandle,
+        config: &WireConfig,
+        metrics: &WireMetrics,
+    ) {
+        let RequestFrame {
+            request_id,
+            model,
+            payload,
+        } = req;
+        if self.in_flight.len() >= config.max_in_flight {
+            metrics.on_busy();
+            self.queue_fault(
+                request_id,
+                WireFault::new(WireStatus::Busy, "connection in-flight cap reached"),
+                metrics,
+            );
+            return;
+        }
+        let query_dim = match &payload {
+            QueryPayload::Packed(hv) => hv.dim(),
+            QueryPayload::Raw(features) => features.len(),
+        };
+        if query_dim > config.max_query_dim {
+            // Bound the 64× packed→dense expansion (and edge encode
+            // cost) before any dimension-sized work happens.
+            self.queue_fault(
+                request_id,
+                WireFault::new(
+                    WireStatus::ModelError,
+                    format!(
+                        "query dimensionality {query_dim} exceeds the server cap {}",
+                        config.max_query_dim
+                    ),
+                ),
+                metrics,
+            );
+            return;
+        }
+        let query = match payload {
+            QueryPayload::Packed(hv) => hv.to_dense(),
+            QueryPayload::Raw(features) => match config.edges.get(&model) {
+                None => {
+                    self.queue_fault(
+                        request_id,
+                        WireFault::new(
+                            WireStatus::UnsupportedPayload,
+                            "no server-side edge registered for this model",
+                        ),
+                        metrics,
+                    );
+                    return;
+                }
+                Some(edge) => match edge.prepare(&features) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        self.queue_fault(request_id, fault_for(&e), metrics);
+                        return;
+                    }
+                },
+            },
+        };
+        match handle.submit_to(&model, query) {
+            Ok(pending) => self.in_flight.push((request_id, pending)),
+            Err(e) => {
+                if e == ServeError::QueueFull {
+                    metrics.on_busy();
+                }
+                self.queue_fault(request_id, fault_for(&e), metrics);
+            }
+        }
+    }
+
+    /// Sends a response frame for every in-flight request whose
+    /// prediction has resolved.
+    fn poll_in_flight(&mut self, metrics: &WireMetrics) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            let Some(outcome) = self.in_flight[i].1.try_wait() else {
+                i += 1;
+                continue;
+            };
+            let (request_id, _) = self.in_flight.swap_remove(i);
+            progress = true;
+            let outcome = match outcome {
+                Ok(served) => Ok(wire_prediction(served)),
+                Err(e) => Err(fault_for(&e)),
+            };
+            self.queue_response(ResponseFrame {
+                request_id,
+                outcome,
+            });
+            metrics.on_response_out();
+        }
+        progress
+    }
+
+    fn queue_fault(&mut self, request_id: u64, fault: WireFault, metrics: &WireMetrics) {
+        self.queue_response(ResponseFrame {
+            request_id,
+            outcome: Err(fault),
+        });
+        metrics.on_response_out();
+    }
+
+    fn queue_response(&mut self, resp: ResponseFrame) {
+        let frame = Frame::Response(resp);
+        frame
+            .encode_into(&mut self.write_buf)
+            .expect("response frames have bounded fields");
+        self.last_activity = Instant::now();
+    }
+
+    /// Writes as much of the pending response bytes as the socket
+    /// accepts; disconnects peers that stopped reading (bounded write
+    /// buffer).
+    fn flush(&mut self, config: &WireConfig) -> bool {
+        let mut progress = false;
+        while self.pending_write() > 0 && !self.dead {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => self.dead = true,
+                Ok(n) => {
+                    self.written += n;
+                    self.last_activity = Instant::now();
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+        if self.written > 0 && self.written == self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+        } else if self.written > 64 * 1024 {
+            self.write_buf.drain(..self.written);
+            self.written = 0;
+        }
+        // A peer that neither reads responses nor slows down would grow
+        // the write buffer without bound; cut it off instead.
+        if self.pending_write() > config.max_body_bytes.max(64 * 1024) * 2 {
+            self.dead = true;
+        }
+        progress
+    }
+
+    fn update_lifecycle(&mut self, config: &WireConfig, metrics: &WireMetrics) {
+        if self.dead {
+            return;
+        }
+        let settled = self.in_flight.is_empty() && self.pending_write() == 0;
+        if settled && self.close_after_flush {
+            // Fault frame flushed: half-close and linger-discard the
+            // peer's in-flight bytes instead of dropping the socket
+            // (which would RST away the fault we just sent).
+            let _ = self.stream.shutdown(Shutdown::Write);
+            self.linger_until = Some(Instant::now() + CLOSE_LINGER);
+        } else if settled && self.eof {
+            self.dead = true;
+        } else if settled && self.last_activity.elapsed() > config.idle_timeout {
+            // Covers both silent peers and peers stalled mid-frame
+            // (read_buf non-empty but no bytes arriving): either way
+            // the slot is reclaimed, so half-open connections cannot
+            // pin the accept cap forever.
+            metrics.on_idle_close();
+            self.dead = true;
+        }
+    }
+}
+
+/// Maps an engine-side error onto the wire status vocabulary.
+fn fault_for(e: &ServeError) -> WireFault {
+    match e {
+        ServeError::QueueFull => WireFault::new(WireStatus::Busy, "engine queue full"),
+        ServeError::Closed => WireFault::new(WireStatus::Closed, "engine shut down"),
+        ServeError::NoModel => WireFault::new(WireStatus::NoModel, "no model published"),
+        other => WireFault::new(WireStatus::ModelError, other.to_string()),
+    }
+}
+
+fn wire_prediction(served: ServedPrediction) -> WirePrediction {
+    WirePrediction {
+        model: served.model,
+        class: u32::try_from(served.prediction.class).unwrap_or(u32::MAX),
+        score: served.prediction.score,
+        model_version: served.model_version,
+        batch_size: u32::try_from(served.batch_size).unwrap_or(u32::MAX),
+        latency: served.latency,
+    }
+}
+
+/// The poll loop: accept, pump every connection, reap the dead, drain
+/// on stop.
+fn run_loop(
+    listener: &TcpListener,
+    handle: &SubmitHandle,
+    config: &WireConfig,
+    metrics: &WireMetrics,
+    stop: &AtomicBool,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let draining = stop.load(Ordering::Acquire);
+        if draining && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + config.drain_timeout);
+        }
+        let mut progress = false;
+        if !draining {
+            progress |= accept_new(listener, &mut conns, config, metrics);
+        }
+        for conn in &mut conns {
+            progress |= conn.pump(handle, config, metrics, draining);
+        }
+        let before = conns.len();
+        conns.retain(|c| !c.dead);
+        progress |= conns.len() != before;
+        metrics.set_open(conns.len());
+        if draining {
+            let settled = conns
+                .iter()
+                .all(|c| c.in_flight.is_empty() && c.pending_write() == 0);
+            let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if settled || expired {
+                break;
+            }
+        }
+        if !progress {
+            std::thread::sleep(config.poll_interval);
+        }
+    }
+    metrics.set_open(0);
+}
+
+fn accept_new(
+    listener: &TcpListener,
+    conns: &mut Vec<Conn>,
+    config: &WireConfig,
+    metrics: &WireMetrics,
+) -> bool {
+    let mut progress = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                progress = true;
+                if conns.len() >= config.max_connections {
+                    metrics.on_refuse();
+                    drop(stream);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                metrics.on_accept();
+                conns.push(Conn::new(stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    progress
+}

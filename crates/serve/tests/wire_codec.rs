@@ -1,0 +1,308 @@
+//! Frame-codec test battery: property-based roundtrips (encode ∘
+//! decode = id for arbitrary valid frames) plus adversarial decodes —
+//! truncation at every byte, oversized length fields, bad
+//! magic/version/kind, corrupted CRC, structurally lying bodies —
+//! asserting typed errors and no panics or allocation blowups.
+
+use std::time::Duration;
+
+use privehd_core::BipolarHv;
+use privehd_serve::wire::frame::{
+    Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame, WireFault, WirePrediction,
+    WireStatus, DEFAULT_MAX_BODY, HEADER_LEN,
+};
+use privehd_serve::ModelId;
+use proptest::prelude::*;
+
+fn model_id_from(bytes: Vec<u8>) -> ModelId {
+    // Arbitrary printable-ish names, including empty and multi-byte.
+    let name: String = bytes
+        .into_iter()
+        .map(|b| char::from_u32(0x20 + u32::from(b) % 0x60).unwrap())
+        .collect();
+    ModelId::new(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packed_request_roundtrips(
+        request_id in any::<u64>(),
+        id_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+        dim in 1usize..2_048,
+        seed in any::<u64>(),
+    ) {
+        let frame = Frame::Request(RequestFrame {
+            request_id,
+            model: model_id_from(id_bytes),
+            payload: QueryPayload::Packed(BipolarHv::random(dim, seed)),
+        });
+        let bytes = frame.encode().unwrap();
+        let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn raw_request_roundtrips(
+        request_id in any::<u64>(),
+        id_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+        features in proptest::collection::vec(-1.0e9f64..1.0e9, 0..640),
+    ) {
+        let frame = Frame::Request(RequestFrame {
+            request_id,
+            model: model_id_from(id_bytes),
+            payload: QueryPayload::Raw(features),
+        });
+        let bytes = frame.encode().unwrap();
+        let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn response_frames_roundtrip(
+        request_id in any::<u64>(),
+        class in any::<u32>(),
+        score in -1.0f64..1.0,
+        version in any::<u64>(),
+        batch in any::<u32>(),
+        latency_ns in any::<u64>(),
+        status_code in 1u8..=8,
+        detail_bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let ok = Frame::Response(ResponseFrame {
+            request_id,
+            outcome: Ok(WirePrediction {
+                model: ModelId::new("m"),
+                class,
+                score,
+                model_version: version,
+                batch_size: batch,
+                latency: Duration::from_nanos(latency_ns),
+            }),
+        });
+        let fault = Frame::Response(ResponseFrame {
+            request_id,
+            outcome: Err(WireFault::new(
+                WireStatus::from_code(status_code).unwrap(),
+                model_id_from(detail_bytes).as_str(),
+            )),
+        });
+        for frame in [ok, fault] {
+            let bytes = frame.encode().unwrap();
+            let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics_or_misdecodes(
+        dim in 1usize..512,
+        seed in any::<u64>(),
+        cut in 0usize..1_000,
+    ) {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 77,
+            model: ModelId::new("tenant"),
+            payload: QueryPayload::Packed(BipolarHv::random(dim, seed)),
+        });
+        let bytes = frame.encode().unwrap();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        // Every strict prefix decodes as "incomplete", never as a frame
+        // and never as an error (the bytes so far are valid).
+        prop_assert_eq!(Frame::decode(&bytes[..cut], DEFAULT_MAX_BODY).unwrap(), None);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        dim in 1usize..256,
+        seed in any::<u64>(),
+        at in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 3,
+            model: ModelId::new("t"),
+            payload: QueryPayload::Packed(BipolarHv::random(dim, seed)),
+        });
+        let mut bytes = frame.encode().unwrap();
+        let at = at % bytes.len();
+        bytes[at] ^= flip;
+        // A flipped byte must never silently decode to a *different*
+        // valid frame: either a typed error, an incomplete parse (the
+        // flip enlarged the declared length), or — only if the flip
+        // produced another self-consistent frame, which CRC makes
+        // astronomically unlikely — the identical frame.
+        match Frame::decode(&bytes, DEFAULT_MAX_BODY) {
+            Err(_) | Ok(None) => {}
+            Ok(Some((decoded, _))) => prop_assert_eq!(decoded, frame),
+        }
+    }
+}
+
+/// Builds a valid packed-request frame to corrupt in the tests below.
+fn valid_frame_bytes() -> Vec<u8> {
+    Frame::Request(RequestFrame {
+        request_id: 42,
+        model: ModelId::new("tenant-a"),
+        payload: QueryPayload::Packed(BipolarHv::random(192, 9)),
+    })
+    .encode()
+    .unwrap()
+}
+
+#[test]
+fn bad_magic_is_rejected_immediately() {
+    let mut bytes = valid_frame_bytes();
+    bytes[0] = b'X';
+    assert_eq!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::BadMagic)
+    );
+    // Even before a full header arrives: garbage fails on its first
+    // bytes instead of waiting for more.
+    assert_eq!(
+        Frame::decode(b"JUNK", DEFAULT_MAX_BODY),
+        Err(FrameError::BadMagic)
+    );
+    assert_eq!(Frame::decode(b"PV", DEFAULT_MAX_BODY), Ok(None));
+}
+
+#[test]
+fn unsupported_version_is_typed() {
+    let mut bytes = valid_frame_bytes();
+    bytes[4] = 99;
+    assert_eq!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::UnsupportedVersion(99))
+    );
+}
+
+#[test]
+fn unknown_kind_is_typed() {
+    let mut bytes = valid_frame_bytes();
+    bytes[5] = 0x7F;
+    assert_eq!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::UnknownKind(0x7F))
+    );
+}
+
+#[test]
+fn oversized_length_fails_fast_without_buffering() {
+    // A hostile length field must be rejected from the header alone —
+    // no waiting for (or allocating) 4 GiB of body.
+    let mut bytes = valid_frame_bytes();
+    bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+    let header_only = &bytes[..HEADER_LEN];
+    assert_eq!(
+        Frame::decode(header_only, DEFAULT_MAX_BODY),
+        Err(FrameError::Oversized {
+            len: u32::MAX as usize,
+            max: DEFAULT_MAX_BODY,
+        })
+    );
+}
+
+#[test]
+fn corrupted_crc_is_typed() {
+    let mut bytes = valid_frame_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    assert!(matches!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::BadCrc { .. })
+    ));
+}
+
+#[test]
+fn lying_dimension_cannot_force_a_big_allocation() {
+    // Recompute a valid CRC over a body whose declared dimension wildly
+    // exceeds the packed words actually present: the decoder must
+    // cross-check before allocating anything dimension-sized.
+    let frame = Frame::Request(RequestFrame {
+        request_id: 1,
+        model: ModelId::new("m"),
+        payload: QueryPayload::Packed(BipolarHv::random(64, 1)),
+    });
+    let mut bytes = frame.encode().unwrap();
+    // Body layout: id_len u16 | "m" | dim u32 | words. dim sits at
+    // HEADER_LEN + 2 + 1.
+    let dim_at = HEADER_LEN + 3;
+    bytes[dim_at..dim_at + 4].copy_from_slice(&0x0FFF_FFFFu32.to_le_bytes());
+    let crc_at = bytes.len() - 4;
+    let crc = privehd_serve::wire::crc32(&bytes[..crc_at]);
+    bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::BadBody("packed words disagree with dimension"))
+    );
+}
+
+#[test]
+fn zero_dimension_query_is_rejected() {
+    let frame = Frame::Request(RequestFrame {
+        request_id: 1,
+        model: ModelId::new("m"),
+        payload: QueryPayload::Packed(BipolarHv::random(64, 1)),
+    });
+    let mut bytes = frame.encode().unwrap();
+    let dim_at = HEADER_LEN + 3;
+    bytes[dim_at..dim_at + 4].copy_from_slice(&0u32.to_le_bytes());
+    // Drop the now-superfluous words so lengths agree, then re-CRC.
+    let body_len = 2 + 1 + 4; // id_len + "m" + dim
+    bytes.truncate(HEADER_LEN + body_len);
+    bytes[14..18].copy_from_slice(&(body_len as u32).to_le_bytes());
+    let crc = privehd_serve::wire::crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::BadBody("zero-dimension query"))
+    );
+}
+
+#[test]
+fn trailing_body_bytes_are_rejected() {
+    // Append 8 extra bytes inside the body (with lengths and CRC made
+    // consistent): structurally complete fields + leftovers = error.
+    let frame = Frame::Response(ResponseFrame {
+        request_id: 5,
+        outcome: Err(WireFault::new(WireStatus::Busy, "x")),
+    });
+    let mut bytes = frame.encode().unwrap();
+    let crc_at = bytes.len() - 4;
+    bytes.truncate(crc_at);
+    bytes.extend_from_slice(&[0u8; 8]);
+    let new_body_len = (bytes.len() - HEADER_LEN) as u32;
+    bytes[14..18].copy_from_slice(&new_body_len.to_le_bytes());
+    let crc = privehd_serve::wire::crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::BadBody("trailing bytes after body fields"))
+    );
+}
+
+#[test]
+fn error_display_is_informative() {
+    for (err, needle) in [
+        (FrameError::BadMagic, "magic"),
+        (FrameError::UnsupportedVersion(9), "version 9"),
+        (FrameError::UnknownKind(0x33), "0x33"),
+        (FrameError::Oversized { len: 10, max: 5 }, "exceeds cap"),
+        (
+            FrameError::BadCrc {
+                computed: 1,
+                received: 2,
+            },
+            "CRC",
+        ),
+        (FrameError::BadBody("nope"), "nope"),
+        (FrameError::BadStatus(0), "status"),
+    ] {
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+}

@@ -1,0 +1,429 @@
+//! Wire-server behavior over real loopback sockets: per-connection
+//! admission (the `Busy` cap), malformed-frame hygiene (typed error
+//! then close), idle timeouts, engine-shutdown drain, and the
+//! connection cap.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use privehd_core::{BipolarHv, HdModel, Hypervector};
+use privehd_serve::wire::{Frame, WireClient, WireClientError, WireConfig, WireServer, WireStatus};
+use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
+
+const DIM: usize = 256;
+
+fn trained_registry() -> Arc<ModelRegistry> {
+    let mut model = HdModel::new(2, DIM).unwrap();
+    model
+        .bundle(0, &Hypervector::from_vec(vec![1.0; DIM]))
+        .unwrap();
+    model
+        .bundle(1, &Hypervector::from_vec(vec![-1.0; DIM]))
+        .unwrap();
+    Arc::new(ModelRegistry::with_model(model, "wire-test").unwrap())
+}
+
+fn positive_query() -> BipolarHv {
+    BipolarHv::from_signs(&vec![1.0; DIM])
+}
+
+#[test]
+fn per_connection_in_flight_cap_answers_busy() {
+    // A slow engine (long batching window, nothing to flush early) so
+    // accepted requests provably stay in flight while the flood lands.
+    let engine = ServeEngine::start(
+        trained_registry(),
+        ServeConfig {
+            max_batch: 512,
+            max_delay: Duration::from_millis(300),
+            workers: 1,
+            queue_depth: 512,
+            packed_fastpath: false,
+        },
+    )
+    .unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            max_in_flight: 4,
+            ..WireConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let ids: Vec<u64> = (0..10)
+        .map(|_| {
+            client
+                .send_packed(&ModelId::default(), &positive_query())
+                .unwrap()
+        })
+        .collect();
+
+    let mut busy = 0;
+    let mut served = 0;
+    for _ in &ids {
+        let resp = client.recv().unwrap();
+        assert!(ids.contains(&resp.request_id));
+        match resp.outcome {
+            Ok(p) => {
+                assert_eq!(p.class, 0);
+                served += 1;
+            }
+            Err(fault) => {
+                assert_eq!(fault.status, WireStatus::Busy);
+                assert!(fault.status.is_retryable());
+                busy += 1;
+            }
+        }
+    }
+    // Exactly the cap's worth was admitted; the rest was shed at the
+    // connection edge without ever touching the shared queue.
+    assert_eq!((served, busy), (4, 6));
+    let report = server.shutdown();
+    assert_eq!(report.busy_rejections, 6);
+    assert_eq!(report.frames_in, 10);
+    assert_eq!(report.responses_out, 10);
+    let engine_report = engine.shutdown();
+    assert_eq!(engine_report.submitted, 4);
+}
+
+#[test]
+fn malformed_frames_get_typed_error_then_close() {
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start("127.0.0.1:0", engine.handle(), WireConfig::default()).unwrap();
+
+    // Raw socket speaking garbage: expect one BadFrame fault, then EOF.
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    sock.write_all(b"GARBAGE GARBAGE GARBAGE").unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match sock.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed before EOF: {e}"),
+        }
+    }
+    let (frame, used) = Frame::decode(&buf, 1 << 20)
+        .unwrap()
+        .expect("an error frame");
+    assert_eq!(used, buf.len(), "exactly one response then close");
+    let Frame::Response(resp) = frame else {
+        panic!("expected a response frame");
+    };
+    let fault = resp.outcome.unwrap_err();
+    assert_eq!(fault.status, WireStatus::BadFrame);
+
+    // A fresh, well-formed connection still works: one bad peer does
+    // not poison the server.
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    let served = client
+        .call_packed(&ModelId::default(), &positive_query())
+        .unwrap();
+    assert_eq!(served.class, 0);
+
+    let report = server.shutdown();
+    assert_eq!(report.decode_errors, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn oversized_and_wrong_version_frames_are_typed() {
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            max_body_bytes: 1_024,
+            ..WireConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Oversized: a declared body length over the server's cap.
+    let mut header = Vec::new();
+    header.extend_from_slice(b"PVHD");
+    header.push(1); // version
+    header.push(0x01); // packed request
+    header.extend_from_slice(&7u64.to_le_bytes()); // request id
+    header.extend_from_slice(&u32::MAX.to_le_bytes()); // body length
+    let fault = fault_from_raw(server.local_addr(), &header);
+    assert_eq!(fault.1.status, WireStatus::TooLarge);
+    assert_eq!(fault.0, 7, "request id salvaged from the bad frame");
+
+    // Wrong version: typed as UnsupportedVersion, id still salvaged.
+    let mut v2 = header.clone();
+    v2[4] = 2;
+    let fault = fault_from_raw(server.local_addr(), &v2);
+    assert_eq!(fault.1.status, WireStatus::UnsupportedVersion);
+    assert_eq!(fault.0, 7);
+
+    let report = server.shutdown();
+    assert_eq!(report.decode_errors, 2);
+    engine.shutdown();
+}
+
+/// Writes raw bytes, reads to EOF, returns (request id, fault) of the
+/// single expected error response.
+fn fault_from_raw(
+    addr: std::net::SocketAddr,
+    bytes: &[u8],
+) -> (u64, privehd_serve::wire::WireFault) {
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    sock.write_all(bytes).unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match sock.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed before EOF: {e}"),
+        }
+    }
+    let (frame, _) = Frame::decode(&buf, 1 << 20)
+        .unwrap()
+        .expect("an error frame");
+    let Frame::Response(resp) = frame else {
+        panic!("expected a response frame");
+    };
+    (resp.request_id, resp.outcome.unwrap_err())
+}
+
+#[test]
+fn fault_frame_survives_bytes_still_in_flight() {
+    // Regression: a peer that keeps streaming after its frame went bad
+    // must still receive the typed fault. Closing the socket with
+    // unread bytes in the kernel buffer would RST and destroy the
+    // fault frame; the server instead half-closes and lingers,
+    // discarding the in-flight bytes.
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            max_body_bytes: 4_096,
+            ..WireConfig::default()
+        },
+    )
+    .unwrap();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Header declaring a body far over the cap…
+    let mut bad = Vec::new();
+    bad.extend_from_slice(b"PVHD");
+    bad.push(1);
+    bad.push(0x01);
+    bad.extend_from_slice(&9u64.to_le_bytes());
+    bad.extend_from_slice(&(1_u32 << 20).to_le_bytes());
+    sock.write_all(&bad).unwrap();
+    // …followed by a sizeable chunk of the "body" still in flight.
+    sock.write_all(&vec![0xABu8; 256 * 1024]).unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match sock.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("fault frame lost to a reset: {e}"),
+        }
+    }
+    let (frame, _) = Frame::decode(&buf, 1 << 20)
+        .unwrap()
+        .expect("the typed fault frame");
+    let Frame::Response(resp) = frame else {
+        panic!("expected a response frame");
+    };
+    assert_eq!(resp.request_id, 9);
+    assert_eq!(resp.outcome.unwrap_err().status, WireStatus::TooLarge);
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn engine_shutdown_maps_to_closed_faults() {
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start("127.0.0.1:0", engine.handle(), WireConfig::default()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    // Engine goes first; the transport stays up and answers Closed.
+    engine.shutdown();
+    let err = client
+        .call_packed(&ModelId::default(), &positive_query())
+        .unwrap_err();
+    let WireClientError::Fault(fault) = err else {
+        panic!("expected a fault, got {err}");
+    };
+    assert_eq!(fault.status, WireStatus::Closed);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..WireConfig::default()
+        },
+    )
+    .unwrap();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Say nothing; the server should hang up on its own.
+    let mut chunk = [0u8; 16];
+    assert_eq!(sock.read(&mut chunk).unwrap(), 0, "expected EOF");
+    let report = server.shutdown();
+    assert_eq!(report.idle_closed, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn peers_stalled_mid_frame_are_reaped() {
+    // A half-open peer (a few valid header bytes, then silence) must
+    // not pin a connection slot forever: the idle timeout applies even
+    // with unparsed bytes buffered.
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..WireConfig::default()
+        },
+    )
+    .unwrap();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Valid magic + version, then stall: an incomplete frame forever.
+    sock.write_all(b"PVHD\x01").unwrap();
+    let mut chunk = [0u8; 16];
+    assert_eq!(sock.read(&mut chunk).unwrap(), 0, "expected EOF");
+    let report = server.shutdown();
+    assert_eq!(report.idle_closed, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn over_cap_query_dimensions_are_refused_cheaply() {
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            max_query_dim: 128,
+            ..WireConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    // DIM (256) exceeds the 128 cap: typed fault, no submission…
+    let err = client
+        .call_packed(&ModelId::default(), &positive_query())
+        .unwrap_err();
+    let WireClientError::Fault(fault) = err else {
+        panic!("expected a fault, got {err}");
+    };
+    assert_eq!(fault.status, WireStatus::ModelError);
+    assert!(fault.detail.contains("exceeds the server cap"), "{fault}");
+    // …and likewise for raw feature vectors.
+    let err = client
+        .call_raw(&ModelId::default(), &vec![0.5; 200])
+        .unwrap_err();
+    let WireClientError::Fault(fault) = err else {
+        panic!("expected a fault, got {err}");
+    };
+    assert_eq!(fault.status, WireStatus::ModelError);
+    // The connection stays healthy and in-cap queries still serve.
+    let small = BipolarHv::from_signs(&vec![1.0; 128]);
+    let err = client.call_packed(&ModelId::default(), &small).unwrap_err();
+    // 128 dims passes admission; the model (256-dim) then rejects it —
+    // proving the request reached the engine.
+    let WireClientError::Fault(fault) = err else {
+        panic!("expected a fault, got {err}");
+    };
+    assert_eq!(fault.status, WireStatus::ModelError);
+    assert!(fault.detail.contains("dimension"), "{fault}");
+    let engine_report = engine.shutdown();
+    assert_eq!(engine_report.submitted, 1, "only the in-cap query entered");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_extras() {
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            max_connections: 2,
+            ..WireConfig::default()
+        },
+    )
+    .unwrap();
+    let mut a = WireClient::connect(server.local_addr()).unwrap();
+    let mut b = WireClient::connect(server.local_addr()).unwrap();
+    // Force both through a round trip so the server has registered them.
+    assert_eq!(
+        a.call_packed(&ModelId::default(), &positive_query())
+            .unwrap()
+            .class,
+        0
+    );
+    assert_eq!(
+        b.call_packed(&ModelId::default(), &positive_query())
+            .unwrap()
+            .class,
+        0
+    );
+    // The third connect is accepted by the OS but closed by the server.
+    let mut c = TcpStream::connect(server.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut chunk = [0u8; 16];
+    assert_eq!(c.read(&mut chunk).unwrap(), 0, "expected refusal EOF");
+    let report = server.shutdown();
+    assert_eq!(report.refused, 1);
+    assert_eq!(report.accepted, 2);
+    engine.shutdown();
+}
+
+#[test]
+fn invalid_wire_configs_are_rejected() {
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    for bad in [
+        WireConfig {
+            max_connections: 0,
+            ..WireConfig::default()
+        },
+        WireConfig {
+            max_body_bytes: 1,
+            ..WireConfig::default()
+        },
+        WireConfig {
+            max_in_flight: 0,
+            ..WireConfig::default()
+        },
+        WireConfig {
+            max_query_dim: 0,
+            ..WireConfig::default()
+        },
+    ] {
+        assert!(matches!(
+            WireServer::start("127.0.0.1:0", engine.handle(), bad),
+            Err(privehd_serve::ServeError::InvalidConfig(_))
+        ));
+    }
+    engine.shutdown();
+}

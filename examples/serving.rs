@@ -16,7 +16,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use prive_hd::core::prelude::*;
+use prive_hd::core::BipolarHv;
 use prive_hd::data::surrogates;
+use prive_hd::serve::wire::{WireClient, WireConfig, WireServer};
 use prive_hd::serve::{
     ClientEdge, ModelId, ModelRegistry, ServeConfig, ServeEngine, ServeError, ShardedRegistry,
 };
@@ -164,6 +166,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in mt_pending {
         p.wait()?;
     }
+    // The wire front-end: the same multi-tenant engine behind a real
+    // TCP socket. Clients frame (ModelId, obfuscated query) requests —
+    // packed bipolar payloads cost 1 bit per dimension on the wire —
+    // and tenant-1 also registers a server-side edge so raw-features
+    // frames run encode ∘ obfuscate on the host.
+    println!("\n== wire front-end (loopback TCP) ==");
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        mt_engine.handle(),
+        WireConfig::default().with_edge(tenants[1].clone(), tenant_edges[1].clone()),
+    )?;
+    println!("listening on {}", server.local_addr());
+    let mut wire_client = WireClient::connect(server.local_addr())?;
+    // Packed frame: the device obfuscates, bit-packs, ships ±1 signs.
+    let prepared = tenant_edges[0].prepare(&inputs[0])?;
+    let packed = BipolarHv::from_signs(prepared.as_slice());
+    let served = wire_client.call_packed(&tenants[0], &packed)?;
+    println!(
+        "packed frame → {}: class {} (batch {}, {:?} server-side)",
+        served.model, served.class, served.batch_size, served.latency
+    );
+    // Raw-features frame: the server-side edge prepares the query.
+    let served = wire_client.call_raw(&tenants[1], &inputs[1])?;
+    println!(
+        "raw frame    → {}: class {} (v{})",
+        served.model, served.class, served.model_version
+    );
+    drop(wire_client);
+    println!("{}", server.shutdown());
+
     // One tenant is withdrawn mid-flight in real operations; here after
     // the burst, to show the others keep serving.
     sharded.withdraw(&tenants[2]);

@@ -8,11 +8,14 @@
 //! to `BENCH_kernels.json`.
 //!
 //! `--serve` mode instead measures the wire front-end over a real
-//! loopback TCP socket — synchronous round-trip p50/p99 latency and
-//! pipelined frames/sec — and writes `BENCH_serve.json`. The serve
-//! suite is report-only (no floor gate yet: no trajectory exists to
-//! gate against), so `--check`/`--floor-scale` apply to the kernel
-//! suite only.
+//! loopback TCP socket — synchronous round-trip p50/p99 latency,
+//! pipelined frames/sec, the per-stage latency decomposition scraped
+//! from the server's `Stats` frame (decode, admission, encode, queue,
+//! batch-wait, snapshot-resolve, predict, write), and the e2e p50
+//! cost of span tracing versus a tracing-disabled engine — and writes
+//! `BENCH_serve.json`. The serve suite is report-only (no floor gate
+//! yet: no trajectory exists to gate against), so
+//! `--check`/`--floor-scale` apply to the kernel suite only.
 //!
 //! Usage:
 //!
@@ -32,11 +35,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use privehd_bench::print_table;
+use privehd_core::telemetry::TelemetryConfig;
 use privehd_core::{
-    BipolarHv, Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ScalarEncoder,
+    BipolarHv, Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ObfuscateConfig,
+    QuantScheme, ScalarEncoder,
 };
 use privehd_serve::wire::{WireClient, WireConfig, WireServer};
-use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
+use privehd_serve::{ClientEdge, ModelId, ModelRegistry, ServeConfig, ServeEngine};
 
 /// ISOLET-shaped operating point from the paper.
 const FEATURES: usize = 617;
@@ -116,72 +121,203 @@ fn feature_vectors(count: usize, features: usize, salt: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// The bundled demo model the serve suite predicts against.
+fn serve_model(classes: usize, dim: usize) -> HdModel {
+    let mut model = HdModel::new(classes, dim).expect("valid model");
+    for i in 0..(classes * 4) {
+        let hv = BipolarHv::random(dim, i as u64).to_dense();
+        model.bundle(i % classes, &hv).expect("bundle");
+    }
+    model
+}
+
+/// Sorted synchronous round-trip samples (nanoseconds): a warmup
+/// burst, then one frame in flight at a time so each sample is a full
+/// client→server→engine→client trip.
+fn sync_rtt_ns(
+    client: &mut WireClient,
+    model_id: &ModelId,
+    queries: &[BipolarHv],
+    samples: usize,
+) -> Vec<f64> {
+    for q in queries.iter().take(16) {
+        client.call_packed(model_id, q).expect("warmup call");
+    }
+    let mut rtt_ns: Vec<f64> = (0..samples)
+        .map(|i| {
+            let start = Instant::now();
+            client
+                .call_packed(model_id, &queries[i % queries.len()])
+                .expect("rtt call");
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    rtt_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    rtt_ns
+}
+
+fn push_stage_field(
+    stages: &mut Vec<(String, Vec<(String, serde_json::Value)>)>,
+    stage: &str,
+    key: &str,
+    value: serde_json::Value,
+) {
+    let idx = match stages.iter().position(|(s, _)| s == stage) {
+        Some(i) => i,
+        None => {
+            stages.push((stage.to_owned(), Vec::new()));
+            stages.len() - 1
+        }
+    };
+    stages[idx].1.push((key.to_owned(), value));
+}
+
+/// Extracts `{stage: {count, p50_us, p95_us, p99_us}}` from the
+/// Prometheus text of a `Stats` scrape, keyed by stage name in the
+/// order the server emitted them.
+fn parse_stage_decomposition(text: &str) -> serde_json::Value {
+    const METRIC: &str = "privehd_serve_stage_latency_seconds";
+    let mut stages: Vec<(String, Vec<(String, serde_json::Value)>)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(METRIC) else {
+            continue;
+        };
+        let Some(stage) = rest
+            .split("stage=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+        else {
+            continue;
+        };
+        let Some(value) = line.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok()) else {
+            continue;
+        };
+        if rest.starts_with("_count") {
+            push_stage_field(
+                &mut stages,
+                stage,
+                "count",
+                serde_json::Value::Int(value as i64),
+            );
+        } else if rest.starts_with('{') {
+            let key = match rest
+                .split("quantile=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+            {
+                Some("0.5") => "p50_us",
+                Some("0.95") => "p95_us",
+                Some("0.99") => "p99_us",
+                _ => continue,
+            };
+            push_stage_field(
+                &mut stages,
+                stage,
+                key,
+                serde_json::Value::Float(value * 1e6),
+            );
+        }
+    }
+    serde_json::Value::Object(
+        stages
+            .into_iter()
+            .map(|(s, fields)| (s, serde_json::Value::Object(fields)))
+            .collect(),
+    )
+}
+
 /// Wire round-trip measurements over a loopback socket: sync RTT
-/// quantiles and pipelined throughput. Report-only — there is no floor
-/// gate until a trajectory of runs exists to set one honestly.
+/// quantiles, pipelined throughput, the per-stage latency
+/// decomposition scraped from the `Stats` frame, and the e2e p50
+/// overhead of span tracing versus a tracing-disabled engine.
+/// Report-only — there is no floor gate until a trajectory of runs
+/// exists to set one honestly.
 fn run_serve_suite(quick: bool, out_path: &str) {
     const SERVE_DIM: usize = 4_096;
     const SERVE_CLASSES: usize = 26;
+    const RAW_FEATURES: usize = 64;
     let (rtt_samples, pipelined_frames, window) = if quick {
         (300usize, 1_000usize, 32usize)
     } else {
         (2_000, 10_000, 32)
     };
+    let raw_calls = if quick { 32usize } else { 128 };
     let profile = if quick { "quick" } else { "full" };
     eprintln!(
         "perfsuite [serve/{profile}]: D_hv={SERVE_DIM} classes={SERVE_CLASSES} \
          rtt_samples={rtt_samples} pipelined={pipelined_frames} window={window} (loopback TCP)"
     );
 
-    let mut model = HdModel::new(SERVE_CLASSES, SERVE_DIM).expect("valid model");
-    for i in 0..(SERVE_CLASSES * 4) {
-        let hv = BipolarHv::random(SERVE_DIM, i as u64).to_dense();
-        model.bundle(i % SERVE_CLASSES, &hv).expect("bundle");
-    }
-    let registry = Arc::new(ModelRegistry::with_model(model, "perfsuite").expect("publish"));
-    let engine = ServeEngine::start(
-        registry,
+    let model_id = ModelId::default();
+    let queries: Vec<BipolarHv> = (0..64)
+        .map(|i| BipolarHv::random(SERVE_DIM, 1_000 + i as u64))
+        .collect();
+    let serve_config = ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_micros(200),
+        packed_fastpath: true,
+        ..ServeConfig::default()
+    };
+
+    // --- Baseline pass: identical engine + server with the tracing
+    //     spine disabled, sync RTTs only. Stage histograms always
+    //     record; this isolates the cost of span capture. ------------
+    let baseline_engine = ServeEngine::start(
+        Arc::new(
+            ModelRegistry::with_model(serve_model(SERVE_CLASSES, SERVE_DIM), "perfsuite-baseline")
+                .expect("publish"),
+        ),
         ServeConfig {
-            max_batch: 64,
-            max_delay: Duration::from_micros(200),
-            packed_fastpath: true,
-            ..ServeConfig::default()
+            telemetry: TelemetryConfig::disabled(),
+            ..serve_config.clone()
         },
     )
-    .expect("engine start");
+    .expect("baseline engine start");
+    let baseline_server = WireServer::start(
+        "127.0.0.1:0",
+        baseline_engine.handle(),
+        WireConfig {
+            max_in_flight: window.max(64),
+            ..WireConfig::default()
+        },
+    )
+    .expect("baseline wire server start");
+    let mut baseline_client =
+        WireClient::connect(baseline_server.local_addr()).expect("baseline connect");
+    let baseline_rtt = sync_rtt_ns(&mut baseline_client, &model_id, &queries, rtt_samples);
+    let baseline_p50 = baseline_rtt[(0.50 * (baseline_rtt.len() - 1) as f64).round() as usize];
+    drop(baseline_client);
+    baseline_server.shutdown();
+    baseline_engine.shutdown();
+
+    // --- Instrumented pass: default telemetry (sampling on). --------
+    let registry = Arc::new(
+        ModelRegistry::with_model(serve_model(SERVE_CLASSES, SERVE_DIM), "perfsuite")
+            .expect("publish"),
+    );
+    let engine = ServeEngine::start(registry, serve_config).expect("engine start");
+    let edge = ClientEdge::new(
+        EncoderConfig::new(RAW_FEATURES, SERVE_DIM).with_seed(5),
+        ObfuscateConfig::new(QuantScheme::Bipolar),
+    )
+    .expect("valid edge config");
     let server = WireServer::start(
         "127.0.0.1:0",
         engine.handle(),
         WireConfig {
             max_in_flight: window.max(64),
             ..WireConfig::default()
-        },
+        }
+        .with_edge(model_id.clone(), edge),
     )
     .expect("wire server start");
     let mut client = WireClient::connect(server.local_addr()).expect("connect");
-    let model_id = ModelId::default();
-    let queries: Vec<BipolarHv> = (0..64)
-        .map(|i| BipolarHv::random(SERVE_DIM, 1_000 + i as u64))
-        .collect();
 
-    // Warmup, then synchronous round trips: one frame in flight at a
-    // time, so each sample is a full client→server→engine→client trip.
-    for q in queries.iter().take(16) {
-        client.call_packed(&model_id, q).expect("warmup call");
-    }
-    let mut rtt_ns: Vec<f64> = (0..rtt_samples)
-        .map(|i| {
-            let start = Instant::now();
-            client
-                .call_packed(&model_id, &queries[i % queries.len()])
-                .expect("rtt call");
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    rtt_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let rtt_ns = sync_rtt_ns(&mut client, &model_id, &queries, rtt_samples);
     let quantile = |q: f64| rtt_ns[((q * (rtt_ns.len() - 1) as f64).round()) as usize];
     let (p50, p99) = (quantile(0.50), quantile(0.99));
     let mean = rtt_ns.iter().sum::<f64>() / rtt_ns.len() as f64;
+    let overhead_pct = (p50 - baseline_p50) / baseline_p50 * 100.0;
 
     // Pipelined throughput: keep `window` frames in flight.
     let start = Instant::now();
@@ -207,11 +343,22 @@ fn run_serve_suite(quick: bool, out_path: &str) {
     let elapsed = start.elapsed();
     let frames_per_sec = pipelined_frames as f64 / elapsed.as_secs_f64();
 
+    // Raw-features calls so the server-side Encode stage has samples
+    // in the decomposition.
+    for x in &feature_vectors(raw_calls, RAW_FEATURES, 3) {
+        client.call_raw(&model_id, x).expect("raw call");
+    }
+
+    // Scrape the Stats frame and lift the stage decomposition out of
+    // the Prometheus text.
+    let stats_text = client.stats().expect("stats scrape");
+    let stage_decomposition = parse_stage_decomposition(&stats_text);
+
     drop(client);
     let wire_report = server.shutdown();
     engine.shutdown();
 
-    print_table(&[
+    let mut rows = vec![
         vec!["metric".to_owned(), "value".to_owned()],
         vec!["rtt_p50".to_owned(), format!("{:.1} µs", p50 / 1e3)],
         vec!["rtt_p99".to_owned(), format!("{:.1} µs", p99 / 1e3)],
@@ -220,7 +367,36 @@ fn run_serve_suite(quick: bool, out_path: &str) {
             "pipelined".to_owned(),
             format!("{frames_per_sec:.0} frames/s (window {window})"),
         ],
-    ]);
+        vec![
+            "rtt_p50 (tracing off)".to_owned(),
+            format!("{:.1} µs", baseline_p50 / 1e3),
+        ],
+        vec![
+            "tracing overhead".to_owned(),
+            format!("{overhead_pct:+.2}% e2e p50"),
+        ],
+    ];
+    if let serde_json::Value::Object(stages) = &stage_decomposition {
+        for (stage, fields) in stages {
+            let field = |key: &str| {
+                if let serde_json::Value::Object(f) = fields {
+                    f.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+                } else {
+                    None
+                }
+            };
+            let (Some(serde_json::Value::Float(p50)), Some(serde_json::Value::Int(count))) =
+                (field("p50_us"), field("count"))
+            else {
+                continue;
+            };
+            rows.push(vec![
+                format!("stage {stage}"),
+                format!("{p50:.1} µs p50 ({count} samples)"),
+            ]);
+        }
+    }
+    print_table(&rows);
 
     let doc = serde_json::json!({
         "suite": "serve",
@@ -232,6 +408,7 @@ fn run_serve_suite(quick: bool, out_path: &str) {
             "rtt_samples": rtt_samples,
             "pipelined_frames": pipelined_frames,
             "window": window,
+            "raw_calls": raw_calls,
         }),
         "results": serde_json::json!({
             "rtt_p50_us": p50 / 1e3,
@@ -239,7 +416,12 @@ fn run_serve_suite(quick: bool, out_path: &str) {
             "rtt_mean_us": mean / 1e3,
             "frames_per_sec": frames_per_sec,
             "busy_rejections": wire_report.busy_rejections,
+            "stats_served": wire_report.stats_served,
+            "e2e_p50_us_tracing_disabled": baseline_p50 / 1e3,
+            "e2e_p50_us_tracing_enabled": p50 / 1e3,
+            "tracing_overhead_pct": overhead_pct,
         }),
+        "stage_decomposition": stage_decomposition,
     });
     std::fs::write(out_path, format!("{doc}\n")).expect("write serve benchmark report");
     eprintln!("wrote {out_path} (report-only)");

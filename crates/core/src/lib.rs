@@ -40,6 +40,9 @@
 //!   class hypervectors too, which Fig. 5(a) compares against.
 //! * [`online`] — similarity-weighted (OnlineHD-style) training, an
 //!   adaptive refinement of the Eq. (5) retraining rule.
+//! * [`telemetry`] — sampled, lock-free request tracing ([`Tracer`],
+//!   [`Stage`], [`SpanEvent`]): the capture spine the serving layer's
+//!   stage-level latency decomposition is built on.
 //!
 //! ## Quick example
 //!
@@ -80,6 +83,7 @@ pub mod online;
 pub mod pool;
 pub mod prune;
 pub mod quantize;
+pub mod telemetry;
 
 pub use basis::{BasisGenerator, ItemMemory, LevelMemory};
 pub use binary_model::{BinaryHdModel, QuantizedClassModel};
@@ -94,6 +98,7 @@ pub use online::{online_step, train_online, OnlineConfig, OnlineReport};
 pub use pool::ThreadPool;
 pub use prune::{information_curve, InformationPoint, PruneMask, PruneStrategy};
 pub use quantize::{QuantScheme, ValueHistogram};
+pub use telemetry::{SpanEvent, Stage, TelemetryConfig, TraceCtx, TraceId, Tracer};
 
 /// Commonly used items, importable with a single `use`.
 pub mod prelude {

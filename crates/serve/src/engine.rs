@@ -47,6 +47,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use privehd_core::telemetry::{Stage, TelemetryConfig, TraceCtx, Tracer};
 use privehd_core::{BipolarHv, Hypervector, Prediction};
 
 use crate::error::ServeError;
@@ -77,6 +78,12 @@ pub struct ServeConfig {
     /// floating-point summation order. Leave unset when bit-identical
     /// results to [`privehd_core::HdModel::predict`] are required.
     pub packed_fastpath: bool,
+    /// Request-tracing configuration: 1-in-N span sampling plus
+    /// always-capture for slow requests. Stage *histograms* record
+    /// regardless (they are counters); this only controls the trace
+    /// ring. [`TelemetryConfig::disabled`] turns span capture off
+    /// entirely — the overhead-measurement baseline.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +96,7 @@ impl Default for ServeConfig {
                 .unwrap_or(4),
             queue_depth: 1_024,
             packed_fastpath: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -128,7 +136,12 @@ pub struct ServedPrediction {
 struct Request {
     model: ModelId,
     query: Hypervector,
+    trace: TraceCtx,
     submitted_at: Instant,
+    /// Stamped by the batcher the moment it routes the request into its
+    /// model's open batch; `submitted_at..routed_at` is the queue-wait
+    /// stage, `routed_at..execution` the batch-window wait.
+    routed_at: Option<Instant>,
     reply: SyncSender<Result<ServedPrediction, ServeError>>,
 }
 
@@ -210,6 +223,7 @@ impl PendingPrediction {
 pub struct SubmitHandle {
     tx: SyncSender<Msg>,
     metrics: Arc<ServeMetrics>,
+    tracer: Arc<Tracer>,
     closed: Arc<AtomicBool>,
 }
 
@@ -235,7 +249,30 @@ impl SubmitHandle {
         model: &ModelId,
         query: Hypervector,
     ) -> Result<PendingPrediction, ServeError> {
-        submit_via(&self.tx, &self.metrics, &self.closed, model, query)
+        self.submit_traced(model, query, self.tracer.begin())
+    }
+
+    /// Submits with a caller-provided trace context, so a front-end
+    /// that began the trace earlier (e.g. at wire decode) keeps one id
+    /// across its spans and the engine's.
+    pub(crate) fn submit_traced(
+        &self,
+        model: &ModelId,
+        query: Hypervector,
+        trace: TraceCtx,
+    ) -> Result<PendingPrediction, ServeError> {
+        submit_via(&self.tx, &self.metrics, &self.closed, model, query, trace)
+    }
+
+    /// The engine's live metrics (the wire front-end records its stages
+    /// and builds the stats exposition through this).
+    pub(crate) fn serve_metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The engine's tracer.
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 }
 
@@ -245,6 +282,7 @@ fn submit_via(
     closed: &AtomicBool,
     model: &ModelId,
     query: Hypervector,
+    trace: TraceCtx,
 ) -> Result<PendingPrediction, ServeError> {
     if closed.load(Ordering::Acquire) {
         return Err(ServeError::Closed);
@@ -253,7 +291,9 @@ fn submit_via(
     let request = Request {
         model: model.clone(),
         query,
+        trace,
         submitted_at: Instant::now(),
+        routed_at: None,
         reply,
     };
     match tx.try_send(Msg::Request(request)) {
@@ -330,6 +370,7 @@ pub struct ServeEngine {
     closed: Arc<AtomicBool>,
     backend: Backend,
     metrics: Arc<ServeMetrics>,
+    tracer: Arc<Tracer>,
     started_at: Instant,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -363,6 +404,7 @@ impl ServeEngine {
     fn start_backend(backend: Backend, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let metrics = Arc::new(ServeMetrics::new());
+        let tracer = Arc::new(Tracer::new(config.telemetry.clone()));
         let closed = Arc::new(AtomicBool::new(false));
         let (tx, submit_rx) = mpsc::sync_channel::<Msg>(config.queue_depth);
         let (batch_tx, batch_rx) = mpsc::sync_channel::<ModelBatch>(config.workers * 2);
@@ -379,10 +421,11 @@ impl ServeEngine {
                 let rx = Arc::clone(&batch_rx);
                 let backend = backend.clone();
                 let metrics = Arc::clone(&metrics);
+                let tracer = Arc::clone(&tracer);
                 let packed = config.packed_fastpath;
                 std::thread::Builder::new()
                     .name(format!("privehd-worker-{i}"))
-                    .spawn(move || run_worker(&rx, &backend, &metrics, packed))
+                    .spawn(move || run_worker(&rx, &backend, &metrics, &tracer, packed))
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -392,6 +435,7 @@ impl ServeEngine {
             closed,
             backend,
             metrics,
+            tracer,
             started_at: Instant::now(),
             batcher: Some(batcher),
             workers,
@@ -428,7 +472,14 @@ impl ServeEngine {
         query: Hypervector,
     ) -> Result<PendingPrediction, ServeError> {
         let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
-        submit_via(tx, &self.metrics, &self.closed, model, query)
+        submit_via(
+            tx,
+            &self.metrics,
+            &self.closed,
+            model,
+            query,
+            self.tracer.begin(),
+        )
     }
 
     /// Convenience: submit to the default model and block for the
@@ -464,6 +515,7 @@ impl ServeEngine {
                 .clone()
                 .expect("engine not shut down while handles are being created"),
             metrics: Arc::clone(&self.metrics),
+            tracer: Arc::clone(&self.tracer),
             closed: Arc::clone(&self.closed),
         }
     }
@@ -489,6 +541,12 @@ impl ServeEngine {
     /// Live serving counters.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
+    }
+
+    /// The engine's request tracer: sampling decisions plus the
+    /// slow-request span ring ([`Tracer::snapshot`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Metrics snapshot over the engine's lifetime so far.
@@ -542,10 +600,13 @@ impl Drop for ServeEngine {
 fn run_batcher(submit_rx: &Receiver<Msg>, batch_tx: &SyncSender<ModelBatch>, config: &ServeConfig) {
     let mut router: BatchRouter<Request> = BatchRouter::new(config.max_batch, config.max_delay);
 
-    let route = |router: &mut BatchRouter<Request>, request: Request| -> Option<ModelBatch> {
+    let route = |router: &mut BatchRouter<Request>, mut request: Request| -> Option<ModelBatch> {
         let model = request.model.clone();
+        let now = Instant::now();
+        // End of the queue-wait stage, start of the batch-window wait.
+        request.routed_at = Some(now);
         router
-            .push(model, request, Instant::now())
+            .push(model, request, now)
             .map(|(model, requests)| ModelBatch { model, requests })
     };
 
@@ -617,6 +678,7 @@ fn run_worker(
     batch_rx: &Arc<Mutex<Receiver<ModelBatch>>>,
     backend: &Backend,
     metrics: &ServeMetrics,
+    tracer: &Tracer,
     packed_fastpath: bool,
 ) {
     loop {
@@ -629,7 +691,7 @@ fn run_worker(
                 Err(_) => return,
             }
         };
-        execute_batch(batch, backend, metrics, packed_fastpath);
+        execute_batch(batch, backend, metrics, tracer, packed_fastpath);
     }
 }
 
@@ -641,6 +703,7 @@ fn execute_batch(
     batch: ModelBatch,
     backend: &Backend,
     metrics: &ServeMetrics,
+    tracer: &Tracer,
     packed_fastpath: bool,
 ) {
     let ModelBatch { model, requests } = batch;
@@ -650,7 +713,9 @@ fn execute_batch(
     // this model affects later batches, never this one, and other
     // models' batches resolve their own snapshots independently. The
     // per-model metrics row is likewise fetched once per batch.
+    let resolve_start = Instant::now();
     let snapshot = backend.resolve(&model);
+    let resolve_end = Instant::now();
     let model_counters = metrics.model_counters(&model);
 
     // Classification stays per-request (so one bad query fails only its
@@ -658,6 +723,8 @@ fn execute_batch(
     // the moment its own classification finishes, whether that happens
     // on this worker or on a pool lane.
     let serve_one = |request: &Request| {
+        let work_start = Instant::now();
+        let predict_start = work_start;
         let outcome: Result<Prediction, ServeError> = match &snapshot {
             None => Err(ServeError::NoModel),
             Some(served) => {
@@ -670,8 +737,23 @@ fn execute_batch(
                 }
             }
         };
-        let latency = request.submitted_at.elapsed();
+        let done_at = Instant::now();
+        let latency = done_at.saturating_duration_since(request.submitted_at);
+        // End-to-end first, stage rows after: a reader snapshotting
+        // mid-request then always observes per-stage counts ≤ the
+        // end-to-end count — the invariant the consistency test pins.
         metrics.on_done(&model_counters, outcome.is_ok(), latency);
+        let routed_at = request.routed_at.unwrap_or(work_start);
+        let queue_wait = routed_at.saturating_duration_since(request.submitted_at);
+        let batch_wait = work_start.saturating_duration_since(routed_at);
+        metrics.on_stage_for(&model_counters, Stage::QueueWait, queue_wait);
+        metrics.on_stage_for(&model_counters, Stage::BatchWait, batch_wait);
+        metrics.on_stage_for(&model_counters, Stage::Predict, done_at - predict_start);
+        let ctx = request.trace;
+        tracer.record(ctx, Stage::QueueWait, request.submitted_at, routed_at);
+        tracer.record(ctx, Stage::BatchWait, routed_at, work_start);
+        tracer.record(ctx, Stage::Predict, predict_start, done_at);
+        tracer.record(ctx, Stage::EndToEnd, request.submitted_at, done_at);
         let reply = outcome.map(|prediction| ServedPrediction {
             prediction,
             model: model.clone(),
@@ -691,6 +773,19 @@ fn execute_batch(
         for request in &requests {
             serve_one(request);
         }
+    }
+    // Recorded after the batch is served, so the stage's count stays ≤
+    // the end-to-end count at any snapshot (one resolve per batch, and
+    // batches ≤ requests).
+    let resolve = resolve_end.saturating_duration_since(resolve_start);
+    metrics.on_stage_for(&model_counters, Stage::SnapshotResolve, resolve);
+    if let Some(first) = requests.first() {
+        tracer.record(
+            first.trace,
+            Stage::SnapshotResolve,
+            resolve_start,
+            resolve_end,
+        );
     }
 }
 
@@ -809,6 +904,7 @@ mod tests {
             workers: 1,
             queue_depth: 2,
             packed_fastpath: false,
+            ..ServeConfig::default()
         };
         let engine = ServeEngine::start(registry(64), config).unwrap();
         let mut pending = Vec::new();
@@ -839,6 +935,7 @@ mod tests {
             workers: 2,
             queue_depth: 256,
             packed_fastpath: false,
+            ..ServeConfig::default()
         };
         let engine = ServeEngine::start(registry(256), config).unwrap();
         let pending: Vec<_> = (0..64)
@@ -943,6 +1040,7 @@ mod tests {
             workers: 1,
             queue_depth: 64,
             packed_fastpath: false,
+            ..ServeConfig::default()
         };
         let engine = ServeEngine::start(registry(64), config).unwrap();
         let _live_handle = engine.handle();
@@ -1003,6 +1101,7 @@ mod tests {
             workers: 2,
             queue_depth: 256,
             packed_fastpath: false,
+            ..ServeConfig::default()
         };
         let engine = ServeEngine::start_sharded(reg, config).unwrap();
         let pending: Vec<_> = (0..32)

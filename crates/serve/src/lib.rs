@@ -30,7 +30,12 @@
 //!   queries.
 //! * [`ServeMetrics`] / [`ServeReport`] — throughput, p50/p95/p99
 //!   latency from a fixed-bucket histogram, the batch-size
-//!   distribution, and per-model counters ([`ModelReport`]).
+//!   distribution, per-model counters ([`ModelReport`]), and the
+//!   stage-level latency decomposition ([`StageReport`]) fed by the
+//!   engine's and wire front-end's instrumentation.
+//! * [`stats`] — the Prometheus text-format exposition of all of the
+//!   above, served over the wire as the `Stats` frame and fetched with
+//!   [`wire::WireClient::stats`].
 //!
 //! See `docs/SERVE.md` in the repository for the multi-tenant API
 //! walkthrough, batch-routing semantics, and the shutdown contract.
@@ -78,13 +83,17 @@ pub mod error;
 pub mod metrics;
 pub mod registry;
 mod router;
+pub mod stats;
 pub mod wire;
 
 pub use edge::ClientEdge;
 pub use engine::{PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle};
 pub use error::ServeError;
-pub use metrics::{BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport};
+pub use metrics::{
+    BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport, StageReport,
+};
 pub use registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+pub use stats::prometheus_text;
 pub use wire::{WireClient, WireConfig, WireServer, WireStatus};
 
 /// Commonly used items, importable with a single `use`.
@@ -95,9 +104,10 @@ pub mod prelude {
     };
     pub use crate::error::ServeError;
     pub use crate::metrics::{
-        BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport,
+        BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport, StageReport,
     };
     pub use crate::registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+    pub use crate::stats::prometheus_text;
     pub use crate::wire::{
         WireClient, WireClientError, WireConfig, WireFault, WirePrediction, WireReport, WireServer,
         WireStatus,

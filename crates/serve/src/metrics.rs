@@ -5,14 +5,22 @@
 //! the latency histogram uses fixed buckets of atomic counters — no
 //! locks on the hot path (the per-model table takes a brief read lock
 //! to find a model's counters, and a write lock only the first time a
-//! model is seen). Quantiles are read back as the lower edge of the
-//! bucket containing the requested rank, which is exact enough for
+//! model is seen). Quantiles are read back as the *upper* edge of the
+//! bucket containing the requested rank — a conservative bound that is
+//! never below the true quantile — which is exact enough for
 //! p50/p95/p99 reporting at the ~20% bucket granularity used here.
+//!
+//! Besides the end-to-end latency histogram, the metrics keep one
+//! histogram per pipeline [`Stage`] (globally and per model), fed by
+//! the engine's workers and the wire server's poll thread; see
+//! `docs/OBSERVABILITY.md` for the stage taxonomy.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use privehd_core::telemetry::Stage;
 
 use crate::registry::ModelId;
 
@@ -57,6 +65,11 @@ pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum_ns: AtomicU64,
+    /// Set once `sum_ns` would have wrapped `u64`; from then on the sum
+    /// is pinned at `u64::MAX` and [`LatencyHistogram::mean`] is a
+    /// lower bound. Without this, ~days of sustained ms-scale latencies
+    /// silently wrapped the sum and corrupted the mean.
+    sum_saturated: AtomicBool,
 }
 
 impl Default for LatencyHistogram {
@@ -72,6 +85,7 @@ impl LatencyHistogram {
             buckets: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            sum_saturated: AtomicBool::new(false),
         }
     }
 
@@ -95,7 +109,16 @@ impl LatencyHistogram {
         let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.buckets[Self::bucket_for(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        // Saturating accumulation: a wrapped sum would silently corrupt
+        // the mean after ~days of sustained ms-scale traffic. The
+        // fetch_add itself may wrap once; detecting it via the previous
+        // value pins the sum at MAX and raises the flag, so the mean
+        // degrades to an explicit lower bound instead of garbage.
+        let prev = self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        if prev.checked_add(ns).is_none() {
+            self.sum_ns.store(u64::MAX, Ordering::Relaxed);
+            self.sum_saturated.store(true, Ordering::Relaxed);
+        }
     }
 
     /// Number of recorded observations.
@@ -103,7 +126,14 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Mean latency, or zero when empty.
+    /// True once the nanosecond sum saturated; from then on
+    /// [`LatencyHistogram::mean`] is a lower bound, not an exact mean.
+    pub fn sum_saturated(&self) -> bool {
+        self.sum_saturated.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero when empty. A lower bound once
+    /// [`LatencyHistogram::sum_saturated`] is set.
     pub fn mean(&self) -> Duration {
         let n = self.count();
         if n == 0 {
@@ -112,8 +142,13 @@ impl LatencyHistogram {
         Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) as the lower edge of the bucket
-    /// holding that rank; zero when empty.
+    /// The `q`-quantile (`0.0..=1.0`) as the *upper* edge of the bucket
+    /// holding that rank — a conservative bound: the reported value is
+    /// never below the true quantile (the lower edge, reported before,
+    /// under-reported by up to one bucket width, ~20% here). The
+    /// overflow bucket has no upper edge; its lower edge is reported,
+    /// making the top bucket the one place the bound can be exceeded.
+    /// Zero when empty.
     pub fn quantile(&self, q: f64) -> Duration {
         let n = self.count();
         if n == 0 {
@@ -124,7 +159,10 @@ impl LatencyHistogram {
         for (idx, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return Duration::from_nanos(Self::bucket_edge_ns(idx));
+                // Upper edge of bucket `idx`; the overflow bucket keeps
+                // its lower edge (it is unbounded above).
+                let edge = (idx + 1).min(LATENCY_BUCKETS - 1);
+                return Duration::from_nanos(Self::bucket_edge_ns(edge));
             }
         }
         Duration::from_nanos(Self::bucket_edge_ns(LATENCY_BUCKETS - 1))
@@ -221,6 +259,52 @@ const MAX_MODEL_ROWS: usize = 1_024;
 /// regular table row.
 const MODEL_OVERFLOW_NAME: &str = "~other";
 
+/// One latency histogram per pipeline [`Stage`] (indexed by
+/// [`Stage::index`]). [`Stage::EndToEnd`] deliberately has no slot —
+/// the end-to-end histogram already exists as
+/// [`ServeMetrics::latency`] / the per-model latency row.
+#[derive(Debug)]
+pub(crate) struct StageSet {
+    histograms: Vec<LatencyHistogram>,
+}
+
+impl Default for StageSet {
+    fn default() -> Self {
+        Self {
+            histograms: (0..Stage::COUNT).map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+}
+
+impl StageSet {
+    fn get(&self, stage: Stage) -> &LatencyHistogram {
+        &self.histograms[stage.index()]
+    }
+
+    /// One [`StageReport`] per stage that recorded at least once, in
+    /// request-path order ([`Stage::ALL`]). `EndToEnd` never appears
+    /// (it has no histogram here).
+    fn report(&self) -> Vec<StageReport> {
+        Stage::ALL
+            .iter()
+            .filter(|s| **s != Stage::EndToEnd)
+            .filter_map(|&stage| {
+                let h = self.get(stage);
+                let count = h.count();
+                (count > 0).then(|| StageReport {
+                    stage,
+                    count,
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                    sum_saturated: h.sum_saturated(),
+                })
+            })
+            .collect()
+    }
+}
+
 /// Per-model counters: one row of the multi-tenant metrics table.
 #[derive(Debug, Default)]
 pub(crate) struct ModelCounters {
@@ -228,11 +312,13 @@ pub(crate) struct ModelCounters {
     completed: AtomicU64,
     failed: AtomicU64,
     latency: LatencyHistogram,
+    stages: StageSet,
 }
 
 /// Live serving counters, shared between engine threads and callers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeMetrics {
+    started: Instant,
     submitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
@@ -241,6 +327,7 @@ pub struct ServeMetrics {
     batched_queries: AtomicU64,
     batch_sizes: BatchSizeHistogram,
     latency: LatencyHistogram,
+    stages: StageSet,
     per_model: RwLock<HashMap<ModelId, Arc<ModelCounters>>>,
     /// The `~other` row, kept out of `per_model` (the name is reserved:
     /// a client id spelled `"~other"` also lands here rather than
@@ -255,10 +342,37 @@ pub struct ServeMetrics {
     default_row: OnceLock<Arc<ModelCounters>>,
 }
 
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            batch_sizes: BatchSizeHistogram::default(),
+            latency: LatencyHistogram::new(),
+            stages: StageSet::default(),
+            per_model: RwLock::new(HashMap::new()),
+            overflow_row: OnceLock::new(),
+            default_row: OnceLock::new(),
+        }
+    }
+}
+
 impl ServeMetrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wall-clock time since these metrics were created (the engine's
+    /// start). The wire-side stats exposition derives its throughput
+    /// window from this.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// The counters row for `model`, created on first sight — or the
@@ -324,10 +438,34 @@ impl ServeMetrics {
         counters.latency.record(latency);
     }
 
+    /// Records one stage duration globally (wire-side stages, which
+    /// happen before a model identity is trusted/resolved).
+    pub(crate) fn on_stage(&self, stage: Stage, duration: Duration) {
+        self.stages.get(stage).record(duration);
+    }
+
+    /// Records one stage duration globally *and* against a pre-fetched
+    /// per-model row (engine-side stages).
+    pub(crate) fn on_stage_for(&self, counters: &ModelCounters, stage: Stage, duration: Duration) {
+        self.stages.get(stage).record(duration);
+        counters.stages.get(stage).record(duration);
+    }
+
     /// The latency histogram (queue + execution time per request),
     /// across all models.
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
+    }
+
+    /// The global latency histogram for one pipeline stage.
+    /// [`Stage::EndToEnd`] aliases [`ServeMetrics::latency`] (it has no
+    /// separate stage slot).
+    pub fn stage_latency(&self, stage: Stage) -> &LatencyHistogram {
+        if stage == Stage::EndToEnd {
+            &self.latency
+        } else {
+            self.stages.get(stage)
+        }
     }
 
     /// The batch-size distribution.
@@ -338,17 +476,32 @@ impl ServeMetrics {
     /// Snapshot of every counter plus derived rates, over `elapsed` of
     /// wall-clock serving time.
     pub fn report(&self, elapsed: Duration) -> ServeReport {
+        // Read order against racing writers: each request records its
+        // end-to-end outcome *first* and its stage durations *after*
+        // (and each batch counts itself before its snapshot-resolve
+        // stage), so snapshotting the stage histograms before loading
+        // the completion/batch counters keeps every report coherent —
+        // per-request stage counts never exceed the end-to-end count,
+        // snapshot-resolve never exceeds the batch count. Reversed
+        // reads would let a request that finished in between inflate a
+        // stage past the already-loaded end-to-end value.
+        let stages = self.stages.report();
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_queries.load(Ordering::Relaxed);
-        let model_row = |model: ModelId, c: &ModelCounters| ModelReport {
-            model,
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            p50_latency: c.latency.quantile(0.50),
-            p95_latency: c.latency.quantile(0.95),
-            p99_latency: c.latency.quantile(0.99),
+        let model_row = |model: ModelId, c: &ModelCounters| {
+            let stages = c.stages.report();
+            ModelReport {
+                model,
+                submitted: c.submitted.load(Ordering::Relaxed),
+                completed: c.completed.load(Ordering::Relaxed),
+                failed: c.failed.load(Ordering::Relaxed),
+                p50_latency: c.latency.quantile(0.50),
+                p95_latency: c.latency.quantile(0.95),
+                p99_latency: c.latency.quantile(0.99),
+                latency_sum_saturated: c.latency.sum_saturated(),
+                stages,
+            }
         };
         let mut per_model: Vec<ModelReport> = self
             .per_model
@@ -384,9 +537,52 @@ impl ServeMetrics {
             p50_latency: self.latency.quantile(0.50),
             p95_latency: self.latency.quantile(0.95),
             p99_latency: self.latency.quantile(0.99),
+            latency_sum_saturated: self.latency.sum_saturated(),
+            stages,
             batch_size_histogram: self.batch_sizes.nonzero(),
             per_model,
         }
+    }
+}
+
+/// Latency summary of one pipeline stage: one row of the stage-level
+/// decomposition in a [`ServeReport`] or [`ModelReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// The pipeline stage this row summarizes.
+    pub stage: Stage,
+    /// Observations recorded for this stage.
+    pub count: u64,
+    /// Mean stage duration (a lower bound when `sum_saturated`).
+    pub mean: Duration,
+    /// Median stage duration (conservative upper bucket edge).
+    pub p50: Duration,
+    /// 95th-percentile stage duration.
+    pub p95: Duration,
+    /// 99th-percentile stage duration.
+    pub p99: Duration,
+    /// True once this stage's nanosecond sum saturated, making `mean` a
+    /// lower bound.
+    pub sum_saturated: bool,
+}
+
+impl std::fmt::Display for StageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>16}: n={:<8} mean {:?}  p50 {:?}  p95 {:?}  p99 {:?}{}",
+            self.stage.as_str(),
+            self.count,
+            self.mean,
+            self.p50,
+            self.p95,
+            self.p99,
+            if self.sum_saturated {
+                "  (sum saturated)"
+            } else {
+                ""
+            }
+        )
     }
 }
 
@@ -407,6 +603,12 @@ pub struct ModelReport {
     pub p95_latency: Duration,
     /// 99th-percentile end-to-end latency.
     pub p99_latency: Duration,
+    /// True once this model's latency sum saturated (its mean — not
+    /// reported here — became a lower bound).
+    pub latency_sum_saturated: bool,
+    /// Per-stage latency decomposition for this model's requests, in
+    /// request-path order; stages with no observations are omitted.
+    pub stages: Vec<StageReport>,
 }
 
 /// Point-in-time summary of serving behaviour.
@@ -434,6 +636,14 @@ pub struct ServeReport {
     pub p95_latency: Duration,
     /// 99th-percentile end-to-end request latency.
     pub p99_latency: Duration,
+    /// True once the end-to-end latency sum saturated, making
+    /// `mean_latency` a lower bound rather than an exact mean.
+    pub latency_sum_saturated: bool,
+    /// Per-stage latency decomposition across all models, in
+    /// request-path order; stages with no observations are omitted.
+    /// Wire-side stages (decode, admission, write) only populate when a
+    /// `WireServer` fronts the engine.
+    pub stages: Vec<StageReport>,
     /// `(batch size, batches dispatched)` for every observed size; the
     /// last bucket saturates and is reported as `≥size`.
     pub batch_size_histogram: Vec<(BatchSizeBucket, u64)>,
@@ -460,9 +670,20 @@ impl std::fmt::Display for ServeReport {
         writeln!(f, "throughput: {:.0} queries/s", self.throughput_qps)?;
         write!(
             f,
-            "latency: mean {:?}  p50 {:?}  p95 {:?}  p99 {:?}",
-            self.mean_latency, self.p50_latency, self.p95_latency, self.p99_latency
+            "latency: mean {:?}  p50 {:?}  p95 {:?}  p99 {:?}{}",
+            self.mean_latency,
+            self.p50_latency,
+            self.p95_latency,
+            self.p99_latency,
+            if self.latency_sum_saturated {
+                "  (sum saturated)"
+            } else {
+                ""
+            }
         )?;
+        for s in &self.stages {
+            write!(f, "\n{s}")?;
+        }
         for m in &self.per_model {
             write!(
                 f,
@@ -500,10 +721,77 @@ mod tests {
         }
         let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
         assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
-        // Bucket edges are within one growth factor below the true value.
-        assert!(p50 >= Duration::from_micros(350) && p50 <= Duration::from_micros(520));
-        assert!(p99 >= Duration::from_micros(700));
+        // Upper-edge reporting: never below the true quantile, at most
+        // one growth factor (~20%) above it.
+        assert!(p50 > Duration::from_micros(500) && p50 <= Duration::from_micros(620));
+        assert!(p99 >= Duration::from_micros(990));
         assert!(h.mean() >= Duration::from_micros(400));
+        assert!(!h.sum_saturated());
+    }
+
+    #[test]
+    fn quantile_reports_conservative_upper_edge() {
+        // Regression for the lower-edge bug: with all mass in one
+        // bucket, the reported quantile must be the bucket's *upper*
+        // edge — i.e. ≥ every recorded sample — not the lower edge,
+        // which under-reported by up to one bucket width. Pin the exact
+        // values for a known distribution.
+        let edges = latency_edges();
+        let h = LatencyHistogram::new();
+        // 100 samples inside bucket 10: [edges[10], edges[11]).
+        let inside = (edges[10] + edges[11]) / 2;
+        for _ in 0..100 {
+            h.record(Duration::from_nanos(inside));
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                h.quantile(q),
+                Duration::from_nanos(edges[11]),
+                "q={q}: all mass in bucket 10 must report its upper edge"
+            );
+            assert!(h.quantile(q) >= Duration::from_nanos(inside));
+        }
+        // A bimodal split pins which bucket each rank resolves to: 90
+        // samples in bucket 10, 10 in bucket 20 → p50 is bucket 10's
+        // upper edge, p95/p99 bucket 20's.
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(edges[10]));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_nanos(edges[20]));
+        }
+        assert_eq!(h.quantile(0.50), Duration::from_nanos(edges[11]));
+        assert_eq!(h.quantile(0.90), Duration::from_nanos(edges[11]));
+        assert_eq!(h.quantile(0.95), Duration::from_nanos(edges[21]));
+        assert_eq!(h.quantile(0.99), Duration::from_nanos(edges[21]));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = LatencyHistogram::new();
+        // u64::MAX is divisible by 3: three records sum to exactly MAX
+        // (no overflow), the fourth must wrap.
+        let big = Duration::from_nanos(u64::MAX / 3);
+        for _ in 0..3 {
+            h.record(big);
+        }
+        assert!(!h.sum_saturated(), "exactly at MAX is not yet overflow");
+        h.record(big);
+        // Fourth record would wrap; the sum must pin at MAX and flag.
+        assert!(h.sum_saturated());
+        // Mean is a lower bound, not wrapped-around garbage (a wrapped
+        // sum would report a mean near zero here).
+        assert!(h.mean() >= Duration::from_nanos(u64::MAX / 5));
+        let m = ServeMetrics::new();
+        let row = m.model_counters(&ModelId::default());
+        for _ in 0..4 {
+            m.on_done(&row, true, big);
+        }
+        let r = m.report(Duration::from_secs(1));
+        assert!(r.latency_sum_saturated);
+        assert!(r.per_model[0].latency_sum_saturated);
+        assert!(r.to_string().contains("(sum saturated)"), "{r}");
     }
 
     #[test]
@@ -511,20 +799,63 @@ mod tests {
         // Regression: `bucket_for` used an `ln()`-derived index while
         // `bucket_edge_ns` recomputed edges with `powi()`; float
         // roundoff could place a sample recorded exactly at a bucket
-        // edge one bucket off, so the reported quantile edge exceeded
-        // the true sample value. With the shared integer table, a
-        // histogram holding a single edge-exact sample must report a
-        // quantile equal to that sample for every edge.
-        for (idx, &edge_ns) in latency_edges().iter().enumerate() {
+        // edge one bucket off. With the shared integer table, a sample
+        // at edge `i` lands in bucket `i` deterministically, so the
+        // quantile reports exactly bucket `i`'s upper edge — the next
+        // table entry (the overflow bucket, unbounded above, reports
+        // its own lower edge).
+        let edges = latency_edges();
+        for (idx, &edge_ns) in edges.iter().enumerate() {
             let h = LatencyHistogram::new();
             h.record(Duration::from_nanos(edge_ns));
             let got = h.quantile(1.0);
+            let want = edges[(idx + 1).min(LATENCY_BUCKETS - 1)];
             assert_eq!(
                 got,
-                Duration::from_nanos(edge_ns),
+                Duration::from_nanos(want),
                 "edge {idx} ({edge_ns} ns): quantile reported {got:?}"
             );
         }
+    }
+
+    #[test]
+    fn stage_histograms_report_per_model_and_globally() {
+        let m = ServeMetrics::new();
+        let id = ModelId::new("traced");
+        let row = m.model_counters(&id);
+        m.on_stage(Stage::WireDecode, Duration::from_micros(5));
+        m.on_stage_for(&row, Stage::QueueWait, Duration::from_micros(40));
+        m.on_stage_for(&row, Stage::QueueWait, Duration::from_micros(60));
+        m.on_stage_for(&row, Stage::Predict, Duration::from_micros(200));
+        let r = m.report(Duration::from_secs(1));
+        // Global rows: decode (wire-side, global only) + the two
+        // engine stages, in request-path order, silent stages omitted.
+        let stages: Vec<(Stage, u64)> = r.stages.iter().map(|s| (s.stage, s.count)).collect();
+        assert_eq!(
+            stages,
+            vec![
+                (Stage::WireDecode, 1),
+                (Stage::QueueWait, 2),
+                (Stage::Predict, 1)
+            ]
+        );
+        for s in &r.stages {
+            assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+            assert!(s.p99 > Duration::ZERO);
+            assert!(!s.sum_saturated);
+        }
+        // The per-model row sees only the stages recorded through it.
+        let per_model = &r.per_model[0].stages;
+        let model_stages: Vec<(Stage, u64)> =
+            per_model.iter().map(|s| (s.stage, s.count)).collect();
+        assert_eq!(
+            model_stages,
+            vec![(Stage::QueueWait, 2), (Stage::Predict, 1)]
+        );
+        // EndToEnd aliases the e2e histogram and never gets a stage row.
+        assert!(std::ptr::eq(m.stage_latency(Stage::EndToEnd), m.latency()));
+        let text = r.to_string();
+        assert!(text.contains("queue_wait"), "{text}");
     }
 
     #[test]

@@ -20,8 +20,8 @@ use privehd_core::BipolarHv;
 
 use crate::registry::ModelId;
 use crate::wire::frame::{
-    encode_request_into, Frame, FrameError, PayloadRef, ResponseFrame, WireFault, WirePrediction,
-    DEFAULT_MAX_BODY,
+    encode_request_into, Frame, FrameError, PayloadRef, ResponseFrame, StatsRequestFrame,
+    WireFault, WirePrediction, DEFAULT_MAX_BODY,
 };
 
 /// Everything that can go wrong on the client side of the wire.
@@ -187,7 +187,61 @@ impl WireClient {
                 self.read_buf.drain(..used);
                 return match frame {
                     Frame::Response(resp) => Ok(resp),
-                    Frame::Request(_) => {
+                    Frame::Request(_) | Frame::StatsRequest(_) => {
+                        Err(WireClientError::Protocol("request frame from server"))
+                    }
+                    // Stats replies belong to `stats()`; one arriving
+                    // here means the caller interleaved a stats scrape
+                    // with pipelined prediction receives.
+                    Frame::StatsReply(_) => Err(WireClientError::Protocol(
+                        "stats reply while expecting a prediction response",
+                    )),
+                };
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(WireClientError::ServerClosed),
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// One synchronous round trip for the server's metrics exposition:
+    /// sends a `Stats` request frame and blocks for the Prometheus-text
+    /// reply (serve report + transport counters + slow-span trace ring;
+    /// schema in `docs/OBSERVABILITY.md`).
+    ///
+    /// Call it between pipelined bursts, not inside one: responses to
+    /// in-flight predictions arrive in completion order, and one of
+    /// them surfacing here is a [`WireClientError::Protocol`] error.
+    ///
+    /// # Errors
+    ///
+    /// Send/receive errors, [`WireClientError::Mismatched`] when the
+    /// reply's id is not the request's, or
+    /// [`WireClientError::Protocol`] when a prediction response arrives
+    /// instead of the stats reply.
+    pub fn stats(&mut self) -> Result<String, WireClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let mut bytes = Vec::new();
+        Frame::StatsRequest(StatsRequestFrame { request_id }).encode_into(&mut bytes)?;
+        self.stream.write_all(&bytes)?;
+        loop {
+            if let Some((frame, used)) = Frame::decode(&self.read_buf, self.max_body)? {
+                self.read_buf.drain(..used);
+                return match frame {
+                    Frame::StatsReply(reply) if reply.request_id == request_id => Ok(reply.text),
+                    Frame::StatsReply(reply) => Err(WireClientError::Mismatched {
+                        expected: request_id,
+                        got: reply.request_id,
+                    }),
+                    Frame::Response(_) => Err(WireClientError::Protocol(
+                        "prediction response while expecting a stats reply",
+                    )),
+                    Frame::Request(_) | Frame::StatsRequest(_) => {
                         Err(WireClientError::Protocol("request frame from server"))
                     }
                 };

@@ -54,8 +54,10 @@ pub const DEFAULT_MAX_BODY: usize = 1 << 20;
 
 const KIND_REQ_PACKED: u8 = 0x01;
 const KIND_REQ_RAW: u8 = 0x02;
+const KIND_REQ_STATS: u8 = 0x03;
 const KIND_RESP_OK: u8 = 0x81;
 const KIND_RESP_ERR: u8 = 0x82;
+const KIND_RESP_STATS: u8 = 0x83;
 
 /// Typed decode/encode failures. Any decode error is grounds for
 /// closing the connection: after malformed bytes the stream cannot be
@@ -278,6 +280,27 @@ pub struct ResponseFrame {
     pub outcome: Result<WirePrediction, WireFault>,
 }
 
+/// A client→server stats-scrape request (kind `0x03`, empty body).
+/// Answered with a [`StatsReplyFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsRequestFrame {
+    /// Client-chosen id, echoed in the reply.
+    pub request_id: u64,
+}
+
+/// A server→client stats response (kind `0x83`): the body is the
+/// server's metrics rendered as Prometheus text-format UTF-8 — serve
+/// counters, wire counters, per-stage latency decomposition, and the
+/// slow-request trace ring (see `docs/OBSERVABILITY.md` for the
+/// schema).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReplyFrame {
+    /// Echo of the request's id.
+    pub request_id: u64,
+    /// The Prometheus text exposition.
+    pub text: String,
+}
+
 /// Any frame of the protocol, either direction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -285,6 +308,10 @@ pub enum Frame {
     Request(RequestFrame),
     /// Server→client.
     Response(ResponseFrame),
+    /// Client→server stats scrape.
+    StatsRequest(StatsRequestFrame),
+    /// Server→client stats text.
+    StatsReply(StatsReplyFrame),
 }
 
 /// Sequential reader over a frame body with typed truncation errors.
@@ -462,6 +489,15 @@ impl Frame {
             Frame::Request(req) => {
                 return encode_request_into(req.request_id, &req.model, (&req.payload).into(), out)
             }
+            Frame::StatsRequest(req) => {
+                let (start, len_at) = begin_frame(out, KIND_REQ_STATS, req.request_id);
+                return finish_frame(out, start, len_at);
+            }
+            Frame::StatsReply(reply) => {
+                let (start, len_at) = begin_frame(out, KIND_RESP_STATS, reply.request_id);
+                out.extend_from_slice(reply.text.as_bytes());
+                return finish_frame(out, start, len_at);
+            }
             Frame::Response(resp) => resp,
         };
         let kind = match resp.outcome {
@@ -532,7 +568,12 @@ impl Frame {
         let kind = buf[5];
         if !matches!(
             kind,
-            KIND_REQ_PACKED | KIND_REQ_RAW | KIND_RESP_OK | KIND_RESP_ERR
+            KIND_REQ_PACKED
+                | KIND_REQ_RAW
+                | KIND_REQ_STATS
+                | KIND_RESP_OK
+                | KIND_RESP_ERR
+                | KIND_RESP_STATS
         ) {
             return Err(FrameError::UnknownKind(kind));
         }
@@ -621,7 +662,7 @@ impl Frame {
                     }),
                 })
             }
-            _ => {
+            KIND_RESP_ERR => {
                 let status = WireStatus::from_code(r.u8()?)?;
                 let len = r.u16()? as usize;
                 let bytes = r.take(len)?;
@@ -632,6 +673,15 @@ impl Frame {
                     request_id,
                     outcome: Err(WireFault { status, detail }),
                 })
+            }
+            KIND_REQ_STATS => Frame::StatsRequest(StatsRequestFrame { request_id }),
+            _ => {
+                // KIND_RESP_STATS — the allowlist above admits nothing else.
+                let bytes = r.take(r.remaining())?;
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| FrameError::BadBody("stats text is not UTF-8"))?
+                    .to_owned();
+                Frame::StatsReply(StatsReplyFrame { request_id, text })
             }
         };
         r.finish()?;
@@ -736,6 +786,48 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!((second, rest), (b, bytes.len() - split));
+    }
+
+    #[test]
+    fn stats_frames_roundtrip() {
+        let req = Frame::StatsRequest(StatsRequestFrame { request_id: 77 });
+        let bytes = req.encode().unwrap();
+        // Empty body: header + trailer only.
+        assert_eq!(bytes.len(), HEADER_LEN + TRAILER_LEN);
+        let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+        assert_eq!((decoded, consumed), (req, bytes.len()));
+
+        for text in [
+            "",
+            "privehd_serve_completed 12\n",
+            "π ≈ 3.14159 — non-ASCII\n",
+        ] {
+            let reply = Frame::StatsReply(StatsReplyFrame {
+                request_id: 78,
+                text: text.to_owned(),
+            });
+            let bytes = reply.encode().unwrap();
+            let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+            assert_eq!((decoded, consumed), (reply, bytes.len()));
+        }
+    }
+
+    #[test]
+    fn stats_request_with_body_is_rejected() {
+        // The stats request is defined body-free; stray bytes are a
+        // structural error, not silently ignored.
+        let mut bytes = Frame::StatsRequest(StatsRequestFrame { request_id: 5 })
+            .encode()
+            .unwrap();
+        bytes.truncate(HEADER_LEN); // drop trailer
+        bytes.push(0xAB); // stray body byte
+        bytes[14..18].copy_from_slice(&1u32.to_le_bytes());
+        let crc = crate::wire::crc::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes, DEFAULT_MAX_BODY),
+            Err(FrameError::BadBody("trailing bytes after body fields"))
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub struct WireMetrics {
     decode_errors: AtomicU64,
     busy_rejections: AtomicU64,
     idle_closed: AtomicU64,
+    stats_served: AtomicU64,
 }
 
 impl WireMetrics {
@@ -59,6 +60,10 @@ impl WireMetrics {
         self.idle_closed.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_stats_served(&self) {
+        self.stats_served.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time snapshot of every counter.
     pub fn report(&self) -> WireReport {
         WireReport {
@@ -70,6 +75,7 @@ impl WireMetrics {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            stats_served: self.stats_served.load(Ordering::Relaxed),
         }
     }
 }
@@ -95,6 +101,10 @@ pub struct WireReport {
     pub busy_rejections: u64,
     /// Connections closed by the idle timeout.
     pub idle_closed: u64,
+    /// Stats frames answered. Stats traffic is metadata, not serving
+    /// load, so it is counted here and **not** in
+    /// [`WireReport::frames_in`] / [`WireReport::responses_out`].
+    pub stats_served: u64,
 }
 
 impl std::fmt::Display for WireReport {
@@ -102,7 +112,8 @@ impl std::fmt::Display for WireReport {
         write!(
             f,
             "wire: {} conns accepted ({} refused, {} open, {} idle-closed), \
-             {} frames in, {} responses out, {} decode errors, {} busy rejections",
+             {} frames in, {} responses out, {} decode errors, {} busy rejections, \
+             {} stats served",
             self.accepted,
             self.refused,
             self.open,
@@ -110,7 +121,8 @@ impl std::fmt::Display for WireReport {
             self.frames_in,
             self.responses_out,
             self.decode_errors,
-            self.busy_rejections
+            self.busy_rejections,
+            self.stats_served
         )
     }
 }
@@ -131,6 +143,7 @@ mod tests {
         m.on_decode_error();
         m.on_busy();
         m.on_idle_close();
+        m.on_stats_served();
         let r = m.report();
         assert_eq!(
             r,
@@ -143,6 +156,7 @@ mod tests {
                 decode_errors: 1,
                 busy_rejections: 1,
                 idle_closed: 1,
+                stats_served: 1,
             }
         );
         let text = r.to_string();

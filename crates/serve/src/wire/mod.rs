@@ -19,6 +19,11 @@
 //! * [`WireClient`] — the blocking client used by `examples/serving.rs`
 //!   and the loopback integration tests.
 //!
+//! A `Stats` frame pair ([`StatsRequestFrame`] / [`StatsReplyFrame`],
+//! fetched with [`WireClient::stats`]) exposes the merged serving and
+//! transport metrics as Prometheus text, including the stage-level
+//! latency decomposition — see `docs/OBSERVABILITY.md`.
+//!
 //! See `docs/WIRE.md` in the repository for the frame layout table,
 //! status codes, backpressure semantics, and the version policy.
 
@@ -31,8 +36,8 @@ mod server;
 pub use client::{WireClient, WireClientError};
 pub use crc::crc32;
 pub use frame::{
-    salvage_request_id, Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame, WireFault,
-    WirePrediction, WireStatus,
+    salvage_request_id, Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame,
+    StatsReplyFrame, StatsRequestFrame, WireFault, WirePrediction, WireStatus,
 };
 pub use metrics::{WireMetrics, WireReport};
 pub use server::{WireConfig, WireServer};

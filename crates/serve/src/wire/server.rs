@@ -37,6 +37,19 @@
 //!   buffers, then closes. If the engine shuts down first, in-flight
 //!   requests resolve to [`WireStatus::Closed`] faults and the drain
 //!   still completes.
+//!
+//! ## Observability
+//!
+//! The poll loop stamps the wire-side stages of the request path —
+//! [`Stage::WireDecode`], [`Stage::Admission`], [`Stage::Encode`] (raw
+//! frames only) and [`Stage::WireWrite`] — into the engine's
+//! [`crate::ServeMetrics`] and its sampled trace ring, using one
+//! [`TraceCtx`] per request so a trace id spans the transport and the
+//! engine. A `Stats` request frame answers with the merged
+//! Prometheus-text exposition ([`crate::stats::prometheus_text`]) of
+//! the serve report, the transport counters, and the slow-span ring;
+//! stats traffic is counted in [`WireReport::stats_served`] only, not
+//! in the frame/response counters. See `docs/OBSERVABILITY.md`.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -51,10 +64,12 @@ use crate::engine::{PendingPrediction, ServedPrediction, SubmitHandle};
 use crate::error::ServeError;
 use crate::registry::ModelId;
 use crate::wire::frame::{
-    salvage_request_id, Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame, WireFault,
-    WirePrediction, WireStatus, DEFAULT_MAX_BODY, HEADER_LEN, TRAILER_LEN,
+    salvage_request_id, Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame,
+    StatsReplyFrame, WireFault, WirePrediction, WireStatus, DEFAULT_MAX_BODY, HEADER_LEN,
+    TRAILER_LEN,
 };
 use crate::wire::metrics::{WireMetrics, WireReport};
+use privehd_core::telemetry::{Stage, TraceCtx};
 
 /// Tuning knobs of the wire front-end.
 #[derive(Debug, Clone)]
@@ -266,7 +281,7 @@ struct Conn {
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
     written: usize,
-    in_flight: Vec<(u64, PendingPrediction)>,
+    in_flight: Vec<(u64, TraceCtx, PendingPrediction)>,
     last_activity: Instant,
     /// Peer half-closed its send side; serve what's in flight, then go.
     eof: bool,
@@ -327,7 +342,7 @@ impl Conn {
             progress |= self.fill_read_buf(config);
             progress |= self.parse_and_submit(handle, config, metrics);
         }
-        progress |= self.poll_in_flight(metrics);
+        progress |= self.poll_in_flight(handle, metrics);
         progress |= self.flush(config);
         self.update_lifecycle(config, metrics);
         progress
@@ -397,16 +412,46 @@ impl Conn {
         let mut consumed = 0usize;
         let mut progress = false;
         loop {
+            let decode_start = Instant::now();
             match Frame::decode(&self.read_buf[consumed..], config.max_body_bytes) {
                 Ok(None) => break,
                 Ok(Some((frame, used))) => {
+                    let decoded_at = Instant::now();
                     consumed += used;
                     progress = true;
                     self.last_activity = Instant::now();
                     match frame {
                         Frame::Request(req) => {
                             metrics.on_frame_in();
-                            self.handle_request(req, handle, config, metrics);
+                            // One trace context per request, begun here
+                            // so its id spans the wire stages and the
+                            // engine's.
+                            let ctx = handle.tracer().begin();
+                            let decode = decoded_at.saturating_duration_since(decode_start);
+                            handle.serve_metrics().on_stage(Stage::WireDecode, decode);
+                            handle.tracer().record(
+                                ctx,
+                                Stage::WireDecode,
+                                decode_start,
+                                decoded_at,
+                            );
+                            self.handle_request(req, ctx, handle, config, metrics);
+                        }
+                        Frame::StatsRequest(req) => {
+                            // Metadata, not serving load: answered
+                            // inline from counter snapshots, counted
+                            // only in `stats_served` (before the
+                            // snapshot, so a scrape sees itself).
+                            metrics.on_stats_served();
+                            let serve = handle.serve_metrics();
+                            let report = serve.report(serve.uptime());
+                            let wire = metrics.report();
+                            let trace = handle.tracer().snapshot();
+                            let text = crate::stats::prometheus_text(&report, Some(&wire), &trace);
+                            self.queue_frame(Frame::StatsReply(StatsReplyFrame {
+                                request_id: req.request_id,
+                                text,
+                            }));
                         }
                         Frame::Response(resp) => {
                             // Clients must not send response frames.
@@ -416,6 +461,19 @@ impl Conn {
                                 WireFault::new(
                                     WireStatus::BadFrame,
                                     "response frame on the request direction",
+                                ),
+                                metrics,
+                            );
+                            self.close_after_flush = true;
+                            break;
+                        }
+                        Frame::StatsReply(resp) => {
+                            metrics.on_decode_error();
+                            self.queue_fault(
+                                resp.request_id,
+                                WireFault::new(
+                                    WireStatus::BadFrame,
+                                    "stats reply frame on the request direction",
                                 ),
                                 metrics,
                             );
@@ -449,13 +507,21 @@ impl Conn {
     }
 
     /// Admission, payload preparation, and submission for one request.
+    ///
+    /// On successful submission this stamps [`Stage::Admission`] (the
+    /// whole span from frame-decoded to engine-accepted, which on the
+    /// raw path *contains* the [`Stage::Encode`] span recorded around
+    /// the server-side edge). Rejected requests stamp nothing — the
+    /// stage histograms decompose served traffic.
     fn handle_request(
         &mut self,
         req: RequestFrame,
+        ctx: TraceCtx,
         handle: &SubmitHandle,
         config: &WireConfig,
         metrics: &WireMetrics,
     ) {
+        let admit_start = Instant::now();
         let RequestFrame {
             request_id,
             model,
@@ -504,17 +570,40 @@ impl Conn {
                     );
                     return;
                 }
-                Some(edge) => match edge.prepare(&features) {
-                    Ok(q) => q,
-                    Err(e) => {
-                        self.queue_fault(request_id, fault_for(&e), metrics);
-                        return;
+                Some(edge) => {
+                    let encode_start = Instant::now();
+                    match edge.prepare(&features) {
+                        Ok(q) => {
+                            let encode_end = Instant::now();
+                            handle.serve_metrics().on_stage(
+                                Stage::Encode,
+                                encode_end.saturating_duration_since(encode_start),
+                            );
+                            handle
+                                .tracer()
+                                .record(ctx, Stage::Encode, encode_start, encode_end);
+                            q
+                        }
+                        Err(e) => {
+                            self.queue_fault(request_id, fault_for(&e), metrics);
+                            return;
+                        }
                     }
-                },
+                }
             },
         };
-        match handle.submit_to(&model, query) {
-            Ok(pending) => self.in_flight.push((request_id, pending)),
+        match handle.submit_traced(&model, query, ctx) {
+            Ok(pending) => {
+                let admitted_at = Instant::now();
+                handle.serve_metrics().on_stage(
+                    Stage::Admission,
+                    admitted_at.saturating_duration_since(admit_start),
+                );
+                handle
+                    .tracer()
+                    .record(ctx, Stage::Admission, admit_start, admitted_at);
+                self.in_flight.push((request_id, ctx, pending));
+            }
             Err(e) => {
                 if e == ServeError::QueueFull {
                     metrics.on_busy();
@@ -525,25 +614,36 @@ impl Conn {
     }
 
     /// Sends a response frame for every in-flight request whose
-    /// prediction has resolved.
-    fn poll_in_flight(&mut self, metrics: &WireMetrics) -> bool {
+    /// prediction has resolved, stamping [`Stage::WireWrite`] (response
+    /// framing into the write buffer — the socket write itself is
+    /// batched across requests and not attributable to one).
+    fn poll_in_flight(&mut self, handle: &SubmitHandle, metrics: &WireMetrics) -> bool {
         let mut progress = false;
         let mut i = 0;
         while i < self.in_flight.len() {
-            let Some(outcome) = self.in_flight[i].1.try_wait() else {
+            let Some(outcome) = self.in_flight[i].2.try_wait() else {
                 i += 1;
                 continue;
             };
-            let (request_id, _) = self.in_flight.swap_remove(i);
+            let (request_id, ctx, _) = self.in_flight.swap_remove(i);
             progress = true;
             let outcome = match outcome {
                 Ok(served) => Ok(wire_prediction(served)),
                 Err(e) => Err(fault_for(&e)),
             };
+            let write_start = Instant::now();
             self.queue_response(ResponseFrame {
                 request_id,
                 outcome,
             });
+            let write_end = Instant::now();
+            handle.serve_metrics().on_stage(
+                Stage::WireWrite,
+                write_end.saturating_duration_since(write_start),
+            );
+            handle
+                .tracer()
+                .record(ctx, Stage::WireWrite, write_start, write_end);
             metrics.on_response_out();
         }
         progress
@@ -558,10 +658,13 @@ impl Conn {
     }
 
     fn queue_response(&mut self, resp: ResponseFrame) {
-        let frame = Frame::Response(resp);
+        self.queue_frame(Frame::Response(resp));
+    }
+
+    fn queue_frame(&mut self, frame: Frame) {
         frame
             .encode_into(&mut self.write_buf)
-            .expect("response frames have bounded fields");
+            .expect("server-built frames have bounded fields");
         self.last_activity = Instant::now();
     }
 

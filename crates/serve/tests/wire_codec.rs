@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use privehd_core::BipolarHv;
 use privehd_serve::wire::frame::{
-    Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame, WireFault, WirePrediction,
-    WireStatus, DEFAULT_MAX_BODY, HEADER_LEN,
+    Frame, FrameError, QueryPayload, RequestFrame, ResponseFrame, StatsReplyFrame,
+    StatsRequestFrame, WireFault, WirePrediction, WireStatus, DEFAULT_MAX_BODY, HEADER_LEN,
 };
 use privehd_serve::ModelId;
 use proptest::prelude::*;
@@ -91,6 +91,27 @@ proptest! {
             )),
         });
         for frame in [ok, fault] {
+            let bytes = frame.encode().unwrap();
+            let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn stats_frames_roundtrip(
+        request_id in any::<u64>(),
+        text_bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Bytes fanned out over ASCII and multi-byte codepoints (the
+        // spread stays below the surrogate range, so every value maps).
+        let text: String = text_bytes
+            .into_iter()
+            .map(|b| char::from_u32(0x20 + u32::from(b) * 37).unwrap())
+            .collect();
+        let req = Frame::StatsRequest(StatsRequestFrame { request_id });
+        let reply = Frame::StatsReply(StatsReplyFrame { request_id, text });
+        for frame in [req, reply] {
             let bytes = frame.encode().unwrap();
             let (decoded, consumed) = Frame::decode(&bytes, DEFAULT_MAX_BODY).unwrap().unwrap();
             prop_assert_eq!(consumed, bytes.len());
@@ -283,6 +304,24 @@ fn trailing_body_bytes_are_rejected() {
     assert_eq!(
         Frame::decode(&bytes, DEFAULT_MAX_BODY),
         Err(FrameError::BadBody("trailing bytes after body fields"))
+    );
+}
+
+#[test]
+fn non_utf8_stats_reply_body_is_rejected() {
+    let frame = Frame::StatsReply(StatsReplyFrame {
+        request_id: 6,
+        text: "ok".into(),
+    });
+    let mut bytes = frame.encode().unwrap();
+    // Overwrite the body with an invalid UTF-8 sequence and re-CRC.
+    bytes[HEADER_LEN] = 0xFF;
+    let crc_at = bytes.len() - 4;
+    let crc = privehd_serve::wire::crc32(&bytes[..crc_at]);
+    bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        Frame::decode(&bytes, DEFAULT_MAX_BODY),
+        Err(FrameError::BadBody("stats text is not UTF-8"))
     );
 }
 

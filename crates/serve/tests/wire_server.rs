@@ -41,6 +41,7 @@ fn per_connection_in_flight_cap_answers_busy() {
             workers: 1,
             queue_depth: 512,
             packed_fastpath: false,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -396,6 +397,96 @@ fn connection_cap_refuses_extras() {
     let report = server.shutdown();
     assert_eq!(report.refused, 1);
     assert_eq!(report.accepted, 2);
+    engine.shutdown();
+}
+
+#[test]
+fn stats_scrape_exposes_stage_decomposition() {
+    // Serve real traffic (packed and raw, so the Encode stage runs),
+    // then scrape the Stats frame and check the Prometheus text carries
+    // the stage-level latency decomposition.
+    let edge = privehd_serve::ClientEdge::new(
+        privehd_core::EncoderConfig::new(8, DIM).with_seed(11),
+        privehd_core::ObfuscateConfig::new(privehd_core::QuantScheme::Bipolar),
+    )
+    .unwrap();
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig::default().with_edge(ModelId::default(), edge),
+    )
+    .unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+    for _ in 0..8 {
+        client
+            .call_packed(&ModelId::default(), &positive_query())
+            .unwrap();
+    }
+    client.call_raw(&ModelId::default(), &[0.9; 8]).unwrap();
+
+    let text = client.stats().unwrap();
+    assert!(text.contains("privehd_serve_requests_total{outcome=\"completed\"} 9"));
+    for stage in [
+        "wire_decode",
+        "admission",
+        "encode",
+        "queue_wait",
+        "batch_wait",
+        "snapshot_resolve",
+        "predict",
+        "wire_write",
+    ] {
+        let count_line = format!("privehd_serve_stage_latency_seconds_count{{stage=\"{stage}\"}}");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(&count_line))
+            .unwrap_or_else(|| panic!("no {stage} stage series in:\n{text}"));
+        let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(n > 0, "stage {stage} has zero count:\n{text}");
+    }
+    assert!(text.contains("privehd_wire_frames_total{direction=\"in\"} 9"));
+    assert!(text.contains("privehd_wire_stats_served_total 1"));
+    // Stats traffic is metadata: not in frames_in/responses_out. A
+    // second scrape still works and sees itself counted.
+    let text2 = client.stats().unwrap();
+    assert!(text2.contains("privehd_wire_frames_total{direction=\"in\"} 9"));
+    assert!(text2.contains("privehd_wire_stats_served_total 2"));
+    // Predictions still serve after scrapes on the same connection.
+    assert_eq!(
+        client
+            .call_packed(&ModelId::default(), &positive_query())
+            .unwrap()
+            .class,
+        0
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.stats_served, 2);
+    assert_eq!(report.frames_in, 10);
+    assert_eq!(report.responses_out, 10);
+    engine.shutdown();
+}
+
+#[test]
+fn unknown_frame_kind_answers_typed_fault() {
+    // A well-formed frame with an unallocated kind byte must come back
+    // as a typed BadFrame fault (id salvaged), not a dropped socket.
+    let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
+    let server = WireServer::start("127.0.0.1:0", engine.handle(), WireConfig::default()).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"PVHD");
+    frame.push(1); // version
+    frame.push(0x7F); // unallocated kind
+    frame.extend_from_slice(&21u64.to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    let crc = privehd_serve::wire::crc32(&frame);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    let (id, fault) = fault_from_raw(server.local_addr(), &frame);
+    assert_eq!(id, 21);
+    assert_eq!(fault.status, WireStatus::BadFrame);
+    let report = server.shutdown();
+    assert_eq!(report.decode_errors, 1);
     engine.shutdown();
 }
 

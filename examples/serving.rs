@@ -5,7 +5,8 @@
 //! Demonstrates the full `privehd-serve` subsystem: the client edge
 //! (encode + obfuscate), the versioned model registry, the adaptive
 //! micro-batcher, and the serving report (throughput, latency
-//! quantiles, batch-size distribution), then a multi-tenant engine
+//! quantiles, batch-size distribution, per-stage latency
+//! decomposition), then a multi-tenant engine
 //! serving three models from one `ShardedRegistry` with per-model
 //! routing and metrics. Finishes with a single-query vs micro-batched
 //! throughput comparison.
@@ -118,6 +119,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{size}x{count} ");
     }
     println!();
+
+    // Where the time went: the engine stamps every request's pipeline
+    // stages into per-stage histograms (see docs/OBSERVABILITY.md).
+    println!("\n== stage decomposition ==");
+    println!(
+        "{:>18}  {:>8}  {:>10}  {:>10}  {:>10}",
+        "stage", "count", "p50", "p95", "p99"
+    );
+    for row in &report.stages {
+        println!(
+            "{:>18}  {:>8}  {:>10}  {:>10}  {:>10}",
+            row.stage.to_string(),
+            row.count,
+            format!("{:.1?}", row.p50),
+            format!("{:.1?}", row.p95),
+            format!("{:.1?}", row.p99),
+        );
+    }
 
     // Multi-tenant serving: three models (three tenants) behind ONE
     // engine, each hot-swappable and withdrawable on its own. Requests

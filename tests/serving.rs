@@ -57,6 +57,7 @@ fn batched_predictions_are_bit_identical_to_sequential() {
         workers: 4,
         queue_depth: 1_024,
         packed_fastpath: false,
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start(registry, config).unwrap();
     let pending: Vec<_> = queries
@@ -101,6 +102,7 @@ fn hot_swap_mid_stream_drops_and_corrupts_nothing() {
         workers: 4,
         queue_depth: 2_048,
         packed_fastpath: false,
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start(Arc::clone(&registry), config).unwrap();
 
@@ -293,6 +295,7 @@ fn three_tenants_share_one_engine_with_per_model_metrics() {
         workers: 2,
         queue_depth: 1_024,
         packed_fastpath: false,
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start_sharded(registry, config).unwrap();
 
@@ -347,6 +350,7 @@ fn concurrent_per_tenant_hot_swaps_complete_on_dispatch_version() {
         workers: 4,
         queue_depth: 2_048,
         packed_fastpath: false,
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start_sharded(Arc::clone(&registry), config).unwrap();
 
@@ -441,6 +445,7 @@ fn cross_tenant_isolation_bad_queries_fail_only_their_tenant() {
         workers: 2,
         queue_depth: 1_024,
         packed_fastpath: false,
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start_sharded(registry, config).unwrap();
 

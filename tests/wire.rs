@@ -74,6 +74,7 @@ fn two_tenants_mixed_frames_and_a_malformed_injector() {
             workers: 2,
             queue_depth: 1_024,
             packed_fastpath: false,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -207,6 +208,7 @@ fn queue_pressure_surfaces_as_busy_frames() {
             workers: 1,
             queue_depth: 2,
             packed_fastpath: false,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -274,6 +276,7 @@ fn shutdown_drains_in_flight_wire_requests() {
             workers: 1,
             queue_depth: 64,
             packed_fastpath: false,
+            ..ServeConfig::default()
         },
     )
     .unwrap();

@@ -543,28 +543,42 @@ fn main() {
         threshold: Some(2.0),
     });
 
-    // --- Packed predict: branchless packed scoring vs the dense path
-    //     on the same (pre-densified) queries ---------------------------
-    let packed: Vec<privehd_core::BipolarHv> = (0..batch.min(64))
-        .map(|i| privehd_core::BipolarHv::random(DIM, i as u64))
+    // --- Packed-native predict: popcount scoring on the sign-quantized
+    //     model vs densify-at-submit feeding the tuned dense batched
+    //     predict. Both arms classify the same bit-packed wire queries
+    //     against the same class memory; the reference arm pays the
+    //     `to_dense()` conversion *inside* the timed region because
+    //     that is exactly what a server densifying at submit pays per
+    //     request. --------------------------------------------------
+    let mut packed_model = model.clone();
+    packed_model.quantize_classes(QuantScheme::Bipolar);
+    packed_model.refresh_norms();
+    assert!(
+        packed_model.packed_class_matrix().is_some(),
+        "bipolar class quantization must yield a packable model"
+    );
+    let packed: Vec<BipolarHv> = (0..batch.min(64))
+        .map(|i| BipolarHv::random(DIM, i as u64))
         .collect();
-    let densified: Vec<Hypervector> = packed.iter().map(|q| q.to_dense()).collect();
     let kernel = time_per_item(samples, packed.len(), || {
         for q in &packed {
-            std::hint::black_box(model.predict_packed(q).expect("predict"));
+            std::hint::black_box(packed_model.predict_packed(q).expect("predict"));
         }
     });
-    let reference = time_per_item(samples, densified.len(), || {
-        for q in &densified {
-            std::hint::black_box(model.predict_reference(q).expect("predict"));
-        }
+    let reference = time_per_item(samples, packed.len(), || {
+        let densified: Vec<Hypervector> = packed.iter().map(BipolarHv::to_dense).collect();
+        std::hint::black_box(
+            packed_model
+                .predict_batch_with(&densified, 1)
+                .expect("predict"),
+        );
     });
     results.push(Comparison {
         name: "predict_packed",
         unit: "query",
         reference,
         kernel,
-        threshold: None,
+        threshold: Some(4.0),
     });
 
     // --- Report -------------------------------------------------------

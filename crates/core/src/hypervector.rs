@@ -12,6 +12,7 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, Mul, Neg, Sub, SubAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,6 +21,23 @@ use serde::{Deserialize, Serialize};
 use crate::error::HdError;
 
 const WORD_BITS: usize = 64;
+
+/// Process-wide count of packed↔dense representation conversions
+/// ([`BipolarHv::to_dense`] and [`BipolarHv::from_signs`] calls).
+static DENSE_CONVERSIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of packed↔dense representation conversions
+/// performed so far: every [`BipolarHv::to_dense`] expansion and every
+/// [`BipolarHv::from_signs`] re-pack counts one.
+///
+/// This is an audit hook, not a metric: the packed-native serving tests
+/// snapshot it around a request to prove a packed wire query reaches the
+/// predict kernel without an O(dim) dense detour. The counter is relaxed
+/// — read it only once the audited work has completed (e.g. after the
+/// request's reply arrived).
+pub fn dense_conversion_count() -> u64 {
+    DENSE_CONVERSIONS.load(Ordering::Relaxed)
+}
 
 /// A dense real-valued hypervector of fixed dimensionality.
 ///
@@ -357,6 +375,7 @@ impl BipolarHv {
             !signs.is_empty(),
             "hypervector must have at least one dimension"
         );
+        DENSE_CONVERSIONS.fetch_add(1, Ordering::Relaxed);
         let dim = signs.len();
         let mut words = vec![0u64; dim.div_ceil(WORD_BITS)];
         for (i, &s) in signs.iter().enumerate() {
@@ -516,7 +535,11 @@ impl BipolarHv {
     }
 
     /// Expands into a dense `±1.0` hypervector.
+    ///
+    /// Counted by [`dense_conversion_count`]: the packed-native serving
+    /// path must never reach this.
     pub fn to_dense(&self) -> Hypervector {
+        DENSE_CONVERSIONS.fetch_add(1, Ordering::Relaxed);
         let values = (0..self.dim).map(|j| self.sign(j)).collect();
         Hypervector::from_vec(values)
     }

@@ -27,6 +27,25 @@
 //!   four independent accumulators (breaking the serial `fadd` dependency
 //!   chain of a naive fold) and the packed-query variant selects the sign
 //!   branchlessly via the `f64` sign bit — no `trailing_zeros` loops.
+//! * [`PackedClassMatrix`] + [`xor_popcount`] — the packed-native
+//!   inference path: class rows stored as bit-packed signs plus one
+//!   magnitude scale per 64-dim word block, scored against bit-packed
+//!   queries with pure `XOR` + `POPCNT` word arithmetic
+//!   (`dot = Σ_w s_w·(valid_w − 2·mismatch_w)`), so a 1-bit/dim wire
+//!   query is never expanded to dense `f64`s on the serving path.
+//! * [`scalar_encode_packed`] / [`scalar_encode_packed_batch`] — the
+//!   Eq. (2a) kernel fused with bipolar quantization: the accumulator
+//!   sign comparison happens in exact integers and the packed words are
+//!   emitted directly. The batch form builds every query's digit masks
+//!   up front and then streams each transposed item-memory row once
+//!   across the whole batch, amortizing the row's memory traffic.
+//!
+//! The `f64` dot kernels and [`xor_popcount`] dispatch to explicit AVX2
+//! (`std::arch`) variants when the CPU supports them — detected once at
+//! runtime, short-circuited at compile time under
+//! `-C target-feature=+avx2` — with scalar fallbacks the AVX2 arms
+//! bit-match (separate mul+add, identical lane order; see
+//! `docs/PERF.md` for the dispatch policy).
 //!
 //! The naive paths stay available as `*_reference` methods on the
 //! encoders/model; the property tests in `tests/properties.rs` hold the
@@ -40,7 +59,7 @@
 use std::cell::RefCell;
 
 use crate::basis::{ItemMemory, LevelMemory};
-use crate::hypervector::Hypervector;
+use crate::hypervector::{BipolarHv, Hypervector};
 
 const WORD_BITS: usize = 64;
 
@@ -208,6 +227,120 @@ fn quantize_index(raw: f64, steps: f64) -> u64 {
     (raw.clamp(0.0, 1.0) * steps).round() as u64
 }
 
+/// [`scalar_encode_level_sliced`] fused with bipolar quantization: the
+/// packed sign words are emitted directly (bit 1 ⇔ `acc_j ≥ 0`, the
+/// [`crate::QuantScheme::Bipolar`] convention) and the dense `f64`
+/// accumulator is never materialized. The sign test
+/// `2·weighted_j ≥ Σ_k g_k` runs in exact integers, so the result
+/// bit-matches bipolar-quantizing the dense kernel's output.
+///
+/// Returns `None` if any input is NaN: the dense path poisons the whole
+/// encoding with NaN, which a 1-bit representation cannot carry.
+///
+/// # Panics
+///
+/// Panics if `input.len() != im_t.features()` or `levels < 2` (the
+/// encoder validates both).
+pub fn scalar_encode_packed(
+    im_t: &TransposedItemMemory,
+    input: &[f64],
+    levels: usize,
+) -> Option<BipolarHv> {
+    scalar_encode_packed_batch(im_t, &[input], levels)
+        .map(|mut out| out.pop().expect("one query in, one hypervector out"))
+}
+
+/// Batch form of [`scalar_encode_packed`]: every query's level-grid
+/// digit masks are built up front, then each transposed item-memory row
+/// is streamed *once* across the whole batch. The item-memory traffic —
+/// `D_hv × ⌈D_iv/64⌉` words, the dominant memory term of Eq. (2a) — is
+/// paid per batch instead of per query.
+///
+/// Returns `None` if any query contains NaN (see
+/// [`scalar_encode_packed`]); an empty batch yields an empty vector.
+///
+/// # Panics
+///
+/// Panics if any query's length differs from `im_t.features()` or
+/// `levels < 2`.
+pub fn scalar_encode_packed_batch(
+    im_t: &TransposedItemMemory,
+    inputs: &[&[f64]],
+    levels: usize,
+) -> Option<Vec<BipolarHv>> {
+    assert!(levels >= 2, "need at least two levels");
+    for input in inputs {
+        assert_eq!(input.len(), im_t.features, "feature count mismatch");
+        if input.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+    }
+    if inputs.is_empty() {
+        return Some(Vec::new());
+    }
+    let steps = (levels - 1) as f64;
+    let max_index = (levels - 1) as u64;
+    let bits = (u64::BITS - max_index.leading_zeros()) as usize;
+    let f_words = im_t.f_words;
+    let hv_words = im_t.dim.div_ceil(WORD_BITS);
+
+    // Phase 1: quantize every query and slice its grid indices into
+    // digit masks (one `bits × f_words` block per query) plus the
+    // per-query constant Σ_k g_k. Allocated per batch, not per query.
+    let mut masks = vec![0u64; inputs.len() * bits * f_words];
+    let mut totals = Vec::with_capacity(inputs.len());
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        for (input, qmasks) in inputs.iter().zip(masks.chunks_exact_mut(bits * f_words)) {
+            scratch.grid.clear();
+            scratch
+                .grid
+                .extend(input.iter().map(|&raw| quantize_index(raw, steps)));
+            let mut index_total: u64 = 0;
+            for (k, &g) in scratch.grid.iter().enumerate() {
+                index_total += g;
+                let (fw, fb) = (k / WORD_BITS, k % WORD_BITS);
+                let mut digits = g;
+                while digits != 0 {
+                    let b = digits.trailing_zeros() as usize;
+                    qmasks[b * f_words + fw] |= 1 << fb;
+                    digits &= digits - 1;
+                }
+            }
+            totals.push(index_total);
+        }
+    });
+
+    // Phase 2: one pass over the transposed item memory, scoring all
+    // queries against each dim-row while it is cache-hot.
+    let mut out_words = vec![0u64; inputs.len() * hv_words];
+    for (j, row) in im_t.words.chunks_exact(f_words).enumerate() {
+        let (jw, jb) = (j / WORD_BITS, j % WORD_BITS);
+        for (q, qmasks) in masks.chunks_exact(bits * f_words).enumerate() {
+            let mut weighted: u64 = 0;
+            for (b, mask) in qmasks.chunks_exact(f_words).enumerate() {
+                let mut count: u32 = 0;
+                for (rw, mw) in row.iter().zip(mask) {
+                    count += (rw & mw).count_ones();
+                }
+                weighted += u64::from(count) << b;
+            }
+            // acc_j ≥ 0 ⇔ 2·weighted ≥ Σ_k g_k: the 1/(ℓ−1) scale is
+            // positive, so the comparison happens in exact integers.
+            if 2 * weighted >= totals[q] {
+                out_words[q * hv_words + jw] |= 1 << jb;
+            }
+        }
+    }
+
+    Some(
+        out_words
+            .chunks_exact(hv_words)
+            .map(|words| BipolarHv::from_words(im_t.dim, words.to_vec()))
+            .collect(),
+    )
+}
+
 /// Record/level encode (Eq. 2b) by word-parallel majority accumulation:
 /// every bound row `L_{v_k} ⊛ B_k` is XNOR-ed on the fly and inserted
 /// into a carry-save bit-slice counter; the per-dimension counts are
@@ -269,6 +402,17 @@ pub fn level_encode_majority(item: &ItemMemory, lm: &LevelMemory, input: &[f64])
     })
 }
 
+/// True when the AVX2 kernel arms may run. Compiling with
+/// `-C target-feature=+avx2` (the CI AVX2 leg) short-circuits the check
+/// at compile time; otherwise a CPUID probe decides at runtime
+/// (`std::is_x86_feature_detected!` memoizes, so steady-state dispatch
+/// is one relaxed atomic load).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_available() -> bool {
+    cfg!(target_feature = "avx2") || std::is_x86_feature_detected!("avx2")
+}
+
 /// Dense `f64` dot product with four independent accumulators.
 ///
 /// Mathematically identical to a sequential fold; the four-lane
@@ -277,7 +421,20 @@ pub fn level_encode_majority(item: &ItemMemory, lm: &LevelMemory, input: &[f64])
 /// so compare against it with a tolerance, not bit-equality. Trailing
 /// elements of the longer slice are ignored (callers pass equal
 /// lengths).
+///
+/// Dispatches to an AVX2 variant on capable x86-64 CPUs; the vector arm
+/// keeps the scalar arm's per-lane operation order (separate mul+add,
+/// no FMA contraction), so both arms return bit-identical sums.
 pub fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: `avx2_available` verified the AVX2 requirement.
+        return unsafe { dot_unrolled_avx2(a, b) };
+    }
+    dot_unrolled_scalar(a, b)
+}
+
+fn dot_unrolled_scalar(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().min(b.len());
     let quads = n - n % 4;
     let mut acc = [0.0f64; 4];
@@ -294,6 +451,40 @@ pub fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
+/// AVX2 arm of [`dot_unrolled`]: one `__m256d` accumulator whose four
+/// lanes mirror the scalar arm's four accumulators exactly.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_unrolled_avx2(a: &[f64], b: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let quads = n - n % 4;
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i < quads {
+        // SAFETY: `i + 3 < quads ≤ a.len(), b.len()` — both 32-byte
+        // unaligned loads stay in bounds.
+        let va = _mm256_loadu_pd(a.as_ptr().add(i));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+        // Separate mul + add (no FMA): each lane performs the same two
+        // correctly-rounded operations as the scalar arm, keeping the
+        // two arms bit-identical.
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut tail = 0.0;
+    for (x, y) in a[quads..n].iter().zip(&b[quads..n]) {
+        tail += x * y;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
 /// Dot product of a bit-packed bipolar vector (`1 ↔ +1`) against dense
 /// `f64` values, fully branchless: the query bit selects the sign by
 /// XOR-ing the `f64` sign bit, with no `trailing_zeros` walk and no
@@ -302,7 +493,19 @@ pub fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
 /// `values` beyond `64·words.len()` are ignored; unused tail bits of the
 /// last word must be zero (both invariants hold for
 /// [`crate::BipolarHv`]).
+///
+/// Dispatches to an AVX2 variant on capable x86-64 CPUs, bit-identical
+/// to the scalar arm (same lane assignment and addition order).
 pub fn dot_sign_dense(words: &[u64], values: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: `avx2_available` verified the AVX2 requirement.
+        return unsafe { dot_sign_dense_avx2(words, values) };
+    }
+    dot_sign_dense_scalar(words, values)
+}
+
+fn dot_sign_dense_scalar(words: &[u64], values: &[f64]) -> f64 {
     let mut acc = [0.0f64; 4];
     for (w, chunk) in words.iter().zip(values.chunks(WORD_BITS)) {
         // Bit set → +v; bit clear → −v via the IEEE-754 sign bit. The
@@ -323,6 +526,103 @@ pub fn dot_sign_dense(words: &[u64], values: &[f64]) -> f64 {
         }
     }
     (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// AVX2 arm of [`dot_sign_dense`]: the per-lane sign masks come from a
+/// variable 64-bit left shift of the inverted query word
+/// (`(!w) << (63−lane)` isolates bit `lane` at the sign position), so
+/// four sign selects and four adds happen per vector op. Lane
+/// assignment (`position mod 4`) and addition order match the scalar
+/// arm exactly — only a full 64-value chunk can be followed by another
+/// chunk, so the global quad prefix coincides with the per-chunk quads.
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_sign_dense_avx2(words: &[u64], values: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    let n = values.len().min(words.len() * WORD_BITS);
+    let quads = n - n % 4;
+    let sign_bit = _mm256_set1_epi64x(i64::MIN);
+    let shifts = _mm256_setr_epi64x(63, 62, 61, 60);
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i < quads {
+        let nw = !words[i / WORD_BITS] >> (i % WORD_BITS);
+        let signs = _mm256_and_si256(
+            _mm256_sllv_epi64(_mm256_set1_epi64x(nw as i64), shifts),
+            sign_bit,
+        );
+        // SAFETY: `i + 3 < quads ≤ values.len()` keeps the load in
+        // bounds.
+        let v = _mm256_loadu_pd(values.as_ptr().add(i));
+        acc = _mm256_add_pd(acc, _mm256_xor_pd(v, _mm256_castsi256_pd(signs)));
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    if quads < n {
+        let nw = !words[quads / WORD_BITS] >> (quads % WORD_BITS);
+        for (b, &v) in values[quads..n].iter().enumerate() {
+            lanes[b & 3] += f64::from_bits(v.to_bits() ^ ((nw >> b & 1) << 63));
+        }
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
+/// Number of mismatching sign bits between two packed bipolar rows:
+/// `Σ_w popcount(a_w ⊕ b_w)` over the shorter slice — the Hamming
+/// kernel of the packed predict path.
+///
+/// Dispatches to an AVX2 variant (256-bit XOR, scalar `POPCNT`
+/// extraction — see `docs/PERF.md`); both arms are pure integer
+/// arithmetic and trivially agree.
+pub fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: `avx2_available` verified the AVX2 requirement.
+        return unsafe { xor_popcount_avx2(a, b) };
+    }
+    xor_popcount_scalar(a, b)
+}
+
+fn xor_popcount_scalar(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// AVX2 arm of [`xor_popcount`]: XOR four words per 256-bit op, count
+/// with scalar `POPCNT` (no AVX-512 `VPOPCNTDQ` dependence).
+///
+/// # Safety
+///
+/// The CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn xor_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let quads = n - n % 4;
+    let mut total = 0u64;
+    let mut i = 0;
+    while i < quads {
+        // SAFETY: `i + 3 < quads ≤ a.len(), b.len()` keeps both 32-byte
+        // loads in bounds.
+        let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+        let mut x = [0u64; 4];
+        _mm256_storeu_si256(x.as_mut_ptr().cast(), _mm256_xor_si256(va, vb));
+        total += x.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+        i += 4;
+    }
+    for (x, y) in a[quads..n].iter().zip(&b[quads..n]) {
+        total += u64::from((x ^ y).count_ones());
+    }
+    total
 }
 
 /// A contiguous, inference-ready snapshot of a model's class
@@ -512,6 +812,206 @@ impl ClassMatrix {
             });
         }
     }
+
+    /// Heap footprint of this snapshot in bytes (dense values, packed
+    /// sign rows, cached norms) — the dense side of the per-model
+    /// `memory_bytes` serving metric.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.dense.as_slice())
+            + std::mem::size_of_val(self.sign_rows.as_slice())
+            + std::mem::size_of_val(self.norms.as_slice())
+    }
+}
+
+/// A bit-packed, inference-ready snapshot of a model's class
+/// hypervectors — the packed-native counterpart of [`ClassMatrix`].
+///
+/// Each class is stored as its packed sign row (bit 1 ⇔ `value ≥ 0`,
+/// the same convention as [`ClassMatrix::sign_row`]) plus one `f64`
+/// magnitude scale per 64-dimension word block. Construction succeeds
+/// only when that factorization is *exact* — every block holds values
+/// of one shared magnitude (signs free) or is entirely zero (scale 0) —
+/// which covers sign-only models produced by
+/// [`crate::HdModel::quantize_classes`] with
+/// [`crate::QuantScheme::Bipolar`] and blockwise-uniform quantized
+/// rows; anything else returns `None` and the caller keeps scoring
+/// through the dense rows.
+///
+/// Scoring a packed query is then pure word arithmetic:
+/// `dot_l = Σ_w s_lw · (valid_w − 2·popcount(q_w ⊕ σ_lw))` — tail bits
+/// of both operands are zero, so the XOR never counts them — at
+/// 64 dimensions per `XOR` + `POPCNT` instead of one `f64` add per
+/// dimension. For ±1 rows every partial sum is a small exact integer,
+/// so the scores bit-match the dense path (asserted by the parity
+/// proptests in `tests/properties.rs`).
+#[derive(Debug, Clone)]
+pub struct PackedClassMatrix {
+    num_classes: usize,
+    dim: usize,
+    hv_words: usize,
+    sign_rows: Vec<u64>,
+    /// One magnitude per (class, 64-dim word block), row-major.
+    word_scales: Vec<f64>,
+    /// Per-class uniform scale when every word block shares one
+    /// magnitude (the sign-only fast path: one popcount chain per class,
+    /// one multiply at the end); `None` for mixed-scale rows.
+    uniform: Vec<Option<f64>>,
+    norms: Vec<f64>,
+}
+
+impl PackedClassMatrix {
+    /// Attempts to snapshot `classes` into the packed layout. Returns
+    /// `None` unless every 64-dim block of every class is exactly
+    /// `sign × scale` (see the type docs); an empty slice yields an
+    /// empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if class dimensionalities disagree (the model guarantees
+    /// they do not).
+    pub fn try_from_classes(classes: &[Hypervector]) -> Option<Self> {
+        let dim = classes.first().map_or(0, Hypervector::dim);
+        let hv_words = dim.div_ceil(WORD_BITS);
+        let num_classes = classes.len();
+        let mut sign_rows = vec![0u64; num_classes * hv_words];
+        let mut word_scales = Vec::with_capacity(num_classes * hv_words);
+        let mut uniform = Vec::with_capacity(num_classes);
+        let mut norms = Vec::with_capacity(num_classes);
+        for (l, class) in classes.iter().enumerate() {
+            assert_eq!(class.dim(), dim, "class dimension mismatch");
+            let values = class.as_slice();
+            let mut row_scale: Option<f64> = None;
+            let mut row_uniform = true;
+            for (w, block) in values.chunks(WORD_BITS).enumerate() {
+                let mut scale = 0.0f64;
+                let mut zeros = false;
+                for (b, &v) in block.iter().enumerate() {
+                    if v >= 0.0 {
+                        sign_rows[l * hv_words + w] |= 1 << b;
+                    }
+                    let mag = v.abs();
+                    if !mag.is_finite() {
+                        return None;
+                    }
+                    if mag == 0.0 {
+                        zeros = true;
+                    } else if scale == 0.0 {
+                        scale = mag;
+                    } else if mag != scale {
+                        return None;
+                    }
+                }
+                // A block mixing zeros and non-zeros is not `sign×scale`:
+                // the factorization puts ±scale at every lane.
+                if zeros && scale != 0.0 {
+                    return None;
+                }
+                word_scales.push(scale);
+                match row_scale {
+                    None => row_scale = Some(scale),
+                    Some(s) if s == scale => {}
+                    Some(_) => row_uniform = false,
+                }
+            }
+            uniform.push(if row_uniform { row_scale } else { None });
+            norms.push(class.l2_norm());
+        }
+        Some(Self {
+            num_classes,
+            dim,
+            hv_words,
+            sign_rows,
+            word_scales,
+            uniform,
+            norms,
+        })
+    }
+
+    /// Number of classes (rows).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Hypervector dimensionality (columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed sign bits of class `l` (`value ≥ 0 ↔ 1`; tail bits
+    /// zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.num_classes()`.
+    pub fn sign_row(&self, l: usize) -> &[u64] {
+        &self.sign_rows[l * self.hv_words..(l + 1) * self.hv_words]
+    }
+
+    /// Cached ℓ2 norms, index = class label.
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
+    }
+
+    /// True when every class hypervector is all-zero (untrained model)
+    /// — vacuously true for an empty matrix.
+    pub fn all_zero(&self) -> bool {
+        self.norms.iter().all(|&n| n == 0.0)
+    }
+
+    /// Heap footprint of this snapshot in bytes (sign rows, word
+    /// scales, uniform flags, norms) — the packed side of the per-model
+    /// `memory_bytes` serving metric. Roughly 64× smaller than
+    /// [`ClassMatrix::memory_bytes`] on the dense values it replaces.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of_val(self.sign_rows.as_slice())
+            + std::mem::size_of_val(self.word_scales.as_slice())
+            + std::mem::size_of_val(self.uniform.as_slice())
+            + std::mem::size_of_val(self.norms.as_slice())
+    }
+
+    /// Normalized scores of a bit-packed bipolar query against every
+    /// class, written into `scores` (cleared first) — the popcount
+    /// realization of Eq. (4). Zero-norm classes score
+    /// [`f64::NEG_INFINITY`]. `query_words` must hold exactly
+    /// `⌈dim/64⌉` words with zero tail bits (the [`BipolarHv`]
+    /// invariants).
+    pub fn scores_packed_into(&self, query_words: &[u64], scores: &mut Vec<f64>) {
+        scores.clear();
+        scores.reserve(self.num_classes);
+        for l in 0..self.num_classes {
+            let norm = self.norms[l];
+            if norm == 0.0 {
+                scores.push(f64::NEG_INFINITY);
+                continue;
+            }
+            let row = self.sign_row(l);
+            let dot = match self.uniform[l] {
+                // Uniform row: one popcount chain, one multiply. The
+                // parenthesized integer is exact, so for scale 1 this
+                // bit-matches the dense `±1` summation.
+                Some(scale) => {
+                    let mismatches = xor_popcount(query_words, row) as i64;
+                    scale * (self.dim as i64 - 2 * mismatches) as f64
+                }
+                // Mixed scales: per-word popcount × scale. Tail bits of
+                // both operands are zero, so the last word's mismatch
+                // count only covers its `valid_w` live lanes.
+                None => {
+                    let scales = &self.word_scales[l * self.hv_words..(l + 1) * self.hv_words];
+                    let mut dot = 0.0;
+                    for (w, (qw, (sw, &scale))) in
+                        query_words.iter().zip(row.iter().zip(scales)).enumerate()
+                    {
+                        let valid = (self.dim - w * WORD_BITS).min(WORD_BITS) as i64;
+                        let mismatches = i64::from((qw ^ sw).count_ones());
+                        dot += scale * (valid - 2 * mismatches) as f64;
+                    }
+                    dot
+                }
+            };
+            scores.push(dot / norm);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -631,6 +1131,146 @@ mod tests {
         assert_eq!(incremental.class_row(1), fresh.class_row(1));
         assert_eq!(incremental.sign_row(1), fresh.sign_row(1));
         assert_eq!(incremental.norms(), fresh.norms());
+    }
+
+    #[test]
+    fn xor_popcount_matches_hamming() {
+        let a = BipolarHv::random(517, 11);
+        let b = BipolarHv::random(517, 12);
+        assert_eq!(
+            xor_popcount(a.words(), b.words()),
+            a.hamming(&b).unwrap() as u64
+        );
+        assert_eq!(xor_popcount(a.words(), a.words()), 0);
+    }
+
+    #[test]
+    fn packed_matrix_bit_matches_dense_for_sign_rows() {
+        // ±1 rows across an off-word-boundary dimension: every partial
+        // sum is an exact small integer, so packed and dense scores
+        // must be bit-identical.
+        let dim = 197;
+        let classes: Vec<Hypervector> = (0..5)
+            .map(|c| {
+                Hypervector::from_vec(
+                    (0..dim)
+                        .map(|j| {
+                            if ((c * dim + j) * 2654435761) % 7 < 3 {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let dense = ClassMatrix::from_classes(&classes);
+        let packed = PackedClassMatrix::try_from_classes(&classes).expect("±1 rows pack exactly");
+        let query = BipolarHv::random(dim, 99);
+        let (mut ds, mut ps) = (Vec::new(), Vec::new());
+        dense.scores_packed_into(query.words(), &mut ds);
+        packed.scores_packed_into(query.words(), &mut ps);
+        assert_eq!(ds, ps, "packed popcount scores must bit-match dense");
+    }
+
+    #[test]
+    fn packed_matrix_handles_zero_norm_and_scaled_rows() {
+        let dim = 70;
+        let classes = vec![
+            Hypervector::from_vec(vec![0.0; dim]),
+            Hypervector::from_vec(
+                (0..dim)
+                    .map(|j| if j % 3 == 0 { 2.5 } else { -2.5 })
+                    .collect(),
+            ),
+        ];
+        let packed = PackedClassMatrix::try_from_classes(&classes).expect("uniform scale packs");
+        assert!(!packed.all_zero());
+        let query = BipolarHv::random(dim, 3);
+        let mut scores = Vec::new();
+        packed.scores_packed_into(query.words(), &mut scores);
+        assert_eq!(scores[0], f64::NEG_INFINITY);
+        let naive: f64 = (0..dim).map(|j| query.sign(j) * classes[1][j]).sum();
+        let expected = naive / classes[1].l2_norm();
+        assert!(
+            (scores[1] - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            scores[1]
+        );
+    }
+
+    #[test]
+    fn packed_matrix_rejects_inexact_rows() {
+        // Mixed magnitudes inside one 64-dim block are not sign×scale.
+        let mixed = vec![Hypervector::from_vec(vec![1.0, -2.0, 1.0, 1.0])];
+        assert!(PackedClassMatrix::try_from_classes(&mixed).is_none());
+        // So is a block mixing zeros with non-zeros (masked dims).
+        let masked = vec![Hypervector::from_vec(vec![1.0, 0.0, -1.0, 1.0])];
+        assert!(PackedClassMatrix::try_from_classes(&masked).is_none());
+        // Per-block scales are fine: block 0 all ±3, block 1 all ±0.5.
+        let blocky = vec![Hypervector::from_vec(
+            (0..100)
+                .map(|j| {
+                    let mag = if j < 64 { 3.0 } else { 0.5 };
+                    if j % 2 == 0 {
+                        mag
+                    } else {
+                        -mag
+                    }
+                })
+                .collect(),
+        )];
+        let packed = PackedClassMatrix::try_from_classes(&blocky).expect("blockwise uniform packs");
+        let dense = ClassMatrix::from_classes(&blocky);
+        let query = BipolarHv::random(100, 8);
+        let (mut ds, mut ps) = (Vec::new(), Vec::new());
+        dense.scores_packed_into(query.words(), &mut ds);
+        packed.scores_packed_into(query.words(), &mut ps);
+        assert!((ds[0] - ps[0]).abs() < 1e-9, "{} vs {}", ds[0], ps[0]);
+    }
+
+    #[test]
+    fn empty_packed_matrix_degrades_gracefully() {
+        let m = PackedClassMatrix::try_from_classes(&[]).expect("empty packs");
+        assert_eq!(m.num_classes(), 0);
+        assert!(m.all_zero());
+        let mut scores = vec![1.0];
+        m.scores_packed_into(&[], &mut scores);
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn packed_encode_matches_dense_sign() {
+        let im = BasisGenerator::new(21).item_memory(23, 150).unwrap();
+        let t = TransposedItemMemory::from_item_memory(&im);
+        let levels = 12;
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|q| {
+                (0..23)
+                    .map(|k| ((q * 23 + k) as f64 * 0.17).sin().abs())
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batch = scalar_encode_packed_batch(&t, &refs, levels).expect("no NaN");
+        assert_eq!(batch.len(), inputs.len());
+        for (input, packed) in inputs.iter().zip(&batch) {
+            let dense = scalar_encode_level_sliced(&t, input, levels);
+            for (j, &v) in dense.iter().enumerate() {
+                let expected = if v >= 0.0 { 1.0 } else { -1.0 };
+                assert_eq!(packed.sign(j), expected, "dim {j}");
+            }
+            let single = scalar_encode_packed(&t, input, levels).expect("no NaN");
+            assert_eq!(&single, packed, "single-query path must match batch");
+        }
+    }
+
+    #[test]
+    fn packed_encode_refuses_nan() {
+        let im = BasisGenerator::new(2).item_memory(4, 64).unwrap();
+        let t = TransposedItemMemory::from_item_memory(&im);
+        assert!(scalar_encode_packed(&t, &[0.1, f64::NAN, 0.3, 0.4], 4).is_none());
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //!   (Eq. 4) with a cached contiguous scoring snapshot
 //!   ([`kernels::ClassMatrix`]).
 //! * [`kernels`] — the throughput layer: level-sliced popcount encode
-//!   over a bit-sliced transposed item memory, word-parallel (CSA)
-//!   majority accumulation for the record encoding, and blocked,
-//!   branchless query×class scoring. The naive paths are retained as
-//!   `*_reference` methods for parity testing.
+//!   over a bit-sliced transposed item memory (dense, packed, and
+//!   batch-packed forms), word-parallel (CSA) majority accumulation for
+//!   the record encoding, blocked, branchless query×class scoring, and
+//!   the packed-native `XOR`+`POPCNT` scoring path
+//!   ([`kernels::PackedClassMatrix`]) with runtime-dispatched AVX2
+//!   kernel arms. The naive paths are retained as `*_reference` methods
+//!   for parity testing.
 //! * [`pool`] — a persistent worker pool fed over a channel; batch
 //!   encode/predict fan out here instead of spawning scoped threads per
 //!   call.
@@ -91,7 +94,7 @@ pub use decode::{mse, psnr, Decoder, Reconstruction};
 pub use encoder::{Encoder, EncoderConfig, LevelEncoder, ScalarEncoder};
 pub use error::HdError;
 pub use hypervector::{BipolarHv, Hypervector};
-pub use kernels::{ClassMatrix, TransposedItemMemory};
+pub use kernels::{ClassMatrix, PackedClassMatrix, TransposedItemMemory};
 pub use model::{HdModel, Prediction, RetrainConfig, RetrainReport};
 pub use obfuscate::{ObfuscateConfig, Obfuscator};
 pub use online::{online_step, train_online, OnlineConfig, OnlineReport};

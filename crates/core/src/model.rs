@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::HdError;
 use crate::hypervector::{BipolarHv, Hypervector};
-use crate::kernels::ClassMatrix;
+use crate::kernels::{ClassMatrix, PackedClassMatrix};
 use crate::pool;
 use crate::prune::PruneMask;
 use crate::quantize::QuantScheme;
@@ -52,6 +52,12 @@ pub struct HdModel {
     /// norms); replaced with an empty cell on every mutation.
     #[serde(skip)]
     cache: OnceLock<Arc<ClassMatrix>>,
+    /// Lazily built packed-native scoring snapshot: `Some` only when the
+    /// class rows factor exactly into `sign × per-word scale` (see
+    /// [`PackedClassMatrix::try_from_classes`]), `None` caches the
+    /// "not packable" answer so the probe runs once per mutation.
+    #[serde(skip)]
+    packed_cache: OnceLock<Option<Arc<PackedClassMatrix>>>,
 }
 
 impl PartialEq for HdModel {
@@ -157,6 +163,7 @@ impl HdModel {
             classes,
             dim,
             cache: OnceLock::new(),
+            packed_cache: OnceLock::new(),
         })
     }
 
@@ -184,6 +191,7 @@ impl HdModel {
             classes,
             dim: first_dim,
             cache: OnceLock::new(),
+            packed_cache: OnceLock::new(),
         })
     }
 
@@ -386,12 +394,19 @@ impl HdModel {
     /// obfuscated queries, whose components are all `±1` after the
     /// [`crate::obfuscate::Obfuscator`] quantization step.
     ///
-    /// The per-class dot product selects signs branchlessly from the
-    /// packed words ([`crate::kernels::dot_sign_dense`]) against the
-    /// cached [`ClassMatrix`] rows. The score is mathematically identical
-    /// to [`HdModel::predict`] on [`BipolarHv::to_dense`], but
-    /// floating-point summation order differs, so last-ulp ties may
-    /// resolve differently.
+    /// When the class rows factor exactly into packed signs × per-word
+    /// scales (sign-only models after
+    /// [`HdModel::quantize_classes`](Self::quantize_classes) with
+    /// [`QuantScheme::Bipolar`]), scoring runs entirely in the packed
+    /// domain through [`PackedClassMatrix`] — `XOR` + `POPCNT` word
+    /// arithmetic, bit-exact against the dense scores for ±1 rows, and
+    /// free of any O(dim) dense traffic. Otherwise the per-class dot
+    /// selects signs branchlessly from the packed words
+    /// ([`crate::kernels::dot_sign_dense`]) against the cached
+    /// [`ClassMatrix`] rows. Either way the score is mathematically
+    /// identical to [`HdModel::predict`] on [`BipolarHv::to_dense`], but
+    /// floating-point summation order can differ for non-±1 rows, so
+    /// last-ulp ties may resolve differently there.
     ///
     /// # Errors
     ///
@@ -404,12 +419,20 @@ impl HdModel {
                 actual: query.dim(),
             });
         }
-        let matrix = self.matrix();
-        if matrix.all_zero() {
-            return Err(HdError::ZeroNorm);
-        }
         let mut scores = Vec::new();
-        matrix.scores_packed_into(query.words(), &mut scores);
+        match self.packed_matrix() {
+            Some(packed) if !packed.all_zero() => {
+                packed.scores_packed_into(query.words(), &mut scores);
+            }
+            Some(_) => return Err(HdError::ZeroNorm),
+            None => {
+                let matrix = self.matrix();
+                if matrix.all_zero() {
+                    return Err(HdError::ZeroNorm);
+                }
+                matrix.scores_packed_into(query.words(), &mut scores);
+            }
+        }
         Ok(prediction_from_scores(scores))
     }
 
@@ -579,18 +602,29 @@ impl HdModel {
             .get_or_init(|| Arc::new(ClassMatrix::from_classes(&self.classes)))
     }
 
-    /// Drops the scoring snapshot; called by mutations that touch many
+    /// The cached packed-native snapshot: `Some` when the class rows are
+    /// exactly packable, `None` otherwise (cached either way).
+    fn packed_matrix(&self) -> Option<&Arc<PackedClassMatrix>> {
+        self.packed_cache
+            .get_or_init(|| PackedClassMatrix::try_from_classes(&self.classes).map(Arc::new))
+            .as_ref()
+    }
+
+    /// Drops the scoring snapshots; called by mutations that touch many
     /// classes at once.
     fn invalidate(&mut self) {
         self.cache = OnceLock::new();
+        self.packed_cache = OnceLock::new();
     }
 
     /// Refreshes a single class row of the scoring snapshot in place
     /// when the snapshot exists and is not shared (the common retraining
     /// case), falling back to a full invalidation otherwise. Keeps the
     /// per-update cost at one row copy instead of a whole-matrix
-    /// rebuild.
+    /// rebuild. The packed snapshot has no in-place row update (the
+    /// mutation can change packability), so it is always dropped.
     fn refresh_class(&mut self, label: usize) {
+        self.packed_cache = OnceLock::new();
         let class = &self.classes[label];
         if let Some(arc) = self.cache.get_mut() {
             if let Some(matrix) = Arc::get_mut(arc) {
@@ -607,12 +641,24 @@ impl HdModel {
         self.matrix()
     }
 
-    /// Rebuilds the scoring snapshot (norms included) eagerly. Call after
-    /// a batch of mutations when many predictions follow;
+    /// The packed-native scoring snapshot [`HdModel::predict_packed`]
+    /// uses when the class rows factor exactly into `sign × scale` word
+    /// blocks; `None` (cached) when they do not. Serving layers call
+    /// this once at publish time so the probe/build never runs on the
+    /// request path, and scrape its
+    /// [`memory_bytes`](PackedClassMatrix::memory_bytes) next to the
+    /// dense snapshot's.
+    pub fn packed_class_matrix(&self) -> Option<&PackedClassMatrix> {
+        self.packed_matrix().map(Arc::as_ref)
+    }
+
+    /// Rebuilds the scoring snapshots (norms included) eagerly. Call
+    /// after a batch of mutations when many predictions follow;
     /// [`HdModel::predict`] works correctly either way.
     pub fn refresh_norms(&mut self) {
         self.invalidate();
         let _ = self.matrix();
+        let _ = self.packed_matrix();
     }
 }
 
@@ -876,6 +922,36 @@ mod tests {
             for (a, b) in fast.scores.iter().zip(&slow.scores) {
                 assert!((a - b).abs() < 1e-9, "seed {seed}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn sign_only_model_routes_through_packed_matrix() {
+        use crate::hypervector::BipolarHv;
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, 300).with_seed(41)).unwrap();
+        let train = two_cluster_data(&enc, 6);
+        let mut model = HdModel::train(2, 300, &train).unwrap();
+        // Float accumulator rows do not factor into sign × scale…
+        assert!(model.packed_class_matrix().is_none());
+        // …but bipolar-quantized rows do (and the mutation must drop the
+        // cached "not packable" answer).
+        model.quantize_classes(QuantScheme::Bipolar);
+        let packed = model.packed_class_matrix().expect("±1 rows pack exactly");
+        assert!(
+            packed.memory_bytes() * 8 < model.class_matrix().memory_bytes(),
+            "packed snapshot must be far smaller than dense"
+        );
+        for seed in 0..8 {
+            let q = BipolarHv::random(300, seed);
+            let fast = model.predict_packed(&q).unwrap();
+            let mut dense_scores = Vec::new();
+            model
+                .class_matrix()
+                .scores_packed_into(q.words(), &mut dense_scores);
+            assert_eq!(
+                fast.scores, dense_scores,
+                "seed {seed}: popcount path must bit-match"
+            );
         }
     }
 

@@ -318,6 +318,82 @@ proptest! {
         }
     }
 
+    // --- PackedClassMatrix ↔ dense ClassMatrix parity --------------------
+    //
+    // For sign-only models every score is a sum of ±1 terms divided by
+    // the same norm — exact in f64 in any summation order — so the
+    // popcount path must match the dense path *bit for bit*, not just
+    // to a tolerance. Dimensions are drawn across word boundaries so
+    // the tail-bit masking of the last 64-bit word is always exercised.
+
+    #[test]
+    fn packed_matrix_scores_bit_match_dense_for_sign_models(
+        dim in 1usize..200,
+        num_classes in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let classes: Vec<Hypervector> = (0..num_classes)
+            .map(|c| Hypervector::from_vec(
+                (0..dim)
+                    .map(|j| if ((seed as usize + c * 131 + j) * 2_654_435_761) % 5 < 2 { 1.0 } else { -1.0 })
+                    .collect(),
+            ))
+            .collect();
+        let model = HdModel::from_classes(classes).unwrap();
+        prop_assert!(model.packed_class_matrix().is_some(), "±1 rows must pack exactly");
+        let query = BipolarHv::random(dim, seed);
+        let fast = model.predict_packed(&query).unwrap();
+        let dense = model.predict(&query.to_dense()).unwrap();
+        prop_assert_eq!(fast.scores, dense.scores);
+        prop_assert_eq!(fast.class, dense.class);
+    }
+
+    #[test]
+    fn quantized_model_packed_scores_bit_match_dense(
+        dim in 1usize..200,
+        seed in 0u64..50,
+    ) {
+        // Arbitrary float training collapsed to signs by the paper's
+        // bipolar class quantization: the packed representation must
+        // exist and stay bit-exact against the dense scorer.
+        let classes: Vec<Hypervector> = (0..3)
+            .map(|c| Hypervector::from_vec(
+                (0..dim).map(|j| (((seed as usize + c * 31 + j) as f64) * 1.3).sin()).collect(),
+            ))
+            .collect();
+        let mut model = HdModel::from_classes(classes).unwrap();
+        model.quantize_classes(QuantScheme::Bipolar);
+        prop_assert!(model.packed_class_matrix().is_some());
+        let query = BipolarHv::random(dim, seed.wrapping_mul(31));
+        let fast = model.predict_packed(&query).unwrap();
+        let dense = model.predict(&query.to_dense()).unwrap();
+        prop_assert_eq!(fast.scores, dense.scores);
+    }
+
+    #[test]
+    fn packed_matrix_zero_norm_classes_score_neg_infinity(
+        dim in 1usize..150,
+        seed in 0u64..50,
+    ) {
+        // A never-trained (all-zero) class next to a ±1 class: the
+        // packed scorer must reproduce the NEG_INFINITY sentinel and
+        // never predict the untrained class.
+        let signs = Hypervector::from_vec(
+            (0..dim)
+                .map(|j| if (seed as usize + j).is_multiple_of(3) { -1.0 } else { 1.0 })
+                .collect(),
+        );
+        let zero = Hypervector::zeros(dim).unwrap();
+        let model = HdModel::from_classes(vec![signs, zero]).unwrap();
+        prop_assert!(model.packed_class_matrix().is_some(), "zero rows pack (scale 0)");
+        let query = BipolarHv::random(dim, seed);
+        let fast = model.predict_packed(&query).unwrap();
+        let dense = model.predict(&query.to_dense()).unwrap();
+        prop_assert_eq!(fast.scores[1], f64::NEG_INFINITY);
+        prop_assert_eq!(fast.class, 0);
+        prop_assert_eq!(fast.scores, dense.scores);
+    }
+
     #[test]
     fn zero_norm_classes_score_neg_infinity(dim in 1usize..100, seed in 0u64..50) {
         // One trained class, one never-trained (all-zero) class: the

@@ -4,11 +4,15 @@
 //! full-precision encodings on the device; the untrusted host only ever
 //! receives a quantized, dimension-masked hypervector. [`ClientEdge`]
 //! packages that contract: it owns a [`ScalarEncoder`] and an
-//! [`Obfuscator`] built for the same dimensionality, and its
-//! [`ClientEdge::prepare`] is the *only* way it exposes a query.
+//! [`Obfuscator`] built for the same dimensionality, and queries leave
+//! it only through [`ClientEdge::prepare`] (dense, any obfuscation) or
+//! [`ClientEdge::prepare_packed`] (bit-packed, bipolar-unmasked
+//! obfuscation — the 1-bit/dim wire representation).
 
+use privehd_core::kernels::{scalar_encode_packed, scalar_encode_packed_batch};
 use privehd_core::{
-    Encoder, EncoderConfig, Hypervector, ObfuscateConfig, Obfuscator, ScalarEncoder,
+    BipolarHv, Encoder, EncoderConfig, HdError, Hypervector, ObfuscateConfig, Obfuscator,
+    QuantScheme, ScalarEncoder,
 };
 
 use crate::error::ServeError;
@@ -89,6 +93,81 @@ impl ClientEdge {
             .collect()
     }
 
+    /// Encodes raw features straight into the bit-packed bipolar wire
+    /// representation — 1 bit/dim, never materializing the dense
+    /// encoding or its `f64` quantization.
+    ///
+    /// The fused kernel ([`scalar_encode_packed`]) resolves each
+    /// dimension's sign with integer popcount arithmetic, so the result
+    /// equals `prepare(features)` bipolar-quantized, bit for bit — but
+    /// at a fraction of the encode cost and 1/64th the payload.
+    ///
+    /// Only edges configured with [`QuantScheme::Bipolar`] and **zero
+    /// masked dimensions** can prepare packed queries: a masked
+    /// dimension is an exact `0.0`, which one bit cannot carry. Masked
+    /// edges must keep using [`ClientEdge::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] for a non-bipolar or masked obfuscation
+    /// configuration, a wrong feature count, or a NaN feature value
+    /// (the packed grid quantization has no NaN it could propagate).
+    pub fn prepare_packed(&self, features: &[f64]) -> Result<BipolarHv, ServeError> {
+        self.require_packable()?;
+        self.require_feature_count(features)?;
+        scalar_encode_packed(
+            self.encoder.item_memory_transposed(),
+            features,
+            self.encoder.config().levels,
+        )
+        .ok_or_else(nan_feature_error)
+    }
+
+    /// Batch form of [`ClientEdge::prepare_packed`]: amortizes the
+    /// item-memory traffic across the whole batch (each transposed row
+    /// streams once per batch instead of once per query).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ClientEdge::prepare_packed`]; a NaN anywhere
+    /// in the batch fails the whole call (batch-wide, like
+    /// [`ClientEdge::prepare_batch`]'s phases).
+    pub fn prepare_batch_packed(&self, inputs: &[Vec<f64>]) -> Result<Vec<BipolarHv>, ServeError> {
+        self.require_packable()?;
+        for x in inputs {
+            self.require_feature_count(x)?;
+        }
+        let slices: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        scalar_encode_packed_batch(
+            self.encoder.item_memory_transposed(),
+            &slices,
+            self.encoder.config().levels,
+        )
+        .ok_or_else(nan_feature_error)
+    }
+
+    fn require_packable(&self) -> Result<(), ServeError> {
+        let cfg = self.obfuscator.config();
+        if cfg.scheme != QuantScheme::Bipolar || cfg.masked_dims != 0 {
+            return Err(ServeError::Model(HdError::InvalidConfig(
+                "packed preparation needs a bipolar, unmasked obfuscation \
+                 (1 bit/dim cannot carry masked-out zeros)"
+                    .to_owned(),
+            )));
+        }
+        Ok(())
+    }
+
+    fn require_feature_count(&self, features: &[f64]) -> Result<(), ServeError> {
+        if features.len() != self.encoder.features() {
+            return Err(ServeError::Model(HdError::FeatureCountMismatch {
+                expected: self.encoder.features(),
+                actual: features.len(),
+            }));
+        }
+        Ok(())
+    }
+
     /// Number of input features the edge expects.
     pub fn features(&self) -> usize {
         self.encoder.features()
@@ -116,10 +195,15 @@ impl ClientEdge {
     }
 }
 
+fn nan_feature_error() -> ServeError {
+    ServeError::Model(HdError::InvalidConfig(
+        "packed preparation rejects NaN feature values".to_owned(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privehd_core::QuantScheme;
 
     fn edge(masked: usize) -> ClientEdge {
         ClientEdge::new(
@@ -171,5 +255,46 @@ mod tests {
         for (x, b) in inputs.iter().zip(&batch) {
             assert_eq!(&e.prepare(x).unwrap(), b);
         }
+    }
+
+    #[test]
+    fn packed_preparation_matches_dense_prepare() {
+        // Unmasked bipolar edge: the fused packed encode must equal the
+        // dense encode ∘ obfuscate path sign for sign.
+        let e = edge(0);
+        let inputs: Vec<Vec<f64>> = (0..8)
+            .map(|i| (0..6).map(|k| ((3 * i + k) % 11) as f64 / 10.0).collect())
+            .collect();
+        let batch = e.prepare_batch_packed(&inputs).unwrap();
+        for (x, p) in inputs.iter().zip(&batch) {
+            assert_eq!(&e.prepare_packed(x).unwrap(), p, "single == batch");
+            assert_eq!(p.to_dense(), e.prepare(x).unwrap(), "packed == dense");
+        }
+    }
+
+    #[test]
+    fn packed_preparation_requires_unmasked_bipolar() {
+        // Masked dims are exact zeros — not representable in 1 bit.
+        assert!(edge(100).prepare_packed(&[0.5; 6]).is_err());
+        let ternary = ClientEdge::new(
+            EncoderConfig::new(6, 512).with_seed(9),
+            ObfuscateConfig::new(QuantScheme::Ternary),
+        )
+        .unwrap();
+        assert!(ternary.prepare_packed(&[0.5; 6]).is_err());
+        assert!(ternary.prepare_batch_packed(&[vec![0.5; 6]]).is_err());
+    }
+
+    #[test]
+    fn packed_preparation_rejects_nan_and_bad_arity() {
+        let e = edge(0);
+        assert!(e.prepare_packed(&[0.5; 4]).is_err(), "feature count");
+        let mut x = vec![0.5; 6];
+        x[3] = f64::NAN;
+        assert!(e.prepare_packed(&x).is_err(), "NaN feature");
+        assert!(
+            e.prepare_batch_packed(&[vec![0.5; 6], x]).is_err(),
+            "NaN fails the whole batch"
+        );
     }
 }

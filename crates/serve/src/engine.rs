@@ -116,6 +116,33 @@ impl ServeConfig {
     }
 }
 
+/// A query in whichever representation the client submitted: dense
+/// `f64`-per-dimension, or bit-packed bipolar (1 bit/dim).
+///
+/// The packed variant flows through the queue, the batcher and the
+/// workers as-is and is scored by
+/// [`privehd_core::HdModel::predict_packed`] — never densified. That
+/// is the packed-native serving contract: a 10k-dim packed query costs
+/// ~1.25 KiB on the queue instead of ~78 KiB dense, and classification
+/// runs on `XOR`+`POPCNT` words instead of `f64` lanes.
+#[derive(Debug, Clone)]
+pub enum QueryVec {
+    /// Dense real-valued query (one `f64` per dimension).
+    Dense(Hypervector),
+    /// Bit-packed bipolar query (one bit per dimension).
+    Packed(BipolarHv),
+}
+
+impl QueryVec {
+    /// Dimensionality of the query in either representation.
+    pub fn dim(&self) -> usize {
+        match self {
+            QueryVec::Dense(q) => q.dim(),
+            QueryVec::Packed(q) => q.dim(),
+        }
+    }
+}
+
 /// A completed prediction plus its serving context.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedPrediction {
@@ -135,7 +162,7 @@ pub struct ServedPrediction {
 /// channel.
 struct Request {
     model: ModelId,
-    query: Hypervector,
+    query: QueryVec,
     trace: TraceCtx,
     submitted_at: Instant,
     /// Stamped by the batcher the moment it routes the request into its
@@ -249,7 +276,31 @@ impl SubmitHandle {
         model: &ModelId,
         query: Hypervector,
     ) -> Result<PendingPrediction, ServeError> {
-        self.submit_traced(model, query, self.tracer.begin())
+        self.submit_traced(model, QueryVec::Dense(query), self.tracer.begin())
+    }
+
+    /// Submits a bit-packed bipolar query to the default model; see
+    /// [`ServeEngine::submit_packed`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SubmitHandle::submit`].
+    pub fn submit_packed(&self, query: BipolarHv) -> Result<PendingPrediction, ServeError> {
+        self.submit_packed_to(&ModelId::default(), query)
+    }
+
+    /// Submits a bit-packed bipolar query routed to `model`; see
+    /// [`ServeEngine::submit_packed_to`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SubmitHandle::submit`].
+    pub fn submit_packed_to(
+        &self,
+        model: &ModelId,
+        query: BipolarHv,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_traced(model, QueryVec::Packed(query), self.tracer.begin())
     }
 
     /// Submits with a caller-provided trace context, so a front-end
@@ -258,7 +309,7 @@ impl SubmitHandle {
     pub(crate) fn submit_traced(
         &self,
         model: &ModelId,
-        query: Hypervector,
+        query: QueryVec,
         trace: TraceCtx,
     ) -> Result<PendingPrediction, ServeError> {
         submit_via(&self.tx, &self.metrics, &self.closed, model, query, trace)
@@ -281,7 +332,7 @@ fn submit_via(
     metrics: &ServeMetrics,
     closed: &AtomicBool,
     model: &ModelId,
-    query: Hypervector,
+    query: QueryVec,
     trace: TraceCtx,
 ) -> Result<PendingPrediction, ServeError> {
     if closed.load(Ordering::Acquire) {
@@ -470,6 +521,45 @@ impl ServeEngine {
         &self,
         model: &ModelId,
         query: Hypervector,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_query_to(model, QueryVec::Dense(query))
+    }
+
+    /// Submits one bit-packed bipolar query to the default model.
+    ///
+    /// The query stays packed end to end: it rides the queue at 1
+    /// bit/dim and is classified through
+    /// [`privehd_core::HdModel::predict_packed`] — the popcount path —
+    /// with no dense conversion anywhere. For sign-only (bipolar
+    /// quantized) models the scores are bit-identical to densifying and
+    /// calling [`ServeEngine::submit`]; see
+    /// [`privehd_core::PackedClassMatrix`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServeEngine::submit`].
+    pub fn submit_packed(&self, query: BipolarHv) -> Result<PendingPrediction, ServeError> {
+        self.submit_packed_to(&ModelId::default(), query)
+    }
+
+    /// Submits one bit-packed bipolar query routed to `model`; the
+    /// packed-native counterpart of [`ServeEngine::submit_to`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServeEngine::submit`].
+    pub fn submit_packed_to(
+        &self,
+        model: &ModelId,
+        query: BipolarHv,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_query_to(model, QueryVec::Packed(query))
+    }
+
+    fn submit_query_to(
+        &self,
+        model: &ModelId,
+        query: QueryVec,
     ) -> Result<PendingPrediction, ServeError> {
         let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
         submit_via(
@@ -717,6 +807,16 @@ fn execute_batch(
     let snapshot = backend.resolve(&model);
     let resolve_end = Instant::now();
     let model_counters = metrics.model_counters(&model);
+    if let Some(served) = &snapshot {
+        // Snapshot footprint gauges: both matrices were built eagerly
+        // at publish time (`refresh_norms`), so these accessors only
+        // read cached sizes — no work on the serving path.
+        metrics.set_model_memory(
+            &model_counters,
+            served.dense_memory_bytes() as u64,
+            served.packed_memory_bytes().unwrap_or(0) as u64,
+        );
+    }
 
     // Classification stays per-request (so one bad query fails only its
     // own reply), and each reply is sent — and its latency measured —
@@ -729,11 +829,19 @@ fn execute_batch(
             None => Err(ServeError::NoModel),
             Some(served) => {
                 let m = served.model();
-                if packed_fastpath && is_strictly_bipolar(&request.query) {
-                    m.predict_packed(&BipolarHv::from_signs(request.query.as_slice()))
-                        .map_err(ServeError::Model)
-                } else {
-                    m.predict(&request.query).map_err(ServeError::Model)
+                match &request.query {
+                    // Packed-native path: the query arrived bit-packed
+                    // and is scored by the popcount kernels without
+                    // ever materializing a dense form.
+                    QueryVec::Packed(hv) => m.predict_packed(hv).map_err(ServeError::Model),
+                    QueryVec::Dense(q) => {
+                        if packed_fastpath && is_strictly_bipolar(q) {
+                            m.predict_packed(&BipolarHv::from_signs(q.as_slice()))
+                                .map_err(ServeError::Model)
+                        } else {
+                            m.predict(q).map_err(ServeError::Model)
+                        }
+                    }
                 }
             }
         };
@@ -976,6 +1084,50 @@ mod tests {
             let direct = model.model().predict(&q).unwrap();
             assert_eq!(served.prediction.class, direct.class, "seed {seed}");
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn packed_submit_matches_dense_submit() {
+        // A bipolar-quantized (sign-only) model: packed-native scoring
+        // is bit-identical to the dense path, so the predictions must
+        // agree query for query.
+        let mut model = trained_model(128);
+        model.quantize_classes(privehd_core::QuantScheme::Bipolar);
+        let reg = Arc::new(ModelRegistry::with_model(model, "signed").unwrap());
+        let engine = ServeEngine::start(Arc::clone(&reg), ServeConfig::default()).unwrap();
+        let handle = engine.handle();
+        for seed in 0..20u64 {
+            let packed = BipolarHv::random(128, seed);
+            let dense = engine.predict(packed.to_dense()).unwrap();
+            let native = engine
+                .submit_packed(packed.clone())
+                .unwrap()
+                .wait()
+                .unwrap();
+            let via_handle = handle.submit_packed(packed).unwrap().wait().unwrap();
+            assert_eq!(
+                native.prediction.class, dense.prediction.class,
+                "seed {seed}"
+            );
+            assert_eq!(native.prediction.class, via_handle.prediction.class);
+            assert_eq!(native.model_version, 1);
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 60);
+    }
+
+    #[test]
+    fn packed_submit_reports_dimension_mismatch_per_request() {
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        let err = engine
+            .submit_packed(BipolarHv::random(32, 1))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Model(_)), "{err}");
+        // The engine keeps serving afterwards.
+        assert_eq!(engine.predict(query(64, 1.0)).unwrap().prediction.class, 0);
         engine.shutdown();
     }
 

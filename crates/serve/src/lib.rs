@@ -21,10 +21,12 @@
 //! * [`ServeEngine`] — a bounded MPSC submission queue, an adaptive
 //!   micro-batcher (flushes on [`ServeConfig::max_batch`] or
 //!   [`ServeConfig::max_delay`], accumulated *per model* on a sharded
-//!   engine) and a worker pool executing single-model batches,
-//!   optionally through the bit-packed
-//!   [`privehd_core::HdModel::predict_packed`] fast path for
-//!   bipolar-obfuscated queries.
+//!   engine) and a worker pool executing single-model batches. Queries
+//!   submitted bit-packed ([`ServeEngine::submit_packed`] /
+//!   [`QueryVec::Packed`]) stay packed end to end and are scored by the
+//!   `XOR`+`POPCNT` kernels of
+//!   [`privehd_core::HdModel::predict_packed`]; dense submissions can
+//!   opt into the same kernels via [`ServeConfig::packed_fastpath`].
 //! * [`ClientEdge`] — the device-side `ScalarEncoder` ∘ `Obfuscator`
 //!   composition, guaranteeing the server only ever sees obfuscated
 //!   queries.
@@ -87,7 +89,9 @@ pub mod stats;
 pub mod wire;
 
 pub use edge::ClientEdge;
-pub use engine::{PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle};
+pub use engine::{
+    PendingPrediction, QueryVec, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle,
+};
 pub use error::ServeError;
 pub use metrics::{
     BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport, StageReport,
@@ -100,7 +104,7 @@ pub use wire::{WireClient, WireConfig, WireServer, WireStatus};
 pub mod prelude {
     pub use crate::edge::ClientEdge;
     pub use crate::engine::{
-        PendingPrediction, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle,
+        PendingPrediction, QueryVec, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle,
     };
     pub use crate::error::ServeError;
     pub use crate::metrics::{

@@ -313,6 +313,13 @@ pub(crate) struct ModelCounters {
     failed: AtomicU64,
     latency: LatencyHistogram,
     stages: StageSet,
+    /// Snapshot footprint gauges, refreshed by workers at batch
+    /// dispatch: bytes held by the dense `ClassMatrix` and by the
+    /// bit-packed `PackedClassMatrix` (0 while the model has no exactly
+    /// packable representation). Gauges, not counters — each batch
+    /// overwrites them with the currently served snapshot's sizes.
+    memory_dense_bytes: AtomicU64,
+    memory_packed_bytes: AtomicU64,
 }
 
 /// Live serving counters, shared between engine threads and callers.
@@ -438,6 +445,17 @@ impl ServeMetrics {
         counters.latency.record(latency);
     }
 
+    /// Overwrites the snapshot-footprint gauges of a pre-fetched
+    /// per-model row with the served snapshot's matrix sizes (dense
+    /// `ClassMatrix` bytes, packed `PackedClassMatrix` bytes — 0 when
+    /// the model has no packed representation).
+    pub(crate) fn set_model_memory(&self, counters: &ModelCounters, dense: u64, packed: u64) {
+        counters.memory_dense_bytes.store(dense, Ordering::Relaxed);
+        counters
+            .memory_packed_bytes
+            .store(packed, Ordering::Relaxed);
+    }
+
     /// Records one stage duration globally (wire-side stages, which
     /// happen before a model identity is trusted/resolved).
     pub(crate) fn on_stage(&self, stage: Stage, duration: Duration) {
@@ -500,6 +518,8 @@ impl ServeMetrics {
                 p95_latency: c.latency.quantile(0.95),
                 p99_latency: c.latency.quantile(0.99),
                 latency_sum_saturated: c.latency.sum_saturated(),
+                memory_dense_bytes: c.memory_dense_bytes.load(Ordering::Relaxed),
+                memory_packed_bytes: c.memory_packed_bytes.load(Ordering::Relaxed),
                 stages,
             }
         };
@@ -606,6 +626,17 @@ pub struct ModelReport {
     /// True once this model's latency sum saturated (its mean — not
     /// reported here — became a lower bound).
     pub latency_sum_saturated: bool,
+    /// Bytes held by the served snapshot's dense scoring matrix
+    /// (`privehd_core::ClassMatrix`), as of the last dispatched batch;
+    /// 0 until this model serves its first batch.
+    pub memory_dense_bytes: u64,
+    /// Bytes held by the served snapshot's bit-packed scoring matrix
+    /// (`privehd_core::PackedClassMatrix`); 0 when the model's rows do
+    /// not factor exactly into packed signs × per-word scales (or until
+    /// the first batch). For sign-only models this runs ~64× below
+    /// [`ModelReport::memory_dense_bytes`] — the shrink the paper's
+    /// 1-bit representation buys.
+    pub memory_packed_bytes: u64,
     /// Per-stage latency decomposition for this model's requests, in
     /// request-path order; stages with no observations are omitted.
     pub stages: Vec<StageReport>,
@@ -955,6 +986,27 @@ mod tests {
         );
         // Global counters aggregate across models.
         assert_eq!((r.submitted, r.completed, r.failed), (3, 2, 1));
+    }
+
+    #[test]
+    fn memory_gauges_overwrite_not_accumulate() {
+        let m = ServeMetrics::new();
+        let id = ModelId::new("gauged");
+        let row = m.model_counters(&id);
+        let r = m.report(Duration::from_secs(1));
+        assert!(r.per_model.is_empty() || r.per_model[0].memory_dense_bytes == 0);
+        m.set_model_memory(&row, 80_000, 1_250);
+        m.set_model_memory(&row, 80_000, 1_250);
+        m.on_submit(&id);
+        let r = m.report(Duration::from_secs(1));
+        let row_report = &r.per_model[0];
+        // Two stores, one value: gauges overwrite rather than add.
+        assert_eq!(row_report.memory_dense_bytes, 80_000);
+        assert_eq!(row_report.memory_packed_bytes, 1_250);
+        // A republish with a packed-incompatible model zeroes the gauge.
+        m.set_model_memory(&row, 80_000, 0);
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.per_model[0].memory_packed_bytes, 0);
     }
 
     #[test]

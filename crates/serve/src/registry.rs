@@ -131,6 +131,24 @@ impl ServedModel {
     pub fn model(&self) -> &HdModel {
         &self.model
     }
+
+    /// Bytes held by this snapshot's dense scoring matrix
+    /// ([`privehd_core::ClassMatrix`]). Publishing builds the matrix
+    /// eagerly ([`privehd_core::HdModel::refresh_norms`]), so this only
+    /// reads a cached size.
+    pub fn dense_memory_bytes(&self) -> usize {
+        self.model.class_matrix().memory_bytes()
+    }
+
+    /// Bytes held by this snapshot's bit-packed scoring matrix
+    /// ([`privehd_core::PackedClassMatrix`]), or `None` when the class
+    /// rows do not factor exactly into packed signs × per-word scales.
+    /// Built eagerly at publish time alongside the dense matrix; for
+    /// sign-only (bipolar quantized) models it runs ~64× smaller than
+    /// [`ServedModel::dense_memory_bytes`].
+    pub fn packed_memory_bytes(&self) -> Option<usize> {
+        self.model.packed_class_matrix().map(|p| p.memory_bytes())
+    }
 }
 
 /// Validates `model` for publishing against the cached class norms (no
@@ -507,6 +525,34 @@ mod tests {
         assert_eq!(r.publish(trained(32, 2.0), "b").unwrap(), 2);
         assert_eq!(r.version(), 2);
         assert_eq!(r.current().unwrap().label, "b");
+    }
+
+    #[test]
+    fn publish_builds_both_scoring_matrices_eagerly() {
+        let r = ModelRegistry::new();
+        // A ±1 (sign-only) model packs exactly; publishing must leave
+        // both snapshots cached, with the packed one far smaller.
+        r.publish(trained(512, 1.0), "signed").unwrap();
+        let served = r.current().unwrap();
+        let dense = served.dense_memory_bytes();
+        let packed = served.packed_memory_bytes().expect("±1 rows pack exactly");
+        assert!(dense > 0 && packed > 0);
+        assert!(
+            packed * 8 < dense,
+            "packed snapshot ({packed} B) not substantially below dense ({dense} B)"
+        );
+        // A model whose rows mix magnitudes within a 64-dim block has
+        // no exact packed form.
+        let mut mixed = HdModel::new(2, 512).unwrap();
+        let row: Vec<f64> = (0..512).map(|j| 1.0 + (j % 3) as f64).collect();
+        mixed
+            .bundle(0, &Hypervector::from_vec(row.clone()))
+            .unwrap();
+        mixed
+            .bundle(1, &Hypervector::from_vec(row.iter().map(|v| -v).collect()))
+            .unwrap();
+        r.publish(mixed, "mixed").unwrap();
+        assert!(r.current().unwrap().packed_memory_bytes().is_none());
     }
 
     #[test]

@@ -145,6 +145,13 @@ pub fn prometheus_text(
     out.push_str("# HELP privehd_serve_model_requests_total Per-model requests by outcome.\n");
     out.push_str("# TYPE privehd_serve_model_requests_total counter\n");
     out.push_str("# TYPE privehd_serve_model_latency_p50_seconds gauge\n");
+    out.push_str(
+        "# HELP privehd_serve_model_memory_bytes Served snapshot footprint by \
+         representation: the dense f64 class matrix vs the bit-packed popcount \
+         matrix (0 until the model serves a batch, or when its rows have no \
+         exact packed form).\n",
+    );
+    out.push_str("# TYPE privehd_serve_model_memory_bytes gauge\n");
     for m in &serve.per_model {
         let model = escape_label(m.model.as_str());
         for (outcome, v) in [
@@ -160,6 +167,14 @@ pub fn prometheus_text(
             "privehd_serve_model_latency_p50_seconds{{model=\"{model}\"}} {}\n",
             secs(m.p50_latency)
         ));
+        for (repr, v) in [
+            ("dense", m.memory_dense_bytes),
+            ("packed", m.memory_packed_bytes),
+        ] {
+            out.push_str(&format!(
+                "privehd_serve_model_memory_bytes{{model=\"{model}\",repr=\"{repr}\"}} {v}\n"
+            ));
+        }
     }
 
     if let Some(w) = wire {
@@ -240,6 +255,7 @@ mod tests {
         m.on_done(&row, false, Duration::from_micros(900));
         m.on_stage_for(&row, Stage::QueueWait, Duration::from_micros(40));
         m.on_stage_for(&row, Stage::Predict, Duration::from_micros(70));
+        m.set_model_memory(&row, 80_000, 1_250);
         m.report(Duration::from_secs(2))
     }
 
@@ -255,6 +271,9 @@ mod tests {
         ));
         assert!(text.contains("privehd_serve_stage_latency_seconds_count{stage=\"predict\"} 1"));
         assert!(text.contains("privehd_serve_latency_sum_saturated 0"));
+        // Snapshot footprint gauges: one line per representation.
+        assert!(text.contains(",repr=\"dense\"} 80000"), "{text}");
+        assert!(text.contains(",repr=\"packed\"} 1250"), "{text}");
         // No wire section without a wire report.
         assert!(!text.contains("privehd_wire_"));
         // Every non-comment line is `name{labels} value` or `name value`

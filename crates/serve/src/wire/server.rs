@@ -60,7 +60,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::edge::ClientEdge;
-use crate::engine::{PendingPrediction, ServedPrediction, SubmitHandle};
+use crate::engine::{PendingPrediction, QueryVec, ServedPrediction, SubmitHandle};
 use crate::error::ServeError;
 use crate::registry::ModelId;
 use crate::wire::frame::{
@@ -85,14 +85,19 @@ pub struct WireConfig {
     /// flooding connection is throttled at its own edge before it can
     /// monopolize the shared submission queue.
     pub max_in_flight: usize,
-    /// Cap on a query's dimensionality (packed) or feature count
-    /// (raw). Decoding never allocates more than the frame's own size,
-    /// but *submission* expands a packed query 64× into dense `f64`s —
-    /// this cap bounds that expansion, since frames within
+    /// Cap on the *bytes a query holds in the engine queue*, expressed
+    /// as a dense dimensionality: a raw-features frame may declare at
+    /// most `max_query_dim` features (its edge-encoded query occupies
+    /// one `f64` per dimension), while a packed frame — which now rides
+    /// the queue packed-native at 1 bit/dim, with no dense expansion
+    /// anywhere on its path — may declare up to `64 × max_query_dim`
+    /// dimensions, the same memory held. Decoding never allocates more
+    /// than the frame's own size; this cap bounds what admitted queries
+    /// pin in the queue, since frames within
     /// [`WireConfig::max_body_bytes`] could otherwise declare millions
-    /// of dimensions and hold the dense queries in the engine queue.
-    /// Over-cap queries answer a [`WireStatus::ModelError`] fault. Set
-    /// it near your largest served model's dimensionality.
+    /// of dimensions. Over-cap queries answer a
+    /// [`WireStatus::ModelError`] fault. Set it near your largest
+    /// served model's dimensionality.
     pub max_query_dim: usize,
     /// A connection with no traffic and nothing in flight closes after
     /// this long.
@@ -536,28 +541,31 @@ impl Conn {
             );
             return;
         }
-        let query_dim = match &payload {
-            QueryPayload::Packed(hv) => hv.dim(),
-            QueryPayload::Raw(features) => features.len(),
+        // Admission accounts for bytes *held* after submission, not a
+        // frame's declared dimensionality: a packed query stays packed
+        // (1 bit/dim) through the queue, so it may carry 64× the
+        // dimensions of a raw frame (whose edge-encoded query occupies
+        // one f64 per dimension) for the same queue memory.
+        let (query_dim, dim_cap) = match &payload {
+            QueryPayload::Packed(hv) => (hv.dim(), config.max_query_dim.saturating_mul(64)),
+            QueryPayload::Raw(features) => (features.len(), config.max_query_dim),
         };
-        if query_dim > config.max_query_dim {
-            // Bound the 64× packed→dense expansion (and edge encode
-            // cost) before any dimension-sized work happens.
+        if query_dim > dim_cap {
             self.queue_fault(
                 request_id,
                 WireFault::new(
                     WireStatus::ModelError,
-                    format!(
-                        "query dimensionality {query_dim} exceeds the server cap {}",
-                        config.max_query_dim
-                    ),
+                    format!("query dimensionality {query_dim} exceeds the server cap {dim_cap}"),
                 ),
                 metrics,
             );
             return;
         }
         let query = match payload {
-            QueryPayload::Packed(hv) => hv.to_dense(),
+            // Packed-native: the frame's bit-packed words are handed to
+            // the engine as-is — no to_dense() on this path, by
+            // contract (a conversion-count test pins it).
+            QueryPayload::Packed(hv) => QueryVec::Packed(hv),
             QueryPayload::Raw(features) => match config.edges.get(&model) {
                 None => {
                     self.queue_fault(
@@ -582,7 +590,7 @@ impl Conn {
                             handle
                                 .tracer()
                                 .record(ctx, Stage::Encode, encode_start, encode_end);
-                            q
+                            QueryVec::Dense(q)
                         }
                         Err(e) => {
                             self.queue_fault(request_id, fault_for(&e), metrics);

@@ -1,0 +1,74 @@
+//! The packed-native contract, end to end: a bit-packed wire query must
+//! reach the popcount predict kernel without a single dense conversion,
+//! and its predictions must be identical to the dense submit path.
+//!
+//! The dense-conversion audit reads the process-global counter from
+//! `privehd_core::hypervector::dense_conversion_count()`. Cargo runs
+//! every `#[test]` in one binary as threads of one process, so this
+//! file holds exactly one test: nothing else may touch `to_dense()` /
+//! `from_signs()` inside the audited window.
+
+use std::sync::Arc;
+
+use privehd_core::hypervector::dense_conversion_count;
+use privehd_core::{BipolarHv, HdModel, QuantScheme};
+use privehd_serve::wire::{WireClient, WireConfig, WireServer};
+use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
+
+// Off a 64-bit word boundary so the audited path also exercises
+// tail-bit masking in the popcount scorer.
+const DIM: usize = 300;
+const CLASSES: usize = 4;
+const QUERIES: usize = 32;
+
+#[test]
+fn packed_wire_round_trip_is_conversion_free_and_matches_dense() {
+    // A non-trivial sign-only model: bundle a few random bipolar
+    // vectors per class, then collapse to signs the way the paper's
+    // bipolar class quantization does.
+    let mut model = HdModel::new(CLASSES, DIM).unwrap();
+    for class in 0..CLASSES {
+        for round in 0..3 {
+            let hv = BipolarHv::random(DIM, (class * 17 + round + 1) as u64);
+            model.bundle(class, &hv.to_dense()).unwrap();
+        }
+    }
+    model.quantize_classes(QuantScheme::Bipolar);
+    let registry = Arc::new(ModelRegistry::with_model(model, "packed-native").unwrap());
+
+    let engine = ServeEngine::start(registry, ServeConfig::default()).unwrap();
+    let server = WireServer::start("127.0.0.1:0", engine.handle(), WireConfig::default()).unwrap();
+    let mut client = WireClient::connect(server.local_addr()).unwrap();
+
+    let queries: Vec<BipolarHv> = (0..QUERIES)
+        .map(|s| BipolarHv::random(DIM, 1_000 + s as u64))
+        .collect();
+
+    // Dense twins and their predictions come first — `to_dense()` is
+    // exactly the call the audited window below must never see.
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|q| engine.predict(q.to_dense()).unwrap().prediction.class)
+        .collect();
+
+    let baseline = dense_conversion_count();
+    for (query, want) in queries.iter().zip(&expected) {
+        let served = client.call_packed(&ModelId::default(), query).unwrap();
+        assert_eq!(
+            served.class as usize, *want,
+            "packed/dense prediction drift"
+        );
+        assert!(served.score.is_finite());
+    }
+    assert_eq!(
+        dense_conversion_count(),
+        baseline,
+        "the packed wire path performed a dense conversion"
+    );
+
+    drop(client);
+    server.shutdown();
+    let report = engine.shutdown();
+    assert_eq!(report.completed, 2 * QUERIES as u64);
+    assert_eq!(report.failed, 0);
+}

@@ -319,18 +319,23 @@ fn peers_stalled_mid_frame_are_reaped() {
 
 #[test]
 fn over_cap_query_dimensions_are_refused_cheaply() {
+    // Admission accounts for bytes held in the engine queue: a raw
+    // frame may declare up to `max_query_dim` features (one f64 per
+    // dim after encoding), a packed frame — which stays packed at 1
+    // bit/dim — up to 64× that.
     let engine = ServeEngine::start(trained_registry(), ServeConfig::default()).unwrap();
     let server = WireServer::start(
         "127.0.0.1:0",
         engine.handle(),
         WireConfig {
-            max_query_dim: 128,
+            max_query_dim: 2,
             ..WireConfig::default()
         },
     )
     .unwrap();
     let mut client = WireClient::connect(server.local_addr()).unwrap();
-    // DIM (256) exceeds the 128 cap: typed fault, no submission…
+    // DIM (256) exceeds the packed cap (64 × 2 = 128): typed fault, no
+    // submission…
     let err = client
         .call_packed(&ModelId::default(), &positive_query())
         .unwrap_err();
@@ -338,8 +343,11 @@ fn over_cap_query_dimensions_are_refused_cheaply() {
         panic!("expected a fault, got {err}");
     };
     assert_eq!(fault.status, WireStatus::ModelError);
-    assert!(fault.detail.contains("exceeds the server cap"), "{fault}");
-    // …and likewise for raw feature vectors.
+    assert!(
+        fault.detail.contains("exceeds the server cap 128"),
+        "{fault}"
+    );
+    // …and raw feature vectors use the dense (unmultiplied) cap.
     let err = client
         .call_raw(&ModelId::default(), &vec![0.5; 200])
         .unwrap_err();
@@ -347,7 +355,9 @@ fn over_cap_query_dimensions_are_refused_cheaply() {
         panic!("expected a fault, got {err}");
     };
     assert_eq!(fault.status, WireStatus::ModelError);
-    // The connection stays healthy and in-cap queries still serve.
+    assert!(fault.detail.contains("exceeds the server cap 2"), "{fault}");
+    // The connection stays healthy; a packed query well beyond the raw
+    // cap but within the 64× packed allowance is admitted.
     let small = BipolarHv::from_signs(&vec![1.0; 128]);
     let err = client.call_packed(&ModelId::default(), &small).unwrap_err();
     // 128 dims passes admission; the model (256-dim) then rejects it —
@@ -447,6 +457,27 @@ fn stats_scrape_exposes_stage_decomposition() {
     }
     assert!(text.contains("privehd_wire_frames_total{direction=\"in\"} 9"));
     assert!(text.contains("privehd_wire_stats_served_total 1"));
+    // Snapshot footprint: the served ±1 model exposes both
+    // representations, and the packed one is the ~64× smaller of the
+    // two (the whole point of 1-bit serving).
+    let memory = |repr: &str| -> u64 {
+        let prefix =
+            format!("privehd_serve_model_memory_bytes{{model=\"default\",repr=\"{repr}\"}}");
+        text.lines()
+            .find(|l| l.starts_with(&prefix))
+            .unwrap_or_else(|| panic!("no {repr} memory gauge in:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let (dense, packed) = (memory("dense"), memory("packed"));
+    assert!(dense > 0 && packed > 0, "dense {dense} packed {packed}");
+    assert!(
+        packed * 8 < dense,
+        "packed gauge {packed} not substantially below dense {dense}"
+    );
     // Stats traffic is metadata: not in frames_in/responses_out. A
     // second scrape still works and sees itself counted.
     let text2 = client.stats().unwrap();

@@ -1,0 +1,57 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// One finding from one rule at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (e.g. `no-panic-path`).
+    pub rule: String,
+    /// `/`-separated path relative to the analysis root.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// Human-facing explanation of this specific finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        rule: impl Into<String>,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rule_file_line_message() {
+        let d = Diagnostic::new("no-panic-path", "crates/serve/src/engine.rs", 42, "unwrap");
+        assert_eq!(
+            d.to_string(),
+            "error[no-panic-path]: crates/serve/src/engine.rs:42: unwrap"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! FNV-1a 64-bit hashing over normalized token streams.
+//!
+//! The ledger and wire-freeze rules key on *content* hashes that are
+//! stable under reformatting: whitespace and comments never reach the
+//! hash because hashing happens over lexed token text, with a `\x1f`
+//! separator so token boundaries can't alias (`a b` vs `ab`).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a sequence of token texts with a separator byte between
+/// them, returning the `"fnv64:%016x"` form stored in ledger files.
+pub fn hash_token_texts<'a>(texts: impl IntoIterator<Item = &'a str>) -> String {
+    let mut h = Fnv64::new();
+    for t in texts {
+        h.write(t.as_bytes());
+        h.write(&[0x1f]);
+    }
+    format!("fnv64:{:016x}", h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a 64 of empty input is the offset basis.
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn token_boundaries_do_not_alias() {
+        assert_ne!(hash_token_texts(["ab"]), hash_token_texts(["a", "b"]));
+    }
+
+    #[test]
+    fn hash_is_stable_and_prefixed() {
+        let h = hash_token_texts(["unsafe", "{", "}"]);
+        assert!(h.starts_with("fnv64:"));
+        assert_eq!(h, hash_token_texts(["unsafe", "{", "}"]));
+    }
+}

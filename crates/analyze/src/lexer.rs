@@ -1,0 +1,437 @@
+//! A minimal Rust lexer: just enough token structure for the rules.
+//!
+//! The rules in this crate need to tell *code* apart from comments,
+//! string literals and char literals — `// SAFETY:` must be a comment,
+//! `"unwrap"` inside a diagnostic string must not trip the panic lint,
+//! and `'a'` must not be confused with lifetime `'a`. They do **not**
+//! need types, expressions, or a parse tree, so this is a flat token
+//! scan, not a parser. `syn` is deliberately absent from the offline
+//! `vendor/` set and nothing here misses it.
+//!
+//! Guarantees the rules rely on:
+//!
+//! * Every token and comment carries its 1-based source line.
+//! * Comments (line, doc, nested block) are lexed as [`Comment`]s, in
+//!   a separate list, never as code tokens.
+//! * String literals (plain, raw `r#".."#`, byte `b".."`, raw-byte
+//!   `br#".."#`, C `c".."`) and char literals are single
+//!   [`TokKind::Literal`] tokens — their contents can never produce
+//!   identifier or punctuation tokens, but the token text carries the
+//!   exact source bytes so content hashes see literal edits.
+//! * Lifetimes (`'a`) lex as [`TokKind::Lifetime`], not as char
+//!   literals.
+
+/// What a code token is. Comments are *not* tokens — see [`Comment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `Ordering`, …),
+    /// including raw identifiers (`r#type` lexes as `type`).
+    Ident,
+    /// A single punctuation character (`{`, `[`, `:`, `!`, …).
+    Punct,
+    /// A string, byte-string, char or numeric literal, lexed opaquely.
+    Literal,
+    /// A lifetime (`'a`), distinguished from a char literal.
+    Lifetime,
+}
+
+/// One code token: kind, text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token's source text (for [`TokKind::Ident`] and
+    /// [`TokKind::Punct`], exactly the identifier / the one character).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// One comment: its text (markers included) and the lines it spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including `//` / `/* */` markers.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line_start: usize,
+    /// 1-based line of the comment's last character.
+    pub line_end: usize,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` (one Rust file) into tokens and comments. Unknown bytes
+/// are skipped: the lexer is forgiving by design — a file this lexer
+/// mangles would fail `cargo build` long before it reaches analysis.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(self.pos),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident_or_prefixed(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push_tok(TokKind::Punct, (c as char).to_string(), self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line_start: line,
+            line_end: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line_start = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line_start,
+            line_end: self.line,
+        });
+    }
+
+    /// A plain (escaped) string literal; the cursor is on the opening
+    /// `"`, `start` is where the literal's text begins (a `b`/`c`
+    /// prefix may precede the cursor).
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push_literal(start, line);
+    }
+
+    /// A raw string; the cursor is on the hashes/quote after the
+    /// `r`/`br`/`cr` prefix, `start` is the prefix's first byte.
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        // Opening quote.
+        self.pos += 1;
+        'scan: while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    let mut i = 0usize;
+                    while i < hashes {
+                        if self.peek(1 + i) != Some(b'#') {
+                            self.pos += 1;
+                            continue 'scan;
+                        }
+                        i += 1;
+                    }
+                    self.pos += 1 + hashes;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push_literal(start, line);
+    }
+
+    /// Pushes a [`TokKind::Literal`] carrying its exact source text —
+    /// content hashes (unsafe ledger, wire freeze) must see literal
+    /// edits, so literals are never lexed as placeholders.
+    fn push_literal(&mut self, start: usize, line: usize) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_tok(TokKind::Literal, text, line);
+    }
+
+    /// After a `'`: either a char literal (`'x'`, `'\n'`) or a
+    /// lifetime (`'a`). The standard disambiguation: a backslash or a
+    /// closing quote two characters on means char literal.
+    fn char_or_lifetime(&mut self, start: usize) {
+        let line = self.line;
+        if self.peek(1) == Some(b'\\') {
+            // Escaped char literal: skip to the closing quote.
+            self.pos += 2; // ' and backslash
+            self.pos += 1; // escaped char (covers \n, \', \\; \u{…} below)
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.push_literal(start, line);
+            return;
+        }
+        if self.peek(2) == Some(b'\'') {
+            self.pos += 3;
+            self.push_literal(start, line);
+            return;
+        }
+        // Lifetime: consume the quote plus identifier characters.
+        self.pos += 1;
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_tok(TokKind::Lifetime, format!("'{name}"), line);
+    }
+
+    /// An identifier — or a prefixed literal (`r"…"`, `br#"…"#`,
+    /// `b"…"`, `b'…'`, `c"…"`) or raw identifier (`r#name`).
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        let next = self.peek(0);
+        let is_raw_str_prefix = matches!(word, b"r" | b"br" | b"cr");
+        let is_str_prefix = matches!(word, b"b" | b"c");
+        match next {
+            Some(b'"') if is_raw_str_prefix => return self.raw_string(start),
+            Some(b'#') if is_raw_str_prefix && self.raw_hashes_then_quote() => {
+                return self.raw_string(start);
+            }
+            Some(b'#') if word == b"r" => {
+                // Raw identifier r#name: lex the name itself.
+                self.pos += 1;
+                return self.ident_or_prefixed();
+            }
+            Some(b'"') if is_str_prefix => return self.string(start),
+            Some(b'\'') if word == b"b" => return self.char_or_lifetime_byte(start),
+            _ => {}
+        }
+        self.push_tok(
+            TokKind::Ident,
+            String::from_utf8_lossy(word).into_owned(),
+            line,
+        );
+    }
+
+    /// True when the bytes at the cursor are `#…#"` — the hash run of a
+    /// raw string opener (distinguishes `r#"…"#` from raw ident
+    /// `r#name`).
+    fn raw_hashes_then_quote(&self) -> bool {
+        let mut i = 0usize;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        i > 0 && self.peek(i) == Some(b'"')
+    }
+
+    /// A byte char literal `b'…'` (cursor on the `'`).
+    fn char_or_lifetime_byte(&mut self, start: usize) {
+        // Byte char literals are always closed; reuse the char lexer
+        // (a byte "lifetime" cannot occur).
+        self.char_or_lifetime(start);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Digits plus alphanumeric suffix/base characters and `_`; the
+        // rules never inspect numeric values, so `1.5` lexing as two
+        // literals around a `.` punct is fine.
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push_literal(start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // unwrap() here is commentary\n/* panic! */ let y;");
+        assert!(idents("// unwrap()").is_empty());
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("unwrap"));
+        assert_eq!(l.comments[0].line_start, 1);
+        assert_eq!(l.comments[1].line_start, 2);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            4 // let x let y
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let l = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert!(l.comments[0].text.ends_with("outer */"));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_content() {
+        assert_eq!(
+            idents(r#"let m = "unsafe { unwrap() }";"#),
+            vec!["let", "m"]
+        );
+        assert_eq!(
+            idents(r###"let m = r#"panic! // not a comment"# ;"###),
+            vec!["let", "m"]
+        );
+        assert_eq!(idents(r#"let b = b"unsafe";"#), vec!["let", "b"]);
+        // A // inside a string is not a comment.
+        let l = lex(r#"let url = "https://example.com";"#);
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r####"let s = r##"quote " and "# inside"## ; let t = 1;"####;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let l = lex(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'x'", r"'\n'"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet b = 2;";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 5);
+        assert_eq!(l.comments[0].line_start, 3);
+        assert_eq!(l.comments[0].line_end, 4);
+    }
+
+    #[test]
+    fn punctuation_carries_its_character() {
+        let l = lex("a[0].b(!c);");
+        let puncts: String = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, "[].(!);");
+    }
+}

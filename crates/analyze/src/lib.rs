@@ -1,0 +1,346 @@
+//! Repo-specific static analysis for the Prive-HD workspace.
+//!
+//! `privehd-analyze` walks the workspace sources with a small
+//! comment/string/char-literal-aware lexer (no `syn`) and enforces the
+//! invariants that `rustc` and `clippy` cannot express:
+//!
+//! - [`rules::unsafe_ledger`] — every `unsafe` site has a `// SAFETY:`
+//!   comment and an audited entry in `analysis/unsafe_ledger.toml`.
+//! - [`rules::no_panic`] — no panic-capable constructs on the serve
+//!   request path.
+//! - [`rules::atomic_ordering`] — non-`SeqCst` orderings carry a
+//!   justification comment.
+//! - [`rules::nonblocking`] — no blocking calls inside marked
+//!   poll-loop regions.
+//! - [`rules::wire_freeze`] — frozen wire constants hash-match
+//!   `analysis/wire_frozen.toml`.
+//!
+//! See `docs/ANALYSIS.md` for the rule catalog and review policy, and
+//! `--explain <rule>` for inline rationale.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod hash;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod toml;
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use diag::Diagnostic;
+use source::SourceFile;
+
+/// Files where `no-panic-path` applies: the wire poll loop, the
+/// engine, and the codec — the path a request travels.
+pub const PANIC_PATH_SCOPE: &[&str] = &[
+    "crates/serve/src/wire/server.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/wire/frame.rs",
+];
+
+/// Directory names the workspace walker never descends into.
+/// `vendor/` holds offline stand-ins for third-party crates (audited
+/// as a unit, not per-site); `fixtures/` holds deliberately-violating
+/// rule fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures", "node_modules"];
+
+/// The audit manifests under `analysis/`.
+#[derive(Debug, Clone, Default)]
+pub struct Manifests {
+    /// Unsafe-ledger entries: `(file, hash, context)`.
+    pub ledger: Vec<(String, String, String)>,
+    /// Wire-freeze digests: file → hash.
+    pub frozen: BTreeMap<String, String>,
+}
+
+impl Manifests {
+    /// Loads both manifests from `<root>/analysis/`. A missing file is
+    /// an empty manifest (every governed site then reports).
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let mut m = Self::default();
+        let ledger_path = root.join("analysis/unsafe_ledger.toml");
+        if let Ok(src) = std::fs::read_to_string(&ledger_path) {
+            for s in toml::parse(&src).map_err(|e| format!("{}: {e}", ledger_path.display()))? {
+                if s.name != "unsafe" || !s.is_array_entry {
+                    return Err(format!(
+                        "{}: line {}: expected only [[unsafe]] entries",
+                        ledger_path.display(),
+                        s.line
+                    ));
+                }
+                let file = require(&s.entries, "file", &ledger_path, s.line)?;
+                let hash = require(&s.entries, "hash", &ledger_path, s.line)?;
+                let context = s.entries.get("context").cloned().unwrap_or_default();
+                m.ledger.push((file, hash, context));
+            }
+        }
+        let frozen_path = root.join("analysis/wire_frozen.toml");
+        if let Ok(src) = std::fs::read_to_string(&frozen_path) {
+            for s in toml::parse(&src).map_err(|e| format!("{}: {e}", frozen_path.display()))? {
+                if s.name != "frozen" || !s.is_array_entry {
+                    return Err(format!(
+                        "{}: line {}: expected only [[frozen]] entries",
+                        frozen_path.display(),
+                        s.line
+                    ));
+                }
+                let file = require(&s.entries, "file", &frozen_path, s.line)?;
+                let hash = require(&s.entries, "hash", &frozen_path, s.line)?;
+                m.frozen.insert(file, hash);
+            }
+        }
+        Ok(m)
+    }
+}
+
+fn require(
+    entries: &BTreeMap<String, String>,
+    key: &str,
+    path: &Path,
+    line: usize,
+) -> Result<String, String> {
+    entries
+        .get(key)
+        .cloned()
+        .ok_or_else(|| format!("{}: line {line}: entry missing `{key}`", path.display()))
+}
+
+/// The outcome of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files: usize,
+    /// Every discovered unsafe site (for `--emit-ledger`).
+    pub unsafe_sites: Vec<rules::unsafe_ledger::Site>,
+    /// Every frozen-region digest (for `--emit-frozen`).
+    pub frozen: Vec<rules::wire_freeze::Frozen>,
+}
+
+/// Runs every rule over pre-parsed files. Pure — no filesystem access
+/// — so rule fixtures test exactly this entry point.
+pub fn analyze_files(files: &[SourceFile], manifests: &Manifests, panic_scope: &[&str]) -> Report {
+    let ledger_keys: HashSet<(String, String)> = manifests
+        .ledger
+        .iter()
+        .map(|(f, h, _)| (f.clone(), h.clone()))
+        .collect();
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    for file in files {
+        let path = file.path_str();
+        let (sites, mut diags) = rules::unsafe_ledger::check(file, &ledger_keys);
+        report.unsafe_sites.extend(sites);
+        report.diagnostics.append(&mut diags);
+        // Integration tests and benches are whole-file test code (no
+        // `#[cfg(test)]` wrapper); the comment-discipline rules don't
+        // apply there. The unsafe ledger still does.
+        let is_test_file = path.contains("/tests/") || path.contains("/benches/");
+        if !is_test_file {
+            report
+                .diagnostics
+                .append(&mut rules::atomic_ordering::check(file));
+        }
+        report
+            .diagnostics
+            .append(&mut rules::nonblocking::check(file));
+        report
+            .diagnostics
+            .append(&mut rules::wire_freeze::check(file, &manifests.frozen));
+        if let Some(f) = rules::wire_freeze::frozen(file) {
+            report.frozen.push(f);
+        }
+        if panic_scope.contains(&path.as_str()) {
+            report.diagnostics.append(&mut rules::no_panic::check(file));
+        }
+        for &line in &file.bad_suppressions {
+            report.diagnostics.push(Diagnostic::new(
+                "suppression-syntax",
+                &path,
+                line,
+                "malformed analyze::allow — the form is \
+                 `// analyze::allow(rule-name): <non-empty reason>`",
+            ));
+        }
+        for (name, line) in &file.unclosed_regions {
+            report.diagnostics.push(Diagnostic::new(
+                if rules::rule_info(name).is_some() {
+                    name.as_str()
+                } else {
+                    "region-marker"
+                },
+                &path,
+                *line,
+                format!("`// analyze: {name}` region is never closed with `end-{name}`"),
+            ));
+        }
+    }
+    let found: HashSet<(String, String)> = report
+        .unsafe_sites
+        .iter()
+        .map(|s| (s.file.clone(), s.hash.clone()))
+        .collect();
+    report
+        .diagnostics
+        .extend(rules::unsafe_ledger::stale_entries(
+            &manifests.ledger,
+            &found,
+        ));
+    let frozen_files: Vec<String> = report.frozen.iter().map(|f| f.file.clone()).collect();
+    report.diagnostics.extend(rules::wire_freeze::stale_entries(
+        &manifests.frozen,
+        &frozen_files,
+    ));
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report
+}
+
+/// Collects every workspace `.rs` file under `<root>/src` and
+/// `<root>/crates`, skipping `SKIP_DIRS`. Paths come back sorted and
+/// root-relative.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks the workspace at `root`, loads the manifests, and runs every
+/// rule. This is what `--workspace` and CI execute.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let manifests = Manifests::load(root)?;
+    let mut files = Vec::new();
+    for rel in collect_rs_files(root)? {
+        let abs = root.join(&rel);
+        let src =
+            std::fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        files.push(SourceFile::parse(rel, &src));
+    }
+    Ok(analyze_files(&files, &manifests, PANIC_PATH_SCOPE))
+}
+
+/// Renders a ledger manifest for the given sites (sorted by file then
+/// line), in the exact format [`Manifests::load`] reads back.
+pub fn emit_ledger(sites: &[rules::unsafe_ledger::Site]) -> String {
+    let mut sites: Vec<_> = sites.iter().collect();
+    sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let sections: Vec<toml::Section> = sites
+        .iter()
+        .map(|s| toml::Section {
+            name: "unsafe".to_string(),
+            is_array_entry: true,
+            entries: BTreeMap::from([
+                ("file".to_string(), s.file.clone()),
+                ("line".to_string(), s.line.to_string()),
+                ("hash".to_string(), s.hash.clone()),
+                ("context".to_string(), s.context.clone()),
+            ]),
+            line: 0,
+        })
+        .collect();
+    format!(
+        "# Audited unsafe sites. Regenerate with:\n\
+         #   cargo run -p privehd-analyze -- --emit-ledger > analysis/unsafe_ledger.toml\n\
+         # Every entry is an audit receipt: review the site before refreshing its hash.\n\
+         # `line` is informational; matching is by (file, hash).\n\n{}",
+        toml::serialize(&sections)
+    )
+}
+
+/// Renders the wire-freeze manifest for the given digests.
+pub fn emit_frozen(frozen: &[rules::wire_freeze::Frozen]) -> String {
+    let mut frozen: Vec<_> = frozen.iter().collect();
+    frozen.sort_by(|a, b| a.file.cmp(&b.file));
+    let sections: Vec<toml::Section> = frozen
+        .iter()
+        .map(|f| toml::Section {
+            name: "frozen".to_string(),
+            is_array_entry: true,
+            entries: BTreeMap::from([
+                ("file".to_string(), f.file.clone()),
+                ("hash".to_string(), f.hash.clone()),
+            ]),
+            line: 0,
+        })
+        .collect();
+    format!(
+        "# Frozen wire-format digests. A hash change here must ship with a\n\
+         # WIRE_VERSION bump. Regenerate with:\n\
+         #   cargo run -p privehd-analyze -- --emit-frozen > analysis/wire_frozen.toml\n\n{}",
+        toml::serialize(&sections)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_ledger_round_trips_through_the_loader() {
+        let site = rules::unsafe_ledger::Site {
+            file: "crates/core/src/pool.rs".to_string(),
+            line: 144,
+            hash: "fnv64:0123456789abcdef".to_string(),
+            context: "unsafe { transmute ( job ) }".to_string(),
+        };
+        let text = emit_ledger(std::slice::from_ref(&site));
+        let sections = toml::parse(&text).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].entries["file"], site.file);
+        assert_eq!(sections[0].entries["hash"], site.hash);
+    }
+
+    #[test]
+    fn analyze_files_sorts_and_merges_rule_output() {
+        let clean = SourceFile::parse("crates/a.rs", "fn ok() {}\n");
+        let dirty = SourceFile::parse(
+            "crates/b.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\nfn g() { let x = unsafe { h() }; }\n",
+        );
+        let report = analyze_files(&[clean, dirty], &Manifests::default(), &[]);
+        assert_eq!(report.files, 2);
+        assert_eq!(report.unsafe_sites.len(), 1);
+        let rules_hit: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+        assert!(rules_hit.contains(&"atomic-ordering"));
+        assert!(rules_hit.contains(&"unsafe-ledger"));
+        let mut sorted = report.diagnostics.clone();
+        sorted.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        assert_eq!(sorted, report.diagnostics);
+    }
+}

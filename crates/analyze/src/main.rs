@@ -1,0 +1,168 @@
+//! `privehd-analyze` CLI: run the workspace rules, explain them, or
+//! regenerate the audit manifests.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use privehd_analyze::{analyze_workspace, emit_frozen, emit_ledger, rules};
+
+const USAGE: &str = "\
+privehd-analyze — repo-specific static analysis for the Prive-HD workspace
+
+USAGE:
+    privehd-analyze --workspace [--root <path>]   run every rule; exit 1 on findings
+    privehd-analyze --explain <rule>              print a rule's rationale and fix pattern
+    privehd-analyze --list-rules                  list rules with one-line summaries
+    privehd-analyze --emit-ledger [--root <path>] print a fresh analysis/unsafe_ledger.toml
+    privehd-analyze --emit-frozen [--root <path>] print a fresh analysis/wire_frozen.toml
+
+The workspace root is taken from --root, else $CARGO_MANIFEST_DIR/../..
+(set under `cargo run`), else the nearest ancestor of the current
+directory containing both `Cargo.toml` and `crates/`.";
+
+enum Mode {
+    Workspace,
+    Explain(String),
+    ListRules,
+    EmitLedger,
+    EmitFrozen,
+}
+
+fn main() -> ExitCode {
+    let mut mode = None;
+    let mut root_flag = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => mode = Some(Mode::Workspace),
+            "--list-rules" => mode = Some(Mode::ListRules),
+            "--emit-ledger" => mode = Some(Mode::EmitLedger),
+            "--emit-frozen" => mode = Some(Mode::EmitFrozen),
+            "--explain" => match args.next() {
+                Some(rule) => mode = Some(Mode::Explain(rule)),
+                None => return usage_error("--explain needs a rule name"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root_flag = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(mode) = mode else {
+        return usage_error("no mode given");
+    };
+
+    match mode {
+        Mode::ListRules => {
+            for r in rules::RULES {
+                println!("{:<20} {}", r.name, r.brief);
+            }
+            ExitCode::SUCCESS
+        }
+        Mode::Explain(name) => match rules::rule_info(&name) {
+            Some(r) => {
+                println!("{}\n{}\n\n{}", r.name, "=".repeat(r.name.len()), r.explain);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "unknown rule `{name}`; known rules: {}",
+                    rules::RULES
+                        .iter()
+                        .map(|r| r.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ExitCode::from(2)
+            }
+        },
+        Mode::Workspace | Mode::EmitLedger | Mode::EmitFrozen => {
+            let root = match resolve_root(root_flag) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let report = match analyze_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match mode {
+                Mode::EmitLedger => {
+                    print!("{}", emit_ledger(&report.unsafe_sites));
+                    ExitCode::SUCCESS
+                }
+                Mode::EmitFrozen => {
+                    print!("{}", emit_frozen(&report.frozen));
+                    ExitCode::SUCCESS
+                }
+                _ => {
+                    for d in &report.diagnostics {
+                        println!("{d}");
+                    }
+                    if report.diagnostics.is_empty() {
+                        println!(
+                            "analyze: clean — {} files, {} audited unsafe sites, {} frozen wire regions",
+                            report.files,
+                            report.unsafe_sites.len(),
+                            report.frozen.len()
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        println!(
+                            "analyze: {} finding(s) across {} files (try `privehd-analyze --explain <rule>`)",
+                            report.diagnostics.len(),
+                            report.files
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Finds the workspace root: explicit flag, the crate's own manifest
+/// location (under `cargo run`), or ancestor search from the cwd.
+fn resolve_root(flag: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(r) = flag {
+        return Ok(r);
+    }
+    if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(&manifest_dir).join("../..");
+        if candidate.join("Cargo.toml").is_file() && candidate.join("crates").is_dir() {
+            return candidate
+                .canonicalize()
+                .map_err(|e| format!("canonicalize {manifest_dir}/../..: {e}"));
+        }
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(
+                "could not locate the workspace root (no ancestor with Cargo.toml + crates/); \
+                 pass --root"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! `atomic-ordering`: non-`SeqCst` atomic orderings outside tests need
+//! a written justification within 3 lines.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Rule name.
+pub const NAME: &str = "atomic-ordering";
+
+/// Orderings that require justification. `SeqCst` is exempt — it is
+/// the conservative default.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// How many lines above the use a justification comment may start.
+const WINDOW: usize = 3;
+
+/// Checks one file for unjustified ordering uses.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = &file.tokens;
+    let mut diags = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        // `::` lexes as two `:` puncts.
+        let matched = toks[i].kind == TokKind::Ident
+            && toks[i].text == "Ordering"
+            && toks[i + 1].text == ":"
+            && toks[i + 2].text == ":"
+            && toks[i + 3].kind == TokKind::Ident
+            && ORDERINGS.contains(&toks[i + 3].text.as_str());
+        if !matched {
+            continue;
+        }
+        let line = toks[i + 3].line;
+        if file.in_test_region(line) || file.suppressed(NAME, line) {
+            continue;
+        }
+        // `use …::Ordering::Relaxed;` imports a name; the justification
+        // belongs at the use sites, not the import.
+        let in_use_stmt = toks[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == toks[i].line)
+            .any(|t| t.kind == TokKind::Ident && t.text == "use");
+        if in_use_stmt {
+            continue;
+        }
+        let justified = file
+            .comments_touching(line.saturating_sub(WINDOW), line)
+            .any(|c| !c.text.trim().is_empty());
+        if !justified {
+            diags.push(Diagnostic::new(
+                NAME,
+                file.path_str(),
+                line,
+                format!(
+                    "`Ordering::{}` has no justification comment within {WINDOW} lines; \
+                     state the invariant that makes this ordering sufficient",
+                    toks[i + 3].text
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/core/src/telemetry.rs", src)
+    }
+
+    #[test]
+    fn bare_relaxed_is_flagged_justified_is_not() {
+        let src = "\
+fn f(a: &AtomicU64) {
+    a.fetch_add(1, Ordering::Relaxed);
+    // Release: pairs with the Acquire load in snapshot_into; publishes
+    // the slot payload written above.
+    a.store(2, Ordering::Release);
+}
+";
+        let diags = check(&parse(src));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn seqcst_is_exempt() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n";
+        assert!(check(&parse(src)).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_variants_do_not_match() {
+        let src = "fn f() -> Ordering { Ordering::Greater }\n";
+        assert!(check(&parse(src)).is_empty());
+    }
+
+    #[test]
+    fn imports_and_tests_are_exempt() {
+        let src = "\
+use std::sync::atomic::Ordering::Relaxed;
+#[cfg(test)]
+mod tests {
+    fn t(a: &AtomicU64) { a.load(Ordering::Relaxed); }
+}
+";
+        assert!(check(&parse(src)).is_empty());
+    }
+
+    #[test]
+    fn trailing_comment_on_the_same_line_counts() {
+        let src = "fn f(a: &AtomicU64) {\n    a.load(Ordering::Acquire); // pairs with Release in push()\n}\n";
+        assert!(check(&parse(src)).is_empty());
+    }
+
+    #[test]
+    fn comment_further_than_window_does_not_count() {
+        let src = "// a justification, but too far away\n\n\n\n\nfn f(a: &AtomicU64) { a.load(Ordering::Acquire); }\n";
+        assert_eq!(check(&parse(src)).len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The rule catalog: one module per named rule, plus the metadata
+//! `--explain` and `--list-rules` render.
+
+pub mod atomic_ordering;
+pub mod no_panic;
+pub mod nonblocking;
+pub mod unsafe_ledger;
+pub mod wire_freeze;
+
+/// Static metadata for one rule.
+pub struct RuleInfo {
+    /// Rule name as it appears in diagnostics and `analyze::allow`.
+    pub name: &'static str,
+    /// One-line summary for `--list-rules`.
+    pub brief: &'static str,
+    /// Full rationale + fix pattern for `--explain`.
+    pub explain: &'static str,
+}
+
+/// Every rule the engine runs, in diagnostic-name order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: atomic_ordering::NAME,
+        brief: "atomic Ordering choices outside tests need a justification comment within 3 lines",
+        explain: "\
+Every `Ordering::{Relaxed, Acquire, Release, AcqRel}` in non-test code
+must have a comment within the 3 lines above it (or on the same line)
+explaining why that ordering is sufficient. `SeqCst` is exempt: it is
+the conservative default and needs no defense.
+
+Why: the telemetry seqlock and the worker pool are correct only
+because each relaxed/acquire/release pairing was reasoned about once.
+An ordering with no written rationale is indistinguishable from an
+ordering someone guessed.
+
+Fix: write the invariant the ordering relies on, e.g.
+    // Relaxed: the counter is monotonic and read only for reporting;
+    // no other memory is published through it.
+    self.dropped.fetch_add(1, Ordering::Relaxed);
+or, where a comment genuinely cannot help, suppress with
+    // analyze::allow(atomic-ordering): <why>",
+    },
+    RuleInfo {
+        name: no_panic::NAME,
+        brief: "no unwrap/expect/panic!/unreachable!/slice-index on the serve request path",
+        explain: "\
+In `crates/serve/src/wire/server.rs`, `engine.rs`, and
+`wire/frame.rs`, non-test code must not call `.unwrap()`, `.expect()`,
+`panic!`, `unreachable!`, `todo!`, `unimplemented!`, or index a slice
+with `[...]`. A panic on the wire path kills the poll thread or a
+worker; the contract is that the server answers a typed fault frame
+and stays up.
+
+Fix: return/queue a typed error (`ServeError`, `WireFault`) instead.
+For sites that are provably infallible (e.g. `try_into()` on a slice
+whose length was just checked), suppress with a required reason:
+    // analyze::allow(no-panic-path): slice is exactly 4 bytes, checked above
+    let b: [u8; 4] = chunk.try_into().expect(\"len 4\");
+A suppression with no reason after the colon is itself an error.",
+    },
+    RuleInfo {
+        name: nonblocking::NAME,
+        brief: "no blocking calls inside `// analyze: nonblocking-region` spans",
+        explain: "\
+Code between `// analyze: nonblocking-region` and
+`// analyze: end-nonblocking-region` runs on the wire server poll
+thread, which multiplexes every connection. A single blocking call
+(`.lock()`, `.recv()`, `.join()`, `sleep`, `wait`, `read_to_end`,
+`read_exact`, ...) stalls all of them.
+
+Fix: use the nonblocking variants (`try_lock`, `try_recv`), move the
+work to the worker pool, or — if the call is provably nonblocking in
+context — suppress with
+    // analyze::allow(nonblocking-region): <why this cannot block>",
+    },
+    RuleInfo {
+        name: unsafe_ledger::NAME,
+        brief: "every unsafe site needs a SAFETY comment and a matching audit-ledger entry",
+        explain: "\
+Each `unsafe` block, fn, or impl must (a) have a `// SAFETY:` comment
+within the 5 lines above it, and (b) match an entry in
+`analysis/unsafe_ledger.toml` keyed by (file, hash of the normalized
+token stream). Editing an unsafe site changes its hash, so the build
+fails until someone re-audits and updates the ledger — unsafe cannot
+drift silently.
+
+Fix: write the SAFETY argument, then regenerate the entry:
+    cargo run -p privehd-analyze -- --emit-ledger > analysis/unsafe_ledger.toml
+and review the diff: the changed hash is the re-audit receipt. Ledger
+entries whose site no longer exists are reported as stale and must be
+deleted.",
+    },
+    RuleInfo {
+        name: wire_freeze::NAME,
+        brief: "frozen wire-format constants must hash-match analysis/wire_frozen.toml",
+        explain: "\
+The token stream between `// analyze: wire-freeze` and
+`// analyze: end-wire-freeze` (the 18-byte header constants and the
+frame-kind table in `wire/frame.rs`) is hashed and compared against
+`analysis/wire_frozen.toml`. Any drift — a renumbered kind, a resized
+header — breaks every deployed client, so it must be an explicit act.
+
+Fix: if the change is intentional, bump `WIRE_VERSION` inside the
+frozen span, then regenerate the manifest:
+    cargo run -p privehd-analyze -- --emit-frozen > analysis/wire_frozen.toml
+The reviewer sees the version bump and the new hash in the same diff.",
+    },
+];
+
+/// Looks up a rule's metadata by name.
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}

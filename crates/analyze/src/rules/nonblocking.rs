@@ -1,0 +1,137 @@
+//! `nonblocking-region`: no blocking calls inside marked poll-loop
+//! spans.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Rule name (also the region marker name).
+pub const NAME: &str = "nonblocking-region";
+
+/// Method/function names that block the calling thread. Matched only
+/// in call position (`.name(` or `::name(`), so locals named `lock`
+/// or struct fields don't trip it.
+const BLOCKING: &[&str] = &[
+    "lock",
+    "recv",
+    "recv_timeout",
+    "join",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "park",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+];
+
+/// Checks blocking calls inside `nonblocking-region` spans of `file`.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let spans: Vec<_> = file
+        .regions
+        .iter()
+        .filter(|r| r.name == NAME)
+        .map(|r| r.lines.clone())
+        .collect();
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let toks = &file.tokens;
+    let mut diags = Vec::new();
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !BLOCKING.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `::` lexes as two `:` puncts, so path calls show a single
+        // `:` immediately before the name.
+        let prev = &toks[i - 1].text;
+        let is_call =
+            (prev == "." || prev == ":") && toks.get(i + 1).is_some_and(|n| n.text == "(");
+        if !is_call {
+            continue;
+        }
+        if !spans.iter().any(|s| s.contains(&t.line)) {
+            continue;
+        }
+        if file.in_test_region(t.line) || file.suppressed(NAME, t.line) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            NAME,
+            file.path_str(),
+            t.line,
+            format!(
+                "blocking call `{}()` inside a nonblocking-region; this stalls the poll \
+                 thread for every connection — use a try_ variant or move it to the pool",
+                t.text
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/serve/src/wire/server.rs", src)
+    }
+
+    #[test]
+    fn blocking_calls_inside_region_are_flagged() {
+        let src = "\
+// analyze: nonblocking-region
+fn pump(&mut self) {
+    let g = self.state.lock();
+    let v = rx.recv();
+    std::thread::sleep(d);
+}
+// analyze: end-nonblocking-region
+";
+        let diags = check(&parse(src));
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[1].line, 4);
+        assert_eq!(diags[2].line, 5);
+    }
+
+    #[test]
+    fn same_calls_outside_region_are_fine() {
+        let src = "\
+fn setup(&mut self) { let g = self.state.lock(); }
+// analyze: nonblocking-region
+fn pump(&mut self) { let v = rx.try_recv(); }
+// analyze: end-nonblocking-region
+fn teardown(h: JoinHandle<()>) { h.join(); }
+";
+        assert!(check(&parse(src)).is_empty());
+    }
+
+    #[test]
+    fn non_call_uses_of_blocking_names_are_fine() {
+        let src = "\
+// analyze: nonblocking-region
+fn pump(&mut self) {
+    let lock = self.lock_state;
+    if self.join { return; }
+}
+// analyze: end-nonblocking-region
+";
+        assert!(check(&parse(src)).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "\
+// analyze: nonblocking-region
+fn pump(&mut self) {
+    // analyze::allow(nonblocking-region): channel is unbounded, recv cannot block here after is_ready()
+    let v = rx.recv();
+}
+// analyze: end-nonblocking-region
+";
+        assert!(check(&parse(src)).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! `wire-freeze`: the frozen wire-format constants must hash-match
+//! `analysis/wire_frozen.toml`, so format drift is an explicit,
+//! reviewed act.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::hash::hash_token_texts;
+use crate::source::SourceFile;
+
+/// Rule name (also the region marker name).
+pub const NAME: &str = "wire-freeze";
+
+/// One file's frozen-region digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frozen {
+    /// `/`-separated path relative to the analysis root.
+    pub file: String,
+    /// Line of the first frozen region's begin marker content.
+    pub line: usize,
+    /// Combined hash of all `wire-freeze` region tokens in file order.
+    pub hash: String,
+}
+
+/// Computes the frozen digest for `file`, if it has any `wire-freeze`
+/// regions.
+pub fn frozen(file: &SourceFile) -> Option<Frozen> {
+    let spans: Vec<_> = file
+        .regions
+        .iter()
+        .filter(|r| r.name == NAME)
+        .map(|r| r.lines.clone())
+        .collect();
+    if spans.is_empty() {
+        return None;
+    }
+    let texts: Vec<&str> = file
+        .tokens
+        .iter()
+        .filter(|t| spans.iter().any(|s| s.contains(&t.line)))
+        .map(|t| t.text.as_str())
+        .collect();
+    Some(Frozen {
+        file: file.path_str(),
+        line: spans.iter().map(|s| s.start).min().unwrap_or(1),
+        hash: hash_token_texts(texts),
+    })
+}
+
+/// Checks `file`'s frozen digest against the manifest (`file` → hash).
+pub fn check(file: &SourceFile, manifest: &BTreeMap<String, String>) -> Vec<Diagnostic> {
+    let Some(f) = frozen(file) else {
+        return Vec::new();
+    };
+    match manifest.get(&f.file) {
+        None => vec![Diagnostic::new(
+            NAME,
+            &f.file,
+            f.line,
+            "wire-freeze region is not registered in analysis/wire_frozen.toml; \
+             regenerate with `--emit-frozen`"
+                .to_string(),
+        )],
+        Some(expected) if *expected != f.hash => vec![Diagnostic::new(
+            NAME,
+            &f.file,
+            f.line,
+            format!(
+                "frozen wire constants drifted (manifest {expected}, tree {}); wire-format \
+                 changes require a WIRE_VERSION bump plus `--emit-frozen` in the same diff",
+                f.hash
+            ),
+        )],
+        Some(_) => Vec::new(),
+    }
+}
+
+/// Flags manifest entries whose file no longer has a frozen region.
+pub fn stale_entries(
+    manifest: &BTreeMap<String, String>,
+    seen_files: &[String],
+) -> Vec<Diagnostic> {
+    manifest
+        .iter()
+        .filter(|(file, _)| !seen_files.contains(file))
+        .map(|(file, _)| {
+            Diagnostic::new(
+                NAME,
+                "analysis/wire_frozen.toml",
+                0,
+                format!(
+                    "stale manifest entry for {file}: no `// analyze: wire-freeze` region found \
+                     there; the markers were removed without updating the manifest"
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+// analyze: wire-freeze
+pub const MAGIC: [u8; 4] = *b\"PVHD\";
+pub const WIRE_VERSION: u8 = 1;
+// analyze: end-wire-freeze
+pub const UNFROZEN: u8 = 9;
+";
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/serve/src/wire/frame.rs", src)
+    }
+
+    #[test]
+    fn matching_hash_is_clean() {
+        let file = parse(SRC);
+        let f = frozen(&file).unwrap();
+        let manifest = BTreeMap::from([(f.file.clone(), f.hash.clone())]);
+        assert!(check(&file, &manifest).is_empty());
+    }
+
+    #[test]
+    fn drifted_constant_is_flagged_at_the_region() {
+        let file = parse(SRC);
+        let f = frozen(&file).unwrap();
+        let manifest = BTreeMap::from([(f.file.clone(), f.hash)]);
+        let drifted = parse(&SRC.replace("u8 = 1", "u8 = 2"));
+        let diags = check(&drifted, &manifest);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("drifted"));
+    }
+
+    #[test]
+    fn changes_outside_the_region_do_not_drift() {
+        let file = parse(SRC);
+        let f = frozen(&file).unwrap();
+        let manifest = BTreeMap::from([(f.file.clone(), f.hash)]);
+        let outside = parse(&SRC.replace("UNFROZEN: u8 = 9", "UNFROZEN: u8 = 10"));
+        assert!(check(&outside, &manifest).is_empty());
+    }
+
+    #[test]
+    fn unregistered_region_and_stale_entry_are_flagged() {
+        let file = parse(SRC);
+        assert_eq!(check(&file, &BTreeMap::new()).len(), 1);
+        let manifest = BTreeMap::from([("crates/old.rs".to_string(), "fnv64:00".to_string())]);
+        let stale = stale_entries(&manifest, &[]);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("stale"));
+    }
+}

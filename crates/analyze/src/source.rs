@@ -1,0 +1,405 @@
+//! One analyzed source file: tokens, comments, and the derived
+//! structure every rule consumes — test regions, suppression comments,
+//! and `// analyze:` region markers.
+
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// A suppression comment: `// analyze::allow(rule-name): reason`.
+///
+/// The reason is mandatory — an allow without one is itself reported
+/// (see [`SourceFile::bad_suppressions`]). A suppression covers
+/// findings from its anchor line through the two lines below it,
+/// where the anchor is the *last* line of the comment block containing
+/// the allow — so a reason wrapped over several comment lines still
+/// covers the code directly beneath (or trailing on the same line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the colon (trimmed; non-empty).
+    pub reason: String,
+    /// 1-based anchor line: the last line of the comment block the
+    /// allow belongs to (= its own line for a trailing comment).
+    pub line: usize,
+}
+
+/// A `// analyze: <name> …` region, delimited by a begin marker and an
+/// `end-<name>` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkedRegion {
+    /// Region name (e.g. `nonblocking-region`, `wire-freeze`).
+    pub name: String,
+    /// Lines covered, inclusive, from the line after the begin marker
+    /// through the line before the end marker.
+    pub lines: Range<usize>,
+}
+
+/// A lexed file plus the line-oriented structure rules query.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the analysis root (stable across machines —
+    /// diagnostics and ledger keys use this).
+    pub rel_path: PathBuf,
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// `#[cfg(test)]`-gated line ranges (inclusive), brace-matched.
+    pub test_regions: Vec<Range<usize>>,
+    /// Parsed `analyze::allow` suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed suppressions (no reason after the colon, or no colon).
+    pub bad_suppressions: Vec<usize>,
+    /// Parsed `analyze:` begin/end regions, in order of their begin
+    /// markers.
+    pub regions: Vec<MarkedRegion>,
+    /// Begin markers that never found their matching end marker.
+    pub unclosed_regions: Vec<(String, usize)>,
+    /// Comments coalesced into contiguous blocks (a run of `//` lines
+    /// is one block), for proximity queries: a `// SAFETY:` line five
+    /// lines up still "touches" code its continuation lines reach.
+    comment_blocks: Vec<Comment>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and derives the rule-facing structure.
+    pub fn parse(rel_path: impl Into<PathBuf>, src: &str) -> Self {
+        let Lexed { tokens, comments } = lex(src);
+        let test_regions = find_test_regions(&tokens);
+        let (mut suppressions, bad_suppressions) = find_suppressions(&comments);
+        let (regions, unclosed_regions) = find_regions(&comments);
+        let comment_blocks = coalesce(&comments);
+        // Re-anchor each suppression at the end of its comment block so
+        // a wrapped reason doesn't push the covered code out of range.
+        for sup in &mut suppressions {
+            if let Some(block) = comment_blocks
+                .iter()
+                .find(|b| (b.line_start..=b.line_end).contains(&sup.line))
+            {
+                sup.line = block.line_end;
+            }
+        }
+        Self {
+            rel_path: rel_path.into(),
+            tokens,
+            comments,
+            test_regions,
+            suppressions,
+            bad_suppressions,
+            regions,
+            unclosed_regions,
+            comment_blocks,
+        }
+    }
+
+    /// The relative path as a `/`-separated string (ledger key form).
+    pub fn path_str(&self) -> String {
+        path_key(&self.rel_path)
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&line))
+    }
+
+    /// True when a well-formed `analyze::allow(rule)` suppression
+    /// covers `line` (the end of the suppression's comment block, or
+    /// the two lines below it).
+    pub fn suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.rule == rule && (s.line..=s.line + 2).contains(&line))
+    }
+
+    /// All comment *blocks* any part of which lies in `[first, last]`
+    /// (contiguous `//` runs count as one block, so a block's first
+    /// line is reachable through its last).
+    pub fn comments_touching(&self, first: usize, last: usize) -> impl Iterator<Item = &Comment> {
+        self.comment_blocks
+            .iter()
+            .filter(move |c| c.line_start <= last && c.line_end >= first)
+    }
+
+    /// Index of the token matching the opening delimiter at
+    /// `tokens[open]` (`{`, `(` or `[`), or `None` when unbalanced.
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        let (open_ch, close_ch) = match self.tokens[open].text.as_str() {
+            "{" => ("{", "}"),
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        for (i, t) in self.tokens.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                if t.text == open_ch {
+                    depth += 1;
+                } else if t.text == close_ch {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Normalizes a relative path into the `/`-separated key form used by
+/// diagnostics and the ledger.
+pub fn path_key(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds `#[cfg(test)]` attributes and brace-matches the item they
+/// gate (a `mod tests { … }` block, or a single `fn`), returning the
+/// covered line ranges.
+fn find_test_regions(tokens: &[Tok]) -> Vec<Range<usize>> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].text == "#"
+            && tokens[i + 1].text == "["
+            && tokens[i + 2].text == "cfg"
+            && tokens[i + 3].text == "("
+            && tokens[i + 4].text == "test"
+            && tokens[i + 5].text == ")"
+            && tokens[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Find the gated item's opening brace, skipping further
+        // attributes and the item header. A `;`-terminated item
+        // (e.g. `#[cfg(test)] mod tests;`) gates a whole other file.
+        let mut j = i + 7;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "{" => {
+                    open = Some(j);
+                    break;
+                }
+                ";" => break,
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = open {
+            let mut depth = 0usize;
+            let mut end = None;
+            for (k, t) in tokens.iter().enumerate().skip(open) {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = Some(k);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let end_line = end.map_or(usize::MAX, |k| tokens[k].line);
+            regions.push(start_line..end_line.saturating_add(1));
+            i = end.unwrap_or(tokens.len());
+        } else {
+            i = j;
+        }
+    }
+    regions
+}
+
+/// Merges comments on contiguous lines into blocks (text joined with
+/// newlines, span covering the run).
+fn coalesce(comments: &[Comment]) -> Vec<Comment> {
+    let mut blocks: Vec<Comment> = Vec::new();
+    for c in comments {
+        match blocks.last_mut() {
+            Some(last) if c.line_start <= last.line_end + 1 => {
+                last.text.push('\n');
+                last.text.push_str(&c.text);
+                last.line_end = last.line_end.max(c.line_end);
+            }
+            _ => blocks.push(c.clone()),
+        }
+    }
+    blocks
+}
+
+/// Strips comment markers (`//`, `///`, `//!`, `/*`, leading `*`) and
+/// whitespace, exposing the comment's leading text. Marker and
+/// suppression syntax must start there — prose *mentioning* the syntax
+/// mid-comment (as this crate's own docs do) is not a directive.
+fn comment_body(text: &str) -> &str {
+    text.trim_start_matches(['/', '*', '!']).trim_start()
+}
+
+/// Parses `analyze::allow(rule): reason` suppressions out of the
+/// comment list. Returns `(well_formed, lines_of_malformed)`.
+fn find_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<usize>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(rest) = comment_body(&c.text).strip_prefix("analyze::allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(c.line_start);
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if rule.is_empty() || reason.is_empty() {
+            bad.push(c.line_start);
+            continue;
+        }
+        ok.push(Suppression {
+            rule,
+            reason: reason.to_string(),
+            line: c.line_start,
+        });
+    }
+    (ok, bad)
+}
+
+/// Parses `// analyze: <name>` / `// analyze: end-<name>` marker pairs
+/// into line regions. Returns `(closed_regions, unclosed_begin_markers)`.
+fn find_regions(comments: &[Comment]) -> (Vec<MarkedRegion>, Vec<(String, usize)>) {
+    let mut regions = Vec::new();
+    let mut open: Vec<(String, usize)> = Vec::new();
+    for c in comments {
+        let Some(marker) = comment_body(&c.text).strip_prefix("analyze:") else {
+            continue;
+        };
+        let marker = marker.trim();
+        // Not a region marker if it's the allow syntax (analyze::allow
+        // contains "analyze:" followed by ":allow(…").
+        if marker.starts_with(':') || marker.is_empty() {
+            continue;
+        }
+        let name = marker.split_whitespace().next().unwrap_or("");
+        // Region names are kebab-case; anything else is prose that
+        // happens to start with "analyze:".
+        if !name
+            .chars()
+            .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == '-')
+        {
+            continue;
+        }
+        if let Some(opened) = name.strip_prefix("end-") {
+            if let Some(pos) = open.iter().rposition(|(n, _)| n == opened) {
+                let (name, begin) = open.remove(pos);
+                regions.push(MarkedRegion {
+                    name,
+                    lines: begin + 1..c.line_start,
+                });
+            }
+            // An end without a begin is ignored: harmless, and flagging
+            // it would make moving code around needlessly noisy.
+        } else {
+            open.push((name.to_string(), c.line_start));
+        }
+    }
+    (regions, open)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_covers_the_mod_block() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions.len(), 1);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attributes_still_matches() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn x() { { } } }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions.len(), 1);
+        assert!(f.in_test_region(3));
+    }
+
+    #[test]
+    fn suppressions_parse_rule_and_reason() {
+        let src = "// analyze::allow(no-panic-path): length checked above\nlet x = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rule, "no-panic-path");
+        assert_eq!(f.suppressions[0].reason, "length checked above");
+        assert!(f.suppressed("no-panic-path", 2));
+        assert!(!f.suppressed("no-panic-path", 4));
+        assert!(!f.suppressed("atomic-ordering", 2));
+    }
+
+    #[test]
+    fn suppression_without_reason_is_malformed() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// analyze::allow(no-panic-path)\nlet x = 1;\n// analyze::allow(no-panic-path):   \n",
+        );
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.bad_suppressions, vec![1, 3]);
+    }
+
+    #[test]
+    fn regions_pair_begin_and_end_markers() {
+        let src = "\n// analyze: nonblocking-region\nfn a() {}\nfn b() {}\n// analyze: end-nonblocking-region\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.regions.len(), 1);
+        assert_eq!(f.regions[0].name, "nonblocking-region");
+        assert_eq!(f.regions[0].lines, 3..5);
+        assert!(f.unclosed_regions.is_empty());
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_not_a_directive() {
+        let src = "\
+//! Doc prose about `// analyze: <name>` region markers.
+/// True when a well-formed `analyze::allow(rule)` suppression exists.
+// The marker is written as analyze: something-here in the docs? No:
+// this line starts with \"The marker\", so it is prose too.
+fn f() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressions.is_empty());
+        assert!(f.bad_suppressions.is_empty());
+        assert!(f.regions.is_empty());
+        assert!(f.unclosed_regions.is_empty());
+    }
+
+    #[test]
+    fn unclosed_region_is_reported() {
+        let f = SourceFile::parse("x.rs", "// analyze: wire-freeze\nconst A: u8 = 1;\n");
+        assert!(f.regions.is_empty());
+        assert_eq!(f.unclosed_regions, vec![("wire-freeze".to_string(), 1)]);
+    }
+
+    #[test]
+    fn matching_close_balances_nested_delimiters() {
+        let f = SourceFile::parse("x.rs", "fn a() { if x { y(); } }");
+        let open = f.tokens.iter().position(|t| t.text == "{").unwrap();
+        let close = f.matching_close(open).unwrap();
+        assert_eq!(f.tokens[close].text, "}");
+        assert_eq!(close, f.tokens.len() - 1);
+    }
+}

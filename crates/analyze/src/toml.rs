@@ -1,0 +1,169 @@
+//! Minimal TOML-subset reader for the analysis manifests.
+//!
+//! `vendor/` has no `toml` crate, and the two manifests
+//! (`analysis/unsafe_ledger.toml`, `analysis/wire_frozen.toml`) only
+//! need `[[table]]` arrays and `[table]` sections of `key = "string"`
+//! pairs, plus `#` comments. This parser supports exactly that and
+//! errors on anything else rather than guessing.
+
+use std::collections::BTreeMap;
+
+/// One `[section]` or `[[array-entry]]` with its string key/values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (the text inside the brackets).
+    pub name: String,
+    /// True for `[[name]]` array-of-tables entries.
+    pub is_array_entry: bool,
+    /// `key = "value"` pairs in order of appearance.
+    pub entries: BTreeMap<String, String>,
+    /// 1-based line of the section header.
+    pub line: usize,
+}
+
+/// Parses the supported TOML subset; returns sections in file order.
+pub fn parse(src: &str) -> Result<Vec<Section>, String> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            sections.push(Section {
+                name: inner.trim().to_string(),
+                is_array_entry: true,
+                entries: BTreeMap::new(),
+                line: lineno,
+            });
+        } else if let Some(inner) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            sections.push(Section {
+                name: inner.trim().to_string(),
+                is_array_entry: false,
+                entries: BTreeMap::new(),
+                line: lineno,
+            });
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            let value = parse_string(value.trim())
+                .ok_or_else(|| format!("line {lineno}: expected a quoted string value"))?;
+            let Some(section) = sections.last_mut() else {
+                return Err(format!("line {lineno}: key `{key}` before any [section]"));
+            };
+            if section.entries.insert(key.to_string(), value).is_some() {
+                return Err(format!("line {lineno}: duplicate key `{key}`"));
+            }
+        } else {
+            return Err(format!(
+                "line {lineno}: unsupported TOML construct `{line}`"
+            ));
+        }
+    }
+    Ok(sections)
+}
+
+/// Drops a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted TOML string with `\"` / `\\` escapes.
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if ch == '"' {
+            // An unescaped quote inside the body means the suffix we
+            // stripped wasn't this string's terminator.
+            return None;
+        } else {
+            out.push(ch);
+        }
+    }
+    Some(out)
+}
+
+/// Serializes sections back into the same subset (used by
+/// `--emit-ledger` so regenerated manifests round-trip).
+pub fn serialize(sections: &[Section]) -> String {
+    let mut out = String::new();
+    for s in sections {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        if s.is_array_entry {
+            out.push_str(&format!("[[{}]]\n", s.name));
+        } else {
+            out.push_str(&format!("[{}]\n", s.name));
+        }
+        for (k, v) in &s.entries {
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!("{k} = \"{escaped}\"\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_array_of_tables() {
+        let src = "# ledger\n[[unsafe]]\nfile = \"a.rs\"\nhash = \"fnv64:00\"\n\n[[unsafe]]\nfile = \"b.rs\"\nhash = \"fnv64:01\"\n";
+        let sections = parse(src).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert!(sections[0].is_array_entry);
+        assert_eq!(sections[0].entries["file"], "a.rs");
+        assert_eq!(sections[1].entries["hash"], "fnv64:01");
+    }
+
+    #[test]
+    fn parses_plain_section_and_comments() {
+        let src = "[wire]\nheader = \"fnv64:aa\" # trailing comment\nnote = \"has # inside\"\n";
+        let sections = parse(src).unwrap();
+        assert_eq!(sections[0].name, "wire");
+        assert_eq!(sections[0].entries["header"], "fnv64:aa");
+        assert_eq!(sections[0].entries["note"], "has # inside");
+    }
+
+    #[test]
+    fn rejects_unquoted_values_and_orphan_keys() {
+        assert!(parse("[s]\nx = 3\n").is_err());
+        assert!(parse("x = \"y\"\n").is_err());
+        assert!(parse("[s]\nx = \"a\"\nx = \"b\"\n").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip_through_serialize() {
+        let src = "[[e]]\nmsg = \"say \\\"hi\\\" \\\\ done\"\n";
+        let sections = parse(src).unwrap();
+        assert_eq!(sections[0].entries["msg"], "say \"hi\" \\ done");
+        let re = parse(&serialize(&sections)).unwrap();
+        assert_eq!(re, sections);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a blocking call inside a marked nonblocking region.
+
+// analyze: nonblocking-region
+pub fn pump(rx: &std::sync::mpsc::Receiver<u8>) -> Option<u8> {
+    rx.recv().ok()
+}
+// analyze: end-nonblocking-region

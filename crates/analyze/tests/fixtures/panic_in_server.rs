@@ -1,0 +1,10 @@
+//! Fixture: panics on the serve path (scanned as if it were
+//! `crates/serve/src/wire/server.rs`).
+
+pub fn pump(frames: &[u8], idx: usize) -> u8 {
+    let first = frames.first().unwrap();
+    if idx > frames.len() {
+        panic!("index out of range");
+    }
+    first + frames[idx]
+}

@@ -1,0 +1,9 @@
+//! Fixture: a Relaxed atomic with no justification comment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn on_hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,8 @@
+//! Fixture: the same site as `unsafe_original.rs` after an edit
+//! *inside* the unsafe block — the ledger hash must no longer match.
+
+pub fn read_at(bytes: &[u8], i: usize) -> u8 {
+    assert!(i < bytes.len());
+    // SAFETY: `i` is bounds-checked by the assert above.
+    unsafe { bytes.as_ptr().add(i).read() }
+}

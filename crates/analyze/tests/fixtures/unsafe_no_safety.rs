@@ -1,0 +1,6 @@
+//! Fixture: an unsafe block with no audit comment anywhere near it.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    let ptr = bytes.as_ptr();
+    unsafe { *ptr }
+}

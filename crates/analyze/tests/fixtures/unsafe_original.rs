@@ -1,0 +1,7 @@
+//! Fixture: the audited "before" version of an unsafe site.
+
+pub fn read_at(bytes: &[u8], i: usize) -> u8 {
+    assert!(i < bytes.len());
+    // SAFETY: `i` is bounds-checked by the assert above.
+    unsafe { *bytes.as_ptr().add(i) }
+}

@@ -1,0 +1,8 @@
+//! Fixture: `wire_original.rs` after a header-layout change that did
+//! not regenerate the frozen manifest.
+
+// analyze: wire-freeze
+pub const MAGIC: [u8; 4] = *b"PVHD";
+pub const WIRE_VERSION: u8 = 1;
+pub const HEADER_LEN: usize = 22;
+// analyze: end-wire-freeze

@@ -1,0 +1,7 @@
+//! Fixture: the frozen "before" version of a wire constant block.
+
+// analyze: wire-freeze
+pub const MAGIC: [u8; 4] = *b"PVHD";
+pub const WIRE_VERSION: u8 = 1;
+pub const HEADER_LEN: usize = 18;
+// analyze: end-wire-freeze

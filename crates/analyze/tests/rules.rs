@@ -1,0 +1,206 @@
+//! Fixture-driven rule tests: each seeded violation must surface as a
+//! diagnostic naming the exact rule, file, and line — plus the
+//! clean-tree contract: the shipped workspace analyzes to zero
+//! findings.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use privehd_analyze::source::SourceFile;
+use privehd_analyze::{analyze_files, analyze_workspace, Manifests, PANIC_PATH_SCOPE};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Parses a fixture under a pretend in-tree path so path-scoped rules
+/// (no-panic-path) apply.
+fn parse_as(name: &str, rel_path: &str) -> SourceFile {
+    SourceFile::parse(rel_path, &fixture(name))
+}
+
+fn run(files: Vec<SourceFile>, manifests: &Manifests) -> Vec<(String, String, usize)> {
+    analyze_files(&files, manifests, PANIC_PATH_SCOPE)
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.rule, d.file, d.line))
+        .collect()
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels under the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn unsafe_without_safety_names_rule_file_and_line() {
+    let f = parse_as("unsafe_no_safety.rs", "crates/core/src/fx.rs");
+    let diags = run(vec![f], &Manifests::default());
+    // Missing SAFETY and missing ledger entry — both on the unsafe line.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    for (rule, file, line) in &diags {
+        assert_eq!(rule, "unsafe-ledger");
+        assert_eq!(file, "crates/core/src/fx.rs");
+        assert_eq!(*line, 5);
+    }
+}
+
+#[test]
+fn edited_unsafe_site_fails_its_stale_ledger_entry() {
+    let original = parse_as("unsafe_original.rs", "crates/core/src/fx.rs");
+    let audited = analyze_files(&[original], &Manifests::default(), PANIC_PATH_SCOPE);
+    let manifests = Manifests {
+        ledger: audited
+            .unsafe_sites
+            .iter()
+            .map(|s| (s.file.clone(), s.hash.clone(), s.context.clone()))
+            .collect(),
+        frozen: BTreeMap::new(),
+    };
+
+    // The audited version passes against its own ledger…
+    let original = parse_as("unsafe_original.rs", "crates/core/src/fx.rs");
+    assert_eq!(run(vec![original], &manifests), vec![]);
+
+    // …the edited version fails it: one not-in-ledger finding at the
+    // site, one stale-entry finding against the manifest.
+    let edited = parse_as("unsafe_edited.rs", "crates/core/src/fx.rs");
+    let diags = run(vec![edited], &manifests);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(
+        diags.contains(&("unsafe-ledger".into(), "crates/core/src/fx.rs".into(), 7)),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.1 == "analysis/unsafe_ledger.toml"),
+        "the stale audit entry must be flagged too: {diags:?}"
+    );
+}
+
+#[test]
+fn panics_on_the_serve_path_are_flagged_per_site() {
+    let f = parse_as("panic_in_server.rs", "crates/serve/src/wire/server.rs");
+    let mut diags = run(vec![f], &Manifests::default());
+    diags.sort();
+    let expect = |line| {
+        (
+            "no-panic-path".to_string(),
+            "crates/serve/src/wire/server.rs".to_string(),
+            line,
+        )
+    };
+    // unwrap, panic!, and the two slice indexes on line 9.
+    assert_eq!(diags, vec![expect(5), expect(7), expect(9)], "{diags:?}");
+}
+
+#[test]
+fn same_panics_outside_the_scoped_files_are_ignored() {
+    let f = parse_as("panic_in_server.rs", "crates/data/src/loader.rs");
+    assert_eq!(run(vec![f], &Manifests::default()), vec![]);
+}
+
+#[test]
+fn unjustified_relaxed_is_flagged() {
+    let f = parse_as("relaxed_unjustified.rs", "crates/core/src/fx.rs");
+    let diags = run(vec![f], &Manifests::default());
+    assert_eq!(
+        diags,
+        vec![("atomic-ordering".into(), "crates/core/src/fx.rs".into(), 8)],
+    );
+}
+
+#[test]
+fn blocking_call_inside_nonblocking_region_is_flagged() {
+    let f = parse_as("blocking_in_region.rs", "crates/serve/src/wire/server.rs");
+    let diags = run(vec![f], &Manifests::default());
+    assert_eq!(
+        diags,
+        vec![(
+            "nonblocking-region".into(),
+            "crates/serve/src/wire/server.rs".into(),
+            5,
+        )],
+    );
+}
+
+#[test]
+fn drifted_wire_constant_fails_the_frozen_manifest() {
+    let original = parse_as("wire_original.rs", "crates/serve/src/wire/frame.rs");
+    let report = analyze_files(&[original], &Manifests::default(), PANIC_PATH_SCOPE);
+    let manifests = Manifests {
+        ledger: Vec::new(),
+        frozen: report
+            .frozen
+            .iter()
+            .map(|f| (f.file.clone(), f.hash.clone()))
+            .collect(),
+    };
+
+    let original = parse_as("wire_original.rs", "crates/serve/src/wire/frame.rs");
+    assert_eq!(run(vec![original], &manifests), vec![]);
+
+    let drifted = parse_as("wire_drift.rs", "crates/serve/src/wire/frame.rs");
+    let diags = run(vec![drifted], &manifests);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].0, "wire-freeze");
+    assert_eq!(diags[0].1, "crates/serve/src/wire/frame.rs");
+}
+
+#[test]
+fn shipped_workspace_is_clean() {
+    let report = analyze_workspace(&repo_root()).expect("workspace scan");
+    assert!(report.files > 50, "scan saw only {} files", report.files);
+    assert_eq!(
+        report.diagnostics,
+        vec![],
+        "the shipped tree must analyze clean"
+    );
+    assert!(
+        !report.unsafe_sites.is_empty(),
+        "core's AVX2 kernels must appear in the audit"
+    );
+}
+
+#[test]
+fn cli_workspace_exits_zero_on_the_shipped_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_privehd-analyze"))
+        .args(["--workspace", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("spawn privehd-analyze");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn cli_explain_covers_every_rule() {
+    for rule in [
+        "unsafe-ledger",
+        "no-panic-path",
+        "atomic-ordering",
+        "nonblocking-region",
+        "wire-freeze",
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_privehd-analyze"))
+            .args(["--explain", rule])
+            .output()
+            .expect("spawn privehd-analyze");
+        assert!(out.status.success(), "--explain {rule} failed");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(rule),
+            "--explain {rule} does not mention the rule"
+        );
+    }
+}

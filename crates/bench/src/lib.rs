@@ -14,6 +14,9 @@
 //!   so every harness binary emits both a human-readable table and a
 //!   machine-readable line per row.
 
+// No unsafe: every unsafe site in the workspace lives in privehd-core
+// under the analyze unsafe-audit ledger (see docs/ANALYSIS.md).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

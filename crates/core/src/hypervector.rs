@@ -375,6 +375,8 @@ impl BipolarHv {
             !signs.is_empty(),
             "hypervector must have at least one dimension"
         );
+        // Relaxed: standalone monotonic counter read only by tests and
+        // gauges; no other memory is published through it.
         DENSE_CONVERSIONS.fetch_add(1, Ordering::Relaxed);
         let dim = signs.len();
         let mut words = vec![0u64; dim.div_ceil(WORD_BITS)];
@@ -539,6 +541,7 @@ impl BipolarHv {
     /// Counted by [`dense_conversion_count`]: the packed-native serving
     /// path must never reach this.
     pub fn to_dense(&self) -> Hypervector {
+        // Relaxed: monotonic counter; see `dense_conversion_count`.
         DENSE_CONVERSIONS.fetch_add(1, Ordering::Relaxed);
         let values = (0..self.dim).map(|j| self.sign(j)).collect();
         Hypervector::from_vec(values)

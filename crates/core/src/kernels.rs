@@ -410,6 +410,15 @@ pub fn level_encode_majority(item: &ItemMemory, lm: &LevelMemory, input: &[f64])
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn avx2_available() -> bool {
+    // Miri interprets MIR and cannot execute vendor intrinsics; force
+    // the scalar arms so `cargo miri test` exercises these dispatch
+    // sites instead of aborting on the first AVX2 instruction. The
+    // guard beats the cfg!(target_feature) short-circuit on purpose:
+    // a `-C target-feature=+avx2` build run under Miri must still take
+    // the scalar path.
+    if cfg!(miri) {
+        return false;
+    }
     cfg!(target_feature = "avx2") || std::is_x86_feature_detected!("avx2")
 }
 
@@ -468,8 +477,9 @@ unsafe fn dot_unrolled_avx2(a: &[f64], b: &[f64]) -> f64 {
     while i < quads {
         // SAFETY: `i + 3 < quads ≤ a.len(), b.len()` — both 32-byte
         // unaligned loads stay in bounds.
-        let va = _mm256_loadu_pd(a.as_ptr().add(i));
-        let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+        let va = unsafe { _mm256_loadu_pd(a.as_ptr().add(i)) };
+        // SAFETY: as above — same bound for `b`.
+        let vb = unsafe { _mm256_loadu_pd(b.as_ptr().add(i)) };
         // Separate mul + add (no FMA): each lane performs the same two
         // correctly-rounded operations as the scalar arm, keeping the
         // two arms bit-identical.
@@ -477,7 +487,8 @@ unsafe fn dot_unrolled_avx2(a: &[f64], b: &[f64]) -> f64 {
         i += 4;
     }
     let mut lanes = [0.0f64; 4];
-    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly the 32 bytes the store writes.
+    unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), acc) };
     let mut tail = 0.0;
     for (x, y) in a[quads..n].iter().zip(&b[quads..n]) {
         tail += x * y;
@@ -557,12 +568,13 @@ unsafe fn dot_sign_dense_avx2(words: &[u64], values: &[f64]) -> f64 {
         );
         // SAFETY: `i + 3 < quads ≤ values.len()` keeps the load in
         // bounds.
-        let v = _mm256_loadu_pd(values.as_ptr().add(i));
+        let v = unsafe { _mm256_loadu_pd(values.as_ptr().add(i)) };
         acc = _mm256_add_pd(acc, _mm256_xor_pd(v, _mm256_castsi256_pd(signs)));
         i += 4;
     }
     let mut lanes = [0.0f64; 4];
-    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly the 32 bytes the store writes.
+    unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), acc) };
     if quads < n {
         let nw = !words[quads / WORD_BITS] >> (quads % WORD_BITS);
         for (b, &v) in values[quads..n].iter().enumerate() {
@@ -612,10 +624,12 @@ unsafe fn xor_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
     while i < quads {
         // SAFETY: `i + 3 < quads ≤ a.len(), b.len()` keeps both 32-byte
         // loads in bounds.
-        let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
-        let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+        let va = unsafe { _mm256_loadu_si256(a.as_ptr().add(i).cast()) };
+        // SAFETY: as above — same bound for `b`.
+        let vb = unsafe { _mm256_loadu_si256(b.as_ptr().add(i).cast()) };
         let mut x = [0u64; 4];
-        _mm256_storeu_si256(x.as_mut_ptr().cast(), _mm256_xor_si256(va, vb));
+        // SAFETY: `x` is exactly the 32 bytes the store writes.
+        unsafe { _mm256_storeu_si256(x.as_mut_ptr().cast(), _mm256_xor_si256(va, vb)) };
         total += x.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
         i += 4;
     }

@@ -248,6 +248,9 @@ impl RunCtx {
             *active += 1;
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            // Relaxed: the counter only partitions indices between
+            // lanes; the closure and its captures were published to
+            // this lane by the channel send, not by this counter.
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.tasks {
                 break;
@@ -389,6 +392,9 @@ mod tests {
     }
 
     #[test]
+    // Wall-clock assertion: Miri's interpreter timing makes the "fast
+    // run returns quickly" bound meaningless there.
+    #[cfg_attr(miri, ignore)]
     fn finished_run_is_not_blocked_by_another_runs_stragglers() {
         use std::time::{Duration, Instant};
         // One worker, occupied by a slow run from another thread: a fast

@@ -284,29 +284,44 @@ impl Ring {
     }
 
     fn push(&self, trace: u64, meta: u64, start_ns: u64, end_ns: u64) {
+        // Relaxed: the head only distributes slot indices; payload
+        // visibility is ordered by the per-slot seqlock, not the claim.
         let claim = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(claim as usize) % self.slots.len()];
         // Seqlock write: odd while storing, even (and advanced) after.
         // Two writers racing one slot (a full wrap mid-write) can leave
         // a sequence readers reject — the event is dropped, not torn.
+        // AcqRel: the bump cannot reorder with either side's payload.
         let seq = slot.seq.fetch_add(1, Ordering::AcqRel);
+        // Relaxed payload stores: the Release store of `seq` below
+        // publishes them; readers reject torn reads via the sequence.
         slot.trace.store(trace, Ordering::Relaxed);
         slot.meta.store(meta, Ordering::Relaxed);
         slot.start_ns.store(start_ns, Ordering::Relaxed);
-        slot.end_ns.store(end_ns, Ordering::Relaxed);
+        slot.end_ns.store(end_ns, Ordering::Relaxed); // Relaxed: as above
+                                                      // Release: pairs with the Acquire seq load in `snapshot_into`.
         slot.seq.store(seq.wrapping_add(2), Ordering::Release);
     }
 
     fn snapshot_into(&self, out: &mut Vec<SpanEvent>) {
         for slot in &self.slots {
+            // Acquire: pairs with the writer's Release seq store — the
+            // payload loads below cannot float above this check.
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 == 0 || s1 & 1 == 1 {
                 continue; // never written, or mid-write
             }
+            // Relaxed payload loads: bracketed by the Acquire above
+            // and the fence + seq recheck below, which rejects torn
+            // reads instead of ordering them.
             let trace = slot.trace.load(Ordering::Relaxed);
             let meta = slot.meta.load(Ordering::Relaxed);
             let start_ns = slot.start_ns.load(Ordering::Relaxed);
-            let end_ns = slot.end_ns.load(Ordering::Relaxed);
+            let end_ns = slot.end_ns.load(Ordering::Relaxed); // Relaxed: as above
+                                                              // Acquire fence: orders the payload loads before the seq
+                                                              // recheck; a writer bumps seq (AcqRel) before touching the
+                                                              // payload, so an unchanged Relaxed reload proves the loads
+                                                              // above were not torn.
             std::sync::atomic::fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Relaxed) != s1 {
                 continue; // overwritten while reading
@@ -331,6 +346,8 @@ impl Ring {
 fn thread_shard_id() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
+        // Relaxed: ids only need uniqueness, not ordering with any
+        // other memory.
         static ID: usize = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     ID.with(|&id| id)
@@ -413,11 +430,14 @@ impl Tracer {
     /// the 1-in-N sampling decision. On a disabled tracer the context
     /// is always unsampled.
     pub fn begin(&self) -> TraceCtx {
+        // Relaxed (both counters): trace ids only need uniqueness and
+        // the sampling tick only needs fair distribution; neither
+        // publishes any other memory.
         let id = TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed) + 1);
         let sampled = self.cfg.enabled
             && self
                 .tick
-                .fetch_add(1, Ordering::Relaxed)
+                .fetch_add(1, Ordering::Relaxed) // Relaxed: as above
                 .is_multiple_of(self.cfg.sample_one_in);
         TraceCtx { id, sampled }
     }
@@ -439,6 +459,7 @@ impl Tracer {
         let meta = stage.index() as u64 | if slow { META_SLOW_BIT } else { 0 };
         let shard = &self.shards[thread_shard_id() % self.shards.len()];
         shard.push(ctx.id.0, meta, start_ns, end_ns);
+        // Relaxed: statistics counter; readers tolerate lag.
         self.recorded.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -591,10 +612,13 @@ mod tests {
         let tracer = std::sync::Arc::new(Tracer::new(c));
         let t0 = tracer.epoch();
         let mut handles = Vec::new();
+        // Miri interprets every access; 2k iterations/writer takes
+        // minutes there while 50 still exercise the seqlock races.
+        let iters: u64 = if cfg!(miri) { 50 } else { 2_000 };
         for w in 0..4u64 {
             let tracer = std::sync::Arc::clone(&tracer);
             handles.push(std::thread::spawn(move || {
-                for i in 0..2_000u64 {
+                for i in 0..iters {
                     let ctx = tracer.begin();
                     // Writer w stamps spans with duration w+1 µs: a torn
                     // read would mix durations across writers.

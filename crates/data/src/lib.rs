@@ -39,6 +39,9 @@
 //! assert_eq!(ds.train().len(), 26 * 100);
 //! ```
 
+// No unsafe: every unsafe site in the workspace lives in privehd-core
+// under the analyze unsafe-audit ledger (see docs/ANALYSIS.md).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

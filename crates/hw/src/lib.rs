@@ -27,6 +27,9 @@
 //! (Kintex-7 FPGA, Raspberry Pi 3, GTX 1080 Ti) to regenerate Table I's
 //! shape. See DESIGN.md §4 for the substitution rationale.
 
+// No unsafe: every unsafe site in the workspace lives in privehd-core
+// under the analyze unsafe-audit ledger (see docs/ANALYSIS.md).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

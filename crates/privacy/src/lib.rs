@@ -30,6 +30,9 @@
 //! assert!((sigma - 4.75).abs() < 0.05);
 //! ```
 
+// No unsafe: every unsafe site in the workspace lives in privehd-core
+// under the analyze unsafe-audit ledger (see docs/ANALYSIS.md).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

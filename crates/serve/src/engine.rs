@@ -335,6 +335,9 @@ fn submit_via(
     query: QueryVec,
     trace: TraceCtx,
 ) -> Result<PendingPrediction, ServeError> {
+    // Acquire: pairs with the Release store in `join_threads` so a
+    // submitter that observes `closed` also observes the Stop already
+    // queued, rather than racing a send into a draining channel.
     if closed.load(Ordering::Acquire) {
         return Err(ServeError::Closed);
     }
@@ -465,7 +468,7 @@ impl ServeEngine {
         let batcher = std::thread::Builder::new()
             .name("privehd-batcher".into())
             .spawn(move || run_batcher(&submit_rx, &batch_tx, &batcher_cfg))
-            .expect("failed to spawn batcher thread");
+            .map_err(|e| ServeError::Transport(format!("failed to spawn batcher thread: {e}")))?;
 
         let workers = (0..config.workers)
             .map(|i| {
@@ -477,9 +480,11 @@ impl ServeEngine {
                 std::thread::Builder::new()
                     .name(format!("privehd-worker-{i}"))
                     .spawn(move || run_worker(&rx, &backend, &metrics, &tracer, packed))
-                    .expect("failed to spawn worker thread")
+                    .map_err(|e| {
+                        ServeError::Transport(format!("failed to spawn worker thread: {e}"))
+                    })
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
 
         Ok(Self {
             tx: Some(tx),
@@ -600,10 +605,10 @@ impl ServeEngine {
     /// A cloneable submission handle for client threads.
     pub fn handle(&self) -> SubmitHandle {
         SubmitHandle {
-            tx: self
-                .tx
-                .clone()
-                .expect("engine not shut down while handles are being created"),
+            // analyze::allow(no-panic-path): `tx` is only taken in
+            // `join_threads`, which consumes or exclusively borrows the
+            // engine — no handle can be created afterwards.
+            tx: self.tx.clone().expect("engine not shut down"),
             metrics: Arc::clone(&self.metrics),
             tracer: Arc::clone(&self.tracer),
             closed: Arc::clone(&self.closed),
@@ -659,6 +664,9 @@ impl ServeEngine {
     }
 
     fn join_threads(&mut self) {
+        // Release: pairs with the Acquire load in `submit_via`;
+        // everything sequenced before shutdown is visible to any
+        // submitter that sees the flag.
         self.closed.store(true, Ordering::Release);
         if let Some(tx) = self.tx.take() {
             // Explicit stop signal: the batcher exits on it even while
@@ -669,9 +677,14 @@ impl ServeEngine {
             let _ = tx.send(Msg::Stop);
         }
         if let Some(b) = self.batcher.take() {
+            // analyze::allow(no-panic-path): re-raising a batcher panic
+            // at shutdown is deliberate — it fires only on an internal
+            // bug and must not vanish into a clean-looking report.
             b.join().expect("batcher thread panicked");
         }
         for w in self.workers.drain(..) {
+            // analyze::allow(no-panic-path): same policy as the batcher
+            // join above — propagate internal bugs, never hide them.
             w.join().expect("worker thread panicked");
         }
     }
@@ -775,6 +788,9 @@ fn run_worker(
         // Hold the lock only while waiting for the next batch; release
         // it before executing so other workers receive concurrently.
         let batch = {
+            // analyze::allow(no-panic-path): the lock is poisoned only
+            // if a sibling worker panicked mid-recv; spreading the
+            // panic tears the pool down instead of serving half-alive.
             let rx = batch_rx.lock().expect("batch receiver lock poisoned");
             match rx.recv() {
                 Ok(b) => b,
@@ -876,6 +892,8 @@ fn execute_batch(
 
     let pool = privehd_core::pool::global();
     if size >= POOL_FANOUT_MIN && pool.threads() > 0 {
+        // analyze::allow(no-panic-path): the pool invokes the closure
+        // with `i < size == requests.len()` by contract.
         pool.run(size, |i| serve_one(&requests[i]));
     } else {
         for request in &requests {

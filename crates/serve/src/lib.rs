@@ -76,6 +76,9 @@
 //! # }
 //! ```
 
+// No unsafe: every unsafe site in the workspace lives in privehd-core
+// under the analyze unsafe-audit ledger (see docs/ANALYSIS.md).
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -107,6 +107,8 @@ impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&self, latency: Duration) {
         let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // Relaxed throughout this histogram: independent statistics
+        // counters; readers tolerate momentarily inconsistent cells.
         self.buckets[Self::bucket_for(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // Saturating accumulation: a wrapped sum would silently corrupt
@@ -116,6 +118,8 @@ impl LatencyHistogram {
         // degrades to an explicit lower bound instead of garbage.
         let prev = self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         if prev.checked_add(ns).is_none() {
+            // Relaxed: the saturation pin and flag are advisory
+            // statistics; no ordering with other memory is needed.
             self.sum_ns.store(u64::MAX, Ordering::Relaxed);
             self.sum_saturated.store(true, Ordering::Relaxed);
         }
@@ -123,12 +127,14 @@ impl LatencyHistogram {
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // Relaxed: statistics read; tolerates in-flight updates.
         self.count.load(Ordering::Relaxed)
     }
 
     /// True once the nanosecond sum saturated; from then on
     /// [`LatencyHistogram::mean`] is a lower bound, not an exact mean.
     pub fn sum_saturated(&self) -> bool {
+        // Relaxed: statistics read; tolerates in-flight updates.
         self.sum_saturated.load(Ordering::Relaxed)
     }
 
@@ -139,6 +145,7 @@ impl LatencyHistogram {
         if n == 0 {
             return Duration::ZERO;
         }
+        // Relaxed: statistics read; tolerates in-flight updates.
         Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
     }
 
@@ -157,6 +164,8 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, bucket) in self.buckets.iter().enumerate() {
+            // Relaxed: statistics read; a racing record() shifts the
+            // quantile by at most one observation.
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
                 // Upper edge of bucket `idx`; the overflow bucket keeps
@@ -222,6 +231,7 @@ impl Default for BatchSizeHistogram {
 
 impl BatchSizeHistogram {
     fn record(&self, size: usize) {
+        // Relaxed: independent statistics counter.
         self.buckets[size.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -233,6 +243,7 @@ impl BatchSizeHistogram {
             .iter()
             .enumerate()
             .filter_map(|(size, c)| {
+                // Relaxed: statistics read; tolerates racing records.
                 let n = c.load(Ordering::Relaxed);
                 let bucket = if size == BATCH_BUCKETS - 1 {
                     BatchSizeBucket::AtLeast(size)
@@ -414,17 +425,22 @@ impl ServeMetrics {
     }
 
     pub(crate) fn on_submit(&self, model: &ModelId) {
+        // Relaxed throughout these hooks: independent statistics
+        // counters; report() reads them without cross-counter ordering
+        // guarantees (see the comment there on read order).
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.model_counters(model)
             .submitted
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed); // Relaxed: as above.
     }
 
     pub(crate) fn on_reject(&self) {
+        // Relaxed: independent statistics counter.
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_batch(&self, size: usize) {
+        // Relaxed: independent statistics counters.
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_queries
             .fetch_add(size as u64, Ordering::Relaxed);
@@ -434,10 +450,12 @@ impl ServeMetrics {
     /// Records one finished request against a pre-fetched per-model row
     /// (see [`ServeMetrics::model_counters`]).
     pub(crate) fn on_done(&self, counters: &ModelCounters, ok: bool, latency: Duration) {
+        // Relaxed: independent statistics counters.
         if ok {
             self.completed.fetch_add(1, Ordering::Relaxed);
             counters.completed.fetch_add(1, Ordering::Relaxed);
         } else {
+            // Relaxed: as above.
             self.failed.fetch_add(1, Ordering::Relaxed);
             counters.failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -450,10 +468,11 @@ impl ServeMetrics {
     /// `ClassMatrix` bytes, packed `PackedClassMatrix` bytes — 0 when
     /// the model has no packed representation).
     pub(crate) fn set_model_memory(&self, counters: &ModelCounters, dense: u64, packed: u64) {
+        // Relaxed: last-writer-wins gauges; no other memory published.
         counters.memory_dense_bytes.store(dense, Ordering::Relaxed);
         counters
             .memory_packed_bytes
-            .store(packed, Ordering::Relaxed);
+            .store(packed, Ordering::Relaxed); // Relaxed: as above.
     }
 
     /// Records one stage duration globally (wire-side stages, which
@@ -504,6 +523,9 @@ impl ServeMetrics {
         // reads would let a request that finished in between inflate a
         // stage past the already-loaded end-to-end value.
         let stages = self.stages.report();
+        // Relaxed loads throughout the report: each counter is
+        // independent; the coherence that matters is the *program
+        // order* of these reads, explained above.
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_queries.load(Ordering::Relaxed);
@@ -511,6 +533,7 @@ impl ServeMetrics {
             let stages = c.stages.report();
             ModelReport {
                 model,
+                // Relaxed: independent statistics reads.
                 submitted: c.submitted.load(Ordering::Relaxed),
                 completed: c.completed.load(Ordering::Relaxed),
                 failed: c.failed.load(Ordering::Relaxed),
@@ -518,6 +541,7 @@ impl ServeMetrics {
                 p95_latency: c.latency.quantile(0.95),
                 p99_latency: c.latency.quantile(0.99),
                 latency_sum_saturated: c.latency.sum_saturated(),
+                // Relaxed: gauge reads; independent of the counters.
                 memory_dense_bytes: c.memory_dense_bytes.load(Ordering::Relaxed),
                 memory_packed_bytes: c.memory_packed_bytes.load(Ordering::Relaxed),
                 stages,
@@ -538,9 +562,11 @@ impl ServeMetrics {
         }
         per_model.sort_by(|a, b| a.model.cmp(&b.model));
         ServeReport {
+            // Relaxed: independent statistics reads (see above).
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             completed,
+            // Relaxed: as above.
             failed: self.failed.load(Ordering::Relaxed),
             batches,
             mean_batch_size: if batches == 0 {

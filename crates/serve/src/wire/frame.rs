@@ -39,6 +39,9 @@ use privehd_core::BipolarHv;
 use crate::registry::ModelId;
 use crate::wire::crc::crc32;
 
+// analyze: wire-freeze — the constants through the frame-kind table
+// below define the on-wire layout; any edit must bump WIRE_VERSION and
+// regenerate analysis/wire_frozen.toml (see docs/ANALYSIS.md).
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"PVHD";
 /// Protocol version this build speaks.
@@ -58,6 +61,7 @@ const KIND_REQ_STATS: u8 = 0x03;
 const KIND_RESP_OK: u8 = 0x81;
 const KIND_RESP_ERR: u8 = 0x82;
 const KIND_RESP_STATS: u8 = 0x83;
+// analyze: end-wire-freeze
 
 /// Typed decode/encode failures. Any decode error is grounds for
 /// closing the connection: after malformed bytes the stream cannot be
@@ -331,6 +335,8 @@ impl<'a> Reader<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or(FrameError::BadBody("field runs past body end"))?;
+        // analyze::allow(no-panic-path): `end <= buf.len()` was just
+        // checked (checked_add + filter) and `pos <= end` by induction.
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)
@@ -341,14 +347,20 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, FrameError> {
+        // analyze::allow(no-panic-path): take(2) returns exactly 2
+        // bytes or errors, so the array conversion is infallible.
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
     }
 
     fn u32(&mut self) -> Result<u32, FrameError> {
+        // analyze::allow(no-panic-path): take(4) returns exactly 4
+        // bytes or errors, so the array conversion is infallible.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
     }
 
     fn u64(&mut self) -> Result<u64, FrameError> {
+        // analyze::allow(no-panic-path): take(8) returns exactly 8
+        // bytes or errors, so the array conversion is infallible.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
@@ -433,6 +445,8 @@ fn begin_frame(out: &mut Vec<u8>, kind: u8, request_id: u64) -> (usize, usize) {
 fn finish_frame(out: &mut Vec<u8>, start: usize, len_at: usize) -> Result<(), FrameError> {
     let body_len = u32::try_from(out.len() - (len_at + 4))
         .map_err(|_| FrameError::BadBody("body over u32 bytes"))?;
+    // analyze::allow(no-panic-path): begin_frame wrote 4 length bytes
+    // at `len_at` and `start <= len_at`; both ranges are in bounds.
     out[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
     let crc = crc32(&out[start..]);
     put_u32(out, crc);
@@ -521,6 +535,8 @@ impl Frame {
                 let detail = fault.detail.as_bytes();
                 let take = floor_char_boundary(&fault.detail, detail.len().min(1024));
                 put_u16(out, take as u16);
+                // analyze::allow(no-panic-path): `take <= detail.len()`
+                // by the min() above.
                 out.extend_from_slice(&detail[..take]);
             }
         }
@@ -553,18 +569,25 @@ impl Frame {
     pub fn decode(buf: &[u8], max_body: usize) -> Result<Option<(Frame, usize)>, FrameError> {
         if buf.len() < HEADER_LEN {
             // Reject garbage as early as its first bytes disagree.
+            // analyze::allow(no-panic-path): range end is min-clamped
+            // to buf.len().
             if !MAGIC.starts_with(&buf[..buf.len().min(4)]) {
                 return Err(FrameError::BadMagic);
             }
             return Ok(None);
         }
+        // analyze::allow(no-panic-path): `buf.len() >= HEADER_LEN (18)`
+        // past the early return, covering every fixed header range
+        // below (..4, [4], [5], 6..14, 14..18).
         if buf[..4] != MAGIC {
             return Err(FrameError::BadMagic);
         }
+        // analyze::allow(no-panic-path): see the HEADER_LEN bound above.
         let version = buf[4];
         if version != WIRE_VERSION {
             return Err(FrameError::UnsupportedVersion(version));
         }
+        // analyze::allow(no-panic-path): see the HEADER_LEN bound above.
         let kind = buf[5];
         if !matches!(
             kind,
@@ -577,6 +600,9 @@ impl Frame {
         ) {
             return Err(FrameError::UnknownKind(kind));
         }
+        // analyze::allow(no-panic-path): fixed header ranges, in
+        // bounds per the HEADER_LEN check; 8- and 4-byte slices make
+        // the array conversions infallible.
         let request_id = u64::from_le_bytes(buf[6..14].try_into().expect("len 8"));
         let body_len = u32::from_le_bytes(buf[14..18].try_into().expect("len 4")) as usize;
         if body_len > max_body {
@@ -590,11 +616,16 @@ impl Frame {
             return Ok(None);
         }
         let crc_at = HEADER_LEN + body_len;
+        // analyze::allow(no-panic-path): `buf.len() >= total` past the
+        // incomplete-frame return and `crc_at = total - TRAILER_LEN`,
+        // so all three ranges are in bounds and the trailer slice is
+        // exactly 4 bytes.
         let computed = crc32(&buf[..crc_at]);
         let received = u32::from_le_bytes(buf[crc_at..total].try_into().expect("len 4"));
         if computed != received {
             return Err(FrameError::BadCrc { computed, received });
         }
+        // analyze::allow(no-panic-path): same bound as above.
         let mut r = Reader::new(&buf[HEADER_LEN..crc_at]);
         let frame = match kind {
             KIND_REQ_PACKED => {
@@ -695,7 +726,11 @@ impl Frame {
 /// the header layout is frozen across versions, so this also works for
 /// versions this build does not speak.
 pub fn salvage_request_id(buf: &[u8]) -> Option<u64> {
+    // analyze::allow(no-panic-path): `..4` is in bounds once the
+    // length guard holds; `&&` short-circuits before the index.
     if buf.len() >= 14 && buf[..4] == MAGIC {
+        // analyze::allow(no-panic-path): guarded by `buf.len() >= 14`;
+        // the 8-byte slice makes the conversion infallible.
         Some(u64::from_le_bytes(buf[6..14].try_into().expect("len 8")))
     } else {
         None

@@ -29,50 +29,63 @@ impl WireMetrics {
     }
 
     pub(crate) fn on_accept(&self) {
+        // Relaxed: independent advisory counter.
         self.accepted.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_refuse(&self) {
+        // Relaxed: independent advisory counter.
         self.refused.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn set_open(&self, open: usize) {
+        // Relaxed: last-writer-wins gauge.
         self.open.store(open as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn on_frame_in(&self) {
+        // Relaxed: independent advisory counter.
         self.frames_in.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_response_out(&self) {
+        // Relaxed: independent advisory counter.
         self.responses_out.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_decode_error(&self) {
+        // Relaxed: independent advisory counter.
         self.decode_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_busy(&self) {
+        // Relaxed: independent advisory counter.
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_idle_close(&self) {
+        // Relaxed: independent advisory counter.
         self.idle_closed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_stats_served(&self) {
+        // Relaxed: independent advisory counter.
         self.stats_served.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot of every counter.
     pub fn report(&self) -> WireReport {
         WireReport {
+            // Relaxed: independent statistics reads; a racing update
+            // skews one cell by at most one.
             accepted: self.accepted.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             open: self.open.load(Ordering::Relaxed),
+            // Relaxed: as above.
             frames_in: self.frames_in.load(Ordering::Relaxed),
             responses_out: self.responses_out.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            // Relaxed: as above.
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
             stats_served: self.stats_served.load(Ordering::Relaxed),

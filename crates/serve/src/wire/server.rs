@@ -267,8 +267,14 @@ impl WireServer {
     }
 
     fn join(&mut self) {
+        // Release: pairs with the poll loop's Acquire load of `stop`;
+        // config/metrics writes before shutdown are visible to it.
         self.stop.store(true, Ordering::Release);
         if let Some(t) = self.thread.take() {
+            // analyze::allow(no-panic-path): re-raising a poll-thread
+            // panic at shutdown is deliberate — it fires only on an
+            // internal bug, never on peer input, and must not be
+            // swallowed into a clean-looking report.
             t.join().expect("wire poll thread panicked");
         }
     }
@@ -308,6 +314,8 @@ const READ_CHUNK: usize = 16 * 1024;
 /// in-flight bytes after its fault frame is flushed.
 const CLOSE_LINGER: Duration = Duration::from_secs(1);
 
+// analyze: nonblocking-region — every Conn method runs on the single
+// poll thread; one blocking call here stalls every connected peer.
 impl Conn {
     fn new(stream: TcpStream) -> Self {
         Self {
@@ -390,9 +398,12 @@ impl Conn {
         let mut chunk = [0u8; READ_CHUNK];
         while self.read_buf.len() < cap && !self.eof && !self.dead {
             let want = READ_CHUNK.min(cap - self.read_buf.len());
+            // analyze::allow(no-panic-path): `want` is clamped to
+            // READ_CHUNK above and `n <= want` per the read contract.
             match self.stream.read(&mut chunk[..want]) {
                 Ok(0) => self.eof = true,
                 Ok(n) => {
+                    // analyze::allow(no-panic-path): `n <= want <= READ_CHUNK`.
                     self.read_buf.extend_from_slice(&chunk[..n]);
                     self.last_activity = Instant::now();
                     progress = true;
@@ -418,6 +429,9 @@ impl Conn {
         let mut progress = false;
         loop {
             let decode_start = Instant::now();
+            // analyze::allow(no-panic-path): `consumed` only grows by
+            // the decoded length of complete frames, so it never
+            // exceeds `read_buf.len()`.
             match Frame::decode(&self.read_buf[consumed..], config.max_body_bytes) {
                 Ok(None) => break,
                 Ok(Some((frame, used))) => {
@@ -489,6 +503,8 @@ impl Conn {
                 }
                 Err(err) => {
                     metrics.on_decode_error();
+                    // analyze::allow(no-panic-path): same bound as the
+                    // decode call above; salvage_request_id is total.
                     let id = salvage_request_id(&self.read_buf[consumed..]).unwrap_or(0);
                     let status = match err {
                         FrameError::Oversized { .. } => WireStatus::TooLarge,
@@ -629,6 +645,8 @@ impl Conn {
         let mut progress = false;
         let mut i = 0;
         while i < self.in_flight.len() {
+            // analyze::allow(no-panic-path): `i < in_flight.len()` is
+            // the loop guard; swap_remove below keeps it in range.
             let Some(outcome) = self.in_flight[i].2.try_wait() else {
                 i += 1;
                 continue;
@@ -670,9 +688,13 @@ impl Conn {
     }
 
     fn queue_frame(&mut self, frame: Frame) {
-        frame
-            .encode_into(&mut self.write_buf)
-            .expect("server-built frames have bounded fields");
+        // Server-built frames have bounded fields, so encoding cannot
+        // fail unless the builder itself is buggy; poison just this
+        // connection instead of panicking the poll thread.
+        if frame.encode_into(&mut self.write_buf).is_err() {
+            self.dead = true;
+            return;
+        }
         self.last_activity = Instant::now();
     }
 
@@ -682,6 +704,8 @@ impl Conn {
     fn flush(&mut self, config: &WireConfig) -> bool {
         let mut progress = false;
         while self.pending_write() > 0 && !self.dead {
+            // analyze::allow(no-panic-path): `written` only advances by
+            // bytes the socket accepted, never past `write_buf.len()`.
             match self.stream.write(&self.write_buf[self.written..]) {
                 Ok(0) => self.dead = true,
                 Ok(n) => {
@@ -754,8 +778,12 @@ fn wire_prediction(served: ServedPrediction) -> WirePrediction {
     }
 }
 
+// analyze: end-nonblocking-region
+
 /// The poll loop: accept, pump every connection, reap the dead, drain
 /// on stop.
+// analyze: nonblocking-region — the loop body multiplexes all peers;
+// only the explicitly allowed idle backoff below may block.
 fn run_loop(
     listener: &TcpListener,
     handle: &SubmitHandle,
@@ -766,6 +794,7 @@ fn run_loop(
     let mut conns: Vec<Conn> = Vec::new();
     let mut drain_deadline: Option<Instant> = None;
     loop {
+        // Acquire: pairs with the Release store in `join`.
         let draining = stop.load(Ordering::Acquire);
         if draining && drain_deadline.is_none() {
             drain_deadline = Some(Instant::now() + config.drain_timeout);
@@ -791,11 +820,15 @@ fn run_loop(
             }
         }
         if !progress {
+            // analyze::allow(nonblocking-region): deliberate idle
+            // backoff, bounded by poll_interval and taken only when no
+            // connection made progress this pass.
             std::thread::sleep(config.poll_interval);
         }
     }
     metrics.set_open(0);
 }
+// analyze: end-nonblocking-region
 
 fn accept_new(
     listener: &TcpListener,

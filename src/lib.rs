@@ -51,6 +51,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use privehd_core as core;
 pub use privehd_data as data;
 pub use privehd_hw as hw;

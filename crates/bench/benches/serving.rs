@@ -16,7 +16,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use privehd_core::prelude::*;
 use privehd_core::Hypervector;
-use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine, ShardedRegistry};
+use privehd_serve::{ModelId, ServeConfig, ServeEngine, ShardedRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,7 +55,7 @@ fn bench_serving_batch_sizes(c: &mut Criterion) {
     group.throughput(Throughput::Elements(QUERIES_PER_ITER as u64));
     for max_batch in [1usize, 8, 64, 256] {
         let registry =
-            Arc::new(ModelRegistry::with_model(model.clone(), "bench").expect("publishable"));
+            Arc::new(ShardedRegistry::with_model(model.clone(), "bench").expect("publishable"));
         let config = ServeConfig {
             max_batch,
             max_delay: Duration::from_micros(200),
@@ -84,7 +84,7 @@ fn pump_tenants(engine: &ServeEngine, queries: &[Hypervector], tenants: &[ModelI
             p.wait().expect("prediction");
         }
         loop {
-            match engine.submit_to(id, q.clone()) {
+            match engine.submit(id, q.clone()) {
                 Ok(p) => {
                     pending.push_back(p);
                     break;
@@ -127,7 +127,7 @@ fn bench_multi_tenant_serving(c: &mut Criterion) {
             queue_depth: 4_096,
             ..ServeConfig::default()
         };
-        let engine = ServeEngine::start_sharded(registry, config).expect("engine");
+        let engine = ServeEngine::start(registry, config).expect("engine");
         group.bench_with_input(BenchmarkId::from_parameter(tenants), &tenants, |b, _| {
             b.iter(|| pump_tenants(&engine, &qs, &ids))
         });

@@ -40,8 +40,8 @@ use privehd_core::{
     BipolarHv, Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ObfuscateConfig,
     QuantScheme, ScalarEncoder,
 };
-use privehd_serve::wire::{WireClient, WireConfig, WireServer};
-use privehd_serve::{ClientEdge, ModelId, ModelRegistry, ServeConfig, ServeEngine};
+use privehd_serve::wire::{WireClient, WireClientError, WireConfig, WireServer};
+use privehd_serve::{ClientEdge, ModelId, ServeConfig, ServeEngine, ShardedRegistry};
 
 /// ISOLET-shaped operating point from the paper.
 const FEATURES: usize = 617;
@@ -156,6 +156,127 @@ fn sync_rtt_ns(
     rtt_ns
 }
 
+/// Closed-loop pipelined throughput: keep `window` frames in flight
+/// until `frames` responses arrive; returns frames per second.
+fn pipelined_fps(
+    client: &mut WireClient,
+    model_id: &ModelId,
+    queries: &[BipolarHv],
+    frames: usize,
+    window: usize,
+) -> f64 {
+    let start = Instant::now();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while sent < window.min(frames) {
+        client
+            .send_packed(model_id, &queries[sent % queries.len()])
+            .expect("pipelined send");
+        sent += 1;
+    }
+    while received < frames {
+        let resp = client.recv().expect("pipelined recv");
+        assert!(resp.outcome.is_ok(), "pipelined frame failed");
+        received += 1;
+        if sent < frames {
+            client
+                .send_packed(model_id, &queries[sent % queries.len()])
+                .expect("pipelined send");
+            sent += 1;
+        }
+    }
+    frames as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One open-loop load point: offer `rate_qps` for `duration` without
+/// waiting for responses (unbounded concurrency, like independent
+/// clients), correlating responses by request id as they arrive, then
+/// drain. Unlike the closed-loop pipelined measurement above, latency
+/// here includes all queueing — this is the latency-under-load curve.
+fn open_loop_point(
+    addr: std::net::SocketAddr,
+    model_id: &ModelId,
+    queries: &[BipolarHv],
+    rate_qps: f64,
+    duration: Duration,
+) -> serde_json::Value {
+    let mut client = WireClient::connect(addr).expect("load-gen connect");
+    client
+        .set_read_timeout(Some(Duration::from_micros(200)))
+        .expect("read timeout");
+    let interval = Duration::from_secs_f64(1.0 / rate_qps);
+    let mut sent_at: std::collections::HashMap<u64, Instant> = std::collections::HashMap::new();
+    let record = |sent_at: &mut std::collections::HashMap<u64, Instant>,
+                  lat_ns: &mut Vec<f64>,
+                  busy: &mut usize,
+                  resp: privehd_serve::wire::ResponseFrame| {
+        if let Some(t0) = sent_at.remove(&resp.request_id) {
+            match resp.outcome {
+                Ok(_) => lat_ns.push(t0.elapsed().as_nanos() as f64),
+                Err(_) => *busy += 1,
+            }
+        }
+    };
+    let mut lat_ns: Vec<f64> = Vec::new();
+    let mut busy = 0usize;
+    let mut sent = 0usize;
+    let start = Instant::now();
+    let mut next_send = start;
+    while start.elapsed() < duration {
+        let now = Instant::now();
+        if now >= next_send {
+            let id = client
+                .send_packed(model_id, &queries[sent % queries.len()])
+                .expect("load-gen send");
+            sent_at.insert(id, Instant::now());
+            sent += 1;
+            next_send += interval;
+            continue;
+        }
+        // Only park in a timed recv when the next send is far enough
+        // away that the read timeout cannot skew the offered rate.
+        if next_send - now < Duration::from_micros(300) {
+            std::hint::spin_loop();
+            continue;
+        }
+        match client.recv() {
+            Ok(resp) => record(&mut sent_at, &mut lat_ns, &mut busy, resp),
+            Err(WireClientError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("load-gen recv failed: {e}"),
+        }
+    }
+    // Drain what is still in flight.
+    client
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("read timeout");
+    while !sent_at.is_empty() {
+        match client.recv() {
+            Ok(resp) => record(&mut sent_at, &mut lat_ns, &mut busy, resp),
+            Err(_) => break,
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lat_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let q = |p: f64| {
+        if lat_ns.is_empty() {
+            0.0
+        } else {
+            lat_ns[(p * (lat_ns.len() - 1) as f64).round() as usize]
+        }
+    };
+    serde_json::json!({
+        "offered_qps": rate_qps,
+        "sent": sent,
+        "ok": lat_ns.len(),
+        "busy": busy,
+        "p50_us": q(0.50) / 1e3,
+        "p99_us": q(0.99) / 1e3,
+        "goodput_qps": lat_ns.len() as f64 / elapsed,
+    })
+}
+
 fn push_stage_field(
     stages: &mut Vec<(String, Vec<(String, serde_json::Value)>)>,
     stage: &str,
@@ -243,9 +364,25 @@ fn run_serve_suite(quick: bool, out_path: &str) {
     };
     let raw_calls = if quick { 32usize } else { 128 };
     let profile = if quick { "quick" } else { "full" };
+    // Offered-rate sweep for the latency-under-load curve (open loop).
+    let (sweep_rates, sweep_duration) = if quick {
+        (vec![1_000.0f64, 4_000.0], Duration::from_millis(300))
+    } else {
+        (
+            vec![1_000.0f64, 5_000.0, 20_000.0, 60_000.0],
+            Duration::from_secs(1),
+        )
+    };
+    // Reactor count for the multi-reactor server: at least 2 so the
+    // sharded-accept path is exercised even on a 1-core container.
+    let reactors_multi = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1)
+        .max(2);
     eprintln!(
         "perfsuite [serve/{profile}]: D_hv={SERVE_DIM} classes={SERVE_CLASSES} \
-         rtt_samples={rtt_samples} pipelined={pipelined_frames} window={window} (loopback TCP)"
+         rtt_samples={rtt_samples} pipelined={pipelined_frames} window={window} \
+         reactors={reactors_multi} (loopback TCP)"
     );
 
     let model_id = ModelId::default();
@@ -264,8 +401,11 @@ fn run_serve_suite(quick: bool, out_path: &str) {
     //     record; this isolates the cost of span capture. ------------
     let baseline_engine = ServeEngine::start(
         Arc::new(
-            ModelRegistry::with_model(serve_model(SERVE_CLASSES, SERVE_DIM), "perfsuite-baseline")
-                .expect("publish"),
+            ShardedRegistry::with_model(
+                serve_model(SERVE_CLASSES, SERVE_DIM),
+                "perfsuite-baseline",
+            )
+            .expect("publish"),
         ),
         ServeConfig {
             telemetry: TelemetryConfig::disabled(),
@@ -292,7 +432,7 @@ fn run_serve_suite(quick: bool, out_path: &str) {
 
     // --- Instrumented pass: default telemetry (sampling on). --------
     let registry = Arc::new(
-        ModelRegistry::with_model(serve_model(SERVE_CLASSES, SERVE_DIM), "perfsuite")
+        ShardedRegistry::with_model(serve_model(SERVE_CLASSES, SERVE_DIM), "perfsuite")
             .expect("publish"),
     );
     let engine = ServeEngine::start(registry, serve_config).expect("engine start");
@@ -306,6 +446,7 @@ fn run_serve_suite(quick: bool, out_path: &str) {
         engine.handle(),
         WireConfig {
             max_in_flight: window.max(64),
+            reactors: reactors_multi,
             ..WireConfig::default()
         }
         .with_edge(model_id.clone(), edge),
@@ -319,29 +460,47 @@ fn run_serve_suite(quick: bool, out_path: &str) {
     let mean = rtt_ns.iter().sum::<f64>() / rtt_ns.len() as f64;
     let overhead_pct = (p50 - baseline_p50) / baseline_p50 * 100.0;
 
-    // Pipelined throughput: keep `window` frames in flight.
-    let start = Instant::now();
-    let mut sent = 0usize;
-    let mut received = 0usize;
-    while sent < window.min(pipelined_frames) {
-        client
-            .send_packed(&model_id, &queries[sent % queries.len()])
-            .expect("pipelined send");
-        sent += 1;
+    // Pipelined throughput on the multi-reactor server, then on a
+    // single-reactor server fronting the *same* engine, to isolate the
+    // ingress layer from the batching/compute behind it.
+    let frames_per_sec = pipelined_fps(&mut client, &model_id, &queries, pipelined_frames, window);
+    let single_server = WireServer::start(
+        "127.0.0.1:0",
+        engine.handle(),
+        WireConfig {
+            max_in_flight: window.max(64),
+            reactors: 1,
+            ..WireConfig::default()
+        },
+    )
+    .expect("single-reactor wire server start");
+    let mut single_client =
+        WireClient::connect(single_server.local_addr()).expect("single-reactor connect");
+    let single_reactor_fps = pipelined_fps(
+        &mut single_client,
+        &model_id,
+        &queries,
+        pipelined_frames,
+        window,
+    );
+    drop(single_client);
+    single_server.shutdown();
+
+    // Latency-under-load: open-loop offered-rate sweep against the
+    // multi-reactor server. Each point uses a fresh connection, so
+    // successive points land on different reactors (fd % N pinning).
+    let mut load_points = Vec::new();
+    for rate in &sweep_rates {
+        let point = open_loop_point(
+            server.local_addr(),
+            &model_id,
+            &queries,
+            *rate,
+            sweep_duration,
+        );
+        eprintln!("  open-loop @ {rate:.0} q/s: {point}");
+        load_points.push(point);
     }
-    while received < pipelined_frames {
-        let resp = client.recv().expect("pipelined recv");
-        assert!(resp.outcome.is_ok(), "pipelined frame failed");
-        received += 1;
-        if sent < pipelined_frames {
-            client
-                .send_packed(&model_id, &queries[sent % queries.len()])
-                .expect("pipelined send");
-            sent += 1;
-        }
-    }
-    let elapsed = start.elapsed();
-    let frames_per_sec = pipelined_frames as f64 / elapsed.as_secs_f64();
 
     // Raw-features calls so the server-side Encode stage has samples
     // in the decomposition.
@@ -365,7 +524,11 @@ fn run_serve_suite(quick: bool, out_path: &str) {
         vec!["rtt_mean".to_owned(), format!("{:.1} µs", mean / 1e3)],
         vec![
             "pipelined".to_owned(),
-            format!("{frames_per_sec:.0} frames/s (window {window})"),
+            format!("{frames_per_sec:.0} frames/s (window {window}, {reactors_multi} reactors)"),
+        ],
+        vec![
+            "pipelined (1 reactor)".to_owned(),
+            format!("{single_reactor_fps:.0} frames/s (window {window})"),
         ],
         vec![
             "rtt_p50 (tracing off)".to_owned(),
@@ -376,6 +539,27 @@ fn run_serve_suite(quick: bool, out_path: &str) {
             format!("{overhead_pct:+.2}% e2e p50"),
         ],
     ];
+    for point in &load_points {
+        let field = |key: &str| {
+            if let serde_json::Value::Object(f) = point {
+                f.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+            } else {
+                None
+            }
+        };
+        let (
+            Some(serde_json::Value::Float(rate)),
+            Some(serde_json::Value::Float(p99)),
+            Some(serde_json::Value::Float(goodput)),
+        ) = (field("offered_qps"), field("p99_us"), field("goodput_qps"))
+        else {
+            continue;
+        };
+        rows.push(vec![
+            format!("open-loop @ {rate:.0} q/s"),
+            format!("p99 {p99:.1} µs, goodput {goodput:.0} q/s"),
+        ]);
+    }
     if let serde_json::Value::Object(stages) = &stage_decomposition {
         for (stage, fields) in stages {
             let field = |key: &str| {
@@ -415,6 +599,11 @@ fn run_serve_suite(quick: bool, out_path: &str) {
             "rtt_p99_us": p99 / 1e3,
             "rtt_mean_us": mean / 1e3,
             "frames_per_sec": frames_per_sec,
+            "pipelined_multi_reactor_fps": frames_per_sec,
+            "pipelined_single_reactor_fps": single_reactor_fps,
+            "reactors_multi": reactors_multi as i64,
+            "reactors_single": 1,
+            "latency_under_load": serde_json::Value::Array(load_points.clone()),
             "busy_rejections": wire_report.busy_rejections,
             "stats_served": wire_report.stats_served,
             "e2e_p50_us_tracing_disabled": baseline_p50 / 1e3,

@@ -180,6 +180,28 @@ impl ThreadPool {
         }
     }
 
+    /// Queues one fire-and-forget `job` for execution on a worker
+    /// thread, returning immediately. With zero workers the job runs
+    /// inline on the caller — same degradation contract as
+    /// [`ThreadPool::run`], so single-core deployments keep the old
+    /// synchronous behavior.
+    ///
+    /// Unlike [`ThreadPool::run`] there is no completion barrier: a job
+    /// that must signal completion does so itself (e.g. through a
+    /// channel or a waker). Jobs queued before the pool drops are
+    /// executed before the workers exit.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        if self.workers.is_empty() {
+            job();
+            return;
+        }
+        self.tx
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(Box::new(job))
+            .expect("pool workers alive until drop");
+    }
+
     /// Like [`ThreadPool::run`] but collects one `R` per task, in task
     /// order.
     ///
@@ -428,6 +450,39 @@ mod tests {
             });
         });
         assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn spawn_runs_fire_and_forget_jobs_on_workers() {
+        let pool = ThreadPool::new(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..16 {
+            let tx = tx.clone();
+            pool.spawn(move || {
+                tx.send(i).expect("receiver alive");
+            });
+        }
+        let mut got: Vec<usize> = (0..16)
+            .map(|_| {
+                rx.recv_timeout(std::time::Duration::from_secs(10))
+                    .expect("spawned job ran")
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_runs_inline_with_zero_workers() {
+        let pool = ThreadPool::new(0);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        pool.spawn(move || {
+            f2.store(7, Ordering::SeqCst);
+        });
+        // No barrier to wait on: with zero workers the job already ran
+        // inline before `spawn` returned.
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
     }
 
     #[test]

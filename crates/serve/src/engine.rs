@@ -1,49 +1,69 @@
-//! The serving engine: bounded submission queue, adaptive per-model
-//! micro-batcher, worker pool.
+//! The serving engine: per-tenant admission queues, a deficit-round-
+//! robin scheduler feeding an adaptive per-model micro-batcher, and a
+//! worker pool.
 //!
 //! ```text
-//!  clients ──try_send──▶ [bounded MPSC queue]
-//!            (ModelId,        │  batcher thread: per-model batches,
-//!             query)          │  flush on max_batch or max_delay per key
-//!                             ▼
-//!                        [batch channel]   (one ModelId per batch)
-//!                          │    │    │   worker pool (shared receiver)
-//!                          ▼    ▼    ▼
-//!                        predict over the batch's model snapshot
-//!                          │
-//!                          ▼  per-request oneshot channel
-//!                        ServedPrediction / ServeError
+//!  clients ──submit──▶ [per-ModelId queue] [per-ModelId queue] …
+//!            (ModelId,       │ quota-bounded     │
+//!             query)         ▼                   ▼
+//!                      deficit-round-robin scheduler thread
+//!                        │  per-model batches, flush on max_batch
+//!                        │  or max_delay per key
+//!                        ▼
+//!                   [batch channel]   (one ModelId per batch)
+//!                     │    │    │   worker pool (shared receiver)
+//!                     ▼    ▼    ▼
+//!                   predict over the batch's model snapshot
+//!                     │
+//!                     ▼  per-request reply slot
+//!                   ServedPrediction / ServeError
 //! ```
+//!
+//! ## Admission and fairness
+//!
+//! Every tenant ([`ModelId`]) owns its own bounded queue. A submission
+//! is refused with [`ServeError::TenantOverQuota`] once its tenant
+//! already has [`ServeConfig::tenant_quota`] requests waiting, and with
+//! [`ServeError::QueueFull`] once the engine-wide total reaches
+//! [`ServeConfig::queue_depth`] — so one tenant's flood sheds *that
+//! tenant's* load while everyone else keeps being admitted.
+//!
+//! The scheduler drains the queues with deficit round-robin: each
+//! tenant with waiting requests sits in an active ring, and each turn
+//! grants it [`ServeConfig::drr_quantum`] units of credit, serving at
+//! most that many requests before the next tenant's turn. A flooding
+//! tenant therefore gets at most a quantum ahead of a victim per round
+//! regardless of how deep its backlog is.
+//!
+//! ## Batching
 //!
 //! Batching is *adaptive*: requests already queued accumulate into
 //! batches with zero added latency (so a saturated queue forms full
 //! batches), and a partially filled batch waits at most
-//! [`ServeConfig::max_delay`], anchored at its first request. With many
-//! models behind one engine ([`ServeEngine::start_sharded`]),
-//! accumulation is keyed per [`ModelId`]: each model gets its own
-//! delay window and its own `max_batch` cutoff, and every dispatched
-//! batch holds requests for exactly one model, resolved against one
-//! registry snapshot at dispatch time. A hot swap
-//! ([`ModelRegistry::publish`] / [`ShardedRegistry::publish`]) never
-//! drops or corrupts in-flight requests — they complete on the version
-//! that was live when their batch started.
+//! [`ServeConfig::max_delay`], anchored at its first request.
+//! Accumulation is keyed per [`ModelId`]: each model gets its own delay
+//! window and its own `max_batch` cutoff, and every dispatched batch
+//! holds requests for exactly one model, resolved against one registry
+//! snapshot at dispatch time. A hot swap ([`ShardedRegistry::publish`])
+//! never drops or corrupts in-flight requests — they complete on the
+//! version that was live when their batch started.
 //!
 //! ## Shutdown contract
 //!
 //! [`ServeEngine::shutdown`] (and `Drop`) first marks the engine
 //! closed — subsequent [`SubmitHandle::submit`] calls return
-//! [`ServeError::Closed`] — then sends the batcher an explicit stop
-//! signal. The batcher drains whatever was accepted before the stop,
-//! flushes every open batch, and exits; workers finish the remaining
-//! batches and exit. Shutdown therefore completes even while clones of
-//! [`SubmitHandle`] are still alive on other threads (they used to keep
-//! the batcher blocked on its channel forever). A request that loses
-//! the race with shutdown is answered with [`ServeError::Closed`]
-//! through its [`PendingPrediction`].
+//! [`ServeError::Closed`] — then wakes the scheduler, which drains
+//! every queued request through the batcher and exits; workers finish
+//! the remaining batches and exit. Shutdown therefore completes even
+//! while clones of [`SubmitHandle`] are still alive on other threads.
+//! A request that loses the race with shutdown is answered with
+//! [`ServeError::Closed`] through its [`PendingPrediction`].
 
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -52,10 +72,13 @@ use privehd_core::{BipolarHv, Hypervector, Prediction};
 
 use crate::error::ServeError;
 use crate::metrics::{ServeMetrics, ServeReport};
-use crate::registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+use crate::registry::{ModelId, ServedModel, ShardedRegistry};
 use crate::router::BatchRouter;
 
 /// Tuning knobs of the serving engine.
+///
+/// Construct with struct-update syntax over [`ServeConfig::default`],
+/// or with [`ServeConfig::builder`] for build-time validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Largest batch dispatched to a worker; reaching it flushes that
@@ -67,10 +90,20 @@ pub struct ServeConfig {
     pub max_delay: Duration,
     /// Worker threads executing batches.
     pub workers: usize,
-    /// Capacity of the bounded submission queue; a full queue sheds
-    /// load with [`ServeError::QueueFull`] instead of buffering
-    /// unboundedly.
+    /// Engine-wide cap on waiting requests across every tenant; at the
+    /// cap the engine sheds load with [`ServeError::QueueFull`] instead
+    /// of buffering unboundedly.
     pub queue_depth: usize,
+    /// Per-tenant cap on waiting requests: one [`ModelId`]'s queue
+    /// refuses further submissions with [`ServeError::TenantOverQuota`]
+    /// at this depth, while other tenants keep being admitted. The wire
+    /// front-end reports it as `Busy`.
+    pub tenant_quota: usize,
+    /// Deficit-round-robin quantum: how many requests one tenant may
+    /// dequeue per scheduler turn before the next tenant's turn.
+    /// Smaller values interleave tenants more finely (fairer under
+    /// flood), larger values favor per-tenant batch density.
+    pub drr_quantum: usize,
     /// When set, queries whose components are all exactly `±1` (i.e.
     /// bipolar-obfuscated queries) are bit-packed and classified through
     /// [`privehd_core::HdModel::predict_packed`] — the popcount fast
@@ -95,6 +128,8 @@ impl Default for ServeConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             queue_depth: 1_024,
+            tenant_quota: 256,
+            drr_quantum: 32,
             packed_fastpath: false,
             telemetry: TelemetryConfig::default(),
         }
@@ -102,6 +137,12 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// A builder over the defaults; [`ServeConfigBuilder::build`]
+    /// validates the combination before any thread spawns.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::new()
+    }
+
     fn validate(&self) -> Result<(), ServeError> {
         if self.max_batch == 0 {
             return Err(ServeError::InvalidConfig("max_batch must be ≥ 1".into()));
@@ -112,19 +153,118 @@ impl ServeConfig {
         if self.queue_depth == 0 {
             return Err(ServeError::InvalidConfig("queue_depth must be ≥ 1".into()));
         }
+        if self.tenant_quota == 0 {
+            return Err(ServeError::InvalidConfig("tenant_quota must be ≥ 1".into()));
+        }
+        if self.drr_quantum == 0 {
+            return Err(ServeError::InvalidConfig("drr_quantum must be ≥ 1".into()));
+        }
         Ok(())
+    }
+}
+
+/// Builder for [`ServeConfig`] with build-time validation.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_serve::ServeConfig;
+///
+/// let config = ServeConfig::builder()
+///     .max_batch(32)
+///     .tenant_quota(64)
+///     .drr_quantum(8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.max_batch, 32);
+///
+/// // Invalid knobs fail at build(), before any thread spawns.
+/// assert!(ServeConfig::builder().drr_quantum(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Starts from [`ServeConfig::default`].
+    pub fn new() -> Self {
+        Self {
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Sets [`ServeConfig::max_batch`].
+    pub fn max_batch(mut self, v: usize) -> Self {
+        self.config.max_batch = v;
+        self
+    }
+
+    /// Sets [`ServeConfig::max_delay`].
+    pub fn max_delay(mut self, v: Duration) -> Self {
+        self.config.max_delay = v;
+        self
+    }
+
+    /// Sets [`ServeConfig::workers`].
+    pub fn workers(mut self, v: usize) -> Self {
+        self.config.workers = v;
+        self
+    }
+
+    /// Sets [`ServeConfig::queue_depth`].
+    pub fn queue_depth(mut self, v: usize) -> Self {
+        self.config.queue_depth = v;
+        self
+    }
+
+    /// Sets [`ServeConfig::tenant_quota`].
+    pub fn tenant_quota(mut self, v: usize) -> Self {
+        self.config.tenant_quota = v;
+        self
+    }
+
+    /// Sets [`ServeConfig::drr_quantum`].
+    pub fn drr_quantum(mut self, v: usize) -> Self {
+        self.config.drr_quantum = v;
+        self
+    }
+
+    /// Sets [`ServeConfig::packed_fastpath`].
+    pub fn packed_fastpath(mut self, v: bool) -> Self {
+        self.config.packed_fastpath = v;
+        self
+    }
+
+    /// Sets [`ServeConfig::telemetry`].
+    pub fn telemetry(mut self, v: TelemetryConfig) -> Self {
+        self.config.telemetry = v;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for zero-valued knobs.
+    pub fn build(self) -> Result<ServeConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
 /// A query in whichever representation the client submitted: dense
 /// `f64`-per-dimension, or bit-packed bipolar (1 bit/dim).
 ///
-/// The packed variant flows through the queue, the batcher and the
+/// The packed variant flows through the queue, the scheduler and the
 /// workers as-is and is scored by
 /// [`privehd_core::HdModel::predict_packed`] — never densified. That
 /// is the packed-native serving contract: a 10k-dim packed query costs
 /// ~1.25 KiB on the queue instead of ~78 KiB dense, and classification
 /// runs on `XOR`+`POPCNT` words instead of `f64` lanes.
+///
+/// Both [`Hypervector`] and [`BipolarHv`] convert with `From`/`Into`,
+/// so [`ServeEngine::submit`] accepts either directly.
 #[derive(Debug, Clone)]
 pub enum QueryVec {
     /// Dense real-valued query (one `f64` per dimension).
@@ -143,6 +283,18 @@ impl QueryVec {
     }
 }
 
+impl From<Hypervector> for QueryVec {
+    fn from(q: Hypervector) -> Self {
+        QueryVec::Dense(q)
+    }
+}
+
+impl From<BipolarHv> for QueryVec {
+    fn from(q: BipolarHv) -> Self {
+        QueryVec::Packed(q)
+    }
+}
+
 /// A completed prediction plus its serving context.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedPrediction {
@@ -158,26 +310,40 @@ pub struct ServedPrediction {
     pub latency: Duration,
 }
 
-/// One queued request: the target model, the query, and its response
-/// channel.
+/// Where a finished request's outcome is delivered: a oneshot channel
+/// behind a [`PendingPrediction`], or an in-process callback (the wire
+/// front-end's completion pipeline). Delivered exactly once per
+/// request by the worker that classified it.
+enum ReplySlot {
+    Oneshot(SyncSender<Result<ServedPrediction, ServeError>>),
+    Callback(Box<dyn Fn(Result<ServedPrediction, ServeError>) + Send + Sync>),
+}
+
+impl ReplySlot {
+    fn deliver(&self, outcome: Result<ServedPrediction, ServeError>) {
+        match self {
+            // A submitter that dropped its PendingPrediction is not an
+            // engine error; ignore the closed reply channel. Capacity 1
+            // and a single delivery mean try_send never reports Full.
+            ReplySlot::Oneshot(tx) => {
+                let _ = tx.try_send(outcome);
+            }
+            ReplySlot::Callback(f) => f(outcome),
+        }
+    }
+}
+
+/// One queued request: the target model, the query, and its reply slot.
 struct Request {
     model: ModelId,
     query: QueryVec,
     trace: TraceCtx,
     submitted_at: Instant,
-    /// Stamped by the batcher the moment it routes the request into its
-    /// model's open batch; `submitted_at..routed_at` is the queue-wait
-    /// stage, `routed_at..execution` the batch-window wait.
+    /// Stamped by the scheduler the moment it routes the request into
+    /// its model's open batch; `submitted_at..routed_at` is the
+    /// queue-wait stage, `routed_at..execution` the batch-window wait.
     routed_at: Option<Instant>,
-    reply: SyncSender<Result<ServedPrediction, ServeError>>,
-}
-
-/// What flows through the submission queue: requests, or the engine's
-/// shutdown signal (which lets the batcher exit even while cloned
-/// [`SubmitHandle`]s keep their channel ends alive).
-enum Msg {
-    Request(Request),
-    Stop,
+    reply: ReplySlot,
 }
 
 /// One dispatched batch: requests for exactly one model.
@@ -186,24 +352,152 @@ struct ModelBatch {
     requests: Vec<Request>,
 }
 
-/// Where workers resolve a batch's model snapshot.
-#[derive(Debug, Clone)]
-enum Backend {
-    /// The legacy single-model registry; only [`ModelId::default`]
-    /// resolves.
-    Single(Arc<ModelRegistry>),
-    /// The multi-tenant sharded registry; any published id resolves.
-    Sharded(Arc<ShardedRegistry>),
+/// One tenant's waiting requests plus its deficit-round-robin state.
+#[derive(Default)]
+struct TenantQueue {
+    items: VecDeque<Request>,
+    /// Unspent scheduling credit. With unit-cost requests this is
+    /// always zero between turns (a turn either spends the whole
+    /// quantum or empties the queue and the entry is removed); kept in
+    /// deficit form so weighted request costs stay a local change.
+    deficit: usize,
+    /// Whether this tenant currently sits in the active ring (guards
+    /// against double insertion when submissions race a turn).
+    in_active: bool,
 }
 
-impl Backend {
-    fn resolve(&self, model: &ModelId) -> Option<Arc<ServedModel>> {
-        match self {
-            Backend::Single(r) => (model.as_str() == ModelId::DEFAULT_NAME)
-                .then(|| r.current())
-                .flatten(),
-            Backend::Sharded(s) => s.get(model),
+/// The scheduler's shared state: every tenant's queue plus the active
+/// ring the deficit-round-robin walks.
+#[derive(Default)]
+struct SchedState {
+    queues: HashMap<ModelId, TenantQueue>,
+    /// Tenants with waiting requests, in turn order.
+    active: VecDeque<ModelId>,
+    /// Waiting requests across every tenant (the `queue_depth` gauge).
+    queued_total: usize,
+    stopped: bool,
+}
+
+/// The submission side's shared handle: per-tenant queues behind one
+/// mutex, a condvar waking the scheduler, and the admission limits.
+struct SharedQueue {
+    state: Mutex<SchedState>,
+    ready: Condvar,
+    queue_depth: usize,
+    tenant_quota: usize,
+}
+
+impl SharedQueue {
+    /// Locks the scheduler state, recovering from a poisoned mutex: the
+    /// queue data is a plain container that stays structurally valid
+    /// even if a panicking thread held the lock, and refusing service
+    /// forever would turn one request's panic into a full outage.
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl fmt::Debug for SharedQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedQueue")
+            .field("queue_depth", &self.queue_depth)
+            .field("tenant_quota", &self.tenant_quota)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Admission: checks closed/stopped, then the tenant's quota, then the
+/// global depth, and only then enqueues and wakes the scheduler.
+///
+/// Quota is checked before depth deliberately: a flooding tenant that
+/// fills the global queue still reads `TenantOverQuota` (back off —
+/// *you* are the problem) rather than `QueueFull` (everyone is).
+fn submit_slot(
+    shared: &SharedQueue,
+    metrics: &ServeMetrics,
+    closed: &AtomicBool,
+    model: &ModelId,
+    query: QueryVec,
+    trace: TraceCtx,
+    reply: ReplySlot,
+) -> Result<(), ServeError> {
+    // Acquire: pairs with the Release store in `join_threads` so a
+    // submitter that observes `closed` also observes the stop flag the
+    // scheduler is draining under.
+    if closed.load(Ordering::Acquire) {
+        return Err(ServeError::Closed);
+    }
+    let request = Request {
+        model: model.clone(),
+        query,
+        trace,
+        submitted_at: Instant::now(),
+        routed_at: None,
+        reply,
+    };
+    let mut st = shared.lock_state();
+    if st.stopped {
+        return Err(ServeError::Closed);
+    }
+    let tenant_len = st.queues.get(model).map_or(0, |q| q.items.len());
+    if tenant_len >= shared.tenant_quota {
+        drop(st);
+        metrics.on_reject();
+        return Err(ServeError::TenantOverQuota);
+    }
+    if st.queued_total >= shared.queue_depth {
+        drop(st);
+        metrics.on_reject();
+        return Err(ServeError::QueueFull);
+    }
+    let newly_active = {
+        let tq = st.queues.entry(model.clone()).or_default();
+        tq.items.push_back(request);
+        if tq.in_active {
+            false
+        } else {
+            tq.in_active = true;
+            true
         }
+    };
+    if newly_active {
+        st.active.push_back(model.clone());
+    }
+    st.queued_total += 1;
+    drop(st);
+    metrics.on_submit(model);
+    shared.ready.notify_one();
+    Ok(())
+}
+
+/// One deficit-round-robin turn: the tenant at the head of the active
+/// ring earns `quantum` credit, dequeues at most that many requests
+/// into `out`, and either rejoins the ring (backlog left) or leaves the
+/// map entirely (emptied — which also resets its deficit, the classic
+/// DRR rule that an idle flow keeps no credit).
+fn drr_round(st: &mut SchedState, quantum: usize, out: &mut Vec<Request>) {
+    let Some(id) = st.active.pop_front() else {
+        return;
+    };
+    let (take, now_empty) = {
+        let Some(tq) = st.queues.get_mut(&id) else {
+            return;
+        };
+        tq.deficit += quantum;
+        let take = tq.deficit.min(tq.items.len());
+        for _ in 0..take {
+            if let Some(r) = tq.items.pop_front() {
+                out.push(r);
+            }
+        }
+        tq.deficit -= take;
+        (take, tq.items.is_empty())
+    };
+    st.queued_total -= take;
+    if now_empty {
+        st.queues.remove(&id);
+    } else {
+        st.active.push_back(id);
     }
 }
 
@@ -230,8 +524,7 @@ impl PendingPrediction {
     /// Non-blocking poll: `None` while the prediction is still in
     /// flight, `Some(outcome)` once it resolved (or once the engine
     /// dropped the request's reply channel, which reads as
-    /// [`ServeError::Closed`]). The wire front-end's poll loop uses
-    /// this to multiplex many pending requests on one thread.
+    /// [`ServeError::Closed`]).
     pub fn try_wait(&self) -> Option<Result<ServedPrediction, ServeError>> {
         match self.rx.try_recv() {
             Ok(outcome) => Some(outcome),
@@ -248,59 +541,66 @@ impl PendingPrediction {
 /// block shutdown itself).
 #[derive(Debug, Clone)]
 pub struct SubmitHandle {
-    tx: SyncSender<Msg>,
+    shared: Arc<SharedQueue>,
     metrics: Arc<ServeMetrics>,
     tracer: Arc<Tracer>,
     closed: Arc<AtomicBool>,
 }
 
 impl SubmitHandle {
-    /// Submits a query to the default model; see [`ServeEngine::submit`].
+    /// Submits a query routed to `model`; see [`ServeEngine::submit`].
     ///
     /// # Errors
     ///
-    /// [`ServeError::QueueFull`] when the bounded queue is at capacity,
-    /// [`ServeError::Closed`] when the engine has shut down.
-    pub fn submit(&self, query: Hypervector) -> Result<PendingPrediction, ServeError> {
-        self.submit_to(&ModelId::default(), query)
+    /// [`ServeError::TenantOverQuota`] when this tenant's queue is at
+    /// its quota, [`ServeError::QueueFull`] when the engine-wide queue
+    /// is at capacity, [`ServeError::Closed`] when the engine has shut
+    /// down.
+    pub fn submit(
+        &self,
+        model: &ModelId,
+        query: impl Into<QueryVec>,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit_traced(model, query.into(), self.tracer.begin())
     }
 
-    /// Submits a query routed to `model`; see
-    /// [`ServeEngine::submit_to`].
+    /// Submits a query to the default model
+    /// ([`ModelId::default`]); see [`ServeEngine::submit_default`].
     ///
     /// # Errors
     ///
     /// Same contract as [`SubmitHandle::submit`].
+    pub fn submit_default(
+        &self,
+        query: impl Into<QueryVec>,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit(&ModelId::default(), query)
+    }
+
+    /// Deprecated alias of [`SubmitHandle::submit`].
+    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
     pub fn submit_to(
         &self,
         model: &ModelId,
         query: Hypervector,
     ) -> Result<PendingPrediction, ServeError> {
-        self.submit_traced(model, QueryVec::Dense(query), self.tracer.begin())
+        self.submit(model, query)
     }
 
-    /// Submits a bit-packed bipolar query to the default model; see
-    /// [`ServeEngine::submit_packed`].
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`SubmitHandle::submit`].
+    /// Deprecated alias of [`SubmitHandle::submit_default`].
+    #[deprecated(note = "use submit_default(query) — it accepts dense and packed queries alike")]
     pub fn submit_packed(&self, query: BipolarHv) -> Result<PendingPrediction, ServeError> {
-        self.submit_packed_to(&ModelId::default(), query)
+        self.submit_default(query)
     }
 
-    /// Submits a bit-packed bipolar query routed to `model`; see
-    /// [`ServeEngine::submit_packed_to`].
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`SubmitHandle::submit`].
+    /// Deprecated alias of [`SubmitHandle::submit`].
+    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
     pub fn submit_packed_to(
         &self,
         model: &ModelId,
         query: BipolarHv,
     ) -> Result<PendingPrediction, ServeError> {
-        self.submit_traced(model, QueryVec::Packed(query), self.tracer.begin())
+        self.submit(model, query)
     }
 
     /// Submits with a caller-provided trace context, so a front-end
@@ -312,7 +612,40 @@ impl SubmitHandle {
         query: QueryVec,
         trace: TraceCtx,
     ) -> Result<PendingPrediction, ServeError> {
-        submit_via(&self.tx, &self.metrics, &self.closed, model, query, trace)
+        let (reply, rx) = mpsc::sync_channel(1);
+        submit_slot(
+            &self.shared,
+            &self.metrics,
+            &self.closed,
+            model,
+            query,
+            trace,
+            ReplySlot::Oneshot(reply),
+        )?;
+        Ok(PendingPrediction { rx })
+    }
+
+    /// Submits with an in-process completion callback instead of a
+    /// [`PendingPrediction`]: the wire front-end's reactors use this to
+    /// route finished predictions straight back to their connection's
+    /// completion inbox without a polling hop. The callback runs on a
+    /// worker (or pool) thread and is invoked exactly once.
+    pub(crate) fn submit_with(
+        &self,
+        model: &ModelId,
+        query: QueryVec,
+        trace: TraceCtx,
+        on_done: Box<dyn Fn(Result<ServedPrediction, ServeError>) + Send + Sync>,
+    ) -> Result<(), ServeError> {
+        submit_slot(
+            &self.shared,
+            &self.metrics,
+            &self.closed,
+            model,
+            query,
+            trace,
+            ReplySlot::Callback(on_done),
+        )
     }
 
     /// The engine's live metrics (the wire front-end records its stages
@@ -327,62 +660,29 @@ impl SubmitHandle {
     }
 }
 
-fn submit_via(
-    tx: &SyncSender<Msg>,
-    metrics: &ServeMetrics,
-    closed: &AtomicBool,
-    model: &ModelId,
-    query: QueryVec,
-    trace: TraceCtx,
-) -> Result<PendingPrediction, ServeError> {
-    // Acquire: pairs with the Release store in `join_threads` so a
-    // submitter that observes `closed` also observes the Stop already
-    // queued, rather than racing a send into a draining channel.
-    if closed.load(Ordering::Acquire) {
-        return Err(ServeError::Closed);
-    }
-    let (reply, rx) = mpsc::sync_channel(1);
-    let request = Request {
-        model: model.clone(),
-        query,
-        trace,
-        submitted_at: Instant::now(),
-        routed_at: None,
-        reply,
-    };
-    match tx.try_send(Msg::Request(request)) {
-        Ok(()) => {
-            metrics.on_submit(model);
-            Ok(PendingPrediction { rx })
-        }
-        Err(TrySendError::Full(_)) => {
-            metrics.on_reject();
-            Err(ServeError::QueueFull)
-        }
-        Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
-    }
-}
-
 /// The running serving engine. See the [module docs](self) for the
-/// pipeline layout and the shutdown contract.
+/// pipeline layout, the fairness model and the shutdown contract.
 ///
 /// # Examples
 ///
-/// Single model (the legacy API — routes to [`ModelId::default`]):
+/// Single model — publish under the default id and use
+/// [`ServeEngine::submit_default`]:
 ///
 /// ```
 /// use std::sync::Arc;
 /// use privehd_core::{HdModel, Hypervector};
-/// use privehd_serve::{ModelRegistry, ServeConfig, ServeEngine};
+/// use privehd_serve::{ServeConfig, ServeEngine, ShardedRegistry};
 ///
 /// # fn main() -> Result<(), privehd_serve::ServeError> {
 /// let mut model = HdModel::new(2, 64)?;
 /// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
 /// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
-/// let registry = Arc::new(ModelRegistry::with_model(model, "demo")?);
+/// let registry = Arc::new(ShardedRegistry::with_model(model, "demo")?);
 ///
 /// let engine = ServeEngine::start(registry, ServeConfig::default())?;
-/// let served = engine.submit(Hypervector::from_vec(vec![1.0; 64]))?.wait()?;
+/// let served = engine
+///     .submit_default(Hypervector::from_vec(vec![1.0; 64]))?
+///     .wait()?;
 /// assert_eq!(served.prediction.class, 0);
 /// assert_eq!(served.model_version, 1);
 /// let report = engine.shutdown();
@@ -407,9 +707,10 @@ fn submit_via(
 /// let tenant = ModelId::new("tenant-a");
 /// registry.publish(&tenant, model, "a-v1")?;
 ///
-/// let engine = ServeEngine::start_sharded(registry, ServeConfig::default())?;
+/// let config = ServeConfig::builder().tenant_quota(64).build()?;
+/// let engine = ServeEngine::start(registry, config)?;
 /// let served = engine
-///     .submit_to(&tenant, Hypervector::from_vec(vec![-1.0; 64]))?
+///     .submit(&tenant, Hypervector::from_vec(vec![-1.0; 64]))?
 ///     .wait()?;
 /// assert_eq!(served.prediction.class, 1);
 /// assert_eq!(served.model, tenant);
@@ -420,66 +721,56 @@ fn submit_via(
 /// ```
 #[derive(Debug)]
 pub struct ServeEngine {
-    tx: Option<SyncSender<Msg>>,
+    shared: Arc<SharedQueue>,
     closed: Arc<AtomicBool>,
-    backend: Backend,
+    registry: Arc<ShardedRegistry>,
     metrics: Arc<ServeMetrics>,
     tracer: Arc<Tracer>,
     started_at: Instant,
-    batcher: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ServeEngine {
-    /// Spawns the batcher and worker threads serving the single-model
-    /// `registry`; submissions route to [`ModelId::default`].
+    /// Spawns the scheduler and worker threads serving every model of
+    /// `registry`. Single-model deployments publish under
+    /// [`ModelId::default`] (see [`ShardedRegistry::with_model`]) and
+    /// use [`ServeEngine::submit_default`].
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for zero-valued knobs.
-    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Self, ServeError> {
-        Self::start_backend(Backend::Single(registry), config)
-    }
-
-    /// Spawns the batcher and worker threads serving every model of a
-    /// multi-tenant [`ShardedRegistry`]; route submissions with
-    /// [`ServeEngine::submit_to`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::InvalidConfig`] for zero-valued knobs.
-    pub fn start_sharded(
-        registry: Arc<ShardedRegistry>,
-        config: ServeConfig,
-    ) -> Result<Self, ServeError> {
-        Self::start_backend(Backend::Sharded(registry), config)
-    }
-
-    fn start_backend(backend: Backend, config: ServeConfig) -> Result<Self, ServeError> {
+    pub fn start(registry: Arc<ShardedRegistry>, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let metrics = Arc::new(ServeMetrics::new());
         let tracer = Arc::new(Tracer::new(config.telemetry.clone()));
         let closed = Arc::new(AtomicBool::new(false));
-        let (tx, submit_rx) = mpsc::sync_channel::<Msg>(config.queue_depth);
+        let shared = Arc::new(SharedQueue {
+            state: Mutex::new(SchedState::default()),
+            ready: Condvar::new(),
+            queue_depth: config.queue_depth,
+            tenant_quota: config.tenant_quota,
+        });
         let (batch_tx, batch_rx) = mpsc::sync_channel::<ModelBatch>(config.workers * 2);
         let batch_rx = Arc::new(Mutex::new(batch_rx));
 
-        let batcher_cfg = config.clone();
-        let batcher = std::thread::Builder::new()
-            .name("privehd-batcher".into())
-            .spawn(move || run_batcher(&submit_rx, &batch_tx, &batcher_cfg))
-            .map_err(|e| ServeError::Transport(format!("failed to spawn batcher thread: {e}")))?;
+        let sched_shared = Arc::clone(&shared);
+        let sched_cfg = config.clone();
+        let scheduler = std::thread::Builder::new()
+            .name("privehd-scheduler".into())
+            .spawn(move || run_scheduler(&sched_shared, &batch_tx, &sched_cfg))
+            .map_err(|e| ServeError::Transport(format!("failed to spawn scheduler thread: {e}")))?;
 
         let workers = (0..config.workers)
             .map(|i| {
                 let rx = Arc::clone(&batch_rx);
-                let backend = backend.clone();
+                let registry = Arc::clone(&registry);
                 let metrics = Arc::clone(&metrics);
                 let tracer = Arc::clone(&tracer);
                 let packed = config.packed_fastpath;
                 std::thread::Builder::new()
                     .name(format!("privehd-worker-{i}"))
-                    .spawn(move || run_worker(&rx, &backend, &metrics, &tracer, packed))
+                    .spawn(move || run_worker(&rx, &registry, &metrics, &tracer, packed))
                     .map_err(|e| {
                         ServeError::Transport(format!("failed to spawn worker thread: {e}"))
                     })
@@ -487,94 +778,89 @@ impl ServeEngine {
             .collect::<Result<Vec<_>, _>>()?;
 
         Ok(Self {
-            tx: Some(tx),
+            shared,
             closed,
-            backend,
+            registry,
             metrics,
             tracer,
             started_at: Instant::now(),
-            batcher: Some(batcher),
+            scheduler: Some(scheduler),
             workers,
         })
     }
 
-    /// Submits one query for batched classification by the default
-    /// model.
+    /// Submits one query routed to `model` for batched classification.
+    /// Accepts dense ([`Hypervector`]) and bit-packed ([`BipolarHv`])
+    /// queries alike; packed queries stay packed end to end and are
+    /// scored through [`privehd_core::HdModel::predict_packed`] — the
+    /// popcount path — with no dense conversion anywhere.
+    ///
+    /// Requests for different models accumulate in separate batches; a
+    /// model nobody published answers with [`ServeError::NoModel`]
+    /// through the [`PendingPrediction`].
     ///
     /// # Errors
     ///
-    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
-    /// (shed load, retry with backoff), [`ServeError::Closed`] after
-    /// shutdown.
-    pub fn submit(&self, query: Hypervector) -> Result<PendingPrediction, ServeError> {
-        self.submit_to(&ModelId::default(), query)
+    /// [`ServeError::TenantOverQuota`] when `model`'s queue is at its
+    /// per-tenant quota (this tenant should back off; others keep being
+    /// served), [`ServeError::QueueFull`] when the engine-wide queue is
+    /// at capacity (shed load, retry with backoff),
+    /// [`ServeError::Closed`] after shutdown.
+    pub fn submit(
+        &self,
+        model: &ModelId,
+        query: impl Into<QueryVec>,
+    ) -> Result<PendingPrediction, ServeError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        submit_slot(
+            &self.shared,
+            &self.metrics,
+            &self.closed,
+            model,
+            query.into(),
+            self.tracer.begin(),
+            ReplySlot::Oneshot(reply),
+        )?;
+        Ok(PendingPrediction { rx })
     }
 
-    /// Submits one query routed to `model`. Requests for different
-    /// models accumulate in separate batches; a model nobody published
-    /// answers with [`ServeError::NoModel`] through the
-    /// [`PendingPrediction`].
-    ///
-    /// On an engine started with [`ServeEngine::start`] only
-    /// [`ModelId::default`] resolves; every other id reports
-    /// [`ServeError::NoModel`].
+    /// Submits one query to the default model ([`ModelId::default`]) —
+    /// the single-model convenience over [`ServeEngine::submit`].
     ///
     /// # Errors
     ///
     /// Same contract as [`ServeEngine::submit`].
+    pub fn submit_default(
+        &self,
+        query: impl Into<QueryVec>,
+    ) -> Result<PendingPrediction, ServeError> {
+        self.submit(&ModelId::default(), query)
+    }
+
+    /// Deprecated alias of [`ServeEngine::submit`].
+    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
     pub fn submit_to(
         &self,
         model: &ModelId,
         query: Hypervector,
     ) -> Result<PendingPrediction, ServeError> {
-        self.submit_query_to(model, QueryVec::Dense(query))
+        self.submit(model, query)
     }
 
-    /// Submits one bit-packed bipolar query to the default model.
-    ///
-    /// The query stays packed end to end: it rides the queue at 1
-    /// bit/dim and is classified through
-    /// [`privehd_core::HdModel::predict_packed`] — the popcount path —
-    /// with no dense conversion anywhere. For sign-only (bipolar
-    /// quantized) models the scores are bit-identical to densifying and
-    /// calling [`ServeEngine::submit`]; see
-    /// [`privehd_core::PackedClassMatrix`].
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`ServeEngine::submit`].
+    /// Deprecated alias of [`ServeEngine::submit_default`].
+    #[deprecated(note = "use submit_default(query) — it accepts dense and packed queries alike")]
     pub fn submit_packed(&self, query: BipolarHv) -> Result<PendingPrediction, ServeError> {
-        self.submit_packed_to(&ModelId::default(), query)
+        self.submit_default(query)
     }
 
-    /// Submits one bit-packed bipolar query routed to `model`; the
-    /// packed-native counterpart of [`ServeEngine::submit_to`].
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`ServeEngine::submit`].
+    /// Deprecated alias of [`ServeEngine::submit`].
+    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
     pub fn submit_packed_to(
         &self,
         model: &ModelId,
         query: BipolarHv,
     ) -> Result<PendingPrediction, ServeError> {
-        self.submit_query_to(model, QueryVec::Packed(query))
-    }
-
-    fn submit_query_to(
-        &self,
-        model: &ModelId,
-        query: QueryVec,
-    ) -> Result<PendingPrediction, ServeError> {
-        let tx = self.tx.as_ref().ok_or(ServeError::Closed)?;
-        submit_via(
-            tx,
-            &self.metrics,
-            &self.closed,
-            model,
-            query,
-            self.tracer.begin(),
-        )
+        self.submit(model, query)
     }
 
     /// Convenience: submit to the default model and block for the
@@ -584,53 +870,37 @@ impl ServeEngine {
     ///
     /// Propagates [`ServeEngine::submit`] and
     /// [`PendingPrediction::wait`] errors.
-    pub fn predict(&self, query: Hypervector) -> Result<ServedPrediction, ServeError> {
-        self.submit(query)?.wait()
+    pub fn predict(&self, query: impl Into<QueryVec>) -> Result<ServedPrediction, ServeError> {
+        self.submit_default(query)?.wait()
     }
 
     /// Convenience: submit to `model` and block for the result.
     ///
     /// # Errors
     ///
-    /// Propagates [`ServeEngine::submit_to`] and
+    /// Propagates [`ServeEngine::submit`] and
     /// [`PendingPrediction::wait`] errors.
     pub fn predict_for(
         &self,
         model: &ModelId,
-        query: Hypervector,
+        query: impl Into<QueryVec>,
     ) -> Result<ServedPrediction, ServeError> {
-        self.submit_to(model, query)?.wait()
+        self.submit(model, query)?.wait()
     }
 
     /// A cloneable submission handle for client threads.
     pub fn handle(&self) -> SubmitHandle {
         SubmitHandle {
-            // analyze::allow(no-panic-path): `tx` is only taken in
-            // `join_threads`, which consumes or exclusively borrows the
-            // engine — no handle can be created afterwards.
-            tx: self.tx.clone().expect("engine not shut down"),
+            shared: Arc::clone(&self.shared),
             metrics: Arc::clone(&self.metrics),
             tracer: Arc::clone(&self.tracer),
             closed: Arc::clone(&self.closed),
         }
     }
 
-    /// The single-model registry this engine serves from, or `None`
-    /// when it was started with [`ServeEngine::start_sharded`].
-    pub fn registry(&self) -> Option<&Arc<ModelRegistry>> {
-        match &self.backend {
-            Backend::Single(r) => Some(r),
-            Backend::Sharded(_) => None,
-        }
-    }
-
-    /// The sharded registry this engine serves from, or `None` when it
-    /// was started with [`ServeEngine::start`].
-    pub fn sharded_registry(&self) -> Option<&Arc<ShardedRegistry>> {
-        match &self.backend {
-            Backend::Single(_) => None,
-            Backend::Sharded(s) => Some(s),
-        }
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        &self.registry
     }
 
     /// Live serving counters.
@@ -653,38 +923,32 @@ impl ServeEngine {
     /// all threads and returns the final report.
     ///
     /// Completes even while cloned [`SubmitHandle`]s are still alive;
-    /// their later submissions return [`ServeError::Closed`]. A submit
-    /// racing this call may be accepted yet land after the drain; such
-    /// a request is answered [`ServeError::Closed`] through its
-    /// [`PendingPrediction`] and counts as submitted but neither
-    /// completed nor failed in the report.
+    /// their later submissions return [`ServeError::Closed`].
     pub fn shutdown(mut self) -> ServeReport {
         self.join_threads();
         self.metrics.report(self.started_at.elapsed())
     }
 
     fn join_threads(&mut self) {
-        // Release: pairs with the Acquire load in `submit_via`;
+        // Release: pairs with the Acquire load in `submit_slot`;
         // everything sequenced before shutdown is visible to any
         // submitter that sees the flag.
         self.closed.store(true, Ordering::Release);
-        if let Some(tx) = self.tx.take() {
-            // Explicit stop signal: the batcher exits on it even while
-            // cloned SubmitHandles keep the channel's sender side open.
-            // `send` (not `try_send`) so a full queue delays the signal
-            // instead of dropping it; the batcher is draining on the
-            // other end. An Err means the batcher is already gone.
-            let _ = tx.send(Msg::Stop);
+        {
+            let mut st = self.shared.lock_state();
+            st.stopped = true;
         }
-        if let Some(b) = self.batcher.take() {
-            // analyze::allow(no-panic-path): re-raising a batcher panic
-            // at shutdown is deliberate — it fires only on an internal
-            // bug and must not vanish into a clean-looking report.
-            b.join().expect("batcher thread panicked");
+        self.shared.ready.notify_all();
+        if let Some(s) = self.scheduler.take() {
+            // analyze::allow(no-panic-path): re-raising a scheduler
+            // panic at shutdown is deliberate — it fires only on an
+            // internal bug and must not vanish into a clean report.
+            s.join().expect("scheduler thread panicked");
         }
         for w in self.workers.drain(..) {
-            // analyze::allow(no-panic-path): same policy as the batcher
-            // join above — propagate internal bugs, never hide them.
+            // analyze::allow(no-panic-path): same policy as the
+            // scheduler join above — propagate internal bugs, never
+            // hide them.
             w.join().expect("worker thread panicked");
         }
     }
@@ -696,75 +960,85 @@ impl Drop for ServeEngine {
     }
 }
 
-/// Batcher loop: accumulate per-model batches, flushing a model's batch
-/// once it holds `max_batch` requests or `max_delay` has passed since
-/// its first request. Exits on [`Msg::Stop`] (after draining what was
-/// already queued) or when every sender is gone.
-fn run_batcher(submit_rx: &Receiver<Msg>, batch_tx: &SyncSender<ModelBatch>, config: &ServeConfig) {
+/// Scheduler loop: wait until requests are queued (or a batch window
+/// expires), take one deficit-round-robin turn, route the taken
+/// requests into per-model batches, and dispatch full or expired
+/// batches to the workers. On stop it drains every queue — requests
+/// accepted before shutdown are answered with real results — then
+/// flushes the open batches and exits (dropping `batch_tx`, which in
+/// turn lets the workers drain and exit).
+fn run_scheduler(shared: &SharedQueue, batch_tx: &SyncSender<ModelBatch>, config: &ServeConfig) {
     let mut router: BatchRouter<Request> = BatchRouter::new(config.max_batch, config.max_delay);
-
-    let route = |router: &mut BatchRouter<Request>, mut request: Request| -> Option<ModelBatch> {
-        let model = request.model.clone();
-        let now = Instant::now();
-        // End of the queue-wait stage, start of the batch-window wait.
-        request.routed_at = Some(now);
-        router
-            .push(model, request, now)
-            .map(|(model, requests)| ModelBatch { model, requests })
-    };
-
     loop {
-        // Idle: block indefinitely. Batches open: block until the
-        // earliest per-model deadline.
-        let msg = match router.next_deadline() {
-            None => match submit_rx.recv() {
-                Ok(m) => Some(m),
-                Err(_) => break, // engine and every handle dropped
-            },
-            Some(deadline) => {
-                let now = Instant::now();
-                if now >= deadline {
-                    None
-                } else {
-                    match submit_rx.recv_timeout(deadline - now) {
-                        Ok(m) => Some(m),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
+        let mut taken: Vec<Request> = Vec::new();
+        let mut stopping = false;
+        {
+            let mut st = shared.lock_state();
+            loop {
+                if st.queued_total > 0 {
+                    break;
                 }
-            }
-        };
-        match msg {
-            Some(Msg::Request(request)) => {
-                if let Some(batch) = route(&mut router, request) {
-                    if batch_tx.send(batch).is_err() {
-                        return; // workers are gone; nothing more to do
-                    }
+                if st.stopped {
+                    stopping = true;
+                    break;
                 }
-            }
-            Some(Msg::Stop) => {
-                // Shutdown: drain requests accepted before the stop,
-                // then exit. Anything submitted after the batcher is
-                // gone is answered Closed (its reply channel drops with
-                // the queue).
-                while let Ok(m) = submit_rx.try_recv() {
-                    if let Msg::Request(request) = m {
-                        if let Some(batch) = route(&mut router, request) {
-                            if batch_tx.send(batch).is_err() {
-                                return;
-                            }
+                match router.next_deadline() {
+                    // Idle: sleep until a submission wakes us.
+                    None => {
+                        st = shared
+                            .ready
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    // Batches open: sleep at most until the earliest
+                    // per-model flush deadline.
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, timeout) = shared
+                            .ready
+                            .wait_timeout(st, deadline - now)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        st = guard;
+                        if timeout.timed_out() {
+                            break;
                         }
                     }
                 }
-                break;
             }
-            None => {
-                for (model, requests) in router.take_expired(Instant::now()) {
-                    if batch_tx.send(ModelBatch { model, requests }).is_err() {
-                        return;
-                    }
+            if stopping {
+                // Drain everything still queued in one go; submissions
+                // are already refused (stopped), so this terminates.
+                while st.queued_total > 0 {
+                    drr_round(&mut st, config.drr_quantum, &mut taken);
+                }
+            } else {
+                drr_round(&mut st, config.drr_quantum, &mut taken);
+            }
+        }
+        // Route and dispatch outside the lock: batch_tx.send blocks
+        // when workers fall behind, and submissions must keep being
+        // admitted (or shed) meanwhile.
+        for mut request in taken {
+            let now = Instant::now();
+            // End of the queue-wait stage, start of the batch window.
+            request.routed_at = Some(now);
+            let model = request.model.clone();
+            if let Some((model, requests)) = router.push(model, request, now) {
+                if batch_tx.send(ModelBatch { model, requests }).is_err() {
+                    return; // workers are gone; nothing more to do
                 }
             }
+        }
+        for (model, requests) in router.take_expired(Instant::now()) {
+            if batch_tx.send(ModelBatch { model, requests }).is_err() {
+                return;
+            }
+        }
+        if stopping {
+            break;
         }
     }
     // Flush every still-open batch before exiting.
@@ -779,7 +1053,7 @@ fn run_batcher(submit_rx: &Receiver<Msg>, batch_tx: &SyncSender<ModelBatch>, con
 /// execute it against its model's current snapshot.
 fn run_worker(
     batch_rx: &Arc<Mutex<Receiver<ModelBatch>>>,
-    backend: &Backend,
+    registry: &ShardedRegistry,
     metrics: &ServeMetrics,
     tracer: &Tracer,
     packed_fastpath: bool,
@@ -797,7 +1071,7 @@ fn run_worker(
                 Err(_) => return,
             }
         };
-        execute_batch(batch, backend, metrics, tracer, packed_fastpath);
+        execute_batch(batch, registry, metrics, tracer, packed_fastpath);
     }
 }
 
@@ -807,7 +1081,7 @@ const POOL_FANOUT_MIN: usize = 16;
 
 fn execute_batch(
     batch: ModelBatch,
-    backend: &Backend,
+    registry: &ShardedRegistry,
     metrics: &ServeMetrics,
     tracer: &Tracer,
     packed_fastpath: bool,
@@ -820,7 +1094,7 @@ fn execute_batch(
     // models' batches resolve their own snapshots independently. The
     // per-model metrics row is likewise fetched once per batch.
     let resolve_start = Instant::now();
-    let snapshot = backend.resolve(&model);
+    let snapshot: Option<Arc<ServedModel>> = registry.get(&model);
     let resolve_end = Instant::now();
     let model_counters = metrics.model_counters(&model);
     if let Some(served) = &snapshot {
@@ -835,9 +1109,9 @@ fn execute_batch(
     }
 
     // Classification stays per-request (so one bad query fails only its
-    // own reply), and each reply is sent — and its latency measured —
-    // the moment its own classification finishes, whether that happens
-    // on this worker or on a pool lane.
+    // own reply), and each reply is delivered — and its latency
+    // measured — the moment its own classification finishes, whether
+    // that happens on this worker or on a pool lane.
     let serve_one = |request: &Request| {
         let work_start = Instant::now();
         let predict_start = work_start;
@@ -885,9 +1159,7 @@ fn execute_batch(
             batch_size: size,
             latency,
         });
-        // A submitter that dropped its PendingPrediction is not an
-        // engine error; ignore the closed reply channel.
-        let _ = request.reply.send(reply);
+        request.reply.deliver(reply);
     };
 
     let pool = privehd_core::pool::global();
@@ -937,8 +1209,8 @@ mod tests {
         model
     }
 
-    fn registry(dim: usize) -> Arc<ModelRegistry> {
-        Arc::new(ModelRegistry::with_model(trained_model(dim), "test").unwrap())
+    fn registry(dim: usize) -> Arc<ShardedRegistry> {
+        Arc::new(ShardedRegistry::with_model(trained_model(dim), "test").unwrap())
     }
 
     /// A 2-class model: an all-positive query resolves to class
@@ -959,6 +1231,19 @@ mod tests {
         Hypervector::from_vec(vec![sign; dim])
     }
 
+    /// A throwaway request for scheduler-state unit tests.
+    fn test_request(model: &ModelId) -> Request {
+        let (reply, _rx) = mpsc::sync_channel(1);
+        Request {
+            model: model.clone(),
+            query: QueryVec::Dense(query(8, 1.0)),
+            trace: Tracer::new(TelemetryConfig::default()).begin(),
+            submitted_at: Instant::now(),
+            routed_at: None,
+            reply: ReplySlot::Oneshot(reply),
+        }
+    }
+
     #[test]
     fn config_validation_rejects_zeros() {
         let reg = registry(32);
@@ -975,12 +1260,149 @@ mod tests {
                 queue_depth: 0,
                 ..ServeConfig::default()
             },
+            ServeConfig {
+                tenant_quota: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                drr_quantum: 0,
+                ..ServeConfig::default()
+            },
         ] {
             assert!(matches!(
                 ServeEngine::start(Arc::clone(&reg), bad),
                 Err(ServeError::InvalidConfig(_))
             ));
         }
+    }
+
+    #[test]
+    fn config_builder_validates_at_build_time() {
+        let cfg = ServeConfig::builder()
+            .max_batch(8)
+            .max_delay(Duration::from_millis(2))
+            .workers(3)
+            .queue_depth(128)
+            .tenant_quota(16)
+            .drr_quantum(4)
+            .packed_fastpath(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_batch, 8);
+        assert_eq!(cfg.max_delay, Duration::from_millis(2));
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_depth, 128);
+        assert_eq!(cfg.tenant_quota, 16);
+        assert_eq!(cfg.drr_quantum, 4);
+        assert!(cfg.packed_fastpath);
+
+        assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        assert!(ServeConfig::builder().workers(0).build().is_err());
+        assert!(ServeConfig::builder().queue_depth(0).build().is_err());
+        assert!(ServeConfig::builder().tenant_quota(0).build().is_err());
+        assert!(ServeConfig::builder().drr_quantum(0).build().is_err());
+    }
+
+    #[test]
+    fn drr_rounds_account_quantum_across_uneven_queues() {
+        // Tenants a/b/c with 10/3/1 waiting requests and quantum 4:
+        // turn order must be a:4, b:3 (emptied — leaves the map,
+        // deficit reset), c:1, a:4, a:2.
+        let (a, b, c) = (ModelId::new("a"), ModelId::new("b"), ModelId::new("c"));
+        let mut st = SchedState::default();
+        for (id, n) in [(&a, 10usize), (&b, 3), (&c, 1)] {
+            let tq = st.queues.entry(id.clone()).or_default();
+            for _ in 0..n {
+                tq.items.push_back(test_request(id));
+            }
+            tq.in_active = true;
+            st.active.push_back(id.clone());
+            st.queued_total += n;
+        }
+
+        let quantum = 4;
+        let mut out = Vec::new();
+
+        drr_round(&mut st, quantum, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|r| r.model == a), "first turn is a's");
+        assert_eq!(st.queued_total, 10);
+
+        out.clear();
+        drr_round(&mut st, quantum, &mut out);
+        assert_eq!(out.len(), 3, "b takes only its backlog, not the quantum");
+        assert!(out.iter().all(|r| r.model == b));
+        assert!(
+            !st.queues.contains_key(&b),
+            "an emptied tenant leaves the map (deficit reset)"
+        );
+
+        out.clear();
+        drr_round(&mut st, quantum, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out.iter().all(|r| r.model == c));
+
+        out.clear();
+        drr_round(&mut st, quantum, &mut out);
+        assert_eq!(out.len(), 4, "a's second turn earns a fresh quantum");
+        out.clear();
+        drr_round(&mut st, quantum, &mut out);
+        assert_eq!(out.len(), 2, "a's remainder");
+
+        assert_eq!(st.queued_total, 0);
+        assert!(st.queues.is_empty());
+        assert!(st.active.is_empty());
+
+        // A further round on empty state is a no-op.
+        out.clear();
+        drr_round(&mut st, quantum, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tenant_quota_is_checked_before_global_depth() {
+        let shared = SharedQueue {
+            state: Mutex::new(SchedState::default()),
+            ready: Condvar::new(),
+            queue_depth: 4,
+            tenant_quota: 2,
+        };
+        let metrics = ServeMetrics::new();
+        let closed = AtomicBool::new(false);
+        let tracer = Tracer::new(TelemetryConfig::default());
+        let (a, b, c) = (ModelId::new("a"), ModelId::new("b"), ModelId::new("c"));
+        let submit = |id: &ModelId| {
+            let (reply, _rx) = mpsc::sync_channel(1);
+            submit_slot(
+                &shared,
+                &metrics,
+                &closed,
+                id,
+                QueryVec::Dense(query(8, 1.0)),
+                tracer.begin(),
+                ReplySlot::Oneshot(reply),
+            )
+        };
+
+        assert!(submit(&a).is_ok());
+        assert!(submit(&a).is_ok());
+        assert_eq!(submit(&a).unwrap_err(), ServeError::TenantOverQuota);
+        assert!(submit(&b).is_ok());
+        assert!(submit(&b).is_ok());
+        // Queue is now globally full AND a is over quota: the flooding
+        // tenant still reads TenantOverQuota (quota checked first)…
+        assert_eq!(submit(&a).unwrap_err(), ServeError::TenantOverQuota);
+        // …while an under-quota tenant reads the global condition.
+        assert_eq!(submit(&c).unwrap_err(), ServeError::QueueFull);
+
+        let report = metrics.report(Duration::from_secs(1));
+        assert_eq!(report.submitted, 4);
+        assert_eq!(report.rejected, 3);
+
+        // Stopped state refuses everything (and does not count as a
+        // shed: the engine is going away, not overloaded).
+        shared.lock_state().stopped = true;
+        assert_eq!(submit(&c).unwrap_err(), ServeError::Closed);
     }
 
     #[test]
@@ -1000,7 +1422,7 @@ mod tests {
 
     #[test]
     fn empty_registry_yields_no_model() {
-        let reg = Arc::new(ModelRegistry::new());
+        let reg = Arc::new(ShardedRegistry::new());
         let engine = ServeEngine::start(reg, ServeConfig::default()).unwrap();
         assert_eq!(
             engine.predict(query(16, 1.0)).unwrap_err(),
@@ -1022,8 +1444,9 @@ mod tests {
 
     #[test]
     fn queue_overflow_sheds_load() {
-        // One worker, tiny queue, and a batcher window long enough that
-        // floods back up into the queue.
+        // One worker, tiny queue, and a batch window long enough that
+        // floods back up into the queue. tenant_quota exceeds
+        // queue_depth so the global limit is what trips.
         let config = ServeConfig {
             max_batch: 2,
             max_delay: Duration::from_millis(50),
@@ -1036,7 +1459,7 @@ mod tests {
         let mut pending = Vec::new();
         let mut saw_full = false;
         for _ in 0..200 {
-            match engine.submit(query(64, 1.0)) {
+            match engine.submit_default(query(64, 1.0)) {
                 Ok(p) => pending.push(p),
                 Err(ServeError::QueueFull) => {
                     saw_full = true;
@@ -1046,6 +1469,48 @@ mod tests {
             }
         }
         assert!(saw_full, "queue never filled");
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+        let report = engine.shutdown();
+        assert!(report.rejected >= 1);
+    }
+
+    #[test]
+    fn tenant_flood_hits_its_quota_before_the_global_queue() {
+        // Quota far below the global depth: a single flooding tenant
+        // reads TenantOverQuota while the engine-wide queue still has
+        // room for everyone else.
+        let config = ServeConfig {
+            max_batch: 2,
+            max_delay: Duration::from_millis(50),
+            workers: 1,
+            queue_depth: 1_024,
+            tenant_quota: 4,
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::start(registry(64), config).unwrap();
+        let mut pending = Vec::new();
+        let mut saw_quota = false;
+        for _ in 0..400 {
+            match engine.submit_default(query(64, 1.0)) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::TenantOverQuota) => {
+                    saw_quota = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_quota, "tenant quota never tripped");
+        // A different tenant is still admitted (NoModel is a serving
+        // answer, not an admission refusal).
+        assert_eq!(
+            engine
+                .predict_for(&ModelId::new("other"), query(64, 1.0))
+                .unwrap_err(),
+            ServeError::NoModel
+        );
         for p in pending {
             assert!(p.wait().is_ok());
         }
@@ -1067,7 +1532,7 @@ mod tests {
         let pending: Vec<_> = (0..64)
             .map(|i| {
                 engine
-                    .submit(query(256, if i % 2 == 0 { 1.0 } else { -1.0 }))
+                    .submit_default(query(256, if i % 2 == 0 { 1.0 } else { -1.0 }))
                     .unwrap()
             })
             .collect();
@@ -1094,7 +1559,7 @@ mod tests {
         };
         let reg = registry(128);
         let engine = ServeEngine::start(Arc::clone(&reg), config).unwrap();
-        let model = reg.current().unwrap();
+        let model = reg.get(&ModelId::default()).unwrap();
         for seed in 0..20u64 {
             let packed = BipolarHv::random(128, seed);
             let q = packed.to_dense();
@@ -1112,18 +1577,18 @@ mod tests {
         // agree query for query.
         let mut model = trained_model(128);
         model.quantize_classes(privehd_core::QuantScheme::Bipolar);
-        let reg = Arc::new(ModelRegistry::with_model(model, "signed").unwrap());
+        let reg = Arc::new(ShardedRegistry::with_model(model, "signed").unwrap());
         let engine = ServeEngine::start(Arc::clone(&reg), ServeConfig::default()).unwrap();
         let handle = engine.handle();
         for seed in 0..20u64 {
             let packed = BipolarHv::random(128, seed);
             let dense = engine.predict(packed.to_dense()).unwrap();
             let native = engine
-                .submit_packed(packed.clone())
+                .submit_default(packed.clone())
                 .unwrap()
                 .wait()
                 .unwrap();
-            let via_handle = handle.submit_packed(packed).unwrap().wait().unwrap();
+            let via_handle = handle.submit_default(packed).unwrap().wait().unwrap();
             assert_eq!(
                 native.prediction.class, dense.prediction.class,
                 "seed {seed}"
@@ -1139,7 +1604,7 @@ mod tests {
     fn packed_submit_reports_dimension_mismatch_per_request() {
         let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
         let err = engine
-            .submit_packed(BipolarHv::random(32, 1))
+            .submit_default(BipolarHv::random(32, 1))
             .unwrap()
             .wait()
             .unwrap_err();
@@ -1147,6 +1612,47 @@ mod tests {
         // The engine keeps serving afterwards.
         assert_eq!(engine.predict(query(64, 1.0)).unwrap().prediction.class, 0);
         engine.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_shims_delegate_to_the_unified_api() {
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        let handle = engine.handle();
+        let id = ModelId::default();
+        let packed = BipolarHv::from_signs(query(64, 1.0).as_slice());
+
+        assert_eq!(
+            engine
+                .submit_to(&id, query(64, 1.0))
+                .unwrap()
+                .wait()
+                .unwrap()
+                .prediction
+                .class,
+            0
+        );
+        assert!(engine.submit_packed(packed.clone()).unwrap().wait().is_ok());
+        assert!(engine
+            .submit_packed_to(&id, packed.clone())
+            .unwrap()
+            .wait()
+            .is_ok());
+        assert_eq!(
+            handle
+                .submit_to(&id, query(64, -1.0))
+                .unwrap()
+                .wait()
+                .unwrap()
+                .prediction
+                .class,
+            1
+        );
+        assert!(handle.submit_packed(packed.clone()).unwrap().wait().is_ok());
+        assert!(handle.submit_packed_to(&id, packed).unwrap().wait().is_ok());
+
+        let report = engine.shutdown();
+        assert_eq!(report.completed, 6);
     }
 
     #[test]
@@ -1159,7 +1665,7 @@ mod tests {
                 (0..25)
                     .map(|i| {
                         let sign = if (t + i) % 2 == 0 { 1.0 } else { -1.0 };
-                        let served = h.submit(query(64, sign)).unwrap().wait().unwrap();
+                        let served = h.submit_default(query(64, sign)).unwrap().wait().unwrap();
                         (served.prediction.class, (t + i) % 2)
                     })
                     .collect::<Vec<_>>()
@@ -1195,14 +1701,14 @@ mod tests {
 
         // The leaked handle observes the closure instead of hanging.
         assert_eq!(
-            leaked.submit(query(64, 1.0)).unwrap_err(),
+            leaked.submit_default(query(64, 1.0)).unwrap_err(),
             ServeError::Closed
         );
     }
 
     #[test]
     fn requests_accepted_before_shutdown_are_answered() {
-        // Stop drains the queue: everything accepted before shutdown
+        // Stop drains the queues: everything accepted before shutdown
         // resolves (successfully — not with Closed).
         let config = ServeConfig {
             max_batch: 4,
@@ -1215,7 +1721,7 @@ mod tests {
         let engine = ServeEngine::start(registry(64), config).unwrap();
         let _live_handle = engine.handle();
         let pending: Vec<_> = (0..16)
-            .map(|_| engine.submit(query(64, 1.0)).unwrap())
+            .map(|_| engine.submit_default(query(64, 1.0)).unwrap())
             .collect();
         let report = engine.shutdown();
         assert_eq!(report.completed, 16);
@@ -1230,7 +1736,7 @@ mod tests {
         let (a, b) = (ModelId::new("tenant-a"), ModelId::new("tenant-b"));
         reg.publish(&a, oriented_model(64, 0), "a1").unwrap();
         reg.publish(&b, oriented_model(64, 1), "b1").unwrap();
-        let engine = ServeEngine::start_sharded(Arc::clone(&reg), ServeConfig::default()).unwrap();
+        let engine = ServeEngine::start(Arc::clone(&reg), ServeConfig::default()).unwrap();
 
         // The tenants' class layouts are opposite, so each answer proves
         // which tenant's weights served it.
@@ -1273,11 +1779,11 @@ mod tests {
             packed_fastpath: false,
             ..ServeConfig::default()
         };
-        let engine = ServeEngine::start_sharded(reg, config).unwrap();
+        let engine = ServeEngine::start(reg, config).unwrap();
         let pending: Vec<_> = (0..32)
             .map(|i| {
                 let id = if i % 2 == 0 { &a } else { &b };
-                (i, engine.submit_to(id, query(64, 1.0)).unwrap())
+                (i, engine.submit(id, query(64, 1.0)).unwrap())
             })
             .collect();
         for (i, p) in pending {
@@ -1294,7 +1800,7 @@ mod tests {
     }
 
     #[test]
-    fn single_model_engine_rejects_foreign_ids() {
+    fn unpublished_ids_fail_without_poisoning_the_engine() {
         let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
         assert_eq!(
             engine
@@ -1307,17 +1813,36 @@ mod tests {
     }
 
     #[test]
-    fn registry_accessors_match_backend() {
-        let single = ServeEngine::start(registry(32), ServeConfig::default()).unwrap();
-        assert!(single.registry().is_some());
-        assert!(single.sharded_registry().is_none());
-        single.shutdown();
+    fn registry_accessor_returns_the_backing_registry() {
+        let reg = registry(32);
+        let engine = ServeEngine::start(Arc::clone(&reg), ServeConfig::default()).unwrap();
+        assert!(Arc::ptr_eq(engine.registry(), &reg));
+        engine.shutdown();
+    }
 
-        let sharded =
-            ServeEngine::start_sharded(Arc::new(ShardedRegistry::new()), ServeConfig::default())
-                .unwrap();
-        assert!(sharded.registry().is_none());
-        assert!(sharded.sharded_registry().is_some());
-        sharded.shutdown();
+    #[test]
+    fn submit_with_invokes_the_callback_exactly_once() {
+        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
+        let handle = engine.handle();
+        let (tx, rx) = mpsc::channel();
+        handle
+            .submit_with(
+                &ModelId::default(),
+                QueryVec::Dense(query(64, 1.0)),
+                handle.tracer().begin(),
+                Box::new(move |outcome| {
+                    tx.send(outcome).unwrap();
+                }),
+            )
+            .unwrap();
+        let outcome = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("callback never ran");
+        assert_eq!(outcome.unwrap().prediction.class, 0);
+        assert!(
+            rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "callback ran more than once"
+        );
+        engine.shutdown();
     }
 }

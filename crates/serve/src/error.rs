@@ -15,6 +15,11 @@ pub enum ServeError {
     /// and retry (the serving layer sheds load instead of buffering
     /// unboundedly).
     QueueFull,
+    /// This tenant's per-[`crate::ModelId`] queue quota is full; the
+    /// tenant should back off while other tenants keep being served
+    /// (the weighted-fair scheduler sheds one tenant's flood without
+    /// crowding the rest). The wire front-end reports it as `Busy`.
+    TenantOverQuota,
     /// No model has been published to the registry yet.
     NoModel,
     /// The underlying HD computation failed (dimension mismatch, zero
@@ -23,7 +28,6 @@ pub enum ServeError {
     /// A publish was refused because the model is only partially
     /// trained: the listed class indices have zero-norm (never-bundled)
     /// weights and could never be predicted. Use
-    /// [`crate::ModelRegistry::publish_partial`] /
     /// [`crate::ShardedRegistry::publish_partial`] to serve such a
     /// model deliberately.
     UntrainedClasses(Vec<usize>),
@@ -39,6 +43,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Closed => write!(f, "serving engine is shut down"),
             ServeError::QueueFull => write!(f, "submission queue is full"),
+            ServeError::TenantOverQuota => {
+                write!(f, "per-tenant submission quota is full")
+            }
             ServeError::NoModel => write!(f, "no model published in the registry"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::UntrainedClasses(classes) => write!(
@@ -75,6 +82,7 @@ mod tests {
     fn displays_are_informative() {
         assert!(ServeError::Closed.to_string().contains("shut down"));
         assert!(ServeError::QueueFull.to_string().contains("queue"));
+        assert!(ServeError::TenantOverQuota.to_string().contains("tenant"));
         assert!(ServeError::NoModel.to_string().contains("registry"));
         assert!(ServeError::Model(HdError::ZeroNorm)
             .to_string()

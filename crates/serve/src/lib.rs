@@ -10,21 +10,20 @@
 //! `privehd-core` supplies every algorithmic piece; this crate supplies
 //! the serving machinery around them:
 //!
-//! * [`ModelRegistry`] — versioned models behind an atomic hot-swap
-//!   (`Arc`-swap pattern), so retraining publishes a new version without
-//!   pausing inference and in-flight batches finish on the snapshot they
-//!   started with.
-//! * [`ShardedRegistry`] / [`ModelId`] — the multi-tenant registry: many
+//! * [`ShardedRegistry`] / [`ModelId`] — *the* model registry: many
 //!   independently versioned models (per tenant, encoder basis, or
-//!   privacy budget) spread over per-shard locks, each hot-swappable and
-//!   withdrawable on its own.
-//! * [`ServeEngine`] — a bounded MPSC submission queue, an adaptive
-//!   micro-batcher (flushes on [`ServeConfig::max_batch`] or
-//!   [`ServeConfig::max_delay`], accumulated *per model* on a sharded
-//!   engine) and a worker pool executing single-model batches. Queries
-//!   submitted bit-packed ([`ServeEngine::submit_packed`] /
-//!   [`QueryVec::Packed`]) stay packed end to end and are scored by the
-//!   `XOR`+`POPCNT` kernels of
+//!   privacy budget) spread over per-shard locks, each behind an atomic
+//!   hot-swap (`Arc`-swap pattern) so retraining publishes a new
+//!   version without pausing inference, and in-flight batches finish on
+//!   the snapshot they started with. Single-model deployments publish
+//!   under [`ModelId::default`] with [`ShardedRegistry::with_model`].
+//! * [`ServeEngine`] — per-tenant admission queues with quotas, a
+//!   deficit-round-robin scheduler, an adaptive micro-batcher (flushes
+//!   on [`ServeConfig::max_batch`] or [`ServeConfig::max_delay`],
+//!   accumulated *per model*) and a worker pool executing single-model
+//!   batches. One submit surface for every representation: queries
+//!   submitted bit-packed ([`QueryVec::Packed`]) stay packed end to end
+//!   and are scored by the `XOR`+`POPCNT` kernels of
 //!   [`privehd_core::HdModel::predict_packed`]; dense submissions can
 //!   opt into the same kernels via [`ServeConfig::packed_fastpath`].
 //! * [`ClientEdge`] — the device-side `ScalarEncoder` ∘ `Obfuscator`
@@ -40,14 +39,16 @@
 //!   [`wire::WireClient::stats`].
 //!
 //! See `docs/SERVE.md` in the repository for the multi-tenant API
-//! walkthrough, batch-routing semantics, and the shutdown contract.
+//! walkthrough, the fairness model, and the shutdown contract —
+//! including the migration table from the pre-unification API
+//! (`submit_to` / `submit_packed` / `ModelRegistry` / `start_sharded`).
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use std::sync::Arc;
 //! use privehd_core::prelude::*;
-//! use privehd_serve::{ClientEdge, ModelRegistry, ServeConfig, ServeEngine};
+//! use privehd_serve::{ClientEdge, ServeConfig, ServeEngine, ShardedRegistry};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Edge side: encode + obfuscate with a shared basis (seed 7).
@@ -64,10 +65,12 @@
 //! ] {
 //!     model.bundle(y, &edge.encoder().encode(&x)?)?;
 //! }
-//! let registry = Arc::new(ModelRegistry::with_model(model, "demo-v1")?);
+//! let registry = Arc::new(ShardedRegistry::with_model(model, "demo-v1")?);
 //! let engine = ServeEngine::start(registry, ServeConfig::default())?;
 //!
-//! let served = engine.submit(edge.prepare(&[0.85, 0.75, 0.9, 0.1, 0.15, 0.2])?)?.wait()?;
+//! let served = engine
+//!     .submit_default(edge.prepare(&[0.85, 0.75, 0.9, 0.1, 0.15, 0.2])?)?
+//!     .wait()?;
 //! assert_eq!(served.prediction.class, 0);
 //!
 //! let report = engine.shutdown();
@@ -77,7 +80,8 @@
 //! ```
 
 // No unsafe: every unsafe site in the workspace lives in privehd-core
-// under the analyze unsafe-audit ledger (see docs/ANALYSIS.md).
+// and the vendored readiness layer, under the analyze unsafe-audit
+// ledger (see docs/ANALYSIS.md).
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -93,30 +97,34 @@ pub mod wire;
 
 pub use edge::ClientEdge;
 pub use engine::{
-    PendingPrediction, QueryVec, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle,
+    PendingPrediction, QueryVec, ServeConfig, ServeConfigBuilder, ServeEngine, ServedPrediction,
+    SubmitHandle,
 };
 pub use error::ServeError;
 pub use metrics::{
     BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport, StageReport,
 };
-pub use registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+#[allow(deprecated)]
+pub use registry::ModelRegistry;
+pub use registry::{ModelId, ServedModel, ShardedRegistry};
 pub use stats::prometheus_text;
-pub use wire::{WireClient, WireConfig, WireServer, WireStatus};
+pub use wire::{WireClient, WireConfig, WireConfigBuilder, WireServer, WireStatus};
 
 /// Commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use crate::edge::ClientEdge;
     pub use crate::engine::{
-        PendingPrediction, QueryVec, ServeConfig, ServeEngine, ServedPrediction, SubmitHandle,
+        PendingPrediction, QueryVec, ServeConfig, ServeConfigBuilder, ServeEngine,
+        ServedPrediction, SubmitHandle,
     };
     pub use crate::error::ServeError;
     pub use crate::metrics::{
         BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport, StageReport,
     };
-    pub use crate::registry::{ModelId, ModelRegistry, ServedModel, ShardedRegistry};
+    pub use crate::registry::{ModelId, ServedModel, ShardedRegistry};
     pub use crate::stats::prometheus_text;
     pub use crate::wire::{
-        WireClient, WireClientError, WireConfig, WireFault, WirePrediction, WireReport, WireServer,
-        WireStatus,
+        WireClient, WireClientError, WireConfig, WireConfigBuilder, WireFault, WirePrediction,
+        WireReport, WireServer, WireStatus,
     };
 }

@@ -1,8 +1,8 @@
-//! Versioned model registries with atomic hot swap: the single-model
-//! [`ModelRegistry`] and the multi-tenant [`ShardedRegistry`].
+//! The versioned model registry with atomic hot swap:
+//! [`ShardedRegistry`], serving one model per [`ModelId`].
 //!
 //! Retraining (or privacy recalibration) produces a new [`HdModel`];
-//! publishing it must not pause inference. Both registries keep live
+//! publishing it must not pause inference. The registry keeps live
 //! models behind an `RwLock<…Arc<…>>` — the Arc-swap pattern: readers
 //! take the lock only long enough to clone an [`Arc`] (no contention
 //! with inference itself, which runs entirely on the clone), and
@@ -10,12 +10,14 @@
 //! the previous snapshot keep serving it to completion, so a swap never
 //! drops or corrupts in-flight requests.
 //!
-//! [`ShardedRegistry`] extends the pattern to many models — one per
-//! tenant, encoder basis, or privacy budget. Models are spread over N
-//! shards by [`ModelId`] hash, each shard guarding its own
-//! `HashMap<ModelId, …>` behind its own lock, so publishes and lookups
-//! for different tenants contend only when their ids land on the same
-//! shard.
+//! Models — one per tenant, encoder basis, or privacy budget — are
+//! spread over N shards by [`ModelId`] hash, each shard guarding its
+//! own `HashMap<ModelId, …>` behind its own lock, so publishes and
+//! lookups for different tenants contend only when their ids land on
+//! the same shard. Single-model deployments simply publish under
+//! [`ModelId::default()`] (see [`ShardedRegistry::with_model`]); the
+//! historical single-slot [`ModelRegistry`] survives one release as a
+//! deprecated facade over a one-tenant `ShardedRegistry`.
 //!
 //! ## Publish validation policy
 //!
@@ -37,7 +39,6 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use privehd_core::{HdError, HdModel};
@@ -49,7 +50,7 @@ use crate::error::ServeError;
 ///
 /// Cheap to clone (`Arc<str>` underneath) — every request carries one.
 /// The [`Default`] id (`"default"`) is what the single-model
-/// [`crate::ServeEngine::submit`] API routes to.
+/// [`crate::ServeEngine::submit_default`] API routes to.
 ///
 /// # Examples
 ///
@@ -172,44 +173,39 @@ fn validate_norms(model: &HdModel, allow_partial: bool) -> Result<Vec<usize>, Se
     Ok(untrained)
 }
 
-/// Registry holding one live model and its version history metadata.
+/// Deprecated single-slot facade over a one-tenant [`ShardedRegistry`].
 ///
-/// This is the single-tenant registry behind
-/// [`crate::ServeEngine::start`]; for many models in one process see
-/// [`ShardedRegistry`].
+/// Historically the single-model registry behind the engine; the
+/// unified API serves every deployment from a [`ShardedRegistry`], with
+/// single-model setups publishing under [`ModelId::default()`]. This
+/// wrapper keeps last release's surface compiling for one more release:
+/// it owns an `Arc<ShardedRegistry>` pinned to the default id, and
+/// [`ModelRegistry::sharded`] hands that registry to
+/// [`crate::ServeEngine::start`].
 ///
-/// # Examples
-///
-/// ```
-/// use privehd_core::{HdModel, Hypervector};
-/// use privehd_serve::ModelRegistry;
-///
-/// # fn main() -> Result<(), privehd_serve::ServeError> {
-/// let registry = ModelRegistry::new();
-/// assert!(registry.current().is_none());
-///
-/// let mut model = HdModel::new(2, 64)?;
-/// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
-/// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
-/// let v1 = registry.publish(model.clone(), "v1")?;
-/// let v2 = registry.publish(model, "v2")?;
-/// assert_eq!((v1, v2), (1, 2));
-/// assert_eq!(registry.current().unwrap().version, 2);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Default)]
+/// Migration: `ModelRegistry::with_model(m, "l")` →
+/// `ShardedRegistry::with_model(m, "l")`; `registry.publish(m, "l")` →
+/// `registry.publish(&ModelId::default(), m, "l")`; `current()` →
+/// `get(&ModelId::default())`.
+#[deprecated(note = "use ShardedRegistry; single-model serving publishes under ModelId::default()")]
+#[derive(Debug)]
 pub struct ModelRegistry {
-    live: RwLock<Option<Arc<ServedModel>>>,
-    next_version: AtomicU64,
+    inner: Arc<ShardedRegistry>,
 }
 
+#[allow(deprecated)]
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[allow(deprecated)]
 impl ModelRegistry {
     /// Creates an empty registry (no model published).
     pub fn new() -> Self {
         Self {
-            live: RwLock::new(None),
-            next_version: AtomicU64::new(1),
+            inner: Arc::new(ShardedRegistry::new()),
         }
     }
 
@@ -217,83 +213,58 @@ impl ModelRegistry {
     ///
     /// # Errors
     ///
-    /// Propagates [`ModelRegistry::publish`] validation errors.
+    /// Propagates [`ShardedRegistry::publish`] validation errors.
     pub fn with_model(model: HdModel, label: &str) -> Result<Self, ServeError> {
         let registry = Self::new();
         registry.publish(model, label)?;
         Ok(registry)
     }
 
-    /// Publishes `model` as the new live version and returns its version
-    /// number. Norms are refreshed once here so every worker thread
-    /// reads the cached values instead of recomputing per prediction.
+    /// The underlying [`ShardedRegistry`] — pass this to
+    /// [`crate::ServeEngine::start`] when migrating off the facade.
+    pub fn sharded(&self) -> Arc<ShardedRegistry> {
+        Arc::clone(&self.inner)
+    }
+
+    /// Publishes `model` under [`ModelId::default()`] and returns its
+    /// version number.
     ///
     /// # Errors
     ///
-    /// Per the [module-level policy](self): [`ServeError::Model`]
-    /// wrapping [`HdError::ZeroNorm`] for a fully untrained model,
-    /// [`ServeError::UntrainedClasses`] for a partially trained one
-    /// (use [`ModelRegistry::publish_partial`] to allow those).
+    /// Same validation as [`ShardedRegistry::publish`].
     pub fn publish(&self, model: HdModel, label: &str) -> Result<u64, ServeError> {
-        self.publish_inner(model, label, false).map(|(v, _)| v)
+        self.inner.publish(&ModelId::default(), model, label)
     }
 
     /// Like [`ModelRegistry::publish`], but allows a partially trained
-    /// model; returns `(version, zero-norm class indices)`. The listed
-    /// classes score [`f64::NEG_INFINITY`] and can never be predicted
-    /// until a retrain publishes real weights for them.
+    /// model; returns `(version, zero-norm class indices)`.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Model`] wrapping [`HdError::ZeroNorm`] when *every*
-    /// class is untrained.
+    /// Same validation as [`ShardedRegistry::publish_partial`].
     pub fn publish_partial(
         &self,
         model: HdModel,
         label: &str,
     ) -> Result<(u64, Vec<usize>), ServeError> {
-        self.publish_inner(model, label, true)
-    }
-
-    fn publish_inner(
-        &self,
-        mut model: HdModel,
-        label: &str,
-        allow_partial: bool,
-    ) -> Result<(u64, Vec<usize>), ServeError> {
-        model.refresh_norms();
-        let untrained = validate_norms(&model, allow_partial)?;
-        // Allocate the version while holding the write lock: with the
-        // counter bumped outside it, two racing publishes could install
-        // the older version last and break monotonicity.
-        let mut live = self.live.write().expect("registry lock poisoned");
-        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        *live = Some(Arc::new(ServedModel {
-            version,
-            label: label.to_owned(),
-            model,
-        }));
-        Ok((version, untrained))
+        self.inner
+            .publish_partial(&ModelId::default(), model, label)
     }
 
     /// The live model snapshot, or `None` before the first publish.
-    ///
-    /// The returned [`Arc`] stays valid across later publishes, which is
-    /// what makes hot swapping safe for in-flight batches.
     pub fn current(&self) -> Option<Arc<ServedModel>> {
-        self.live.read().expect("registry lock poisoned").clone()
+        self.inner.get(&ModelId::default())
     }
 
     /// The live version number, or 0 before the first publish.
     pub fn version(&self) -> u64 {
-        self.current().map_or(0, |m| m.version)
+        self.inner.version(&ModelId::default())
     }
 
-    /// Withdraws the live model (e.g. after discovering a bad publish).
-    /// Returns the snapshot that was live, if any. In-flight batches
-    /// holding that snapshot still complete.
+    /// Withdraws the live model, returning the snapshot that was live,
+    /// if any. In-flight batches holding that snapshot still complete.
     pub fn withdraw(&self) -> Option<Arc<ServedModel>> {
-        self.live.write().expect("registry lock poisoned").take()
+        self.inner.withdraw(&ModelId::default())
     }
 }
 
@@ -358,6 +329,34 @@ impl ShardedRegistry {
     /// Creates an empty registry with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS).expect("default shard count is non-zero")
+    }
+
+    /// Creates a registry with `model` already published as version 1
+    /// under [`ModelId::default()`] — the one-liner for single-model
+    /// deployments:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use privehd_core::{HdModel, Hypervector};
+    /// use privehd_serve::{ModelId, ShardedRegistry};
+    ///
+    /// # fn main() -> Result<(), privehd_serve::ServeError> {
+    /// let mut model = HdModel::new(2, 64)?;
+    /// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
+    /// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
+    /// let registry = Arc::new(ShardedRegistry::with_model(model, "v1")?);
+    /// assert_eq!(registry.version(&ModelId::default()), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedRegistry::publish`] validation errors.
+    pub fn with_model(model: HdModel, label: &str) -> Result<Self, ServeError> {
+        let registry = Self::new();
+        registry.publish(&ModelId::default(), model, label)?;
+        Ok(registry)
     }
 
     /// Creates an empty registry with an explicit shard count.
@@ -517,23 +516,30 @@ mod tests {
         m
     }
 
+    /// The default id every single-model test publishes under.
+    fn default_id() -> ModelId {
+        ModelId::default()
+    }
+
     #[test]
     fn versions_are_monotonic() {
-        let r = ModelRegistry::new();
-        assert_eq!(r.version(), 0);
-        assert_eq!(r.publish(trained(32, 1.0), "a").unwrap(), 1);
-        assert_eq!(r.publish(trained(32, 2.0), "b").unwrap(), 2);
-        assert_eq!(r.version(), 2);
-        assert_eq!(r.current().unwrap().label, "b");
+        let r = ShardedRegistry::new();
+        let id = default_id();
+        assert_eq!(r.version(&id), 0);
+        assert_eq!(r.publish(&id, trained(32, 1.0), "a").unwrap(), 1);
+        assert_eq!(r.publish(&id, trained(32, 2.0), "b").unwrap(), 2);
+        assert_eq!(r.version(&id), 2);
+        assert_eq!(r.get(&id).unwrap().label, "b");
     }
 
     #[test]
     fn publish_builds_both_scoring_matrices_eagerly() {
-        let r = ModelRegistry::new();
+        let r = ShardedRegistry::new();
+        let id = default_id();
         // A ±1 (sign-only) model packs exactly; publishing must leave
         // both snapshots cached, with the packed one far smaller.
-        r.publish(trained(512, 1.0), "signed").unwrap();
-        let served = r.current().unwrap();
+        r.publish(&id, trained(512, 1.0), "signed").unwrap();
+        let served = r.get(&id).unwrap();
         let dense = served.dense_memory_bytes();
         let packed = served.packed_memory_bytes().expect("±1 rows pack exactly");
         assert!(dense > 0 && packed > 0);
@@ -551,65 +557,95 @@ mod tests {
         mixed
             .bundle(1, &Hypervector::from_vec(row.iter().map(|v| -v).collect()))
             .unwrap();
-        r.publish(mixed, "mixed").unwrap();
-        assert!(r.current().unwrap().packed_memory_bytes().is_none());
+        r.publish(&id, mixed, "mixed").unwrap();
+        assert!(r.get(&id).unwrap().packed_memory_bytes().is_none());
     }
 
     #[test]
     fn untrained_models_are_rejected() {
-        let r = ModelRegistry::new();
-        let err = r.publish(HdModel::new(2, 32).unwrap(), "zero").unwrap_err();
+        let r = ShardedRegistry::new();
+        let id = default_id();
+        let err = r
+            .publish(&id, HdModel::new(2, 32).unwrap(), "zero")
+            .unwrap_err();
         assert_eq!(err, ServeError::Model(HdError::ZeroNorm));
-        assert!(r.current().is_none());
+        assert!(r.get(&id).is_none());
     }
 
     #[test]
     fn partially_trained_models_are_rejected_by_default() {
         // Regression (PR 2 validation gap): some-zero-norm models used to
         // pass the probe-predict check and then serve NEG_INFINITY rows.
-        let r = ModelRegistry::new();
-        let err = r.publish(partially_trained(32), "partial").unwrap_err();
+        let r = ShardedRegistry::new();
+        let id = default_id();
+        let err = r
+            .publish(&id, partially_trained(32), "partial")
+            .unwrap_err();
         assert_eq!(err, ServeError::UntrainedClasses(vec![1, 2]));
-        assert!(r.current().is_none());
+        assert!(r.get(&id).is_none());
     }
 
     #[test]
     fn publish_partial_allows_and_reports_untrained_classes() {
-        let r = ModelRegistry::new();
-        let (version, untrained) = r.publish_partial(partially_trained(32), "partial").unwrap();
+        let r = ShardedRegistry::new();
+        let id = default_id();
+        let (version, untrained) = r
+            .publish_partial(&id, partially_trained(32), "partial")
+            .unwrap();
         assert_eq!((version, untrained), (1, vec![1, 2]));
         // The published model serves; untrained classes can never win.
         let q = Hypervector::from_vec(vec![1.0; 32]);
-        let p = r.current().unwrap().model().predict(&q).unwrap();
+        let p = r.get(&id).unwrap().model().predict(&q).unwrap();
         assert_eq!(p.class, 0);
         assert_eq!(p.scores[1], f64::NEG_INFINITY);
         // All-zero still refuses even via the partial path.
         let err = r
-            .publish_partial(HdModel::new(2, 32).unwrap(), "zero")
+            .publish_partial(&id, HdModel::new(2, 32).unwrap(), "zero")
             .unwrap_err();
         assert_eq!(err, ServeError::Model(HdError::ZeroNorm));
     }
 
     #[test]
     fn old_snapshots_survive_a_swap() {
-        let r = ModelRegistry::with_model(trained(16, 1.0), "v1").unwrap();
-        let old = r.current().unwrap();
-        r.publish(trained(16, 3.0), "v2").unwrap();
+        let r = ShardedRegistry::with_model(trained(16, 1.0), "v1").unwrap();
+        let id = default_id();
+        let old = r.get(&id).unwrap();
+        r.publish(&id, trained(16, 3.0), "v2").unwrap();
         // The old Arc is still fully usable.
         assert_eq!(old.version, 1);
         let q = Hypervector::from_vec(vec![1.0; 16]);
         assert_eq!(old.model().predict(&q).unwrap().class, 0);
-        assert_eq!(r.current().unwrap().version, 2);
+        assert_eq!(r.get(&id).unwrap().version, 2);
     }
 
     #[test]
     fn withdraw_empties_the_registry() {
-        let r = ModelRegistry::with_model(trained(16, 1.0), "v1").unwrap();
-        let taken = r.withdraw().unwrap();
+        let r = ShardedRegistry::with_model(trained(16, 1.0), "v1").unwrap();
+        let id = default_id();
+        let taken = r.withdraw(&id).unwrap();
         assert_eq!(taken.version, 1);
-        assert!(r.current().is_none());
+        assert!(r.get(&id).is_none());
         // A later publish still advances the version counter.
-        assert_eq!(r.publish(trained(16, 1.0), "v2").unwrap(), 2);
+        assert_eq!(r.publish(&id, trained(16, 1.0), "v2").unwrap(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_model_registry_facade_delegates_to_the_default_id() {
+        // One release of compatibility: the facade must behave exactly
+        // like a default-id tenant of the ShardedRegistry it wraps.
+        let r = ModelRegistry::with_model(trained(16, 1.0), "v1").unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.current().unwrap().label, "v1");
+        assert_eq!(r.sharded().version(&default_id()), 1);
+        assert_eq!(r.publish(trained(16, 2.0), "v2").unwrap(), 2);
+        let (v, untrained) = r.publish_partial(partially_trained(16), "v3").unwrap();
+        assert_eq!((v, untrained), (3, vec![1, 2]));
+        assert_eq!(r.withdraw().unwrap().version, 3);
+        assert!(r.current().is_none());
+        // The wrapped registry is the same storage, not a copy.
+        assert!(r.sharded().get(&default_id()).is_none());
+        assert_eq!(ModelRegistry::default().version(), 0);
     }
 
     #[test]

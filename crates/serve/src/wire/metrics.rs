@@ -3,12 +3,14 @@
 //! These extend [`crate::ServeMetrics`] (which counts *requests* inside
 //! the engine) with what only the transport can see: connections,
 //! frames, decode failures, and wire-level backpressure. All counters
-//! are atomic — the poll loop and readers never contend on a lock.
+//! are atomic — the reactor threads and readers never contend on a
+//! lock, and the open-connection gauge is maintained as paired
+//! increments/decrements so it stays exact across reactors.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Live transport counters, shared between the server's poll loop and
-/// callers holding the [`crate::wire::WireServer`].
+/// Live transport counters, shared between the server's reactor
+/// threads and callers holding the [`crate::wire::WireServer`].
 #[derive(Debug, Default)]
 pub struct WireMetrics {
     accepted: AtomicU64,
@@ -38,9 +40,15 @@ impl WireMetrics {
         self.refused.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn set_open(&self, open: usize) {
-        // Relaxed: last-writer-wins gauge.
-        self.open.store(open as u64, Ordering::Relaxed);
+    pub(crate) fn on_conn_open(&self) {
+        // Relaxed: gauge increment; multiple reactors update it, every
+        // increment is paired with exactly one decrement.
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_conn_close(&self) {
+        // Relaxed: see on_conn_open — paired decrement.
+        self.open.fetch_sub(1, Ordering::Relaxed);
     }
 
     pub(crate) fn on_frame_in(&self) {
@@ -150,7 +158,10 @@ mod tests {
         m.on_accept();
         m.on_accept();
         m.on_refuse();
-        m.set_open(2);
+        m.on_conn_open();
+        m.on_conn_open();
+        m.on_conn_open();
+        m.on_conn_close();
         m.on_frame_in();
         m.on_response_out();
         m.on_decode_error();

@@ -10,12 +10,17 @@
 //!   frame codec ([`Frame`], [`WireStatus`], [`FrameError`]). Packed
 //!   bipolar queries cost 1 bit per dimension on the wire (the paper's
 //!   §III-C transfer saving).
-//! * [`WireServer`] — a poll-style (nonblocking `std::net`) connection
-//!   loop decoding request frames into
-//!   [`crate::SubmitHandle::submit_to`] and streaming response frames
-//!   back. Queue backpressure maps to an explicit [`WireStatus::Busy`]
-//!   frame, never a stalled socket; buffers are bounded per
-//!   connection; malformed frames answer typed faults and close.
+//! * [`WireServer`] — [`WireConfig::reactors`] epoll-backed readiness
+//!   loops (the vendored `polling` layer; nonblocking `std::net`)
+//!   sharing one listener, pinning each connection to `fd % reactors`,
+//!   decoding request frames into the engine's unified
+//!   [`crate::SubmitHandle::submit`] surface and streaming response
+//!   frames back as completions arrive. Queue backpressure — global
+//!   ([`WireStatus::Busy`] for a full engine queue) and per-tenant
+//!   (quota rejections from the weighted-fair scheduler) — maps to an
+//!   explicit `Busy` frame, never a stalled socket; buffers are
+//!   bounded per connection; malformed frames answer typed faults and
+//!   close.
 //! * [`WireClient`] — the blocking client used by `examples/serving.rs`
 //!   and the loopback integration tests.
 //!
@@ -40,4 +45,4 @@ pub use frame::{
     StatsReplyFrame, StatsRequestFrame, WireFault, WirePrediction, WireStatus,
 };
 pub use metrics::{WireMetrics, WireReport};
-pub use server::{WireConfig, WireServer};
+pub use server::{WireConfig, WireConfigBuilder, WireServer};

@@ -1,24 +1,35 @@
-//! The TCP front-end: a poll-style connection loop feeding the engine.
+//! The TCP front-end: N readiness reactors feeding the engine.
 //!
-//! [`WireServer`] listens on a TCP socket, decodes request frames into
-//! [`SubmitHandle::submit_to`], and streams response frames back as
-//! each request's [`crate::PendingPrediction`] resolves. There is no
-//! async runtime in this workspace (the offline `vendor/` set carries
-//! none), so the server runs one dedicated thread with every socket in
-//! nonblocking mode — a classic readiness loop. The heavy work
-//! (batching, classification) happens on the engine's worker pool; for
-//! *packed* frames the wire thread only shovels and frames bytes, so
-//! one poll thread keeps up with many connections. Raw-features
-//! frames are the exception: their server-side encode ∘ obfuscate
-//! ([`WireConfig::edges`]) currently runs on the poll thread, so heavy
-//! raw traffic adds latency for every connection — treat the raw path
-//! as a convenience for trusted/legacy clients and packed frames as
-//! the performance path (offloading the edge onto the worker pool is a
-//! roadmap item).
+//! [`WireServer`] listens on a TCP socket and runs
+//! [`WireConfig::reactors`] reactor threads, each driving its own
+//! epoll-backed [`polling::Poller`] (the vendored readiness layer —
+//! there is no async runtime in this workspace). Every reactor
+//! registers the shared listener, so accepts are sharded: whichever
+//! reactor wakes first wins the `accept` race, and the new connection
+//! is pinned to reactor `fd % reactors` (handed off through that
+//! reactor's inbox when another reactor accepted it). A connection
+//! lives on one reactor for its whole life — no cross-thread state
+//! beyond the handoff and completion inboxes.
+//!
+//! The heavy work never runs on a reactor. Packed frames are submitted
+//! to the engine with a completion callback that posts the finished
+//! prediction into the owning reactor's inbox (and wakes its poller) —
+//! the reactor only shovels and frames bytes. Raw-features frames,
+//! whose server-side encode ∘ obfuscate ([`WireConfig::edges`]) is
+//! real CPU work, are offloaded onto the shared
+//! [`privehd_core::pool`] worker pool: the pool job encodes, submits,
+//! and its completion flows back through the same inbox. A raw flood
+//! therefore costs pool throughput, not reactor latency.
+//!
+//! Because completions arrive per request (not per connection pass),
+//! pipelined responses on one connection may be written in completion
+//! order, not submission order — clients correlate by `request_id`
+//! ([`crate::wire::WireClient`] documents the same contract).
 //!
 //! ## Backpressure and hygiene
 //!
-//! * Engine queue pressure ([`ServeError::QueueFull`]) and the
+//! * Engine queue pressure ([`ServeError::QueueFull`]), a tenant over
+//!   its fair-share quota ([`ServeError::TenantOverQuota`]) and the
 //!   per-connection in-flight cap ([`WireConfig::max_in_flight`]) are
 //!   answered with an explicit [`WireStatus::Busy`] error frame — the
 //!   socket never stalls as a side channel of queue state.
@@ -32,35 +43,38 @@
 //!   re-synchronized after framing is lost.
 //! * Idle connections (no traffic, nothing in flight) close after
 //!   [`WireConfig::idle_timeout`].
-//! * [`WireServer::shutdown`] drains gracefully: it stops accepting
-//!   and reading, finishes every in-flight request, flushes response
-//!   buffers, then closes. If the engine shuts down first, in-flight
-//!   requests resolve to [`WireStatus::Closed`] faults and the drain
-//!   still completes.
+//! * [`WireServer::shutdown`] drains gracefully: every reactor stops
+//!   accepting and reading, finishes its in-flight requests, flushes
+//!   response buffers, then closes. If the engine shuts down first,
+//!   in-flight requests resolve to [`WireStatus::Closed`] faults and
+//!   the drain still completes.
 //!
 //! ## Observability
 //!
-//! The poll loop stamps the wire-side stages of the request path —
+//! The reactors stamp the wire-side stages of the request path —
 //! [`Stage::WireDecode`], [`Stage::Admission`], [`Stage::Encode`] (raw
-//! frames only) and [`Stage::WireWrite`] — into the engine's
-//! [`crate::ServeMetrics`] and its sampled trace ring, using one
-//! [`TraceCtx`] per request so a trace id spans the transport and the
-//! engine. A `Stats` request frame answers with the merged
-//! Prometheus-text exposition ([`crate::stats::prometheus_text`]) of
-//! the serve report, the transport counters, and the slow-span ring;
-//! stats traffic is counted in [`WireReport::stats_served`] only, not
-//! in the frame/response counters. See `docs/OBSERVABILITY.md`.
+//! frames, stamped on the pool thread that ran the edge) and
+//! [`Stage::WireWrite`] — into the engine's [`crate::ServeMetrics`]
+//! and its sampled trace ring, using one [`TraceCtx`] per request so a
+//! trace id spans the transport and the engine. A `Stats` request
+//! frame answers with the merged Prometheus-text exposition
+//! ([`crate::stats::prometheus_text`]) of the serve report, the
+//! transport counters, and the slow-span ring; stats traffic is
+//! counted in [`WireReport::stats_served`] only, not in the
+//! frame/response counters. See `docs/OBSERVABILITY.md`.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::edge::ClientEdge;
-use crate::engine::{PendingPrediction, QueryVec, ServedPrediction, SubmitHandle};
+use crate::engine::{QueryVec, ServedPrediction, SubmitHandle};
 use crate::error::ServeError;
 use crate::registry::ModelId;
 use crate::wire::frame::{
@@ -69,13 +83,19 @@ use crate::wire::frame::{
     TRAILER_LEN,
 };
 use crate::wire::metrics::{WireMetrics, WireReport};
+use polling::{Event, Poller};
 use privehd_core::telemetry::{Stage, TraceCtx};
 
 /// Tuning knobs of the wire front-end.
 #[derive(Debug, Clone)]
 pub struct WireConfig {
-    /// Most simultaneous connections; further accepts are refused
-    /// (closed immediately).
+    /// Reactor (readiness loop) threads. Each runs its own poller;
+    /// connections are pinned to `fd % reactors`. Defaults to the
+    /// machine's available parallelism, capped at 4 — wire reactors
+    /// shovel bytes and should leave cores for the engine's workers.
+    pub reactors: usize,
+    /// Most simultaneous connections across all reactors; further
+    /// accepts are refused (closed immediately).
     pub max_connections: usize,
     /// Cap on a frame's declared body length; larger frames answer
     /// [`WireStatus::TooLarge`] and close the connection.
@@ -83,12 +103,12 @@ pub struct WireConfig {
     /// Per-connection admission cap: requests in flight beyond this
     /// answer [`WireStatus::Busy`] instead of entering the engine — a
     /// flooding connection is throttled at its own edge before it can
-    /// monopolize the shared submission queue.
+    /// monopolize the shared submission queues.
     pub max_in_flight: usize,
     /// Cap on the *bytes a query holds in the engine queue*, expressed
     /// as a dense dimensionality: a raw-features frame may declare at
     /// most `max_query_dim` features (its edge-encoded query occupies
-    /// one `f64` per dimension), while a packed frame — which now rides
+    /// one `f64` per dimension), while a packed frame — which rides
     /// the queue packed-native at 1 bit/dim, with no dense expansion
     /// anywhere on its path — may declare up to `64 × max_query_dim`
     /// dimensions, the same memory held. Decoding never allocates more
@@ -105,31 +125,49 @@ pub struct WireConfig {
     /// How long [`WireServer::shutdown`] waits for in-flight requests
     /// to finish before closing connections anyway.
     pub drain_timeout: Duration,
-    /// Sleep between poll iterations when nothing made progress.
+    /// Upper bound on how long a reactor sleeps in `Poller::wait` with
+    /// no readiness events; doubles as the timer tick for idle, linger
+    /// and drain deadlines.
     pub poll_interval: Duration,
     /// Server-side edge pipelines for [`QueryPayload::Raw`] frames,
     /// keyed by model id: raw features for `id` run encode ∘ obfuscate
-    /// through `edges[id]` before submission. Models without an entry
-    /// answer [`WireStatus::UnsupportedPayload`] to raw frames.
+    /// through `edges[id]` (on the worker pool, off the reactor)
+    /// before submission. Models without an entry answer
+    /// [`WireStatus::UnsupportedPayload`] to raw frames.
     pub edges: HashMap<ModelId, ClientEdge>,
 }
 
 impl Default for WireConfig {
     fn default() -> Self {
         Self {
+            reactors: default_reactors(),
             max_connections: 64,
             max_body_bytes: DEFAULT_MAX_BODY,
             max_in_flight: 32,
             max_query_dim: 65_536,
             idle_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(5),
-            poll_interval: Duration::from_micros(500),
+            poll_interval: Duration::from_millis(10),
             edges: HashMap::new(),
         }
     }
 }
 
+/// Default reactor count: available parallelism capped at 4.
+fn default_reactors() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1)
+}
+
 impl WireConfig {
+    /// A builder over the defaults, validating at
+    /// [`WireConfigBuilder::build`].
+    #[must_use]
+    pub fn builder() -> WireConfigBuilder {
+        WireConfigBuilder::default()
+    }
+
     /// Registers a server-side edge for `model`'s raw-features frames
     /// (builder style).
     #[must_use]
@@ -139,6 +177,9 @@ impl WireConfig {
     }
 
     fn validate(&self) -> Result<(), ServeError> {
+        if self.reactors == 0 {
+            return Err(ServeError::InvalidConfig("reactors must be ≥ 1".into()));
+        }
         if self.max_connections == 0 {
             return Err(ServeError::InvalidConfig(
                 "max_connections must be ≥ 1".into(),
@@ -163,24 +204,205 @@ impl WireConfig {
     }
 }
 
+/// Builder for [`WireConfig`] with build-time validation — invalid
+/// knob combinations surface as [`ServeError::InvalidConfig`] at
+/// [`WireConfigBuilder::build`], before a socket is ever bound.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_serve::wire::WireConfig;
+///
+/// let config = WireConfig::builder()
+///     .reactors(2)
+///     .max_in_flight(8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.reactors, 2);
+/// assert!(WireConfig::builder().reactors(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WireConfigBuilder {
+    config: WireConfig,
+}
+
+impl WireConfigBuilder {
+    /// Sets [`WireConfig::reactors`].
+    #[must_use]
+    pub fn reactors(mut self, n: usize) -> Self {
+        self.config.reactors = n;
+        self
+    }
+
+    /// Sets [`WireConfig::max_connections`].
+    #[must_use]
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.config.max_connections = n;
+        self
+    }
+
+    /// Sets [`WireConfig::max_body_bytes`].
+    #[must_use]
+    pub fn max_body_bytes(mut self, n: usize) -> Self {
+        self.config.max_body_bytes = n;
+        self
+    }
+
+    /// Sets [`WireConfig::max_in_flight`].
+    #[must_use]
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.config.max_in_flight = n;
+        self
+    }
+
+    /// Sets [`WireConfig::max_query_dim`].
+    #[must_use]
+    pub fn max_query_dim(mut self, n: usize) -> Self {
+        self.config.max_query_dim = n;
+        self
+    }
+
+    /// Sets [`WireConfig::idle_timeout`].
+    #[must_use]
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.config.idle_timeout = d;
+        self
+    }
+
+    /// Sets [`WireConfig::drain_timeout`].
+    #[must_use]
+    pub fn drain_timeout(mut self, d: Duration) -> Self {
+        self.config.drain_timeout = d;
+        self
+    }
+
+    /// Sets [`WireConfig::poll_interval`].
+    #[must_use]
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.config.poll_interval = d;
+        self
+    }
+
+    /// Registers a server-side edge for `model`'s raw-features frames
+    /// (see [`WireConfig::edges`]).
+    #[must_use]
+    pub fn edge(mut self, model: ModelId, edge: ClientEdge) -> Self {
+        self.config.edges.insert(model, edge);
+        self
+    }
+
+    /// Validates and returns the finished [`WireConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending knob.
+    pub fn build(self) -> Result<WireConfig, ServeError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// The poller key every reactor registers the shared listener under.
+/// Connection keys start at 1, so 0 is never ambiguous.
+const LISTEN_KEY: usize = 0;
+
+/// A finished request on its way back to the connection that issued
+/// it: posted by an engine worker (packed path) or a pool job (raw
+/// path) into the owning reactor's inbox.
+struct Completion {
+    /// The connection's poller key on its owning reactor.
+    key: usize,
+    request_id: u64,
+    ctx: TraceCtx,
+    outcome: Result<ServedPrediction, ServeError>,
+}
+
+/// A reactor's mailbox for work arriving from other threads: sockets
+/// handed off by the accepting reactor, and completions posted by
+/// engine workers / pool jobs. Paired with a `Poller::notify` wake.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    completions: Vec<Completion>,
+}
+
+/// Another reactor, as seen from the accepting one: enough to hand a
+/// socket over and wake it.
+struct ReactorPeer {
+    poller: Arc<Poller>,
+    inbox: Arc<Mutex<Inbox>>,
+}
+
+/// Everything one reactor thread needs, bundled so helpers take one
+/// argument (and so no per-reactor `Vec` indexing is ever needed —
+/// `peers.get(target)` is total).
+struct ReactorCtx {
+    index: usize,
+    listener: Arc<TcpListener>,
+    handle: SubmitHandle,
+    config: Arc<WireConfig>,
+    metrics: Arc<WireMetrics>,
+    conn_count: Arc<AtomicUsize>,
+    poller: Arc<Poller>,
+    inbox: Arc<Mutex<Inbox>>,
+    peers: Vec<ReactorPeer>,
+}
+
+/// Locks a reactor inbox, recovering from poisoning: an inbox holds
+/// plain `Vec`s whose partial state is safe to continue with, and a
+/// poisoned inbox must not wedge every completion behind it.
+fn lock_inbox(inbox: &Mutex<Inbox>) -> MutexGuard<'_, Inbox> {
+    inbox.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Posts a completion into `inbox` and wakes its reactor.
+fn push_completion(inbox: &Mutex<Inbox>, poller: &Poller, completion: Completion) {
+    lock_inbox(inbox).completions.push(completion);
+    let _ = poller.notify();
+}
+
+/// The `Event` expressing interest `want` (readable, writable) for
+/// poller key `key`.
+fn event_for(key: usize, want: (bool, bool)) -> Event {
+    match want {
+        (true, true) => Event::all(key),
+        (true, false) => Event::readable(key),
+        (false, true) => Event::writable(key),
+        (false, false) => Event::none(key),
+    }
+}
+
 /// The running TCP front-end; dropping (or [`WireServer::shutdown`])
 /// stops it.
-#[derive(Debug)]
 pub struct WireServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<WireMetrics>,
-    thread: Option<JoinHandle<()>>,
+    conn_count: Arc<AtomicUsize>,
+    pollers: Vec<Arc<Poller>>,
+    inboxes: Vec<Arc<Mutex<Inbox>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .field("reactors", &self.pollers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl WireServer {
     /// Binds `addr` (use port 0 for an OS-assigned port) and spawns
-    /// the poll thread serving requests into `handle`'s engine.
+    /// [`WireConfig::reactors`] reactor threads serving requests into
+    /// `handle`'s engine.
     ///
     /// # Errors
     ///
     /// [`ServeError::InvalidConfig`] for zero-valued knobs,
-    /// [`ServeError::Transport`] when the bind fails.
+    /// [`ServeError::Transport`] when the bind (or poller setup)
+    /// fails.
     ///
     /// # Examples
     ///
@@ -190,13 +412,13 @@ impl WireServer {
     /// use std::sync::Arc;
     /// use privehd_core::{BipolarHv, HdModel, Hypervector};
     /// use privehd_serve::wire::{WireClient, WireConfig, WireServer};
-    /// use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
+    /// use privehd_serve::{ModelId, ServeConfig, ServeEngine, ShardedRegistry};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
     /// let mut model = HdModel::new(2, 64)?;
     /// model.bundle(0, &Hypervector::from_vec(vec![1.0; 64]))?;
     /// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 64]))?;
-    /// let registry = Arc::new(ModelRegistry::with_model(model, "demo")?);
+    /// let registry = Arc::new(ShardedRegistry::with_model(model, "demo")?);
     /// let engine = ServeEngine::start(registry, ServeConfig::default())?;
     ///
     /// let server = WireServer::start("127.0.0.1:0", engine.handle(), WireConfig::default())?;
@@ -225,21 +447,69 @@ impl WireServer {
         let local = listener
             .local_addr()
             .map_err(|e| ServeError::Transport(format!("local_addr failed: {e}")))?;
+        let listener = Arc::new(listener);
+        let config = Arc::new(config);
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(WireMetrics::new());
-        let thread = {
-            let stop = Arc::clone(&stop);
-            let metrics = Arc::clone(&metrics);
-            std::thread::Builder::new()
-                .name("privehd-wire".into())
-                .spawn(move || run_loop(&listener, &handle, &config, &metrics, &stop))
-                .map_err(|e| ServeError::Transport(format!("spawn failed: {e}")))?
-        };
+        let conn_count = Arc::new(AtomicUsize::new(0));
+        let n = config.reactors;
+        let mut pollers = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let poller = Poller::new()
+                .map_err(|e| ServeError::Transport(format!("poller setup failed: {e}")))?;
+            pollers.push(Arc::new(poller));
+            inboxes.push(Arc::new(Mutex::new(Inbox::default())));
+        }
+        let mut threads = Vec::with_capacity(n);
+        for (index, (poller, inbox)) in pollers.iter().zip(&inboxes).enumerate() {
+            let peers = pollers
+                .iter()
+                .zip(&inboxes)
+                .map(|(p, i)| ReactorPeer {
+                    poller: Arc::clone(p),
+                    inbox: Arc::clone(i),
+                })
+                .collect();
+            let rctx = ReactorCtx {
+                index,
+                listener: Arc::clone(&listener),
+                handle: handle.clone(),
+                config: Arc::clone(&config),
+                metrics: Arc::clone(&metrics),
+                conn_count: Arc::clone(&conn_count),
+                poller: Arc::clone(poller),
+                inbox: Arc::clone(inbox),
+                peers,
+            };
+            let stop_flag = Arc::clone(&stop);
+            let spawned = std::thread::Builder::new()
+                .name(format!("privehd-wire-{index}"))
+                .spawn(move || run_reactor(rctx, &stop_flag));
+            match spawned {
+                Ok(t) => threads.push(t),
+                Err(e) => {
+                    // Release: pairs with the reactors' Acquire loads;
+                    // makes this stop visible before they are woken.
+                    stop.store(true, Ordering::Release);
+                    for p in &pollers {
+                        let _ = p.notify();
+                    }
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    return Err(ServeError::Transport(format!("spawn failed: {e}")));
+                }
+            }
+        }
         Ok(Self {
             addr: local,
             stop,
             metrics,
-            thread: Some(thread),
+            conn_count,
+            pollers,
+            inboxes,
+            threads,
         })
     }
 
@@ -260,22 +530,39 @@ impl WireServer {
 
     /// Stops accepting, drains in-flight requests (bounded by
     /// [`WireConfig::drain_timeout`]), closes every connection, joins
-    /// the poll thread, and returns the final transport report.
+    /// the reactor threads, and returns the final transport report.
     pub fn shutdown(mut self) -> WireReport {
         self.join();
         self.metrics.report()
     }
 
     fn join(&mut self) {
-        // Release: pairs with the poll loop's Acquire load of `stop`;
-        // config/metrics writes before shutdown are visible to it.
+        // Release: pairs with the reactors' Acquire load of `stop`;
+        // writes before shutdown are visible to them.
         self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.thread.take() {
-            // analyze::allow(no-panic-path): re-raising a poll-thread
+        for p in &self.pollers {
+            let _ = p.notify();
+        }
+        for t in self.threads.drain(..) {
+            // analyze::allow(no-panic-path): re-raising a reactor
             // panic at shutdown is deliberate — it fires only on an
             // internal bug, never on peer input, and must not be
             // swallowed into a clean-looking report.
-            t.join().expect("wire poll thread panicked");
+            t.join().expect("wire reactor thread panicked");
+        }
+        // A socket accepted on reactor A and handed to reactor B can
+        // land in B's inbox after B exited its loop: release those
+        // slots here so the open-connection gauge ends at zero.
+        for inbox in &self.inboxes {
+            let mut guard = lock_inbox(inbox);
+            for stream in guard.conns.drain(..) {
+                drop(stream);
+                // Relaxed: plain admission counter; no data is
+                // published through it.
+                self.conn_count.fetch_sub(1, Ordering::Relaxed);
+                self.metrics.on_conn_close();
+            }
+            guard.completions.clear();
         }
     }
 }
@@ -286,13 +573,22 @@ impl Drop for WireServer {
     }
 }
 
-/// One live connection's state inside the poll loop.
+/// One live connection's state inside its owning reactor.
 struct Conn {
     stream: TcpStream,
+    /// This connection's poller key on its owning reactor (unique for
+    /// the reactor's lifetime; never reused, so a stale completion for
+    /// a dead connection cannot alias a live one).
+    key: usize,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
     written: usize,
-    in_flight: Vec<(u64, TraceCtx, PendingPrediction)>,
+    /// Requests submitted (or offloaded to the pool) and not yet
+    /// answered; their results arrive as [`Completion`]s.
+    in_flight: usize,
+    /// The (readable, writable) interest currently registered with the
+    /// poller; updated on transitions only.
+    interest: (bool, bool),
     last_activity: Instant,
     /// Peer half-closed its send side; serve what's in flight, then go.
     eof: bool,
@@ -314,16 +610,18 @@ const READ_CHUNK: usize = 16 * 1024;
 /// in-flight bytes after its fault frame is flushed.
 const CLOSE_LINGER: Duration = Duration::from_secs(1);
 
-// analyze: nonblocking-region — every Conn method runs on the single
-// poll thread; one blocking call here stalls every connected peer.
+// analyze: nonblocking-region — every Conn method runs on a reactor
+// thread; one blocking call here stalls every peer pinned to it.
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, key: usize) -> Self {
         Self {
             stream,
+            key,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             written: 0,
-            in_flight: Vec::new(),
+            in_flight: 0,
+            interest: (false, false),
             last_activity: Instant::now(),
             eof: false,
             close_after_flush: false,
@@ -336,28 +634,35 @@ impl Conn {
         self.write_buf.len() - self.written
     }
 
-    /// One service round: read, parse/submit, poll in-flight, write,
-    /// lifecycle. Returns true when any progress was made. `draining`
-    /// suppresses reading/parsing so shutdown only finishes what was
-    /// already accepted.
-    fn pump(
-        &mut self,
-        handle: &SubmitHandle,
-        config: &WireConfig,
-        metrics: &WireMetrics,
-        draining: bool,
-    ) -> bool {
+    fn settled(&self) -> bool {
+        self.in_flight == 0 && self.pending_write() == 0
+    }
+
+    /// The (readable, writable) interest this connection wants
+    /// registered, given its lifecycle state. Reading stops while
+    /// poisoned or draining; writing is wanted only with bytes queued.
+    fn desired_interest(&self, draining: bool) -> (bool, bool) {
+        let want_read =
+            self.linger_until.is_some() || (!draining && !self.close_after_flush && !self.eof);
+        (want_read, self.pending_write() > 0)
+    }
+
+    /// One service round: read, parse/submit, write, lifecycle.
+    /// Returns true when any progress was made. `draining` suppresses
+    /// reading/parsing so shutdown only finishes what was already
+    /// accepted. Completions are applied separately (see
+    /// [`Conn::complete`]) as they arrive in the reactor inbox.
+    fn pump(&mut self, rctx: &ReactorCtx, draining: bool) -> bool {
         if let Some(deadline) = self.linger_until {
             return self.linger_discard(deadline);
         }
         let mut progress = false;
         if !draining && !self.close_after_flush {
-            progress |= self.fill_read_buf(config);
-            progress |= self.parse_and_submit(handle, config, metrics);
+            progress |= self.fill_read_buf(&rctx.config);
+            progress |= self.parse_and_submit(rctx);
         }
-        progress |= self.poll_in_flight(handle, metrics);
-        progress |= self.flush(config);
-        self.update_lifecycle(config, metrics);
+        progress |= self.flush(&rctx.config);
+        self.update_lifecycle(&rctx.config, &rctx.metrics);
         progress
     }
 
@@ -419,12 +724,10 @@ impl Conn {
     /// Decodes every complete frame in the read buffer, answering or
     /// submitting each. A decode error answers a typed fault (request
     /// id salvaged when possible) and poisons the connection.
-    fn parse_and_submit(
-        &mut self,
-        handle: &SubmitHandle,
-        config: &WireConfig,
-        metrics: &WireMetrics,
-    ) -> bool {
+    fn parse_and_submit(&mut self, rctx: &ReactorCtx) -> bool {
+        let handle = &rctx.handle;
+        let config = &rctx.config;
+        let metrics = &rctx.metrics;
         let mut consumed = 0usize;
         let mut progress = false;
         loop {
@@ -454,7 +757,7 @@ impl Conn {
                                 decode_start,
                                 decoded_at,
                             );
-                            self.handle_request(req, ctx, handle, config, metrics);
+                            self.handle_request(req, ctx, rctx);
                         }
                         Frame::StatsRequest(req) => {
                             // Metadata, not serving load: answered
@@ -529,26 +832,27 @@ impl Conn {
 
     /// Admission, payload preparation, and submission for one request.
     ///
-    /// On successful submission this stamps [`Stage::Admission`] (the
-    /// whole span from frame-decoded to engine-accepted, which on the
-    /// raw path *contains* the [`Stage::Encode`] span recorded around
-    /// the server-side edge). Rejected requests stamp nothing — the
-    /// stage histograms decompose served traffic.
-    fn handle_request(
-        &mut self,
-        req: RequestFrame,
-        ctx: TraceCtx,
-        handle: &SubmitHandle,
-        config: &WireConfig,
-        metrics: &WireMetrics,
-    ) {
+    /// Packed frames submit from the reactor with a completion
+    /// callback pointing at this reactor's inbox; raw frames are
+    /// offloaded to the worker pool (edge encode ∘ obfuscate, then the
+    /// same submit-with-callback), so the reactor never runs encode
+    /// CPU work. On successful submission the engine worker path
+    /// stamps [`Stage::Admission`] (the whole span from frame-decoded
+    /// to engine-accepted, which on the raw path *contains* the
+    /// [`Stage::Encode`] span recorded around the server-side edge).
+    /// Rejected requests stamp nothing — the stage histograms
+    /// decompose served traffic.
+    fn handle_request(&mut self, req: RequestFrame, ctx: TraceCtx, rctx: &ReactorCtx) {
         let admit_start = Instant::now();
+        let handle = &rctx.handle;
+        let config = &rctx.config;
+        let metrics = &rctx.metrics;
         let RequestFrame {
             request_id,
             model,
             payload,
         } = req;
-        if self.in_flight.len() >= config.max_in_flight {
+        if self.in_flight >= config.max_in_flight {
             metrics.on_busy();
             self.queue_fault(
                 request_id,
@@ -577,13 +881,34 @@ impl Conn {
             );
             return;
         }
-        let query = match payload {
+        match payload {
             // Packed-native: the frame's bit-packed words are handed to
             // the engine as-is — no to_dense() on this path, by
             // contract (a conversion-count test pins it).
-            QueryPayload::Packed(hv) => QueryVec::Packed(hv),
-            QueryPayload::Raw(features) => match config.edges.get(&model) {
-                None => {
+            QueryPayload::Packed(hv) => {
+                let on_done = completion_callback(rctx, self.key, request_id, ctx);
+                match handle.submit_with(&model, QueryVec::Packed(hv), ctx, on_done) {
+                    Ok(()) => {
+                        self.in_flight += 1;
+                        let admitted_at = Instant::now();
+                        handle.serve_metrics().on_stage(
+                            Stage::Admission,
+                            admitted_at.saturating_duration_since(admit_start),
+                        );
+                        handle
+                            .tracer()
+                            .record(ctx, Stage::Admission, admit_start, admitted_at);
+                    }
+                    Err(e) => {
+                        if matches!(e, ServeError::QueueFull | ServeError::TenantOverQuota) {
+                            metrics.on_busy();
+                        }
+                        self.queue_fault(request_id, fault_for(&e), metrics);
+                    }
+                }
+            }
+            QueryPayload::Raw(features) => {
+                if !config.edges.contains_key(&model) {
                     self.queue_fault(
                         request_id,
                         WireFault::new(
@@ -594,85 +919,74 @@ impl Conn {
                     );
                     return;
                 }
-                Some(edge) => {
-                    let encode_start = Instant::now();
-                    match edge.prepare(&features) {
-                        Ok(q) => {
-                            let encode_end = Instant::now();
-                            handle.serve_metrics().on_stage(
-                                Stage::Encode,
-                                encode_end.saturating_duration_since(encode_start),
-                            );
-                            handle
-                                .tracer()
-                                .record(ctx, Stage::Encode, encode_start, encode_end);
-                            QueryVec::Dense(q)
-                        }
-                        Err(e) => {
-                            self.queue_fault(request_id, fault_for(&e), metrics);
-                            return;
-                        }
-                    }
-                }
-            },
-        };
-        match handle.submit_traced(&model, query, ctx) {
-            Ok(pending) => {
-                let admitted_at = Instant::now();
-                handle.serve_metrics().on_stage(
-                    Stage::Admission,
-                    admitted_at.saturating_duration_since(admit_start),
-                );
-                handle
-                    .tracer()
-                    .record(ctx, Stage::Admission, admit_start, admitted_at);
-                self.in_flight.push((request_id, ctx, pending));
-            }
-            Err(e) => {
-                if e == ServeError::QueueFull {
-                    metrics.on_busy();
-                }
-                self.queue_fault(request_id, fault_for(&e), metrics);
+                // Offload the edge onto the worker pool: encode is the
+                // one CPU-heavy wire stage, and running it here would
+                // add its latency to every peer on this reactor. The
+                // job posts exactly one completion (success or error),
+                // so `in_flight` always comes back down.
+                self.in_flight += 1;
+                let key = self.key;
+                let handle = handle.clone();
+                let config = Arc::clone(&rctx.config);
+                let inbox = Arc::clone(&rctx.inbox);
+                let poller = Arc::clone(&rctx.poller);
+                privehd_core::pool::global().spawn(move || {
+                    encode_and_submit(
+                        &handle,
+                        &config,
+                        &inbox,
+                        &poller,
+                        key,
+                        request_id,
+                        ctx,
+                        admit_start,
+                        model,
+                        features,
+                    );
+                });
             }
         }
     }
 
-    /// Sends a response frame for every in-flight request whose
-    /// prediction has resolved, stamping [`Stage::WireWrite`] (response
-    /// framing into the write buffer — the socket write itself is
-    /// batched across requests and not attributable to one).
-    fn poll_in_flight(&mut self, handle: &SubmitHandle, metrics: &WireMetrics) -> bool {
-        let mut progress = false;
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            // analyze::allow(no-panic-path): `i < in_flight.len()` is
-            // the loop guard; swap_remove below keeps it in range.
-            let Some(outcome) = self.in_flight[i].2.try_wait() else {
-                i += 1;
-                continue;
-            };
-            let (request_id, ctx, _) = self.in_flight.swap_remove(i);
-            progress = true;
-            let outcome = match outcome {
-                Ok(served) => Ok(wire_prediction(served)),
-                Err(e) => Err(fault_for(&e)),
-            };
-            let write_start = Instant::now();
-            self.queue_response(ResponseFrame {
-                request_id,
-                outcome,
-            });
-            let write_end = Instant::now();
-            handle.serve_metrics().on_stage(
-                Stage::WireWrite,
-                write_end.saturating_duration_since(write_start),
-            );
-            handle
-                .tracer()
-                .record(ctx, Stage::WireWrite, write_start, write_end);
-            metrics.on_response_out();
+    /// Applies one finished request to this connection: frames the
+    /// response (stamping [`Stage::WireWrite`] — response framing into
+    /// the write buffer; the socket write itself is batched across
+    /// requests and not attributable to one) and releases its
+    /// in-flight slot.
+    fn complete(&mut self, completion: Completion, handle: &SubmitHandle, metrics: &WireMetrics) {
+        let Completion {
+            request_id,
+            ctx,
+            outcome,
+            ..
+        } = completion;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if matches!(
+            outcome,
+            Err(ServeError::QueueFull | ServeError::TenantOverQuota)
+        ) {
+            // Raw-path submissions reject on the pool thread and flow
+            // back here; count them as Busy exactly once.
+            metrics.on_busy();
         }
-        progress
+        let outcome = match outcome {
+            Ok(served) => Ok(wire_prediction(served)),
+            Err(e) => Err(fault_for(&e)),
+        };
+        let write_start = Instant::now();
+        self.queue_response(ResponseFrame {
+            request_id,
+            outcome,
+        });
+        let write_end = Instant::now();
+        handle.serve_metrics().on_stage(
+            Stage::WireWrite,
+            write_end.saturating_duration_since(write_start),
+        );
+        handle
+            .tracer()
+            .record(ctx, Stage::WireWrite, write_start, write_end);
+        metrics.on_response_out();
     }
 
     fn queue_fault(&mut self, request_id: u64, fault: WireFault, metrics: &WireMetrics) {
@@ -690,7 +1004,7 @@ impl Conn {
     fn queue_frame(&mut self, frame: Frame) {
         // Server-built frames have bounded fields, so encoding cannot
         // fail unless the builder itself is buggy; poison just this
-        // connection instead of panicking the poll thread.
+        // connection instead of panicking the reactor.
         if frame.encode_into(&mut self.write_buf).is_err() {
             self.dead = true;
             return;
@@ -737,7 +1051,7 @@ impl Conn {
         if self.dead {
             return;
         }
-        let settled = self.in_flight.is_empty() && self.pending_write() == 0;
+        let settled = self.settled();
         if settled && self.close_after_flush {
             // Fault frame flushed: half-close and linger-discard the
             // peer's in-flight bytes instead of dropping the socket
@@ -756,11 +1070,124 @@ impl Conn {
         }
     }
 }
+// analyze: end-nonblocking-region
+
+/// Builds the completion callback a submission hands to the engine:
+/// it posts the outcome into the owning reactor's inbox under the
+/// connection's key and wakes that reactor's poller. Runs on an engine
+/// worker thread.
+fn completion_callback(
+    rctx: &ReactorCtx,
+    key: usize,
+    request_id: u64,
+    ctx: TraceCtx,
+) -> Box<dyn Fn(Result<ServedPrediction, ServeError>) + Send + Sync> {
+    let inbox = Arc::clone(&rctx.inbox);
+    let poller = Arc::clone(&rctx.poller);
+    Box::new(move |outcome| {
+        push_completion(
+            &inbox,
+            &poller,
+            Completion {
+                key,
+                request_id,
+                ctx,
+                outcome,
+            },
+        );
+    })
+}
+
+/// The raw-frame pool job: server-side edge (encode ∘ obfuscate), then
+/// submit with a completion callback. Runs on a worker-pool thread;
+/// every path posts exactly one completion so the connection's
+/// in-flight count always settles.
+#[allow(clippy::too_many_arguments)]
+fn encode_and_submit(
+    handle: &SubmitHandle,
+    config: &WireConfig,
+    inbox: &Arc<Mutex<Inbox>>,
+    poller: &Arc<Poller>,
+    key: usize,
+    request_id: u64,
+    ctx: TraceCtx,
+    admit_start: Instant,
+    model: ModelId,
+    features: Vec<f64>,
+) {
+    let fail = |outcome: Result<ServedPrediction, ServeError>| {
+        push_completion(
+            inbox,
+            poller,
+            Completion {
+                key,
+                request_id,
+                ctx,
+                outcome,
+            },
+        );
+    };
+    // The reactor verified this entry exists before offloading; the
+    // config Arc is immutable, so a miss here means a bug — answer it
+    // as a fault rather than unwrapping on a pool thread.
+    let Some(edge) = config.edges.get(&model) else {
+        fail(Err(ServeError::NoModel));
+        return;
+    };
+    let encode_start = Instant::now();
+    let query = match edge.prepare(&features) {
+        Ok(q) => q,
+        Err(e) => {
+            fail(Err(e));
+            return;
+        }
+    };
+    let encode_end = Instant::now();
+    handle.serve_metrics().on_stage(
+        Stage::Encode,
+        encode_end.saturating_duration_since(encode_start),
+    );
+    handle
+        .tracer()
+        .record(ctx, Stage::Encode, encode_start, encode_end);
+    let on_done = {
+        let inbox = Arc::clone(inbox);
+        let poller = Arc::clone(poller);
+        Box::new(move |outcome| {
+            push_completion(
+                &inbox,
+                &poller,
+                Completion {
+                    key,
+                    request_id,
+                    ctx,
+                    outcome,
+                },
+            );
+        })
+    };
+    match handle.submit_with(&model, QueryVec::Dense(query), ctx, on_done) {
+        Ok(()) => {
+            let admitted_at = Instant::now();
+            handle.serve_metrics().on_stage(
+                Stage::Admission,
+                admitted_at.saturating_duration_since(admit_start),
+            );
+            handle
+                .tracer()
+                .record(ctx, Stage::Admission, admit_start, admitted_at);
+        }
+        Err(e) => fail(Err(e)),
+    }
+}
 
 /// Maps an engine-side error onto the wire status vocabulary.
 fn fault_for(e: &ServeError) -> WireFault {
     match e {
         ServeError::QueueFull => WireFault::new(WireStatus::Busy, "engine queue full"),
+        ServeError::TenantOverQuota => {
+            WireFault::new(WireStatus::Busy, "per-tenant quota full — back off")
+        }
         ServeError::Closed => WireFault::new(WireStatus::Closed, "engine shut down"),
         ServeError::NoModel => WireFault::new(WireStatus::NoModel, "no model published"),
         other => WireFault::new(WireStatus::ModelError, other.to_string()),
@@ -778,85 +1205,185 @@ fn wire_prediction(served: ServedPrediction) -> WirePrediction {
     }
 }
 
-// analyze: end-nonblocking-region
-
-/// The poll loop: accept, pump every connection, reap the dead, drain
-/// on stop.
-// analyze: nonblocking-region — the loop body multiplexes all peers;
-// only the explicitly allowed idle backoff below may block.
-fn run_loop(
-    listener: &TcpListener,
-    handle: &SubmitHandle,
-    config: &WireConfig,
-    metrics: &WireMetrics,
-    stop: &AtomicBool,
-) {
-    let mut conns: Vec<Conn> = Vec::new();
+/// One reactor's readiness loop: wait, accept (shared listener race),
+/// absorb handoffs and completions from the inbox, pump every pinned
+/// connection, reap the dead, drain on stop.
+// analyze: nonblocking-region — the loop body multiplexes all peers
+// pinned to this reactor; only the poller wait below may block.
+fn run_reactor(rctx: ReactorCtx, stop: &AtomicBool) {
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key: usize = LISTEN_KEY + 1;
+    let mut events: Vec<Event> = Vec::new();
     let mut drain_deadline: Option<Instant> = None;
+    // Every reactor registers the shared nonblocking listener: accept
+    // readiness wakes them all, the accept() winner takes the socket,
+    // the losers see WouldBlock (level-triggered, so nothing is lost).
+    let _ = rctx
+        .poller
+        .add(&*rctx.listener, Event::readable(LISTEN_KEY));
     loop {
-        // Acquire: pairs with the Release store in `join`.
+        // Acquire: pairs with the Release store in `WireServer::join`.
         let draining = stop.load(Ordering::Acquire);
         if draining && drain_deadline.is_none() {
-            drain_deadline = Some(Instant::now() + config.drain_timeout);
+            drain_deadline = Some(Instant::now() + rctx.config.drain_timeout);
         }
-        let mut progress = false;
+        // analyze::allow(nonblocking-region): the poller wait IS the
+        // loop's single intended blocking point — bounded by
+        // poll_interval (the timer tick for idle/linger/drain
+        // deadlines) and woken early by readiness or `notify`.
+        let timeout = Some(rctx.config.poll_interval);
+        let _ = rctx.poller.wait(&mut events, timeout);
         if !draining {
-            progress |= accept_new(listener, &mut conns, config, metrics);
+            accept_new(&mut conns, &mut next_key, &rctx);
         }
-        for conn in &mut conns {
-            progress |= conn.pump(handle, config, metrics, draining);
+        // Absorb the inbox: sockets handed off by other reactors, and
+        // completions posted by engine workers / pool jobs.
+        let (handed_off, completions) = {
+            let mut guard = lock_inbox(&rctx.inbox);
+            (
+                std::mem::take(&mut guard.conns),
+                std::mem::take(&mut guard.completions),
+            )
+        };
+        for stream in handed_off {
+            if draining {
+                // Accepted before the stop, handed off after: close it
+                // instead of starting work we are draining away.
+                drop(stream);
+                release_conn_slot(&rctx);
+                continue;
+            }
+            register_conn(stream, &mut conns, &mut next_key, &rctx);
         }
-        let before = conns.len();
-        conns.retain(|c| !c.dead);
-        progress |= conns.len() != before;
-        metrics.set_open(conns.len());
+        for completion in completions {
+            // A completion for a connection that died while its
+            // request was in flight has nowhere to go; drop it (keys
+            // are never reused, so it cannot alias a live peer).
+            if let Some(conn) = conns.get_mut(&completion.key) {
+                conn.complete(completion, &rctx.handle, &rctx.metrics);
+            }
+        }
+        // Pump every connection each wake: events are wake reasons,
+        // not work assignments — level-triggered readiness plus the
+        // interest bookkeeping in reap_and_update prevents spinning.
+        for conn in conns.values_mut() {
+            conn.pump(&rctx, draining);
+        }
+        reap_and_update(&mut conns, &rctx, draining);
         if draining {
-            let settled = conns
-                .iter()
-                .all(|c| c.in_flight.is_empty() && c.pending_write() == 0);
+            let settled = conns.values().all(Conn::settled);
             let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
             if settled || expired {
                 break;
             }
         }
-        if !progress {
-            // analyze::allow(nonblocking-region): deliberate idle
-            // backoff, bounded by poll_interval and taken only when no
-            // connection made progress this pass.
-            std::thread::sleep(config.poll_interval);
-        }
     }
-    metrics.set_open(0);
+    let _ = rctx.poller.delete(&*rctx.listener);
+    for (_, conn) in conns.drain() {
+        let _ = rctx.poller.delete(&conn.stream);
+        release_conn_slot(&rctx);
+    }
 }
-// analyze: end-nonblocking-region
 
-fn accept_new(
-    listener: &TcpListener,
-    conns: &mut Vec<Conn>,
-    config: &WireConfig,
-    metrics: &WireMetrics,
-) -> bool {
-    let mut progress = false;
+/// Accepts every pending connection on the shared listener: claim a
+/// slot from the global cap, pin by `fd % reactors`, hand off to the
+/// owning reactor (or register locally).
+fn accept_new(conns: &mut HashMap<usize, Conn>, next_key: &mut usize, rctx: &ReactorCtx) {
     loop {
-        match listener.accept() {
+        match rctx.listener.accept() {
             Ok((stream, _peer)) => {
-                progress = true;
-                if conns.len() >= config.max_connections {
-                    metrics.on_refuse();
+                // Claim a connection slot optimistically; undo on
+                // refusal. Relaxed: plain admission counter racing
+                // only against itself — no data is published through
+                // it, and a transient over-claim just refuses one
+                // accept early.
+                let prev = rctx.conn_count.fetch_add(1, Ordering::Relaxed);
+                if prev >= rctx.config.max_connections {
+                    // Relaxed: see the claim above.
+                    rctx.conn_count.fetch_sub(1, Ordering::Relaxed);
+                    rctx.metrics.on_refuse();
                     drop(stream);
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
                 if stream.set_nonblocking(true).is_err() {
+                    // Relaxed: see the claim above.
+                    rctx.conn_count.fetch_sub(1, Ordering::Relaxed);
+                    drop(stream);
                     continue;
                 }
-                metrics.on_accept();
-                conns.push(Conn::new(stream));
+                rctx.metrics.on_accept();
+                rctx.metrics.on_conn_open();
+                let target = stream.as_raw_fd() as usize % rctx.peers.len();
+                if target == rctx.index {
+                    register_conn(stream, conns, next_key, rctx);
+                } else if let Some(peer) = rctx.peers.get(target) {
+                    lock_inbox(&peer.inbox).conns.push(stream);
+                    let _ = peer.poller.notify();
+                } else {
+                    // Unreachable (target < peers.len() by the modulo)
+                    // but total: keep the connection here.
+                    register_conn(stream, conns, next_key, rctx);
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => break,
         }
     }
-    progress
 }
+
+/// Registers a freshly pinned connection with this reactor's poller
+/// under the next never-reused key.
+fn register_conn(
+    stream: TcpStream,
+    conns: &mut HashMap<usize, Conn>,
+    next_key: &mut usize,
+    rctx: &ReactorCtx,
+) {
+    let key = *next_key;
+    *next_key += 1;
+    let mut conn = Conn::new(stream, key);
+    if rctx.poller.add(&conn.stream, Event::readable(key)).is_err() {
+        release_conn_slot(rctx);
+        return;
+    }
+    conn.interest = (true, false);
+    conns.insert(key, conn);
+}
+
+/// Removes dead connections (deregistering and releasing their slot)
+/// and re-registers interest for live ones whose wanted readiness
+/// changed.
+fn reap_and_update(conns: &mut HashMap<usize, Conn>, rctx: &ReactorCtx, draining: bool) {
+    conns.retain(|_, conn| {
+        if conn.dead {
+            let _ = rctx.poller.delete(&conn.stream);
+            release_conn_slot(rctx);
+            return false;
+        }
+        let want = conn.desired_interest(draining);
+        if want != conn.interest {
+            let event = event_for(conn.key, want);
+            if rctx.poller.modify(&conn.stream, event).is_err() {
+                // The poller lost track of this socket; it can never
+                // wake us again, so reclaim the slot.
+                let _ = rctx.poller.delete(&conn.stream);
+                release_conn_slot(rctx);
+                return false;
+            }
+            conn.interest = want;
+        }
+        true
+    });
+}
+
+/// Releases one claimed connection slot and decrements the open gauge;
+/// paired one-to-one with every `on_conn_open`.
+fn release_conn_slot(rctx: &ReactorCtx) {
+    // Relaxed: plain admission counter; no data is published through
+    // it.
+    rctx.conn_count.fetch_sub(1, Ordering::Relaxed);
+    rctx.metrics.on_conn_close();
+}
+// analyze: end-nonblocking-region

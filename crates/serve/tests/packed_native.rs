@@ -13,7 +13,7 @@ use std::sync::Arc;
 use privehd_core::hypervector::dense_conversion_count;
 use privehd_core::{BipolarHv, HdModel, QuantScheme};
 use privehd_serve::wire::{WireClient, WireConfig, WireServer};
-use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
+use privehd_serve::{ModelId, ServeConfig, ServeEngine, ShardedRegistry};
 
 // Off a 64-bit word boundary so the audited path also exercises
 // tail-bit masking in the popcount scorer.
@@ -34,7 +34,7 @@ fn packed_wire_round_trip_is_conversion_free_and_matches_dense() {
         }
     }
     model.quantize_classes(QuantScheme::Bipolar);
-    let registry = Arc::new(ModelRegistry::with_model(model, "packed-native").unwrap());
+    let registry = Arc::new(ShardedRegistry::with_model(model, "packed-native").unwrap());
 
     let engine = ServeEngine::start(registry, ServeConfig::default()).unwrap();
     let server = WireServer::start("127.0.0.1:0", engine.handle(), WireConfig::default()).unwrap();

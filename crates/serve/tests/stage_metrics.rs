@@ -11,11 +11,11 @@ use std::time::Duration;
 
 use privehd_core::telemetry::Stage;
 use privehd_core::{HdModel, Hypervector};
-use privehd_serve::{ModelRegistry, ServeConfig, ServeEngine, ServeReport};
+use privehd_serve::{ServeConfig, ServeEngine, ServeReport, ShardedRegistry};
 
 const DIM: usize = 128;
 
-fn trained_registry() -> Arc<ModelRegistry> {
+fn trained_registry() -> Arc<ShardedRegistry> {
     let mut model = HdModel::new(2, DIM).unwrap();
     model
         .bundle(0, &Hypervector::from_vec(vec![1.0; DIM]))
@@ -23,7 +23,7 @@ fn trained_registry() -> Arc<ModelRegistry> {
     model
         .bundle(1, &Hypervector::from_vec(vec![-1.0; DIM]))
         .unwrap();
-    Arc::new(ModelRegistry::with_model(model, "stage-test").unwrap())
+    Arc::new(ShardedRegistry::with_model(model, "stage-test").unwrap())
 }
 
 /// The engine-side stages recorded once per *served* request, whose
@@ -105,7 +105,7 @@ fn concurrent_stage_recording_never_overcounts() {
                         -1.0
                     };
                     let query = Hypervector::from_vec(vec![sign; DIM]);
-                    if let Ok(pending) = engine.submit(query) {
+                    if let Ok(pending) = engine.submit_default(query) {
                         pending.wait().unwrap();
                         served += 1;
                     }

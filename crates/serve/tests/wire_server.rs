@@ -10,11 +10,11 @@ use std::time::Duration;
 
 use privehd_core::{BipolarHv, HdModel, Hypervector};
 use privehd_serve::wire::{Frame, WireClient, WireClientError, WireConfig, WireServer, WireStatus};
-use privehd_serve::{ModelId, ModelRegistry, ServeConfig, ServeEngine};
+use privehd_serve::{ModelId, ServeConfig, ServeEngine, ShardedRegistry};
 
 const DIM: usize = 256;
 
-fn trained_registry() -> Arc<ModelRegistry> {
+fn trained_registry() -> Arc<ShardedRegistry> {
     let mut model = HdModel::new(2, DIM).unwrap();
     model
         .bundle(0, &Hypervector::from_vec(vec![1.0; DIM]))
@@ -22,7 +22,7 @@ fn trained_registry() -> Arc<ModelRegistry> {
     model
         .bundle(1, &Hypervector::from_vec(vec![-1.0; DIM]))
         .unwrap();
-    Arc::new(ModelRegistry::with_model(model, "wire-test").unwrap())
+    Arc::new(ShardedRegistry::with_model(model, "wire-test").unwrap())
 }
 
 fn positive_query() -> BipolarHv {

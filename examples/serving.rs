@@ -20,9 +20,7 @@ use prive_hd::core::prelude::*;
 use prive_hd::core::BipolarHv;
 use prive_hd::data::surrogates;
 use prive_hd::serve::wire::{WireClient, WireConfig, WireServer};
-use prive_hd::serve::{
-    ClientEdge, ModelId, ModelRegistry, ServeConfig, ServeEngine, ServeError, ShardedRegistry,
-};
+use prive_hd::serve::{ClientEdge, ModelId, ServeConfig, ServeEngine, ServeError, ShardedRegistry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dim = 4_000;
@@ -47,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (x, y) in dataset.train_pairs() {
         model.bundle(y, &edge.encoder().encode(x)?)?;
     }
-    let registry = Arc::new(ModelRegistry::with_model(model.clone(), "isolet-v1")?);
+    let registry = Arc::new(ShardedRegistry::with_model(model.clone(), "isolet-v1")?);
 
     let engine = ServeEngine::start(
         Arc::clone(&registry),
@@ -72,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for x in &inputs {
                 let query = edge.prepare(x).expect("edge preparation");
                 let served = loop {
-                    match handle.submit(query.clone()) {
+                    match handle.submit_default(query.clone()) {
                         Ok(pending) => break pending.wait().expect("response"),
                         Err(ServeError::QueueFull) => std::thread::yield_now(),
                         Err(e) => panic!("submit failed: {e}"),
@@ -92,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(x, y)| Ok((edge.encoder().encode(x)?, y)))
         .collect::<Result<_, HdError>>()?;
     retrained.retrain(&train_enc, &RetrainConfig::default())?;
-    let v2 = registry.publish(retrained, "isolet-v2-retrained")?;
+    let v2 = registry.publish(&ModelId::default(), retrained, "isolet-v2-retrained")?;
     println!("hot-swapped to version {v2} while traffic was in flight");
 
     let mut correct = 0usize;
@@ -167,7 +165,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("published {id} v{version} (seed {})", 100 + t);
     }
 
-    let mt_engine = ServeEngine::start_sharded(
+    let mt_engine = ServeEngine::start(
         Arc::clone(&sharded),
         ServeConfig {
             max_batch: 32,
@@ -180,7 +178,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, x) in inputs.iter().enumerate() {
         let t = i % tenants.len();
         let query = tenant_edges[t].prepare(x)?;
-        mt_pending.push(mt_engine.submit_to(&tenants[t], query)?);
+        mt_pending.push(mt_engine.submit(&tenants[t], query)?);
     }
     for p in mt_pending {
         p.wait()?;
@@ -235,7 +233,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|x| edge.prepare(x))
         .collect::<Result<_, _>>()?;
-    let serve_model = registry.current().expect("model published");
+    let serve_model = registry.get(&ModelId::default()).expect("model published");
 
     let start = Instant::now();
     for q in &queries {

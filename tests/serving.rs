@@ -12,9 +12,7 @@ use std::time::Duration;
 use prive_hd::core::prelude::*;
 use prive_hd::core::Hypervector;
 use prive_hd::data::surrogates;
-use prive_hd::serve::{
-    ClientEdge, ModelId, ModelRegistry, ServeConfig, ServeEngine, ServeError, ShardedRegistry,
-};
+use prive_hd::serve::{ClientEdge, ModelId, ServeConfig, ServeEngine, ServeError, ShardedRegistry};
 
 const DIM: usize = 2_048;
 const SEED: u64 = 17;
@@ -50,7 +48,7 @@ fn batched_predictions_are_bit_identical_to_sequential() {
 
     // And so is the full engine path (default config: dense arithmetic),
     // even with many queries in flight at once.
-    let registry = Arc::new(ModelRegistry::with_model(model, "bitident").unwrap());
+    let registry = Arc::new(ShardedRegistry::with_model(model, "bitident").unwrap());
     let config = ServeConfig {
         max_batch: 16,
         max_delay: Duration::from_millis(5),
@@ -62,7 +60,7 @@ fn batched_predictions_are_bit_identical_to_sequential() {
     let engine = ServeEngine::start(registry, config).unwrap();
     let pending: Vec<_> = queries
         .iter()
-        .map(|q| engine.submit(q.clone()).unwrap())
+        .map(|q| engine.submit_default(q.clone()).unwrap())
         .collect();
     for (p, want) in pending.into_iter().zip(&sequential) {
         let served = p.wait().unwrap();
@@ -95,7 +93,7 @@ fn hot_swap_mid_stream_drops_and_corrupts_nothing() {
         .map(|(x, _)| encoder.encode(x).unwrap())
         .collect();
 
-    let registry = Arc::new(ModelRegistry::with_model(model_a.clone(), "v1").unwrap());
+    let registry = Arc::new(ShardedRegistry::with_model(model_a.clone(), "v1").unwrap());
     let config = ServeConfig {
         max_batch: 8,
         max_delay: Duration::from_millis(2),
@@ -115,7 +113,7 @@ fn hot_swap_mid_stream_drops_and_corrupts_nothing() {
             let mut results = Vec::new();
             for q in queries.iter().skip(t).step_by(3) {
                 loop {
-                    match handle.submit(q.clone()) {
+                    match handle.submit_default(q.clone()) {
                         Ok(p) => {
                             results.push((q.clone(), p.wait().expect("request dropped")));
                             break;
@@ -137,7 +135,7 @@ fn hot_swap_mid_stream_drops_and_corrupts_nothing() {
         } else {
             (model_a.clone(), "swap-to-a")
         };
-        published.push(registry.publish(m, label).unwrap());
+        published.push(registry.publish(&ModelId::default(), m, label).unwrap());
     }
 
     let mut total = 0usize;
@@ -203,7 +201,7 @@ fn obfuscated_serving_matches_direct_obfuscator_path() {
     // zeros (not strictly bipolar) and take the dense route; unmasked
     // bipolar queries would take the popcount route — either way the
     // served classes must match the direct path.
-    let registry = Arc::new(ModelRegistry::with_model(model, "obf").unwrap());
+    let registry = Arc::new(ShardedRegistry::with_model(model, "obf").unwrap());
     let config = ServeConfig {
         packed_fastpath: true,
         ..ServeConfig::default()
@@ -211,7 +209,7 @@ fn obfuscated_serving_matches_direct_obfuscator_path() {
     let engine = ServeEngine::start(registry, config).unwrap();
     let pending: Vec<_> = test
         .iter()
-        .map(|(x, _)| engine.submit(edge.prepare(x).unwrap()).unwrap())
+        .map(|(x, _)| engine.submit_default(edge.prepare(x).unwrap()).unwrap())
         .collect();
     let served: Vec<usize> = pending
         .into_iter()
@@ -232,7 +230,7 @@ fn obfuscated_serving_matches_direct_obfuscator_path() {
     )
     .unwrap();
     let (model2, _, _) = trained_setup();
-    let registry2 = Arc::new(ModelRegistry::with_model(model2.clone(), "obf2").unwrap());
+    let registry2 = Arc::new(ShardedRegistry::with_model(model2.clone(), "obf2").unwrap());
     let engine2 = ServeEngine::start(
         registry2,
         ServeConfig {
@@ -297,13 +295,13 @@ fn three_tenants_share_one_engine_with_per_model_metrics() {
         packed_fastpath: false,
         ..ServeConfig::default()
     };
-    let engine = ServeEngine::start_sharded(registry, config).unwrap();
+    let engine = ServeEngine::start(registry, config).unwrap();
 
     const PER_TENANT: usize = 30;
     let pending: Vec<_> = (0..PER_TENANT * tenants.len())
         .map(|i| {
             let (id, dim, _) = &tenants[i % tenants.len()];
-            (i, engine.submit_to(id, ones(*dim)).unwrap())
+            (i, engine.submit(id, ones(*dim)).unwrap())
         })
         .collect();
     for (i, p) in pending {
@@ -352,7 +350,7 @@ fn concurrent_per_tenant_hot_swaps_complete_on_dispatch_version() {
         packed_fastpath: false,
         ..ServeConfig::default()
     };
-    let engine = ServeEngine::start_sharded(Arc::clone(&registry), config).unwrap();
+    let engine = ServeEngine::start(Arc::clone(&registry), config).unwrap();
 
     const PER_TENANT: usize = 100;
     let mut clients = Vec::new();
@@ -363,7 +361,7 @@ fn concurrent_per_tenant_hot_swaps_complete_on_dispatch_version() {
             let mut results = Vec::new();
             for _ in 0..PER_TENANT {
                 loop {
-                    match handle.submit_to(&id, ones(DIM)) {
+                    match handle.submit(&id, ones(DIM)) {
                         Ok(p) => {
                             results.push(p.wait().expect("request dropped"));
                             break;
@@ -447,7 +445,7 @@ fn cross_tenant_isolation_bad_queries_fail_only_their_tenant() {
         packed_fastpath: false,
         ..ServeConfig::default()
     };
-    let engine = ServeEngine::start_sharded(registry, config).unwrap();
+    let engine = ServeEngine::start(registry, config).unwrap();
 
     // Interleave: the victim tenant's clients send wrong-dimension
     // queries; the good tenant's clients stay well-formed.
@@ -455,9 +453,9 @@ fn cross_tenant_isolation_bad_queries_fail_only_their_tenant() {
     let pending: Vec<_> = (0..2 * N)
         .map(|i| {
             if i % 2 == 0 {
-                (true, engine.submit_to(&good, ones(DIM)).unwrap())
+                (true, engine.submit(&good, ones(DIM)).unwrap())
             } else {
-                (false, engine.submit_to(&victim, ones(DIM / 2)).unwrap())
+                (false, engine.submit(&victim, ones(DIM / 2)).unwrap())
             }
         })
         .collect();
@@ -498,7 +496,7 @@ fn withdraw_of_one_tenant_leaves_others_serving() {
     for id in [&keep_a, &keep_b, &gone] {
         registry.publish(id, oriented(DIM, 0), id.as_str()).unwrap();
     }
-    let engine = ServeEngine::start_sharded(Arc::clone(&registry), ServeConfig::default()).unwrap();
+    let engine = ServeEngine::start(Arc::clone(&registry), ServeConfig::default()).unwrap();
 
     // All three serve initially.
     for id in [&keep_a, &keep_b, &gone] {

@@ -66,7 +66,7 @@ fn two_tenants_mixed_frames_and_a_malformed_injector() {
     for t in &tenants {
         registry.publish(&t.id, t.model.clone(), "v1").unwrap();
     }
-    let engine = ServeEngine::start_sharded(
+    let engine = ServeEngine::start(
         Arc::clone(&registry),
         ServeConfig {
             max_batch: 32,
@@ -200,7 +200,7 @@ fn queue_pressure_surfaces_as_busy_frames() {
     registry
         .publish(&tenant.id, tenant.model.clone(), "v1")
         .unwrap();
-    let engine = ServeEngine::start_sharded(
+    let engine = ServeEngine::start(
         registry,
         ServeConfig {
             max_batch: 2,
@@ -268,7 +268,7 @@ fn shutdown_drains_in_flight_wire_requests() {
     registry
         .publish(&tenant.id, tenant.model.clone(), "v1")
         .unwrap();
-    let engine = ServeEngine::start_sharded(
+    let engine = ServeEngine::start(
         registry,
         ServeConfig {
             max_batch: 64,

@@ -1,0 +1,459 @@
+//! Offline vendor stub: a minimal subset of the `polling` 2.x API.
+//!
+//! This is a level-triggered epoll facade for Linux with an eventfd
+//! waker, just enough surface for a multi-reactor poll loop:
+//!
+//! - [`Poller::new`] creates an epoll instance plus an internal
+//!   eventfd registered under a reserved key.
+//! - [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] manage
+//!   interest for any [`AsRawFd`] source, keyed by a caller-chosen
+//!   `usize`.
+//! - [`Poller::wait`] blocks until readiness events, a timeout, or a
+//!   [`Poller::notify`] from another thread.
+//!
+//! Everything is **level-triggered**: an event keeps firing while the
+//! condition holds, so callers must drain sockets (or drop interest)
+//! to avoid spinning. There are no timers, no edge-triggered mode and
+//! no non-Linux backends — the real `polling` crate has all three, but
+//! this repo only needs the epoll path and must build offline.
+//!
+//! FFI is declared directly against the libc symbols that `std`
+//! already links; no external crate is required.
+
+#![deny(missing_docs)]
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("the vendored `polling` stub only supports Linux (epoll)");
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLPRI: u32 = 0x002;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// Key value reserved for the internal notify eventfd. [`Poller::add`]
+/// rejects it so user events can never alias the waker.
+const NOTIFY_KEY: u64 = u64::MAX;
+
+/// Most events decoded per `epoll_wait` call. Level-triggered epoll
+/// re-reports anything still ready on the next call, so a small fixed
+/// buffer loses nothing.
+const MAX_EVENTS: usize = 256;
+
+/// The kernel ABI struct for epoll. On x86-64 the kernel declares it
+/// packed; other architectures use natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// The kernel ABI struct for epoll (naturally aligned variant).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Converts a `-1` libc return into the current `errno` as an error.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Interest in (or readiness of) a single source, identified by `key`.
+///
+/// As interest (passed to [`Poller::add`] / [`Poller::modify`]):
+/// `readable` / `writable` select which conditions wake the poller.
+/// As readiness (returned by [`Poller::wait`]): which conditions hold
+/// now. Error and hang-up conditions are reported as both readable and
+/// writable so callers discover them through their next I/O attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier for the source (`usize::MAX` is
+    /// reserved for the internal waker).
+    pub key: usize,
+    /// Interest in / readiness for reading (includes peer hang-up).
+    pub readable: bool,
+    /// Interest in / readiness for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Self {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest — the source stays registered but reports nothing
+    /// (error/hang-up conditions are still delivered by the kernel).
+    pub fn none(key: usize) -> Self {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    /// The epoll event mask for this interest.
+    fn mask(self) -> u32 {
+        let mut m = 0;
+        if self.readable {
+            m |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// A level-triggered epoll instance with an eventfd waker.
+///
+/// All methods take `&self`; the kernel serialises concurrent epoll
+/// operations, so a `Poller` can be shared across threads (one thread
+/// in [`Poller::wait`], others calling [`Poller::notify`] or interest
+/// methods).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+    notify_fd: RawFd,
+}
+
+// SAFETY: the struct only holds raw file descriptors (plain ints);
+// epoll_ctl/epoll_wait/read/write on them are thread-safe kernel
+// calls, so sharing or moving a Poller across threads is sound.
+unsafe impl Send for Poller {}
+// SAFETY: see the Send impl above — all methods take &self and the
+// kernel serialises concurrent epoll/eventfd operations.
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Creates a new epoll instance and registers the internal waker.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; the flag is valid.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: eventfd takes no pointers; the flags are valid.
+        let notify_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                // SAFETY: epfd was just returned by epoll_create1 and
+                // has not been closed.
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+        };
+        let poller = Poller { epfd, notify_fd };
+        poller.ctl(EPOLL_CTL_ADD, notify_fd, EPOLLIN, NOTIFY_KEY)?;
+        Ok(poller)
+    }
+
+    /// Registers `source` with the given interest. Fails with
+    /// `InvalidInput` if `interest.key` is the reserved waker key.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key as u64 == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved for the notify waker",
+            ));
+        }
+        self.ctl(
+            EPOLL_CTL_ADD,
+            source.as_raw_fd(),
+            interest.mask(),
+            interest.key as u64,
+        )
+    }
+
+    /// Changes the interest set of an already-registered `source`.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key as u64 == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved for the notify waker",
+            ));
+        }
+        self.ctl(
+            EPOLL_CTL_MOD,
+            source.as_raw_fd(),
+            interest.mask(),
+            interest.key as u64,
+        )
+    }
+
+    /// Deregisters `source`. Must be called before the fd is closed;
+    /// errors from already-closed fds are reported, not hidden.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0)
+    }
+
+    /// Blocks until at least one event is ready, `timeout` elapses
+    /// (`None` blocks indefinitely), or another thread calls
+    /// [`Poller::notify`]. Clears `events` first; returns the number
+    /// of events appended. Wakeups from `notify` drain the eventfd and
+    /// are *not* reported as events — a return of `Ok(0)` may mean
+    /// either timeout or notification.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(t) => {
+                // Round sub-millisecond timeouts up so `Some(small)`
+                // cannot degenerate into a busy loop.
+                let ms = t.as_millis();
+                if ms == 0 && !t.is_zero() {
+                    1
+                } else {
+                    ms.min(c_int::MAX as u128) as c_int
+                }
+            }
+        };
+        let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let n = loop {
+            // SAFETY: buf is a valid mutable array of MAX_EVENTS
+            // EpollEvent entries and outlives the call; epfd is open.
+            let r =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms) };
+            if r >= 0 {
+                break r as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry. The original deadline is not re-armed,
+            // which at worst stretches the timeout — acceptable for a
+            // poll loop that re-derives deadlines every iteration.
+        };
+        for ev in buf.iter().take(n) {
+            // Copy out of the (possibly packed) ABI struct before use.
+            let data = ev.data;
+            let mask = ev.events;
+            if data == NOTIFY_KEY {
+                self.drain_notify();
+                continue;
+            }
+            events.push(Event {
+                key: data as usize,
+                readable: mask & (EPOLLIN | EPOLLRDHUP | EPOLLPRI | EPOLLERR | EPOLLHUP) != 0,
+                writable: mask & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(events.len())
+    }
+
+    /// Wakes up one pending or the next [`Poller::wait`] call.
+    /// Multiple notifications before a wait coalesce into one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: notify_fd is an open eventfd and the buffer is a
+        // valid 8-byte value, the size eventfd writes require.
+        let r = unsafe { write(self.notify_fd, (&one as *const u64).cast::<c_void>(), 8) };
+        if r < 0 {
+            let err = io::Error::last_os_error();
+            // EAGAIN means the counter is saturated — a wakeup is
+            // already guaranteed, so the notification is delivered.
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets the eventfd counter after a notify wakeup.
+    fn drain_notify(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: notify_fd is an open nonblocking eventfd and the
+        // buffer is a valid 8-byte destination. A failed read (EAGAIN
+        // race with another drain) leaves the counter for the next
+        // wakeup, which is harmless.
+        let _ = unsafe { read(self.notify_fd, (&mut buf as *mut u64).cast::<c_void>(), 8) };
+    }
+
+    /// Shared epoll_ctl wrapper.
+    fn ctl(&self, op: c_int, fd: RawFd, mask: u32, key: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: mask,
+            data: key,
+        };
+        // SAFETY: epfd is an open epoll fd, ev is a valid EpollEvent
+        // for the duration of the call, and op is one of the three
+        // EPOLL_CTL_* constants. For EPOLL_CTL_DEL the kernel ignores
+        // the event pointer (passing one is valid on all kernels).
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: both fds were opened by Poller::new and are closed
+        // exactly once here.
+        unsafe {
+            close(self.notify_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_without_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_without_reporting_an_event() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = std::sync::Arc::clone(&poller);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "waker wakeups must not surface as events");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn socket_readability_is_reported_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread data re-reports on the next wait.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "unread data must re-report");
+
+        // After draining, readability clears.
+        let mut sink = [0u8; 16];
+        let mut server = server;
+        let got = server.read(&mut sink).unwrap();
+        assert_eq!(got, 4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "drained socket must stop reporting readable");
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn modify_switches_interest_to_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::none(3)).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "Event::none must report nothing for readable data");
+
+        poller.modify(&server, Event::writable(3)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable, "idle socket buffer must be writable");
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        let err = poller
+            .add(&listener, Event::readable(usize::MAX))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -35,11 +35,13 @@ use diag::Diagnostic;
 use source::SourceFile;
 
 /// Files where `no-panic-path` applies: the wire poll loop, the
-/// engine, and the codec — the path a request travels.
+/// engine, the codec, and the compiled-plan dispatch — the path a
+/// request travels.
 pub const PANIC_PATH_SCOPE: &[&str] = &[
     "crates/serve/src/wire/server.rs",
     "crates/serve/src/engine.rs",
     "crates/serve/src/wire/frame.rs",
+    "crates/core/src/plan.rs",
 ];
 
 /// Directory names the workspace walker never descends into.

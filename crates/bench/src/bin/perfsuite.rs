@@ -5,7 +5,10 @@
 //! the retained naive reference implementations at the paper's
 //! operating point (ISOLET: `D_iv = 617`, `D_hv = 10 000`,
 //! `ℓ_iv = 100`, 26 classes), single-threaded, and writes the results
-//! to `BENCH_kernels.json`.
+//! to `BENCH_kernels.json`. The `plan_compile_*` rows gate the
+//! publish-time fusions of `privehd_core::plan` (fused encode∘obfuscate
+//! and the one-time kernel-selected predict dispatch) against the
+//! generic compositions they replace.
 //!
 //! `--serve` mode instead measures the wire front-end over a real
 //! loopback TCP socket — synchronous round-trip p50/p99 latency,
@@ -37,8 +40,8 @@ use std::time::{Duration, Instant};
 use privehd_bench::print_table;
 use privehd_core::telemetry::TelemetryConfig;
 use privehd_core::{
-    BipolarHv, Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ObfuscateConfig,
-    QuantScheme, ScalarEncoder,
+    BipolarHv, EncodePlan, Encoder, EncoderConfig, HdModel, Hypervector, LevelEncoder, ModelPlan,
+    ObfuscateConfig, Obfuscator, QuantScheme, ScalarEncoder,
 };
 use privehd_serve::wire::{WireClient, WireClientError, WireConfig, WireServer};
 use privehd_serve::{ClientEdge, ModelId, ServeConfig, ServeEngine, ShardedRegistry};
@@ -458,7 +461,12 @@ fn run_serve_suite(quick: bool, out_path: &str) {
     let quantile = |q: f64| rtt_ns[((q * (rtt_ns.len() - 1) as f64).round()) as usize];
     let (p50, p99) = (quantile(0.50), quantile(0.99));
     let mean = rtt_ns.iter().sum::<f64>() / rtt_ns.len() as f64;
-    let overhead_pct = (p50 - baseline_p50) / baseline_p50 * 100.0;
+    // Shared-runner jitter can make the traced pass land *faster* than
+    // the baseline; a negative overhead is noise, not a speedup bought
+    // by tracing. Clamp the headline number at zero and keep the raw
+    // delta plus both raw p50s in the JSON so the jitter stays visible.
+    let overhead_pct_raw = (p50 - baseline_p50) / baseline_p50 * 100.0;
+    let overhead_pct = overhead_pct_raw.max(0.0);
 
     // Pipelined throughput on the multi-reactor server, then on a
     // single-reactor server fronting the *same* engine, to isolate the
@@ -609,6 +617,7 @@ fn run_serve_suite(quick: bool, out_path: &str) {
             "e2e_p50_us_tracing_disabled": baseline_p50 / 1e3,
             "e2e_p50_us_tracing_enabled": p50 / 1e3,
             "tracing_overhead_pct": overhead_pct,
+            "tracing_overhead_pct_raw": overhead_pct_raw,
         }),
         "stage_decomposition": stage_decomposition,
     });
@@ -770,6 +779,65 @@ fn main() {
         threshold: Some(4.0),
     });
 
+    // --- Compiled plan, fused encode∘obfuscate: the publish-time
+    //     `EncodePlan` folds the obfuscation keep-mask into the Bipolar
+    //     encode so masked dimensions never accumulate, vs the generic
+    //     composition (tuned encode, then a separate obfuscation pass
+    //     that quantizes everything and zeroes the mask afterwards).
+    //     Half the dimensions masked is the paper's aggressive privacy
+    //     point, where the fusion win is roughly the masked fraction. --
+    let masked_dims = DIM / 2;
+    let obfuscate_config = ObfuscateConfig::new(QuantScheme::Bipolar)
+        .with_masked_dims(masked_dims)
+        .with_seed(11);
+    let obfuscator = Obfuscator::new(DIM, obfuscate_config).expect("valid obfuscation config");
+    let encode_plan = EncodePlan::from_obfuscator(&obfuscator);
+    let kernel = time_per_item(samples, encode_items, || {
+        for x in &encode_inputs {
+            std::hint::black_box(encode_plan.apply(&scalar, x).expect("encode"));
+        }
+    });
+    let reference = time_per_item(samples, encode_items, || {
+        for x in &encode_inputs {
+            let h = scalar.encode(x).expect("encode");
+            std::hint::black_box(obfuscator.obfuscate(&h).expect("obfuscate"));
+        }
+    });
+    results.push(Comparison {
+        name: "plan_compile_encode_obfuscate",
+        unit: "encode",
+        reference,
+        kernel,
+        threshold: Some(1.5),
+    });
+
+    // --- Compiled plan, predict dispatch: the plan's pinned snapshot +
+    //     publish-time kernel selection must dispatch at least as fast
+    //     as the generic `HdModel::predict` entry it replaces in the
+    //     serving engine (which re-resolves lazy state and notes a
+    //     kernel probe on every call). Scoring work is identical by
+    //     construction — this row is a dispatch-overhead guard, not a
+    //     kernel speedup, so it carries no floor. ----------------------
+    let model_plan = ModelPlan::compile(&packed_model);
+    let dense_bipolar: Vec<Hypervector> = packed.iter().map(BipolarHv::to_dense).collect();
+    let kernel = time_per_item(samples, dense_bipolar.len(), || {
+        for q in &dense_bipolar {
+            std::hint::black_box(model_plan.predict_dense(q).expect("predict"));
+        }
+    });
+    let reference = time_per_item(samples, dense_bipolar.len(), || {
+        for q in &dense_bipolar {
+            std::hint::black_box(packed_model.predict(q).expect("predict"));
+        }
+    });
+    results.push(Comparison {
+        name: "plan_compile_predict",
+        unit: "query",
+        reference,
+        kernel,
+        threshold: None,
+    });
+
     // --- Report -------------------------------------------------------
     let mut rows = vec![vec![
         "kernel".to_owned(),
@@ -784,7 +852,7 @@ fn main() {
             format!("{:.2} ms/{}", c.reference.median / 1e6, c.unit),
             format!("{:.2} ms/{}", c.kernel.median / 1e6, c.unit),
             format!("{:.2}×", c.speedup()),
-            c.threshold.map_or("-".to_owned(), |t| format!("≥{t:.0}×")),
+            c.threshold.map_or("-".to_owned(), |t| format!("≥{t}×")),
         ]);
     }
     print_table(&rows);

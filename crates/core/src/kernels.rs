@@ -341,6 +341,116 @@ pub fn scalar_encode_packed_batch(
     )
 }
 
+/// [`scalar_encode_level_sliced`] fused with bipolar quantization *and*
+/// dimension masking — the compiled
+/// [`EncodePlan`](crate::plan::EncodePlan) kernel for the paper's
+/// operating point (bipolar inference quantization + masked dims,
+/// §III-C). `keep_words` packs one bit per dimension (bit set ⇔ the
+/// dimension survives the obfuscation mask; `⌈dim/64⌉` words, zero tail
+/// bits).
+///
+/// Masked dimensions are emitted as `0.0` *without ever accumulating
+/// them*: the whole `bits × ⌈D_iv/64⌉` popcount phase — the dominant
+/// cost of Eq. (2a) — is skipped for every masked dimension, which is
+/// where the compiled plan's speedup over encode-then-obfuscate comes
+/// from. Kept dimensions run the exact-integer sign test
+/// `2·weighted_j ≥ Σ_k g_k` of [`scalar_encode_packed`], so the output
+/// bit-matches `obfuscate(encode(input))` under
+/// [`crate::QuantScheme::Bipolar`] (whose result is independent of the
+/// σ threshold).
+///
+/// Returns `None` if any input is NaN — the generic composition then
+/// defines the semantics (NaN poisons the accumulator and the bipolar
+/// comparison resolves it) and the caller falls back to it.
+///
+/// # Panics
+///
+/// Panics if `input.len() != im_t.features()`, `levels < 2`, or
+/// `keep_words` is shorter than `⌈dim/64⌉` (the plan compiler
+/// guarantees all three).
+pub fn scalar_encode_bipolar_masked(
+    im_t: &TransposedItemMemory,
+    input: &[f64],
+    levels: usize,
+    keep_words: &[u64],
+) -> Option<Vec<f64>> {
+    assert_eq!(input.len(), im_t.features, "feature count mismatch");
+    assert!(levels >= 2, "need at least two levels");
+    assert!(
+        keep_words.len() >= im_t.dim.div_ceil(WORD_BITS),
+        "keep mask shorter than the dimension"
+    );
+    if input.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let steps = (levels - 1) as f64;
+    let max_index = (levels - 1) as u64;
+    let bits = (u64::BITS - max_index.leading_zeros()) as usize;
+    let f_words = im_t.f_words;
+
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+
+        // Phase 1: grid indices and digit masks, exactly as in
+        // `scalar_encode_level_sliced`.
+        scratch.grid.clear();
+        scratch
+            .grid
+            .extend(input.iter().map(|&raw| quantize_index(raw, steps)));
+        scratch.masks.clear();
+        scratch.masks.resize(bits * f_words, 0);
+        let mut index_total: u64 = 0;
+        for (k, &g) in scratch.grid.iter().enumerate() {
+            index_total += g;
+            let (fw, fb) = (k / WORD_BITS, k % WORD_BITS);
+            let mut digits = g;
+            while digits != 0 {
+                let b = digits.trailing_zeros() as usize;
+                scratch.masks[b * f_words + fw] |= 1 << fb;
+                digits &= digits - 1;
+            }
+        }
+
+        // Phase 2: popcount accumulation for *kept* dimensions only.
+        let total = index_total;
+        let mut acc = Vec::with_capacity(im_t.dim);
+        for (j, row) in im_t.words.chunks_exact(f_words).enumerate() {
+            if keep_words[j / WORD_BITS] >> (j % WORD_BITS) & 1 == 0 {
+                acc.push(0.0);
+                continue;
+            }
+            let mut weighted: u64 = 0;
+            for (b, mask) in scratch.masks.chunks_exact(f_words).enumerate() {
+                let mut count: u32 = 0;
+                for (rw, mw) in row.iter().zip(mask) {
+                    count += (rw & mw).count_ones();
+                }
+                weighted += u64::from(count) << b;
+            }
+            // acc_j ≥ 0 ⇔ 2·weighted ≥ Σ_k g_k (positive 1/(ℓ−1) scale),
+            // then Bipolar maps `≥ 0` to +1 — all in exact integers.
+            acc.push(if 2 * weighted >= total { 1.0 } else { -1.0 });
+        }
+        Some(acc)
+    })
+}
+
+/// True when the dot/popcount kernels of this module will dispatch to
+/// their AVX2 arms on this host — the probe
+/// [`crate::plan::ModelPlan::compile`] runs *once* per published model
+/// instead of (implicitly, inside each kernel call) per batch. Always
+/// false off x86-64.
+pub fn avx2_dispatch() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Record/level encode (Eq. 2b) by word-parallel majority accumulation:
 /// every bound row `L_{v_k} ⊛ B_k` is XNOR-ed on the fly and inserted
 /// into a carry-save bit-slice counter; the per-dimension counts are
@@ -1285,6 +1395,38 @@ mod tests {
         let im = BasisGenerator::new(2).item_memory(4, 64).unwrap();
         let t = TransposedItemMemory::from_item_memory(&im);
         assert!(scalar_encode_packed(&t, &[0.1, f64::NAN, 0.3, 0.4], 4).is_none());
+    }
+
+    #[test]
+    fn masked_bipolar_encode_matches_encode_then_mask() {
+        // Off-word-boundary dim; mask out every third dimension.
+        let dim = 197;
+        let im = BasisGenerator::new(17).item_memory(19, dim).unwrap();
+        let t = TransposedItemMemory::from_item_memory(&im);
+        let levels = 10;
+        let mut keep = vec![0u64; dim.div_ceil(64)];
+        for j in 0..dim {
+            if j % 3 != 0 {
+                keep[j / 64] |= 1 << (j % 64);
+            }
+        }
+        let input: Vec<f64> = (0..19).map(|k| (k as f64 * 0.29).sin().abs()).collect();
+        let fused = scalar_encode_bipolar_masked(&t, &input, levels, &keep).expect("no NaN input");
+        let dense = scalar_encode_level_sliced(&t, &input, levels);
+        for (j, (&f, &d)) in fused.iter().zip(&dense).enumerate() {
+            let expected = if j % 3 == 0 {
+                0.0
+            } else if d >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
+            assert_eq!(f, expected, "dim {j}");
+        }
+        // NaN input falls back to the generic composition.
+        let mut poisoned = input.clone();
+        poisoned[3] = f64::NAN;
+        assert!(scalar_encode_bipolar_masked(&t, &poisoned, levels, &keep).is_none());
     }
 
     #[test]

@@ -43,6 +43,11 @@
 //!   class hypervectors too, which Fig. 5(a) compares against.
 //! * [`online`] — similarity-weighted (OnlineHD-style) training, an
 //!   adaptive refinement of the Eq. (5) retraining rule.
+//! * [`plan`] — publish-time compilation: [`EncodePlan`] fuses
+//!   encode∘obfuscate into one table-driven pass, [`ModelPlan`] pins the
+//!   scoring snapshots behind a one-time kernel selection
+//!   ([`plan::PlanKernel`]), and [`plan::PlanTarget`] renders a plan for
+//!   software or hardware backends.
 //! * [`telemetry`] — sampled, lock-free request tracing ([`Tracer`],
 //!   [`Stage`], [`SpanEvent`]): the capture spine the serving layer's
 //!   stage-level latency decomposition is built on.
@@ -83,6 +88,7 @@ pub mod kernels;
 pub mod model;
 pub mod obfuscate;
 pub mod online;
+pub mod plan;
 pub mod pool;
 pub mod prune;
 pub mod quantize;
@@ -98,6 +104,9 @@ pub use kernels::{ClassMatrix, PackedClassMatrix, TransposedItemMemory};
 pub use model::{HdModel, Prediction, RetrainConfig, RetrainReport};
 pub use obfuscate::{ObfuscateConfig, Obfuscator};
 pub use online::{online_step, train_online, OnlineConfig, OnlineReport};
+pub use plan::{
+    EncodePlan, ModelPlan, PlanArtifact, PlanKernel, PlanTarget, SimdPath, SoftwareTarget,
+};
 pub use pool::ThreadPool;
 pub use prune::{information_curve, InformationPoint, PruneMask, PruneStrategy};
 pub use quantize::{QuantScheme, ValueHistogram};
@@ -114,6 +123,7 @@ pub mod prelude {
     pub use crate::model::{HdModel, Prediction, RetrainConfig, RetrainReport};
     pub use crate::obfuscate::{ObfuscateConfig, Obfuscator};
     pub use crate::online::{online_step, train_online, OnlineConfig, OnlineReport};
+    pub use crate::plan::{EncodePlan, ModelPlan, PlanKernel, PlanTarget, SoftwareTarget};
     pub use crate::prune::{information_curve, PruneMask, PruneStrategy};
     pub use crate::quantize::{QuantScheme, ValueHistogram};
 }

@@ -26,7 +26,9 @@ use crate::quantize::QuantScheme;
 
 /// Queries scored together per cache tile of the batched predict path:
 /// one class row is streamed against this many queries while hot.
-const PREDICT_BLOCK: usize = 8;
+/// `pub(crate)` so [`crate::plan::ModelPlan`] records the same tiling
+/// in its compiled kernel descriptor.
+pub(crate) const PREDICT_BLOCK: usize = 8;
 
 /// A trained (or in-training) HD classification model.
 ///
@@ -277,6 +279,7 @@ impl HdModel {
     /// Returns [`HdError::DimensionMismatch`] for a wrong query dimension
     /// and [`HdError::ZeroNorm`] if every class hypervector is zero.
     pub fn predict(&self, query: &Hypervector) -> Result<Prediction, HdError> {
+        crate::plan::note_kernel_probe();
         if query.dim() != self.dim {
             return Err(HdError::DimensionMismatch {
                 expected: self.dim,
@@ -358,6 +361,7 @@ impl HdModel {
         queries: &[Hypervector],
         threads: usize,
     ) -> Result<Vec<Prediction>, HdError> {
+        crate::plan::note_kernel_probe();
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -413,6 +417,7 @@ impl HdModel {
     /// Returns [`HdError::DimensionMismatch`] for a wrong query dimension
     /// and [`HdError::ZeroNorm`] if every class hypervector is zero.
     pub fn predict_packed(&self, query: &BipolarHv) -> Result<Prediction, HdError> {
+        crate::plan::note_kernel_probe();
         if query.dim() != self.dim {
             return Err(HdError::DimensionMismatch {
                 expected: self.dim,
@@ -660,11 +665,29 @@ impl HdModel {
         let _ = self.matrix();
         let _ = self.packed_matrix();
     }
+
+    /// Shared-ownership handle to the dense scoring snapshot, for the
+    /// plan compiler: the [`crate::plan::ModelPlan`] pins the snapshot
+    /// it was compiled against so a later model mutation can never
+    /// desynchronize a published plan from its matrices.
+    pub(crate) fn matrix_arc(&self) -> Arc<ClassMatrix> {
+        Arc::clone(self.matrix())
+    }
+
+    /// Shared-ownership handle to the packed scoring snapshot (`None`
+    /// cached when the rows do not factor); plan-compiler counterpart of
+    /// [`HdModel::matrix_arc`].
+    pub(crate) fn packed_matrix_arc(&self) -> Option<Arc<PackedClassMatrix>> {
+        self.packed_cache
+            .get_or_init(|| PackedClassMatrix::try_from_classes(&self.classes).map(Arc::new))
+            .clone()
+    }
 }
 
 /// Shared argmax: winner = the last maximal score, matching the
-/// pre-kernel `Iterator::max_by` behavior on ties.
-fn prediction_from_scores(scores: Vec<f64>) -> Prediction {
+/// pre-kernel `Iterator::max_by` behavior on ties. `pub(crate)` so the
+/// compiled-plan predict paths resolve ties identically.
+pub(crate) fn prediction_from_scores(scores: Vec<f64>) -> Prediction {
     let (class, &score) = scores
         .iter()
         .enumerate()

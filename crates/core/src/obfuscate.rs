@@ -11,6 +11,8 @@
 //! which degrades the reconstruction attack's PSNR from ~24 dB to ~13 dB
 //! while costing well under 1% accuracy (Fig. 6, Fig. 9).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use rand::rngs::StdRng;
@@ -20,6 +22,22 @@ use rand::SeedableRng;
 use crate::error::HdError;
 use crate::hypervector::Hypervector;
 use crate::quantize::QuantScheme;
+
+/// Process-wide count of masked-permutation materializations (the
+/// shuffle-truncate-sort in [`Obfuscator::new`]). Serving audits read it
+/// through [`permutation_build_count`] to pin that compiled plans build
+/// the permutation once at publish/construction time and never on the
+/// per-request path.
+static PERMUTATION_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times a masked-dimension permutation has been materialized
+/// since process start. Monotonic; used by conversion-counting tests,
+/// not for synchronization.
+pub fn permutation_build_count() -> u64 {
+    // Relaxed: a monotonic event counter sampled by audit tests; no
+    // other memory is published through it.
+    PERMUTATION_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Configuration of the edge-side obfuscation pipeline.
 ///
@@ -112,6 +130,9 @@ impl Obfuscator {
         indices.shuffle(&mut rng);
         indices.truncate(config.masked_dims);
         indices.sort_unstable();
+        // Relaxed: monotonic audit counter (see PERMUTATION_BUILDS); no
+        // ordering with other memory is required.
+        PERMUTATION_BUILDS.fetch_add(1, Ordering::Relaxed);
         Ok(Self {
             config,
             dim,
@@ -122,6 +143,11 @@ impl Obfuscator {
     /// The configuration in force.
     pub fn config(&self) -> &ObfuscateConfig {
         &self.config
+    }
+
+    /// The query dimensionality this obfuscator was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// The masked dimension indices (sorted).

@@ -1,0 +1,672 @@
+//! Publish-time compilation of the encode∘obfuscate∘predict pipeline.
+//!
+//! Every serving request used to walk generic, config-driven code: the
+//! edge re-derived the obfuscation permutation per call and the engine
+//! re-decided kernel dispatch (dense vs packed snapshot, AVX2 vs
+//! scalar, block sizes) per batch — even though all of it is fully
+//! determined the moment a model is published. This module compiles
+//! those decisions **once**:
+//!
+//! * [`EncodePlan`] — the client-side encode∘obfuscate transform as one
+//!   precomputed keep-mask table. Under [`QuantScheme::Bipolar`] (the
+//!   paper's inference operating point, §III-C) it drives the fused
+//!   [`kernels::scalar_encode_bipolar_masked`] kernel, which never
+//!   accumulates masked dimensions at all; other schemes run one fused
+//!   quantize+mask output pass over the encode kernel's accumulator.
+//!   Either way the permutation is materialized exactly once, at
+//!   compile time (pinned by [`crate::obfuscate::permutation_build_count`]).
+//! * [`ModelPlan`] — the server-side scoring pipeline: shared-ownership
+//!   pins of the dense/packed class snapshots plus a one-time kernel
+//!   selection ([`PlanKernel`], including the AVX2-vs-scalar
+//!   [`SimdPath`] probe) that engine workers dispatch through instead
+//!   of re-probing per batch (pinned by [`kernel_probe_count`]).
+//! * [`PlanTarget`] — the compiler-backend abstraction: a plan can be
+//!   *rendered* for different execution substrates. [`SoftwareTarget`]
+//!   (this crate) describes the kernel tables above; `privehd-hw`
+//!   provides an FPGA target that renders the same plan as Verilog plus
+//!   an analytic resource/throughput model, turning the dormant
+//!   hardware pipeline into a second backend of the same compiler.
+//!
+//! Every compiled path is bit-identical to the generic composition it
+//! replaces; `tests/properties.rs` holds plans to the generic paths
+//! across schemes, masks and word-boundary dimensions.
+
+// The compiled plan dispatch runs on the serve request path; this file
+// is listed in the analyzer's PANIC_PATH_SCOPE, so keep it free of
+// panic-capable constructs outside tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::encoder::{Encoder, ScalarEncoder};
+use crate::error::HdError;
+use crate::hypervector::{BipolarHv, Hypervector};
+use crate::kernels::{self, ClassMatrix, PackedClassMatrix};
+use crate::model::{prediction_from_scores, HdModel, Prediction, PREDICT_BLOCK};
+use crate::obfuscate::{ObfuscateConfig, Obfuscator};
+use crate::quantize::QuantScheme;
+
+/// Process-wide count of kernel-selection probes: one per *generic*
+/// predict entry ([`HdModel::predict`] and friends re-decide dense vs
+/// packed and the dispatch path on every call) and one per
+/// [`ModelPlan::compile`]. Serving audits read it through
+/// [`kernel_probe_count`] to pin that requests served through a
+/// compiled plan never re-probe.
+static KERNEL_PROBES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of kernel-selection probes since process start. Monotonic;
+/// read by conversion-counting tests, not for synchronization.
+pub fn kernel_probe_count() -> u64 {
+    // Relaxed: a monotonic event counter sampled by audit tests; no
+    // other memory is published through it.
+    KERNEL_PROBES.load(Ordering::Relaxed)
+}
+
+/// Records one kernel-selection probe (generic predict entry or plan
+/// compile).
+pub(crate) fn note_kernel_probe() {
+    // Relaxed: monotonic audit counter (see KERNEL_PROBES); no ordering
+    // with other memory is required.
+    KERNEL_PROBES.fetch_add(1, Ordering::Relaxed);
+}
+
+const WORD_BITS: usize = 64;
+
+/// Which arm the runtime-dispatched dot/popcount kernels take on this
+/// host — probed once at plan-compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdPath {
+    /// The explicit `std::arch` AVX2 arms.
+    Avx2,
+    /// The portable scalar arms.
+    Scalar,
+}
+
+impl SimdPath {
+    /// Probes the host once (memoized CPUID underneath).
+    pub fn probe() -> Self {
+        if kernels::avx2_dispatch() {
+            SimdPath::Avx2
+        } else {
+            SimdPath::Scalar
+        }
+    }
+
+    /// Short label for reports and rendered plans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimdPath::Avx2 => "avx2",
+            SimdPath::Scalar => "scalar",
+        }
+    }
+}
+
+/// The scoring kernel a compiled [`ModelPlan`] dispatches through —
+/// selected once per publish instead of re-decided per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKernel {
+    /// The class rows factor into `sign × scale` word blocks: score
+    /// packed queries with pure `XOR` + `POPCNT` word arithmetic over
+    /// `hv_words` words per class.
+    PackedPopcount {
+        /// Packed words per class row (`⌈dim/64⌉`).
+        hv_words: usize,
+        /// Host SIMD arm the popcount/dot kernels take.
+        simd: SimdPath,
+    },
+    /// General dense rows: tiled `f64` scoring against the contiguous
+    /// [`ClassMatrix`], `block` queries per cache tile on the batch
+    /// path.
+    DenseTiled {
+        /// Queries scored per class-row tile on the batched path.
+        block: usize,
+        /// Host SIMD arm the dot kernels take.
+        simd: SimdPath,
+    },
+}
+
+impl PlanKernel {
+    /// Short label for reports and rendered plans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKernel::PackedPopcount { .. } => "packed-popcount",
+            PlanKernel::DenseTiled { .. } => "dense-tiled",
+        }
+    }
+
+    /// The SIMD arm this kernel was compiled for.
+    pub fn simd(&self) -> SimdPath {
+        match self {
+            PlanKernel::PackedPopcount { simd, .. } | PlanKernel::DenseTiled { simd, .. } => *simd,
+        }
+    }
+}
+
+/// The client-side encode∘obfuscate transform, compiled to one
+/// precomputed keep-mask table.
+///
+/// Compilation materializes the obfuscation permutation exactly once
+/// (the same seeded shuffle as [`Obfuscator::new`], so masks are
+/// bit-identical) and stores it as a packed keep bitmap.
+/// [`EncodePlan::apply`] is then a single table-driven pass:
+/// bit-identical to `obfuscator.obfuscate(&encoder.encode(input)?)`
+/// with no per-call permutation work and — under
+/// [`QuantScheme::Bipolar`] — no accumulation of masked dimensions at
+/// all.
+#[derive(Debug, Clone)]
+pub struct EncodePlan {
+    scheme: QuantScheme,
+    dim: usize,
+    masked_dims: usize,
+    /// One bit per dimension; set ⇔ the dimension survives the mask.
+    /// `⌈dim/64⌉` words, zero tail bits.
+    keep_words: Vec<u64>,
+}
+
+impl EncodePlan {
+    /// Compiles the plan for queries of dimension `dim` — one
+    /// permutation build, at compile time.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Obfuscator::new`]:
+    /// [`HdError::EmptyDimension`] if `dim == 0`,
+    /// [`HdError::InvalidConfig`] if `masked_dims >= dim`.
+    pub fn compile(dim: usize, config: ObfuscateConfig) -> Result<Self, HdError> {
+        let obfuscator = Obfuscator::new(dim, config)?;
+        Ok(Self::from_obfuscator(&obfuscator))
+    }
+
+    /// Compiles the plan from an already-constructed obfuscator without
+    /// re-materializing the permutation.
+    pub fn from_obfuscator(obfuscator: &Obfuscator) -> Self {
+        let dim = obfuscator.dim();
+        let hv_words = dim.div_ceil(WORD_BITS);
+        let mut keep_words = vec![u64::MAX; hv_words];
+        let tail = dim % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = keep_words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        for &j in obfuscator.masked_indices() {
+            if let Some(word) = keep_words.get_mut(j / WORD_BITS) {
+                *word &= !(1u64 << (j % WORD_BITS));
+            }
+        }
+        Self {
+            scheme: obfuscator.config().scheme,
+            dim,
+            masked_dims: obfuscator.masked_indices().len(),
+            keep_words,
+        }
+    }
+
+    /// The quantization scheme baked into the plan.
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Query dimensionality the plan was compiled for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of dimensions the mask nullifies.
+    pub fn masked_dims(&self) -> usize {
+        self.masked_dims
+    }
+
+    /// The packed keep bitmap (bit set ⇔ dimension survives;
+    /// `⌈dim/64⌉` words, zero tail bits).
+    pub fn keep_words(&self) -> &[u64] {
+        &self.keep_words
+    }
+
+    /// Encodes and obfuscates one feature vector in a single
+    /// table-driven pass — bit-identical to
+    /// `obfuscator.obfuscate(&encoder.encode(input)?)`.
+    ///
+    /// Under [`QuantScheme::Bipolar`] the fused masked kernel skips the
+    /// entire accumulation of masked dimensions (the quantized sign is
+    /// σ-independent, so nothing about a masked dimension is ever
+    /// needed); NaN inputs fall back to the generic composition, whose
+    /// NaN semantics are the contract. Other schemes need the full
+    /// accumulator for the σ estimate, so they run the encode kernel
+    /// and fuse quantization + masking into one output pass.
+    ///
+    /// # Errors
+    ///
+    /// [`HdError::DimensionMismatch`] if the encoder's output dimension
+    /// differs from the compiled plan's, and
+    /// [`HdError::FeatureCountMismatch`] for a wrong input length.
+    pub fn apply(&self, encoder: &ScalarEncoder, input: &[f64]) -> Result<Hypervector, HdError> {
+        let config = encoder.config();
+        if config.dim != self.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: config.dim,
+            });
+        }
+        if input.len() != config.features {
+            return Err(HdError::FeatureCountMismatch {
+                expected: config.features,
+                actual: input.len(),
+            });
+        }
+        if self.scheme == QuantScheme::Bipolar {
+            if let Some(acc) = kernels::scalar_encode_bipolar_masked(
+                encoder.item_memory_transposed(),
+                input,
+                config.levels,
+                &self.keep_words,
+            ) {
+                return Ok(Hypervector::from_vec(acc));
+            }
+            // NaN input: the fused integer kernel cannot represent the
+            // poisoned accumulator; the generic pass below resolves it
+            // exactly like encode-then-obfuscate does.
+        }
+        let mut h = encoder.encode(input)?;
+        // σ is estimated from the *pre-mask* accumulator, exactly as
+        // `Obfuscator::obfuscate` does.
+        let sigma = QuantScheme::empirical_sigma(&h).max(f64::MIN_POSITIVE);
+        for (chunk, &keep) in h.as_mut_slice().chunks_mut(WORD_BITS).zip(&self.keep_words) {
+            for (b, v) in chunk.iter_mut().enumerate() {
+                *v = if keep >> b & 1 == 1 {
+                    self.scheme.quantize_value(*v, sigma)
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(h)
+    }
+}
+
+/// The server-side scoring pipeline compiled once per published model:
+/// shared-ownership pins of the scoring snapshots plus the one-time
+/// [`PlanKernel`] selection request workers dispatch through.
+///
+/// Every predict method is bit-identical (scores, tie-breaking, error
+/// contract) to the corresponding generic [`HdModel`] entry point — but
+/// performs no per-call cache probing, no packability re-decision and
+/// no SIMD re-detection.
+#[derive(Debug, Clone)]
+pub struct ModelPlan {
+    dim: usize,
+    dense: Arc<ClassMatrix>,
+    packed: Option<Arc<PackedClassMatrix>>,
+    kernel: PlanKernel,
+}
+
+impl ModelPlan {
+    /// Compiles the plan: builds/pins both scoring snapshots and
+    /// selects the kernel. Counts as exactly one kernel-selection probe
+    /// (see [`kernel_probe_count`]).
+    pub fn compile(model: &HdModel) -> Self {
+        note_kernel_probe();
+        let dim = model.dim();
+        let dense = model.matrix_arc();
+        let packed = model.packed_matrix_arc();
+        let simd = SimdPath::probe();
+        let kernel = match &packed {
+            Some(p) => PlanKernel::PackedPopcount {
+                hv_words: p.dim().div_ceil(WORD_BITS),
+                simd,
+            },
+            None => PlanKernel::DenseTiled {
+                block: PREDICT_BLOCK,
+                simd,
+            },
+        };
+        Self {
+            dim,
+            dense,
+            packed,
+            kernel,
+        }
+    }
+
+    /// Hypervector dimensionality the plan scores at.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.dense.num_classes()
+    }
+
+    /// The kernel selected at compile time.
+    pub fn kernel(&self) -> PlanKernel {
+        self.kernel
+    }
+
+    /// Scores a bit-packed bipolar query through the compiled kernel —
+    /// bit-identical to [`HdModel::predict_packed`], with zero per-call
+    /// dispatch decisions.
+    ///
+    /// # Errors
+    ///
+    /// [`HdError::DimensionMismatch`] for a wrong query dimension and
+    /// [`HdError::ZeroNorm`] if every class hypervector is zero.
+    pub fn predict_packed(&self, query: &BipolarHv) -> Result<Prediction, HdError> {
+        if query.dim() != self.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        let mut scores = Vec::new();
+        match &self.packed {
+            Some(packed) if !packed.all_zero() => {
+                packed.scores_packed_into(query.words(), &mut scores);
+            }
+            Some(_) => return Err(HdError::ZeroNorm),
+            None => {
+                if self.dense.all_zero() {
+                    return Err(HdError::ZeroNorm);
+                }
+                self.dense.scores_packed_into(query.words(), &mut scores);
+            }
+        }
+        Ok(prediction_from_scores(scores))
+    }
+
+    /// Scores a dense query through the compiled kernel — bit-identical
+    /// to [`HdModel::predict`].
+    ///
+    /// # Errors
+    ///
+    /// [`HdError::DimensionMismatch`] for a wrong query dimension and
+    /// [`HdError::ZeroNorm`] if every class hypervector is zero.
+    pub fn predict_dense(&self, query: &Hypervector) -> Result<Prediction, HdError> {
+        if query.dim() != self.dim {
+            return Err(HdError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.dim(),
+            });
+        }
+        if self.dense.all_zero() {
+            return Err(HdError::ZeroNorm);
+        }
+        let mut scores = Vec::new();
+        self.dense.scores_into(query.as_slice(), &mut scores);
+        Ok(prediction_from_scores(scores))
+    }
+
+    /// [`ModelPlan::predict_dense`] with the strictly-bipolar bridge:
+    /// a dense query whose every component is exactly `±1` (an
+    /// obfuscated query that arrived dense) is repacked and routed
+    /// through [`ModelPlan::predict_packed`]. This is the compiled form
+    /// of the engine's `packed_fastpath` per-request decision.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ModelPlan::predict_dense`].
+    pub fn predict_dense_auto(&self, query: &Hypervector) -> Result<Prediction, HdError> {
+        if is_strictly_bipolar(query.as_slice()) {
+            return self.predict_packed(&BipolarHv::from_signs(query.as_slice()));
+        }
+        self.predict_dense(query)
+    }
+
+    /// One-line human-readable description of the compiled kernel, used
+    /// by rendered plans and reports.
+    pub fn describe(&self) -> String {
+        match self.kernel {
+            PlanKernel::PackedPopcount { hv_words, simd } => format!(
+                "packed-popcount: {} classes × {hv_words} words (dim {}), xor+popcnt, {} arms",
+                self.num_classes(),
+                self.dim,
+                simd.label()
+            ),
+            PlanKernel::DenseTiled { block, simd } => format!(
+                "dense-tiled: {} classes × {} dims, f64 dot, block {block}, {} arms",
+                self.num_classes(),
+                self.dim,
+                simd.label()
+            ),
+        }
+    }
+}
+
+/// True when every component is exactly `+1.0` or `-1.0` — the
+/// precondition for repacking a dense query into a [`BipolarHv`]
+/// without changing its scores.
+pub fn is_strictly_bipolar(values: &[f64]) -> bool {
+    values.iter().all(|&v| v == 1.0 || v == -1.0)
+}
+
+/// A rendering of a compiled plan for one execution substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanArtifact {
+    /// The target that rendered it (see [`PlanTarget::name`]).
+    pub target: &'static str,
+    /// One-paragraph human-readable summary.
+    pub summary: String,
+    /// The rendered payload — a kernel table description for the
+    /// software target, synthesizable RTL for the hardware target.
+    pub payload: String,
+}
+
+/// A compiler backend: renders a compiled [`ModelPlan`] for one
+/// execution substrate.
+///
+/// [`SoftwareTarget`] (this crate) renders the kernel-table form the
+/// serving engine executes; `privehd-hw` renders the same plan as
+/// synthesizable Verilog plus an analytic FPGA resource/throughput
+/// model.
+pub trait PlanTarget {
+    /// Stable target name (`"software"`, `"fpga"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Renders the plan for this substrate.
+    fn render(&self, plan: &ModelPlan) -> PlanArtifact;
+}
+
+impl std::fmt::Debug for dyn PlanTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanTarget")
+            .field("name", &self.name())
+            .finish()
+    }
+}
+
+/// The in-process software backend: renders the kernel tables the
+/// serving engine dispatches through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftwareTarget;
+
+impl PlanTarget for SoftwareTarget {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn render(&self, plan: &ModelPlan) -> PlanArtifact {
+        let payload = format!(
+            "kernel = {}\nsimd = {}\nclasses = {}\ndim = {}\n",
+            plan.kernel().label(),
+            plan.kernel().simd().label(),
+            plan.num_classes(),
+            plan.dim(),
+        );
+        PlanArtifact {
+            target: self.name(),
+            summary: plan.describe(),
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderConfig;
+
+    fn trained_model(dim: usize, seed: u64) -> (ScalarEncoder, HdModel) {
+        let enc = ScalarEncoder::new(EncoderConfig::new(6, dim).with_seed(seed)).unwrap();
+        let mut model = HdModel::new(2, dim).unwrap();
+        for i in 0..8 {
+            let t = i as f64 / 40.0;
+            let a = vec![0.1 + t, 0.2, 0.1, 0.9 - t, 0.8, 0.9];
+            let b = vec![0.9 - t, 0.8, 0.9, 0.1 + t, 0.2, 0.1];
+            model.bundle(0, &enc.encode(&a).unwrap()).unwrap();
+            model.bundle(1, &enc.encode(&b).unwrap()).unwrap();
+        }
+        (enc, model)
+    }
+
+    #[test]
+    fn compile_selects_dense_for_float_rows_and_popcount_for_sign_rows() {
+        let (_, mut model) = trained_model(300, 3);
+        let plan = ModelPlan::compile(&model);
+        assert!(matches!(plan.kernel(), PlanKernel::DenseTiled { .. }));
+        model.quantize_classes(QuantScheme::Bipolar);
+        let plan = ModelPlan::compile(&model);
+        assert!(matches!(
+            plan.kernel(),
+            PlanKernel::PackedPopcount { hv_words: 5, .. }
+        ));
+        assert_eq!(plan.num_classes(), 2);
+        assert_eq!(plan.dim(), 300);
+    }
+
+    #[test]
+    fn plan_predicts_bit_identically_to_the_model() {
+        let (enc, model) = trained_model(300, 5);
+        let plan = ModelPlan::compile(&model);
+        let q = enc.encode(&[0.2, 0.3, 0.1, 0.8, 0.7, 0.9]).unwrap();
+        assert_eq!(plan.predict_dense(&q).unwrap(), model.predict(&q).unwrap());
+        let packed = BipolarHv::random(300, 9);
+        assert_eq!(
+            plan.predict_packed(&packed).unwrap(),
+            model.predict_packed(&packed).unwrap()
+        );
+        // The auto bridge repacks strictly-bipolar dense queries.
+        let dense_bipolar = packed.to_dense();
+        assert_eq!(
+            plan.predict_dense_auto(&dense_bipolar).unwrap(),
+            model.predict_packed(&packed).unwrap()
+        );
+        // …and leaves general dense queries on the dense kernel.
+        assert_eq!(
+            plan.predict_dense_auto(&q).unwrap(),
+            model.predict(&q).unwrap()
+        );
+    }
+
+    #[test]
+    fn plan_mirrors_model_error_contract() {
+        let (_, model) = trained_model(300, 7);
+        let plan = ModelPlan::compile(&model);
+        let short = Hypervector::from_vec(vec![1.0; 64]);
+        assert_eq!(
+            plan.predict_dense(&short),
+            Err(HdError::DimensionMismatch {
+                expected: 300,
+                actual: 64
+            })
+        );
+        let untrained = HdModel::new(2, 64).unwrap();
+        let plan = ModelPlan::compile(&untrained);
+        assert_eq!(
+            plan.predict_dense(&Hypervector::from_vec(vec![1.0; 64])),
+            Err(HdError::ZeroNorm)
+        );
+        assert_eq!(
+            plan.predict_packed(&BipolarHv::random(64, 0)),
+            Err(HdError::ZeroNorm)
+        );
+    }
+
+    #[test]
+    fn encode_plan_matches_generic_composition() {
+        let (enc, _) = trained_model(300, 11);
+        for scheme in QuantScheme::ALL {
+            let cfg = ObfuscateConfig::new(scheme)
+                .with_masked_dims(90)
+                .with_seed(4);
+            let ob = Obfuscator::new(300, cfg).unwrap();
+            let plan = EncodePlan::compile(300, cfg).unwrap();
+            assert_eq!(plan.masked_dims(), 90);
+            let input = [0.15, 0.5, 0.85, 0.3, 0.7, 0.05];
+            let generic = ob.obfuscate(&enc.encode(&input).unwrap()).unwrap();
+            let fused = plan.apply(&enc, &input).unwrap();
+            assert_eq!(
+                fused.as_slice(),
+                generic.as_slice(),
+                "{scheme}: compiled plan must bit-match encode∘obfuscate"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_plan_nan_falls_back_to_generic_semantics() {
+        let (enc, _) = trained_model(200, 13);
+        let cfg = ObfuscateConfig::new(QuantScheme::Bipolar)
+            .with_masked_dims(50)
+            .with_seed(2);
+        let ob = Obfuscator::new(200, cfg).unwrap();
+        let plan = EncodePlan::compile(200, cfg).unwrap();
+        let input = [0.1, f64::NAN, 0.3, 0.4, 0.5, 0.6];
+        let generic = ob.obfuscate(&enc.encode(&input).unwrap()).unwrap();
+        let fused = plan.apply(&enc, &input).unwrap();
+        assert_eq!(fused.as_slice(), generic.as_slice());
+    }
+
+    #[test]
+    fn encode_plan_validates_like_the_generic_path() {
+        let (enc, _) = trained_model(200, 17);
+        let cfg = ObfuscateConfig::new(QuantScheme::Bipolar);
+        assert!(EncodePlan::compile(0, cfg).is_err());
+        assert!(EncodePlan::compile(8, cfg.with_masked_dims(8)).is_err());
+        let plan = EncodePlan::compile(200, cfg).unwrap();
+        assert_eq!(
+            plan.apply(&enc, &[0.5; 4]),
+            Err(HdError::FeatureCountMismatch {
+                expected: 6,
+                actual: 4
+            })
+        );
+        let other = EncodePlan::compile(100, cfg).unwrap();
+        assert!(matches!(
+            other.apply(&enc, &[0.5; 6]),
+            Err(HdError::DimensionMismatch { .. })
+        ));
+    }
+
+    // NOTE: the counter is process-global and other unit tests exercise
+    // the (probe-counted) generic predict paths concurrently, so this
+    // only asserts the lower bound here; the exact "zero probes per
+    // served request" audit lives in `privehd-serve/tests/plan_probes.rs`
+    // where it owns its test binary.
+    #[test]
+    fn compile_notes_a_kernel_probe() {
+        let (_, model) = trained_model(128, 19);
+        let before = kernel_probe_count();
+        let _plan = ModelPlan::compile(&model);
+        assert!(kernel_probe_count() > before, "compile must probe");
+    }
+
+    #[test]
+    fn software_target_renders_the_kernel_table() {
+        let (_, mut model) = trained_model(256, 23);
+        model.quantize_classes(QuantScheme::Bipolar);
+        let plan = ModelPlan::compile(&model);
+        let artifact = SoftwareTarget.render(&plan);
+        assert_eq!(artifact.target, "software");
+        assert!(artifact.summary.contains("packed-popcount"));
+        assert!(artifact.payload.contains("kernel = packed-popcount"));
+        assert!(artifact.payload.contains("classes = 2"));
+    }
+
+    #[test]
+    fn strictly_bipolar_detection() {
+        assert!(is_strictly_bipolar(&[1.0, -1.0, 1.0]));
+        assert!(!is_strictly_bipolar(&[1.0, 0.0]));
+        assert!(!is_strictly_bipolar(&[1.0, f64::NAN]));
+        assert!(is_strictly_bipolar(&[]));
+    }
+}

@@ -5,12 +5,19 @@
 //! [`std::thread::scope`], paying a thread spawn + join per call. Under a
 //! serving workload that cost recurs on every batch, so this module keeps
 //! one lazily-created, process-wide pool ([`global`]) whose workers park
-//! on a channel between calls.
+//! on a condvar between calls.
 //!
 //! The design favours predictability over sophistication:
 //!
-//! * Workers pull indexed tasks off a shared atomic counter, so chunks
-//!   self-balance without a work-stealing deque.
+//! * Every worker owns a deque. Submissions are spread round-robin
+//!   across the deques; a worker pops its own deque from the front and,
+//!   when that is empty, steals from the *back* of its siblings'. A
+//!   burst of jobs (or one worker wedged on a long job) is therefore
+//!   redistributed instead of serializing every claim behind the single
+//!   shared channel lock the previous design used.
+//! * Within one `run`, workers pull indexed tasks off a shared atomic
+//!   counter, so chunks self-balance across lanes without further
+//!   queueing.
 //! * The *calling* thread always participates as a lane, and a `run`
 //!   issued from inside a pool task executes fully inline. A `run` call
 //!   can therefore never deadlock — the caller alone guarantees
@@ -19,9 +26,9 @@
 //!   lending non-`'static` borrows to the workers sound (see the single
 //!   `unsafe` block below).
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -35,6 +42,105 @@ thread_local! {
     /// through the queue would let all workers block on jobs no free
     /// worker remains to execute.
     static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The queues and coordination state shared by submitters and workers.
+struct PoolShared {
+    /// One deque per worker. Submissions land round-robin; the owning
+    /// worker pops from the front, idle siblings steal from the back
+    /// (the freshest job), leaving the owner its oldest work.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Round-robin cursor selecting the next submission's home deque.
+    cursor: AtomicUsize,
+    coord: Mutex<CoordState>,
+    /// Signalled on every submission and on close.
+    jobs: Condvar,
+}
+
+/// Coordinator state guarded by [`PoolShared::coord`].
+struct CoordState {
+    /// Count of submitted-but-unclaimed jobs. The reservation is taken
+    /// *before* the job is pushed onto a deque and released only after
+    /// a successful pop, so `pending` is always an upper bound on the
+    /// jobs physically present across the deques: a worker that sees
+    /// `pending > 0` yet finds every deque empty knows a push is
+    /// mid-flight and retries instead of parking forever.
+    pending: usize,
+    /// Set on pool drop; workers exit once this is set *and* `pending`
+    /// reaches zero, so jobs queued before the drop still run.
+    closed: bool,
+}
+
+impl PoolShared {
+    /// Submits one job: reserve in `pending`, place on the round-robin
+    /// deque, wake a parked worker. Must not be called on an empty pool
+    /// (zero deques) — those cases execute inline at the call site.
+    fn push(&self, job: Job) {
+        {
+            let mut coord = self.coord.lock().expect("pool lock poisoned");
+            coord.pending += 1;
+        }
+        // Relaxed: the cursor only spreads jobs across deques for
+        // balance; the job itself is published by the deque's mutex.
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        self.deques[slot]
+            .lock()
+            .expect("pool deque poisoned")
+            .push_back(job);
+        self.jobs.notify_one();
+    }
+
+    /// Claims one job for the worker owning deque `home`, parking while
+    /// everything is empty. Returns `None` once the pool has closed and
+    /// every submitted job has been claimed.
+    fn claim(&self, home: usize) -> Option<Job> {
+        loop {
+            if let Some(job) = self.try_pop(home) {
+                return Some(job);
+            }
+            let coord = self.coord.lock().expect("pool lock poisoned");
+            if coord.pending == 0 {
+                if coord.closed {
+                    return None;
+                }
+                // Parking atomically releases the coordinator lock, and
+                // `push` reserves under that same lock before notifying,
+                // so a submission can never slip between this check and
+                // the wait.
+                drop(self.jobs.wait(coord).expect("pool lock poisoned"));
+            } else {
+                // pending > 0 but every deque looked empty: a push is
+                // still between its reservation and its deque insert.
+                // Transient by construction — retry after a yield.
+                drop(coord);
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// One scan over the deques: the home deque from the front, then
+    /// each sibling from the back. Releases the `pending` reservation
+    /// on a hit.
+    fn try_pop(&self, home: usize) -> Option<Job> {
+        let n = self.deques.len();
+        for k in 0..n {
+            let slot = (home + k) % n;
+            let job = {
+                let mut deque = self.deques[slot].lock().expect("pool deque poisoned");
+                if k == 0 {
+                    deque.pop_front()
+                } else {
+                    deque.pop_back()
+                }
+            };
+            if let Some(job) = job {
+                let mut coord = self.coord.lock().expect("pool lock poisoned");
+                coord.pending -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
 }
 
 /// A persistent pool of worker threads executing indexed task batches.
@@ -56,10 +162,17 @@ thread_local! {
 /// });
 /// assert_eq!(hits.load(Ordering::Relaxed), 100);
 /// ```
-#[derive(Debug)]
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
+    shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Waits for the run to be *drained* (all task indices claimed, no lane
@@ -80,21 +193,25 @@ impl ThreadPool {
     /// Spawns a pool with `threads` worker threads (zero is allowed; every
     /// [`ThreadPool::run`] then executes inline on the caller).
     pub fn new(threads: usize) -> Self {
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(PoolShared {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cursor: AtomicUsize::new(0),
+            coord: Mutex::new(CoordState {
+                pending: 0,
+                closed: false,
+            }),
+            jobs: Condvar::new(),
+        });
         let workers = (0..threads)
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("privehd-pool-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self {
-            tx: Some(tx),
-            workers,
-        }
+        Self { shared, workers }
     }
 
     /// Number of worker threads (the caller adds one more lane to every
@@ -153,11 +270,9 @@ impl ThreadPool {
         });
 
         {
-            let tx = self.tx.as_ref().expect("pool sender alive until drop");
             for _ in 0..lanes {
                 let ctx = Arc::clone(&ctx);
-                tx.send(Box::new(move || ctx.work_lane()))
-                    .expect("pool workers alive until drop");
+                self.shared.push(Box::new(move || ctx.work_lane()));
             }
 
             let guard = WaitGuard(&ctx);
@@ -195,11 +310,7 @@ impl ThreadPool {
             job();
             return;
         }
-        self.tx
-            .as_ref()
-            .expect("pool sender alive until drop")
-            .send(Box::new(job))
-            .expect("pool workers alive until drop");
+        self.shared.push(Box::new(job));
     }
 
     /// Like [`ThreadPool::run`] but collects one `R` per task, in task
@@ -230,7 +341,11 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        drop(self.tx.take()); // closing the channel stops the workers
+        {
+            let mut coord = self.shared.coord.lock().expect("pool lock poisoned");
+            coord.closed = true;
+        }
+        self.shared.jobs.notify_all();
         for w in self.workers.drain(..) {
             w.join().expect("pool worker panicked outside a task");
         }
@@ -272,7 +387,7 @@ impl RunCtx {
         let outcome = catch_unwind(AssertUnwindSafe(|| loop {
             // Relaxed: the counter only partitions indices between
             // lanes; the closure and its captures were published to
-            // this lane by the channel send, not by this counter.
+            // this lane by the deque's mutex, not by this counter.
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.tasks {
                 break;
@@ -308,17 +423,9 @@ impl RunCtx {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(shared: &PoolShared, home: usize) {
     IN_POOL_WORKER.with(|flag| flag.set(true));
-    loop {
-        // Hold the lock only while waiting for the next job.
-        let job = {
-            let rx = rx.lock().expect("pool receiver poisoned");
-            match rx.recv() {
-                Ok(j) => j,
-                Err(_) => return, // pool dropped
-            }
-        };
+    while let Some(job) = shared.claim(home) {
         job();
     }
 }
@@ -483,6 +590,37 @@ mod tests {
         // No barrier to wait on: with zero workers the job already ran
         // inline before `spawn` returned.
         assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn idle_worker_steals_jobs_stuck_behind_a_busy_sibling() {
+        use std::time::Duration;
+        let pool = ThreadPool::new(2);
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<usize>();
+        // Wedge one worker on a long job...
+        pool.spawn(move || {
+            release_rx.recv_timeout(Duration::from_secs(30)).ok();
+        });
+        // ...then submit a burst. Round-robin parks half of it on the
+        // wedged worker's deque; the free worker must steal that half
+        // rather than leave it stranded until the blocker finishes.
+        for i in 0..8 {
+            let tx = done_tx.clone();
+            pool.spawn(move || {
+                tx.send(i).expect("receiver alive");
+            });
+        }
+        let mut got: Vec<usize> = (0..8)
+            .map(|_| {
+                done_rx
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("burst job stranded behind the wedged worker")
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        release_tx.send(()).expect("blocker alive");
     }
 
     #[test]

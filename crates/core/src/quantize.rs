@@ -21,6 +21,11 @@
 //! encoded components, which by the central-limit argument of §III-B is
 //! `σ = √D_iv`. For a standard normal, `P(|X| ≤ zσ) = 1/3 ⇔ z ≈ 0.4307`
 //! (uniform ternary) and `= 1/2 ⇔ z ≈ 0.6745` (biased ternary).
+//!
+//! [`QuantScheme::quantize_value`] is the per-component primitive the
+//! compiled-plan layer ([`crate::plan::EncodePlan`]) drives through its
+//! table-driven quantize-and-mask pass; the fused Bipolar fast path skips
+//! it entirely because the sign is σ-independent.
 
 use serde::{Deserialize, Serialize};
 

@@ -394,6 +394,144 @@ proptest! {
         prop_assert_eq!(fast.scores, dense.scores);
     }
 
+    // --- Compiled plan ↔ generic parity ----------------------------------
+    //
+    // `privehd_core::plan` compiles the encode∘obfuscate composition
+    // and the model's kernel selection at publish time. Every compiled
+    // path must be *bit-identical* to the generic composition it
+    // replaces — same hypervectors, same scores, same argmax — across
+    // word-boundary dimensions, masked and unmasked obfuscation, every
+    // quantization scheme, and zero-norm (never-trained) classes.
+
+    #[test]
+    fn encode_plan_bit_matches_generic_composition(
+        values in prop::collection::vec(0.0f64..1.0, 1..24),
+        dim in 1usize..200,
+        masked_frac in 0.0f64..0.9,
+        seed in 0u64..50,
+    ) {
+        let enc = ScalarEncoder::new(
+            EncoderConfig::new(values.len(), dim).with_seed(seed),
+        ).unwrap();
+        let masked_dims = ((dim as f64) * masked_frac) as usize;
+        for scheme in QuantScheme::ALL {
+            let obfuscator = Obfuscator::new(
+                dim,
+                ObfuscateConfig::new(scheme)
+                    .with_masked_dims(masked_dims)
+                    .with_seed(seed ^ 0xA5),
+            ).unwrap();
+            let plan = EncodePlan::from_obfuscator(&obfuscator);
+            let fused = plan.apply(&enc, &values).unwrap();
+            let generic = obfuscator.obfuscate(&enc.encode(&values).unwrap()).unwrap();
+            prop_assert_eq!(fused, generic);
+        }
+    }
+
+    #[test]
+    fn plan_predict_bit_matches_model_for_float_models(
+        dim in 1usize..200,
+        num_classes in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let classes: Vec<Hypervector> = (0..num_classes)
+            .map(|c| Hypervector::from_vec(
+                (0..dim).map(|j| (((seed as usize + c * 131 + j) as f64) * 0.7).sin()).collect(),
+            ))
+            .collect();
+        let model = HdModel::from_classes(classes).unwrap();
+        let plan = ModelPlan::compile(&model);
+        // Float rows cannot pack: the compiler must select dense tiling.
+        prop_assert!(matches!(plan.kernel(), PlanKernel::DenseTiled { .. }));
+        let query = Hypervector::from_vec(
+            (0..dim).map(|j| (((seed as usize + j) as f64) * 0.3).cos()).collect(),
+        );
+        prop_assert_eq!(
+            plan.predict_dense(&query).unwrap(),
+            model.predict(&query).unwrap(),
+        );
+    }
+
+    #[test]
+    fn plan_packed_predict_bit_matches_model_for_sign_models(
+        dim in 1usize..200,
+        num_classes in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let classes: Vec<Hypervector> = (0..num_classes)
+            .map(|c| Hypervector::from_vec(
+                (0..dim)
+                    .map(|j| if ((seed as usize + c * 131 + j) * 2_654_435_761) % 5 < 2 { 1.0 } else { -1.0 })
+                    .collect(),
+            ))
+            .collect();
+        let model = HdModel::from_classes(classes).unwrap();
+        let plan = ModelPlan::compile(&model);
+        // Sign-only rows pack: the compiler must select XOR+POPCNT.
+        prop_assert!(matches!(plan.kernel(), PlanKernel::PackedPopcount { .. }));
+        let query = BipolarHv::random(dim, seed);
+        let expected = model.predict_packed(&query).unwrap();
+        prop_assert_eq!(&plan.predict_packed(&query).unwrap(), &expected);
+        // A strictly-bipolar dense submission of the same query must
+        // land on the same kernel with the same result.
+        prop_assert_eq!(&plan.predict_dense_auto(&query.to_dense()).unwrap(), &expected);
+    }
+
+    #[test]
+    fn plan_predict_bit_matches_model_for_level_quantized_models(
+        dim in 1usize..200,
+        seed in 0u64..50,
+    ) {
+        // Multi-level class quantization (ternary / 2-bit) leaves rows
+        // unpackable; the compiled dense path must stay bit-identical.
+        for scheme in [QuantScheme::Ternary, QuantScheme::TernaryBiased, QuantScheme::TwoBit] {
+            let classes: Vec<Hypervector> = (0..3)
+                .map(|c| Hypervector::from_vec(
+                    (0..dim).map(|j| (((seed as usize + c * 31 + j) as f64) * 1.3).sin()).collect(),
+                ))
+                .collect();
+            let mut model = HdModel::from_classes(classes).unwrap();
+            model.quantize_classes(scheme);
+            let plan = ModelPlan::compile(&model);
+            let query = Hypervector::from_vec(
+                (0..dim).map(|j| (((seed as usize + j) as f64) * 0.9).cos()).collect(),
+            );
+            prop_assert_eq!(
+                plan.predict_dense(&query).unwrap(),
+                model.predict(&query).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn plan_scores_zero_norm_classes_like_the_model(
+        dim in 1usize..150,
+        seed in 0u64..50,
+    ) {
+        // A never-trained (all-zero) class next to a ±1 class: the
+        // compiled plan must reproduce the NEG_INFINITY sentinel on
+        // both its packed and dense paths, and never predict the
+        // untrained class.
+        let signs = Hypervector::from_vec(
+            (0..dim)
+                .map(|j| if (seed as usize + j).is_multiple_of(3) { -1.0 } else { 1.0 })
+                .collect(),
+        );
+        let zero = Hypervector::zeros(dim).unwrap();
+        let model = HdModel::from_classes(vec![signs, zero]).unwrap();
+        let plan = ModelPlan::compile(&model);
+        let query = BipolarHv::random(dim, seed);
+        let fast = plan.predict_packed(&query).unwrap();
+        prop_assert_eq!(fast.scores[1], f64::NEG_INFINITY);
+        prop_assert_eq!(fast.class, 0);
+        prop_assert_eq!(&fast, &model.predict_packed(&query).unwrap());
+        let dense_query = query.to_dense();
+        prop_assert_eq!(
+            plan.predict_dense(&dense_query).unwrap(),
+            model.predict(&dense_query).unwrap(),
+        );
+    }
+
     #[test]
     fn zero_norm_classes_score_neg_infinity(dim in 1usize..100, seed in 0u64..50) {
         // One trained class, one never-trained (all-zero) class: the

@@ -1,0 +1,197 @@
+//! The FPGA backend of the plan compiler: renders a compiled
+//! [`ModelPlan`] as synthesizable encoder RTL plus an analytic
+//! resource/throughput summary.
+//!
+//! `privehd_core::plan` abstracts the compiled pipeline behind
+//! [`PlanTarget`]; the in-core `SoftwareTarget` renders the kernel
+//! tables the serving engine executes, and this module turns the
+//! crate's LUT/majority/verilog pipeline into the *second* backend of
+//! the same compiler: [`HwPlanTarget::render`] emits the Eq. (15)
+//! bipolar (or saturated ternary) encoder array sized for the plan's
+//! dimensionality on a concrete device, instead of a free-floating
+//! artifact disconnected from what actually serves.
+
+use privehd_core::plan::{ModelPlan, PlanArtifact, PlanTarget};
+use privehd_core::QuantScheme;
+
+use crate::design::FpgaDesign;
+use crate::perf::Workload;
+use crate::verilog;
+
+/// Renders compiled plans for an FPGA device.
+///
+/// The plan itself carries what publish time knows — dimensionality,
+/// class count, the selected scoring kernel. The hardware target adds
+/// the physical workload shape the RTL needs: how many item-memory
+/// bits (`d_iv ≈` feature count) feed each output dimension, which
+/// quantization the datapath carries, and whether the approximate
+/// (LUT-majority / saturated-tree) arithmetic of §III-D is used.
+///
+/// # Examples
+///
+/// ```
+/// use privehd_core::plan::{ModelPlan, PlanTarget};
+/// use privehd_core::{HdModel, Hypervector, QuantScheme};
+/// use privehd_hw::HwPlanTarget;
+///
+/// let mut model = HdModel::new(2, 128).unwrap();
+/// model.bundle(0, &Hypervector::from_vec(vec![1.0; 128])).unwrap();
+/// model.bundle(1, &Hypervector::from_vec(vec![-1.0; 128])).unwrap();
+/// let plan = ModelPlan::compile(&model);
+///
+/// let target = HwPlanTarget::new(64, QuantScheme::Bipolar, true);
+/// let artifact = target.render(&plan);
+/// assert_eq!(artifact.target, "fpga");
+/// assert!(artifact.payload.contains("module privehd_encoder"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwPlanTarget {
+    design: FpgaDesign,
+    d_iv: usize,
+    scheme: QuantScheme,
+    approximate: bool,
+}
+
+impl HwPlanTarget {
+    /// A target on the paper's Kintex-7 325T device. `d_iv` is the
+    /// number of item-memory bits summed per output dimension (the
+    /// feature count for the record encoding); `scheme` selects the
+    /// datapath (bipolar majority vs ternary saturated tree);
+    /// `approximate` picks the §III-D approximate arithmetic over the
+    /// exact adder trees. A zero `d_iv` is clamped to one.
+    pub fn new(d_iv: usize, scheme: QuantScheme, approximate: bool) -> Self {
+        Self::on_design(FpgaDesign::kintex7_325t(), d_iv, scheme, approximate)
+    }
+
+    /// Same, on an explicit device model.
+    pub fn on_design(
+        design: FpgaDesign,
+        d_iv: usize,
+        scheme: QuantScheme,
+        approximate: bool,
+    ) -> Self {
+        Self {
+            design,
+            d_iv: d_iv.max(1),
+            scheme,
+            approximate,
+        }
+    }
+
+    /// The device model this target sizes against.
+    pub fn design(&self) -> &FpgaDesign {
+        &self.design
+    }
+}
+
+impl PlanTarget for HwPlanTarget {
+    fn name(&self) -> &'static str {
+        "fpga"
+    }
+
+    fn render(&self, plan: &ModelPlan) -> PlanArtifact {
+        let workload = Workload::new("compiled-plan", self.d_iv, plan.dim());
+        let per_dim = self
+            .design
+            .luts_per_dim(self.d_iv, self.scheme, self.approximate);
+        let parallel = self
+            .design
+            .parallel_dims(self.d_iv, self.scheme, self.approximate)
+            .max(1)
+            .min(plan.dim().max(1));
+        let cycles = self
+            .design
+            .cycles_per_input(&workload, self.scheme, self.approximate);
+        let throughput = self
+            .design
+            .throughput(&workload, self.scheme, self.approximate);
+        let summary = format!(
+            "fpga encoder array for {} ({}): {} dims, {} classes; {per_dim:.2} LUT-6/dim, \
+             {parallel} parallel pipelines, {cycles} cycles/input, {throughput:.0} inputs/s",
+            self.scheme,
+            if self.approximate {
+                "approximate"
+            } else {
+                "exact"
+            },
+            plan.dim(),
+            plan.num_classes(),
+        );
+        let payload =
+            verilog::encoder_top("privehd_encoder", self.d_iv, parallel, self.approximate);
+        PlanArtifact {
+            target: self.name(),
+            summary,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privehd_core::plan::SoftwareTarget;
+    use privehd_core::{HdModel, Hypervector};
+
+    fn plan(dim: usize) -> ModelPlan {
+        let mut model = HdModel::new(2, dim).unwrap();
+        model
+            .bundle(0, &Hypervector::from_vec(vec![1.0; dim]))
+            .unwrap();
+        model
+            .bundle(1, &Hypervector::from_vec(vec![-1.0; dim]))
+            .unwrap();
+        ModelPlan::compile(&model)
+    }
+
+    #[test]
+    fn renders_rtl_sized_to_the_plan() {
+        let p = plan(256);
+        let artifact = HwPlanTarget::new(617, QuantScheme::Bipolar, true).render(&p);
+        assert_eq!(artifact.target, "fpga");
+        assert!(artifact.summary.contains("256 dims"));
+        assert!(artifact.summary.contains("2 classes"));
+        assert!(artifact.payload.contains("module privehd_encoder ("));
+        assert!(artifact.payload.contains("module privehd_encoder_dim"));
+    }
+
+    #[test]
+    fn parallelism_never_exceeds_the_plan_dimensionality() {
+        // A tiny plan on a huge device must not instantiate more
+        // pipelines than there are output dimensions.
+        let p = plan(8);
+        let artifact = HwPlanTarget::new(6, QuantScheme::Bipolar, true).render(&p);
+        assert!(artifact.payload.contains("output wire [7:0] signs"));
+    }
+
+    #[test]
+    fn exact_and_approximate_datapaths_both_render() {
+        let p = plan(64);
+        for approximate in [false, true] {
+            for scheme in [QuantScheme::Bipolar, QuantScheme::Ternary] {
+                let a = HwPlanTarget::new(36, scheme, approximate).render(&p);
+                assert!(!a.payload.is_empty());
+                assert!(a.summary.contains("64 dims"));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_d_iv_is_clamped_not_panicking() {
+        let p = plan(16);
+        let a = HwPlanTarget::new(0, QuantScheme::Bipolar, false).render(&p);
+        assert!(a.payload.contains("module"));
+    }
+
+    #[test]
+    fn both_targets_render_the_same_plan() {
+        // The point of PlanTarget: one compiled plan, two substrates.
+        let p = plan(128);
+        let sw = SoftwareTarget.render(&p);
+        let hw = HwPlanTarget::new(64, QuantScheme::Bipolar, true).render(&p);
+        assert_eq!(sw.target, "software");
+        assert_eq!(hw.target, "fpga");
+        assert!(sw.payload.contains("kernel ="));
+        assert!(hw.payload.contains("module"));
+    }
+}

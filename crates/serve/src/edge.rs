@@ -11,8 +11,8 @@
 
 use privehd_core::kernels::{scalar_encode_packed, scalar_encode_packed_batch};
 use privehd_core::{
-    BipolarHv, Encoder, EncoderConfig, HdError, Hypervector, ObfuscateConfig, Obfuscator,
-    QuantScheme, ScalarEncoder,
+    BipolarHv, EncodePlan, Encoder, EncoderConfig, HdError, Hypervector, ObfuscateConfig,
+    Obfuscator, QuantScheme, ScalarEncoder,
 };
 
 use crate::error::ServeError;
@@ -41,11 +41,19 @@ use crate::error::ServeError;
 pub struct ClientEdge {
     encoder: ScalarEncoder,
     obfuscator: Obfuscator,
+    /// The encode∘obfuscate transform compiled once at construction
+    /// ([`EncodePlan::from_obfuscator`], so the permutation built for
+    /// `obfuscator` is reused, not re-materialized): [`ClientEdge::prepare`]
+    /// is a single table-driven pass, bit-identical to the generic
+    /// composition.
+    plan: EncodePlan,
 }
 
 impl ClientEdge {
     /// Builds the edge pipeline; the obfuscator is sized to the
-    /// encoder's output dimensionality.
+    /// encoder's output dimensionality, and the encode∘obfuscate plan is
+    /// compiled here, once — per-query preparation never rebuilds the
+    /// permutation.
     ///
     /// # Errors
     ///
@@ -57,21 +65,27 @@ impl ClientEdge {
     ) -> Result<Self, ServeError> {
         let encoder = ScalarEncoder::new(encoder_config)?;
         let obfuscator = Obfuscator::new(encoder.dim(), obfuscate_config)?;
+        let plan = EncodePlan::from_obfuscator(&obfuscator);
         Ok(Self {
             encoder,
             obfuscator,
+            plan,
         })
     }
 
     /// Encodes raw features and obfuscates the encoding — the exact
     /// hypervector an edge device would put on the wire.
     ///
+    /// Runs the [`EncodePlan`] compiled at construction: one
+    /// table-driven pass (for bipolar obfuscation, masked dimensions are
+    /// never even accumulated), bit-identical to
+    /// `obfuscator().obfuscate(&encoder().encode(features)?)`.
+    ///
     /// # Errors
     ///
     /// Propagates feature-count/dimension errors as [`ServeError::Model`].
     pub fn prepare(&self, features: &[f64]) -> Result<Hypervector, ServeError> {
-        let encoded = self.encoder.encode(features)?;
-        Ok(self.obfuscator.obfuscate(&encoded)?)
+        Ok(self.plan.apply(&self.encoder, features)?)
     }
 
     /// Prepares a batch of feature vectors: the whole batch is encoded
@@ -192,6 +206,12 @@ impl ClientEdge {
     /// The underlying obfuscator.
     pub fn obfuscator(&self) -> &Obfuscator {
         &self.obfuscator
+    }
+
+    /// The encode∘obfuscate plan compiled at construction — the
+    /// transform [`ClientEdge::prepare`] actually runs.
+    pub fn plan(&self) -> &EncodePlan {
+        &self.plan
     }
 }
 

@@ -106,10 +106,11 @@ pub struct ServeConfig {
     pub drr_quantum: usize,
     /// When set, queries whose components are all exactly `±1` (i.e.
     /// bipolar-obfuscated queries) are bit-packed and classified through
-    /// [`privehd_core::HdModel::predict_packed`] — the popcount fast
-    /// path. Scores then differ from the dense path only in
-    /// floating-point summation order. Leave unset when bit-identical
-    /// results to [`privehd_core::HdModel::predict`] are required.
+    /// the compiled plan's popcount kernel
+    /// ([`privehd_core::ModelPlan::predict_dense_auto`]). Scores then
+    /// differ from the dense path only in floating-point summation
+    /// order. Leave unset when bit-identical results to the dense path
+    /// ([`privehd_core::ModelPlan::predict_dense`]) are required.
     pub packed_fastpath: bool,
     /// Request-tracing configuration: 1-in-N span sampling plus
     /// always-capture for slow requests. Stage *histograms* record
@@ -257,8 +258,8 @@ impl ServeConfigBuilder {
 /// `f64`-per-dimension, or bit-packed bipolar (1 bit/dim).
 ///
 /// The packed variant flows through the queue, the scheduler and the
-/// workers as-is and is scored by
-/// [`privehd_core::HdModel::predict_packed`] — never densified. That
+/// workers as-is and is scored by the compiled plan's popcount kernel
+/// ([`privehd_core::ModelPlan::predict_packed`]) — never densified. That
 /// is the packed-native serving contract: a 10k-dim packed query costs
 /// ~1.25 KiB on the queue instead of ~78 KiB dense, and classification
 /// runs on `XOR`+`POPCNT` words instead of `f64` lanes.
@@ -577,32 +578,6 @@ impl SubmitHandle {
         self.submit(&ModelId::default(), query)
     }
 
-    /// Deprecated alias of [`SubmitHandle::submit`].
-    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
-    pub fn submit_to(
-        &self,
-        model: &ModelId,
-        query: Hypervector,
-    ) -> Result<PendingPrediction, ServeError> {
-        self.submit(model, query)
-    }
-
-    /// Deprecated alias of [`SubmitHandle::submit_default`].
-    #[deprecated(note = "use submit_default(query) — it accepts dense and packed queries alike")]
-    pub fn submit_packed(&self, query: BipolarHv) -> Result<PendingPrediction, ServeError> {
-        self.submit_default(query)
-    }
-
-    /// Deprecated alias of [`SubmitHandle::submit`].
-    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
-    pub fn submit_packed_to(
-        &self,
-        model: &ModelId,
-        query: BipolarHv,
-    ) -> Result<PendingPrediction, ServeError> {
-        self.submit(model, query)
-    }
-
     /// Submits with a caller-provided trace context, so a front-end
     /// that began the trace earlier (e.g. at wire decode) keeps one id
     /// across its spans and the engine's.
@@ -792,8 +767,9 @@ impl ServeEngine {
     /// Submits one query routed to `model` for batched classification.
     /// Accepts dense ([`Hypervector`]) and bit-packed ([`BipolarHv`])
     /// queries alike; packed queries stay packed end to end and are
-    /// scored through [`privehd_core::HdModel::predict_packed`] — the
-    /// popcount path — with no dense conversion anywhere.
+    /// scored through the published snapshot's compiled plan
+    /// ([`privehd_core::ModelPlan::predict_packed`] — the popcount
+    /// path) with no dense conversion anywhere.
     ///
     /// Requests for different models accumulate in separate batches; a
     /// model nobody published answers with [`ServeError::NoModel`]
@@ -835,32 +811,6 @@ impl ServeEngine {
         query: impl Into<QueryVec>,
     ) -> Result<PendingPrediction, ServeError> {
         self.submit(&ModelId::default(), query)
-    }
-
-    /// Deprecated alias of [`ServeEngine::submit`].
-    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
-    pub fn submit_to(
-        &self,
-        model: &ModelId,
-        query: Hypervector,
-    ) -> Result<PendingPrediction, ServeError> {
-        self.submit(model, query)
-    }
-
-    /// Deprecated alias of [`ServeEngine::submit_default`].
-    #[deprecated(note = "use submit_default(query) — it accepts dense and packed queries alike")]
-    pub fn submit_packed(&self, query: BipolarHv) -> Result<PendingPrediction, ServeError> {
-        self.submit_default(query)
-    }
-
-    /// Deprecated alias of [`ServeEngine::submit`].
-    #[deprecated(note = "use submit(model, query) — it accepts dense and packed queries alike")]
-    pub fn submit_packed_to(
-        &self,
-        model: &ModelId,
-        query: BipolarHv,
-    ) -> Result<PendingPrediction, ServeError> {
-        self.submit(model, query)
     }
 
     /// Convenience: submit to the default model and block for the
@@ -1118,18 +1068,23 @@ fn execute_batch(
         let outcome: Result<Prediction, ServeError> = match &snapshot {
             None => Err(ServeError::NoModel),
             Some(served) => {
-                let m = served.model();
+                // Dispatch through the plan compiled at publish time:
+                // kernel selection (packed vs dense snapshot, SIMD arm,
+                // block size) happened exactly once, in
+                // `ModelPlan::compile` — nothing is re-probed here.
+                let plan = served.plan();
                 match &request.query {
                     // Packed-native path: the query arrived bit-packed
                     // and is scored by the popcount kernels without
                     // ever materializing a dense form.
-                    QueryVec::Packed(hv) => m.predict_packed(hv).map_err(ServeError::Model),
+                    QueryVec::Packed(hv) => plan.predict_packed(hv).map_err(ServeError::Model),
                     QueryVec::Dense(q) => {
-                        if packed_fastpath && is_strictly_bipolar(q) {
-                            m.predict_packed(&BipolarHv::from_signs(q.as_slice()))
-                                .map_err(ServeError::Model)
+                        if packed_fastpath {
+                            // The auto bridge repacks strictly-bipolar
+                            // dense queries onto the popcount kernel.
+                            plan.predict_dense_auto(q).map_err(ServeError::Model)
                         } else {
-                            m.predict(q).map_err(ServeError::Model)
+                            plan.predict_dense(q).map_err(ServeError::Model)
                         }
                     }
                 }
@@ -1185,12 +1140,6 @@ fn execute_batch(
             resolve_end,
         );
     }
-}
-
-/// True when every component is exactly `+1` or `−1`, i.e. the query can
-/// be bit-packed losslessly.
-fn is_strictly_bipolar(query: &Hypervector) -> bool {
-    query.as_slice().iter().all(|&v| v == 1.0 || v == -1.0)
 }
 
 #[cfg(test)]
@@ -1612,47 +1561,6 @@ mod tests {
         // The engine keeps serving afterwards.
         assert_eq!(engine.predict(query(64, 1.0)).unwrap().prediction.class, 0);
         engine.shutdown();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_submit_shims_delegate_to_the_unified_api() {
-        let engine = ServeEngine::start(registry(64), ServeConfig::default()).unwrap();
-        let handle = engine.handle();
-        let id = ModelId::default();
-        let packed = BipolarHv::from_signs(query(64, 1.0).as_slice());
-
-        assert_eq!(
-            engine
-                .submit_to(&id, query(64, 1.0))
-                .unwrap()
-                .wait()
-                .unwrap()
-                .prediction
-                .class,
-            0
-        );
-        assert!(engine.submit_packed(packed.clone()).unwrap().wait().is_ok());
-        assert!(engine
-            .submit_packed_to(&id, packed.clone())
-            .unwrap()
-            .wait()
-            .is_ok());
-        assert_eq!(
-            handle
-                .submit_to(&id, query(64, -1.0))
-                .unwrap()
-                .wait()
-                .unwrap()
-                .prediction
-                .class,
-            1
-        );
-        assert!(handle.submit_packed(packed.clone()).unwrap().wait().is_ok());
-        assert!(handle.submit_packed_to(&id, packed).unwrap().wait().is_ok());
-
-        let report = engine.shutdown();
-        assert_eq!(report.completed, 6);
     }
 
     #[test]

@@ -15,17 +15,20 @@
 //!   privacy budget) spread over per-shard locks, each behind an atomic
 //!   hot-swap (`Arc`-swap pattern) so retraining publishes a new
 //!   version without pausing inference, and in-flight batches finish on
-//!   the snapshot they started with. Single-model deployments publish
-//!   under [`ModelId::default`] with [`ShardedRegistry::with_model`].
+//!   the snapshot they started with. Publishing also compiles the
+//!   snapshot's [`privehd_core::ModelPlan`] — the one-time kernel
+//!   selection workers dispatch through. Single-model deployments
+//!   publish under [`ModelId::default`] with
+//!   [`ShardedRegistry::with_model`].
 //! * [`ServeEngine`] — per-tenant admission queues with quotas, a
 //!   deficit-round-robin scheduler, an adaptive micro-batcher (flushes
 //!   on [`ServeConfig::max_batch`] or [`ServeConfig::max_delay`],
 //!   accumulated *per model*) and a worker pool executing single-model
 //!   batches. One submit surface for every representation: queries
 //!   submitted bit-packed ([`QueryVec::Packed`]) stay packed end to end
-//!   and are scored by the `XOR`+`POPCNT` kernels of
-//!   [`privehd_core::HdModel::predict_packed`]; dense submissions can
-//!   opt into the same kernels via [`ServeConfig::packed_fastpath`].
+//!   and are scored by the compiled plan's `XOR`+`POPCNT` kernel
+//!   ([`privehd_core::ModelPlan::predict_packed`]); dense submissions
+//!   can opt into the same kernel via [`ServeConfig::packed_fastpath`].
 //! * [`ClientEdge`] — the device-side `ScalarEncoder` ∘ `Obfuscator`
 //!   composition, guaranteeing the server only ever sees obfuscated
 //!   queries.
@@ -39,9 +42,10 @@
 //!   [`wire::WireClient::stats`].
 //!
 //! See `docs/SERVE.md` in the repository for the multi-tenant API
-//! walkthrough, the fairness model, and the shutdown contract —
-//! including the migration table from the pre-unification API
-//! (`submit_to` / `submit_packed` / `ModelRegistry` / `start_sharded`).
+//! walkthrough, the fairness model, and the shutdown contract. (The
+//! pre-unification shims — `submit_to` / `submit_packed` /
+//! `ModelRegistry` — served their one deprecation release and are
+//! removed; everything submits through `submit(model, query)`.)
 //!
 //! ## Quickstart
 //!
@@ -104,8 +108,6 @@ pub use error::ServeError;
 pub use metrics::{
     BatchSizeBucket, LatencyHistogram, ModelReport, ServeMetrics, ServeReport, StageReport,
 };
-#[allow(deprecated)]
-pub use registry::ModelRegistry;
 pub use registry::{ModelId, ServedModel, ShardedRegistry};
 pub use stats::prometheus_text;
 pub use wire::{WireClient, WireConfig, WireConfigBuilder, WireServer, WireStatus};

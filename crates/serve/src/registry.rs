@@ -15,9 +15,15 @@
 //! own `HashMap<ModelId, …>` behind its own lock, so publishes and
 //! lookups for different tenants contend only when their ids land on
 //! the same shard. Single-model deployments simply publish under
-//! [`ModelId::default()`] (see [`ShardedRegistry::with_model`]); the
-//! historical single-slot [`ModelRegistry`] survives one release as a
-//! deprecated facade over a one-tenant `ShardedRegistry`.
+//! [`ModelId::default()`] (see [`ShardedRegistry::with_model`]). The
+//! historical single-slot `ModelRegistry` facade served its one
+//! deprecation release and is gone.
+//!
+//! Publishing is also where the pipeline gets *compiled*: each slot
+//! caches a [`ModelPlan`] next to the dense/packed snapshots, so kernel
+//! selection (packed popcount vs tiled dense, AVX2 vs scalar, block
+//! size) happens exactly once per publish and request workers dispatch
+//! through the precompiled plan instead of re-probing per batch.
 //!
 //! ## Publish validation policy
 //!
@@ -41,7 +47,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, RwLock};
 
-use privehd_core::{HdError, HdModel};
+use privehd_core::{HdError, HdModel, ModelPlan};
 
 use crate::error::ServeError;
 
@@ -125,12 +131,22 @@ pub struct ServedModel {
     /// Human label supplied at publish time (e.g. `"isolet-retrain-3"`).
     pub label: String,
     model: HdModel,
+    plan: ModelPlan,
 }
 
 impl ServedModel {
     /// The model weights.
     pub fn model(&self) -> &HdModel {
         &self.model
+    }
+
+    /// The scoring pipeline compiled for this snapshot at publish time.
+    /// Kernel selection happened exactly once, here; request workers
+    /// dispatch through this plan instead of re-probing per batch, and a
+    /// hot-swap republish replaces the plan atomically with the snapshot
+    /// (they live in the same [`Arc`]).
+    pub fn plan(&self) -> &ModelPlan {
+        &self.plan
     }
 
     /// Bytes held by this snapshot's dense scoring matrix
@@ -173,101 +189,6 @@ fn validate_norms(model: &HdModel, allow_partial: bool) -> Result<Vec<usize>, Se
     Ok(untrained)
 }
 
-/// Deprecated single-slot facade over a one-tenant [`ShardedRegistry`].
-///
-/// Historically the single-model registry behind the engine; the
-/// unified API serves every deployment from a [`ShardedRegistry`], with
-/// single-model setups publishing under [`ModelId::default()`]. This
-/// wrapper keeps last release's surface compiling for one more release:
-/// it owns an `Arc<ShardedRegistry>` pinned to the default id, and
-/// [`ModelRegistry::sharded`] hands that registry to
-/// [`crate::ServeEngine::start`].
-///
-/// Migration: `ModelRegistry::with_model(m, "l")` →
-/// `ShardedRegistry::with_model(m, "l")`; `registry.publish(m, "l")` →
-/// `registry.publish(&ModelId::default(), m, "l")`; `current()` →
-/// `get(&ModelId::default())`.
-#[deprecated(note = "use ShardedRegistry; single-model serving publishes under ModelId::default()")]
-#[derive(Debug)]
-pub struct ModelRegistry {
-    inner: Arc<ShardedRegistry>,
-}
-
-#[allow(deprecated)]
-impl Default for ModelRegistry {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-#[allow(deprecated)]
-impl ModelRegistry {
-    /// Creates an empty registry (no model published).
-    pub fn new() -> Self {
-        Self {
-            inner: Arc::new(ShardedRegistry::new()),
-        }
-    }
-
-    /// Creates a registry with `model` already published as version 1.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ShardedRegistry::publish`] validation errors.
-    pub fn with_model(model: HdModel, label: &str) -> Result<Self, ServeError> {
-        let registry = Self::new();
-        registry.publish(model, label)?;
-        Ok(registry)
-    }
-
-    /// The underlying [`ShardedRegistry`] — pass this to
-    /// [`crate::ServeEngine::start`] when migrating off the facade.
-    pub fn sharded(&self) -> Arc<ShardedRegistry> {
-        Arc::clone(&self.inner)
-    }
-
-    /// Publishes `model` under [`ModelId::default()`] and returns its
-    /// version number.
-    ///
-    /// # Errors
-    ///
-    /// Same validation as [`ShardedRegistry::publish`].
-    pub fn publish(&self, model: HdModel, label: &str) -> Result<u64, ServeError> {
-        self.inner.publish(&ModelId::default(), model, label)
-    }
-
-    /// Like [`ModelRegistry::publish`], but allows a partially trained
-    /// model; returns `(version, zero-norm class indices)`.
-    ///
-    /// # Errors
-    ///
-    /// Same validation as [`ShardedRegistry::publish_partial`].
-    pub fn publish_partial(
-        &self,
-        model: HdModel,
-        label: &str,
-    ) -> Result<(u64, Vec<usize>), ServeError> {
-        self.inner
-            .publish_partial(&ModelId::default(), model, label)
-    }
-
-    /// The live model snapshot, or `None` before the first publish.
-    pub fn current(&self) -> Option<Arc<ServedModel>> {
-        self.inner.get(&ModelId::default())
-    }
-
-    /// The live version number, or 0 before the first publish.
-    pub fn version(&self) -> u64 {
-        self.inner.version(&ModelId::default())
-    }
-
-    /// Withdraws the live model, returning the snapshot that was live,
-    /// if any. In-flight batches holding that snapshot still complete.
-    pub fn withdraw(&self) -> Option<Arc<ServedModel>> {
-        self.inner.withdraw(&ModelId::default())
-    }
-}
-
 /// How many shards [`ShardedRegistry::new`] creates.
 pub const DEFAULT_SHARDS: usize = 16;
 
@@ -285,8 +206,7 @@ struct TenantSlot {
 ///
 /// Lock granularity is the shard, not the registry: a publish for one
 /// tenant only blocks lookups whose ids hash to the same shard. Each
-/// tenant has its own monotonic version sequence starting at 1,
-/// exactly like a private [`ModelRegistry`].
+/// tenant has its own monotonic version sequence starting at 1.
 ///
 /// # Examples
 ///
@@ -387,8 +307,8 @@ impl ShardedRegistry {
     ///
     /// # Errors
     ///
-    /// Same validation as [`ModelRegistry::publish`] (see the
-    /// [module-level policy](self)).
+    /// Rejects untrained and (without `publish_partial`) partially
+    /// trained models — see the [module-level policy](self).
     pub fn publish(&self, id: &ModelId, model: HdModel, label: &str) -> Result<u64, ServeError> {
         self.publish_inner(id, model, label, false).map(|(v, _)| v)
     }
@@ -418,6 +338,9 @@ impl ShardedRegistry {
     ) -> Result<(u64, Vec<usize>), ServeError> {
         model.refresh_norms();
         let untrained = validate_norms(&model, allow_partial)?;
+        // Compile outside the shard lock: plan compilation pins both
+        // scoring snapshots and runs the one-time kernel selection.
+        let plan = ModelPlan::compile(&model);
         let mut shard = self.shard(id).write().expect("shard lock poisoned");
         let slot = shard.entry(id.clone()).or_default();
         slot.next_version += 1;
@@ -426,6 +349,7 @@ impl ShardedRegistry {
             version,
             label: label.to_owned(),
             model,
+            plan,
         }));
         Ok((version, untrained))
     }
@@ -630,22 +554,74 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_model_registry_facade_delegates_to_the_default_id() {
-        // One release of compatibility: the facade must behave exactly
-        // like a default-id tenant of the ShardedRegistry it wraps.
-        let r = ModelRegistry::with_model(trained(16, 1.0), "v1").unwrap();
-        assert_eq!(r.version(), 1);
-        assert_eq!(r.current().unwrap().label, "v1");
-        assert_eq!(r.sharded().version(&default_id()), 1);
-        assert_eq!(r.publish(trained(16, 2.0), "v2").unwrap(), 2);
-        let (v, untrained) = r.publish_partial(partially_trained(16), "v3").unwrap();
-        assert_eq!((v, untrained), (3, vec![1, 2]));
-        assert_eq!(r.withdraw().unwrap().version, 3);
-        assert!(r.current().is_none());
-        // The wrapped registry is the same storage, not a copy.
-        assert!(r.sharded().get(&default_id()).is_none());
-        assert_eq!(ModelRegistry::default().version(), 0);
+    fn publish_compiles_a_plan_matching_the_snapshot() {
+        use privehd_core::PlanKernel;
+        let r = ShardedRegistry::new();
+        let id = default_id();
+        // ±1 rows pack exactly → the compiled kernel is the popcount one.
+        r.publish(&id, trained(512, 1.0), "signed").unwrap();
+        let served = r.get(&id).unwrap();
+        assert_eq!(served.plan().dim(), 512);
+        assert!(matches!(
+            served.plan().kernel(),
+            PlanKernel::PackedPopcount { hv_words: 8, .. }
+        ));
+        // Rows that do not factor into sign×scale compile to the dense
+        // tiled kernel.
+        let mut mixed = HdModel::new(2, 512).unwrap();
+        let row: Vec<f64> = (0..512).map(|j| 1.0 + (j % 3) as f64).collect();
+        mixed
+            .bundle(0, &Hypervector::from_vec(row.clone()))
+            .unwrap();
+        mixed
+            .bundle(1, &Hypervector::from_vec(row.iter().map(|v| -v).collect()))
+            .unwrap();
+        r.publish(&id, mixed, "mixed").unwrap();
+        assert!(matches!(
+            r.get(&id).unwrap().plan().kernel(),
+            PlanKernel::DenseTiled { .. }
+        ));
+    }
+
+    #[test]
+    fn republish_swaps_plan_atomically_with_the_snapshot() {
+        use privehd_core::PlanKernel;
+        // Plan and snapshot live in the same Arc: a hot swap can never
+        // pair the new model with the old plan or vice versa.
+        let r = ShardedRegistry::with_model(trained(512, 1.0), "v1").unwrap();
+        let id = default_id();
+        let old = r.get(&id).unwrap();
+        assert!(matches!(
+            old.plan().kernel(),
+            PlanKernel::PackedPopcount { .. }
+        ));
+        let mut mixed = HdModel::new(2, 512).unwrap();
+        let row: Vec<f64> = (0..512).map(|j| 1.0 + (j % 3) as f64).collect();
+        mixed
+            .bundle(0, &Hypervector::from_vec(row.clone()))
+            .unwrap();
+        mixed
+            .bundle(1, &Hypervector::from_vec(row.iter().map(|v| -v).collect()))
+            .unwrap();
+        r.publish(&id, mixed, "v2").unwrap();
+        let new = r.get(&id).unwrap();
+        // The retained old Arc still pairs its own model with its own
+        // plan and keeps serving.
+        assert!(matches!(
+            old.plan().kernel(),
+            PlanKernel::PackedPopcount { .. }
+        ));
+        let q = Hypervector::from_vec(vec![1.0; 512]);
+        assert_eq!(
+            old.plan().predict_dense(&q).unwrap(),
+            old.model().predict(&q).unwrap()
+        );
+        // The new snapshot carries the freshly compiled plan.
+        assert!(matches!(new.plan().kernel(), PlanKernel::DenseTiled { .. }));
+        assert_eq!(
+            new.plan().predict_dense(&q).unwrap(),
+            new.model().predict(&q).unwrap()
+        );
     }
 
     #[test]
